@@ -1,0 +1,71 @@
+"""Ablation: the TDP buffer zone width ``Wtdp - Wth`` (paper 3.2.3).
+
+"With larger buffer zone, the number of oscillations around the TDP
+reduces and the stable state is reached quickly, but the chip might be
+severely under-utilized.  On the contrary, a smaller buffer zone leads to
+frequent oscillations around the TDP, but achieves higher utilization."
+"""
+
+import pytest
+
+from repro.core import MarketConfig, PPMConfig, PPMGovernor
+from repro.experiments.reporting import format_table
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload
+
+DURATION_S = 60.0
+WTDP = 4.0
+BUFFERS = (0.2, 0.5, 1.2)
+
+
+def _tdp_crossings(samples, cap):
+    crossings = 0
+    above = samples[0] > cap
+    for value in samples:
+        now_above = value > cap
+        if now_above != above:
+            crossings += 1
+            above = now_above
+    return crossings
+
+
+def _run_buffer(buffer_w):
+    chip = tc2_chip()
+    sim = Simulation(
+        chip,
+        build_workload("h1"),
+        PPMGovernor(
+            PPMConfig(market=MarketConfig(wtdp=WTDP, wth=WTDP - buffer_w))
+        ),
+        config=SimConfig(metrics_warmup_s=20.0),
+    )
+    metrics = sim.run(DURATION_S)
+    powers = [s.chip_power_w for s in metrics.samples if s.time_s >= 20.0]
+    return {
+        "buffer": buffer_w,
+        "crossings": _tdp_crossings(powers, WTDP),
+        "avg_power": sum(powers) / len(powers),
+        "miss": metrics.any_task_miss_fraction(),
+    }
+
+
+def _sweep():
+    return [_run_buffer(b) for b in BUFFERS]
+
+
+def test_ablation_buffer_zone(benchmark, record):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["buffer [W]", "TDP crossings", "avg power [W]", "miss fraction"],
+        [
+            [r["buffer"], r["crossings"], f"{r['avg_power']:.2f}", r["miss"]]
+            for r in rows
+        ],
+        title=f"Ablation: buffer zone width on h1 under {WTDP:.0f} W TDP",
+    )
+    record("ablation_buffer_zone", text)
+
+    by_buffer = {r["buffer"]: r for r in rows}
+    # A wide buffer parks the chip lower (under-utilisation trade-off).
+    assert by_buffer[1.2]["avg_power"] <= by_buffer[0.2]["avg_power"] + 0.15

@@ -1,0 +1,69 @@
+"""Ablation: tolerance factor vs. thermal cycling (paper section 3.2.2).
+
+The paper justifies a non-trivial delta by warning that fast DVFS
+responses cause "thermal cycling, which can be detrimental to ... the
+reliability of the hardware", citing Rosing et al.'s reliability work.
+The TC2 board gave them no thermal sensors to quantify it; the simulated
+substrate does: each run's per-cluster power trace is replayed through
+the RC thermal model and the big cluster's thermal cycles are counted.
+"""
+
+import pytest
+
+from repro.core import MarketConfig, PPMConfig, PPMGovernor
+from repro.experiments.reporting import format_table
+from repro.hw import track_thermals, tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload
+
+DURATION_S = 60.0
+DELTAS = (0.05, 0.15, 0.30)
+DT = 0.01
+
+
+def _run_delta(delta):
+    chip = tc2_chip()
+    sim = Simulation(
+        chip,
+        build_workload("m3"),
+        PPMGovernor(PPMConfig(market=MarketConfig(tolerance=delta))),
+        config=SimConfig(dt=DT, metrics_warmup_s=20.0),
+    )
+    metrics = sim.run(DURATION_S)
+    series = [(DT, s.cluster_power_w) for s in metrics.samples]
+    traces, cycles = track_thermals(series, ["big", "little"], cycle_threshold_k=2.0)
+    transitions = sum(c.regulator.transitions for c in chip.clusters)
+    return {
+        "delta": delta,
+        "vf_transitions": transitions,
+        "big_cycles": cycles["big"],
+        "little_cycles": cycles["little"],
+        "big_peak_c": max(traces["big"]),
+        "miss": metrics.any_task_miss_fraction(),
+    }
+
+
+def _sweep():
+    return [_run_delta(d) for d in DELTAS]
+
+
+def test_ablation_thermal_cycling(benchmark, record):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["delta", "V-F transitions", "big cycles", "little cycles",
+         "big peak [C]", "miss"],
+        [
+            [r["delta"], r["vf_transitions"], r["big_cycles"],
+             r["little_cycles"], f"{r['big_peak_c']:.1f}", r["miss"]]
+            for r in rows
+        ],
+        title="Ablation: tolerance factor vs thermal cycling (m3, RC model)",
+    )
+    record("ablation_thermal_cycling", text)
+
+    by_delta = {r["delta"]: r for r in rows}
+    # The eager setting transitions more...
+    assert by_delta[0.05]["vf_transitions"] > by_delta[0.30]["vf_transitions"]
+    # ...and the temperatures stay in a sane mobile-SoC envelope.
+    for r in rows:
+        assert 25.0 < r["big_peak_c"] < 110.0

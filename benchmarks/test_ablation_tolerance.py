@@ -1,0 +1,56 @@
+"""Ablation: the tolerance factor ``delta`` (paper section 3.2.2).
+
+"The lower the value of delta, the faster the response of the cluster
+agents.  The faster response results in frequent V-F level transitions,
+and hence thermal cycling" -- the sweep records exactly that trade-off:
+V-F transition counts against QoS misses for three settings.
+"""
+
+import pytest
+
+from repro.core import MarketConfig, PPMConfig, PPMGovernor
+from repro.experiments.reporting import format_table
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload
+
+DURATION_S = 60.0
+DELTAS = (0.05, 0.15, 0.30)
+
+
+def _run_delta(delta):
+    chip = tc2_chip()
+    sim = Simulation(
+        chip,
+        build_workload("m2"),
+        PPMGovernor(PPMConfig(market=MarketConfig(tolerance=delta))),
+        config=SimConfig(metrics_warmup_s=20.0),
+    )
+    metrics = sim.run(DURATION_S)
+    transitions = sum(c.regulator.transitions for c in chip.clusters)
+    return {
+        "delta": delta,
+        "vf_transitions": transitions,
+        "miss": metrics.any_task_miss_fraction(),
+        "power": metrics.average_power_w(),
+    }
+
+
+def _sweep():
+    return [_run_delta(d) for d in DELTAS]
+
+
+def test_ablation_tolerance_factor(benchmark, record):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["delta", "V-F transitions", "miss fraction", "avg power [W]"],
+        [[r["delta"], r["vf_transitions"], r["miss"], f"{r['power']:.2f}"] for r in rows],
+        title=f"Ablation: tolerance factor delta on m2 ({DURATION_S:.0f}s)",
+    )
+    record("ablation_tolerance", text)
+
+    by_delta = {r["delta"]: r for r in rows}
+    # A tighter tolerance reacts more -> strictly more V-F transitions
+    # than the loosest setting (the thermal-cycling cost the paper warns
+    # about).
+    assert by_delta[0.05]["vf_transitions"] > by_delta[0.30]["vf_transitions"]

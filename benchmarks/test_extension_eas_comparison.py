@@ -1,0 +1,69 @@
+"""Extension: how does PPM fare against what Linux ships today?
+
+The paper's baselines (HPM, HL) predate mainline energy-aware scheduling;
+the novelty of market-based management is precisely that mainstream OSS
+went the EAS/schedutil way instead.  This extension experiment adds the
+EAS baseline to the comparative sweep on one light, one medium and one
+heavy set.
+
+Expected shape: EAS is a strong power manager (schedutil tracks load
+tightly) but has no QoS concept, so on contended sets the heartbeat
+ranges suffer relative to PPM.
+"""
+
+import pytest
+
+from repro.experiments.harness import run_system
+from repro.experiments.reporting import format_table
+from repro.governors import EASGovernor
+from repro.core import PPMGovernor
+from repro.tasks import build_workload
+
+WORKLOADS = ("l1", "m2", "h3")
+DURATION_S = 90.0
+WARMUP_S = 30.0
+
+
+def _run(workload, governor, name):
+    return run_system(
+        build_workload(workload),
+        governor,
+        duration_s=DURATION_S,
+        warmup_s=WARMUP_S,
+        governor_name=name,
+        workload_name=workload,
+    )
+
+
+def _sweep():
+    rows = []
+    for workload in WORKLOADS:
+        rows.append(_run(workload, PPMGovernor(), "PPM"))
+        rows.append(_run(workload, EASGovernor(), "EAS"))
+    return rows
+
+
+def test_extension_eas_comparison(benchmark, record):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["workload", "governor", "miss", "mean miss", "power [W]", "inter-migrations"],
+        [
+            [r.workload, r.governor, f"{r.miss_fraction:.3f}",
+             f"{r.mean_miss_fraction:.3f}", f"{r.average_power_w:.2f}",
+             r.inter_migrations]
+            for r in rows
+        ],
+        title="Extension: PPM vs EAS/schedutil (the modern-Linux policy)",
+    )
+    record("extension_eas_comparison", text)
+
+    by_key = {(r.workload, r.governor): r for r in rows}
+    # On the heavy set, QoS-blind EAS misses more than the market.
+    assert (
+        by_key[("h3", "PPM")].miss_fraction
+        <= by_key[("h3", "EAS")].miss_fraction + 0.05
+    )
+    # Both are competent power managers on the light set (within 30%).
+    light_ppm = by_key[("l1", "PPM")].average_power_w
+    light_eas = by_key[("l1", "EAS")].average_power_w
+    assert abs(light_ppm - light_eas) / max(light_ppm, light_eas) < 0.5

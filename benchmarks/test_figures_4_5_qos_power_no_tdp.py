@@ -1,0 +1,60 @@
+"""Benchmarks regenerating Figures 4 and 5: the unconstrained comparative
+study of PPM vs HPM vs HL over the nine workload sets.
+
+Reproduced shape (paper section 5.3):
+
+* Figure 4: PPM misses least on medium/heavy sets; HL degrades sharply
+  with intensity.
+* Figure 5: HL burns far more power than PPM and HPM (paper: 5.99 W vs
+  3.43 W vs 2.96 W); PPM is the most frugal or close to it.
+
+Both figures come from the same sweep, as in the paper; Figure 4's
+benchmark carries the cost and Figure 5 renders from the cached result.
+"""
+
+import pytest
+
+from repro.experiments import figure4, figure5, run_comparative
+
+DURATION_S = 120.0
+WARMUP_S = 30.0
+
+_cache = {}
+
+
+def _sweep():
+    result = run_comparative(duration_s=DURATION_S, warmup_s=WARMUP_S)
+    _cache["no_tdp"] = result
+    return result
+
+
+def test_figure4_qos_no_tdp(benchmark, record):
+    result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    _, text = figure4(result=result)
+    record("figure4_qos_no_tdp", text)
+
+    miss = result.miss_table()
+    heavy = ("h1", "h2", "h3")
+    medium_heavy = ("m1", "m2", "m3") + heavy
+    ppm = sum(miss["PPM"][w] for w in medium_heavy)
+    hpm = sum(miss["HPM"][w] for w in medium_heavy)
+    hl = sum(miss["HL"][w] for w in medium_heavy)
+    # PPM outperforms both baselines on medium+heavy aggregate QoS.
+    assert ppm < hpm
+    assert ppm < hl
+    # HL collapses on the heavy sets.
+    assert sum(miss["HL"][w] for w in heavy) / 3 > 0.5
+
+
+def test_figure5_power_no_tdp(benchmark, record):
+    result = _cache.get("no_tdp") or _sweep()
+    _, text = benchmark.pedantic(
+        lambda: figure5(result=result), rounds=1, iterations=1
+    )
+    record("figure5_power_no_tdp", text)
+
+    # HL's ondemand + eager big usage burns far more than the others.
+    assert result.mean_power("HL") > result.mean_power("PPM") + 0.5
+    assert result.mean_power("HL") > result.mean_power("HPM") + 0.5
+    # PPM does not pay more power than HPM for its better QoS.
+    assert result.mean_power("PPM") <= result.mean_power("HPM") + 0.3

@@ -1,0 +1,40 @@
+"""Benchmark regenerating Table 7: LBT overhead scaling.
+
+The constrained-core emulation over the paper's configurations, up to 256
+clusters x 16 cores x 32 tasks per core (131,072 tasks).  Absolute
+milliseconds are machine-dependent (the paper times optimised C on a
+350 MHz Cortex-A7); the reproduced properties are the ``T x V`` growth
+shape and the order of magnitude relative to the 190 ms interval.
+"""
+
+import pytest
+
+from repro.experiments import measure_overhead, table7
+
+
+def test_table7_scalability(benchmark, record):
+    points, text = benchmark.pedantic(
+        table7, kwargs={"invocations": 5}, rounds=1, iterations=1
+    )
+    record("table7_scalability", text)
+
+    by_config = {(p.clusters, p.cores_per_cluster, p.tasks_per_core): p for p in points}
+    # Overhead grows with tasks per core at fixed topology...
+    assert (
+        by_config[(256, 16, 32)].avg_overhead_ms
+        > by_config[(256, 16, 8)].avg_overhead_ms
+    )
+    # ...and with cluster count at fixed tasks.
+    assert (
+        by_config[(256, 8, 32)].avg_overhead_ms
+        > by_config[(16, 8, 32)].avg_overhead_ms
+    )
+    # Even the 131,072-task configuration stays a small fraction of the
+    # 190 ms migration interval (the paper reports 11.4 ms / 6%).
+    assert by_config[(256, 16, 32)].avg_overhead_pct < 25.0
+
+
+def test_table7_single_point_timing(benchmark):
+    """A repeatable micro-benchmark of one mid-size configuration."""
+    point = benchmark(measure_overhead, 16, 8, 32, 3, 42)
+    assert point.total_tasks == 4096

@@ -1,0 +1,40 @@
+"""Benchmarks regenerating the paper's running examples (Tables 1-4).
+
+These are exact reproductions: Table 1/2 match the paper cell-for-cell,
+Table 3 reaches the paper's stable point (threshold state, 500 PUs,
+priorities honoured), Table 4 reproduces the demand conversions.
+"""
+
+import pytest
+
+from repro.experiments import table1, table2, table3, table4
+
+
+def test_table1_task_core_dynamics(benchmark, record):
+    scenario, text = benchmark.pedantic(table1, rounds=1, iterations=1)
+    record("table1_task_core_dynamics", text)
+    assert scenario.rows[1].supplies["ta"] == pytest.approx(200.0)
+    assert scenario.rows[1].supplies["tb"] == pytest.approx(100.0)
+
+
+def test_table2_cluster_dynamics(benchmark, record):
+    scenario, text = benchmark.pedantic(table2, rounds=1, iterations=1)
+    record("table2_cluster_dynamics", text)
+    assert scenario.rows[3].core_supply == 400.0
+    assert scenario.rows[3].supplies["ta"] == pytest.approx(300.0)
+
+
+def test_table3_chip_dynamics(benchmark, record):
+    scenario, text = benchmark.pedantic(
+        table3, kwargs={"rounds": 40}, rounds=1, iterations=1
+    )
+    record("table3_chip_dynamics", text)
+    final = scenario.rows[-1]
+    assert final.state == "threshold"
+    assert final.core_supply == 500.0
+
+
+def test_table4_demand_conversion(benchmark, record):
+    text = benchmark.pedantic(table4, rounds=1, iterations=1)
+    record("table4_demand_conversion", text)
+    assert "900" in text and "675" in text

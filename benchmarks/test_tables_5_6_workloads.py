@@ -1,0 +1,66 @@
+"""Benchmark regenerating the workload definitions (Tables 5 and 6).
+
+Table 5 lists the benchmark suite; Table 6 the nine multiprogrammed sets
+with their intensity classification.  The reproduced property is the
+classification itself: l* <= 0 < m* <= 0.30 < h*.
+"""
+
+from repro.experiments.reporting import format_table
+from repro.hw import tc2_chip
+from repro.tasks import (
+    BENCHMARK_SPECS,
+    WORKLOAD_ORDER,
+    WORKLOAD_SETS,
+    build_workload,
+    classify_workload,
+    workload_intensity,
+)
+
+
+def _table5_text():
+    rows = [
+        [spec.name, spec.input_label, f"{spec.demand_a7_pus:.0f}",
+         f"{spec.speedup_a15:.2f}", f"{spec.nominal_hr:.0f}"]
+        for spec in BENCHMARK_SPECS.values()
+    ]
+    return format_table(
+        ["benchmark", "input", "A7 demand [PU]", "A15 speedup", "target hr [hb/s]"],
+        rows,
+        title="Table 5: benchmark suite (synthetic profiles)",
+    )
+
+
+def _table6_text():
+    chip = tc2_chip()
+    rows = []
+    for set_id in WORKLOAD_ORDER:
+        tasks = build_workload(set_id)
+        members = ", ".join(f"{n}_{c}" for n, c in WORKLOAD_SETS[set_id])
+        rows.append(
+            [
+                set_id,
+                classify_workload(tasks, chip),
+                f"{workload_intensity(tasks, chip):+.3f}",
+                members,
+            ]
+        )
+    return format_table(
+        ["set", "class", "intensity", "members"],
+        rows,
+        title="Table 6: workload sets and intensity classification",
+    )
+
+
+def test_table5_benchmark_suite(benchmark, record):
+    text = benchmark.pedantic(_table5_text, rounds=1, iterations=1)
+    record("table5_benchmarks", text)
+    assert "swaptions" in text
+
+
+def test_table6_workload_intensity(benchmark, record):
+    text = benchmark.pedantic(_table6_text, rounds=1, iterations=1)
+    record("table6_workload_intensity", text)
+    chip = tc2_chip()
+    for set_id in WORKLOAD_ORDER:
+        expected = {"l": "light", "m": "medium", "h": "heavy"}[set_id[0]]
+        assert classify_workload(build_workload(set_id), chip) == expected

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""A day in the life of a phone: tasks arriving and leaving.
+
+Launches a rolling mix of applications -- a persistent UI-ish task, a
+burst of video encoding, a background batch job -- and shows the market
+re-pricing, the LBT re-mapping and the clusters gating on and off as the
+population changes.  Also demonstrates the tracing API.
+"""
+
+from repro import PPMGovernor, SimConfig, Simulation, tc2_chip
+from repro.sim import attach_tracer
+from repro.tasks import make_task
+
+
+def main() -> None:
+    tasks = [
+        # A persistent light task (the "UI").
+        make_task("multicnt", "v", priority=5, task_name="ui"),
+        # A heavy video encode that arrives at t=10 and runs 25 s.
+        make_task("x264", "n", priority=2, task_name="encode",
+                  start_time=10.0, duration=25.0),
+        # Two batch jobs arriving later, one short, one long.
+        make_task("blackscholes", "n", priority=1, task_name="batch_a",
+                  start_time=20.0, duration=30.0),
+        make_task("swaptions", "n", priority=1, task_name="batch_b",
+                  start_time=30.0, duration=25.0),
+    ]
+    chip = tc2_chip()
+    governor = PPMGovernor()
+    sim = Simulation(chip, tasks, governor, config=SimConfig(metrics_warmup_s=2.0))
+    tracer = attach_tracer(sim)
+
+    print(f"{'t':>4} {'alive':>5} {'little':>7} {'big':>5} {'W':>5}  placements")
+    for _ in range(14):
+        sim.run(5.0)
+        alive = sim.active_tasks()
+        little, big = chip.cluster("little"), chip.cluster("big")
+        # A task whose start time coincides with the snapshot is placed
+        # on the next tick; show it as pending.
+        placements = {
+            t.name: (core.core_id if (core := sim.placement.core_of(t)) else "...")
+            for t in alive
+        }
+        print(
+            f"{sim.now:4.0f} {len(alive):5d} "
+            f"{little.frequency_mhz if little.powered else 0:7.0f} "
+            f"{big.frequency_mhz if big.powered else 0:5.0f} "
+            f"{sim.last_power_sample().chip_power_w:5.2f}  {placements}"
+        )
+
+    print("\nevent counts from the tracer:")
+    for kind in ("dvfs", "migration", "power_gate"):
+        print(f"  {kind:11s}: {tracer.count(kind)}")
+    migrations = tracer.events(kind="migration")
+    if migrations:
+        last = migrations[-1]
+        print(
+            f"  last migration: {last.subject} "
+            f"{last.detail['source']} -> {last.detail['destination']} "
+            f"at t={last.time_s:.1f}s"
+        )
+    print(f"\nui task below its range {sim.metrics.task_below_fraction('ui') * 100:.1f}% of time")
+
+
+if __name__ == "__main__":
+    main()

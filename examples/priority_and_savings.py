@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The market's two signature behaviours: priorities and savings.
+
+Re-runs compact versions of the paper's Figures 7 and 8:
+
+1. Two demanding tasks share one core.  Raising one task's priority to 7
+   shifts virtually all QoS misses onto the other task.
+2. A bursty encoder banks its allowance during a dormant phase and spends
+   the hoard to outbid a steady task when its active phase hits -- until
+   the wallet runs dry.
+"""
+
+from repro.experiments import run_priority_experiment, run_savings_experiment
+from repro.experiments.reporting import format_table, sparkline
+
+
+def priorities() -> None:
+    print("=== priorities (Figure 7) ===")
+    equal = run_priority_experiment(1, 1, duration_s=120.0)
+    prio = run_priority_experiment(7, 1, duration_s=120.0)
+    print(
+        format_table(
+            ["priorities (swaptions:bodytrack)", "swaptions outside", "bodytrack outside"],
+            [
+                ["1:1", f"{equal.swaptions_outside * 100:.1f}%", f"{equal.bodytrack_outside * 100:.1f}%"],
+                ["7:1", f"{prio.swaptions_outside * 100:.1f}%", f"{prio.bodytrack_outside * 100:.1f}%"],
+            ],
+        )
+    )
+    print("  7:1 swaptions hr:", sparkline(prio.series["swaptions_native"][1]))
+    print("  7:1 bodytrack hr:", sparkline(prio.series["bodytrack_native"][1]))
+
+
+def savings() -> None:
+    print("\n=== savings (Figure 8) ===")
+    result = run_savings_experiment(dormant_s=100.0, active_s=150.0, tail_s=50.0)
+    d = result.dormant_s
+    rows = [
+        ["dormant (banking)", f"{result.x264_normalized_hr(10, d):.2f}"],
+        ["active, hoard spending", f"{result.x264_normalized_hr(d + 2, d + 15):.2f}"],
+        ["active, hoard empty", f"{result.x264_normalized_hr(d + 90, d + 120):.2f}"],
+    ]
+    print(format_table(["x264 phase", "normalised heart rate"], rows))
+    print("  x264 heart rate:", sparkline(result.series["x264_native"][1]))
+    print("  x264 savings   :", sparkline(result.savings_series[1]))
+
+
+if __name__ == "__main__":
+    priorities()
+    savings()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: run the price-theory power manager on a big.LITTLE chip.
+
+Builds the TC2 chip model, loads the paper's m2 workload set (six
+heartbeat-instrumented benchmarks), runs the PPM governor for 60 simulated
+seconds and prints what happened.
+"""
+
+from repro import PPMGovernor, SimConfig, Simulation, build_workload, tc2_chip
+from repro.tasks import classify_workload, workload_intensity
+
+
+def main() -> None:
+    chip = tc2_chip()  # 2x Cortex-A15 (big) + 3x Cortex-A7 (LITTLE)
+    tasks = build_workload("m2")
+
+    print(f"chip: {chip}")
+    print(
+        f"workload m2: intensity {workload_intensity(tasks, chip):+.2f} "
+        f"({classify_workload(tasks, chip)})"
+    )
+    for task in tasks:
+        print(
+            f"  {task.name:20s} target {task.target_hr:5.1f} hb/s, "
+            f"A7 demand ~{task.profile.nominal_demand_pus('A7'):4.0f} PUs"
+        )
+
+    sim = Simulation(chip, tasks, PPMGovernor(), config=SimConfig(metrics_warmup_s=20.0))
+    metrics = sim.run(60.0)
+
+    print("\nafter 60 simulated seconds:")
+    print(f"  any-task QoS miss : {metrics.any_task_miss_fraction() * 100:5.1f}% of time")
+    print(f"  average chip power: {metrics.average_power_w():5.2f} W")
+    intra, inter = sim.migrations.counts()
+    print(f"  migrations        : {intra} within clusters, {inter} across")
+    for cluster in chip.clusters:
+        state = f"{cluster.frequency_mhz:.0f} MHz" if cluster.powered else "off"
+        mapped = [t.name for t in sim.placement.tasks_on_cluster(cluster)]
+        print(f"  {cluster.cluster_id:6s} cluster: {state:9s} tasks: {mapped}")
+    print("\nper-task outcome:")
+    for task in tasks:
+        print(
+            f"  {task.name:20s} hr {task.observed_heart_rate():6.1f} "
+            f"(range {task.hr_range.min_hr:.1f}-{task.hr_range.max_hr:.1f}), "
+            f"below-min {metrics.task_below_fraction(task.name) * 100:4.1f}% of time"
+        )
+
+
+if __name__ == "__main__":
+    main()

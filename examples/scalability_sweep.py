@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""How far does the distributed market scale?  (Table 7's question.)
+
+Emulates the constrained core of ever-larger systems -- up to 256
+clusters x 16 cores x 32 tasks per core -- and measures the time one
+core spends per 190 ms migration interval on its market bookkeeping and
+LBT speculation.  Also runs a real (small) many-cluster simulation on a
+synthetic chip to show the framework is not TC2-specific.
+"""
+
+from repro import PPMGovernor, SimConfig, Simulation, synthetic_chip
+from repro.experiments import measure_overhead
+from repro.experiments.reporting import format_table
+from repro.tasks import random_tasks
+
+
+def emulated_sweep() -> None:
+    print("=== constrained-core overhead emulation (Table 7) ===")
+    rows = []
+    for v, c, t in [(2, 4, 8), (16, 8, 32), (64, 16, 32), (256, 16, 32)]:
+        point = measure_overhead(v, c, t, invocations=3)
+        rows.append(
+            [v, c, t, point.total_tasks, f"{point.avg_overhead_ms:.2f}",
+             f"{point.avg_overhead_pct:.2f}%"]
+        )
+    print(
+        format_table(
+            ["clusters", "cores/cluster", "tasks/core", "total tasks",
+             "overhead [ms]", "of 190 ms"],
+            rows,
+        )
+    )
+
+
+def real_many_cluster_run() -> None:
+    print("\n=== PPM on a synthetic 6-cluster chip ===")
+    chip = synthetic_chip(n_clusters=6, cores_per_cluster=2, seed=7)
+    tasks = random_tasks(18, seed=11, demand_range=(40.0, 260.0))
+    sim = Simulation(chip, tasks, PPMGovernor(), config=SimConfig(metrics_warmup_s=5.0))
+    metrics = sim.run(20.0)
+    print(f"tasks: {len(tasks)} random, clusters: {len(chip.clusters)}")
+    print(f"any-task miss: {metrics.any_task_miss_fraction() * 100:.1f}%")
+    print(f"avg power   : {metrics.average_power_w():.2f} W")
+    for cluster in chip.clusters:
+        n = len(sim.placement.tasks_on_cluster(cluster))
+        state = f"{cluster.frequency_mhz:5.0f} MHz" if cluster.powered else "  off   "
+        print(f"  {cluster.cluster_id:4s} [{state}] {n} tasks")
+
+
+if __name__ == "__main__":
+    emulated_sweep()
+    real_many_cluster_run()

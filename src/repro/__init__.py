@@ -1,0 +1,52 @@
+"""repro: price-theory based power management for heterogeneous multi-cores.
+
+A full-system reproduction of Muthukaruppan, Pathania & Mitra (ASPLOS
+2014).  The package splits into:
+
+* :mod:`repro.hw` -- the simulated big.LITTLE hardware substrate;
+* :mod:`repro.tasks` -- heartbeat-instrumented benchmark and workload models;
+* :mod:`repro.sim` -- the discrete-time OS/scheduler simulator;
+* :mod:`repro.core` -- the price-theory framework (PPM), the contribution;
+* :mod:`repro.governors` -- PPM plus the HPM and HL baselines;
+* :mod:`repro.experiments` -- harnesses regenerating every table & figure.
+
+Quickstart::
+
+    from repro import tc2_chip, build_workload, Simulation, PPMGovernor
+
+    chip = tc2_chip()
+    tasks = build_workload("m2")
+    sim = Simulation(chip, tasks, PPMGovernor())
+    metrics = sim.run(30.0)
+    print(metrics.any_task_miss_fraction(), metrics.average_power_w())
+"""
+
+from .core import MarketConfig, PPMConfig, PPMGovernor
+from .governors import HLGovernor, HPMGovernor, MaxFrequencyGovernor, OndemandGovernor
+from .hw import TC2_CAPPED_TDP_W, TC2_TDP_W, Chip, synthetic_chip, tc2_chip
+from .sim import SimConfig, Simulation
+from .tasks import Task, build_workload, make_task, workload_intensity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Chip",
+    "HLGovernor",
+    "HPMGovernor",
+    "MarketConfig",
+    "MaxFrequencyGovernor",
+    "OndemandGovernor",
+    "PPMConfig",
+    "PPMGovernor",
+    "SimConfig",
+    "Simulation",
+    "TC2_CAPPED_TDP_W",
+    "TC2_TDP_W",
+    "Task",
+    "__version__",
+    "build_workload",
+    "make_task",
+    "synthetic_chip",
+    "tc2_chip",
+    "workload_intensity",
+]

@@ -1,0 +1,29 @@
+"""Post-processing: statistics and structured export of results."""
+
+from .export import (
+    comparative_to_csv,
+    comparative_to_json,
+    comparative_to_records,
+    run_result_to_dict,
+    write_comparative,
+)
+from .stats import (
+    Summary,
+    dominance_count,
+    pairwise_improvements,
+    relative_improvement,
+    summarize,
+)
+
+__all__ = [
+    "Summary",
+    "comparative_to_csv",
+    "comparative_to_json",
+    "comparative_to_records",
+    "dominance_count",
+    "pairwise_improvements",
+    "relative_improvement",
+    "run_result_to_dict",
+    "summarize",
+    "write_comparative",
+]

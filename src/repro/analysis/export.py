@@ -1,0 +1,85 @@
+"""Exporting experiment results to portable formats (dict/JSON/CSV).
+
+The text tables in :mod:`repro.experiments.reporting` are for terminals;
+downstream analysis (plotting the figures properly, aggregating across
+machines) wants structured data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+from ..experiments.comparative import ComparativeResult
+from ..experiments.harness import RunResult
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, object]:
+    """Flatten one run into JSON-ready primitives."""
+    return {
+        "governor": result.governor,
+        "workload": result.workload,
+        "duration_s": result.duration_s,
+        "miss_fraction": result.miss_fraction,
+        "mean_miss_fraction": result.mean_miss_fraction,
+        "average_power_w": result.average_power_w,
+        "peak_power_w": result.peak_power_w,
+        "intra_migrations": result.intra_migrations,
+        "inter_migrations": result.inter_migrations,
+        "per_task_below": dict(result.per_task_below),
+        "per_task_outside": dict(result.per_task_outside),
+    }
+
+
+def comparative_to_records(result: ComparativeResult) -> List[Dict[str, object]]:
+    """One flat record per (governor, workload) cell."""
+    records = []
+    for governor, by_workload in result.runs.items():
+        for workload, run in by_workload.items():
+            record = run_result_to_dict(run)
+            record["power_cap_w"] = result.power_cap_w
+            records.append(record)
+    return records
+
+
+def comparative_to_json(result: ComparativeResult, indent: int = 2) -> str:
+    return json.dumps(comparative_to_records(result), indent=indent, sort_keys=True)
+
+
+_CSV_FIELDS = [
+    "governor",
+    "workload",
+    "power_cap_w",
+    "duration_s",
+    "miss_fraction",
+    "mean_miss_fraction",
+    "average_power_w",
+    "peak_power_w",
+    "intra_migrations",
+    "inter_migrations",
+]
+
+
+def comparative_to_csv(result: ComparativeResult) -> str:
+    """CSV with one row per (governor, workload); per-task maps omitted."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_CSV_FIELDS, extrasaction="ignore")
+    writer.writeheader()
+    for record in comparative_to_records(result):
+        writer.writerow(record)
+    return buffer.getvalue()
+
+
+def write_comparative(result: ComparativeResult, path: str) -> str:
+    """Write JSON or CSV depending on the file extension; returns path."""
+    if path.endswith(".json"):
+        payload = comparative_to_json(result)
+    elif path.endswith(".csv"):
+        payload = comparative_to_csv(result)
+    else:
+        raise ValueError("path must end in .json or .csv")
+    with open(path, "w") as handle:
+        handle.write(payload)
+    return path

@@ -1,0 +1,98 @@
+"""Small statistics helpers for experiment results.
+
+Simulation runs are deterministic given a configuration, but experiments
+sweep configurations (workloads, seeds for synthetic chips, parameter
+ablations); these helpers summarise such collections without dragging in
+heavyweight dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one sample of measurements."""
+
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def stderr(self) -> float:
+        return self.stdev / math.sqrt(self.n) if self.n > 0 else 0.0
+
+    def confidence95(self) -> Tuple[float, float]:
+        """Normal-approximation 95% interval around the mean."""
+        half = 1.96 * self.stderr
+        return (self.mean - half, self.mean + half)
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    data = list(values)
+    if not data:
+        raise ValueError("cannot summarise an empty sample")
+    n = len(data)
+    mean = sum(data) / n
+    if n > 1:
+        variance = sum((x - mean) ** 2 for x in data) / (n - 1)
+    else:
+        variance = 0.0
+    return Summary(
+        n=n, mean=mean, stdev=math.sqrt(variance), minimum=min(data), maximum=max(data)
+    )
+
+
+def relative_improvement(baseline: float, ours: float) -> float:
+    """Fractional reduction of ``ours`` relative to ``baseline``.
+
+    The paper's "34% improvement over HPM" metric: positive when ours is
+    smaller.  A zero baseline with a zero measurement counts as no
+    improvement; a zero baseline otherwise is undefined and raises.
+    """
+    if baseline == 0.0:
+        if ours == 0.0:
+            return 0.0
+        raise ValueError("relative improvement undefined for zero baseline")
+    return (baseline - ours) / baseline
+
+
+def pairwise_improvements(
+    metric_by_governor: Dict[str, Sequence[float]], ours: str = "PPM"
+) -> Dict[str, float]:
+    """Mean relative improvement of ``ours`` over every other governor.
+
+    Expects each governor's per-workload metric vector (same ordering).
+    """
+    if ours not in metric_by_governor:
+        raise KeyError(f"{ours!r} missing from results")
+    our_mean = summarize(metric_by_governor[ours]).mean
+    improvements: Dict[str, float] = {}
+    for governor, values in metric_by_governor.items():
+        if governor == ours:
+            continue
+        improvements[governor] = relative_improvement(
+            summarize(values).mean, our_mean
+        )
+    return improvements
+
+
+def dominance_count(
+    metric_by_governor: Dict[str, Sequence[float]], ours: str = "PPM"
+) -> Dict[str, int]:
+    """Per-baseline count of workloads where ``ours`` is strictly better
+    (smaller metric)."""
+    our_values = metric_by_governor[ours]
+    counts: Dict[str, int] = {}
+    for governor, values in metric_by_governor.items():
+        if governor == ours:
+            continue
+        if len(values) != len(our_values):
+            raise ValueError("metric vectors must align")
+        counts[governor] = sum(1 for a, b in zip(our_values, values) if a < b)
+    return counts

@@ -1,0 +1,63 @@
+"""The paper's contribution: price-theory based power management (PPM).
+
+A virtual marketplace trades Processing Units for virtual money: task
+agents bid, core agents discover prices, cluster agents cancel inflation
+and deflation with DVFS, and the chip agent controls the money supply to
+respect the TDP.  The LBT module improves the task-to-core mapping through
+load balancing and cross-cluster migration driven by steady-state
+``perf``/``spend`` estimation.
+"""
+
+from .agents import (
+    ChipAgent,
+    ChipPowerState,
+    ClusterAgent,
+    ClusterFreeze,
+    CoreAgent,
+    TaskAgent,
+    distribute_allowance,
+)
+from .config import MarketConfig, PPMConfig
+from .estimation import (
+    MappingEstimate,
+    SteadyStateEstimator,
+    perf_equal,
+    perf_improves,
+    perf_not_worse,
+)
+from .framework import PPMGovernor
+from .lbt import LBTModule, MoveDecision
+from .market import Market, MarketObservations, RoundResult
+from .money import Wallet
+from .audit import AuditReport, MarketAuditor, MarketInvariantError, audited_round
+from .telemetry import MarketRecorder, MarketSnapshot
+
+__all__ = [
+    "AuditReport",
+    "ChipAgent",
+    "ChipPowerState",
+    "ClusterAgent",
+    "ClusterFreeze",
+    "CoreAgent",
+    "LBTModule",
+    "MappingEstimate",
+    "MarketAuditor",
+    "MarketInvariantError",
+    "MarketRecorder",
+    "MarketSnapshot",
+    "Market",
+    "MarketConfig",
+    "MarketObservations",
+    "MoveDecision",
+    "PPMConfig",
+    "PPMGovernor",
+    "RoundResult",
+    "SteadyStateEstimator",
+    "TaskAgent",
+    "Wallet",
+    "audited_round",
+    "distribute_allowance",
+    "perf_equal",
+    "perf_improves",
+    "perf_not_worse",
+]

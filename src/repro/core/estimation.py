@@ -1,0 +1,275 @@
+"""Steady-state estimation of candidate task mappings (paper section 3.3).
+
+Before moving a task, the LBT module predicts what the market would look
+like *after* the move settles: per-task demand (from the off-line profile
+when the core type changes), supply (demand-limited, or priority-
+proportional when the cluster saturates), price (Equation 2's recursion
+``P_{Z+1} = P_Z + P_Z * delta`` per V-F level), and from those the two
+comparison metrics:
+
+* ``perf(M)`` -- the priority-lexicographic ordering over supply/demand
+  ratios, and
+* ``spend(M)`` -- the aggregate steady-state bids, a proxy for power.
+
+A candidate mapping is always compared against the current mapping
+*evaluated over the same set of affected clusters*: bids and ratios of
+untouched clusters are identical in both mappings and cancel out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from .market import Market
+
+#: demand estimator: (task_id, cluster_id) -> steady-state demand in PUs.
+DemandLookup = Callable[[str, str], float]
+
+_EPS = 1e-9
+
+
+@dataclass
+class MappingEstimate:
+    """Predicted steady state for one (possibly hypothetical) mapping."""
+
+    ratios: Dict[str, float]  #: capped supply/demand ratio per affected task
+    bids: Dict[str, float]  #: steady-state bid per affected task
+    levels: Dict[str, int]  #: required V-F level per affected cluster
+    spend: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.spend = sum(self.bids.values())
+
+    @property
+    def all_satisfied(self) -> bool:
+        return all(r >= 1.0 - _EPS for r in self.ratios.values())
+
+    def unsatisfied_tasks(self) -> List[str]:
+        return [t for t, r in self.ratios.items() if r < 1.0 - _EPS]
+
+
+def perf_improves(
+    current: Dict[str, float],
+    candidate: Dict[str, float],
+    priorities: Dict[str, int],
+) -> bool:
+    """``perf(M') > perf(M)`` per the paper's definition.
+
+    True iff some task's supply/demand ratio improves while every task of
+    strictly higher priority keeps a ratio at least as good.
+    """
+    for task_id, new_ratio in candidate.items():
+        if new_ratio > current.get(task_id, 0.0) + _EPS:
+            if all(
+                candidate[other] >= current.get(other, 0.0) - _EPS
+                for other, prio in priorities.items()
+                if other in candidate and prio > priorities[task_id]
+            ):
+                return True
+    return False
+
+
+def perf_equal(current: Dict[str, float], candidate: Dict[str, float]) -> bool:
+    return set(current) == set(candidate) and all(
+        abs(candidate[t] - current[t]) <= _EPS for t in current
+    )
+
+
+def perf_not_worse(
+    current: Dict[str, float],
+    candidate: Dict[str, float],
+    priorities: Dict[str, int],
+) -> bool:
+    """``perf(M') >= perf(M)``: strictly better or equal."""
+    return perf_equal(current, candidate) or perf_improves(
+        current, candidate, priorities
+    )
+
+
+#: energy model: (cluster_id, level_index) -> watts per PU at full load.
+EnergyCostLookup = Callable[[str, int], float]
+
+
+class SteadyStateEstimator:
+    """Evaluates hypothetical mappings against the live market state.
+
+    Args:
+        market: The live market.
+        demand_lookup: Cross-core-type demand estimator (off-line profile).
+        energy_cost_lookup: Optional watts-per-PU model per cluster and
+            V-F level.  When present, estimated prices are weighted by the
+            cluster's energy cost so that ``spend`` comparisons reflect
+            the heterogeneity ("migration of the tasks to the most
+            efficient cluster").  On the real platform the chip agent's
+            inverse-power allowance distribution pushes market prices
+            toward exactly this shape; the simulator encodes the
+            steady-state result directly (documented substitution).
+    """
+
+    def __init__(
+        self,
+        market: Market,
+        demand_lookup: DemandLookup,
+        energy_cost_lookup: Optional[EnergyCostLookup] = None,
+    ):
+        self._market = market
+        self._demand = demand_lookup
+        self._energy_cost = energy_cost_lookup
+
+    @property
+    def energy_aware(self) -> bool:
+        """Whether spend estimates reflect per-cluster energy costs."""
+        return self._energy_cost is not None
+
+    # -- price estimation -----------------------------------------------------
+    def _average_price_per_pu(self) -> float:
+        """Market-wide average price, the fallback for priceless clusters."""
+        total_bids = sum(agent.bid for agent in self._market.tasks.values())
+        total_supply = sum(
+            cluster.supply
+            for cluster in self._market.clusters.values()
+            if self._market.tasks_on_cluster(cluster.cluster_id)
+        )
+        if total_supply <= 0.0:
+            return self._market.config.bmin
+        return total_bids / total_supply
+
+    def estimate_price(self, cluster_id: str, target_level: int) -> float:
+        """Steady-state price per PU on ``cluster_id`` at ``target_level``.
+
+        With an energy model: the chip-wide average price re-weighted by
+        the cluster's watts-per-PU at the target level, relative to the
+        chip's mean energy cost -- the price structure the allowance
+        feedback converges to on real hardware.
+
+        Without one (stand-alone market tests, synthetic chips): Equation
+        2's recursion from the current price -- moving up one V-F level
+        inflates the price by the tolerance factor (``P_{Z+1} = P_Z + P_Z
+        * delta``), moving down deflates it symmetrically.
+        """
+        cluster = self._market.clusters[cluster_id]
+        if self._energy_cost is not None:
+            avg_price = self._average_price_per_pu()
+            mean_cost = self._mean_energy_cost()
+            cost = self._energy_cost(cluster_id, target_level)
+            if mean_cost > 0.0 and cost > 0.0:
+                return max(avg_price * cost / mean_cost, 0.0)
+        constrained = self._market.constrained_core(cluster_id)
+        if constrained is not None and constrained.price > 0.0:
+            price = constrained.price
+        else:
+            price = self._average_price_per_pu()
+        delta = self._market.config.tolerance
+        steps = target_level - cluster.level_index
+        if steps >= 0:
+            price *= (1.0 + delta) ** steps
+        else:
+            price *= (1.0 - delta) ** (-steps)
+        return max(price, 0.0)
+
+    def _mean_energy_cost(self) -> float:
+        """Mean watts-per-PU across clusters at their current levels."""
+        assert self._energy_cost is not None
+        costs = [
+            self._energy_cost(cluster_id, cluster.level_index)
+            for cluster_id, cluster in self._market.clusters.items()
+        ]
+        costs = [c for c in costs if c > 0.0]
+        if not costs:
+            return 0.0
+        return sum(costs) / len(costs)
+
+    # -- mapping evaluation -----------------------------------------------------
+    def evaluate_current(
+        self, cluster_ids: Optional[Iterable[str]] = None
+    ) -> MappingEstimate:
+        """Steady-state estimate of the mapping as it stands."""
+        if cluster_ids is None:
+            cluster_ids = [
+                cid
+                for cid in self._market.clusters
+                if self._market.tasks_on_cluster(cid)
+            ]
+        return self._evaluate(set(cluster_ids), moves={})
+
+    def evaluate_move(
+        self, task_id: str, core_id: str
+    ) -> Tuple[MappingEstimate, MappingEstimate]:
+        """(current, candidate) estimates for moving one task.
+
+        Both estimates cover exactly the source and destination clusters,
+        so their ``spend`` and ``ratios`` are directly comparable.
+        """
+        market = self._market
+        if task_id not in market.tasks:
+            raise KeyError(f"unknown task {task_id}")
+        if core_id not in market.cores:
+            raise KeyError(f"unknown core {core_id}")
+        affected = {
+            market.cores[market.core_of(task_id)].cluster_id,
+            market.cores[core_id].cluster_id,
+        }
+        current = self._evaluate(affected, moves={})
+        candidate = self._evaluate(affected, moves={task_id: core_id})
+        return current, candidate
+
+    def _evaluate(
+        self, affected_clusters: Set[str], moves: Dict[str, str]
+    ) -> MappingEstimate:
+        market = self._market
+        # Hypothetical placement restricted to the affected clusters.
+        placement: Dict[str, str] = {}
+        for cluster_id in affected_clusters:
+            for core_id in market.clusters[cluster_id].core_ids:
+                for agent in market.tasks_on_core(core_id):
+                    placement[agent.task_id] = core_id
+        placement.update(moves)
+
+        ratios: Dict[str, float] = {}
+        bids: Dict[str, float] = {}
+        levels: Dict[str, int] = {}
+        for cluster_id in affected_clusters:
+            cluster = market.clusters[cluster_id]
+            core_tasks: Dict[str, List[str]] = {cid: [] for cid in cluster.core_ids}
+            for task_id, core_id in placement.items():
+                if core_id in core_tasks:
+                    core_tasks[core_id].append(task_id)
+
+            core_demands = {
+                core_id: sum(self._demand(t, cluster_id) for t in tids)
+                for core_id, tids in core_tasks.items()
+            }
+            cluster_demand = max(core_demands.values(), default=0.0)
+            if cluster_demand <= 0.0:
+                levels[cluster_id] = 0
+                continue
+            # Round demand up to the next supply value (section 3.2.4).
+            target_level = cluster.max_index
+            for index, supply in enumerate(cluster.supply_ladder):
+                if supply >= cluster_demand - _EPS:
+                    target_level = index
+                    break
+            levels[cluster_id] = target_level
+            price = self.estimate_price(cluster_id, target_level)
+
+            for core_id, tids in core_tasks.items():
+                if not tids:
+                    continue
+                core_supply = cluster.supply_ladder[target_level]
+                core_saturated = core_demands[core_id] > core_supply + _EPS
+                priority_sum = sum(market.tasks[t].priority for t in tids)
+                for task_id in tids:
+                    demand = self._demand(task_id, cluster_id)
+                    if not core_saturated:
+                        supply = demand
+                    else:
+                        # Priority-proportional split of the saturated core.
+                        supply = core_supply * market.tasks[task_id].priority / priority_sum
+                        if demand > 0.0:
+                            supply = min(supply, demand)
+                    ratios[task_id] = (
+                        min(1.0, supply / demand) if demand > 0.0 else 1.0
+                    )
+                    bids[task_id] = max(supply * price, market.config.bmin)
+        return MappingEstimate(ratios=ratios, bids=bids, levels=levels)

@@ -1,0 +1,287 @@
+"""PPM: the price-theory power-management governor.
+
+Adapts the abstract market (:mod:`repro.core.market`) and the LBT module
+onto the simulation engine, the way the paper's kernel modules sit between
+the agents and Linux:
+
+* every bid period (~31.7 ms) it converts observed heart rates to demands
+  (Table 4), runs one market round, applies the resulting allocations
+  (nice values in the paper) and DVFS requests (cpufreq);
+* every 3 bid rounds it runs load balancing and every 6 bid rounds task
+  migration (sched_setaffinity), skipping both in the emergency state;
+* clusters left without tasks are powered down by the engine's gating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.engine import Simulation
+from ..tasks.demand import demand_for_range
+from ..tasks.estimation import OnlineDemandEstimator
+from ..tasks.task import Task
+from .agents import ChipPowerState
+from .config import PPMConfig
+from .estimation import SteadyStateEstimator
+from .lbt import LBTModule, MoveDecision
+from .market import Market, MarketObservations, RoundResult
+
+
+class PPMGovernor:
+    """Price-theory based power manager (the paper's contribution)."""
+
+    def __init__(self, config: Optional[PPMConfig] = None):
+        self.config = config or PPMConfig()
+        self.market = Market(self.config.market)
+        self._chip = None
+        self.estimator: Optional[SteadyStateEstimator] = None
+        self.lbt: Optional[LBTModule] = None
+        self._tasks_by_id: Dict[str, Task] = {}
+        self._smoothed_demand: Dict[str, float] = {}
+        self._next_bid_time = 0.0
+        self._round_counter = 0
+        self._last_move_time: Dict[str, float] = {}
+        self.last_round: Optional[RoundResult] = None
+        self.moves_executed = 0
+        #: Future-work path: learned demands instead of off-line profiles.
+        self.online_estimator: Optional[OnlineDemandEstimator] = (
+            OnlineDemandEstimator() if self.config.online_estimation else None
+        )
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def prepare(self, sim: Simulation) -> None:
+        self._chip = sim.chip
+        for cluster in sim.chip.clusters:
+            self.market.add_cluster(
+                cluster_id=cluster.cluster_id,
+                core_ids=[core.core_id for core in cluster.cores],
+                supply_ladder=[
+                    level.supply_pus for level in cluster.vf_table.levels
+                ],
+            )
+        self.estimator = SteadyStateEstimator(
+            self.market, self._demand_on_cluster, self._energy_cost_per_pu
+        )
+        self.lbt = LBTModule(self.market, self.estimator)
+        self._sync_tasks(sim)
+
+    def on_tick(self, sim: Simulation) -> None:
+        if sim.now + 1e-9 < self._next_bid_time:
+            return
+        self._next_bid_time = sim.now + self.config.bid_period_s
+        self._sync_tasks(sim)
+        if not self.market.tasks:
+            return
+        result = self._run_market_round(sim)
+        self.last_round = result
+        self._round_counter += 1
+        # LBT is disabled in the emergency state: the immediate goal is to
+        # bring power under the TDP through the supply-demand module.
+        if result.chip_state is ChipPowerState.EMERGENCY or not self.config.lbt_enabled:
+            return
+        counter = self._round_counter
+        cooling = frozenset(
+            task_id
+            for task_id, moved_at in self._last_move_time.items()
+            if sim.now - moved_at < self.config.migration_cooldown_s
+        )
+        decision: Optional[MoveDecision] = None
+        if self.config.enable_migration and counter % self.config.migrate_every == 0:
+            decision = self.lbt.propose_migration(exclude_tasks=cooling)
+        elif (
+            self.config.enable_load_balancing
+            and counter % self.config.load_balance_every == 0
+        ):
+            decision = self.lbt.propose_load_balance(exclude_tasks=cooling)
+        if decision is not None:
+            self._execute_move(sim, decision)
+
+    # ------------------------------------------------------------------
+    # Market round plumbing
+    # ------------------------------------------------------------------
+    def _sync_tasks(self, sim: Simulation) -> None:
+        """Mirror the engine's task population and placement in the market."""
+        active = {task.name: task for task in sim.active_tasks()}
+        for task_id in list(self.market.tasks):
+            if task_id not in active:
+                self.market.remove_task(task_id)
+                task = self._tasks_by_id.pop(task_id, None)
+                if task is not None:
+                    sim.clear_allocation(task)
+                self._smoothed_demand.pop(task_id, None)
+        for task_id, task in active.items():
+            core = sim.placement.core_of(task)
+            if core is None:
+                continue
+            if task_id not in self.market.tasks:
+                self.market.add_task(task_id, task.priority, core.core_id)
+                self._tasks_by_id[task_id] = task
+            elif self.market.core_of(task_id) != core.core_id:
+                self.market.move_task(task_id, core.core_id)
+
+    def _demand_of(self, sim: Simulation, task: Task) -> float:
+        """Table 4 conversion with off-line-profile bootstrap and smoothing."""
+        core = sim.placement.core_of(task)
+        assert core is not None
+        core_type = core.cluster.core_type
+        fallback = task.profile.nominal_demand_pus(core_type)
+        supply = task.last_consumed_pus or task.last_supply_pus
+        demand = demand_for_range(
+            task.hr_range, supply, task.observed_heart_rate(), fallback_pus=fallback
+        )
+        demand *= self.config.market.demand_headroom
+        cap = self.config.market.demand_cap_factor * max(
+            cluster.max_supply_pus for cluster in sim.chip.clusters
+        )
+        demand = min(max(demand, 1.0), cap)
+        previous = self._smoothed_demand.get(task.name)
+        if previous is not None:
+            # Asymmetric EWMA with a small deadband: follow demand rises
+            # quickly (a lagging supply is a QoS miss) but damp falls and
+            # jitter, which otherwise cause V-F hunting (the thermal-
+            # cycling concern of section 3.2.2).
+            if demand > previous:
+                demand = 0.4 * previous + 0.6 * demand
+            elif previous - demand < 0.04 * previous:
+                # Deadband on the *raw* change -- applying it after the
+                # EWMA would freeze any slow decline permanently.
+                demand = previous
+            else:
+                demand = 0.75 * previous + 0.25 * demand
+        self._smoothed_demand[task.name] = demand
+        return demand
+
+    def _run_market_round(self, sim: Simulation) -> RoundResult:
+        sample = sim.last_power_sample()
+        if sample is None:
+            sample = sim.sensor.sample()
+        demands = {
+            task_id: self._demand_of(sim, task)
+            for task_id, task in self._tasks_by_id.items()
+        }
+        if self.online_estimator is not None:
+            for task_id, demand in demands.items():
+                task = self._tasks_by_id[task_id]
+                core = sim.placement.core_of(task)
+                if core is not None:
+                    self.online_estimator.observe(
+                        task_id, core.cluster.core_type, demand
+                    )
+        obs = MarketObservations(
+            demands=demands,
+            cluster_level={
+                c.cluster_id: c.level_index for c in sim.chip.clusters
+            },
+            cluster_in_transition={
+                c.cluster_id: c.regulator.in_transition for c in sim.chip.clusters
+            },
+            chip_power_w=sample.chip_power_w,
+            cluster_power_w=sample.cluster_power_w,
+        )
+        result = self.market.run_round(obs)
+        for task_id, allocation in result.allocations.items():
+            task = self._tasks_by_id.get(task_id)
+            if task is not None:
+                sim.set_allocation(task, allocation)
+        for cluster_id, level in result.level_requests.items():
+            sim.request_level(sim.chip.cluster(cluster_id), level)
+        return result
+
+    # ------------------------------------------------------------------
+    # LBT plumbing
+    # ------------------------------------------------------------------
+    def _demand_on_cluster(self, task_id: str, cluster_id: str) -> float:
+        """Steady-state demand of a task on a (possibly different) cluster.
+
+        On the task's current cluster this is the live market demand; on a
+        different core type it falls back to the off-line profile (the
+        paper obtains the same numbers by profiling on the board).
+        """
+        task = self._tasks_by_id.get(task_id)
+        agent = self.market.tasks.get(task_id)
+        if task is None or agent is None:
+            return 0.0
+        current_cluster = self.market.cores[self.market.core_of(task_id)].cluster_id
+        if cluster_id == current_cluster:
+            return agent.demand
+        if self.online_estimator is not None:
+            assert self._chip is not None
+            target = self._chip.cluster(cluster_id)
+            current = self._chip.cluster(current_cluster)
+            return self.online_estimator.estimate_demand(
+                task_id,
+                target_type=target.core_type,
+                current_type=current.core_type,
+                current_demand_pus=agent.demand,
+                target_is_faster=target.max_supply_pus > current.max_supply_pus,
+            )
+        try:
+            nominal = task.profile.nominal_demand_pus(
+                self._core_type_of_cluster(cluster_id)
+            )
+            nominal_here = task.profile.nominal_demand_pus(
+                self._core_type_of_cluster(current_cluster)
+            )
+        except KeyError:
+            return agent.demand
+        if nominal_here <= 0.0:
+            return nominal
+        # Scale the profiled cross-type ratio by the live demand so phase
+        # behaviour carries over to the speculation.
+        return agent.demand * nominal / nominal_here
+
+    def _core_type_of_cluster(self, cluster_id: str) -> str:
+        assert self._chip is not None, "prepare() must run before LBT"
+        return self._chip.cluster(cluster_id).core_type
+
+    def _energy_cost_per_pu(self, cluster_id: str, level_index: int) -> float:
+        """Watts per PU of a fully loaded cluster at ``level_index``.
+
+        Drives the estimator's energy-aware pricing; computed from the
+        same power model the sensors read (the paper's off-line profiling
+        provides the equivalent per-core-type power numbers).
+        """
+        assert self._chip is not None
+        cluster = self._chip.cluster(cluster_id)
+        table = cluster.vf_table
+        level = table[table.clamp_index(level_index)]
+        watts = self._chip.power_model.max_cluster_power_w(
+            cluster.power_params, level, len(cluster.cores)
+        )
+        total_pus = level.supply_pus * len(cluster.cores)
+        if total_pus <= 0.0:
+            return 0.0
+        return watts / total_pus
+
+    def _execute_move(self, sim: Simulation, decision: MoveDecision) -> None:
+        task = self._tasks_by_id.get(decision.task_id)
+        if task is None:
+            return
+        destination = sim.chip.core(decision.target_core_id)
+        current = sim.placement.core_of(task)
+        if current is destination:
+            return
+        crossed_types = current is None or (
+            current.cluster.core_type != destination.cluster.core_type
+        )
+        # Estimate the demand on the destination before the market's view
+        # of the placement changes.
+        seeded = self._demand_on_cluster(
+            decision.task_id, destination.cluster.cluster_id
+        )
+        sim.migrate(task, destination)
+        self.market.move_task(decision.task_id, decision.target_core_id)
+        self._last_move_time[decision.task_id] = sim.now
+        self.moves_executed += 1
+        if crossed_types and seeded > 0.0:
+            # The heart-rate window now mixes observations from two core
+            # types; restart it and seed the demand from the estimate the
+            # move was decided on, so the next rounds trade on consistent
+            # numbers instead of a transient.
+            task.hrm.reset()
+            agent = self.market.tasks.get(decision.task_id)
+            if agent is not None:
+                agent.demand = seeded
+            self._smoothed_demand[decision.task_id] = seeded

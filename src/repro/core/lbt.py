@@ -1,0 +1,250 @@
+"""Load Balancing and Task migration (LBT) module (paper section 3.3).
+
+Given the market's steady state, the LBT module searches for a better
+task-to-core mapping:
+
+* **Load balancing** moves a task from a cluster's constrained core to the
+  most over-supplied unconstrained core *within the same cluster*, letting
+  the cluster drop its V-F level.
+* **Task migration** moves a task from a constrained core to the most
+  over-supplied unconstrained core of *another cluster*, exploiting
+  heterogeneity.
+
+Decision flow (paper Figure 3): when every task is expected to meet its
+demand in the steady state of the current mapping, the goal is power --
+pick the candidate with the largest reduction in aggregate spending that
+does not degrade ``perf``.  Otherwise the goal is performance -- among the
+tasks with unsatisfied demand on constrained cores, improve the
+supply/demand ratio of the highest-priority one without harming
+higher-priority tasks; ties break on spending.
+
+To bound overhead, only tasks on constrained cores contemplate moving, and
+only the single most over-supplied unconstrained core per target cluster
+is considered (section 3.3); at most one movement is approved per
+invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .estimation import (
+    MappingEstimate,
+    SteadyStateEstimator,
+    perf_improves,
+    perf_not_worse,
+)
+from .market import Market
+
+_EPS = 1e-9
+
+
+@dataclass
+class MoveDecision:
+    """One approved task movement."""
+
+    task_id: str
+    source_core_id: str
+    target_core_id: str
+    mode: str  #: "power" or "performance"
+    current: MappingEstimate
+    candidate: MappingEstimate
+
+    @property
+    def spend_saving(self) -> float:
+        return self.current.spend - self.candidate.spend
+
+    @property
+    def is_inter_cluster_hint(self) -> bool:  # pragma: no cover - debug aid
+        return self.source_core_id.split(".")[0] != self.target_core_id.split(".")[0]
+
+
+class LBTModule:
+    """Proposes (at most) one task movement per invocation.
+
+    Args:
+        market: The live market.
+        estimator: Steady-state estimator bound to the same market.
+        min_spend_saving_frac: Minimum relative spending reduction for a
+            power-mode move to be worth the migration cost; guards against
+            churn on estimation noise.
+    """
+
+    def __init__(
+        self,
+        market: Market,
+        estimator: SteadyStateEstimator,
+        min_spend_saving_frac: float = 0.05,
+        unsatisfied_rounds_to_move: int = 3,
+    ):
+        self._market = market
+        self._estimator = estimator
+        self._min_saving_frac = min_spend_saving_frac
+        self._unsat_rounds = unsatisfied_rounds_to_move
+        #: Candidate mappings evaluated by the last proposal (Table 7's
+        #: overhead unit of work).
+        self.evaluations = 0
+
+    # -- helpers --------------------------------------------------------------
+    def _priorities(self) -> Dict[str, int]:
+        return {tid: agent.priority for tid, agent in self._market.tasks.items()}
+
+    def _most_oversupplied_unconstrained_core(
+        self, cluster_id: str, exclude_core_id: Optional[str] = None
+    ) -> Optional[str]:
+        """Target-core heuristic: lowest-demand non-constrained core.
+
+        All cores of a cluster share the same supply, so the core with the
+        smallest summed demand is the most over-supplied one.  The
+        constrained core is excluded unless it is the only choice.
+        """
+        market = self._market
+        cluster = market.clusters[cluster_id]
+        constrained = market.constrained_core(cluster_id)
+        candidates = [
+            cid
+            for cid in cluster.core_ids
+            if cid != exclude_core_id
+            and (constrained is None or cid != constrained.core_id)
+        ]
+        if not candidates:
+            candidates = [cid for cid in cluster.core_ids if cid != exclude_core_id]
+        if not candidates:
+            return None
+        return min(candidates, key=market.core_demand)
+
+    def _movers_on_constrained_core(
+        self, cluster_id: str, only_unsatisfied: bool, excluded: frozenset
+    ) -> Tuple[Optional[str], List[str]]:
+        """(constrained core id, task ids that contemplate moving)."""
+        market = self._market
+        constrained = market.constrained_core(cluster_id)
+        if constrained is None:
+            return None, []
+        agents = [
+            a
+            for a in market.tasks_on_core(constrained.core_id)
+            if a.task_id not in excluded
+        ]
+        if only_unsatisfied:
+            agents = [
+                a for a in agents if a.unsatisfied_rounds >= self._unsat_rounds
+            ]
+        return constrained.core_id, [a.task_id for a in agents]
+
+    def _evaluate_candidate(
+        self, task_id: str, target_core_id: str
+    ) -> Tuple[MappingEstimate, MappingEstimate]:
+        self.evaluations += 1
+        return self._estimator.evaluate_move(task_id, target_core_id)
+
+    # -- proposal logic ---------------------------------------------------------
+    def _propose(
+        self, cross_cluster: bool, exclude_tasks: frozenset
+    ) -> Optional[MoveDecision]:
+        market = self._market
+        populated = [
+            cid for cid in market.clusters if market.tasks_on_cluster(cid)
+        ]
+        if not populated:
+            return None
+        priorities = self._priorities()
+        overall = self._estimator.evaluate_current(populated)
+        performance_mode = not overall.all_satisfied
+
+        best_power: Optional[MoveDecision] = None
+        best_perf: Optional[Tuple[int, float, float, MoveDecision]] = None
+
+        for cluster_id in populated:
+            source_core, movers = self._movers_on_constrained_core(
+                cluster_id, only_unsatisfied=performance_mode, excluded=exclude_tasks
+            )
+            if source_core is None or not movers:
+                continue
+            if cross_cluster:
+                # Performance mode may wake an empty cluster (the ramp-up
+                # path to big).  Power mode may do so only when spend is
+                # energy-aware: waking the more efficient cluster to sleep
+                # the hungry one is then a genuine saving, whereas a pure
+                # market-price estimate would see empty clusters as
+                # spuriously cheap.
+                may_wake = performance_mode or self._estimator.energy_aware
+                targets = [
+                    cid
+                    for cid in market.clusters
+                    if cid != cluster_id and (may_wake or cid in populated)
+                ]
+            else:
+                targets = [cluster_id]
+            for task_id in movers:
+                for target_cluster in targets:
+                    exclude = source_core if target_cluster == cluster_id else None
+                    target_core = self._most_oversupplied_unconstrained_core(
+                        target_cluster, exclude_core_id=exclude
+                    )
+                    if target_core is None or target_core == source_core:
+                        continue
+                    current, candidate = self._evaluate_candidate(task_id, target_core)
+                    if performance_mode:
+                        if not perf_improves(
+                            current.ratios, candidate.ratios, priorities
+                        ):
+                            continue
+                        mover_prio = priorities[task_id]
+                        mover_ratio = candidate.ratios.get(task_id, 0.0)
+                        if mover_ratio <= current.ratios.get(task_id, 0.0) + _EPS:
+                            continue
+                        key = (mover_prio, mover_ratio, -candidate.spend)
+                        if best_perf is None or key > best_perf[:3]:
+                            best_perf = (
+                                mover_prio,
+                                mover_ratio,
+                                -candidate.spend,
+                                MoveDecision(
+                                    task_id=task_id,
+                                    source_core_id=source_core,
+                                    target_core_id=target_core,
+                                    mode="performance",
+                                    current=current,
+                                    candidate=candidate,
+                                ),
+                            )
+                    else:
+                        saving = current.spend - candidate.spend
+                        if saving <= self._min_saving_frac * max(current.spend, _EPS):
+                            continue
+                        if not perf_not_worse(
+                            current.ratios, candidate.ratios, priorities
+                        ):
+                            continue
+                        decision = MoveDecision(
+                            task_id=task_id,
+                            source_core_id=source_core,
+                            target_core_id=target_core,
+                            mode="power",
+                            current=current,
+                            candidate=candidate,
+                        )
+                        if best_power is None or decision.spend_saving > best_power.spend_saving:
+                            best_power = decision
+        if performance_mode:
+            return best_perf[3] if best_perf is not None else None
+        return best_power
+
+    def propose_load_balance(
+        self, exclude_tasks: frozenset = frozenset()
+    ) -> Optional[MoveDecision]:
+        """One intra-cluster move, or ``None`` when nothing improves.
+
+        ``exclude_tasks`` holds tasks in their post-migration cooldown --
+        moving a task again before its market state has settled is the
+        main source of ping-pong instability.
+        """
+        return self._propose(cross_cluster=False, exclude_tasks=exclude_tasks)
+
+    def propose_migration(
+        self, exclude_tasks: frozenset = frozenset()
+    ) -> Optional[MoveDecision]:
+        """One inter-cluster move, or ``None`` when nothing improves."""
+        return self._propose(cross_cluster=True, exclude_tasks=exclude_tasks)

@@ -1,0 +1,422 @@
+"""The virtual marketplace: one supply-demand round at a time.
+
+The market is deliberately independent of the simulator: it trades in
+abstract task/core/cluster identifiers and consumes a plain
+:class:`MarketObservations` snapshot each round.  This is what lets the
+paper's running examples (Tables 1-3) be reproduced verbatim in tests, and
+what the PPM governor adapts onto the simulation engine.
+
+Round protocol (sections 3.2.1-3.2.3, validated against Tables 1-3):
+
+1. Sync hardware state; clusters whose V-F transition just completed enter
+   the *observing* state.
+2. Chip agent: if every cluster is actively trading, update the global
+   allowance from last round's chip-wide demand/supply and the current
+   power reading (demand acts with one round of lag -- the chip agent
+   reacts to what the market expressed in the previous round).
+3. Distribute allowances hierarchically.
+4. Task agents bid (Equation 1), except in frozen clusters where bids and
+   savings stay untouched until the new supply has been observed.
+5. Core agents discover prices and sell supply pro rata to the bids.
+   An observing cluster adopts the new price as its base price.
+6. Cluster agents check the constrained core for intolerable inflation or
+   deflation and request a one-level DVFS step; the request freezes the
+   cluster's bids until the new supply is observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .agents import (
+    ChipAgent,
+    ChipPowerState,
+    ClusterAgent,
+    ClusterFreeze,
+    CoreAgent,
+    TaskAgent,
+    distribute_allowance,
+)
+from .config import MarketConfig
+
+
+@dataclass
+class MarketObservations:
+    """Snapshot of the world the market trades against this round.
+
+    Attributes:
+        demands: Current demand ``d_t`` per task (PUs), already converted
+            from heart rates by the caller (Table 4).
+        cluster_level: Applied V-F level index per cluster.
+        cluster_in_transition: Whether the cluster's regulator is still
+            mid-transition (bids stay frozen).
+        chip_power_w: Total chip power ``W``.
+        cluster_power_w: Per-cluster power ``W_v``.
+    """
+
+    demands: Dict[str, float]
+    cluster_level: Dict[str, int]
+    cluster_in_transition: Dict[str, bool] = field(default_factory=dict)
+    chip_power_w: float = 0.0
+    cluster_power_w: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one market round."""
+
+    allocations: Dict[str, float]  #: supply ``s_t`` purchased per task
+    level_requests: Dict[str, int]  #: cluster -> requested V-F level index
+    chip_state: ChipPowerState
+    allowance: float
+    prices: Dict[str, float]  #: price per core
+    frozen_clusters: Set[str]
+    total_demand: float  #: chip demand ``D`` (sum of constrained-core demands)
+    total_supply: float  #: chip supply ``S`` (sum of cluster supplies)
+
+
+class Market:
+    """Registry of agents plus the round engine."""
+
+    def __init__(self, config: Optional[MarketConfig] = None):
+        self.config = config or MarketConfig()
+        self.tasks: Dict[str, TaskAgent] = {}
+        self.cores: Dict[str, CoreAgent] = {}
+        self.clusters: Dict[str, ClusterAgent] = {}
+        self.chip = ChipAgent(
+            allowance=0.0, wth=self.config.wth, wtdp=self.config.wtdp
+        )
+        self._placement: Dict[str, str] = {}  # task_id -> core_id
+        self._prev_total_demand: Optional[float] = None
+        self._prev_total_supply: Optional[float] = None
+        self._prev_shortfall: Optional[float] = None
+        self.rounds_run = 0
+
+    # ------------------------------------------------------------------
+    # Topology and placement registry
+    # ------------------------------------------------------------------
+    def add_cluster(
+        self, cluster_id: str, core_ids: List[str], supply_ladder: List[float]
+    ) -> ClusterAgent:
+        if cluster_id in self.clusters:
+            raise ValueError(f"duplicate cluster {cluster_id}")
+        agent = ClusterAgent(
+            cluster_id=cluster_id,
+            core_ids=list(core_ids),
+            supply_ladder=list(supply_ladder),
+        )
+        self.clusters[cluster_id] = agent
+        for core_id in core_ids:
+            if core_id in self.cores:
+                raise ValueError(f"duplicate core {core_id}")
+            self.cores[core_id] = CoreAgent(core_id=core_id, cluster_id=cluster_id)
+        return agent
+
+    def add_task(self, task_id: str, priority: int, core_id: str) -> TaskAgent:
+        if task_id in self.tasks:
+            raise ValueError(f"duplicate task {task_id}")
+        if core_id not in self.cores:
+            raise KeyError(f"unknown core {core_id}")
+        agent = TaskAgent(
+            task_id=task_id, priority=priority, bid=self.config.initial_bid
+        )
+        self.tasks[task_id] = agent
+        self._placement[task_id] = core_id
+        self._ensure_allowance_pool()
+        return agent
+
+    def remove_task(self, task_id: str) -> None:
+        self.tasks.pop(task_id, None)
+        self._placement.pop(task_id, None)
+
+    def move_task(self, task_id: str, core_id: str) -> None:
+        """Update the market's view of a migration; agent state persists."""
+        if task_id not in self.tasks:
+            raise KeyError(f"unknown task {task_id}")
+        if core_id not in self.cores:
+            raise KeyError(f"unknown core {core_id}")
+        self._placement[task_id] = core_id
+
+    def core_of(self, task_id: str) -> str:
+        return self._placement[task_id]
+
+    def tasks_on_core(self, core_id: str) -> List[TaskAgent]:
+        return [
+            self.tasks[tid]
+            for tid, cid in self._placement.items()
+            if cid == core_id
+        ]
+
+    def tasks_on_cluster(self, cluster_id: str) -> List[TaskAgent]:
+        agents: List[TaskAgent] = []
+        for core_id in self.clusters[cluster_id].core_ids:
+            agents.extend(self.tasks_on_core(core_id))
+        return agents
+
+    def core_demand(self, core_id: str) -> float:
+        """``D_c``: summed demand of the tasks mapped to a core."""
+        return sum(agent.demand for agent in self.tasks_on_core(core_id))
+
+    def constrained_core(self, cluster_id: str) -> Optional[CoreAgent]:
+        """The cluster's highest-demand core (``None`` if task-free)."""
+        cluster = self.clusters[cluster_id]
+        populated = [
+            cid for cid in cluster.core_ids if self.tasks_on_core(cid)
+        ]
+        if not populated:
+            return None
+        return self.cores[max(populated, key=self.core_demand)]
+
+    def cluster_demand(self, cluster_id: str) -> float:
+        """``D_v``: the demand of the cluster's constrained core."""
+        constrained = self.constrained_core(cluster_id)
+        return self.core_demand(constrained.core_id) if constrained else 0.0
+
+    def _floor_price_descent(self, cluster: ClusterAgent, constrained: CoreAgent) -> int:
+        """Deflation detection once bids have hit the ``bmin`` floor.
+
+        The paper argues that when the constrained core's demand is below
+        lower supply levels, "the price ... will fall till the bid price
+        hits the minimal bid value bmin ... and the system stabilizes at
+        the minimum frequency" (section 3.2.4).  Once every bid sits at
+        the floor the price can no longer fall relative to the base, so
+        the deflation signal disappears; this rule carries the descent
+        through: step down while the next-lower level still covers the
+        constrained core's demand.
+        """
+        if cluster.level_index == 0:
+            return 0
+        agents = self.tasks_on_core(constrained.core_id)
+        if not agents:
+            return 0
+        if any(agent.bid > self.config.bmin * 1.01 for agent in agents):
+            return 0
+        demand = self.core_demand(constrained.core_id)
+        if demand <= cluster.supply_ladder[cluster.level_index - 1]:
+            return -1
+        return 0
+
+    def _allowance_growth_useful(self) -> bool:
+        """True while extra money could actually buy more supply.
+
+        Some cluster must have its constrained core demanding more than
+        the current supply *and* sit below its maximum V-F level;
+        otherwise higher bids cannot trigger any supply increase and
+        growing the allowance only inflates prices.  (Per-task shortages
+        on a core whose demand fits are an allocation matter the existing
+        bids resolve without new money.)
+        """
+        for cluster in self.clusters.values():
+            if cluster.level_index >= cluster.max_index:
+                continue
+            if self.cluster_demand(cluster.cluster_id) > cluster.supply * 1.02:
+                return True
+        return False
+
+    #: Redenomination threshold: quantity-theory neutrality means scaling
+    #: all money *and* all prices by a common factor leaves every real
+    #: allocation unchanged, so we use it purely to keep floats healthy.
+    _RENORM_ABOVE = 1e6
+
+    def _renormalize_money(self) -> None:
+        base_scale = max(
+            1.5 * self.config.initial_bid * max(len(self.tasks), 1), 1.0
+        )
+        if self.chip.allowance <= self._RENORM_ABOVE * base_scale:
+            return
+        factor = self.chip.allowance / base_scale
+        self.chip.allowance /= factor
+        for agent in self.tasks.values():
+            agent.bid = max(self.config.bmin, agent.bid / factor)
+            agent.wallet.allowance /= factor
+            agent.wallet.savings /= factor
+        for core in self.cores.values():
+            core.price /= factor
+            if core.base_price is not None:
+                core.base_price /= factor
+
+    def _ensure_allowance_pool(self) -> None:
+        """Bootstrap the global allowance when tasks first appear."""
+        if self.chip.allowance <= 0.0 and self.tasks:
+            if self.config.initial_allowance is not None:
+                self.chip.allowance = self.config.initial_allowance
+            else:
+                self.chip.allowance = 10.0 * self.config.initial_bid * len(self.tasks)
+
+    # ------------------------------------------------------------------
+    # The round engine
+    # ------------------------------------------------------------------
+    def run_round(self, obs: MarketObservations) -> RoundResult:
+        cfg = self.config
+
+        # 1. Sync hardware state; promote AWAITING -> OBSERVING when the
+        #    regulator reports the transition complete.
+        observing: Set[str] = set()
+        for cluster in self.clusters.values():
+            level = obs.cluster_level.get(cluster.cluster_id)
+            if level is not None:
+                cluster.level_index = max(0, min(cluster.max_index, level))
+            if cluster.freeze is ClusterFreeze.AWAITING and not obs.cluster_in_transition.get(
+                cluster.cluster_id, False
+            ):
+                cluster.freeze = ClusterFreeze.OBSERVING
+                observing.add(cluster.cluster_id)
+
+        # Ingest demands.
+        for task_id, agent in self.tasks.items():
+            if task_id in obs.demands:
+                agent.demand = max(0.0, obs.demands[task_id])
+
+        total_demand = 0.0
+        total_supply = 0.0
+        supply_shortfall = 0.0
+        for cluster in self.clusters.values():
+            if not self.tasks_on_cluster(cluster.cluster_id):
+                continue
+            cluster_demand = self.cluster_demand(cluster.cluster_id)
+            total_demand += cluster_demand
+            total_supply += cluster.supply
+            supply_shortfall += max(0.0, cluster_demand - cluster.supply)
+
+        # 2. Chip agent (suspended while any cluster is frozen, and reacting
+        #    to the previous round's demand/supply).  More money is only
+        #    useful while some cluster both leaves a task under-supplied
+        #    and still has V-F headroom to sell more.
+        all_active = all(
+            c.freeze is ClusterFreeze.ACTIVE for c in self.clusters.values()
+        )
+        if all_active and self.tasks:
+            floor = cfg.bmin * len(self.tasks)
+            self.chip.update_allowance(
+                chip_power_w=obs.chip_power_w,
+                total_demand=(
+                    self._prev_total_demand
+                    if self._prev_total_demand is not None
+                    else total_demand
+                ),
+                supply_shortfall=(
+                    self._prev_shortfall
+                    if self._prev_shortfall is not None
+                    else supply_shortfall
+                ),
+                floor=floor,
+                growth_useful=self._allowance_growth_useful(),
+            )
+            self._renormalize_money()
+        else:
+            self.chip.classify(obs.chip_power_w)
+
+        # 3. Hierarchical allowance distribution.
+        distribute_allowance(
+            global_allowance=self.chip.allowance,
+            chip_power_w=obs.chip_power_w,
+            cluster_power_w=obs.cluster_power_w,
+            cluster_task_agents={
+                cid: self.tasks_on_cluster(cid) for cid in self.clusters
+            },
+        )
+
+        # 4. Bidding (frozen clusters keep bids and savings untouched).
+        for cluster in self.clusters.values():
+            if cluster.bids_frozen:
+                continue
+            for core_id in cluster.core_ids:
+                core = self.cores[core_id]
+                for agent in self.tasks_on_core(core_id):
+                    agent.place_bid(
+                        last_price=core.price,
+                        bmin=cfg.bmin,
+                        cap_fraction=cfg.savings_cap_fraction,
+                    )
+
+        # 5. Price discovery and purchase.  A cluster still AWAITING its
+        #    transition keeps last round's prices and allocations.
+        allocations: Dict[str, float] = {}
+        prices: Dict[str, float] = {}
+        for cluster in self.clusters.values():
+            supply = cluster.supply
+            for core_id in cluster.core_ids:
+                core = self.cores[core_id]
+                agents = self.tasks_on_core(core_id)
+                if cluster.freeze is ClusterFreeze.AWAITING:
+                    prices[core_id] = core.price
+                    for agent in agents:
+                        allocations[agent.task_id] = agent.supply
+                    continue
+                if not agents:
+                    core.price = 0.0
+                    prices[core_id] = 0.0
+                    continue
+                price = core.discover_price([a.bid for a in agents], supply)
+                prices[core_id] = price
+                for agent in agents:
+                    agent.supply = agent.bid / price if price > 0.0 else 0.0
+                    allocations[agent.task_id] = agent.supply
+            if cluster.freeze is ClusterFreeze.OBSERVING:
+                for core_id in cluster.core_ids:
+                    self.cores[core_id].reset_base_price()
+                cluster.freeze = ClusterFreeze.ACTIVE
+
+        # 6. DVFS decisions (clusters that just observed skip one round so
+        #    the market settles on the new base price first).
+        level_requests: Dict[str, int] = {}
+        for cluster in self.clusters.values():
+            if cluster.freeze is not ClusterFreeze.ACTIVE:
+                continue
+            if cluster.cluster_id in observing:
+                continue
+            constrained = self.constrained_core(cluster.cluster_id)
+            if constrained is None:
+                continue
+            change = cluster.decide_level_change(constrained, cfg.tolerance)
+            if change < 0 and self.chip.state is not ChipPowerState.EMERGENCY:
+                # Round the demand up to the next supply value (section
+                # 3.2.4): never deflate onto a level that no longer covers
+                # the constrained core -- that guarantees an immediate
+                # re-inflation and oscillation between adjacent levels.
+                demand = self.core_demand(constrained.core_id)
+                if cluster.supply_ladder[cluster.level_index - 1] < demand:
+                    change = 0
+            if change == 0:
+                change = self._floor_price_descent(cluster, constrained)
+            if self.chip.state is ChipPowerState.EMERGENCY:
+                # Above the TDP the only admissible direction is down: no
+                # cluster may raise its supply, and a cluster whose buyers
+                # are pinned at the minimum bid can no longer afford its
+                # current supply -- deflation has bottomed out against the
+                # bid floor, so carry the descent explicitly.
+                if change > 0:
+                    change = 0
+                if change == 0 and cluster.level_index > 0:
+                    agents = self.tasks_on_core(constrained.core_id)
+                    if agents and all(a.bid <= cfg.bmin * 1.01 for a in agents):
+                        change = -1
+            if change != 0:
+                level_requests[cluster.cluster_id] = cluster.level_index + change
+                cluster.freeze = ClusterFreeze.AWAITING
+
+        for agent in self.tasks.values():
+            agent.note_round_outcome()
+
+        self._prev_total_demand = total_demand
+        self._prev_total_supply = total_supply
+        self._prev_shortfall = supply_shortfall
+        self.rounds_run += 1
+
+
+        frozen = {
+            c.cluster_id
+            for c in self.clusters.values()
+            if c.freeze is not ClusterFreeze.ACTIVE
+        }
+        return RoundResult(
+            allocations=allocations,
+            level_requests=level_requests,
+            chip_state=self.chip.state,
+            allowance=self.chip.allowance,
+            prices=prices,
+            frozen_clusters=frozen,
+            total_demand=total_demand,
+            total_supply=total_supply,
+        )

@@ -1,0 +1,50 @@
+"""Virtual money: allowances, savings and bid clamping.
+
+Task agents receive an allowance each round, bid part of it for supply,
+and save the remainder (``m_t = a_t - b_t``) for future rounds; a bid may
+never exceed allowance plus savings and never fall below the minimum bid
+(paper section 3.2.1).  Savings are capped at a designer-chosen multiple
+of the current allowance (section 3.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Wallet:
+    """The monetary state of one task agent."""
+
+    allowance: float = 0.0
+    savings: float = 0.0
+
+    def budget(self) -> float:
+        """Maximum spendable this round: allowance plus savings."""
+        return self.allowance + self.savings
+
+    def clamp_bid(self, desired: float, bmin: float) -> float:
+        """Clamp a desired bid into ``[bmin, allowance + savings]``.
+
+        When the wallet cannot even afford ``bmin`` the bid is still
+        ``bmin``: the minimum bid is a market rule, not a solvency one --
+        it keeps prices well-defined for destitute agents.
+        """
+        return max(bmin, min(desired, self.budget()))
+
+    def settle(self, bid: float, cap_fraction: float) -> float:
+        """Account one round: fold unspent allowance into savings.
+
+        ``savings += allowance - bid``, clamped to ``[0, cap_fraction *
+        allowance]``.  Returns the new savings.  A bid above the allowance
+        drains savings (that is how the Figure 8 task spends its hoard);
+        the lower clamp guards rounding, since ``clamp_bid`` already
+        prevents true overdraft.
+        """
+        self.savings = self.savings + self.allowance - bid
+        if self.savings < 0.0:
+            self.savings = 0.0
+        cap = cap_fraction * self.allowance
+        if self.savings > cap:
+            self.savings = cap
+        return self.savings

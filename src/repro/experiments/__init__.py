@@ -1,0 +1,71 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+* Tables 1-4: :mod:`repro.experiments.running_examples`
+* Figures 4-6: :mod:`repro.experiments.comparative`
+* Figure 7: :mod:`repro.experiments.priorities`
+* Figure 8: :mod:`repro.experiments.savings`
+* Table 7: :mod:`repro.experiments.scalability`
+* CLI: ``repro-experiments <table1|...|fig8|all>``
+"""
+
+from .comparative import ComparativeResult, figure4, figure5, figure6, run_comparative
+from .harness import (
+    DEFAULT_DURATION_S,
+    DEFAULT_WARMUP_S,
+    GOVERNOR_NAMES,
+    RunResult,
+    capped_tdp_w,
+    make_governor,
+    run_system,
+    run_workload,
+)
+from .priorities import PriorityResult, figure7, run_priority_experiment
+from .running_examples import SingleCoreScenario, table1, table2, table3, table4
+from .savings import SavingsResult, figure8, run_savings_experiment
+from .sweeps import SweepPoint, SweepResult, sweep_parameter
+from .validation import ClaimResult, ValidationReport, validate_reproduction
+from .scalability import (
+    TABLE7_CONFIGS,
+    ConstrainedCoreEmulator,
+    ScalabilityPoint,
+    measure_overhead,
+    table7,
+)
+
+__all__ = [
+    "ComparativeResult",
+    "ConstrainedCoreEmulator",
+    "DEFAULT_DURATION_S",
+    "DEFAULT_WARMUP_S",
+    "GOVERNOR_NAMES",
+    "PriorityResult",
+    "RunResult",
+    "SavingsResult",
+    "ScalabilityPoint",
+    "SingleCoreScenario",
+    "SweepPoint",
+    "SweepResult",
+    "ClaimResult",
+    "ValidationReport",
+    "TABLE7_CONFIGS",
+    "capped_tdp_w",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "make_governor",
+    "measure_overhead",
+    "run_comparative",
+    "run_priority_experiment",
+    "run_savings_experiment",
+    "run_system",
+    "run_workload",
+    "sweep_parameter",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table7",
+    "validate_reproduction",
+]

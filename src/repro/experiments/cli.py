@@ -1,0 +1,160 @@
+"""Command-line front end: regenerate any table or figure.
+
+Examples::
+
+    repro-experiments table1
+    repro-experiments fig4 --duration 120
+    repro-experiments fig7
+    repro-experiments table7
+    repro-experiments all --duration 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .comparative import figure4, figure5, figure6, run_comparative
+from .priorities import figure7
+from .running_examples import table1, table2, table3, table4
+from .savings import figure8
+from .scalability import table7
+from .validation import validate_reproduction
+
+
+def _run_table1(args) -> str:
+    return table1()[1]
+
+
+def _run_table2(args) -> str:
+    return table2()[1]
+
+
+def _run_table3(args) -> str:
+    return table3()[1]
+
+
+def _run_table4(args) -> str:
+    return table4()
+
+
+def _export(result, path):
+    if path:
+        from ..analysis import write_comparative
+
+        write_comparative(result, path)
+
+
+def _run_fig4(args) -> str:
+    result = run_comparative(duration_s=args.duration, warmup_s=args.warmup)
+    text4 = figure4(result=result)[1]
+    text5 = figure5(result=result)[1]
+    _export(result, args.export)
+    return text4 + "\n\n" + text5
+
+
+def _run_fig5(args) -> str:
+    return figure5(duration_s=args.duration, warmup_s=args.warmup)[1]
+
+
+def _run_fig6(args) -> str:
+    result, text = figure6(duration_s=args.duration, warmup_s=args.warmup)
+    _export(result, args.export)
+    return text
+
+
+def _run_fig7(args) -> str:
+    return figure7(duration_s=args.fig_duration)[2]
+
+
+def _run_fig8(args) -> str:
+    return figure8()[1]
+
+
+def _run_table7(args) -> str:
+    return table7(invocations=args.invocations)[1]
+
+
+def _run_validate(args) -> str:
+    report = validate_reproduction(quick=not args.full)
+    status = "ALL CLAIMS PASS" if report.passed else "SOME CLAIMS FAILED"
+    return report.as_table() + "\n" + status
+
+
+_COMMANDS = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "table4": _run_table4,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "table7": _run_table7,
+    "validate": _run_validate,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=120.0,
+        help="simulated seconds per comparative run (figs 4-6)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=float,
+        default=30.0,
+        help="warm-up seconds excluded from summaries (figs 4-6)",
+    )
+    parser.add_argument(
+        "--fig-duration",
+        type=float,
+        default=300.0,
+        help="simulated seconds for the figure 7 runs",
+    )
+    parser.add_argument(
+        "--invocations",
+        type=int,
+        default=5,
+        help="timed LBT invocations per table 7 configuration",
+    )
+    parser.add_argument(
+        "--export",
+        default=None,
+        help="write the comparative sweep to this .json/.csv path (figs 4-6)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="validate with benchmark-grade durations instead of quick runs",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        names = sorted(_COMMANDS)
+    else:
+        names = [args.experiment]
+    for name in names:
+        print(_COMMANDS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""The comparative study: Figures 4, 5 and 6.
+
+* Figure 4 -- percentage of time the reference heart-rate range of any
+  task is not met (observed rate below the prescribed minimum), with no
+  TDP constraint, for PPM vs HPM vs HL over the nine workload sets.
+* Figure 5 -- average chip power for the same runs.
+* Figure 6 -- the Figure 4 metric under a 4 W TDP cap.
+
+Expected shape (paper section 5.3): HL wins QoS on light sets but at much
+higher power (the paper measures HL at 5.99 W average against 3.43 W for
+HPM and 2.96 W for PPM); PPM wins QoS on medium and heavy sets; under the
+4 W cap PPM misses least (34% / 44% better than HPM / HL in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..tasks import WORKLOAD_ORDER
+from .harness import (
+    DEFAULT_DURATION_S,
+    DEFAULT_WARMUP_S,
+    GOVERNOR_NAMES,
+    RunResult,
+    capped_tdp_w,
+    run_workload,
+)
+from .reporting import format_percent_table, format_table
+
+
+@dataclass
+class ComparativeResult:
+    """All runs of one comparative sweep, indexed [governor][workload]."""
+
+    runs: Dict[str, Dict[str, RunResult]]
+    power_cap_w: Optional[float]
+
+    def workloads(self) -> Tuple[str, ...]:
+        """Workload columns actually present, in canonical order."""
+        present = {wl for by_wl in self.runs.values() for wl in by_wl}
+        ordered = [wl for wl in WORKLOAD_ORDER if wl in present]
+        ordered += sorted(present - set(ordered))
+        return tuple(ordered)
+
+    def miss_table(self) -> Dict[str, Dict[str, float]]:
+        return {
+            gov: {wl: r.miss_fraction for wl, r in by_wl.items()}
+            for gov, by_wl in self.runs.items()
+        }
+
+    def power_table(self) -> Dict[str, Dict[str, float]]:
+        return {
+            gov: {wl: r.average_power_w for wl, r in by_wl.items()}
+            for gov, by_wl in self.runs.items()
+        }
+
+    def mean_miss(self, governor: str) -> float:
+        rows = self.runs[governor]
+        return sum(r.miss_fraction for r in rows.values()) / len(rows)
+
+    def mean_power(self, governor: str) -> float:
+        rows = self.runs[governor]
+        return sum(r.average_power_w for r in rows.values()) / len(rows)
+
+    def improvement_over(self, baseline: str, ours: str = "PPM") -> float:
+        """Relative reduction in mean miss fraction of ``ours`` vs baseline."""
+        base = self.mean_miss(baseline)
+        if base <= 0.0:
+            return 0.0
+        return (base - self.mean_miss(ours)) / base
+
+
+def run_comparative(
+    power_cap_w: Optional[float] = None,
+    governors: Sequence[str] = GOVERNOR_NAMES,
+    workloads: Sequence[str] = WORKLOAD_ORDER,
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+) -> ComparativeResult:
+    """Run the full governors x workloads sweep."""
+    runs: Dict[str, Dict[str, RunResult]] = {}
+    for governor in governors:
+        runs[governor] = {}
+        for workload in workloads:
+            runs[governor][workload] = run_workload(
+                workload,
+                governor,
+                duration_s=duration_s,
+                warmup_s=warmup_s,
+                power_cap_w=power_cap_w,
+            )
+    return ComparativeResult(runs=runs, power_cap_w=power_cap_w)
+
+
+def figure4(
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+    result: Optional[ComparativeResult] = None,
+) -> Tuple[ComparativeResult, str]:
+    """Figure 4: QoS miss percentage, no TDP constraint."""
+    result = result or run_comparative(duration_s=duration_s, warmup_s=warmup_s)
+    text = format_percent_table(
+        "Figure 4: % time any task misses its reference heart-rate range (no TDP)",
+        list(result.workloads()),
+        result.miss_table(),
+    )
+    return result, text
+
+
+def figure5(
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+    result: Optional[ComparativeResult] = None,
+) -> Tuple[ComparativeResult, str]:
+    """Figure 5: average power consumption, no TDP constraint.
+
+    Pass the :class:`ComparativeResult` from :func:`figure4` to reuse the
+    same runs, as the paper does.
+    """
+    result = result or run_comparative(duration_s=duration_s, warmup_s=warmup_s)
+    columns = list(result.workloads())
+    headers = ["governor"] + columns + ["mean [W]"]
+    rows = []
+    for gov, by_wl in result.power_table().items():
+        vals = [by_wl[wl] for wl in columns]
+        rows.append(
+            [gov]
+            + [f"{v:.2f}" for v in vals]
+            + [f"{sum(vals) / len(vals):.2f}"]
+        )
+    text = format_table(
+        headers, rows, title="Figure 5: average power consumption [W] (no TDP)"
+    )
+    return result, text
+
+
+def figure6(
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+    power_cap_w: Optional[float] = None,
+) -> Tuple[ComparativeResult, str]:
+    """Figure 6: QoS miss percentage under the 4 W TDP constraint."""
+    cap = power_cap_w if power_cap_w is not None else capped_tdp_w()
+    result = run_comparative(
+        power_cap_w=cap, duration_s=duration_s, warmup_s=warmup_s
+    )
+    text = format_percent_table(
+        f"Figure 6: % time any task misses its reference range (TDP {cap:.0f} W)",
+        list(result.workloads()),
+        result.miss_table(),
+    )
+    improvements = "\nPPM mean-miss improvement: {:.0f}% vs HPM, {:.0f}% vs HL".format(
+        100 * result.improvement_over("HPM"), 100 * result.improvement_over("HL")
+    )
+    return result, text + improvements

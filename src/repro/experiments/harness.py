@@ -1,0 +1,136 @@
+"""Shared experiment harness: build a system, run it, summarise it.
+
+Mirrors the paper's measurement protocol: each data point is one run of a
+workload set under one governor; summary statistics exclude a warm-up
+prefix (start-up placement and ramping are not what the figures report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import MarketConfig, PPMConfig, PPMGovernor
+from ..governors import HLGovernor, HPMGovernor
+from ..hw import TC2_CAPPED_TDP_W, tc2_chip
+from ..sim import MetricsCollector, SimConfig, Simulation
+from ..tasks import Task, build_workload
+
+#: Governor names used across the comparative experiments.
+GOVERNOR_NAMES = ("PPM", "HPM", "HL")
+
+#: Default run lengths.  The paper runs each set for ~300 s on the board;
+#: 120 s of simulated time with a 30 s warm-up reproduces the steady-state
+#: statistics at a fraction of the wall-clock cost, and every experiment
+#: accepts explicit durations for full-length runs.
+DEFAULT_DURATION_S = 120.0
+DEFAULT_WARMUP_S = 30.0
+
+
+def make_governor(name: str, power_cap_w: Optional[float] = None):
+    """Instantiate a governor by name, optionally TDP-constrained.
+
+    For PPM the cap becomes the market's ``Wtdp`` (with the buffer zone
+    ``Wth = Wtdp - 0.5`` of the paper's running example); HPM gets it as
+    the setpoint of its outer power loop; HL switches the big cluster off
+    above it, per the paper's methodology.
+    """
+    if name == "PPM":
+        market = MarketConfig(wtdp=power_cap_w) if power_cap_w else MarketConfig()
+        return PPMGovernor(PPMConfig(market=market))
+    if name == "HPM":
+        return HPMGovernor(power_cap_w=power_cap_w)
+    if name == "HL":
+        return HLGovernor(power_cap_w=power_cap_w)
+    raise KeyError(f"unknown governor {name!r}; choose from {GOVERNOR_NAMES}")
+
+
+@dataclass
+class RunResult:
+    """Summary of one simulation run."""
+
+    governor: str
+    workload: str
+    duration_s: float
+    miss_fraction: float  #: any-task below-minimum time fraction (Figs 4/6)
+    mean_miss_fraction: float  #: mean of per-task below fractions
+    average_power_w: float  #: Figure 5
+    peak_power_w: float
+    intra_migrations: int
+    inter_migrations: int
+    per_task_below: Dict[str, float] = field(default_factory=dict)
+    per_task_outside: Dict[str, float] = field(default_factory=dict)
+    metrics: Optional[MetricsCollector] = None
+
+
+def run_system(
+    tasks: Sequence[Task],
+    governor,
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+    chip=None,
+    dt: float = 0.01,
+    placement: Optional[Callable[[Simulation], None]] = None,
+    keep_metrics: bool = False,
+    governor_name: str = "?",
+    workload_name: str = "?",
+) -> RunResult:
+    """Run ``tasks`` under ``governor`` and summarise the steady state.
+
+    Args:
+        placement: Optional hook that pins tasks to cores before the first
+            tick (the Figure 7/8 experiments pin two tasks to one core).
+        keep_metrics: Attach the full tick-level collector to the result
+            (needed for time-series figures; costs memory).
+    """
+    chip = chip or tc2_chip()
+    sim = Simulation(
+        chip, tasks, governor, config=SimConfig(dt=dt, metrics_warmup_s=warmup_s)
+    )
+    if placement is not None:
+        placement(sim)
+    metrics = sim.run(duration_s)
+    intra, inter = sim.migrations.counts()
+    return RunResult(
+        governor=governor_name,
+        workload=workload_name,
+        duration_s=duration_s,
+        miss_fraction=metrics.any_task_miss_fraction(),
+        mean_miss_fraction=metrics.mean_miss_fraction(),
+        average_power_w=metrics.average_power_w(),
+        peak_power_w=metrics.peak_power_w(),
+        intra_migrations=intra,
+        inter_migrations=inter,
+        per_task_below={
+            t.name: metrics.task_below_fraction(t.name) for t in tasks
+        },
+        per_task_outside={
+            t.name: metrics.task_outside_range_fraction(t.name) for t in tasks
+        },
+        metrics=metrics if keep_metrics else None,
+    )
+
+
+def run_workload(
+    set_id: str,
+    governor_name: str,
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+    power_cap_w: Optional[float] = None,
+) -> RunResult:
+    """One comparative-study data point: workload set x governor."""
+    tasks = build_workload(set_id)
+    governor = make_governor(governor_name, power_cap_w=power_cap_w)
+    return run_system(
+        tasks,
+        governor,
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        governor_name=governor_name,
+        workload_name=set_id,
+    )
+
+
+def capped_tdp_w() -> float:
+    """The artificially capped budget of the Figure 6 study (4 W)."""
+    return TC2_CAPPED_TDP_W

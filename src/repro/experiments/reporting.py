@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The paper's figures are bar charts and time series; a text harness can't
+draw them, so every experiment renders to aligned ASCII tables -- the same
+rows/columns/series the figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_percent_table(
+    title: str,
+    column_keys: Sequence[str],
+    series: Dict[str, Dict[str, float]],
+    value_suffix: str = "%",
+    scale: float = 100.0,
+) -> str:
+    """Render {series -> {column -> value}} with percentage formatting.
+
+    This is the shape of Figures 4-6: one row per governor, one column per
+    workload set, plus a mean column.
+    """
+    headers = ["governor"] + list(column_keys) + ["mean"]
+    rows = []
+    for name, values in series.items():
+        cells: List[object] = [name]
+        row_vals = [values.get(k, float("nan")) for k in column_keys]
+        cells.extend(f"{v * scale:.1f}{value_suffix}" for v in row_vals)
+        mean = sum(row_vals) / len(row_vals) if row_vals else float("nan")
+        cells.append(f"{mean * scale:.1f}{value_suffix}")
+        rows.append(cells)
+    return format_table(headers, rows, title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Down-sample a series into a unicode sparkline (for time series)."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    if len(values) > width:
+        stride = len(values) / width
+        values = [
+            values[min(len(values) - 1, int(i * stride))] for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values)

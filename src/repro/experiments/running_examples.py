@@ -1,0 +1,196 @@
+"""The paper's running examples: Tables 1, 2, 3 and 4.
+
+These drive the *stand-alone* market (no simulator) through exactly the
+scenarios of the paper's worked examples:
+
+* Table 1 -- two tasks bidding on a 300 PU core until their 200/100 PU
+  demands are met.
+* Table 2 -- a demand increase to 300 PUs causes intolerable inflation
+  (delta = 0.2) and a supply step to 400 PUs.
+* Table 3 -- a further demand increase pushes the chip through the
+  normal -> threshold -> emergency states; the allowance contracts and the
+  system stabilises in the threshold state with the high-priority task
+  served.
+* Table 4 -- the heart-rate -> demand conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import ChipPowerState, Market, MarketConfig, MarketObservations
+from ..tasks import demand_from_heart_rate
+from .reporting import format_table
+
+
+@dataclass
+class MarketRoundRow:
+    """One printed row of a running-example table."""
+
+    round_index: int
+    bids: Dict[str, float]
+    price: float
+    base_price: Optional[float]
+    supplies: Dict[str, float]
+    core_supply: float
+    allowance: float
+    savings: Dict[str, float]
+    state: str
+
+
+class SingleCoreScenario:
+    """A scriptable one-cluster/one-core market, as in Tables 1-3."""
+
+    def __init__(
+        self,
+        supply_ladder: List[float],
+        task_priorities: Dict[str, int],
+        config: Optional[MarketConfig] = None,
+        power_of_supply: Optional[Dict[float, float]] = None,
+    ):
+        self.config = config or MarketConfig(
+            tolerance=0.2, initial_bid=1.0, initial_allowance=40.0
+        )
+        self.market = Market(self.config)
+        self.market.add_cluster("v", ["c"], supply_ladder)
+        for task_id, priority in task_priorities.items():
+            self.market.add_task(task_id, priority, "c")
+        self.level = 0
+        self.power_of_supply = power_of_supply or {}
+        self.rows: List[MarketRoundRow] = []
+
+    @property
+    def supply(self) -> float:
+        return self.market.clusters["v"].supply_ladder[self.level]
+
+    def current_power(self) -> float:
+        return self.power_of_supply.get(self.supply, 0.5)
+
+    def run_round(self, demands: Dict[str, float]) -> MarketRoundRow:
+        """One bid round; level requests apply before the next round."""
+        supply_used = self.supply
+        obs = MarketObservations(
+            demands=demands,
+            cluster_level={"v": self.level},
+            cluster_in_transition={"v": False},
+            chip_power_w=self.current_power(),
+            cluster_power_w={"v": self.current_power()},
+        )
+        result = self.market.run_round(obs)
+        # A requested level change is applied by the (instant) regulator
+        # before the next round, as in the paper's tables.
+        for _, new_level in result.level_requests.items():
+            self.level = new_level
+        core = self.market.cores["c"]
+        row = MarketRoundRow(
+            round_index=len(self.rows) + 1,
+            bids={t: a.bid for t, a in self.market.tasks.items()},
+            price=result.prices["c"],
+            base_price=core.base_price,
+            supplies={t: a.supply for t, a in self.market.tasks.items()},
+            core_supply=supply_used,
+            allowance=result.allowance,
+            savings={t: a.wallet.savings for t, a in self.market.tasks.items()},
+            state=result.chip_state.value,
+        )
+        self.rows.append(row)
+        return row
+
+    def as_table(self, title: str) -> str:
+        task_ids = sorted(self.market.tasks)
+        headers = (
+            ["round"]
+            + [f"b_{t}" for t in task_ids]
+            + ["P_c", "PBase_c"]
+            + [f"s_{t}" for t in task_ids]
+            + ["S_c", "A", "state"]
+        )
+        rows = []
+        for row in self.rows:
+            rows.append(
+                [row.round_index]
+                + [f"{row.bids[t]:.3f}" for t in task_ids]
+                + [
+                    f"{row.price:.5f}",
+                    f"{row.base_price:.5f}" if row.base_price else "-",
+                ]
+                + [f"{row.supplies[t]:.0f}" for t in task_ids]
+                + [f"{row.core_supply:.0f}", f"{row.allowance:.2f}", row.state]
+            )
+        return format_table(headers, rows, title=title)
+
+
+def table1() -> Tuple[SingleCoreScenario, str]:
+    """Table 1: task/core bidding dynamics on a 300 PU core."""
+    scenario = SingleCoreScenario(
+        supply_ladder=[300.0, 400.0, 500.0, 600.0],
+        task_priorities={"ta": 1, "tb": 1},
+    )
+    for _ in range(2):
+        scenario.run_round({"ta": 200.0, "tb": 100.0})
+    return scenario, scenario.as_table(
+        "Table 1: task and core level dynamics (d_ta=200, d_tb=100, S_c=300)"
+    )
+
+
+def table2() -> Tuple[SingleCoreScenario, str]:
+    """Table 2: inflation-driven supply increase (continues Table 1)."""
+    scenario = SingleCoreScenario(
+        supply_ladder=[300.0, 400.0, 500.0, 600.0],
+        task_priorities={"ta": 1, "tb": 1},
+    )
+    for _ in range(2):
+        scenario.run_round({"ta": 200.0, "tb": 100.0})
+    for _ in range(2):
+        scenario.run_round({"ta": 300.0, "tb": 100.0})
+    return scenario, scenario.as_table(
+        "Table 2: cluster level dynamics (d_ta rises to 300; delta = 0.2)"
+    )
+
+
+#: The Table 3 example's power model: the chip reaches the threshold state
+#: at 500 PUs (2 W) and the emergency state at 600 PUs (3 W).
+TABLE3_POWER = {300.0: 0.6, 400.0: 0.8, 500.0: 2.0, 600.0: 3.0}
+
+
+def table3(rounds: int = 20) -> Tuple[SingleCoreScenario, str]:
+    """Table 3: chip-level dynamics with Wtdp = 2.25 W, Wth = 1.75 W."""
+    scenario = SingleCoreScenario(
+        supply_ladder=[300.0, 400.0, 500.0, 600.0],
+        task_priorities={"ta": 2, "tb": 1},
+        config=MarketConfig(
+            tolerance=0.2,
+            initial_bid=1.0,
+            initial_allowance=4.5,
+            wtdp=2.25,
+            wth=1.75,
+        ),
+        power_of_supply=TABLE3_POWER,
+    )
+    # Rounds 1-4: reach the Table 2 end state (d_ta=300 satisfied at 400 PUs).
+    scenario.run_round({"ta": 200.0, "tb": 100.0})
+    scenario.run_round({"ta": 200.0, "tb": 100.0})
+    scenario.run_round({"ta": 300.0, "tb": 100.0})
+    scenario.run_round({"ta": 300.0, "tb": 100.0})
+    # Round 5 onward: d_tb rises to 300 -> threshold -> emergency -> stable.
+    for _ in range(rounds - 4):
+        scenario.run_round({"ta": 300.0, "tb": 300.0})
+    return scenario, scenario.as_table(
+        "Table 3: chip level dynamics (Wtdp=2.25W, Wth=1.75W, priorities 2:1)"
+    )
+
+
+def table4() -> str:
+    """Table 4: heart-rate -> demand conversion (range [24, 30] hb/s)."""
+    target_hr = 27.0
+    rows = []
+    for phase, hr, freq, util in [(1, 15.0, 500.0, 1.0), (2, 10.0, 800.0, 0.5), (3, 40.0, 1000.0, 1.0)]:
+        supply = freq * util
+        demand = demand_from_heart_rate(target_hr, supply, hr)
+        rows.append([phase, f"{hr:.0f}", f"{freq:.0f}", f"{util * 100:.0f}%", f"{supply:.0f}", f"{demand:.0f}"])
+    return format_table(
+        ["phase", "hr [hb/s]", "freq [MHz]", "util", "s [PU]", "d [PU]"],
+        rows,
+        title="Table 4: heart rate to demand conversion (range 24-30 hb/s)",
+    )

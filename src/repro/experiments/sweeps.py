@@ -1,0 +1,113 @@
+"""Generic parameter sweeps over the PPM configuration.
+
+The ablation studies all share a shape: vary one knob, run a workload,
+collect a few scalar outcomes.  ``sweep_parameter`` factors that out so
+new ablations are three lines, and ``SweepResult`` renders/exports
+uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core import MarketConfig, PPMConfig, PPMGovernor
+from ..hw import tc2_chip
+from ..sim import SimConfig, Simulation
+from ..tasks import build_workload
+from .reporting import format_table
+
+
+@dataclass
+class SweepPoint:
+    """One (parameter value, outcomes) row of a sweep."""
+
+    value: object
+    outcomes: Dict[str, float]
+
+
+@dataclass
+class SweepResult:
+    """All rows of one sweep plus rendering helpers."""
+
+    parameter: str
+    workload: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def outcome(self, value: object, key: str) -> float:
+        for point in self.points:
+            if point.value == value:
+                return point.outcomes[key]
+        raise KeyError(f"no sweep point with value {value!r}")
+
+    def series(self, key: str) -> List[float]:
+        return [p.outcomes[key] for p in self.points]
+
+    def as_table(self) -> str:
+        if not self.points:
+            return f"(empty sweep over {self.parameter})"
+        keys = sorted(self.points[0].outcomes)
+        rows = [
+            [p.value] + [f"{p.outcomes[k]:.4g}" for k in keys] for p in self.points
+        ]
+        return format_table(
+            [self.parameter] + keys,
+            rows,
+            title=f"Sweep of {self.parameter} on {self.workload}",
+        )
+
+
+def default_outcomes(sim: Simulation, metrics) -> Dict[str, float]:
+    """The standard outcome set: QoS, power, migrations, V-F churn."""
+    intra, inter = sim.migrations.counts()
+    return {
+        "miss": metrics.any_task_miss_fraction(),
+        "power_w": metrics.average_power_w(),
+        "intra_migrations": float(intra),
+        "inter_migrations": float(inter),
+        "vf_transitions": float(
+            sum(c.regulator.transitions for c in sim.chip.clusters)
+        ),
+    }
+
+
+def apply_market_parameter(config: PPMConfig, name: str, value) -> PPMConfig:
+    """A fresh PPMConfig with one (possibly market-level) field replaced."""
+    if hasattr(config.market, name):
+        return replace(config, market=replace(config.market, **{name: value}))
+    if hasattr(config, name):
+        return replace(config, **{name: value})
+    raise AttributeError(f"PPMConfig has no parameter {name!r}")
+
+
+def sweep_parameter(
+    name: str,
+    values: Sequence[object],
+    workload: str = "m2",
+    duration_s: float = 45.0,
+    warmup_s: float = 15.0,
+    base_config: Optional[PPMConfig] = None,
+    outcome_fn: Callable[[Simulation, object], Dict[str, float]] = default_outcomes,
+    chip_factory: Callable = tc2_chip,
+) -> SweepResult:
+    """Run ``workload`` under PPM for each value of parameter ``name``.
+
+    ``name`` may be any field of :class:`PPMConfig` or its embedded
+    :class:`MarketConfig` (e.g. ``tolerance``, ``savings_cap_fraction``,
+    ``migrate_every``).
+    """
+    base = base_config or PPMConfig()
+    result = SweepResult(parameter=name, workload=workload)
+    for value in values:
+        config = apply_market_parameter(base, name, value)
+        sim = Simulation(
+            chip_factory(),
+            build_workload(workload),
+            PPMGovernor(config),
+            config=SimConfig(metrics_warmup_s=warmup_s),
+        )
+        metrics = sim.run(duration_s)
+        result.points.append(
+            SweepPoint(value=value, outcomes=outcome_fn(sim, metrics))
+        )
+    return result

@@ -1,0 +1,215 @@
+"""Programmatic validation of the reproduction's claims.
+
+EXPERIMENTS.md asserts a set of shape claims against the paper; this
+module re-checks them mechanically so a refactor that silently breaks a
+reproduced behaviour fails loudly (``repro-experiments validate``).
+
+Each claim is a named check returning pass/fail plus the measured
+evidence.  ``quick`` mode uses short runs (tens of seconds of wall
+clock); full mode uses the benchmark-grade durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core import ChipPowerState
+from .comparative import run_comparative
+from .priorities import run_priority_experiment
+from .reporting import format_table
+from .running_examples import table1, table2, table3
+from .savings import run_savings_experiment
+from .scalability import measure_overhead
+
+
+@dataclass
+class ClaimResult:
+    """Outcome of one validated claim."""
+
+    claim_id: str
+    description: str
+    passed: bool
+    evidence: str
+
+
+@dataclass
+class ValidationReport:
+    results: List[ClaimResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def as_table(self) -> str:
+        rows = [
+            [r.claim_id, "PASS" if r.passed else "FAIL", r.description, r.evidence]
+            for r in self.results
+        ]
+        return format_table(
+            ["claim", "status", "description", "evidence"],
+            rows,
+            title="Reproduction claim validation",
+        )
+
+
+def _check_table1() -> ClaimResult:
+    scenario, _ = table1()
+    row = scenario.rows[1]
+    ok = (
+        abs(row.supplies["ta"] - 200.0) < 1.0
+        and abs(row.supplies["tb"] - 100.0) < 1.0
+        and abs(row.bids["ta"] - 4.0 / 3.0) < 0.01
+    )
+    return ClaimResult(
+        "T1",
+        "Table 1 bidding dynamics reproduce cell-for-cell",
+        ok,
+        f"round2 supplies ({row.supplies['ta']:.0f}, {row.supplies['tb']:.0f})",
+    )
+
+
+def _check_table2() -> ClaimResult:
+    scenario, _ = table2()
+    ok = scenario.rows[2].core_supply == 300.0 and scenario.rows[3].core_supply == 400.0
+    return ClaimResult(
+        "T2",
+        "Table 2 inflation raises supply 300->400 with a one-round freeze",
+        ok,
+        f"supplies {[r.core_supply for r in scenario.rows]}",
+    )
+
+
+def _check_table3() -> ClaimResult:
+    scenario, _ = table3(rounds=40)
+    final = scenario.rows[-1]
+    states = {r.state for r in scenario.rows}
+    ok = (
+        final.state == "threshold"
+        and final.core_supply == 500.0
+        and "emergency" in states
+        and abs(final.supplies["ta"] - 300.0) < 10.0
+    )
+    return ClaimResult(
+        "T3",
+        "Table 3 stabilises in the threshold state at 500 PU, priorities honoured",
+        ok,
+        f"final ({final.state}, {final.core_supply:.0f} PU, "
+        f"s_ta={final.supplies['ta']:.0f})",
+    )
+
+
+def _check_comparative(duration_s: float, warmup_s: float) -> List[ClaimResult]:
+    result = run_comparative(duration_s=duration_s, warmup_s=warmup_s)
+    miss = {g: result.mean_miss(g) for g in ("PPM", "HPM", "HL")}
+    power = {g: result.mean_power(g) for g in ("PPM", "HPM", "HL")}
+    heavy = ("h1", "h2", "h3")
+    table = result.miss_table()
+    heavy_means = {
+        g: sum(table[g][w] for w in heavy) / 3 for g in ("PPM", "HPM", "HL")
+    }
+    return [
+        ClaimResult(
+            "F4a",
+            "Figure 4: PPM has the lowest mean QoS miss",
+            miss["PPM"] < miss["HPM"] and miss["PPM"] < miss["HL"],
+            f"means PPM={miss['PPM']:.3f} HPM={miss['HPM']:.3f} HL={miss['HL']:.3f}",
+        ),
+        ClaimResult(
+            "F4b",
+            "Figure 4: HL collapses on heavy sets",
+            heavy_means["HL"] > 0.5 and heavy_means["HL"] > heavy_means["PPM"],
+            f"heavy means HL={heavy_means['HL']:.2f} PPM={heavy_means['PPM']:.2f}",
+        ),
+        ClaimResult(
+            "F5",
+            "Figure 5: HL burns the most power; PPM does not exceed HPM",
+            power["HL"] > power["PPM"] and power["HL"] > power["HPM"]
+            and power["PPM"] <= power["HPM"] + 0.3,
+            f"powers PPM={power['PPM']:.2f} HPM={power['HPM']:.2f} HL={power['HL']:.2f}",
+        ),
+    ]
+
+
+def _check_tdp(duration_s: float, warmup_s: float) -> List[ClaimResult]:
+    result = run_comparative(
+        power_cap_w=4.0, duration_s=duration_s, warmup_s=warmup_s
+    )
+    improvement_hpm = result.improvement_over("HPM")
+    improvement_hl = result.improvement_over("HL")
+    return [
+        ClaimResult(
+            "F6a",
+            "Figure 6: PPM beats both baselines under the 4 W cap",
+            improvement_hpm > 0.0 and improvement_hl > 0.0,
+            f"improvements {improvement_hpm:.0%} vs HPM, {improvement_hl:.0%} vs HL",
+        ),
+        ClaimResult(
+            "F6b",
+            "Figure 6: every governor respects the cap on average",
+            all(result.mean_power(g) <= 4.3 for g in ("PPM", "HPM", "HL")),
+            f"mean powers {[round(result.mean_power(g), 2) for g in ('PPM', 'HPM', 'HL')]}",
+        ),
+    ]
+
+
+def _check_priorities(duration_s: float) -> ClaimResult:
+    prio = run_priority_experiment(7, 1, duration_s=duration_s)
+    ok = (
+        prio.swaptions_outside < 0.15
+        and prio.bodytrack_outside > 3 * prio.swaptions_outside
+    )
+    return ClaimResult(
+        "F7",
+        "Figure 7: priority 7 protects swaptions, bodytrack absorbs the misses",
+        ok,
+        f"outside: swaptions {prio.swaptions_outside:.1%}, "
+        f"bodytrack {prio.bodytrack_outside:.1%}",
+    )
+
+
+def _check_savings(dormant_s: float, active_s: float) -> ClaimResult:
+    result = run_savings_experiment(dormant_s=dormant_s, active_s=active_s, tail_s=30.0)
+    dormant = result.x264_normalized_hr(10.0, dormant_s)
+    early = result.x264_normalized_hr(dormant_s + 1.0, dormant_s + 15.0)
+    late = result.x264_normalized_hr(
+        dormant_s + active_s - 25.0, dormant_s + active_s
+    )
+    ok = dormant > 1.03 and early > late and late < 1.0
+    return ClaimResult(
+        "F8",
+        "Figure 8: bank while dormant, sustain from savings, collapse at exhaustion",
+        ok,
+        f"x264 hr dormant={dormant:.2f} early={early:.2f} late={late:.2f}",
+    )
+
+
+def _check_scalability() -> ClaimResult:
+    small = measure_overhead(2, 4, 8, invocations=3)
+    large = measure_overhead(256, 16, 32, invocations=3)
+    ok = large.avg_overhead_ms > small.avg_overhead_ms and large.avg_overhead_pct < 25.0
+    return ClaimResult(
+        "T7",
+        "Table 7: overhead grows with T x V yet stays a small interval fraction",
+        ok,
+        f"{small.total_tasks} tasks: {small.avg_overhead_ms:.2f} ms; "
+        f"{large.total_tasks} tasks: {large.avg_overhead_ms:.2f} ms",
+    )
+
+
+def validate_reproduction(quick: bool = True) -> ValidationReport:
+    """Run every claim check; ``quick`` trades precision for wall clock."""
+    duration = 45.0 if quick else 120.0
+    warmup = 15.0 if quick else 30.0
+    report = ValidationReport()
+    report.results.append(_check_table1())
+    report.results.append(_check_table2())
+    report.results.append(_check_table3())
+    report.results.extend(_check_comparative(duration, warmup))
+    report.results.extend(_check_tdp(duration, warmup))
+    report.results.append(_check_priorities(90.0 if quick else 300.0))
+    report.results.append(
+        _check_savings(60.0 if quick else 100.0, 100.0 if quick else 200.0)
+    )
+    report.results.append(_check_scalability())
+    return report

@@ -1,0 +1,35 @@
+"""Power-management governors: PPM and the paper's comparison baselines.
+
+* :class:`~repro.core.framework.PPMGovernor` -- the price-theory framework
+  (re-exported here for convenience).
+* :class:`HPMGovernor` -- hierarchical PID control (the DAC'13 baseline).
+* :class:`HLGovernor` -- Linaro's heterogeneity-aware scheduler with the
+  ondemand cpufreq governor.
+* :class:`OndemandGovernor`, :class:`MaxFrequencyGovernor`,
+  :class:`BaseGovernor` -- controls and building blocks.
+"""
+
+from ..core.framework import PPMGovernor
+from .base import BaseGovernor, MaxFrequencyGovernor, PeriodicAction, cluster_utilization
+from .eas import EASGovernor
+from .hl import HLGovernor
+from .hpm import HPMGovernor
+from .ondemand import OndemandDVFS, OndemandGovernor
+from .pid import PIDController
+from .static import PowersaveGovernor, UserspaceGovernor
+
+__all__ = [
+    "BaseGovernor",
+    "EASGovernor",
+    "HLGovernor",
+    "HPMGovernor",
+    "MaxFrequencyGovernor",
+    "OndemandDVFS",
+    "OndemandGovernor",
+    "PIDController",
+    "PPMGovernor",
+    "PowersaveGovernor",
+    "PeriodicAction",
+    "UserspaceGovernor",
+    "cluster_utilization",
+]

@@ -1,0 +1,70 @@
+"""Common governor scaffolding.
+
+All policies -- PPM and the baselines -- implement the engine's
+:class:`~repro.sim.engine.Governor` protocol.  This module adds the shared
+convenience of periodic sub-activities: most policies act at periods much
+longer than the engine tick.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim.engine import Simulation
+
+
+class PeriodicAction:
+    """Tracks when a periodic activity is next due."""
+
+    def __init__(self, period_s: float, start_at_s: float = 0.0):
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.period_s = period_s
+        self._next_due = start_at_s
+
+    def due(self, now: float) -> bool:
+        """True (and re-arms) when the activity should run at ``now``."""
+        if now + 1e-9 >= self._next_due:
+            self._next_due = now + self.period_s
+            return True
+        return False
+
+
+class BaseGovernor:
+    """No-op governor; a convenient superclass for the baselines.
+
+    On its own this is the "race-to-idle-free" null policy: fair equal
+    shares, clusters stuck at their boot frequency.  Useful as an
+    experimental control and in engine tests.
+    """
+
+    def prepare(self, sim: Simulation) -> None:  # pragma: no cover - trivial
+        """Called once before the first tick."""
+
+    def on_tick(self, sim: Simulation) -> None:  # pragma: no cover - trivial
+        """Called every engine tick."""
+
+
+class MaxFrequencyGovernor(BaseGovernor):
+    """Performance governor: pin every cluster at its top level.
+
+    The upper bound on QoS and on power; used by tests and as an
+    ablation reference.
+    """
+
+    def prepare(self, sim: Simulation) -> None:
+        for cluster in sim.chip.clusters:
+            sim.request_level(cluster, cluster.vf_table.max_index)
+
+    def on_tick(self, sim: Simulation) -> None:
+        for cluster in sim.chip.clusters:
+            if cluster.regulator.target_index != cluster.vf_table.max_index:
+                sim.request_level(cluster, cluster.vf_table.max_index)
+
+
+def cluster_utilization(sim: Simulation) -> Dict[str, float]:
+    """Maximum per-core utilisation per cluster (ondemand's input)."""
+    return {
+        cluster.cluster_id: max((core.utilization for core in cluster.cores), default=0.0)
+        for cluster in sim.chip.clusters
+    }

@@ -1,0 +1,187 @@
+"""EAS: an energy-aware-scheduling baseline in the mould of modern Linux.
+
+Not one of the paper's comparators (it predates mainline EAS) but the
+policy mainstream Linux actually ships today for big.LITTLE-class chips,
+included as an extension comparator:
+
+* **schedutil DVFS**: each cluster's frequency targets
+  ``next_freq = margin * current_freq * util`` (the kernel's 1.25x
+  headroom rule), applied directly rather than stepwise;
+* **energy-aware wake placement**: a task is (re)placed on the candidate
+  core whose cluster adds the least modelled energy for the task's
+  estimated load, consulting the same power model PPM's estimator uses
+  (the analogue of the kernel's Energy Model tables);
+* plain fair sharing within a core; no QoS/heartbeat awareness at all --
+  like HL it reacts to load, not to application demands.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hw.topology import Chip, Cluster, Core
+from ..sim.engine import Simulation
+from ..tasks.task import Task
+from .base import BaseGovernor, PeriodicAction
+
+
+class EASGovernor(BaseGovernor):
+    """Energy-aware scheduler + schedutil (extension baseline).
+
+    Args:
+        margin: schedutil's frequency headroom multiplier (kernel: 1.25).
+        dvfs_period_s: Frequency re-evaluation period.
+        placement_period_s: How often wake-balancing reconsiders tasks.
+        overutilized_threshold: Per-core utilisation beyond which EAS
+            falls back to spreading (the kernel's "overutilized" escape
+            hatch disabling energy-aware placement).
+    """
+
+    def __init__(
+        self,
+        margin: float = 1.25,
+        dvfs_period_s: float = 0.05,
+        placement_period_s: float = 0.10,
+        overutilized_threshold: float = 0.95,
+    ):
+        if margin < 1.0:
+            raise ValueError("margin must be >= 1")
+        self.margin = margin
+        self.overutilized_threshold = overutilized_threshold
+        self._dvfs_timer = PeriodicAction(dvfs_period_s)
+        self._placement_timer = PeriodicAction(placement_period_s)
+
+    # -- energy model -----------------------------------------------------------
+    @staticmethod
+    def _core_demands_pus(sim: Simulation, cluster: Cluster, exclude=None) -> "list[float]":
+        """Per-core summed task demand (PELT utilisation in PUs)."""
+        demands = []
+        for core in cluster.cores:
+            demands.append(
+                sum(
+                    task.true_demand_pus(cluster.core_type, sim.now)
+                    for task in sim.placement.tasks_on_core(core)
+                    if task is not exclude
+                )
+            )
+        return demands
+
+    def _energy_cost_w(
+        self, sim: Simulation, cluster: Cluster, task: Task
+    ) -> float:
+        """Modelled cluster power if ``task`` joined ``cluster``.
+
+        Mirrors the kernel's EM lookup: the hypothetical task lands on
+        the emptiest core, the cluster's level must cover its *busiest*
+        core with schedutil margin, and the cost is summed per core at
+        the implied utilisations.
+        """
+        try:
+            task_demand = task.true_demand_pus(cluster.core_type, sim.now)
+        except KeyError:
+            return float("inf")
+        demands = self._core_demands_pus(sim, cluster, exclude=task)
+        demands[demands.index(min(demands))] += task_demand
+        table = cluster.vf_table
+        level = table[table.index_for_demand(max(demands) * self.margin)]
+        supply = level.supply_pus
+        utilizations = [min(1.0, d / supply) if supply else 0.0 for d in demands]
+        return sim.chip.power_model.cluster_power_w(
+            cluster.power_params, level, utilizations
+        )
+
+    # -- placement -------------------------------------------------------------
+    def _cluster_cost_without_w(
+        self, sim: Simulation, cluster: Cluster, exclude: Task
+    ) -> float:
+        """Modelled cluster power without ``exclude``.
+
+        An empty cluster costs nothing (it would be power-gated), so a
+        placement that wakes a cluster is charged its full power -- the
+        kernel's energy-delta semantics.
+        """
+        demands = self._core_demands_pus(sim, cluster, exclude=exclude)
+        if not any(d > 0 for d in demands):
+            return 0.0
+        table = cluster.vf_table
+        level = table[table.index_for_demand(max(demands) * self.margin)]
+        supply = level.supply_pus
+        utilizations = [min(1.0, d / supply) if supply else 0.0 for d in demands]
+        return sim.chip.power_model.cluster_power_w(
+            cluster.power_params, level, utilizations
+        )
+
+    def _best_core(self, sim: Simulation, task: Task) -> Optional[Core]:
+        best: Optional[Core] = None
+        best_cost = float("inf")
+        for cluster in sim.chip.clusters:
+            # Energy *delta* of hosting the task here, not absolute power
+            # -- otherwise busy clusters look expensive to join even when
+            # joining them is nearly free.
+            cost = self._energy_cost_w(sim, cluster, task) - self._cluster_cost_without_w(
+                sim, cluster, exclude=task
+            )
+            if cost >= best_cost:
+                continue
+            # Fit check: the task's demand must fit a core of this
+            # cluster at max frequency (otherwise placement is futile).
+            try:
+                demand = task.true_demand_pus(cluster.core_type, sim.now)
+            except KeyError:
+                continue
+            if demand > cluster.max_supply_pus:
+                continue
+            candidate = sim.placement.least_loaded_core(
+                cluster.cores, sim.now, exclude=task
+            )
+            best, best_cost = candidate, cost
+        return best
+
+    def place_task(self, sim: Simulation, task: Task) -> None:
+        core = self._best_core(sim, task)
+        if core is not None:
+            sim.place(task, core)
+
+    def _rebalance(self, sim: Simulation) -> None:
+        overutilized = any(
+            core.utilization > self.overutilized_threshold
+            for core in sim.chip.cores
+            if core.cluster.powered
+        )
+        for task in sim.active_tasks():
+            current = sim.placement.core_of(task)
+            if current is None or task.frozen_until > sim.now:
+                continue
+            target = self._best_core(sim, task)
+            if target is None or target is current:
+                continue
+            if overutilized:
+                # Kernel behaviour: when overutilized, spread for
+                # throughput instead of chasing energy.
+                busiest_load = sum(
+                    t.true_demand_pus(current.cluster.core_type, sim.now)
+                    for t in sim.placement.tasks_on_core(current)
+                )
+                if busiest_load <= current.supply_pus:
+                    continue
+            elif target.cluster is current.cluster:
+                continue  # intra-cluster moves only pay off when overutilized
+            sim.migrate(task, target)
+            return  # one move per invocation
+
+    # -- DVFS --------------------------------------------------------------------
+    def _schedutil(self, sim: Simulation) -> None:
+        for cluster in sim.chip.clusters:
+            if not cluster.powered:
+                continue
+            busiest = max(self._core_demands_pus(sim, cluster), default=0.0)
+            target = cluster.vf_table.index_for_demand(busiest * self.margin)
+            if target != cluster.regulator.target_index:
+                sim.request_level(cluster, target)
+
+    # -- governor protocol ---------------------------------------------------------
+    def on_tick(self, sim: Simulation) -> None:
+        if self._placement_timer.due(sim.now):
+            self._rebalance(sim)
+        if self._dvfs_timer.due(sim.now):
+            self._schedutil(sim)

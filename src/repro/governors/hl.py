@@ -1,0 +1,155 @@
+"""HL: the Linaro heterogeneity-aware Linux scheduler baseline.
+
+Re-implemented from the paper's description (section 5.3): the HL
+scheduler (Linaro's big.LITTLE MP patches in the Linux 3.8 release)
+
+* uses a task's *activeness* -- time spent in the active run queue,
+  i.e. per-entity load tracking -- as the migration signal: a task whose
+  tracked load exceeds an up-threshold is moved to the A15 (big) cluster
+  "at the first opportunity", and moved back to the A7 (LITTLE) cluster
+  when its load falls below a down-threshold;
+* does not react to the performance demands of individual tasks (plain
+  fair scheduling within a core);
+* pairs with the cpufreq ondemand governor for DVFS;
+* under a TDP cap, the paper's methodology switches the A15 cluster off
+  entirely once chip power exceeds the budget, since the A7 cluster alone
+  can never exceed it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..hw.topology import Cluster, Core
+from ..sim.engine import Simulation
+from ..tasks.task import Task
+from .base import BaseGovernor, PeriodicAction
+from .ondemand import OndemandDVFS
+
+
+class HLGovernor(BaseGovernor):
+    """Heterogeneity-aware Linux scheduler + ondemand (the HL baseline).
+
+    Args:
+        up_threshold: Tracked-load level that promotes a task to big.
+        down_threshold: Tracked-load level that demotes a task to LITTLE.
+        migration_period_s: How often migration decisions are taken.
+        power_cap_w: Optional TDP; above it the big cluster is switched
+            off for the rest of the run (the paper's 4 W experiment).
+    """
+
+    def __init__(
+        self,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.30,
+        migration_period_s: float = 0.10,
+        balance_period_s: float = 0.10,
+        ondemand_up_threshold: float = 0.80,
+        ondemand_period_s: float = 0.05,
+        power_cap_w: Optional[float] = None,
+    ):
+        if not 0.0 <= down_threshold < up_threshold <= 1.0:
+            raise ValueError("need 0 <= down < up <= 1")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.power_cap_w = power_cap_w
+        self._dvfs = OndemandDVFS(ondemand_up_threshold, ondemand_period_s)
+        self._migrate_timer = PeriodicAction(migration_period_s)
+        self._balance_timer = PeriodicAction(balance_period_s)
+        self.capped = False  #: big cluster permanently off (TDP tripped)
+
+    # -- helpers --------------------------------------------------------------
+    @staticmethod
+    def _big_cluster(sim: Simulation) -> Cluster:
+        return max(sim.chip.clusters, key=lambda c: c.max_supply_pus)
+
+    @staticmethod
+    def _little_cluster(sim: Simulation) -> Cluster:
+        return min(sim.chip.clusters, key=lambda c: c.max_supply_pus)
+
+    @staticmethod
+    def _fewest_tasks_core(sim: Simulation, cluster: Cluster) -> Core:
+        """HL picks a destination without looking at utilisation -- it
+        simply balances run-queue lengths."""
+        return min(
+            cluster.cores, key=lambda core: len(sim.placement.tasks_on_core(core))
+        )
+
+    def _enforce_power_cap(self, sim: Simulation) -> None:
+        if self.power_cap_w is None or self.capped:
+            return
+        sample = sim.last_power_sample()
+        if sample is None or sample.chip_power_w <= self.power_cap_w:
+            return
+        # Trip: evacuate and switch off the big cluster for good.  The A7
+        # cluster's maximum power is safely below the cap.
+        big = self._big_cluster(sim)
+        little = self._little_cluster(sim)
+        for task in list(sim.placement.tasks_on_cluster(big)):
+            sim.migrate(task, self._fewest_tasks_core(sim, little))
+        sim.power_down(big, hold=True)
+        self.capped = True
+
+    def _migrate(self, sim: Simulation) -> None:
+        big = self._big_cluster(sim)
+        little = self._little_cluster(sim)
+        if big is little:
+            return
+        for task in sim.active_tasks():
+            core = sim.placement.core_of(task)
+            if core is None or task.frozen_until > sim.now:
+                continue
+            load = sim.load_tracker.load(task)
+            if core.cluster is little and load >= self.up_threshold and not self.capped:
+                sim.migrate(task, self._fewest_tasks_core(sim, big))
+            elif core.cluster is big and load <= self.down_threshold:
+                sim.migrate(task, self._fewest_tasks_core(sim, little))
+
+    def _balance(self, sim: Simulation) -> None:
+        """CFS-style load balancing within each cluster.
+
+        CFS equalises the *tracked load* of run queues: pull work onto an
+        idle core, and even out a >25% load imbalance by moving the
+        lightest task off the busiest core.
+        """
+        for cluster in sim.chip.clusters:
+            if not cluster.powered or len(cluster.cores) < 2:
+                continue
+
+            def core_load(core: Core) -> float:
+                return sum(
+                    sim.load_tracker.load(t)
+                    for t in sim.placement.tasks_on_core(core)
+                )
+
+            busiest = max(cluster.cores, key=core_load)
+            lightest = min(cluster.cores, key=core_load)
+            movable = [
+                t
+                for t in sim.placement.tasks_on_core(busiest)
+                if t.frozen_until <= sim.now
+            ]
+            if len(movable) < 2:
+                continue
+            gap = core_load(busiest) - core_load(lightest)
+            if gap <= 0.2:
+                continue
+            # Best-fit: move the task that most evens the two queues, and
+            # only if the move strictly shrinks the gap -- this gives the
+            # balancer a fixed point instead of a ping-pong cycle.
+            def gap_after(task: Task) -> float:
+                load = sim.load_tracker.load(task)
+                return abs(gap - 2.0 * load)
+
+            candidate = min(movable, key=gap_after)
+            if gap_after(candidate) < gap * 0.8:
+                sim.migrate(candidate, lightest)
+
+    # -- governor protocol ---------------------------------------------------------
+    def on_tick(self, sim: Simulation) -> None:
+        self._enforce_power_cap(sim)
+        if self._migrate_timer.due(sim.now):
+            self._migrate(sim)
+        if self._balance_timer.due(sim.now):
+            self._balance(sim)
+        self._dvfs.on_tick(sim)

@@ -1,0 +1,239 @@
+"""HPM: the hierarchical control-theory power-management baseline.
+
+Re-implemented from the paper's description of its DAC'13 predecessor
+(sections 4/5.3): "a control-theory based power management framework that
+employs multiple PID controllers to meet the demand of tasks in asymmetric
+multi-cores under TDP constraint.  However, the HPM scheduler uses naive
+load balancing and task migration strategy" that is "non-speculative" and
+"oblivious to the utilizations in the other clusters".
+
+Structure:
+
+* a per-task PID on the heart-rate error steers the task's explicit
+  supply allocation (the resource-share controller);
+* a per-cluster controller picks the lowest V-F level whose supply covers
+  the busiest core's summed allocations plus headroom;
+* an outer TDP loop lowers a frequency cap on the most power-hungry
+  cluster while the chip power exceeds the budget and releases it below;
+* the naive LBT: within a cluster, move a task from the most to the least
+  loaded core when imbalance is large; across clusters, a task that keeps
+  missing its target on a saturated, max-frequency cluster is pushed to
+  the other cluster type at a round-robin core -- without checking how
+  busy that core is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..hw.topology import Cluster, Core
+from ..sim.engine import Simulation
+from ..tasks.task import Task
+from .base import BaseGovernor, PeriodicAction
+from .pid import PIDController
+
+
+class HPMGovernor(BaseGovernor):
+    """Hierarchical PID power manager (the HPM baseline)."""
+
+    def __init__(
+        self,
+        control_period_s: float = 0.05,
+        lbt_period_s: float = 0.20,
+        headroom: float = 0.10,
+        power_cap_w: Optional[float] = None,
+        kp: float = 0.6,
+        ki: float = 0.2,
+        miss_streak_to_migrate: int = 8,
+        imbalance_threshold: float = 0.25,
+    ):
+        self.headroom = headroom
+        self.power_cap_w = power_cap_w
+        self._kp = kp
+        self._ki = ki
+        self._control_timer = PeriodicAction(control_period_s)
+        self._lbt_timer = PeriodicAction(lbt_period_s)
+        self._control_period_s = control_period_s
+        self._task_pids: Dict[Task, PIDController] = {}
+        self._allocations: Dict[Task, float] = {}
+        self._miss_streak: Dict[Task, int] = {}
+        self._freq_caps: Dict[str, int] = {}
+        self._rr_counter = 0
+        self.miss_streak_to_migrate = miss_streak_to_migrate
+        self.imbalance_threshold = imbalance_threshold
+
+    # -- per-task resource-share control ---------------------------------------
+    def _pid_for(self, task: Task) -> PIDController:
+        pid = self._task_pids.get(task)
+        if pid is None:
+            pid = PIDController(
+                kp=self._kp,
+                ki=self._ki,
+                output_limits=(-1.0, 1.0),
+                integral_limits=(-2.0, 2.0),
+            )
+            self._task_pids[task] = pid
+        return pid
+
+    def _control_allocations(self, sim: Simulation) -> None:
+        for task in sim.active_tasks():
+            core = sim.placement.core_of(task)
+            if core is None:
+                continue
+            current = self._allocations.get(task)
+            if current is None:
+                current = task.profile.nominal_demand_pus(core.cluster.core_type)
+            hr = task.observed_heart_rate()
+            if hr > 0.0:
+                error = (task.target_hr - hr) / task.target_hr
+                adjustment = self._pid_for(task).update(error, self._control_period_s)
+                current *= 1.0 + adjustment * 0.5
+            max_supply = max(c.max_supply_pus for c in sim.chip.clusters)
+            current = min(max(current, 1.0), max_supply)
+            self._allocations[task] = current
+            sim.set_allocation(task, current)
+            if task.hr_range.below(hr) and hr > 0.0:
+                self._miss_streak[task] = self._miss_streak.get(task, 0) + 1
+            else:
+                self._miss_streak[task] = 0
+
+    # -- per-cluster frequency control --------------------------------------------
+    def _core_load(self, sim: Simulation, core: Core) -> float:
+        return sum(
+            self._allocations.get(t, 0.0)
+            for t in sim.placement.tasks_on_core(core)
+            if t.is_active(sim.now)
+        )
+
+    def _control_frequencies(self, sim: Simulation) -> None:
+        for cluster in sim.chip.clusters:
+            if not cluster.powered:
+                continue
+            busiest = max(
+                (self._core_load(sim, core) for core in cluster.cores), default=0.0
+            )
+            if busiest <= 0.0:
+                sim.request_level(cluster, 0)
+                continue
+            target = cluster.vf_table.index_for_demand(busiest * (1.0 + self.headroom))
+            cap = self._freq_caps.get(cluster.cluster_id)
+            if cap is not None:
+                target = min(target, cap)
+            if target != cluster.regulator.target_index:
+                sim.request_level(cluster, target)
+
+    # -- TDP outer loop ---------------------------------------------------------
+    def _control_power(self, sim: Simulation) -> None:
+        if self.power_cap_w is None:
+            return
+        sample = sim.last_power_sample()
+        if sample is None:
+            return
+        if sample.chip_power_w > self.power_cap_w:
+            hungriest = max(
+                (c for c in sim.chip.clusters if c.powered),
+                key=lambda c: sample.cluster_power_w.get(c.cluster_id, 0.0),
+                default=None,
+            )
+            if hungriest is not None:
+                current_cap = self._freq_caps.get(
+                    hungriest.cluster_id, hungriest.vf_table.max_index
+                )
+                self._freq_caps[hungriest.cluster_id] = max(0, current_cap - 1)
+        elif sample.chip_power_w < 0.85 * self.power_cap_w:
+            for cluster_id in list(self._freq_caps):
+                cap = self._freq_caps[cluster_id]
+                table = sim.chip.cluster(cluster_id).vf_table
+                if cap >= table.max_index:
+                    del self._freq_caps[cluster_id]
+                else:
+                    self._freq_caps[cluster_id] = cap + 1
+
+    # -- naive LBT ---------------------------------------------------------------
+    def _other_cluster(self, sim: Simulation, cluster: Cluster) -> Optional[Cluster]:
+        others = [c for c in sim.chip.clusters if c is not cluster]
+        if not others:
+            return None
+        # Prefer the faster cluster for unsatisfied tasks.
+        return max(others, key=lambda c: c.max_supply_pus)
+
+    def _round_robin_core(self, cluster: Cluster) -> Core:
+        self._rr_counter += 1
+        return cluster.cores[self._rr_counter % len(cluster.cores)]
+
+    def _load_balance(self, sim: Simulation) -> None:
+        for cluster in sim.chip.clusters:
+            if not cluster.powered or len(cluster.cores) < 2:
+                continue
+            loads = {core: self._core_load(sim, core) for core in cluster.cores}
+            busiest = max(loads, key=loads.get)
+            lightest = min(loads, key=loads.get)
+            if loads[busiest] <= 0.0:
+                continue
+            imbalance = (loads[busiest] - loads[lightest]) / max(loads[busiest], 1e-9)
+            if imbalance < self.imbalance_threshold:
+                continue
+            movable = [
+                t
+                for t in sim.placement.tasks_on_core(busiest)
+                if t.frozen_until <= sim.now
+            ]
+            if len(movable) < 2:
+                continue
+            smallest = min(movable, key=lambda t: self._allocations.get(t, 0.0))
+            sim.migrate(smallest, lightest)
+
+    def _migrate(self, sim: Simulation) -> None:
+        for task in sim.active_tasks():
+            core = sim.placement.core_of(task)
+            if core is None or task.frozen_until > sim.now:
+                continue
+            cluster = core.cluster
+            if self._miss_streak.get(task, 0) >= self.miss_streak_to_migrate:
+                at_top = cluster.regulator.target_index >= self._freq_caps.get(
+                    cluster.cluster_id, cluster.vf_table.max_index
+                )
+                oversubscribed = self._core_load(sim, core) > cluster.supply_pus
+                target = self._other_cluster(sim, cluster)
+                if (
+                    at_top
+                    and oversubscribed
+                    and target is not None
+                    and target.max_supply_pus > cluster.max_supply_pus
+                ):
+                    # Naive: round-robin destination, no look at its load.
+                    sim.migrate(task, self._round_robin_core(target))
+                    self._allocations[task] = task.profile.nominal_demand_pus(
+                        target.core_type
+                    )
+                    self._miss_streak[task] = 0
+                    return  # one migration per invocation
+            else:
+                # Demote comfortably-satisfied tasks from the fast cluster.
+                others = [c for c in sim.chip.clusters if c is not cluster]
+                slower = [c for c in others if c.max_supply_pus < cluster.max_supply_pus]
+                if not slower:
+                    continue
+                little = min(slower, key=lambda c: c.max_supply_pus)
+                hr = task.observed_heart_rate()
+                try:
+                    demand_little = task.profile.nominal_demand_pus(little.core_type)
+                except KeyError:
+                    continue
+                if (
+                    hr > task.hr_range.max_hr
+                    and demand_little < 0.5 * little.max_supply_pus
+                ):
+                    sim.migrate(task, self._round_robin_core(little))
+                    self._allocations[task] = demand_little
+                    return
+
+    # -- governor protocol ---------------------------------------------------------
+    def on_tick(self, sim: Simulation) -> None:
+        if self._control_timer.due(sim.now):
+            self._control_allocations(sim)
+            self._control_power(sim)
+            self._control_frequencies(sim)
+        if self._lbt_timer.due(sim.now):
+            self._load_balance(sim)
+            self._migrate(sim)

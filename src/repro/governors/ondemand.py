@@ -1,0 +1,66 @@
+"""The cpufreq *ondemand* frequency governor.
+
+The paper pairs the HL scheduler with "the cpufreq on-demand governor that
+changes the frequency value based on processor utilization" (section 5.3).
+Classic ondemand semantics: when utilisation crosses the up-threshold the
+cluster jumps straight to its maximum frequency; otherwise the frequency
+is proportionally lowered so utilisation would sit at the up-threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.engine import Simulation
+from .base import BaseGovernor, PeriodicAction, cluster_utilization
+
+
+class OndemandDVFS:
+    """Per-cluster ondemand logic, embeddable into any governor.
+
+    Args:
+        up_threshold: Utilisation above which the cluster races to max.
+        sampling_period_s: How often utilisation is evaluated (Linux
+            default is tens of milliseconds).
+    """
+
+    def __init__(self, up_threshold: float = 0.80, sampling_period_s: float = 0.05):
+        if not 0.0 < up_threshold <= 1.0:
+            raise ValueError("up_threshold must be in (0, 1]")
+        self.up_threshold = up_threshold
+        self._timer = PeriodicAction(sampling_period_s)
+
+    def on_tick(self, sim: Simulation) -> None:
+        if not self._timer.due(sim.now):
+            return
+        utils = cluster_utilization(sim)
+        for cluster in sim.chip.clusters:
+            if not cluster.powered:
+                continue
+            util = utils.get(cluster.cluster_id, 0.0)
+            table = cluster.vf_table
+            if util >= self.up_threshold:
+                sim.request_level(cluster, table.max_index)
+                continue
+            # Proportional scale-down: pick the lowest level whose supply
+            # keeps utilisation at/below the threshold.
+            needed_supply = util * cluster.supply_pus / self.up_threshold
+            target = table.index_for_demand(needed_supply)
+            if target < cluster.regulator.target_index:
+                sim.request_level(cluster, target)
+
+
+class OndemandGovernor(BaseGovernor):
+    """Stand-alone governor: fair shares plus ondemand DVFS.
+
+    No migration policy at all -- tasks stay where they are placed.  Used
+    as an experimental control and inside the HL baseline.
+    """
+
+    def __init__(
+        self, up_threshold: float = 0.80, sampling_period_s: float = 0.05
+    ):
+        self._dvfs = OndemandDVFS(up_threshold, sampling_period_s)
+
+    def on_tick(self, sim: Simulation) -> None:
+        self._dvfs.on_tick(sim)

@@ -1,0 +1,53 @@
+"""A textbook PID controller with output and anti-windup clamping.
+
+Building block of the HPM baseline (the DAC'13 hierarchical framework
+"employs multiple PID controllers to meet the demand of tasks in
+asymmetric multi-cores under TDP constraint").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass
+class PIDController:
+    """Discrete PID: ``u = kp*e + ki*integral(e) + kd*de/dt``.
+
+    Attributes:
+        kp, ki, kd: The usual gains.
+        output_limits: Clamp on the returned control value.
+        integral_limits: Anti-windup clamp on the accumulated integral;
+            defaults to the output limits scaled by ``1/ki`` when set.
+    """
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+    output_limits: Optional[Tuple[float, float]] = None
+    integral_limits: Optional[Tuple[float, float]] = None
+    _integral: float = field(default=0.0, repr=False)
+    _last_error: Optional[float] = field(default=None, repr=False)
+
+    def update(self, error: float, dt: float) -> float:
+        """Advance the controller by ``dt`` with the current ``error``."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self._integral += error * dt
+        if self.integral_limits is not None:
+            lo, hi = self.integral_limits
+            self._integral = max(lo, min(hi, self._integral))
+        derivative = 0.0
+        if self._last_error is not None:
+            derivative = (error - self._last_error) / dt
+        self._last_error = error
+        output = self.kp * error + self.ki * self._integral + self.kd * derivative
+        if self.output_limits is not None:
+            lo, hi = self.output_limits
+            output = max(lo, min(hi, output))
+        return output
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._last_error = None

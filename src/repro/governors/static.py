@@ -1,0 +1,56 @@
+"""Static frequency governors: powersave and userspace.
+
+Together with :class:`~repro.governors.base.MaxFrequencyGovernor`
+(cpufreq's *performance*) these complete the classic cpufreq governor
+set; they serve as experimental controls bounding any dynamic policy
+from below (power) and as fixed-point references for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.engine import Simulation
+from .base import BaseGovernor
+
+
+class PowersaveGovernor(BaseGovernor):
+    """Pin every cluster at its lowest V-F level (cpufreq *powersave*).
+
+    The floor on power and the ceiling on QoS misses.
+    """
+
+    def prepare(self, sim: Simulation) -> None:
+        for cluster in sim.chip.clusters:
+            sim.request_level(cluster, 0)
+
+    def on_tick(self, sim: Simulation) -> None:
+        for cluster in sim.chip.clusters:
+            if cluster.regulator.target_index != 0:
+                sim.request_level(cluster, 0)
+
+
+class UserspaceGovernor(BaseGovernor):
+    """Hold operator-chosen fixed levels per cluster (cpufreq *userspace*).
+
+    Args:
+        levels: Cluster id -> V-F level index.  Unlisted clusters are
+            left wherever they are.
+    """
+
+    def __init__(self, levels: Optional[Dict[str, int]] = None):
+        self.levels = dict(levels or {})
+
+    def set_level(self, cluster_id: str, index: int) -> None:
+        """Change the held level (takes effect next tick)."""
+        self.levels[cluster_id] = index
+
+    def prepare(self, sim: Simulation) -> None:
+        self.on_tick(sim)
+
+    def on_tick(self, sim: Simulation) -> None:
+        for cluster_id, index in self.levels.items():
+            cluster = sim.chip.cluster(cluster_id)
+            clamped = cluster.vf_table.clamp_index(index)
+            if cluster.regulator.target_index != clamped:
+                sim.request_level(cluster, clamped)

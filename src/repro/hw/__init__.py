@@ -1,0 +1,63 @@
+"""Hardware substrate: heterogeneous multi-core chip model.
+
+Simulated stand-in for the paper's ARM Versatile Express TC2 board --
+clusters of identical cores with per-cluster DVFS, an analytic power model
+calibrated to the board's measured envelope, hwmon-style sensors, energy
+meters, and the measured migration-cost model.
+"""
+
+from .calibration import CalibrationTarget, energy_per_pu_w, fit_power_params, verify_calibration
+from .dvfs import DVFSRegulator
+from .energy import EnergyMeter
+from .migration import TC2_MIGRATION_COSTS, CostRange, MigrationCostModel
+from .power import CorePowerParams, PowerModel
+from .presets import (
+    A7_POWER,
+    A15_POWER,
+    TC2_CAPPED_TDP_W,
+    TC2_TDP_W,
+    a7_vf_table,
+    a15_vf_table,
+    odroid_xu3_chip,
+    synthetic_chip,
+    tc2_chip,
+)
+from .sensors import PowerSensor, SensorSample
+from .thermal import ThermalCycleCounter, ThermalModel, ThermalParams, track_thermals
+from .topology import Chip, Cluster, Core
+from .vf import VFLevel, VFTable, vf_table_from_pairs
+
+__all__ = [
+    "A7_POWER",
+    "A15_POWER",
+    "CalibrationTarget",
+    "Chip",
+    "Cluster",
+    "Core",
+    "CorePowerParams",
+    "CostRange",
+    "DVFSRegulator",
+    "EnergyMeter",
+    "MigrationCostModel",
+    "PowerModel",
+    "PowerSensor",
+    "SensorSample",
+    "ThermalCycleCounter",
+    "ThermalModel",
+    "ThermalParams",
+    "TC2_CAPPED_TDP_W",
+    "TC2_MIGRATION_COSTS",
+    "TC2_TDP_W",
+    "VFLevel",
+    "VFTable",
+    "a7_vf_table",
+    "energy_per_pu_w",
+    "fit_power_params",
+    "a15_vf_table",
+    "odroid_xu3_chip",
+    "synthetic_chip",
+    "tc2_chip",
+    "track_thermals",
+    "verify_calibration",
+    "vf_table_from_pairs",
+]

@@ -1,0 +1,84 @@
+"""Power-model calibration utilities.
+
+The TC2 preset's power coefficients were fitted by hand against the
+paper's quoted envelope (A7 cluster ~2 W, A15 ~6 W, TDP 8 W).  Porting
+the framework to another chip means re-fitting; this module solves the
+fit analytically and verifies an existing calibration, so presets for new
+silicon are one function call instead of trial and error.
+
+Model recap (see :mod:`repro.hw.power`)::
+
+    P_cluster(max) = n * (k_dyn * V^2 * f + k_static * V) + uncore
+
+Given a target full-load cluster power and a chosen dynamic/static split,
+the two coefficients follow directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .power import CorePowerParams, PowerModel
+from .vf import VFLevel, VFTable
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """What the fitted cluster should look like at full load."""
+
+    max_power_w: float  #: cluster power, all cores busy at the top level
+    n_cores: int
+    top_level: VFLevel
+    dynamic_fraction: float = 0.8  #: share of core power that is dynamic
+    uncore_w: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.max_power_w <= self.uncore_w:
+            raise ValueError("target power must exceed the uncore floor")
+        if not 0.0 < self.dynamic_fraction < 1.0:
+            raise ValueError("dynamic fraction must be in (0, 1)")
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+
+
+def fit_power_params(target: CalibrationTarget) -> CorePowerParams:
+    """Solve ``(k_dyn, k_static)`` for the target envelope exactly."""
+    per_core = (target.max_power_w - target.uncore_w) / target.n_cores
+    dynamic = per_core * target.dynamic_fraction
+    static = per_core * (1.0 - target.dynamic_fraction)
+    level = target.top_level
+    k_dyn = dynamic / (level.voltage_v**2 * level.frequency_mhz)
+    k_static = static / level.voltage_v
+    return CorePowerParams(k_dyn=k_dyn, k_static=k_static, uncore_w=target.uncore_w)
+
+
+def verify_calibration(
+    params: CorePowerParams,
+    vf_table: VFTable,
+    n_cores: int,
+    expected_max_w: float,
+    tolerance: float = 0.15,
+) -> Tuple[bool, float]:
+    """Check a calibration against an expected full-load power.
+
+    Returns ``(within tolerance, measured watts)``.
+    """
+    model = PowerModel()
+    measured = model.max_cluster_power_w(params, vf_table.max_level, n_cores)
+    ok = abs(measured - expected_max_w) <= tolerance * expected_max_w
+    return ok, measured
+
+
+def energy_per_pu_w(
+    params: CorePowerParams, vf_table: VFTable, n_cores: int, level_index: Optional[int] = None
+) -> float:
+    """Watts per PU of a fully loaded cluster at ``level_index`` (default max).
+
+    The figure of merit the LBT module's energy-aware pricing uses; handy
+    when choosing which cluster of a new chip should host steady work.
+    """
+    index = vf_table.max_index if level_index is None else vf_table.clamp_index(level_index)
+    level = vf_table[index]
+    watts = PowerModel().max_cluster_power_w(params, level, n_cores)
+    return watts / (level.supply_pus * n_cores)

@@ -1,0 +1,95 @@
+"""Cluster-level DVFS regulator with transition latency.
+
+On the TC2 platform the frequency can only be changed per cluster (all cores
+of a cluster share one V-F regulator); the voltage for each frequency is set
+automatically by the hardware.  Real regulators take a short, non-zero time
+to re-lock the PLL and settle the voltage rail; during a transition the
+paper freezes the market's bids until the new supply has been observed, so
+the regulator exposes an explicit *in transition* state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .vf import VFTable
+
+
+@dataclass
+class DVFSRegulator:
+    """Discrete-level frequency regulator for one cluster.
+
+    The regulator tracks the applied level index and at most one pending
+    request.  ``tick(dt)`` advances wall time; a pending request is applied
+    once its transition latency has elapsed.
+
+    Attributes:
+        table: The cluster's V-F table.
+        level_index: Currently applied level index.
+        transition_latency_s: Time for a level change to take effect.
+    """
+
+    table: VFTable
+    level_index: int = 0
+    transition_latency_s: float = 0.001
+    _pending_index: Optional[int] = field(default=None, repr=False)
+    _pending_remaining_s: float = field(default=0.0, repr=False)
+    transitions: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self.level_index = self.table.clamp_index(self.level_index)
+
+    @property
+    def in_transition(self) -> bool:
+        """True while a requested level change has not yet been applied."""
+        return self._pending_index is not None
+
+    @property
+    def target_index(self) -> int:
+        """The level the regulator is heading to (current if idle)."""
+        return self._pending_index if self._pending_index is not None else self.level_index
+
+    def request(self, index: int) -> bool:
+        """Request a change to level ``index`` (clamped).
+
+        Returns ``True`` if a new transition was started, ``False`` if the
+        request is a no-op (already at/heading to that level).  A new
+        request while in transition retargets the pending transition
+        without restarting the latency clock, mirroring regulators that
+        coalesce back-to-back requests.
+        """
+        index = self.table.clamp_index(index)
+        if index == self.target_index:
+            return False
+        if self._pending_index is None:
+            self._pending_remaining_s = self.transition_latency_s
+        self._pending_index = index
+        return True
+
+    def step(self, delta: int) -> bool:
+        """Request a move of ``delta`` levels relative to the target."""
+        return self.request(self.target_index + delta)
+
+    def tick(self, dt: float) -> bool:
+        """Advance time by ``dt`` seconds; apply a due transition.
+
+        Returns ``True`` exactly on the tick at which a transition
+        completes, so observers (the cluster agent) can reset base prices.
+        """
+        if self._pending_index is None:
+            return False
+        self._pending_remaining_s -= dt
+        if self._pending_remaining_s <= 0.0:
+            self.level_index = self._pending_index
+            self._pending_index = None
+            self._pending_remaining_s = 0.0
+            self.transitions += 1
+            return True
+        return False
+
+    def force_level(self, index: int) -> None:
+        """Immediately set the level, cancelling any pending transition."""
+        self.level_index = self.table.clamp_index(index)
+        self._pending_index = None
+        self._pending_remaining_s = 0.0

@@ -1,0 +1,49 @@
+"""Energy accounting: integrates power samples over time.
+
+The TC2 board exposes cumulative energy counters per cluster through hwmon;
+this module provides the equivalent running integrals for the simulator and
+for the experiment harness's average-power reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates per-cluster and chip energy from periodic power samples.
+
+    The meter uses simple rectangle-rule integration, which matches how the
+    board's firmware samples its sense resistors at a fixed rate.
+    """
+
+    energy_j: Dict[str, float] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def record(self, cluster_powers_w: Dict[str, float], dt: float) -> None:
+        """Add one sample interval of ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        for cluster_id, watts in cluster_powers_w.items():
+            self.energy_j[cluster_id] = self.energy_j.get(cluster_id, 0.0) + watts * dt
+        self.elapsed_s += dt
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(self.energy_j.values())
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean chip power over the metering window (0 if empty)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.total_energy_j / self.elapsed_s
+
+    def cluster_energy_j(self, cluster_id: str) -> float:
+        return self.energy_j.get(cluster_id, 0.0)
+
+    def reset(self) -> None:
+        self.energy_j.clear()
+        self.elapsed_s = 0.0

@@ -1,0 +1,95 @@
+"""Task-migration cost model.
+
+The paper measures migration penalties on the TC2 board (section 5.1):
+
+===========================  =================
+Direction                    Measured cost
+===========================  =================
+within the big cluster       54 - 105 us
+within the LITTLE cluster    71 - 167 us
+LITTLE -> big                1.88 - 2.16 ms
+big -> LITTLE                3.54 - 3.83 ms
+===========================  =================
+
+The cost depends on the frequency level: higher frequency means the
+migration machinery (run-queue manipulation, cache state transfer over the
+CCI) completes faster, so we interpolate linearly between the range's
+maximum (at the cluster's lowest level) and minimum (at its highest level).
+The simulator charges the cost as time during which the migrating task
+receives no supply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .topology import Cluster
+
+
+@dataclass(frozen=True)
+class CostRange:
+    """Migration cost range in seconds: ``max_s`` at min freq, ``min_s`` at max."""
+
+    min_s: float
+    max_s: float
+
+    def at_fraction(self, speed_fraction: float) -> float:
+        """Cost when the relevant cluster runs at ``speed_fraction`` of max.
+
+        ``speed_fraction`` in [0, 1]; 0 = lowest level (worst cost),
+        1 = highest level (best cost).
+        """
+        f = min(1.0, max(0.0, speed_fraction))
+        return self.max_s - f * (self.max_s - self.min_s)
+
+
+#: Default ranges measured on TC2 (paper section 5.1), keyed by
+#: (source core type, destination core type).
+TC2_MIGRATION_COSTS: Dict[Tuple[str, str], CostRange] = {
+    ("A15", "A15"): CostRange(54e-6, 105e-6),
+    ("A7", "A7"): CostRange(71e-6, 167e-6),
+    ("A7", "A15"): CostRange(1.88e-3, 2.16e-3),
+    ("A15", "A7"): CostRange(3.54e-3, 3.83e-3),
+}
+
+
+class MigrationCostModel:
+    """Computes migration penalties between (possibly identical) clusters.
+
+    Unknown core-type pairs fall back to a conservative default so the
+    model stays usable for the synthetic many-cluster chips used in the
+    scalability experiments.
+    """
+
+    def __init__(
+        self,
+        costs: Dict[Tuple[str, str], CostRange] = None,
+        default_intra_cluster: CostRange = CostRange(60e-6, 170e-6),
+        default_inter_cluster: CostRange = CostRange(2e-3, 4e-3),
+    ):
+        self._costs = dict(TC2_MIGRATION_COSTS if costs is None else costs)
+        self._default_intra = default_intra_cluster
+        self._default_inter = default_inter_cluster
+
+    def cost_s(self, source: Cluster, destination: Cluster) -> float:
+        """Migration penalty in seconds for moving one task now."""
+        key = (source.core_type, destination.core_type)
+        if key in self._costs:
+            cost_range = self._costs[key]
+        elif source is destination or source.core_type == destination.core_type:
+            cost_range = self._default_intra
+        else:
+            cost_range = self._default_inter
+        # The destination's speed dominates how quickly the task is
+        # re-established (cache warm-up, run-queue insertion).
+        table = destination.vf_table
+        span = table.max_level.frequency_mhz - table.min_level.frequency_mhz
+        if span <= 0:
+            fraction = 1.0
+        else:
+            fraction = (destination.frequency_mhz - table.min_level.frequency_mhz) / span
+        return cost_range.at_fraction(fraction)
+
+    def is_inter_cluster(self, source: Cluster, destination: Cluster) -> bool:
+        return source is not destination

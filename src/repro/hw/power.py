@@ -1,0 +1,89 @@
+"""Analytic power model for heterogeneous cores.
+
+The paper reads per-cluster power from the TC2 board's hardware sensors; we
+substitute a standard CMOS analytic model calibrated against the chip-level
+figures quoted in the paper (section 5.3): the A7 (LITTLE) cluster peaks at
+about 2 W, the A15 (big) cluster at about 6 W, and the platform TDP is 8 W.
+
+Per-core power at operating point ``(f, V)`` with utilisation ``u``::
+
+    P_core = k_dyn * V^2 * f * u  +  k_static * V
+
+and each powered cluster additionally burns a fixed uncore power (L2,
+interconnect interface).  Utilisation is the fraction of delivered cycles
+actually consumed by tasks; an idle core still pays leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .vf import VFLevel
+
+
+@dataclass(frozen=True)
+class CorePowerParams:
+    """Calibration constants of one core micro-architecture.
+
+    Attributes:
+        k_dyn: Dynamic power coefficient in W / (V^2 * MHz).
+        k_static: Leakage coefficient in W / V (per core, when powered).
+        uncore_w: Fixed per-cluster power in W while the cluster is powered
+            (shared L2, snoop/interconnect logic); accounted once per
+            cluster, not per core.
+    """
+
+    k_dyn: float
+    k_static: float
+    uncore_w: float
+
+    def core_power_w(self, level: VFLevel, utilization: float) -> float:
+        """Power of a single powered core at ``level`` and ``utilization``.
+
+        Args:
+            level: Current V-F operating point of the core's cluster.
+            utilization: Fraction of the core's cycles consumed, in [0, 1].
+        """
+        u = min(1.0, max(0.0, utilization))
+        dynamic = self.k_dyn * level.voltage_v**2 * level.frequency_mhz * u
+        static = self.k_static * level.voltage_v
+        return dynamic + static
+
+
+class PowerModel:
+    """Chip-level power aggregation over clusters.
+
+    The model is deliberately stateless: callers pass the current operating
+    point and utilisation and receive watts back, which keeps it usable both
+    by the simulator (ground truth) and by governors performing what-if
+    speculation (the LBT module estimates power of candidate mappings).
+    """
+
+    def cluster_power_w(
+        self,
+        params: CorePowerParams,
+        level: VFLevel,
+        core_utilizations: "list[float]",
+        powered: bool = True,
+    ) -> float:
+        """Total power of one cluster.
+
+        Args:
+            params: Micro-architecture calibration of the cluster's cores.
+            level: The cluster's current V-F operating point.
+            core_utilizations: Per-core utilisation in [0, 1]; the length
+                defines the number of cores in the cluster.
+            powered: ``False`` models a power-gated cluster (0 W), which
+                the paper uses both for idle clusters and for the HL
+                baseline's A15 switch-off under a TDP cap.
+        """
+        if not powered:
+            return 0.0
+        core_total = sum(params.core_power_w(level, u) for u in core_utilizations)
+        return core_total + params.uncore_w
+
+    def max_cluster_power_w(
+        self, params: CorePowerParams, level: VFLevel, n_cores: int
+    ) -> float:
+        """Cluster power with every core fully utilised at ``level``."""
+        return self.cluster_power_w(params, level, [1.0] * n_cores)

@@ -1,0 +1,160 @@
+"""Ready-made chip configurations.
+
+``tc2_chip()`` models the paper's evaluation platform: the ARM Versatile
+Express TC2 CoreTile with a 2-core Cortex-A15 (big) cluster and a 3-core
+Cortex-A7 (LITTLE) cluster.  Power calibration targets the figures the
+paper quotes: observed maxima of ~6 W for the big cluster and ~2 W for the
+LITTLE cluster, with a platform TDP of 8 W (section 5.3).
+
+``synthetic_chip()`` builds arbitrary (clusters x cores) topologies for the
+scalability study (Table 7), which emulates systems with up to 256 clusters
+of 16 cores.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .power import CorePowerParams
+from .topology import Chip, Cluster
+from .vf import VFTable, vf_table_from_pairs
+
+#: TC2 big-cluster (Cortex-A15) operating points: 500-1200 MHz.
+A15_VF_POINTS = (
+    (500.0, 0.85),
+    (600.0, 0.88),
+    (700.0, 0.92),
+    (800.0, 0.95),
+    (900.0, 1.00),
+    (1000.0, 1.05),
+    (1100.0, 1.12),
+    (1200.0, 1.20),
+)
+
+#: TC2 LITTLE-cluster (Cortex-A7) operating points: 350-1000 MHz.
+A7_VF_POINTS = (
+    (350.0, 0.85),
+    (400.0, 0.85),
+    (500.0, 0.90),
+    (600.0, 0.90),
+    (700.0, 0.95),
+    (800.0, 1.00),
+    (900.0, 1.05),
+    (1000.0, 1.05),
+)
+
+#: Cortex-A15 power calibration: 2 fully-loaded cores at 1200 MHz plus
+#: uncore come to ~6 W.
+A15_POWER = CorePowerParams(k_dyn=1.45e-3, k_static=0.333, uncore_w=0.2)
+
+#: Cortex-A7 power calibration: 3 fully-loaded cores at 1000 MHz plus
+#: uncore come to ~2 W.
+A7_POWER = CorePowerParams(k_dyn=4.5e-4, k_static=0.13, uncore_w=0.11)
+
+#: Paper constants (section 5.3): platform TDP and the capped budget used
+#: in the power-constrained comparative study.
+TC2_TDP_W = 8.0
+TC2_CAPPED_TDP_W = 4.0
+
+
+def a15_vf_table() -> VFTable:
+    """V-F table of the Cortex-A15 (big) cluster."""
+    return vf_table_from_pairs(A15_VF_POINTS)
+
+
+def a7_vf_table() -> VFTable:
+    """V-F table of the Cortex-A7 (LITTLE) cluster."""
+    return vf_table_from_pairs(A7_VF_POINTS)
+
+
+def tc2_chip(
+    big_cores: int = 2,
+    little_cores: int = 3,
+    transition_latency_s: float = 0.001,
+) -> Chip:
+    """Build the TC2 big.LITTLE chip (2x A15 + 3x A7 by default).
+
+    Both clusters start at their lowest level, matching a freshly booted
+    board running the powersave-initialised kernel.
+    """
+    big = Cluster(
+        cluster_id="big",
+        core_type="A15",
+        n_cores=big_cores,
+        vf_table=a15_vf_table(),
+        power_params=A15_POWER,
+        transition_latency_s=transition_latency_s,
+    )
+    little = Cluster(
+        cluster_id="little",
+        core_type="A7",
+        n_cores=little_cores,
+        vf_table=a7_vf_table(),
+        power_params=A7_POWER,
+        transition_latency_s=transition_latency_s,
+    )
+    return Chip(name="vexpress-tc2", clusters=[big, little])
+
+
+def odroid_xu3_chip(transition_latency_s: float = 0.001) -> Chip:
+    """A 4+4 big.LITTLE chip in the Odroid-XU3 (Exynos 5422) mould.
+
+    Same micro-architectures as TC2 but four cores per cluster -- useful
+    for checking that nothing in the framework assumes the 2+3 topology,
+    and as a second realistic target for examples.
+    """
+    big = Cluster(
+        cluster_id="big",
+        core_type="A15",
+        n_cores=4,
+        vf_table=a15_vf_table(),
+        power_params=A15_POWER,
+        transition_latency_s=transition_latency_s,
+    )
+    little = Cluster(
+        cluster_id="little",
+        core_type="A7",
+        n_cores=4,
+        vf_table=a7_vf_table(),
+        power_params=A7_POWER,
+        transition_latency_s=transition_latency_s,
+    )
+    return Chip(name="odroid-xu3", clusters=[big, little])
+
+
+def synthetic_chip(
+    n_clusters: int,
+    cores_per_cluster: int,
+    seed: Optional[int] = None,
+    max_supply_range: Sequence[float] = (350.0, 3000.0),
+    n_levels: int = 8,
+) -> Chip:
+    """Build a synthetic many-cluster chip for scalability emulation.
+
+    Matches the paper's Table 7 setup: cluster maximum supplies are drawn
+    uniformly from 350-3000 PUs and each cluster gets a ladder of
+    ``n_levels`` evenly spaced levels up to its maximum.
+    """
+    if n_clusters < 1 or cores_per_cluster < 1:
+        raise ValueError("need at least one cluster and one core per cluster")
+    rng = random.Random(seed)
+    lo, hi = max_supply_range
+    clusters: List[Cluster] = []
+    for i in range(n_clusters):
+        max_f = rng.uniform(lo, hi)
+        min_f = max_f / n_levels
+        pairs = [
+            (min_f + k * (max_f - min_f) / (n_levels - 1), 0.8 + 0.4 * k / (n_levels - 1))
+            for k in range(n_levels)
+        ]
+        clusters.append(
+            Cluster(
+                cluster_id=f"cl{i}",
+                core_type=f"type{i % 4}",
+                n_cores=cores_per_cluster,
+                vf_table=vf_table_from_pairs(pairs),
+                power_params=CorePowerParams(k_dyn=8e-4, k_static=0.2, uncore_w=0.15),
+            )
+        )
+    return Chip(name=f"synthetic-{n_clusters}x{cores_per_cluster}", clusters=clusters)

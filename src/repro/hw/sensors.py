@@ -1,0 +1,73 @@
+"""Sensor interfaces mimicking the TC2 board's hwmon instrumentation.
+
+The evaluation platform is "equipped with sensors to measure frequency,
+voltage, power and energy consumption per cluster" (paper section 5.1),
+read through the Linux hwmon interface.  Governors in this reproduction go
+through the same narrow sensor API instead of poking the chip model
+directly, so that sensor imperfections (sampling period, noise) can be
+injected without touching governor code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+import random
+
+from .topology import Chip
+
+
+@dataclass
+class SensorSample:
+    """One chip-wide sensor reading."""
+
+    chip_power_w: float
+    cluster_power_w: Dict[str, float]
+    cluster_frequency_mhz: Dict[str, float]
+    cluster_voltage_v: Dict[str, float]
+
+
+class PowerSensor:
+    """Samples chip and cluster power, optionally with measurement noise.
+
+    Args:
+        chip: The chip to observe.
+        noise_std_w: Standard deviation of additive Gaussian noise applied
+            to each cluster reading (0 disables noise).  Noise is clamped
+            so readings never go negative.
+        seed: Seed for the sensor's private RNG, for reproducible noise.
+    """
+
+    def __init__(self, chip: Chip, noise_std_w: float = 0.0, seed: Optional[int] = None):
+        self._chip = chip
+        self._noise_std_w = noise_std_w
+        self._rng = random.Random(seed)
+        self._last_sample: Optional[SensorSample] = None
+
+    def sample(self) -> SensorSample:
+        """Take a fresh reading of every cluster."""
+        cluster_power: Dict[str, float] = {}
+        cluster_freq: Dict[str, float] = {}
+        cluster_volt: Dict[str, float] = {}
+        for cluster in self._chip.clusters:
+            watts = cluster.power_w(self._chip.power_model)
+            if self._noise_std_w > 0.0:
+                watts = max(0.0, watts + self._rng.gauss(0.0, self._noise_std_w))
+            cluster_power[cluster.cluster_id] = watts
+            cluster_freq[cluster.cluster_id] = cluster.frequency_mhz
+            cluster_volt[cluster.cluster_id] = (
+                cluster.level.voltage_v if cluster.powered else 0.0
+            )
+        sample = SensorSample(
+            chip_power_w=sum(cluster_power.values()),
+            cluster_power_w=cluster_power,
+            cluster_frequency_mhz=cluster_freq,
+            cluster_voltage_v=cluster_volt,
+        )
+        self._last_sample = sample
+        return sample
+
+    @property
+    def last_sample(self) -> Optional[SensorSample]:
+        """Most recent reading, or ``None`` before the first sample."""
+        return self._last_sample

@@ -1,0 +1,157 @@
+"""Lumped RC thermal model per cluster.
+
+The paper motivates the tolerance factor ``delta`` with thermal concerns:
+fast DVFS responses cause "frequent V-F level transitions, and hence
+thermal cycling, which can be detrimental to both the performance and
+the reliability of the hardware" (section 3.2.2, citing Rosing et al.).
+The TC2 board has no per-cluster thermal sensors the paper could read,
+so the evaluation never shows temperatures -- but a reproduction that
+wants to *measure* thermal cycling needs a thermal substrate.
+
+Standard first-order lumped model per cluster::
+
+    C * dT/dt = P - (T - T_ambient) / R
+
+with thermal resistance ``R`` [K/W] and capacitance ``C`` [J/K].  The
+defaults are calibrated so the big cluster at its ~6 W peak settles
+around 75-80 degC over a 25 degC ambient with a time constant of a few
+seconds -- representative of a passively cooled mobile SoC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """RC parameters of one cluster's thermal path to ambient."""
+
+    resistance_k_per_w: float = 9.0
+    capacitance_j_per_k: float = 0.35
+    ambient_c: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.resistance_k_per_w <= 0 or self.capacitance_j_per_k <= 0:
+            raise ValueError("R and C must be positive")
+
+    @property
+    def time_constant_s(self) -> float:
+        """``tau = R * C``: how fast the cluster heats/cools."""
+        return self.resistance_k_per_w * self.capacitance_j_per_k
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Temperature the cluster converges to at constant ``power_w``."""
+        return self.ambient_c + power_w * self.resistance_k_per_w
+
+
+class ThermalModel:
+    """Integrates per-cluster temperatures from power samples.
+
+    Exact exponential integration per step (unconditionally stable for
+    any ``dt``)::
+
+        T' = T_ss + (T - T_ss) * exp(-dt / tau)
+    """
+
+    def __init__(
+        self,
+        cluster_ids: Sequence[str],
+        params: Optional[Dict[str, ThermalParams]] = None,
+        initial_c: Optional[float] = None,
+    ):
+        if not cluster_ids:
+            raise ValueError("need at least one cluster")
+        self._params: Dict[str, ThermalParams] = {
+            cid: (params or {}).get(cid, ThermalParams()) for cid in cluster_ids
+        }
+        self._temps: Dict[str, float] = {
+            cid: (initial_c if initial_c is not None else p.ambient_c)
+            for cid, p in self._params.items()
+        }
+
+    def params_of(self, cluster_id: str) -> ThermalParams:
+        return self._params[cluster_id]
+
+    def temperature_c(self, cluster_id: str) -> float:
+        return self._temps[cluster_id]
+
+    def temperatures(self) -> Dict[str, float]:
+        return dict(self._temps)
+
+    def max_temperature_c(self) -> float:
+        return max(self._temps.values())
+
+    def step(self, cluster_powers_w: Dict[str, float], dt: float) -> Dict[str, float]:
+        """Advance all clusters by ``dt`` seconds; returns new temps."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        for cluster_id, params in self._params.items():
+            power = cluster_powers_w.get(cluster_id, 0.0)
+            steady = params.steady_state_c(power)
+            decay = math.exp(-dt / params.time_constant_s)
+            self._temps[cluster_id] = steady + (
+                self._temps[cluster_id] - steady
+            ) * decay
+        return self.temperatures()
+
+
+@dataclass
+class ThermalCycleCounter:
+    """Counts thermal cycles: excursions beyond a delta-T threshold.
+
+    A cycle is one reversal of direction with amplitude at least
+    ``threshold_k`` -- the quantity reliability models (Coffin-Manson)
+    grow with.  Feed it one temperature per sample.
+    """
+
+    threshold_k: float = 3.0
+    cycles: int = 0
+    _extreme: Optional[float] = field(default=None, repr=False)
+    _direction: int = field(default=0, repr=False)
+
+    def update(self, temperature_c: float) -> int:
+        if self._extreme is None:
+            self._extreme = temperature_c
+            return self.cycles
+        delta = temperature_c - self._extreme
+        if self._direction >= 0:
+            if delta > 0:
+                self._extreme = temperature_c
+            elif -delta >= self.threshold_k:
+                self.cycles += 1
+                self._direction = -1
+                self._extreme = temperature_c
+        if self._direction < 0:
+            if delta < 0:
+                self._extreme = temperature_c
+            elif delta >= self.threshold_k:
+                self.cycles += 1
+                self._direction = 1
+                self._extreme = temperature_c
+        return self.cycles
+
+
+def track_thermals(
+    cluster_powers_series: Sequence[Tuple[float, Dict[str, float]]],
+    cluster_ids: Sequence[str],
+    params: Optional[Dict[str, ThermalParams]] = None,
+    cycle_threshold_k: float = 3.0,
+) -> Tuple[Dict[str, List[float]], Dict[str, int]]:
+    """Replay a (dt, powers) series through the model.
+
+    Returns per-cluster temperature traces and thermal-cycle counts --
+    the offline path used to post-process a finished simulation's
+    metrics without having run the thermal model live.
+    """
+    model = ThermalModel(cluster_ids, params=params)
+    counters = {cid: ThermalCycleCounter(cycle_threshold_k) for cid in cluster_ids}
+    traces: Dict[str, List[float]] = {cid: [] for cid in cluster_ids}
+    for dt, powers in cluster_powers_series:
+        temps = model.step(powers, dt)
+        for cid in cluster_ids:
+            traces[cid].append(temps[cid])
+            counters[cid].update(temps[cid])
+    return traces, {cid: c.cycles for cid, c in counters.items()}

@@ -1,0 +1,124 @@
+"""Voltage-frequency operating points and per-cluster V-F tables.
+
+The paper's platform (ARM big.LITTLE TC2) exposes a small set of discrete
+voltage-frequency (V-F) operating points per cluster; all cores of a cluster
+share one regulator and therefore one operating point.  Supply of
+computational resources is expressed in Processing Units (PU), where one PU
+is one million processor cycles per second -- i.e. a core at ``f`` MHz
+supplies ``f`` PUs (paper section 2, "Supply Model").
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class VFLevel:
+    """A single discrete voltage-frequency operating point.
+
+    Attributes:
+        frequency_mhz: Core clock in MHz.  Numerically equal to the supply
+            of the core in PUs when running at this level.
+        voltage_v: Supply voltage at this operating point, in volts.
+    """
+
+    frequency_mhz: float
+    voltage_v: float
+
+    @property
+    def supply_pus(self) -> float:
+        """Supply produced by one core at this level, in PUs (== MHz)."""
+        return self.frequency_mhz
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.frequency_mhz:.0f}MHz@{self.voltage_v:.2f}V"
+
+
+class VFTable:
+    """An ordered collection of :class:`VFLevel` for one cluster.
+
+    Levels are sorted ascending by frequency.  The table supports the level
+    arithmetic the cluster agent needs: stepping one level up/down in
+    response to inflation/deflation, and rounding a demand up to the next
+    available supply value (the paper rounds demand up to the next supply
+    value to avoid oscillation between two adjacent levels).
+    """
+
+    def __init__(self, levels: Iterable[VFLevel]):
+        sorted_levels: List[VFLevel] = sorted(levels, key=lambda l: l.frequency_mhz)
+        if not sorted_levels:
+            raise ValueError("VFTable requires at least one level")
+        freqs = [l.frequency_mhz for l in sorted_levels]
+        if len(set(freqs)) != len(freqs):
+            raise ValueError("VFTable levels must have distinct frequencies")
+        self._levels: Tuple[VFLevel, ...] = tuple(sorted_levels)
+        self._freqs: Tuple[float, ...] = tuple(freqs)
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __getitem__(self, index: int) -> VFLevel:
+        return self._levels[index]
+
+    def __iter__(self):
+        return iter(self._levels)
+
+    @property
+    def levels(self) -> Sequence[VFLevel]:
+        return self._levels
+
+    @property
+    def frequencies_mhz(self) -> Sequence[float]:
+        return self._freqs
+
+    # -- lookups ------------------------------------------------------------------
+    @property
+    def min_level(self) -> VFLevel:
+        return self._levels[0]
+
+    @property
+    def max_level(self) -> VFLevel:
+        return self._levels[-1]
+
+    @property
+    def max_index(self) -> int:
+        return len(self._levels) - 1
+
+    def index_of_frequency(self, frequency_mhz: float) -> int:
+        """Return the index of the level with exactly this frequency."""
+        i = bisect.bisect_left(self._freqs, frequency_mhz)
+        if i < len(self._freqs) and self._freqs[i] == frequency_mhz:
+            return i
+        raise KeyError(f"no V-F level at {frequency_mhz} MHz")
+
+    def clamp_index(self, index: int) -> int:
+        """Clamp an arbitrary index into the valid level range."""
+        return max(0, min(self.max_index, index))
+
+    def step(self, index: int, delta: int) -> int:
+        """Move ``delta`` levels from ``index``, clamped to the table."""
+        return self.clamp_index(index + delta)
+
+    def index_for_demand(self, demand_pus: float) -> int:
+        """Smallest level whose supply covers ``demand_pus``.
+
+        Demand is rounded *up* to the next supply value (paper section
+        3.2.4) so a demand that sits between two levels settles at the
+        higher one instead of oscillating.  Demands above the maximum
+        supply saturate at the top level.
+        """
+        i = bisect.bisect_left(self._freqs, demand_pus)
+        return self.clamp_index(i)
+
+    def supply_at(self, index: int) -> float:
+        """Per-core supply in PUs at level ``index``."""
+        return self._levels[index].supply_pus
+
+
+def vf_table_from_pairs(pairs: Iterable[Tuple[float, float]]) -> VFTable:
+    """Build a :class:`VFTable` from ``(frequency_mhz, voltage_v)`` pairs."""
+    return VFTable(VFLevel(f, v) for f, v in pairs)

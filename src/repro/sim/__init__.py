@@ -1,0 +1,31 @@
+"""Discrete-time simulation substrate (the "Linux kernel" of the repro).
+
+Owns task placement, proportional-share dispatch, per-entity load
+tracking, migration execution with measured costs, sensor sampling and
+metrics collection, and drives a pluggable governor every tick.
+"""
+
+from .engine import Governor, SimConfig, Simulation
+from .loadtracking import LoadTracker
+from .metrics import MetricsCollector, TaskSample, TickSample
+from .migration import MigrationManager, MigrationRecord
+from .placement import Placement
+from .scheduler import compute_grants
+from .tracing import TraceEvent, Tracer, attach_tracer
+
+__all__ = [
+    "Governor",
+    "LoadTracker",
+    "MetricsCollector",
+    "MigrationManager",
+    "MigrationRecord",
+    "Placement",
+    "SimConfig",
+    "Simulation",
+    "TaskSample",
+    "TraceEvent",
+    "Tracer",
+    "TickSample",
+    "attach_tracer",
+    "compute_grants",
+]

@@ -1,0 +1,274 @@
+"""The discrete-time simulation engine.
+
+Plays the role of the Linux kernel on the TC2 board: it owns the task-to-
+core mapping, dispatches supply to tasks every tick, advances DVFS
+transitions, samples the power sensors, and invokes the installed governor
+(power-management policy) once per tick.  Governors mutate the system
+exclusively through the engine's control surface (allocations, weights,
+DVFS requests, migrations, power gating), mirroring how the paper's agents
+act through nice values, cpufreq and sched_setaffinity.
+
+The default tick is 10 ms -- the Linux scheduling epoch the paper quotes;
+governors implement their own slower invocation periods on top (the PPM
+bid round is ~32 ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from ..hw.energy import EnergyMeter
+from ..hw.migration import MigrationCostModel
+from ..hw.sensors import PowerSensor, SensorSample
+from ..hw.topology import Chip, Cluster, Core
+from ..tasks.task import Task
+from .loadtracking import LoadTracker
+from .metrics import MetricsCollector
+from .migration import MigrationManager, MigrationRecord
+from .placement import Placement
+from .scheduler import compute_grants
+
+
+class Governor(Protocol):
+    """A power-management policy driving the engine's control surface."""
+
+    def prepare(self, sim: "Simulation") -> None:
+        """Called once before the first tick (initial placement etc.)."""
+
+    def on_tick(self, sim: "Simulation") -> None:
+        """Called every tick before supply is dispatched."""
+
+
+@dataclass
+class SimConfig:
+    """Engine configuration.
+
+    Attributes:
+        dt: Tick length in seconds (default: the 10 ms Linux epoch).
+        auto_power_gate: Power clusters down when they hold no tasks and
+            back up when tasks are placed on them (paper section 2: "If
+            there are no active tasks in an entire cluster, then we can
+            power down that cluster").
+        metrics_warmup_s: Prefix excluded from summary metrics.
+        sensor_noise_std_w: Gaussian noise on power readings (0 = ideal).
+        seed: Seed for the engine's stochastic parts (sensor noise).
+    """
+
+    dt: float = 0.01
+    auto_power_gate: bool = True
+    metrics_warmup_s: float = 2.0
+    sensor_noise_std_w: float = 0.0
+    seed: Optional[int] = None
+
+
+class Simulation:
+    """One experiment: a chip, a task set and a governor, advanced in ticks."""
+
+    def __init__(
+        self,
+        chip: Chip,
+        tasks: Sequence[Task],
+        governor: Governor,
+        config: Optional[SimConfig] = None,
+        migration_cost_model: Optional[MigrationCostModel] = None,
+    ):
+        self.chip = chip
+        self.tasks: List[Task] = list(tasks)
+        self.governor = governor
+        self.config = config or SimConfig()
+        if self.config.dt <= 0:
+            raise ValueError("dt must be positive")
+        self.placement = Placement(chip)
+        self.migrations = MigrationManager(
+            placement=self.placement,
+            cost_model=migration_cost_model or MigrationCostModel(),
+        )
+        self.load_tracker = LoadTracker()
+        self.sensor = PowerSensor(
+            chip, noise_std_w=self.config.sensor_noise_std_w, seed=self.config.seed
+        )
+        self.energy = EnergyMeter()
+        self.metrics = MetricsCollector(warmup_s=self.config.metrics_warmup_s)
+        self.now: float = 0.0
+        self.tick_index: int = 0
+        self._allocations: Dict[Task, float] = {}
+        self._weights: Dict[Task, float] = {}
+        self._prepared = False
+        self._gate_held_down: set = set()
+
+    # ------------------------------------------------------------------
+    # Control surface used by governors
+    # ------------------------------------------------------------------
+    @property
+    def dt(self) -> float:
+        return self.config.dt
+
+    def active_tasks(self) -> List[Task]:
+        """Tasks alive at the current time."""
+        return [t for t in self.tasks if t.is_active(self.now)]
+
+    def set_allocation(self, task: Task, pus: float) -> None:
+        """Pin an explicit supply allocation for ``task`` (PPM market)."""
+        self._allocations[task] = max(0.0, pus)
+
+    def clear_allocation(self, task: Task) -> None:
+        self._allocations.pop(task, None)
+
+    def clear_allocations(self) -> None:
+        self._allocations.clear()
+
+    def set_weight(self, task: Task, weight: float) -> None:
+        """Set the fair-share weight for ``task`` (nice-value analogue)."""
+        self._weights[task] = max(0.0, weight)
+
+    def weight_of(self, task: Task) -> float:
+        return self._weights.get(task, 1.0)
+
+    def allocation_of(self, task: Task) -> Optional[float]:
+        return self._allocations.get(task)
+
+    def request_level(self, cluster: Cluster, index: int) -> bool:
+        """Ask a cluster's regulator for V-F level ``index`` (cpufreq)."""
+        return cluster.regulator.request(index)
+
+    def step_level(self, cluster: Cluster, delta: int) -> bool:
+        return cluster.regulator.step(delta)
+
+    def place(self, task: Task, core: Core) -> None:
+        """Initial (cost-free) placement of a task onto a core."""
+        self.placement.place(task, core)
+
+    def migrate(self, task: Task, destination: Core) -> MigrationRecord:
+        """Migrate a task, charging the measured cost."""
+        return self.migrations.migrate(task, destination, now=self.now)
+
+    def power_down(self, cluster: Cluster, hold: bool = False) -> None:
+        """Gate a cluster off.  ``hold`` keeps it off even with tasks mapped."""
+        cluster.power_down()
+        if hold:
+            self._gate_held_down.add(cluster.cluster_id)
+
+    def power_up(self, cluster: Cluster) -> None:
+        self._gate_held_down.discard(cluster.cluster_id)
+        cluster.power_up()
+
+    def last_power_sample(self) -> Optional[SensorSample]:
+        return self.sensor.last_sample
+
+    # ------------------------------------------------------------------
+    # Engine loop
+    # ------------------------------------------------------------------
+    def _default_place(self, task: Task) -> None:
+        """Place a new task on the least-loaded core of the slowest cluster.
+
+        Matches the platform behaviour of booting work on the LITTLE
+        cluster; the governor's LBT is expected to move it if that is
+        wrong.
+        """
+        clusters = sorted(self.chip.clusters, key=lambda c: c.max_supply_pus)
+        core = self.placement.least_loaded_core(clusters[0].cores, self.now)
+        self.placement.place(task, core)
+
+    def _ensure_placed(self) -> None:
+        for task in self.active_tasks():
+            if not self.placement.is_placed(task):
+                place_task = getattr(self.governor, "place_task", None)
+                if place_task is not None:
+                    place_task(self, task)
+                if not self.placement.is_placed(task):
+                    self._default_place(task)
+
+    def _retire_inactive(self) -> None:
+        for task in list(self.placement.all_tasks()):
+            if not task.is_active(self.now):
+                self.placement.remove(task)
+                self._allocations.pop(task, None)
+                self._weights.pop(task, None)
+                self.load_tracker.forget(task)
+
+    def _apply_power_gating(self) -> None:
+        if not self.config.auto_power_gate:
+            return
+        for cluster in self.chip.clusters:
+            has_tasks = bool(self.placement.tasks_on_cluster(cluster))
+            held = cluster.cluster_id in self._gate_held_down
+            # Route through the public control surface so tracers see
+            # auto-gating too.
+            if has_tasks and not cluster.powered and not held:
+                self.power_up(cluster)
+            elif not has_tasks and cluster.powered:
+                self.power_down(cluster)
+
+    def _dispatch(self) -> None:
+        dt = self.config.dt
+        now = self.now
+        dispatched: set = set()
+        for cluster in self.chip.clusters:
+            for core in cluster.cores:
+                mapped = [
+                    t
+                    for t in self.placement.tasks_on_core(core)
+                    if t.is_active(now)
+                ]
+                runnable = [t for t in mapped if t.frozen_until <= now]
+                frozen = [t for t in mapped if t.frozen_until > now]
+                grants = compute_grants(
+                    core.supply_pus, runnable, self._allocations, self._weights
+                )
+                consumed_total = 0.0
+                for task in runnable:
+                    granted = grants.get(task, 0.0)
+                    consumed = task.consume(granted, cluster.core_type, now, dt)
+                    consumed_total += consumed
+                    demand = task.true_demand_pus(cluster.core_type, now)
+                    self.load_tracker.update(task, granted, demand, dt)
+                    dispatched.add(task)
+                for task in frozen:
+                    task.idle_tick(now, dt)
+                    self.load_tracker.update(
+                        task, 0.0, task.true_demand_pus(cluster.core_type, now), dt
+                    )
+                    dispatched.add(task)
+                if core.supply_pus > 0.0:
+                    core.utilization = min(1.0, consumed_total / core.supply_pus)
+                else:
+                    core.utilization = 0.0
+        for task in self.active_tasks():
+            if task not in dispatched:
+                task.idle_tick(now, dt)
+
+    def step(self) -> None:
+        """Advance the simulation by one tick."""
+        if not self._prepared:
+            self._ensure_placed()
+            self.governor.prepare(self)
+            self._prepared = True
+        self._retire_inactive()
+        self._ensure_placed()
+        self._apply_power_gating()
+        self.governor.on_tick(self)
+        self._apply_power_gating()
+        self.chip.tick(self.config.dt)
+        self._dispatch()
+        sample = self.sensor.sample()
+        self.energy.record(sample.cluster_power_w, self.config.dt)
+        self.metrics.record(
+            time_s=self.now,
+            chip_power_w=sample.chip_power_w,
+            cluster_power_w=sample.cluster_power_w,
+            cluster_frequency_mhz=sample.cluster_frequency_mhz,
+            tasks=self.active_tasks(),
+        )
+        self.now += self.config.dt
+        self.tick_index += 1
+
+    def run(self, duration_s: float) -> MetricsCollector:
+        """Run for ``duration_s`` seconds of simulated time."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        end = self.now + duration_s
+        # Half-tick tolerance avoids a float-accumulation extra tick.
+        while self.now < end - 0.5 * self.config.dt:
+            self.step()
+        return self.metrics

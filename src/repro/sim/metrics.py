@@ -1,0 +1,197 @@
+"""Measurement collection: QoS misses, power, frequency, migrations.
+
+Reproduces the quantities the paper reports:
+
+* Figures 4/6 -- "percentage of time the reference heart rate range of any
+  task in the workload is not met, that is ... the observed heart rate was
+  smaller than the minimum prescribed heart rate for any of the task".
+* Figure 5 -- average chip power over the run.
+* Figures 7/8 -- per-task normalised heart-rate time series and the
+  per-task fraction of time spent outside the goal range.
+
+A warm-up prefix is excluded from the summary statistics: the sliding
+heart-rate window needs to fill before QoS judgements are meaningful (the
+real platform similarly discards application start-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..tasks.task import Task
+
+
+@dataclass
+class TaskSample:
+    """Per-task observation for one tick."""
+
+    heart_rate: float
+    below_min: bool
+    outside_range: bool
+    granted_pus: float
+    demand_pus: float
+
+
+@dataclass
+class TickSample:
+    """Chip-wide observation for one tick."""
+
+    time_s: float
+    chip_power_w: float
+    cluster_power_w: Dict[str, float]
+    cluster_frequency_mhz: Dict[str, float]
+    tasks: Dict[str, TaskSample]
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates tick samples and derives the paper's summary metrics."""
+
+    warmup_s: float = 2.0
+    samples: List[TickSample] = field(default_factory=list)
+
+    def record(
+        self,
+        time_s: float,
+        chip_power_w: float,
+        cluster_power_w: Dict[str, float],
+        cluster_frequency_mhz: Dict[str, float],
+        tasks: Sequence[Task],
+    ) -> None:
+        """Record one tick's state for the given active tasks."""
+        task_samples: Dict[str, TaskSample] = {}
+        for task in tasks:
+            hr = task.observed_heart_rate()
+            task_samples[task.name] = TaskSample(
+                heart_rate=hr,
+                below_min=task.hr_range.below(hr),
+                outside_range=not task.hr_range.contains(hr),
+                granted_pus=task.last_supply_pus,
+                demand_pus=task.last_consumed_pus,
+            )
+        self.samples.append(
+            TickSample(
+                time_s=time_s,
+                chip_power_w=chip_power_w,
+                cluster_power_w=dict(cluster_power_w),
+                cluster_frequency_mhz=dict(cluster_frequency_mhz),
+                tasks=task_samples,
+            )
+        )
+
+    # -- internal -------------------------------------------------------------
+    def _measured(self) -> List[TickSample]:
+        return [s for s in self.samples if s.time_s >= self.warmup_s]
+
+    # -- paper metrics ----------------------------------------------------------
+    def any_task_miss_fraction(self) -> float:
+        """Fraction of time any task's heart rate is below its minimum.
+
+        This is the Figures 4/6 metric.
+        """
+        measured = self._measured()
+        if not measured:
+            return 0.0
+        missed = sum(
+            1 for s in measured if any(ts.below_min for ts in s.tasks.values())
+        )
+        return missed / len(measured)
+
+    def task_below_fraction(self, task_name: str) -> float:
+        """Fraction of time one task sits below its minimum heart rate."""
+        measured = [s for s in self._measured() if task_name in s.tasks]
+        if not measured:
+            return 0.0
+        return sum(1 for s in measured if s.tasks[task_name].below_min) / len(measured)
+
+    def task_outside_range_fraction(self, task_name: str) -> float:
+        """Fraction of time one task is outside [min_hr, max_hr] (Figure 7)."""
+        measured = [s for s in self._measured() if task_name in s.tasks]
+        if not measured:
+            return 0.0
+        return sum(1 for s in measured if s.tasks[task_name].outside_range) / len(measured)
+
+    def mean_miss_fraction(self) -> float:
+        """Mean over tasks of the per-task below-minimum fraction."""
+        names = self.task_names()
+        if not names:
+            return 0.0
+        return sum(self.task_below_fraction(n) for n in names) / len(names)
+
+    def average_power_w(self) -> float:
+        """Mean chip power over the measured window (Figure 5)."""
+        measured = self._measured()
+        if not measured:
+            return 0.0
+        return sum(s.chip_power_w for s in measured) / len(measured)
+
+    def peak_power_w(self) -> float:
+        measured = self._measured()
+        return max((s.chip_power_w for s in measured), default=0.0)
+
+    def time_above_power(self, threshold_w: float) -> float:
+        """Fraction of measured time with chip power above ``threshold_w``."""
+        measured = self._measured()
+        if not measured:
+            return 0.0
+        return sum(1 for s in measured if s.chip_power_w > threshold_w) / len(measured)
+
+    def energy_j(self, dt: float) -> float:
+        """Total chip energy over the *measured* window (rectangle rule)."""
+        return sum(s.chip_power_w for s in self._measured()) * dt
+
+    def energy_per_beat_mj(self, tasks: Sequence[Task], dt: float) -> float:
+        """Millijoules of chip energy per application heartbeat.
+
+        The efficiency metric the paper's "meet demands at minimal
+        energy" goal implies: chip energy divided by the total useful
+        work (heartbeats) the workload produced.  Returns ``inf`` when no
+        beats were produced.
+        """
+        total_beats = sum(task.total_beats for task in tasks)
+        if total_beats <= 0.0:
+            return float("inf")
+        return 1000.0 * self.energy_j(dt) / total_beats
+
+    def average_cluster_frequency_mhz(self, cluster_id: str) -> float:
+        measured = self._measured()
+        if not measured:
+            return 0.0
+        return sum(s.cluster_frequency_mhz.get(cluster_id, 0.0) for s in measured) / len(
+            measured
+        )
+
+    # -- series (Figures 7/8) ---------------------------------------------------
+    def task_names(self) -> List[str]:
+        names: List[str] = []
+        for sample in self.samples:
+            for name in sample.tasks:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def heart_rate_series(
+        self, task_name: str, normalize_by: Optional[float] = None
+    ) -> Tuple[List[float], List[float]]:
+        """(times, heart rates) for one task; optionally normalised."""
+        times: List[float] = []
+        rates: List[float] = []
+        scale = 1.0 / normalize_by if normalize_by else 1.0
+        for sample in self.samples:
+            if task_name in sample.tasks:
+                times.append(sample.time_s)
+                rates.append(sample.tasks[task_name].heart_rate * scale)
+        return times, rates
+
+    def power_series(self) -> Tuple[List[float], List[float]]:
+        return (
+            [s.time_s for s in self.samples],
+            [s.chip_power_w for s in self.samples],
+        )
+
+    def frequency_series(self, cluster_id: str) -> Tuple[List[float], List[float]]:
+        return (
+            [s.time_s for s in self.samples],
+            [s.cluster_frequency_mhz.get(cluster_id, 0.0) for s in self.samples],
+        )

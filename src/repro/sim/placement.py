@@ -1,0 +1,97 @@
+"""Task-to-core placement state (the mapping ``M`` of the paper).
+
+Pure bookkeeping: which task currently lives on which core, with the
+cluster-level views the agents need (``T_c``, ``T_v``, priority sums
+``R_c``/``R_v``/``R``).  Mutation goes through the simulator's migration
+manager so costs are charged consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..hw.topology import Chip, Cluster, Core
+from ..tasks.task import Task
+
+
+class Placement:
+    """Bidirectional task <-> core mapping over one chip."""
+
+    def __init__(self, chip: Chip):
+        self._chip = chip
+        self._core_of: Dict[Task, str] = {}
+        self._tasks_on: Dict[str, List[Task]] = {core.core_id: [] for core in chip.cores}
+
+    @property
+    def chip(self) -> Chip:
+        return self._chip
+
+    # -- queries ------------------------------------------------------------------
+    def core_of(self, task: Task) -> Optional[Core]:
+        """The core ``task`` is mapped to, or ``None`` if unplaced."""
+        core_id = self._core_of.get(task)
+        return self._chip.core(core_id) if core_id is not None else None
+
+    def cluster_of(self, task: Task) -> Optional[Cluster]:
+        core = self.core_of(task)
+        return core.cluster if core is not None else None
+
+    def tasks_on_core(self, core: Core) -> List[Task]:
+        """``T_c``: tasks mapped to ``core`` (insertion order)."""
+        return list(self._tasks_on[core.core_id])
+
+    def tasks_on_cluster(self, cluster: Cluster) -> List[Task]:
+        """``T_v``: tasks mapped to any core of ``cluster``."""
+        tasks: List[Task] = []
+        for core in cluster.cores:
+            tasks.extend(self._tasks_on[core.core_id])
+        return tasks
+
+    def all_tasks(self) -> List[Task]:
+        return list(self._core_of.keys())
+
+    def is_placed(self, task: Task) -> bool:
+        return task in self._core_of
+
+    # -- priority sums (paper's R_c, R_v, R) ----------------------------------------
+    def priority_sum_core(self, core: Core) -> int:
+        return sum(t.priority for t in self._tasks_on[core.core_id])
+
+    def priority_sum_cluster(self, cluster: Cluster) -> int:
+        return sum(self.priority_sum_core(core) for core in cluster.cores)
+
+    def priority_sum_chip(self) -> int:
+        return sum(t.priority for t in self._core_of)
+
+    # -- mutation -----------------------------------------------------------------
+    def place(self, task: Task, core: Core) -> None:
+        """Place or move ``task`` onto ``core`` (no cost accounting)."""
+        self.remove(task)
+        self._core_of[task] = core.core_id
+        self._tasks_on[core.core_id].append(task)
+
+    def remove(self, task: Task) -> None:
+        core_id = self._core_of.pop(task, None)
+        if core_id is not None:
+            self._tasks_on[core_id].remove(task)
+
+    def empty_clusters(self) -> List[Cluster]:
+        """Clusters with no mapped tasks (candidates for power gating)."""
+        return [c for c in self._chip.clusters if not self.tasks_on_cluster(c)]
+
+    def least_loaded_core(
+        self, cores: Iterable[Core], t: float, exclude: Optional[Task] = None
+    ) -> Core:
+        """Core with the smallest summed true demand -- default placement."""
+        candidates = list(cores)
+        if not candidates:
+            raise ValueError("no candidate cores")
+
+        def load(core: Core) -> float:
+            return sum(
+                task.true_demand_pus(core.cluster.core_type, t)
+                for task in self._tasks_on[core.core_id]
+                if task is not exclude
+            )
+
+        return min(candidates, key=load)

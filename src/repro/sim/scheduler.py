@@ -1,0 +1,74 @@
+"""Per-core supply dispatch: explicit allocations plus weighted fair share.
+
+The paper's kernel modules realise the market allocation by steering the
+Linux fair scheduler through per-task nice values; here we grant supply
+directly.  A governor can pin an explicit PU allocation per task (the PPM
+market does), assign scheduling weights (HPM's PID output, HL's plain
+fairness), or leave tasks alone (equal weights).
+
+Explicit allocations are honoured exactly when they fit; if they exceed
+the core's supply (e.g. the cluster's frequency just dropped under the
+market's feet) they are scaled down proportionally, which is what a
+share-based scheduler would do.  Remaining supply after explicit
+allocations is split among weighted tasks by weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from ..tasks.task import Task
+
+
+def compute_grants(
+    core_supply_pus: float,
+    tasks: Sequence[Task],
+    allocations: Mapping[Task, float],
+    weights: Mapping[Task, float],
+) -> Dict[Task, float]:
+    """Split a core's supply among its tasks.
+
+    Args:
+        core_supply_pus: The core's current supply ``S_c``.
+        tasks: Runnable tasks mapped to the core.
+        allocations: Explicit per-task PU grants (tasks present here are
+            *not* part of the fair-share pool).
+        weights: Scheduling weights for tasks without explicit
+            allocations; missing tasks default to weight 1.0.
+
+    Returns:
+        PUs granted to each task this tick.  The sum never exceeds the
+        core's supply.
+    """
+    if core_supply_pus < 0:
+        raise ValueError("core supply must be non-negative")
+    grants: Dict[Task, float] = {}
+    if not tasks:
+        return grants
+    if core_supply_pus == 0.0:
+        return {task: 0.0 for task in tasks}
+
+    explicit = [t for t in tasks if t in allocations]
+    pooled = [t for t in tasks if t not in allocations]
+
+    requested = sum(max(0.0, allocations[t]) for t in explicit)
+    scale = 1.0
+    if requested > core_supply_pus and requested > 0.0:
+        scale = core_supply_pus / requested
+    for task in explicit:
+        grants[task] = max(0.0, allocations[task]) * scale
+
+    leftover = core_supply_pus - sum(grants.values())
+    if pooled and leftover > 0.0:
+        total_weight = sum(max(0.0, weights.get(t, 1.0)) for t in pooled)
+        if total_weight <= 0.0:
+            share = leftover / len(pooled)
+            for task in pooled:
+                grants[task] = share
+        else:
+            for task in pooled:
+                grants[task] = leftover * max(0.0, weights.get(task, 1.0)) / total_weight
+    else:
+        for task in pooled:
+            grants[task] = 0.0
+    return grants

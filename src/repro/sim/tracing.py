@@ -1,0 +1,147 @@
+"""Structured event tracing for simulations.
+
+The kernel modules of the paper were debugged through ftrace-style event
+logs; the simulator offers the same visibility: a typed event stream of
+everything that changes system state (V-F transitions, migrations, power
+gating, chip power-state changes), queryable and exportable as JSON
+lines.  Tracing is opt-in -- attach a :class:`Tracer` to a simulation
+and it hooks the relevant notification points.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One state-changing occurrence."""
+
+    time_s: float
+    kind: str  #: "dvfs" | "migration" | "power_gate" | "chip_state" | custom
+    subject: str  #: cluster id, task name, ...
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` instances with bounded memory.
+
+    Args:
+        capacity: Maximum retained events; the oldest are dropped first
+            (a long simulation can emit millions of events).
+    """
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    # -- recording ------------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:
+        if len(self._events) >= self._capacity:
+            self._events.pop(0)
+            self.dropped += 1
+        self._events.append(event)
+
+    def record(self, time_s: float, kind: str, subject: str, **detail: object) -> None:
+        self.emit(TraceEvent(time_s=time_s, kind=kind, subject=subject, detail=detail))
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        subject: Optional[str] = None,
+        since: float = float("-inf"),
+    ) -> List[TraceEvent]:
+        return [
+            e
+            for e in self._events
+            if (kind is None or e.kind == kind)
+            and (subject is None or e.subject == subject)
+            and e.time_s >= since
+        ]
+
+    def count(self, kind: Optional[str] = None) -> int:
+        return len(self.events(kind=kind))
+
+    # -- export ---------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "\n".join(e.to_json() for e in self._events)
+
+    def write_jsonl(self, path: str) -> int:
+        """Write all events to ``path``; returns the event count."""
+        with open(path, "w") as handle:
+            for event in self._events:
+                handle.write(event.to_json())
+                handle.write("\n")
+        return len(self._events)
+
+
+def attach_tracer(sim, tracer: Optional[Tracer] = None) -> Tracer:
+    """Instrument a :class:`~repro.sim.engine.Simulation` with a tracer.
+
+    Wraps the simulation's mutation points (migration, DVFS requests,
+    power gating) so every call emits an event.  Returns the tracer.
+    Idempotent-ish: attaching twice double-reports; attach once.
+    """
+    tracer = tracer or Tracer()
+
+    original_migrate = sim.migrate
+
+    def traced_migrate(task, destination):
+        record = original_migrate(task, destination)
+        tracer.record(
+            sim.now,
+            "migration",
+            task.name,
+            source=record.source_core,
+            destination=record.destination_core,
+            inter_cluster=record.inter_cluster,
+            cost_s=record.cost_s,
+        )
+        return record
+
+    original_request = sim.request_level
+
+    def traced_request(cluster, index):
+        started = original_request(cluster, index)
+        if started:
+            tracer.record(
+                sim.now,
+                "dvfs",
+                cluster.cluster_id,
+                from_index=cluster.regulator.level_index,
+                to_index=cluster.regulator.target_index,
+                to_mhz=cluster.vf_table[cluster.regulator.target_index].frequency_mhz,
+            )
+        return started
+
+    original_down = sim.power_down
+    original_up = sim.power_up
+
+    def traced_down(cluster, hold=False):
+        if cluster.powered:
+            tracer.record(sim.now, "power_gate", cluster.cluster_id, powered=False, hold=hold)
+        return original_down(cluster, hold=hold)
+
+    def traced_up(cluster):
+        if not cluster.powered:
+            tracer.record(sim.now, "power_gate", cluster.cluster_id, powered=True)
+        return original_up(cluster)
+
+    sim.migrate = traced_migrate
+    sim.request_level = traced_request
+    sim.power_down = traced_down
+    sim.power_up = traced_up
+    sim.tracer = tracer
+    return tracer

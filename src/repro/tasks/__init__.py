@@ -1,0 +1,72 @@
+"""Task and workload substrate.
+
+Simulated stand-in for the paper's instrumented benchmark applications:
+heartbeat-emitting tasks with priorities, program phases, per-core-type
+cost profiles (the off-line profiling tables), the Table 5 benchmark suite
+and the Table 6 workload sets.
+"""
+
+from .benchmarks import BENCHMARK_SPECS, INPUT_CODES, BenchmarkSpec, make_profile, make_task
+from .demand import demand_for_range, demand_from_heart_rate, demand_from_load
+from .estimation import OnlineDemandEstimator
+from .generator import SyntheticTaskRecord, random_profile, random_task_records, random_tasks
+from .heartbeats import HeartRateMonitor, HeartRateRange
+from .phases import (
+    ConstantPhase,
+    PhaseTrace,
+    PiecewisePhases,
+    SinusoidalPhases,
+    SquareWavePhases,
+)
+from .profiles import ANY_CORE_TYPE, BenchmarkProfile, default_hr_range
+from .scenarios import ScenarioConfig, peak_concurrency, poisson_workload
+from .task import Task
+from .traces import DemandTrace, record_trace
+from .workloads import (
+    WORKLOAD_ORDER,
+    WORKLOAD_SETS,
+    WorkloadClass,
+    build_workload,
+    classify_workload,
+    little_capacity_pus,
+    workload_intensity,
+)
+
+__all__ = [
+    "ANY_CORE_TYPE",
+    "BENCHMARK_SPECS",
+    "BenchmarkProfile",
+    "BenchmarkSpec",
+    "ConstantPhase",
+    "DemandTrace",
+    "HeartRateMonitor",
+    "OnlineDemandEstimator",
+    "HeartRateRange",
+    "INPUT_CODES",
+    "PhaseTrace",
+    "PiecewisePhases",
+    "ScenarioConfig",
+    "SinusoidalPhases",
+    "SquareWavePhases",
+    "SyntheticTaskRecord",
+    "Task",
+    "WORKLOAD_ORDER",
+    "WORKLOAD_SETS",
+    "WorkloadClass",
+    "build_workload",
+    "classify_workload",
+    "default_hr_range",
+    "demand_for_range",
+    "demand_from_heart_rate",
+    "demand_from_load",
+    "little_capacity_pus",
+    "make_profile",
+    "make_task",
+    "peak_concurrency",
+    "poisson_workload",
+    "random_profile",
+    "record_trace",
+    "random_task_records",
+    "random_tasks",
+    "workload_intensity",
+]

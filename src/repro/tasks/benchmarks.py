@@ -1,0 +1,163 @@
+"""Synthetic models of the paper's benchmark suite (Table 5).
+
+The paper instruments eight benchmarks from PARSEC, SPEC 2006 and the San
+Diego Vision suite with heartbeats.  We cannot run the binaries here, so
+each benchmark/input pair becomes a :class:`~repro.tasks.profiles.
+BenchmarkProfile` whose numbers were chosen to satisfy the observable
+constraints the paper states:
+
+* Per-input A7 demands are sized so the nine Table 6 workload sets fall in
+  the paper's light / medium / heavy intensity classes (intensity computed
+  against the A7 cluster's aggregate max-frequency supply).
+* A15-vs-A7 per-PU speedups sit in the 1.7x-2.0x band typical for the
+  out-of-order A15 against the in-order A7 (paper reference [27]).
+* Phase behaviour matches each benchmark's character as used in the
+  evaluation: swaptions is steady (the stable reference of Figures 7/8),
+  x264 is strongly phasic (the savings vehicle of Figure 8), video codecs
+  and vision kernels drift with scene content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .phases import ConstantPhase, PhaseTrace, SinusoidalPhases
+from .profiles import BenchmarkProfile, default_hr_range
+from .task import Task
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Raw calibration numbers for one benchmark/input pair."""
+
+    name: str
+    input_label: str
+    demand_a7_pus: float  #: demand at target heart rate on an A7 core
+    speedup_a15: float  #: per-PU work advantage of the A15
+    nominal_hr: float  #: target heart rate (hb/s)
+    phase_period_s: float  #: 0 disables phase variation
+    phase_amplitude: float
+
+
+def _spec(name, input_label, demand, speedup, hr, period, amplitude) -> BenchmarkSpec:
+    return BenchmarkSpec(name, input_label, demand, speedup, hr, period, amplitude)
+
+
+#: Calibration table, keyed by (benchmark, input).  Input labels follow the
+#: paper: v=vga, f=fullhd, n=native, l=large; h264 inputs are the video
+#: sequences soccer, bluesky, foreman.
+BENCHMARK_SPECS: Dict[Tuple[str, str], BenchmarkSpec] = {
+    spec_key: spec
+    for spec_key, spec in {
+        # PARSEC -- swaptions: Monte-Carlo pricing, very steady.
+        ("swaptions", "large"): _spec("swaptions", "large", 420.0, 1.9, 10.0, 0.0, 0.0),
+        ("swaptions", "native"): _spec("swaptions", "native", 800.0, 1.9, 10.0, 0.0, 0.0),
+        # PARSEC -- bodytrack: per-frame particle filter; the native input
+        # has pronounced per-sequence variation.
+        ("bodytrack", "large"): _spec("bodytrack", "large", 460.0, 1.8, 30.0, 20.0, 0.15),
+        ("bodytrack", "native"): _spec("bodytrack", "native", 850.0, 1.8, 30.0, 20.0, 0.3),
+        # PARSEC -- x264: scene-dependent encoder, strongly phasic.
+        ("x264", "large"): _spec("x264", "large", 360.0, 1.85, 30.0, 15.0, 0.2),
+        ("x264", "native"): _spec("x264", "native", 800.0, 1.85, 30.0, 15.0, 0.3),
+        # PARSEC -- blackscholes: embarrassingly regular PDE solver.
+        ("blackscholes", "large"): _spec("blackscholes", "large", 300.0, 1.7, 5.0, 0.0, 0.0),
+        ("blackscholes", "native"): _spec("blackscholes", "native", 580.0, 1.7, 5.0, 0.0, 0.0),
+        # SPEC 2006 -- h264ref on three sequences of rising difficulty.
+        ("h264", "soccer"): _spec("h264", "soccer", 300.0, 2.0, 30.0, 12.0, 0.25),
+        ("h264", "bluesky"): _spec("h264", "bluesky", 760.0, 2.0, 30.0, 12.0, 0.3),
+        ("h264", "foreman"): _spec("h264", "foreman", 740.0, 2.0, 30.0, 12.0, 0.3),
+        # Vision -- texture analysis.
+        ("texture", "vga"): _spec("texture", "vga", 380.0, 1.75, 25.0, 8.0, 0.1),
+        ("texture", "fullhd"): _spec("texture", "fullhd", 700.0, 1.75, 25.0, 8.0, 0.25),
+        # Vision -- multi-object counting.
+        ("multicnt", "vga"): _spec("multicnt", "vga", 280.0, 1.8, 20.0, 10.0, 0.15),
+        ("multicnt", "fullhd"): _spec("multicnt", "fullhd", 1000.0, 1.8, 20.0, 10.0, 0.3),
+        # Vision -- feature tracking.
+        ("tracking", "vga"): _spec("tracking", "vga", 720.0, 1.9, 25.0, 18.0, 0.2),
+        ("tracking", "fullhd"): _spec("tracking", "fullhd", 1100.0, 1.9, 25.0, 18.0, 0.3),
+    }.items()
+}
+
+#: Short input codes used in the paper's Table 6.
+INPUT_CODES = {
+    "v": "vga",
+    "f": "fullhd",
+    "n": "native",
+    "l": "large",
+    "s": "soccer",
+    "b": "bluesky",
+    "fo": "foreman",
+}
+
+
+def spec_phases(spec: BenchmarkSpec, phase_offset_s: float = 0.0) -> PhaseTrace:
+    """Default phase trace for a spec (constant when period is 0)."""
+    if spec.phase_period_s <= 0.0 or spec.phase_amplitude <= 0.0:
+        return ConstantPhase()
+    return SinusoidalPhases(
+        period_s=spec.phase_period_s,
+        amplitude=spec.phase_amplitude,
+        offset_s=phase_offset_s,
+    )
+
+
+def make_profile(
+    name: str,
+    input_label: str,
+    phases: Optional[PhaseTrace] = None,
+    phase_offset_s: float = 0.0,
+    hr_tolerance: float = 0.05,
+) -> BenchmarkProfile:
+    """Build the profile for one benchmark/input pair.
+
+    Args:
+        name: Benchmark name from :data:`BENCHMARK_SPECS`.
+        input_label: Full input label (``"large"``) or its Table 6 code
+            (``"l"``).
+        phases: Override the default phase trace (the Figure 8 experiment
+            scripts an explicit dormant/active trace for x264).
+        phase_offset_s: De-phases multiple instances of the same benchmark.
+        hr_tolerance: Half-width of the QoS window around the nominal
+            rate; the paper's figures use a [0.95, 1.05] window.
+    """
+    input_label = INPUT_CODES.get(input_label, input_label)
+    try:
+        spec = BENCHMARK_SPECS[(name, input_label)]
+    except KeyError:
+        raise KeyError(f"unknown benchmark/input: {name}/{input_label}") from None
+    cost_a7 = spec.demand_a7_pus / spec.nominal_hr
+    costs = {"A7": cost_a7, "A15": cost_a7 / spec.speedup_a15}
+    return BenchmarkProfile(
+        name=spec.name,
+        input_label=spec.input_label,
+        nominal_hr=spec.nominal_hr,
+        hr_range=default_hr_range(spec.nominal_hr, hr_tolerance),
+        cost_pu_s_per_beat_by_type=costs,
+        phases=phases if phases is not None else spec_phases(spec, phase_offset_s),
+    )
+
+
+def make_task(
+    name: str,
+    input_label: str,
+    priority: int = 1,
+    phases: Optional[PhaseTrace] = None,
+    phase_offset_s: float = 0.0,
+    task_name: Optional[str] = None,
+    start_time: float = 0.0,
+    duration: Optional[float] = None,
+) -> Task:
+    """Instantiate a runnable :class:`Task` for a benchmark/input pair.
+
+    ``start_time``/``duration`` bound the task's lifetime for dynamic
+    arrival/departure scenarios (tasks run forever by default).
+    """
+    profile = make_profile(name, input_label, phases=phases, phase_offset_s=phase_offset_s)
+    return Task(
+        profile=profile,
+        priority=priority,
+        name=task_name,
+        start_time=start_time,
+        duration=duration,
+    )

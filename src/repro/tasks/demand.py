@@ -1,0 +1,73 @@
+"""Heart-rate to resource-demand conversion (paper Table 4).
+
+A task's demand in Processing Units is derived from its observed heart
+rate, its current supply and its target heart rate::
+
+    d_t = target_heart_rate * s_t / current_heart_rate
+
+e.g. a task receiving 500 PUs but only achieving 15 hb/s against a target
+of 27 hb/s needs ``27 * 500 / 15 = 900`` PUs (Table 4, phase 1).  When the
+observed rate exceeds the range the same formula *lowers* the demand
+(Table 4, phase 3).
+
+The paper also notes that in the absence of HRM instrumentation, the time
+a task spends runnable in a scheduling epoch (per-entity load tracking)
+can be used as a demand proxy; :func:`demand_from_load` provides that path
+and the HL baseline uses the same signal for its activeness threshold.
+"""
+
+from __future__ import annotations
+
+from .heartbeats import HeartRateRange
+
+
+def demand_from_heart_rate(
+    target_hr: float,
+    supply_pus: float,
+    current_hr: float,
+    fallback_pus: float = 0.0,
+) -> float:
+    """Demand in PUs to move the observed heart rate onto the target.
+
+    Args:
+        target_hr: Desired heart rate (mean of the user's min/max range).
+        supply_pus: Supply the task currently receives.
+        current_hr: Observed heart rate under that supply.
+        fallback_pus: Returned when the observation is unusable (no
+            supply or a zero rate, e.g. right after launch or during a
+            migration freeze): the caller's best prior estimate.
+    """
+    if target_hr <= 0:
+        raise ValueError("target heart rate must be positive")
+    if current_hr <= 0.0 or supply_pus <= 0.0:
+        return fallback_pus
+    return target_hr * supply_pus / current_hr
+
+
+def demand_for_range(
+    hr_range: HeartRateRange,
+    supply_pus: float,
+    current_hr: float,
+    fallback_pus: float = 0.0,
+) -> float:
+    """Convenience wrapper taking the user's :class:`HeartRateRange`."""
+    return demand_from_heart_rate(
+        hr_range.target_hr, supply_pus, current_hr, fallback_pus=fallback_pus
+    )
+
+
+def demand_from_load(
+    runnable_fraction: float, supply_pus: float, headroom: float = 1.0
+) -> float:
+    """Per-entity-load-tracking demand proxy (no HRM available).
+
+    A task runnable for the whole epoch wants at least its current supply
+    (and possibly more -- ``headroom`` scales the estimate up to probe);
+    a task runnable only a fraction of the epoch needs only that fraction.
+    """
+    if not 0.0 <= runnable_fraction <= 1.0:
+        raise ValueError("runnable fraction must be in [0, 1]")
+    if headroom <= 0:
+        raise ValueError("headroom must be positive")
+    scale = headroom if runnable_fraction >= 1.0 else 1.0
+    return runnable_fraction * supply_pus * scale

@@ -1,0 +1,153 @@
+"""Online cross-core-type demand estimation (the paper's future work).
+
+The LBT module needs to predict a task's demand on the *other* core type
+before migrating it.  The paper obtains these numbers by off-line
+profiling and explicitly flags its replacement as future work: "we plan
+to include this estimation model within our price theory based power
+management framework to eliminate the off-line profiling step" (section
+3.3, citing the authors' CASES'13 power-performance model).
+
+This module implements that step with a purely observational estimator:
+
+* while a task runs, the estimator records its demand-per-target-rate on
+  the current core type (an EWMA, so phases average out);
+* the cross-type *speedup* is learned from the demand levels observed on
+  each type the task has actually visited;
+* for never-visited types it falls back to a population prior -- the
+  average speedup observed across all tasks (cold-start), and before any
+  migrations at all, to a configurable architectural prior.
+
+The result quacks like :meth:`BenchmarkProfile.nominal_demand_pus` and
+can replace it inside the PPM governor (``PPMConfig.online_estimation``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class _TypeObservation:
+    """EWMA of one task's demand on one core type."""
+
+    demand_pus: float
+    samples: int = 1
+
+    def update(self, demand_pus: float, alpha: float) -> None:
+        self.demand_pus = (1.0 - alpha) * self.demand_pus + alpha * demand_pus
+        self.samples += 1
+
+
+class OnlineDemandEstimator:
+    """Learns per-task, per-core-type demands from runtime observations.
+
+    Args:
+        default_speedup: Architectural prior for the per-PU advantage of
+            a faster core type over a slower one, used until real
+            cross-type observations exist.  The TC2's A15-vs-A7 band is
+            1.6-2.1x; 1.8 is the neutral middle.
+        alpha: EWMA weight for new demand observations.
+        min_samples: Observations on a type before it is trusted over
+            the prior.
+    """
+
+    def __init__(
+        self,
+        default_speedup: float = 1.8,
+        alpha: float = 0.05,
+        min_samples: int = 10,
+    ):
+        if default_speedup <= 0:
+            raise ValueError("speedup prior must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self._default_speedup = default_speedup
+        self._alpha = alpha
+        self._min_samples = min_samples
+        self._observations: Dict[Tuple[str, str], _TypeObservation] = {}
+        #: Population-level speedup estimates, keyed (fast_type, slow_type).
+        self._population: Dict[Tuple[str, str], _TypeObservation] = {}
+
+    # -- recording ------------------------------------------------------------
+    def observe(self, task_id: str, core_type: str, demand_pus: float) -> None:
+        """Record one demand observation for ``task_id`` on ``core_type``."""
+        if demand_pus <= 0:
+            return
+        key = (task_id, core_type)
+        existing = self._observations.get(key)
+        if existing is None:
+            self._observations[key] = _TypeObservation(demand_pus)
+        else:
+            existing.update(demand_pus, self._alpha)
+        self._update_population(task_id, core_type)
+
+    def _update_population(self, task_id: str, core_type: str) -> None:
+        """Fold this task's cross-type ratios into the population prior."""
+        mine = {
+            ct: obs
+            for (tid, ct), obs in self._observations.items()
+            if tid == task_id and obs.samples >= self._min_samples
+        }
+        for other_type, other in mine.items():
+            if other_type == core_type:
+                continue
+            this = mine.get(core_type)
+            if this is None:
+                continue
+            # demand ratio slow/fast == speedup of the fast type.
+            if this.demand_pus <= 0 or other.demand_pus <= 0:
+                continue
+            ratio = other.demand_pus / this.demand_pus
+            if ratio >= 1.0:
+                key = (core_type, other_type)  # core_type is faster
+                value = ratio
+            else:
+                key = (other_type, core_type)
+                value = 1.0 / ratio
+            pop = self._population.get(key)
+            if pop is None:
+                self._population[key] = _TypeObservation(value)
+            else:
+                pop.update(value, self._alpha)
+
+    # -- queries --------------------------------------------------------------
+    def known_demand(self, task_id: str, core_type: str) -> Optional[float]:
+        """The learned demand, or ``None`` if unobserved/untrusted."""
+        obs = self._observations.get((task_id, core_type))
+        if obs is None or obs.samples < self._min_samples:
+            return None
+        return obs.demand_pus
+
+    def speedup(self, fast_type: str, slow_type: str) -> float:
+        """Population speedup estimate of ``fast_type`` over ``slow_type``."""
+        pop = self._population.get((fast_type, slow_type))
+        if pop is not None:
+            return pop.demand_pus
+        inverse = self._population.get((slow_type, fast_type))
+        if inverse is not None and inverse.demand_pus > 0:
+            return 1.0 / inverse.demand_pus
+        return self._default_speedup
+
+    def estimate_demand(
+        self,
+        task_id: str,
+        target_type: str,
+        current_type: str,
+        current_demand_pus: float,
+        target_is_faster: bool,
+    ) -> float:
+        """Predict the demand of ``task_id`` on ``target_type``.
+
+        Preference order: the task's own observations on the target type
+        (rescaled to its current level so phases carry over), then the
+        population speedup, then the architectural prior.
+        """
+        own_target = self.known_demand(task_id, target_type)
+        own_current = self.known_demand(task_id, current_type)
+        if own_target is not None and own_current is not None and own_current > 0:
+            # Scale the remembered cross-type ratio by the live demand.
+            return current_demand_pus * own_target / own_current
+        if target_is_faster:
+            return current_demand_pus / self.speedup(target_type, current_type)
+        return current_demand_pus * self.speedup(current_type, target_type)

@@ -1,0 +1,119 @@
+"""Program-phase behaviour: time-varying computational demand.
+
+The paper stresses that "an application may have highly variable
+computation requirement due to phase behavior" (section 5.2) and the
+savings experiment (Figure 8) relies on an application alternating between
+dormant and active phases.  A phase trace maps wall-clock time to a
+multiplier applied to the benchmark's nominal cycles-per-heartbeat cost:
+a multiplier above one means the same heartbeat momentarily costs more
+cycles (an "active"/heavy phase), below one means a dormant phase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+class PhaseTrace:
+    """Interface: demand multiplier as a function of time."""
+
+    def multiplier_at(self, t: float) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantPhase(PhaseTrace):
+    """A phase-free program: constant demand."""
+
+    multiplier: float = 1.0
+
+    def multiplier_at(self, t: float) -> float:
+        return self.multiplier
+
+
+class PiecewisePhases(PhaseTrace):
+    """Explicit (duration, multiplier) segments, optionally repeating.
+
+    Used for scripted scenarios such as the Figure 8 savings experiment
+    (x264: long dormant phase followed by a demanding active phase).
+    """
+
+    def __init__(self, segments: Sequence[Tuple[float, float]], repeat: bool = False):
+        if not segments:
+            raise ValueError("need at least one segment")
+        if any(duration <= 0 for duration, _ in segments):
+            raise ValueError("segment durations must be positive")
+        self._segments: List[Tuple[float, float]] = list(segments)
+        self._repeat = repeat
+        self._total = sum(duration for duration, _ in segments)
+
+    def multiplier_at(self, t: float) -> float:
+        if t < 0:
+            t = 0.0
+        if self._repeat:
+            t = math.fmod(t, self._total)
+        elif t >= self._total:
+            return self._segments[-1][1]
+        elapsed = 0.0
+        for duration, multiplier in self._segments:
+            elapsed += duration
+            if t < elapsed:
+                return multiplier
+        return self._segments[-1][1]
+
+    @property
+    def total_duration(self) -> float:
+        return self._total
+
+
+@dataclass(frozen=True)
+class SinusoidalPhases(PhaseTrace):
+    """Smooth periodic demand variation around 1.0.
+
+    ``multiplier(t) = 1 + amplitude * sin(2*pi*(t + offset)/period)``,
+    a convenient stand-in for the gradual scene/workload drift real
+    encoders and vision kernels exhibit.
+    """
+
+    period_s: float
+    amplitude: float
+    offset_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+
+    def multiplier_at(self, t: float) -> float:
+        return 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (t + self.offset_s) / self.period_s
+        )
+
+
+@dataclass(frozen=True)
+class SquareWavePhases(PhaseTrace):
+    """Alternating low/high demand square wave.
+
+    ``duty`` is the fraction of each period spent in the *high* phase.
+    """
+
+    period_s: float
+    low: float
+    high: float
+    duty: float = 0.5
+    offset_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < self.duty < 1.0:
+            raise ValueError("duty must be in (0, 1)")
+
+    def multiplier_at(self, t: float) -> float:
+        position = math.fmod(t + self.offset_s, self.period_s) / self.period_s
+        if position < 0:
+            position += 1.0
+        return self.high if position < self.duty else self.low

@@ -1,0 +1,101 @@
+"""Per-core-type benchmark profiles.
+
+Heterogeneity enters the task model through differing per-core-type costs:
+the same heartbeat (frame, swaption, ...) costs fewer Processing-Unit
+seconds on a big out-of-order core than on a LITTLE in-order core, so "a
+task would demand more PUs on a small core compared to a big core to
+achieve the same application-level performance" (paper section 2).
+
+The paper obtains these per-core-type averages by off-line profiling on
+the TC2 board; here the profile tables are part of the synthetic benchmark
+definitions (:mod:`repro.tasks.benchmarks`), playing exactly the same role:
+they feed the LBT module's cross-cluster speculation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .heartbeats import HeartRateRange
+from .phases import ConstantPhase, PhaseTrace
+
+#: Wildcard core type accepted by :meth:`BenchmarkProfile.cost_pu_s_per_beat`.
+ANY_CORE_TYPE = "*"
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Static description of one benchmark/input combination.
+
+    Attributes:
+        name: Benchmark name (e.g. ``"swaptions"``).
+        input_label: Input set label (e.g. ``"large"``, ``"vga"``).
+        nominal_hr: The heartbeat rate the user asks for (hb/s); the QoS
+            range is centred on it.
+        hr_range: The user's acceptable heart-rate window.
+        cost_pu_s_per_beat_by_type: PU-seconds (i.e. mega-cycles) one
+            heartbeat costs on each core type; the measure of
+            heterogeneity.  May contain :data:`ANY_CORE_TYPE` as a
+            fallback for unknown types.
+        phases: Demand-multiplier trace modelling program phases.
+        work_limit_factor: Upper bound on how far past its current demand
+            a task can usefully run (input-bound applications cannot run
+            arbitrarily fast); ``None`` means unbounded (pure batch job).
+    """
+
+    name: str
+    input_label: str
+    nominal_hr: float
+    hr_range: HeartRateRange
+    cost_pu_s_per_beat_by_type: Dict[str, float]
+    phases: PhaseTrace = field(default_factory=ConstantPhase)
+    work_limit_factor: Optional[float] = 1.1
+
+    def __post_init__(self) -> None:
+        if self.nominal_hr <= 0:
+            raise ValueError("nominal heart rate must be positive")
+        if not self.cost_pu_s_per_beat_by_type:
+            raise ValueError("profile needs at least one core-type cost")
+        if any(q <= 0 for q in self.cost_pu_s_per_beat_by_type.values()):
+            raise ValueError("per-beat costs must be positive")
+        if self.work_limit_factor is not None and self.work_limit_factor < 1.0:
+            raise ValueError("work limit factor must be >= 1")
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}_{self.input_label}"
+
+    def cost_pu_s_per_beat(self, core_type: str, phase_multiplier: float = 1.0) -> float:
+        """Cost of one heartbeat on ``core_type``, in PU-seconds.
+
+        Raises ``KeyError`` for unknown core types unless the profile
+        carries an :data:`ANY_CORE_TYPE` fallback.
+        """
+        costs = self.cost_pu_s_per_beat_by_type
+        if core_type in costs:
+            base = costs[core_type]
+        elif ANY_CORE_TYPE in costs:
+            base = costs[ANY_CORE_TYPE]
+        else:
+            raise KeyError(f"{self.label} has no profile for core type {core_type!r}")
+        return base * phase_multiplier
+
+    def nominal_demand_pus(self, core_type: str, phase_multiplier: float = 1.0) -> float:
+        """Demand (PUs) to hit the target heart rate on ``core_type``.
+
+        This is the off-line-profiled average demand the LBT module uses
+        to speculate about migrations to other core types.
+        """
+        return self.hr_range.target_hr * self.cost_pu_s_per_beat(
+            core_type, phase_multiplier
+        )
+
+    def speedup(self, fast_type: str, slow_type: str) -> float:
+        """Per-PU work advantage of ``fast_type`` over ``slow_type``."""
+        return self.cost_pu_s_per_beat(slow_type) / self.cost_pu_s_per_beat(fast_type)
+
+
+def default_hr_range(nominal_hr: float, tolerance: float = 0.05) -> HeartRateRange:
+    """The paper's Figures 7/8 use a [0.95, 1.05] normalised goal window."""
+    return HeartRateRange(nominal_hr * (1.0 - tolerance), nominal_hr * (1.0 + tolerance))

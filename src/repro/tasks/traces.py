@@ -1,0 +1,140 @@
+"""Trace-driven phase behaviour: record and replay demand traces.
+
+The synthetic phase generators in :mod:`repro.tasks.phases` are enough
+for the paper's experiments, but a reproduction that wants to feed *real*
+application behaviour (e.g. frame-cost traces captured from an actual
+x264 run) needs a trace format.  A demand trace is a sequence of
+``(time_s, multiplier)`` breakpoints; replay interpolates between them
+(step or linear) and can loop.
+
+Traces serialise to a trivial JSON shape so they can be captured on one
+machine and replayed on another::
+
+    {"name": "x264_bluesky", "interpolation": "linear",
+     "points": [[0.0, 1.0], [4.2, 1.6], ...]}
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from typing import List, Sequence, Tuple
+
+from .phases import PhaseTrace
+
+_INTERPOLATIONS = ("step", "linear")
+
+
+class DemandTrace(PhaseTrace):
+    """A phase trace backed by explicit (time, multiplier) breakpoints.
+
+    Args:
+        points: Breakpoints with strictly increasing times; the first
+            point's multiplier also covers any time before it.
+        interpolation: ``"step"`` holds each multiplier until the next
+            breakpoint; ``"linear"`` ramps between breakpoints.
+        loop: Replay the trace cyclically (period = last breakpoint
+            time); otherwise the final multiplier holds forever.
+        name: Label carried through serialisation.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Tuple[float, float]],
+        interpolation: str = "step",
+        loop: bool = False,
+        name: str = "trace",
+    ):
+        if not points:
+            raise ValueError("a trace needs at least one point")
+        times = [t for t, _ in points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("trace times must be strictly increasing")
+        if any(m <= 0 for _, m in points):
+            raise ValueError("multipliers must be positive")
+        if interpolation not in _INTERPOLATIONS:
+            raise ValueError(f"interpolation must be one of {_INTERPOLATIONS}")
+        if loop and times[-1] <= 0:
+            raise ValueError("looping requires a positive trace duration")
+        self._times: List[float] = list(times)
+        self._values: List[float] = [m for _, m in points]
+        self.interpolation = interpolation
+        self.loop = loop
+        self.name = name
+
+    @property
+    def duration_s(self) -> float:
+        return self._times[-1]
+
+    def multiplier_at(self, t: float) -> float:
+        if self.loop and self._times[-1] > 0:
+            t = math.fmod(t, self._times[-1])
+            if t < 0:
+                t += self._times[-1]
+        if t <= self._times[0]:
+            return self._values[0]
+        if t >= self._times[-1]:
+            return self._values[-1]
+        index = bisect.bisect_right(self._times, t) - 1
+        if self.interpolation == "step":
+            return self._values[index]
+        t0, t1 = self._times[index], self._times[index + 1]
+        v0, v1 = self._values[index], self._values[index + 1]
+        frac = (t - t0) / (t1 - t0)
+        return v0 + frac * (v1 - v0)
+
+    # -- serialisation ----------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "interpolation": self.interpolation,
+                "loop": self.loop,
+                "points": [[t, v] for t, v in zip(self._times, self._values)],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "DemandTrace":
+        data = json.loads(payload)
+        return cls(
+            points=[(float(t), float(v)) for t, v in data["points"]],
+            interpolation=data.get("interpolation", "step"),
+            loop=bool(data.get("loop", False)),
+            name=data.get("name", "trace"),
+        )
+
+    def write(self, path: str) -> str:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+        return path
+
+    @classmethod
+    def read(cls, path: str) -> "DemandTrace":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+
+def record_trace(
+    sampler,
+    duration_s: float,
+    sample_period_s: float = 0.5,
+    name: str = "recorded",
+    interpolation: str = "linear",
+) -> DemandTrace:
+    """Sample ``sampler(t) -> multiplier`` into a replayable trace.
+
+    The bridge from any live source (another :class:`PhaseTrace`, a
+    measured demand series normalised by its mean, ...) to the trace
+    format.
+    """
+    if duration_s <= 0 or sample_period_s <= 0:
+        raise ValueError("duration and period must be positive")
+    points = []
+    t = 0.0
+    while t <= duration_s:
+        points.append((t, float(sampler(t))))
+        t += sample_period_s
+    return DemandTrace(points, interpolation=interpolation, name=name)

@@ -1,0 +1,134 @@
+"""Multiprogrammed workload sets and the intensity metric (paper Table 6).
+
+The paper builds nine six-task workload sets and classifies them by the
+*intensity* metric
+
+    intensity = (sum_t d_t^A7 - S_A7^maxfreq) / S_A7^maxfreq
+
+where the supply term is the A7 cluster's aggregate capacity at its
+maximum frequency.  ``intensity <= 0`` means the whole set fits in the
+LITTLE cluster at max frequency (light); ``0 < intensity <= 0.30`` is
+medium; above that is heavy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..hw.topology import Chip, Cluster
+from .benchmarks import make_task
+from .task import Task
+
+#: The nine workload sets of Table 6 as (benchmark, input-code) pairs.
+WORKLOAD_SETS: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "l1": (
+        ("texture", "v"), ("tracking", "v"), ("h264", "s"),
+        ("swaptions", "l"), ("x264", "l"), ("blackscholes", "l"),
+    ),
+    "l2": (
+        ("texture", "v"), ("multicnt", "v"), ("h264", "b"),
+        ("swaptions", "l"), ("bodytrack", "l"), ("blackscholes", "l"),
+    ),
+    "l3": (
+        ("tracking", "v"), ("multicnt", "v"), ("h264", "s"),
+        ("x264", "l"), ("bodytrack", "l"), ("blackscholes", "l"),
+    ),
+    "m1": (
+        ("swaptions", "l"), ("bodytrack", "l"), ("blackscholes", "l"),
+        ("texture", "v"), ("tracking", "v"), ("h264", "b"),
+    ),
+    "m2": (
+        ("texture", "v"), ("tracking", "v"), ("h264", "s"),
+        ("swaptions", "n"), ("bodytrack", "n"), ("x264", "n"),
+    ),
+    "m3": (
+        ("tracking", "v"), ("multicnt", "v"), ("blackscholes", "n"),
+        ("bodytrack", "n"), ("texture", "f"), ("h264", "fo"),
+    ),
+    "h1": (
+        ("h264", "fo"), ("x264", "n"), ("blackscholes", "n"),
+        ("texture", "f"), ("swaptions", "n"), ("multicnt", "f"),
+    ),
+    "h2": (
+        ("blackscholes", "n"), ("x264", "n"), ("tracking", "f"),
+        ("bodytrack", "n"), ("texture", "f"), ("h264", "s"),
+    ),
+    "h3": (
+        ("h264", "b"), ("h264", "fo"), ("x264", "n"),
+        ("swaptions", "n"), ("bodytrack", "n"), ("tracking", "f"),
+    ),
+}
+
+#: Order used by the comparative figures.
+WORKLOAD_ORDER: Tuple[str, ...] = ("l1", "l2", "l3", "m1", "m2", "m3", "h1", "h2", "h3")
+
+
+@dataclass(frozen=True)
+class WorkloadClass:
+    """Intensity class boundaries (paper section 5.2)."""
+
+    light_max: float = 0.0
+    medium_max: float = 0.30
+
+    def classify(self, intensity: float) -> str:
+        if intensity <= self.light_max:
+            return "light"
+        if intensity <= self.medium_max:
+            return "medium"
+        return "heavy"
+
+
+def build_workload(
+    set_id: str,
+    priority: int = 1,
+    phase_stagger_s: float = 3.0,
+) -> List[Task]:
+    """Instantiate the tasks of one Table 6 workload set.
+
+    All tasks get the same priority, matching the comparative study setup
+    ("we set all the tasks to run at the same priority because HPM and HL
+    do not take the priorities into consideration").  Instances are
+    phase-staggered so identical benchmarks don't move in lockstep.
+    """
+    try:
+        members = WORKLOAD_SETS[set_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload set {set_id!r}; choose from {sorted(WORKLOAD_SETS)}"
+        ) from None
+    return [
+        make_task(
+            name,
+            code,
+            priority=priority,
+            phase_offset_s=i * phase_stagger_s,
+            task_name=f"{set_id}.{name}_{code}",
+        )
+        for i, (name, code) in enumerate(members)
+    ]
+
+
+def little_capacity_pus(chip: Chip) -> float:
+    """Aggregate max-frequency supply of the chip's LITTLE (A7) cluster."""
+    littles = [c for c in chip.clusters if c.core_type == "A7"]
+    if not littles:
+        raise ValueError("chip has no A7 cluster")
+    return sum(c.max_capacity_pus for c in littles)
+
+
+def workload_intensity(tasks: Sequence[Task], chip: Chip, t: float = 0.0) -> float:
+    """The paper's intensity metric for a task set on ``chip``.
+
+    Uses the phase-free nominal demand (the off-line profiled average the
+    paper's classification is based on), so the class of a set does not
+    depend on where in their phases its tasks happen to be.
+    """
+    capacity = little_capacity_pus(chip)
+    total_demand = sum(task.profile.nominal_demand_pus("A7") for task in tasks)
+    return (total_demand - capacity) / capacity
+
+
+def classify_workload(tasks: Sequence[Task], chip: Chip, t: float = 0.0) -> str:
+    """Light/medium/heavy classification of a task set."""
+    return WorkloadClass().classify(workload_intensity(tasks, chip, t))

@@ -1,0 +1,226 @@
+"""Unit tests for the four agent types."""
+
+import pytest
+
+from repro.core import (
+    ChipAgent,
+    ChipPowerState,
+    ClusterAgent,
+    CoreAgent,
+    TaskAgent,
+    Wallet,
+    distribute_allowance,
+)
+
+
+class TestTaskAgent:
+    def make(self, bid=1.0, demand=200.0, supply=150.0):
+        agent = TaskAgent(task_id="t", priority=1, bid=bid)
+        agent.demand = demand
+        agent.supply = supply
+        agent.wallet = Wallet(allowance=10.0, savings=0.0)
+        return agent
+
+    def test_undersupplied_raises_bid(self):
+        agent = self.make()
+        assert agent.desired_bid(0.01) == pytest.approx(1.0 + 50 * 0.01)
+
+    def test_oversupplied_lowers_bid(self):
+        agent = self.make(demand=100.0, supply=150.0)
+        assert agent.desired_bid(0.01) < 1.0
+
+    def test_satisfied_keeps_bid(self):
+        agent = self.make(demand=150.0, supply=150.0)
+        assert agent.desired_bid(0.01) == 1.0
+
+    def test_place_bid_clamps_and_settles(self):
+        agent = self.make()
+        agent.wallet = Wallet(allowance=1.2, savings=0.0)
+        bid = agent.place_bid(last_price=1.0, bmin=0.01, cap_fraction=5.0)
+        assert bid == pytest.approx(1.2)  # clamped to budget
+        assert agent.wallet.savings == pytest.approx(0.0)
+
+    def test_supply_demand_ratio(self):
+        agent = self.make(demand=200.0, supply=100.0)
+        assert agent.supply_demand_ratio == 0.5
+        agent.demand = 0.0
+        assert agent.supply_demand_ratio == 1.0
+
+    def test_unsatisfied_rounds_counter(self):
+        agent = self.make(demand=200.0, supply=100.0)
+        agent.note_round_outcome()
+        agent.note_round_outcome()
+        assert agent.unsatisfied_rounds == 2
+        agent.supply = 250.0
+        agent.note_round_outcome()
+        assert agent.unsatisfied_rounds == 0
+
+
+class TestCoreAgent:
+    def test_price_discovery(self):
+        core = CoreAgent(core_id="c", cluster_id="v")
+        assert core.discover_price([1.0, 1.0], 300.0) == pytest.approx(1 / 150)
+
+    def test_first_price_becomes_base(self):
+        core = CoreAgent(core_id="c", cluster_id="v")
+        core.discover_price([3.0], 300.0)
+        assert core.base_price == pytest.approx(0.01)
+
+    def test_zero_supply_gives_zero_price(self):
+        core = CoreAgent(core_id="c", cluster_id="v")
+        assert core.discover_price([1.0], 0.0) == 0.0
+
+    def test_inflation_signal(self):
+        core = CoreAgent(core_id="c", cluster_id="v")
+        core.price, core.base_price = 1.3, 1.0
+        assert core.inflation_signal(0.2) == 1
+        core.price = 0.7
+        assert core.inflation_signal(0.2) == -1
+        core.price = 1.1
+        assert core.inflation_signal(0.2) == 0
+
+    def test_signal_boundary_inclusive(self):
+        core = CoreAgent(core_id="c", cluster_id="v")
+        core.price, core.base_price = 1.2, 1.0
+        assert core.inflation_signal(0.2) == 1
+
+    def test_no_base_price_no_signal(self):
+        core = CoreAgent(core_id="c", cluster_id="v")
+        core.price = 5.0
+        assert core.inflation_signal(0.2) == 0
+
+    def test_reset_base_price(self):
+        core = CoreAgent(core_id="c", cluster_id="v")
+        core.discover_price([1.0], 100.0)
+        core.discover_price([2.0], 100.0)
+        core.reset_base_price()
+        assert core.base_price == core.price
+
+
+class TestClusterAgent:
+    def make(self, level=1):
+        return ClusterAgent(
+            cluster_id="v",
+            core_ids=["c0", "c1"],
+            supply_ladder=[300.0, 400.0, 500.0],
+            level_index=level,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterAgent("v", [], [300.0])
+        with pytest.raises(ValueError):
+            ClusterAgent("v", ["c"], [500.0, 300.0])
+
+    def test_supply_properties(self):
+        cluster = self.make(level=1)
+        assert cluster.supply == 400.0
+        assert cluster.max_supply == 500.0
+        assert cluster.max_index == 2
+
+    def test_decide_level_change_follows_signal(self):
+        cluster = self.make(level=1)
+        core = CoreAgent(core_id="c0", cluster_id="v")
+        core.price, core.base_price = 1.3, 1.0
+        assert cluster.decide_level_change(core, 0.2) == 1
+        core.price = 0.7
+        assert cluster.decide_level_change(core, 0.2) == -1
+
+    def test_decide_clamped_at_ends(self):
+        core = CoreAgent(core_id="c0", cluster_id="v")
+        core.price, core.base_price = 2.0, 1.0
+        top = self.make(level=2)
+        assert top.decide_level_change(core, 0.2) == 0
+        core.price = 0.1
+        bottom = self.make(level=0)
+        assert bottom.decide_level_change(core, 0.2) == 0
+
+
+class TestChipAgent:
+    def make(self, allowance=10.0):
+        return ChipAgent(allowance=allowance, wth=1.75, wtdp=2.25)
+
+    def test_classify_states(self):
+        chip = self.make()
+        assert chip.classify(1.0) is ChipPowerState.NORMAL
+        assert chip.classify(2.0) is ChipPowerState.THRESHOLD
+        assert chip.classify(1.75) is ChipPowerState.THRESHOLD
+        assert chip.classify(2.26) is ChipPowerState.EMERGENCY
+
+    def test_no_tdp_always_normal(self):
+        chip = ChipAgent(allowance=1.0)
+        assert chip.classify(100.0) is ChipPowerState.NORMAL
+
+    def test_normal_growth_proportional_to_shortfall(self):
+        chip = self.make(allowance=10.0)
+        chip.update_allowance(1.0, total_demand=600.0, supply_shortfall=60.0, floor=0.1)
+        assert chip.allowance == pytest.approx(11.0)
+
+    def test_normal_growth_capped(self):
+        chip = self.make(allowance=10.0)
+        chip.update_allowance(1.0, total_demand=100.0, supply_shortfall=90.0, floor=0.1)
+        assert chip.allowance == pytest.approx(11.0)  # 10% cap, not 90%
+
+    def test_growth_gated_when_not_useful(self):
+        chip = self.make(allowance=10.0)
+        chip.update_allowance(
+            1.0, total_demand=600.0, supply_shortfall=60.0, floor=0.1, growth_useful=False
+        )
+        assert chip.allowance == 10.0
+
+    def test_threshold_holds_allowance(self):
+        chip = self.make(allowance=10.0)
+        chip.update_allowance(2.0, total_demand=600.0, supply_shortfall=100.0, floor=0.1)
+        assert chip.allowance == 10.0
+
+    def test_emergency_contracts_proportionally(self):
+        chip = self.make(allowance=6.0)
+        # The Table 3 step: W=3, Wtdp=2.25 -> delta = 6*(2.25-3)/2.25 = -2.
+        chip.update_allowance(3.0, total_demand=600.0, supply_shortfall=100.0, floor=0.1)
+        assert chip.allowance == pytest.approx(4.0)
+
+    def test_floor_respected(self):
+        chip = self.make(allowance=0.2)
+        chip.update_allowance(10.0, total_demand=1.0, supply_shortfall=0.0, floor=0.15)
+        assert chip.allowance >= 0.15
+
+
+class TestAllowanceDistribution:
+    def agents(self, priorities):
+        return [TaskAgent(task_id=f"t{i}", priority=p) for i, p in enumerate(priorities)]
+
+    def test_priority_proportional_within_cluster(self):
+        agents = self.agents([2, 1])
+        distribute_allowance(4.5, 1.0, {"v": 1.0}, {"v": agents})
+        assert agents[0].wallet.allowance == pytest.approx(3.0)
+        assert agents[1].wallet.allowance == pytest.approx(1.5)
+
+    def test_inverse_power_weighting_across_clusters(self):
+        hot = self.agents([1])
+        cool = self.agents([1])
+        # Chip at 4 W: hot cluster burns 3 W, cool 1 W -> weights 1 : 3.
+        distribute_allowance(
+            8.0, 4.0, {"hot": 3.0, "cool": 1.0}, {"hot": hot, "cool": cool}
+        )
+        assert hot[0].wallet.allowance == pytest.approx(2.0)
+        assert cool[0].wallet.allowance == pytest.approx(6.0)
+
+    def test_empty_clusters_receive_nothing(self):
+        agents = self.agents([1])
+        distribute_allowance(5.0, 2.0, {"a": 1.0, "b": 1.0}, {"a": agents, "b": []})
+        assert agents[0].wallet.allowance == pytest.approx(5.0)
+
+    def test_zero_power_splits_equally(self):
+        a, b = self.agents([1]), self.agents([1])
+        distribute_allowance(4.0, 0.0, {}, {"a": a, "b": b})
+        assert a[0].wallet.allowance == pytest.approx(2.0)
+        assert b[0].wallet.allowance == pytest.approx(2.0)
+
+    def test_no_tasks_is_noop(self):
+        distribute_allowance(4.0, 1.0, {}, {"a": [], "b": []})
+
+    def test_total_allowance_conserved(self):
+        g1, g2 = self.agents([1, 2]), self.agents([3])
+        distribute_allowance(9.0, 5.0, {"a": 2.0, "b": 3.0}, {"a": g1, "b": g2})
+        total = sum(a.wallet.allowance for a in g1 + g2)
+        assert total == pytest.approx(9.0)

@@ -1,0 +1,134 @@
+"""Tests for the market auditor."""
+
+import pytest
+
+from repro.core import (
+    Market,
+    MarketAuditor,
+    MarketConfig,
+    MarketInvariantError,
+    MarketObservations,
+    audited_round,
+)
+
+
+def make_market():
+    market = Market(MarketConfig(initial_allowance=20.0))
+    market.add_cluster("v", ["c0", "c1"], [350.0, 700.0, 1000.0])
+    market.add_task("a", 2, "c0")
+    market.add_task("b", 1, "c0")
+    return market
+
+
+def obs(market, da=300.0, db=200.0, level=1):
+    return MarketObservations(
+        demands={"a": da, "b": db},
+        cluster_level={"v": level},
+        chip_power_w=1.0,
+        cluster_power_w={"v": 1.0},
+    )
+
+
+class TestCleanMarketPasses:
+    def test_many_rounds_audit_clean(self):
+        market = make_market()
+        auditor = MarketAuditor(market)
+        for i in range(50):
+            market.run_round(obs(market, da=200.0 + (i % 7) * 50))
+            report = auditor.audit_now()
+            assert report.ok
+        assert auditor.violation_count == 0
+        assert auditor.rounds_audited == 50
+
+    def test_audited_round_helper(self):
+        market = make_market()
+        result = audited_round(market, obs(market))
+        assert result.allocations
+
+
+class TestViolationsDetected:
+    def test_bid_below_floor(self):
+        market = make_market()
+        market.run_round(obs(market))
+        market.tasks["a"].bid = 0.0001  # corrupt
+        auditor = MarketAuditor(market)
+        with pytest.raises(MarketInvariantError, match="I1"):
+            auditor.audit_now()
+
+    def test_negative_savings(self):
+        market = make_market()
+        market.run_round(obs(market))
+        market.tasks["b"].wallet.savings = -1.0
+        with pytest.raises(MarketInvariantError, match="I3"):
+            MarketAuditor(market).audit_now()
+
+    def test_over_cap_savings_tolerated(self):
+        # The savings cap binds at settle time, not as a standing
+        # invariant: an allowance contraction can leave the stock above
+        # the new cap until the next settle.
+        market = make_market()
+        market.run_round(obs(market))
+        market.tasks["a"].wallet.savings = 1e9
+        assert MarketAuditor(market).audit_now().ok
+
+    def test_over_allocation_detected(self):
+        market = make_market()
+        auditor = MarketAuditor(market)
+        market.run_round(obs(market))
+        auditor.audit_now()  # establishes core membership
+        market.run_round(obs(market))
+        market.tasks["a"].supply += 500.0
+        with pytest.raises(MarketInvariantError, match="I4"):
+            auditor.audit_now()
+
+    def test_stale_purchase_after_membership_change_tolerated(self):
+        # Right after an LBT move purchases are stale; I4 is suspended
+        # for cores whose membership changed since the previous audit.
+        market = make_market()
+        auditor = MarketAuditor(market)
+        market.run_round(obs(market))
+        auditor.audit_now()
+        market.move_task("b", "c1")
+        market.tasks["b"].supply = 5000.0  # stale carry-over
+        assert auditor.audit_now().ok
+
+    def test_overdistributed_allowance(self):
+        market = make_market()
+        market.run_round(obs(market))
+        market.tasks["a"].wallet.allowance = market.chip.allowance * 2
+        with pytest.raises(MarketInvariantError, match="I5"):
+            MarketAuditor(market).audit_now()
+
+    def test_non_strict_collects_instead_of_raising(self):
+        market = make_market()
+        market.run_round(obs(market))
+        market.tasks["b"].wallet.savings = -1.0
+        auditor = MarketAuditor(market, strict=False)
+        report = auditor.audit_now()
+        assert not report.ok
+        assert auditor.violation_count == 1
+
+
+class TestEndToEndAudit:
+    def test_ppm_run_is_invariant_clean(self):
+        """A real PPM simulation never violates the market invariants."""
+        from repro.core import PPMGovernor
+        from repro.hw import tc2_chip
+        from repro.sim import SimConfig, Simulation
+        from repro.tasks import build_workload
+
+        governor = PPMGovernor()
+        auditor = MarketAuditor(governor.market, strict=True)
+        original = governor.on_tick
+
+        def audited_tick(sim):
+            before = governor.market.rounds_run
+            original(sim)
+            if governor.market.rounds_run > before:
+                auditor.audit_now()
+
+        governor.on_tick = audited_tick  # type: ignore[method-assign]
+        sim = Simulation(tc2_chip(), build_workload("m2"), governor, config=SimConfig())
+        sim.run(10.0)
+        assert auditor.rounds_audited > 100
+        assert auditor.violation_count == 0

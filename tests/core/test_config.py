@@ -1,0 +1,57 @@
+"""Unit tests for framework configuration validation."""
+
+import pytest
+
+from repro.core import MarketConfig, PPMConfig
+
+
+class TestMarketConfig:
+    def test_defaults_valid(self):
+        cfg = MarketConfig()
+        assert cfg.bmin > 0
+        assert not cfg.has_power_budget
+
+    def test_tdp_enables_budget_and_defaults_buffer(self):
+        cfg = MarketConfig(wtdp=4.0)
+        assert cfg.has_power_budget
+        assert cfg.wth == pytest.approx(3.5)
+
+    def test_explicit_buffer(self):
+        cfg = MarketConfig(wtdp=4.0, wth=3.0)
+        assert cfg.wth == 3.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            MarketConfig(bmin=0.0)
+        with pytest.raises(ValueError):
+            MarketConfig(tolerance=0.0)
+        with pytest.raises(ValueError):
+            MarketConfig(savings_cap_fraction=-1.0)
+        with pytest.raises(ValueError):
+            MarketConfig(initial_bid=0.001, bmin=0.01)
+        with pytest.raises(ValueError):
+            MarketConfig(wtdp=-1.0)
+        with pytest.raises(ValueError):
+            MarketConfig(wtdp=2.0, wth=2.5)
+
+
+class TestPPMConfig:
+    def test_defaults_follow_paper_ratios(self):
+        cfg = PPMConfig()
+        # bid : load-balance : migration = 1 : 3 : 6 (section 3.4).
+        assert cfg.bid_period_s == pytest.approx(0.0317)
+        assert cfg.load_balance_every == 3
+        assert cfg.migrate_every == 6
+        assert cfg.lbt_enabled
+
+    def test_lbt_disabled_flag(self):
+        cfg = PPMConfig(enable_load_balancing=False, enable_migration=False)
+        assert not cfg.lbt_enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PPMConfig(bid_period_s=0.0)
+        with pytest.raises(ValueError):
+            PPMConfig(load_balance_every=0)
+        with pytest.raises(ValueError):
+            PPMConfig(migration_cooldown_s=-1.0)

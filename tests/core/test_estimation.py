@@ -1,0 +1,158 @@
+"""Unit tests for steady-state mapping estimation and perf/spend orders."""
+
+import pytest
+
+from repro.core import (
+    Market,
+    MarketConfig,
+    SteadyStateEstimator,
+    perf_equal,
+    perf_improves,
+    perf_not_worse,
+)
+
+
+class TestPerfOrdering:
+    PRIOS = {"hi": 5, "mid": 3, "lo": 1}
+
+    def test_improvement_with_no_higher_priority_harm(self):
+        cur = {"hi": 1.0, "mid": 0.5, "lo": 0.5}
+        new = {"hi": 1.0, "mid": 0.9, "lo": 0.5}
+        assert perf_improves(cur, new, self.PRIOS)
+
+    def test_improvement_rejected_if_higher_priority_worsens(self):
+        cur = {"hi": 1.0, "mid": 0.5, "lo": 0.5}
+        new = {"hi": 0.8, "mid": 0.9, "lo": 0.5}
+        assert not perf_improves(cur, new, self.PRIOS)
+
+    def test_lower_priority_may_be_sacrificed(self):
+        # The paper's ordering: only *higher*-priority tasks are protected.
+        cur = {"hi": 0.5, "mid": 1.0, "lo": 1.0}
+        new = {"hi": 0.9, "mid": 0.4, "lo": 0.4}
+        assert perf_improves(cur, new, self.PRIOS)
+
+    def test_no_change_is_not_improvement(self):
+        cur = {"hi": 0.5, "lo": 0.5}
+        assert not perf_improves(cur, dict(cur), self.PRIOS)
+
+    def test_equal(self):
+        cur = {"hi": 0.5, "lo": 0.7}
+        assert perf_equal(cur, dict(cur))
+        assert not perf_equal(cur, {"hi": 0.5})
+        assert not perf_equal(cur, {"hi": 0.5, "lo": 0.8})
+
+    def test_not_worse(self):
+        cur = {"hi": 0.5, "lo": 0.7}
+        assert perf_not_worse(cur, dict(cur), self.PRIOS)
+        assert perf_not_worse(cur, {"hi": 0.6, "lo": 0.7}, self.PRIOS)
+        assert not perf_not_worse(cur, {"hi": 0.4, "lo": 0.7}, self.PRIOS)
+
+
+def build_market():
+    market = Market(MarketConfig(tolerance=0.2, initial_allowance=40.0))
+    market.add_cluster("big", ["b0", "b1"], [500.0, 800.0, 1200.0])
+    market.add_cluster("little", ["l0", "l1", "l2"], [350.0, 700.0, 1000.0])
+    return market
+
+
+def set_state(agent, demand, supply, bid):
+    agent.demand, agent.supply, agent.bid = demand, supply, bid
+
+
+class TestEstimator:
+    def make(self, energy=None):
+        market = build_market()
+        a = market.add_task("a", 2, "l0")
+        b = market.add_task("b", 1, "l1")
+        set_state(a, 600.0, 600.0, 2.0)
+        set_state(b, 300.0, 300.0, 1.0)
+        market.clusters["little"].level_index = 1
+        market.cores["l0"].price = 0.004
+        market.cores["l1"].price = 0.002
+
+        def demand_lookup(task_id, cluster_id):
+            agent = market.tasks[task_id]
+            if cluster_id == "big":
+                return agent.demand / 2.0  # profiled 2x speedup
+            return agent.demand
+
+        return market, SteadyStateEstimator(market, demand_lookup, energy)
+
+    def test_current_mapping_satisfied(self):
+        market, estimator = self.make()
+        estimate = estimator.evaluate_current()
+        assert estimate.all_satisfied
+        assert estimate.ratios == {"a": 1.0, "b": 1.0}
+
+    def test_required_level_rounds_demand_up(self):
+        market, estimator = self.make()
+        estimate = estimator.evaluate_current()
+        # Constrained little core demands 600 -> level 1 (700 PUs).
+        assert estimate.levels["little"] == 1
+
+    def test_saturated_core_splits_by_priority(self):
+        market, estimator = self.make()
+        market.tasks["a"].demand = 900.0
+        market.tasks["b"].demand = 900.0
+        market.move_task("b", "l0")  # both on one core: 1800 > 1000 max
+        estimate = estimator.evaluate_current()
+        assert not estimate.all_satisfied
+        ratio_a = estimate.ratios["a"]
+        ratio_b = estimate.ratios["b"]
+        # Priority 2 vs 1 -> a gets twice b's supply.
+        assert ratio_a == pytest.approx(2 * ratio_b, rel=1e-6)
+        assert set(estimate.unsatisfied_tasks()) == {"a", "b"}
+
+    def test_price_recursion_up(self):
+        market, estimator = self.make()
+        price = estimator.estimate_price("little", 2)
+        # One level up from index 1 at constrained-core price 0.004.
+        assert price == pytest.approx(0.004 * 1.2)
+
+    def test_price_recursion_down(self):
+        market, estimator = self.make()
+        price = estimator.estimate_price("little", 0)
+        assert price == pytest.approx(0.004 * 0.8)
+
+    def test_priceless_cluster_uses_market_average(self):
+        market, estimator = self.make()
+        price = estimator.estimate_price("big", 0)
+        avg = (2.0 + 1.0) / 700.0  # total bids / populated supply
+        assert price == pytest.approx(avg)
+
+    def test_evaluate_move_covers_both_clusters(self):
+        market, estimator = self.make()
+        current, candidate = estimator.evaluate_move("a", "b0")
+        assert set(current.levels) == {"big", "little"}
+        assert "a" in candidate.ratios
+        # In the candidate, a's demand halves on the big core type.
+        assert candidate.levels["big"] == 0  # 300 <= 500
+
+    def test_evaluate_move_unknown_ids(self):
+        market, estimator = self.make()
+        with pytest.raises(KeyError):
+            estimator.evaluate_move("nope", "b0")
+        with pytest.raises(KeyError):
+            estimator.evaluate_move("a", "nope")
+
+    def test_energy_aware_pricing_makes_big_expensive(self):
+        costs = {"big": 2e-3, "little": 6e-4}
+
+        def energy(cluster_id, level):
+            return costs[cluster_id]
+
+        market, estimator = self.make(energy=energy)
+        big_price = estimator.estimate_price("big", 0)
+        little_price = estimator.estimate_price("little", 0)
+        assert big_price / little_price == pytest.approx(2e-3 / 6e-4)
+
+    def test_spend_is_sum_of_bids(self):
+        market, estimator = self.make()
+        estimate = estimator.evaluate_current()
+        assert estimate.spend == pytest.approx(sum(estimate.bids.values()))
+
+    def test_bids_floored_at_bmin(self):
+        market, estimator = self.make()
+        market.tasks["b"].demand = 0.001
+        estimate = estimator.evaluate_current()
+        assert estimate.bids["b"] >= market.config.bmin

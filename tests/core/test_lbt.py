@@ -1,0 +1,159 @@
+"""Unit tests for the load-balancing and task-migration module."""
+
+import pytest
+
+from repro.core import LBTModule, Market, MarketConfig, SteadyStateEstimator
+
+
+def build_market():
+    market = Market(MarketConfig(tolerance=0.2, initial_allowance=40.0))
+    market.add_cluster("big", ["b0", "b1"], [500.0, 800.0, 1200.0])
+    market.add_cluster("little", ["l0", "l1", "l2"], [350.0, 700.0, 1000.0])
+    return market
+
+
+ENERGY = {"big": 1.8e-3, "little": 6.5e-4}
+
+
+def make_lbt(market, min_saving=0.02):
+    def demand_lookup(task_id, cluster_id):
+        agent = market.tasks[task_id]
+        current = market.cores[market.core_of(task_id)].cluster_id
+        if cluster_id == current:
+            return agent.demand
+        return agent.demand / 2.0 if cluster_id == "big" else agent.demand * 2.0
+
+    estimator = SteadyStateEstimator(
+        market, demand_lookup, lambda cid, lvl: ENERGY[cid]
+    )
+    return LBTModule(market, estimator, min_spend_saving_frac=min_saving)
+
+
+def add(market, task_id, core, demand, supply=None, bid=1.0, priority=1, unsat=0):
+    agent = market.add_task(task_id, priority, core)
+    agent.demand = demand
+    agent.supply = demand if supply is None else supply
+    agent.bid = bid
+    agent.unsatisfied_rounds = unsat
+    return agent
+
+
+class TestPerformanceMode:
+    def make_overloaded_little(self):
+        """Two tasks on one little core that cannot both be served."""
+        market = build_market()
+        add(market, "heavy", "l0", 800.0, supply=500.0, bid=2.0, unsat=10)
+        add(market, "light", "l1", 200.0, bid=0.5)
+        market.clusters["little"].level_index = 2
+        market.cores["l0"].price = 0.005
+        market.cores["l1"].price = 0.001
+        # Another heavy task shares the constrained core.
+        add(market, "mate", "l0", 600.0, supply=400.0, bid=1.5, unsat=10)
+        return market
+
+    def test_migration_promotes_persistent_unsatisfied_task(self):
+        market = self.make_overloaded_little()
+        lbt = make_lbt(market)
+        decision = lbt.propose_migration()
+        assert decision is not None
+        assert decision.mode == "performance"
+        assert decision.task_id in {"heavy", "mate"}
+        assert decision.target_core_id in {"b0", "b1"}
+
+    def test_transient_dissatisfaction_does_not_migrate(self):
+        market = self.make_overloaded_little()
+        for agent in market.tasks.values():
+            agent.unsatisfied_rounds = 1  # below the persistence bar
+        decision = make_lbt(market).propose_migration()
+        assert decision is None
+
+    def test_exclusion_blocks_cooling_tasks(self):
+        market = self.make_overloaded_little()
+        lbt = make_lbt(market)
+        decision = lbt.propose_migration(
+            exclude_tasks=frozenset({"heavy", "mate"})
+        )
+        assert decision is None
+
+    def test_load_balance_stays_within_cluster(self):
+        market = build_market()
+        add(market, "a", "l0", 600.0, supply=400.0, bid=2.0, unsat=10)
+        add(market, "b", "l0", 500.0, supply=350.0, bid=1.5, unsat=10)
+        market.clusters["little"].level_index = 2
+        market.cores["l0"].price = 0.004
+        decision = make_lbt(market).propose_load_balance()
+        assert decision is not None
+        assert decision.target_core_id.startswith("l")
+        assert decision.source_core_id == "l0"
+
+    def test_higher_priority_mover_preferred(self):
+        market = build_market()
+        # Demands so large that even the priority-proportional steady-state
+        # share cannot satisfy the high-priority task in place.
+        add(market, "lo", "l0", 900.0, supply=150.0, bid=2.0, priority=1, unsat=10)
+        add(market, "hi", "l0", 900.0, supply=750.0, bid=2.0, priority=5, unsat=10)
+        market.clusters["little"].level_index = 2
+        market.cores["l0"].price = 0.005
+        decision = make_lbt(market).propose_migration()
+        assert decision is not None
+        assert decision.task_id == "hi"
+
+    def test_satisfied_in_steady_state_does_not_move(self):
+        market = build_market()
+        # hi is under-supplied *now* but its steady-state priority share
+        # covers it, so only lo contemplates moving.
+        add(market, "lo", "l0", 700.0, supply=400.0, bid=2.0, priority=1, unsat=10)
+        add(market, "hi", "l0", 700.0, supply=400.0, bid=2.0, priority=5, unsat=10)
+        market.clusters["little"].level_index = 2
+        market.cores["l0"].price = 0.005
+        decision = make_lbt(market).propose_migration()
+        assert decision is not None
+        assert decision.task_id == "lo"
+
+
+class TestPowerMode:
+    def make_wasteful_big(self):
+        """A small satisfied task alone on big; little has room."""
+        market = build_market()
+        add(market, "small", "b0", 150.0, supply=500.0, bid=1.0)
+        add(market, "other", "l0", 300.0, bid=0.8)
+        market.clusters["big"].level_index = 0
+        market.clusters["little"].level_index = 1
+        market.cores["b0"].price = 0.004
+        market.cores["l0"].price = 0.002
+        return market
+
+    def test_migration_reclaims_energy(self):
+        market = self.make_wasteful_big()
+        decision = make_lbt(market).propose_migration()
+        assert decision is not None
+        assert decision.mode == "power"
+        assert decision.task_id == "small"
+        assert decision.target_core_id.startswith("l")
+        assert decision.spend_saving > 0
+
+    def test_power_mode_never_wakes_empty_cluster(self):
+        market = build_market()
+        # Only little is populated and everyone is satisfied.
+        add(market, "a", "l0", 300.0, bid=1.0)
+        add(market, "b", "l1", 250.0, bid=0.9)
+        market.clusters["little"].level_index = 1
+        market.cores["l0"].price = 0.002
+        decision = make_lbt(market).propose_migration()
+        assert decision is None or not decision.target_core_id.startswith("b")
+
+    def test_insufficient_saving_rejected(self):
+        market = self.make_wasteful_big()
+        lbt = make_lbt(market, min_saving=100.0)  # absurd bar
+        assert lbt.propose_migration() is None
+
+    def test_empty_market_proposes_nothing(self):
+        market = build_market()
+        assert make_lbt(market).propose_migration() is None
+        assert make_lbt(market).propose_load_balance() is None
+
+    def test_evaluation_counter_increments(self):
+        market = self.make_wasteful_big()
+        lbt = make_lbt(market)
+        lbt.propose_migration()
+        assert lbt.evaluations > 0

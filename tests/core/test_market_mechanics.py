@@ -1,0 +1,236 @@
+"""Market mechanics beyond the running examples: registry, freezes,
+renormalisation, floor descent, growth gating."""
+
+import pytest
+
+from repro.core import (
+    ChipPowerState,
+    ClusterFreeze,
+    Market,
+    MarketConfig,
+    MarketObservations,
+)
+
+
+def two_cluster_market(config=None):
+    market = Market(config or MarketConfig(initial_allowance=40.0))
+    market.add_cluster("big", ["b0", "b1"], [500.0, 800.0, 1200.0])
+    market.add_cluster("little", ["l0", "l1"], [350.0, 700.0, 1000.0])
+    return market
+
+
+def observe(market, demands, levels, power=1.0, cluster_power=None, in_transition=None):
+    return market.run_round(
+        MarketObservations(
+            demands=demands,
+            cluster_level=levels,
+            cluster_in_transition=in_transition or {},
+            chip_power_w=power,
+            cluster_power_w=cluster_power or {"big": power / 2, "little": power / 2},
+        )
+    )
+
+
+class TestRegistry:
+    def test_duplicate_cluster_rejected(self):
+        market = two_cluster_market()
+        with pytest.raises(ValueError):
+            market.add_cluster("big", ["x"], [100.0])
+
+    def test_duplicate_core_rejected(self):
+        market = two_cluster_market()
+        with pytest.raises(ValueError):
+            market.add_cluster("other", ["b0"], [100.0])
+
+    def test_duplicate_task_rejected(self):
+        market = two_cluster_market()
+        market.add_task("t", 1, "b0")
+        with pytest.raises(ValueError):
+            market.add_task("t", 1, "b1")
+
+    def test_task_on_unknown_core_rejected(self):
+        with pytest.raises(KeyError):
+            two_cluster_market().add_task("t", 1, "nope")
+
+    def test_move_preserves_agent_state(self):
+        market = two_cluster_market()
+        agent = market.add_task("t", 1, "b0")
+        agent.bid = 7.0
+        market.move_task("t", "l1")
+        assert market.core_of("t") == "l1"
+        assert market.tasks["t"].bid == 7.0
+
+    def test_move_unknown_task_or_core_rejected(self):
+        market = two_cluster_market()
+        market.add_task("t", 1, "b0")
+        with pytest.raises(KeyError):
+            market.move_task("nope", "b0")
+        with pytest.raises(KeyError):
+            market.move_task("t", "nope")
+
+    def test_remove_task(self):
+        market = two_cluster_market()
+        market.add_task("t", 1, "b0")
+        market.remove_task("t")
+        assert market.tasks_on_core("b0") == []
+
+    def test_constrained_core_is_highest_demand(self):
+        market = two_cluster_market()
+        a = market.add_task("a", 1, "l0")
+        b = market.add_task("b", 1, "l1")
+        a.demand, b.demand = 100.0, 400.0
+        assert market.constrained_core("little").core_id == "l1"
+        assert market.cluster_demand("little") == 400.0
+
+    def test_constrained_core_empty_cluster(self):
+        market = two_cluster_market()
+        assert market.constrained_core("big") is None
+        assert market.cluster_demand("big") == 0.0
+
+    def test_allowance_pool_bootstrap(self):
+        market = two_cluster_market(MarketConfig())
+        market.add_task("t", 1, "b0")
+        assert market.chip.allowance > 0.0
+
+
+class TestFreezeProtocol:
+    def test_awaiting_while_hardware_in_transition(self):
+        market = two_cluster_market()
+        market.add_task("t", 1, "l0")
+        # Force a demand spike so the cluster requests a level.
+        for _ in range(6):
+            result = observe(market, {"t": 900.0}, {"big": 0, "little": 0})
+            if result.level_requests:
+                break
+        assert market.clusters["little"].freeze is ClusterFreeze.AWAITING
+        bid_before = market.tasks["t"].bid
+        # Hardware still mid-transition: bids must not move, allocations held.
+        result = observe(
+            market,
+            {"t": 900.0},
+            {"big": 0, "little": 0},
+            in_transition={"little": True},
+        )
+        assert market.tasks["t"].bid == bid_before
+        assert market.clusters["little"].freeze is ClusterFreeze.AWAITING
+
+    def test_observation_round_unfreezes_and_resets_base(self):
+        market = two_cluster_market()
+        market.add_task("t", 1, "l0")
+        for _ in range(6):
+            result = observe(market, {"t": 900.0}, {"big": 0, "little": 0})
+            if result.level_requests:
+                break
+        new_level = result.level_requests["little"]
+        result = observe(market, {"t": 900.0}, {"big": 0, "little": new_level})
+        assert market.clusters["little"].freeze is ClusterFreeze.ACTIVE
+        assert market.cores["l0"].base_price == pytest.approx(result.prices["l0"])
+
+
+class TestAllocations:
+    def test_allocations_sum_to_core_supply(self):
+        market = two_cluster_market()
+        market.add_task("a", 1, "l0")
+        market.add_task("b", 2, "l0")
+        result = observe(
+            market, {"a": 300.0, "b": 400.0}, {"big": 0, "little": 1}
+        )
+        assert result.allocations["a"] + result.allocations["b"] == pytest.approx(700.0)
+
+    def test_cores_priced_independently(self):
+        market = two_cluster_market()
+        market.add_task("a", 1, "l0")
+        market.add_task("b", 1, "l1")
+        market.tasks["a"].bid = 2.0
+        market.tasks["b"].bid = 0.5
+        result = observe(market, {"a": 300.0, "b": 300.0}, {"big": 0, "little": 0})
+        assert result.prices["l0"] != result.prices["l1"]
+
+    def test_empty_core_price_zero(self):
+        market = two_cluster_market()
+        market.add_task("a", 1, "l0")
+        result = observe(market, {"a": 100.0}, {"big": 0, "little": 0})
+        assert result.prices["b0"] == 0.0
+
+
+class TestGrowthGating:
+    def test_no_growth_when_all_satisfied(self):
+        market = two_cluster_market(MarketConfig(initial_allowance=10.0))
+        market.add_task("t", 1, "l0")
+        observe(market, {"t": 100.0}, {"big": 0, "little": 0})
+        before = market.chip.allowance
+        for _ in range(5):
+            observe(market, {"t": 100.0}, {"big": 0, "little": 0})
+        assert market.chip.allowance == before
+
+    def test_no_growth_at_max_level(self):
+        market = two_cluster_market(MarketConfig(initial_allowance=10.0))
+        market.add_task("t", 1, "l0")
+        observe(market, {"t": 5000.0}, {"big": 0, "little": 2})
+        before = market.chip.allowance
+        for _ in range(5):
+            observe(market, {"t": 5000.0}, {"big": 0, "little": 2})
+        assert market.chip.allowance == before
+
+    def test_grows_on_cluster_shortage_below_max(self):
+        market = two_cluster_market(MarketConfig(initial_allowance=10.0))
+        market.add_task("t", 1, "l0")
+        before = market.chip.allowance
+        for _ in range(3):
+            observe(market, {"t": 900.0}, {"big": 0, "little": 0})
+        assert market.chip.allowance > before
+
+
+class TestRenormalisation:
+    def test_redenomination_preserves_relative_state(self):
+        market = two_cluster_market(MarketConfig(initial_allowance=10.0))
+        a = market.add_task("a", 1, "l0")
+        b = market.add_task("b", 1, "l0")
+        observe(market, {"a": 300.0, "b": 100.0}, {"big": 0, "little": 0})
+        observe(market, {"a": 300.0, "b": 100.0}, {"big": 0, "little": 0})
+        ratio_before = a.bid / b.bid
+        # Inflate the money supply grotesquely, then renormalise.
+        market.chip.allowance = 1e12
+        a.bid *= 1e10
+        b.bid *= 1e10
+        a.wallet.allowance *= 1e10
+        b.wallet.allowance *= 1e10
+        for core in market.cores.values():
+            core.price *= 1e10
+            if core.base_price is not None:
+                core.base_price *= 1e10
+        market._renormalize_money()
+        assert market.chip.allowance < 1e9
+        assert a.bid / b.bid == pytest.approx(ratio_before, rel=1e-6)
+
+    def test_noop_below_threshold(self):
+        market = two_cluster_market(MarketConfig(initial_allowance=10.0))
+        market.add_task("a", 1, "l0")
+        market._renormalize_money()
+        assert market.chip.allowance == 10.0
+
+
+class TestEmergencyDescent:
+    def test_supply_never_raised_in_emergency(self):
+        market = two_cluster_market(
+            MarketConfig(initial_allowance=40.0, wtdp=2.0, wth=1.5)
+        )
+        market.add_task("t", 1, "l0")
+        # Demand pressure + power above TDP: no upward level requests.
+        for _ in range(10):
+            result = observe(
+                market, {"t": 900.0}, {"big": 0, "little": 1}, power=3.0
+            )
+            for cluster_id, level in result.level_requests.items():
+                assert level <= market.clusters[cluster_id].level_index
+
+    def test_floor_bids_force_descent_in_emergency(self):
+        market = two_cluster_market(
+            MarketConfig(initial_allowance=40.0, wtdp=2.0, wth=1.5)
+        )
+        market.add_task("t", 1, "l0")
+        market.tasks["t"].bid = market.config.bmin
+        market.tasks["t"].wallet.allowance = market.config.bmin
+        result = observe(market, {"t": 900.0}, {"big": 0, "little": 2}, power=3.0)
+        assert result.chip_state is ChipPowerState.EMERGENCY
+        assert result.level_requests.get("little") == 1

@@ -1,0 +1,176 @@
+"""Property-based tests: market invariants under arbitrary round sequences.
+
+Whatever demands, power readings and level changes the world throws at
+it, the market must maintain its accounting invariants -- these are the
+properties the paper's stability arguments (sections 3.2.4, 3.3.1) rest
+on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ChipPowerState, ClusterFreeze, Market, MarketConfig, MarketObservations
+
+N_TASKS = 4
+LADDERS = {
+    "big": [500.0, 800.0, 1200.0],
+    "little": [350.0, 700.0, 1000.0],
+}
+
+
+def build_market(wtdp=None):
+    market = Market(
+        MarketConfig(initial_allowance=20.0, wtdp=wtdp)
+    )
+    market.add_cluster("big", ["b0", "b1"], LADDERS["big"])
+    market.add_cluster("little", ["l0", "l1"], LADDERS["little"])
+    for i in range(N_TASKS):
+        market.add_task(f"t{i}", priority=(i % 3) + 1, core_id=["b0", "b1", "l0", "l1"][i])
+    return market
+
+
+round_strategy = st.fixed_dictionaries(
+    {
+        "demands": st.lists(
+            st.floats(min_value=0.0, max_value=2000.0), min_size=N_TASKS, max_size=N_TASKS
+        ),
+        "power": st.floats(min_value=0.0, max_value=10.0),
+        "apply_levels": st.booleans(),
+    }
+)
+
+
+def drive(market, rounds):
+    levels = {"big": 0, "little": 0}
+    pending = {}
+    results = []
+    for spec in rounds:
+        if spec["apply_levels"]:
+            levels.update(pending)
+            pending = {}
+        obs = MarketObservations(
+            demands={f"t{i}": spec["demands"][i] for i in range(N_TASKS)},
+            cluster_level=dict(levels),
+            cluster_in_transition={
+                cid: cid in pending for cid in levels
+            },
+            chip_power_w=spec["power"],
+            cluster_power_w={"big": spec["power"] / 2, "little": spec["power"] / 2},
+        )
+        result = market.run_round(obs)
+        # Remember which level the market traded against this round so
+        # assertions don't compare old requests with future state.
+        result.levels_seen = dict(levels)  # type: ignore[attr-defined]
+        pending.update(result.level_requests)
+        results.append(result)
+    return results
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(round_strategy, min_size=1, max_size=30))
+def test_accounting_invariants_hold(rounds):
+    market = build_market(wtdp=4.0)
+    results = drive(market, rounds)
+    cfg = market.config
+    for result in results:
+        # Money is never negative and bids respect the floor.
+        assert result.allowance > 0.0
+        for agent in market.tasks.values():
+            assert agent.bid >= cfg.bmin - 1e-12
+            assert agent.wallet.savings >= -1e-9
+            assert agent.wallet.allowance >= -1e-9
+            assert agent.supply >= -1e-9
+        # Allocations on each core sum to at most its supply.
+        for cluster in market.clusters.values():
+            for core_id in cluster.core_ids:
+                total = sum(
+                    a.supply for a in market.tasks_on_core(core_id)
+                )
+                assert total <= cluster.max_supply + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(round_strategy, min_size=1, max_size=30))
+def test_level_requests_always_valid(rounds):
+    market = build_market(wtdp=4.0)
+    results = drive(market, rounds)
+    for result, spec in zip(results, rounds):
+        for cluster_id, level in result.level_requests.items():
+            assert 0 <= level <= market.clusters[cluster_id].max_index
+            # Only one-step moves relative to the level the market saw
+            # *in that round* (the paper's cluster agent semantics).
+            assert abs(level - result.levels_seen[cluster_id]) <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(round_strategy, min_size=1, max_size=30))
+def test_freeze_states_remain_legal(rounds):
+    market = build_market()
+    drive(market, rounds)
+    for cluster in market.clusters.values():
+        assert cluster.freeze in (
+            ClusterFreeze.ACTIVE,
+            ClusterFreeze.AWAITING,
+            ClusterFreeze.OBSERVING,
+        )
+        # OBSERVING never persists across a round boundary.
+        assert cluster.freeze is not ClusterFreeze.OBSERVING
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=5, max_size=25
+    )
+)
+def test_power_states_classified_consistently(powers):
+    market = build_market(wtdp=4.0)
+    for power in powers:
+        obs = MarketObservations(
+            demands={f"t{i}": 100.0 for i in range(N_TASKS)},
+            cluster_level={"big": 0, "little": 0},
+            chip_power_w=power,
+            cluster_power_w={"big": power / 2, "little": power / 2},
+        )
+        result = market.run_round(obs)
+        if power > 4.0:
+            assert result.chip_state is ChipPowerState.EMERGENCY
+        elif power >= 3.5:
+            assert result.chip_state is ChipPowerState.THRESHOLD
+        else:
+            assert result.chip_state is ChipPowerState.NORMAL
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(round_strategy, min_size=2, max_size=20), st.data())
+def test_task_churn_never_corrupts_market(rounds, data):
+    """Tasks entering/leaving between rounds keep the registry coherent."""
+    market = build_market()
+    next_id = N_TASKS
+    for spec in rounds:
+        action = data.draw(st.sampled_from(["none", "add", "remove", "move"]))
+        task_ids = list(market.tasks)
+        if action == "add":
+            market.add_task(f"t{next_id}", priority=1, core_id="l0")
+            next_id += 1
+        elif action == "remove" and task_ids:
+            market.remove_task(data.draw(st.sampled_from(task_ids)))
+        elif action == "move" and task_ids:
+            market.move_task(
+                data.draw(st.sampled_from(task_ids)),
+                data.draw(st.sampled_from(["b0", "b1", "l0", "l1"])),
+            )
+        obs = MarketObservations(
+            demands={tid: 200.0 for tid in market.tasks},
+            cluster_level={"big": 0, "little": 0},
+            chip_power_w=1.0,
+            cluster_power_w={"big": 0.5, "little": 0.5},
+        )
+        result = market.run_round(obs)
+        assert set(result.allocations) <= set(market.tasks)
+        placed = {
+            a.task_id
+            for cid in market.cores
+            for a in market.tasks_on_core(cid)
+        }
+        assert placed == set(market.tasks)

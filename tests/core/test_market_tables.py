@@ -1,0 +1,187 @@
+"""Market-round tests reproducing the paper's running examples verbatim.
+
+Tables 1 and 2 are checked cell by cell; Table 3 is checked on its
+behavioural waypoints (state transitions, allowance contraction, savings
+drain) and on its stable end point: the system parks in the threshold
+state at 500 PUs with the high-priority task fully served.
+"""
+
+import pytest
+
+from repro.core import ChipPowerState, Market, MarketConfig, MarketObservations
+
+
+def single_core_market(config=None):
+    market = Market(
+        config
+        or MarketConfig(tolerance=0.2, initial_bid=1.0, initial_allowance=40.0)
+    )
+    market.add_cluster("v", ["c"], [300.0, 400.0, 500.0, 600.0])
+    market.add_task("ta", 1, "c")
+    market.add_task("tb", 1, "c")
+    return market
+
+
+def run_round(market, level, da, db, power=0.5):
+    obs = MarketObservations(
+        demands={"ta": da, "tb": db},
+        cluster_level={"v": level},
+        cluster_in_transition={"v": False},
+        chip_power_w=power,
+        cluster_power_w={"v": power},
+    )
+    return market.run_round(obs)
+
+
+class TestTable1:
+    """Two tasks on a 300 PU core: the bids redistribute the supply."""
+
+    def test_round1_equal_bids_split_supply(self):
+        market = single_core_market()
+        result = run_round(market, 0, 200.0, 100.0)
+        assert market.tasks["ta"].bid == pytest.approx(1.0)
+        assert market.tasks["tb"].bid == pytest.approx(1.0)
+        assert result.prices["c"] == pytest.approx(2.0 / 300.0)
+        assert market.tasks["ta"].supply == pytest.approx(150.0)
+        assert market.tasks["tb"].supply == pytest.approx(150.0)
+
+    def test_round2_bids_track_demand(self):
+        market = single_core_market()
+        run_round(market, 0, 200.0, 100.0)
+        run_round(market, 0, 200.0, 100.0)
+        assert market.tasks["ta"].bid == pytest.approx(4.0 / 3.0, rel=1e-3)
+        assert market.tasks["tb"].bid == pytest.approx(2.0 / 3.0, rel=1e-3)
+        assert market.tasks["ta"].supply == pytest.approx(200.0)
+        assert market.tasks["tb"].supply == pytest.approx(100.0)
+
+    def test_satisfied_market_is_stable(self):
+        market = single_core_market()
+        for _ in range(10):
+            result = run_round(market, 0, 200.0, 100.0)
+        assert market.tasks["ta"].supply == pytest.approx(200.0)
+        assert market.tasks["tb"].supply == pytest.approx(100.0)
+        assert result.level_requests == {}
+
+
+class TestTable2:
+    """A demand increase inflates the price past delta and raises supply."""
+
+    def run_to_round3(self):
+        market = single_core_market()
+        run_round(market, 0, 200.0, 100.0)
+        run_round(market, 0, 200.0, 100.0)
+        return market
+
+    def test_round3_inflation_detected(self):
+        market = self.run_to_round3()
+        result = run_round(market, 0, 300.0, 100.0)
+        assert market.tasks["ta"].bid == pytest.approx(2.0, rel=1e-3)
+        assert result.prices["c"] == pytest.approx(0.00889, rel=1e-2)
+        # Inflation beyond base * 1.2 -> one level up (300 -> 400 PUs).
+        assert result.level_requests == {"v": 1}
+        assert "v" in result.frozen_clusters
+        assert market.tasks["ta"].supply == pytest.approx(225.0)
+        assert market.tasks["tb"].supply == pytest.approx(75.0)
+
+    def test_round4_new_supply_observed_base_reset(self):
+        market = self.run_to_round3()
+        run_round(market, 0, 300.0, 100.0)
+        result = run_round(market, 1, 300.0, 100.0)  # regulator applied
+        # Bids frozen during the observation round.
+        assert market.tasks["ta"].bid == pytest.approx(2.0, rel=1e-3)
+        assert market.tasks["tb"].bid == pytest.approx(2.0 / 3.0, rel=1e-3)
+        assert result.prices["c"] == pytest.approx(2.6667 / 400.0, rel=1e-3)
+        assert market.cores["c"].base_price == pytest.approx(result.prices["c"])
+        assert market.tasks["ta"].supply == pytest.approx(300.0)
+        assert market.tasks["tb"].supply == pytest.approx(100.0)
+        assert result.frozen_clusters == set()
+
+    def test_no_dvfs_decision_in_round_after_observation(self):
+        market = self.run_to_round3()
+        run_round(market, 0, 300.0, 100.0)
+        result4 = run_round(market, 1, 300.0, 100.0)
+        assert result4.level_requests == {}
+
+
+TABLE3_POWER = {300.0: 0.6, 400.0: 0.8, 500.0: 2.0, 600.0: 3.0}
+
+
+class TestTable3:
+    """Chip dynamics: normal -> threshold -> emergency -> stable threshold."""
+
+    def make_market(self):
+        return single_core_market(
+            MarketConfig(
+                tolerance=0.2,
+                initial_bid=1.0,
+                initial_allowance=4.5,
+                wtdp=2.25,
+                wth=1.75,
+            )
+        )
+
+    def drive(self, rounds):
+        market = Market(
+            MarketConfig(
+                tolerance=0.2, initial_bid=1.0, initial_allowance=4.5,
+                wtdp=2.25, wth=1.75,
+            )
+        )
+        market.add_cluster("v", ["c"], [300.0, 400.0, 500.0, 600.0])
+        market.add_task("ta", 2, "c")
+        market.add_task("tb", 1, "c")
+        level = 0
+        states = []
+        supplies = []
+        allowances = []
+        demands = [(200.0, 100.0)] * 2 + [(300.0, 100.0)] * 2 + [(300.0, 300.0)] * rounds
+        for da, db in demands:
+            power = TABLE3_POWER[market.clusters["v"].supply_ladder[level]]
+            obs = MarketObservations(
+                demands={"ta": da, "tb": db},
+                cluster_level={"v": level},
+                cluster_in_transition={"v": False},
+                chip_power_w=power,
+                cluster_power_w={"v": power},
+            )
+            result = market.run_round(obs)
+            for _, new_level in result.level_requests.items():
+                level = new_level
+            states.append(result.chip_state)
+            supplies.append(market.clusters["v"].supply_ladder[level])
+            allowances.append(result.allowance)
+        return market, states, supplies, allowances
+
+    def test_priority_weighted_allowances(self):
+        market, *_ = self.drive(1)
+        assert market.tasks["ta"].wallet.allowance == pytest.approx(
+            2 * market.tasks["tb"].wallet.allowance
+        )
+
+    def test_passes_through_emergency(self):
+        _, states, supplies, _ = self.drive(20)
+        assert ChipPowerState.EMERGENCY in states
+        assert max(supplies) == 600.0
+
+    def test_emergency_contracts_allowance(self):
+        _, states, _, allowances = self.drive(20)
+        first_emergency = states.index(ChipPowerState.EMERGENCY)
+        assert allowances[first_emergency + 1] < allowances[first_emergency]
+
+    def test_stabilises_in_threshold_at_500(self):
+        market, states, supplies, _ = self.drive(40)
+        assert states[-1] is ChipPowerState.THRESHOLD
+        assert supplies[-1] == 500.0
+        # Once parked, the supply no longer changes.
+        assert len(set(supplies[-5:])) == 1
+
+    def test_high_priority_task_served_low_priority_suffers(self):
+        market, *_ = self.drive(40)
+        ta, tb = market.tasks["ta"], market.tasks["tb"]
+        assert ta.supply == pytest.approx(300.0, rel=0.02)  # meets demand
+        assert tb.supply == pytest.approx(200.0, rel=0.02)  # squeezed
+        assert ta.supply_demand_ratio > tb.supply_demand_ratio
+
+    def test_never_stabilises_in_emergency(self):
+        _, states, _, _ = self.drive(40)
+        assert all(s is not ChipPowerState.EMERGENCY for s in states[-10:])

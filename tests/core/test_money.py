@@ -1,0 +1,76 @@
+"""Unit tests for wallets: allowances, savings, bid clamping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Wallet
+
+
+class TestBudget:
+    def test_budget_is_allowance_plus_savings(self):
+        assert Wallet(allowance=2.0, savings=3.0).budget() == 5.0
+
+
+class TestClampBid:
+    def test_within_budget_passes_through(self):
+        assert Wallet(2.0, 1.0).clamp_bid(2.5, bmin=0.1) == 2.5
+
+    def test_capped_at_budget(self):
+        assert Wallet(2.0, 1.0).clamp_bid(10.0, bmin=0.1) == 3.0
+
+    def test_floored_at_bmin(self):
+        assert Wallet(2.0, 1.0).clamp_bid(0.0, bmin=0.1) == 0.1
+
+    def test_destitute_agent_still_bids_bmin(self):
+        assert Wallet(0.0, 0.0).clamp_bid(5.0, bmin=0.1) == 0.1
+
+
+class TestSettle:
+    def test_unspent_allowance_becomes_savings(self):
+        w = Wallet(allowance=3.0, savings=0.0)
+        w.settle(bid=1.0, cap_fraction=10.0)
+        assert w.savings == pytest.approx(2.0)
+
+    def test_overspending_drains_savings(self):
+        w = Wallet(allowance=1.0, savings=5.0)
+        w.settle(bid=3.0, cap_fraction=10.0)
+        assert w.savings == pytest.approx(3.0)
+
+    def test_savings_never_negative(self):
+        w = Wallet(allowance=1.0, savings=0.5)
+        w.settle(bid=2.0, cap_fraction=10.0)
+        assert w.savings == 0.0
+
+    def test_cap_applied(self):
+        w = Wallet(allowance=2.0, savings=9.5)
+        w.settle(bid=0.0, cap_fraction=5.0)
+        assert w.savings == pytest.approx(10.0)  # 5 * allowance
+
+    def test_repeated_saving_accumulates_to_cap(self):
+        w = Wallet(allowance=1.0, savings=0.0)
+        for _ in range(20):
+            w.settle(bid=0.2, cap_fraction=5.0)
+        assert w.savings == pytest.approx(5.0)
+
+    @given(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=200),
+        st.floats(min_value=0, max_value=10),
+    )
+    def test_invariant_zero_leq_savings_leq_cap(self, allowance, savings, bid, cap):
+        w = Wallet(allowance=allowance, savings=savings)
+        bid = w.clamp_bid(bid, bmin=0.01)
+        w.settle(bid, cap_fraction=cap)
+        assert 0.0 <= w.savings <= cap * allowance + 1e-9
+
+    @given(
+        st.floats(min_value=0.01, max_value=100),
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=-1000, max_value=1000),
+    )
+    def test_clamped_bid_always_affordable_or_bmin(self, allowance, savings, desired):
+        w = Wallet(allowance=allowance, savings=savings)
+        bid = w.clamp_bid(desired, bmin=0.01)
+        assert bid >= 0.01
+        assert bid <= max(w.budget(), 0.01)

@@ -1,0 +1,155 @@
+"""Tests for the experiment harness and the comparative sweep plumbing.
+
+These run *short* simulations -- they validate structure and wiring, not
+the paper's steady-state numbers (the benchmarks regenerate those).
+"""
+
+import pytest
+
+from repro.core import PPMGovernor
+from repro.experiments import (
+    ComparativeResult,
+    GOVERNOR_NAMES,
+    capped_tdp_w,
+    make_governor,
+    run_comparative,
+    run_system,
+    run_workload,
+)
+from repro.experiments.comparative import figure4, figure5
+from repro.governors import HLGovernor, HPMGovernor
+from repro.tasks import build_workload
+
+
+class TestMakeGovernor:
+    def test_all_names_construct(self):
+        assert isinstance(make_governor("PPM"), PPMGovernor)
+        assert isinstance(make_governor("HPM"), HPMGovernor)
+        assert isinstance(make_governor("HL"), HLGovernor)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_governor("EAS")
+
+    def test_power_cap_propagates(self):
+        ppm = make_governor("PPM", power_cap_w=4.0)
+        assert ppm.config.market.wtdp == 4.0
+        assert ppm.config.market.wth == pytest.approx(3.5)
+        assert make_governor("HPM", power_cap_w=4.0).power_cap_w == 4.0
+        assert make_governor("HL", power_cap_w=4.0).power_cap_w == 4.0
+
+    def test_capped_tdp_is_4w(self):
+        assert capped_tdp_w() == 4.0
+
+
+class TestRunSystem:
+    def test_result_fields_populated(self):
+        tasks = build_workload("l1")
+        result = run_system(
+            tasks,
+            make_governor("PPM"),
+            duration_s=3.0,
+            warmup_s=1.0,
+            governor_name="PPM",
+            workload_name="l1",
+        )
+        assert result.governor == "PPM"
+        assert result.workload == "l1"
+        assert 0.0 <= result.miss_fraction <= 1.0
+        assert result.average_power_w > 0.0
+        assert result.peak_power_w >= result.average_power_w
+        assert set(result.per_task_below) == {t.name for t in tasks}
+        assert result.metrics is None  # not kept by default
+
+    def test_keep_metrics(self):
+        tasks = build_workload("l1")[:2]
+        result = run_system(
+            tasks, make_governor("PPM"), duration_s=1.0, warmup_s=0.0,
+            keep_metrics=True,
+        )
+        assert result.metrics is not None
+        assert result.metrics.samples
+
+    def test_placement_hook_applied(self):
+        tasks = build_workload("l1")[:2]
+
+        def pin(sim):
+            for task in tasks:
+                sim.place(task, sim.chip.core("big.0"))
+
+        result = run_system(
+            tasks, make_governor("HL"), duration_s=0.05, warmup_s=0.0,
+            placement=pin, keep_metrics=True,
+        )
+        assert result.metrics is not None
+
+    def test_run_workload_smoke(self):
+        result = run_workload("l2", "HL", duration_s=1.0, warmup_s=0.2)
+        assert result.workload == "l2"
+
+
+class TestComparativeStructure:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_comparative(
+            governors=("PPM", "HL"),
+            workloads=("l1", "m2"),
+            duration_s=2.0,
+            warmup_s=0.5,
+        )
+
+    def test_grid_complete(self, sweep):
+        assert set(sweep.runs) == {"PPM", "HL"}
+        assert set(sweep.runs["PPM"]) == {"l1", "m2"}
+
+    def test_tables(self, sweep):
+        miss = sweep.miss_table()
+        power = sweep.power_table()
+        assert 0.0 <= miss["PPM"]["l1"] <= 1.0
+        assert power["HL"]["m2"] > 0.0
+
+    def test_means(self, sweep):
+        assert sweep.mean_power("PPM") == pytest.approx(
+            sum(r.average_power_w for r in sweep.runs["PPM"].values()) / 2
+        )
+
+    def test_improvement_math(self):
+        result = ComparativeResult(runs={}, power_cap_w=None)
+        result.runs = {
+            "PPM": {"x": _fake_run(0.1)},
+            "HPM": {"x": _fake_run(0.2)},
+        }
+        assert result.improvement_over("HPM") == pytest.approx(0.5)
+
+    def test_improvement_with_zero_baseline(self):
+        result = ComparativeResult(runs={}, power_cap_w=None)
+        result.runs = {"PPM": {"x": _fake_run(0.0)}, "HPM": {"x": _fake_run(0.0)}}
+        assert result.improvement_over("HPM") == 0.0
+
+
+def _fake_run(miss):
+    from repro.experiments import RunResult
+
+    return RunResult(
+        governor="g",
+        workload="x",
+        duration_s=1.0,
+        miss_fraction=miss,
+        mean_miss_fraction=miss,
+        average_power_w=1.0,
+        peak_power_w=1.0,
+        intra_migrations=0,
+        inter_migrations=0,
+    )
+
+
+class TestFigureRendering:
+    def test_figure4_and_5_reuse_runs(self):
+        sweep = run_comparative(
+            governors=("PPM",), workloads=("l1",), duration_s=1.0, warmup_s=0.2
+        )
+        _, text4 = figure4(result=sweep)
+        _, text5 = figure5(result=sweep)
+        assert "Figure 4" in text4
+        assert "Figure 5" in text5
+        assert "PPM" in text4

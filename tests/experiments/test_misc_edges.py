@@ -1,0 +1,84 @@
+"""Edge cases across the experiments layer not covered elsewhere."""
+
+import math
+
+import pytest
+
+from repro.experiments.reporting import format_percent_table, format_table
+from repro.experiments.savings import SavingsResult
+from repro.experiments.harness import RunResult
+
+
+class TestReportingEdges:
+    def test_percent_table_with_missing_cell_renders_nan(self):
+        text = format_percent_table("T", ["w1", "w2"], {"G": {"w1": 0.5}})
+        assert "nan" in text.lower()
+
+    def test_table_with_no_rows(self):
+        text = format_table(["a", "b"], [])
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + rule
+
+    def test_table_mixed_types(self):
+        text = format_table(["x"], [[None], [1.23456], ["s"]])
+        assert "None" in text and "1.235" in text and "s" in text
+
+
+class TestSavingsResultEdges:
+    def make(self):
+        run = RunResult(
+            governor="PPM", workload="fig8", duration_s=1.0,
+            miss_fraction=0.0, mean_miss_fraction=0.0,
+            average_power_w=1.0, peak_power_w=1.0,
+            intra_migrations=0, inter_migrations=0,
+        )
+        return SavingsResult(
+            run=run,
+            series={"x264_native": ([0.0, 1.0, 2.0], [1.0, 0.9, 0.8])},
+            savings_series=([0.0, 1.0], [5.0, 0.0]),
+            dormant_s=1.0,
+            active_s=1.0,
+        )
+
+    def test_windowed_mean(self):
+        result = self.make()
+        assert result.x264_normalized_hr(0.0, 2.0) == pytest.approx(0.95)
+
+    def test_empty_window_is_zero(self):
+        assert self.make().x264_normalized_hr(10.0, 20.0) == 0.0
+
+
+class TestCLIParser:
+    def test_validate_and_export_flags(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(["fig6", "--export", "out.csv", "--duration", "10"])
+        assert args.export == "out.csv"
+        assert args.duration == 10.0
+        args = build_parser().parse_args(["validate", "--full"])
+        assert args.full
+
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMarketRecorderWithSweep:
+    def test_sweep_and_telemetry_compose(self):
+        """The utilities stack: sweep a knob while recording the market."""
+        from repro.core import MarketRecorder, PPMConfig, PPMGovernor
+        from repro.hw import tc2_chip
+        from repro.sim import SimConfig, Simulation
+        from repro.tasks import build_workload
+
+        governor = PPMGovernor(PPMConfig())
+        recorder = MarketRecorder(governor)
+        sim = Simulation(
+            tc2_chip(), build_workload("l1"), governor, config=SimConfig()
+        )
+        sim.run(2.0)
+        times, allowance = recorder.series("allowance")
+        assert len(times) > 30
+        assert min(allowance) > 0

@@ -1,0 +1,81 @@
+"""Behaviour tests for the Figure 7 (priorities) and Figure 8 (savings)
+experiments, run at reduced length."""
+
+import pytest
+
+from repro.experiments import run_priority_experiment, run_savings_experiment
+
+
+class TestPriorities:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        equal = run_priority_experiment(1, 1, duration_s=60.0, warmup_s=5.0)
+        prio = run_priority_experiment(7, 1, duration_s=60.0, warmup_s=5.0)
+        return equal, prio
+
+    def test_equal_priorities_suffer_comparably(self, runs):
+        equal, _ = runs
+        gap = abs(equal.swaptions_outside - equal.bodytrack_outside)
+        assert gap < 0.25
+        # The shared core is genuinely contended.
+        assert equal.swaptions_outside > 0.1
+
+    def test_priority_shifts_misses_to_low_priority_task(self, runs):
+        equal, prio = runs
+        assert prio.swaptions_outside < 0.15
+        assert prio.swaptions_outside < equal.swaptions_outside
+        assert prio.bodytrack_outside >= equal.bodytrack_outside - 0.05
+        assert prio.bodytrack_outside > 3 * prio.swaptions_outside
+
+    def test_series_available(self, runs):
+        _, prio = runs
+        times, rates = prio.series["swaptions_native"]
+        assert len(times) == len(rates) > 100
+
+    def test_tasks_share_one_core(self, runs):
+        equal, _ = runs
+        # Placement pinned both on little.0 and LBT is disabled.
+        assert equal.run.inter_migrations == 0
+        assert equal.run.intra_migrations == 0
+
+
+class TestSavings:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_savings_experiment(dormant_s=40.0, active_s=60.0, tail_s=20.0)
+
+    def test_dormant_phase_exceeds_goals_and_banks(self, result):
+        # x264 runs above its range while dormant...
+        assert result.x264_normalized_hr(10.0, 40.0) > 1.03
+        # ...and accumulates savings.
+        times, savings = result.savings_series
+        dormant_peak = max(
+            s for t, s in zip(times, savings) if t < result.dormant_s
+        )
+        assert dormant_peak > 0.0
+
+    def test_savings_drain_in_active_phase(self, result):
+        times, savings = result.savings_series
+        end_of_dormant = max(
+            s for t, s in zip(times, savings) if t < result.dormant_s
+        )
+        tail = [s for t, s in zip(times, savings) if t > result.dormant_s + 40.0]
+        assert tail and min(tail) < 0.25 * end_of_dormant
+
+    def test_active_phase_eventually_below_range(self, result):
+        # Once the hoard is gone the surge cannot be financed.
+        late_active = result.x264_normalized_hr(
+            result.dormant_s + result.active_s - 20.0,
+            result.dormant_s + result.active_s,
+        )
+        assert late_active < 1.0
+
+    def test_savings_finance_early_active_phase(self, result):
+        early = result.x264_normalized_hr(
+            result.dormant_s + 1.0, result.dormant_s + 10.0
+        )
+        late = result.x264_normalized_hr(
+            result.dormant_s + result.active_s - 20.0,
+            result.dormant_s + result.active_s,
+        )
+        assert early > late

@@ -1,0 +1,110 @@
+"""Tests for the Table 7 emulator, the text reporting and the CLI."""
+
+import pytest
+
+from repro.experiments import (
+    ConstrainedCoreEmulator,
+    TABLE7_CONFIGS,
+    measure_overhead,
+    table7,
+)
+from repro.experiments.cli import build_parser, main
+from repro.experiments.reporting import format_percent_table, format_table, sparkline
+
+
+class TestEmulator:
+    def test_supply_demand_round_returns_price(self):
+        emulator = ConstrainedCoreEmulator(4, 4, 8, seed=1)
+        price = emulator.run_supply_demand_round()
+        assert price > 0.0
+
+    def test_lbt_invocation_considers_all_candidates(self):
+        emulator = ConstrainedCoreEmulator(4, 4, 8, seed=1)
+        emulator.run_supply_demand_round()
+        _, best_index = emulator.run_lbt_invocation()
+        # T x (V-1) candidate mappings.
+        assert best_index < 8 * 3
+
+    def test_bids_respect_floor(self):
+        emulator = ConstrainedCoreEmulator(2, 2, 4, seed=2)
+        for _ in range(20):
+            emulator.run_supply_demand_round()
+        assert all(t.bid >= emulator.bmin for t in emulator.tasks)
+
+
+class TestMeasurement:
+    def test_point_fields(self):
+        point = measure_overhead(2, 4, 8, invocations=2, seed=0)
+        assert point.total_tasks == 64
+        assert point.avg_overhead_ms > 0.0
+        assert point.avg_overhead_pct == pytest.approx(
+            100.0 * point.avg_overhead_ms / 190.0
+        )
+
+    def test_overhead_grows_with_tasks_and_clusters(self):
+        small = measure_overhead(2, 4, 8, invocations=3, seed=0)
+        more_tasks = measure_overhead(2, 4, 128, invocations=3, seed=0)
+        more_clusters = measure_overhead(64, 4, 8, invocations=3, seed=0)
+        assert more_tasks.avg_overhead_ms > small.avg_overhead_ms
+        assert more_clusters.avg_overhead_ms > small.avg_overhead_ms
+
+    def test_table7_config_list_matches_paper(self):
+        assert (256, 16, 32) in TABLE7_CONFIGS
+        assert (2, 4, 8) in TABLE7_CONFIGS
+
+    def test_table7_rendering(self):
+        points, text = table7(configs=[(2, 2, 4), (4, 2, 4)], invocations=1)
+        assert len(points) == 2
+        assert "Table 7" in text
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in text
+
+    def test_percent_table(self):
+        text = format_percent_table(
+            "P", ["w1", "w2"], {"G": {"w1": 0.5, "w2": 0.25}}
+        )
+        assert "50.0%" in text
+        assert "25.0%" in text
+        assert "37.5%" in text  # mean column
+
+    def test_sparkline_shape(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_downsamples(self):
+        assert len(sparkline(list(range(1000)), width=50)) == 50
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_constant_series(self):
+        assert set(sparkline([2.0, 2.0, 2.0])) == {"▁"}
+
+
+class TestCLI:
+    def test_parser_accepts_all_experiments(self):
+        parser = build_parser()
+        for name in ["table1", "table4", "fig4", "fig8", "all"]:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_table_commands_run(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_table4_runs(self, capsys):
+        assert main(["table4"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_table7_runs(self, capsys):
+        assert main(["table7", "--invocations", "1"]) == 0
+        assert "Table 7" in capsys.readouterr().out

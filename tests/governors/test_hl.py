@@ -1,0 +1,108 @@
+"""Unit and behaviour tests for the HL (Linaro big.LITTLE MP) baseline."""
+
+import pytest
+
+from repro.governors import HLGovernor
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import make_task
+
+
+def make_sim(tasks, governor=None, dt=0.01):
+    return Simulation(
+        tc2_chip(), tasks, governor or HLGovernor(), config=SimConfig(dt=dt)
+    )
+
+
+class TestThresholds:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HLGovernor(up_threshold=0.5, down_threshold=0.6)
+        with pytest.raises(ValueError):
+            HLGovernor(up_threshold=1.5)
+
+
+class TestMigrationPolicy:
+    def test_starved_task_promoted_to_big(self):
+        # Demand beyond the little core even at max frequency.
+        task = make_task("tracking", "f")  # 1100 PUs on A7
+        sim = make_sim([task])
+        sim.run(2.0)
+        assert sim.placement.core_of(task).cluster.cluster_id == "big"
+
+    def test_light_task_stays_on_little(self):
+        task = make_task("multicnt", "v")  # 280 PUs
+        sim = make_sim([task])
+        sim.run(3.0)
+        assert sim.placement.core_of(task).cluster.cluster_id == "little"
+
+    def test_quiet_task_demoted_from_big(self):
+        # A task tiny enough that even at big's lowest level its tracked
+        # load sits below the demotion threshold (0.3 x 500 PUs = 150).
+        from repro.tasks import BenchmarkProfile, default_hr_range
+        from repro.tasks.task import Task
+
+        profile = BenchmarkProfile(
+            name="tiny",
+            input_label="t",
+            nominal_hr=10.0,
+            hr_range=default_hr_range(10.0),
+            cost_pu_s_per_beat_by_type={"A7": 18.0, "A15": 9.0},  # 90 PUs on big
+        )
+        task = Task(profile=profile)
+        sim = make_sim([task])
+        sim.run(0.05)
+        sim.migrate(task, sim.chip.core("big.0"))
+        sim.run(3.0)
+        assert sim.placement.core_of(task).cluster.cluster_id == "little"
+
+
+class TestPowerCap:
+    def test_cap_trips_and_evacuates_big(self):
+        tasks = [make_task("tracking", "f", task_name=f"t{i}") for i in range(4)]
+        governor = HLGovernor(power_cap_w=4.0)
+        sim = make_sim(tasks, governor=governor)
+        sim.run(5.0)
+        assert governor.capped
+        assert not sim.chip.cluster("big").powered
+        for task in tasks:
+            assert sim.placement.core_of(task).cluster.cluster_id == "little"
+
+    def test_no_promotion_after_cap(self):
+        tasks = [make_task("tracking", "f", task_name=f"t{i}") for i in range(4)]
+        governor = HLGovernor(power_cap_w=4.0)
+        sim = make_sim(tasks, governor=governor)
+        sim.run(5.0)
+        intercluster_before = sim.migrations.counts()[1]
+        sim.run(2.0)
+        # Once capped, no further inter-cluster traffic.
+        assert sim.migrations.counts()[1] == intercluster_before
+
+    def test_uncapped_by_default(self):
+        governor = HLGovernor()
+        sim = make_sim([make_task("tracking", "f")], governor=governor)
+        sim.run(1.0)
+        assert not governor.capped
+
+
+class TestBalance:
+    def test_idle_core_pulled_onto(self):
+        tasks = [
+            make_task("multicnt", "v", task_name="a"),
+            make_task("multicnt", "v", task_name="b"),
+        ]
+        sim = make_sim(tasks)
+        sim.run(0.01)
+        # Stack both on one core, then let the balancer spread them.
+        sim.place(tasks[1], sim.placement.core_of(tasks[0]))
+        sim.run(1.0)
+        cores = {sim.placement.core_of(t).core_id for t in tasks}
+        assert len(cores) == 2
+
+    def test_balancer_does_not_ping_pong(self):
+        tasks = [make_task("multicnt", "v", task_name=f"t{i}") for i in range(3)]
+        sim = make_sim(tasks)
+        sim.run(5.0)
+        intra, _ = sim.migrations.counts()
+        # A stable assignment exists; the balancer must find a fixed point.
+        assert intra < 20

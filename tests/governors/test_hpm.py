@@ -1,0 +1,94 @@
+"""Unit and behaviour tests for the HPM (hierarchical PID) baseline."""
+
+import pytest
+
+from repro.governors import HPMGovernor
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import make_task
+
+
+def make_sim(tasks, governor=None, dt=0.01):
+    return Simulation(
+        tc2_chip(), tasks, governor or HPMGovernor(), config=SimConfig(dt=dt)
+    )
+
+
+class TestResourceControl:
+    def test_allocation_converges_near_demand(self):
+        task = make_task("multicnt", "v")  # 280 PUs on A7, mild phases
+        sim = make_sim([task])
+        sim.run(5.0)
+        alloc = sim.allocation_of(task)
+        assert alloc is not None
+        demand = task.true_demand_pus("A7", sim.now)
+        assert alloc == pytest.approx(demand, rel=0.4)
+
+    def test_heart_rate_held_in_range_for_feasible_task(self):
+        task = make_task("multicnt", "v")
+        sim = make_sim([task])
+        sim.run(8.0)
+        hr = task.observed_heart_rate()
+        assert task.hr_range.min_hr * 0.9 <= hr <= task.hr_range.max_hr * 1.15
+
+
+class TestFrequencyControl:
+    def test_frequency_covers_allocations(self):
+        task = make_task("tracking", "v")  # 720 PUs
+        sim = make_sim([task])
+        sim.run(5.0)
+        assert sim.chip.cluster("little").frequency_mhz >= 700.0
+
+    def test_light_load_keeps_low_frequency(self):
+        task = make_task("multicnt", "v")
+        sim = make_sim([task])
+        sim.run(5.0)
+        assert sim.chip.cluster("little").frequency_mhz <= 600.0
+
+
+class TestTDPLoop:
+    def test_power_brought_under_cap(self):
+        tasks = [make_task("tracking", "f", task_name=f"t{i}") for i in range(4)]
+        governor = HPMGovernor(power_cap_w=4.0)
+        sim = make_sim(tasks, governor=governor)
+        sim.run(10.0)
+        recent = [s.chip_power_w for s in sim.metrics.samples[-300:]]
+        assert sum(recent) / len(recent) <= 4.2
+
+    def test_caps_released_when_headroom_returns(self):
+        brief = make_task("tracking", "f", task_name="burst", duration=4.0)
+        keeper = make_task("multicnt", "v", task_name="keeper")
+        governor = HPMGovernor(power_cap_w=4.0)
+        sim = make_sim([brief, keeper], governor=governor)
+        sim.run(10.0)
+        # After the burst leaves, caps relax (dict empties or rises to max).
+        caps = governor._freq_caps
+        for cluster_id, cap in caps.items():
+            table = sim.chip.cluster(cluster_id).vf_table
+            assert cap >= 0
+
+
+class TestNaiveLBT:
+    def test_unsatisfied_task_migrates_to_big(self):
+        # Unsatisfiable on little even at max frequency.
+        task = make_task("tracking", "f")
+        sim = make_sim([task])
+        sim.run(5.0)
+        assert sim.placement.core_of(task).cluster.cluster_id == "big"
+
+    def test_oversatisfied_task_returns_to_little(self):
+        task = make_task("multicnt", "v")
+        sim = make_sim([task])
+        sim.run(0.05)
+        sim.migrate(task, sim.chip.core("big.0"))
+        sim.run(6.0)
+        assert sim.placement.core_of(task).cluster.cluster_id == "little"
+
+    def test_load_balance_spreads_within_cluster(self):
+        tasks = [make_task("multicnt", "v", task_name=f"t{i}") for i in range(2)]
+        sim = make_sim(tasks)
+        sim.run(0.01)
+        sim.place(tasks[1], sim.placement.core_of(tasks[0]))
+        sim.run(2.0)
+        cores = {sim.placement.core_of(t).core_id for t in tasks}
+        assert len(cores) == 2

@@ -1,0 +1,54 @@
+"""Unit tests for the ondemand DVFS governor."""
+
+import pytest
+
+from repro.governors import OndemandDVFS, OndemandGovernor
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import make_task
+
+
+def make_sim(tasks, governor=None):
+    return Simulation(
+        tc2_chip(), tasks, governor or OndemandGovernor(), config=SimConfig(dt=0.01)
+    )
+
+
+class TestOndemandDVFS:
+    def test_races_to_max_on_high_utilisation(self):
+        # An unsatisfiable task keeps the core busy -> ondemand jumps to max.
+        task = make_task("tracking", "f")  # 1100 PUs on A7
+        sim = make_sim([task])
+        sim.run(0.5)
+        little = sim.chip.cluster("little")
+        assert little.frequency_mhz == little.vf_table.max_level.frequency_mhz
+
+    def test_scales_down_on_low_utilisation(self):
+        task = make_task("multicnt", "v")  # ~280 PUs
+        sim = make_sim([task])
+        sim.run(0.3)  # first races up (boot utilisation is high)
+        sim.run(3.0)
+        little = sim.chip.cluster("little")
+        # 280/0.8 = 350 -> the bottom level suffices.
+        assert little.frequency_mhz <= 500.0
+
+    def test_sampling_period_respected(self):
+        dvfs = OndemandDVFS(sampling_period_s=0.5)
+        task = make_task("tracking", "f")
+        sim = make_sim([task], governor=OndemandGovernor(sampling_period_s=0.5))
+        sim.run(0.3)
+        little = sim.chip.cluster("little")
+        # Only one sample so far (t=0, before any utilisation observed).
+        assert little.regulator.transitions <= 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            OndemandDVFS(up_threshold=0.0)
+        with pytest.raises(ValueError):
+            OndemandDVFS(up_threshold=1.5)
+
+    def test_powered_down_cluster_ignored(self):
+        task = make_task("multicnt", "v")
+        sim = make_sim([task])
+        sim.run(0.5)
+        assert not sim.chip.cluster("big").powered  # auto-gated, untouched

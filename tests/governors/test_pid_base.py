@@ -1,0 +1,87 @@
+"""Unit tests for PID controller and governor scaffolding."""
+
+import pytest
+
+from repro.governors import (
+    BaseGovernor,
+    MaxFrequencyGovernor,
+    PIDController,
+    PeriodicAction,
+    cluster_utilization,
+)
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import make_task
+
+
+class TestPID:
+    def test_pure_proportional(self):
+        pid = PIDController(kp=2.0)
+        assert pid.update(1.5, dt=0.1) == pytest.approx(3.0)
+
+    def test_integral_accumulates(self):
+        pid = PIDController(kp=0.0, ki=1.0)
+        pid.update(1.0, dt=0.5)
+        assert pid.update(1.0, dt=0.5) == pytest.approx(1.0)
+
+    def test_derivative(self):
+        pid = PIDController(kp=0.0, kd=1.0)
+        pid.update(1.0, dt=0.1)
+        assert pid.update(2.0, dt=0.1) == pytest.approx(10.0)
+
+    def test_output_clamped(self):
+        pid = PIDController(kp=10.0, output_limits=(-1.0, 1.0))
+        assert pid.update(5.0, dt=0.1) == 1.0
+        assert pid.update(-5.0, dt=0.1) == -1.0
+
+    def test_integral_anti_windup(self):
+        pid = PIDController(kp=0.0, ki=1.0, integral_limits=(-2.0, 2.0))
+        for _ in range(100):
+            out = pid.update(1.0, dt=1.0)
+        assert out == pytest.approx(2.0)
+
+    def test_reset(self):
+        pid = PIDController(kp=1.0, ki=1.0)
+        pid.update(3.0, dt=1.0)
+        pid.reset()
+        assert pid.update(0.0, dt=1.0) == 0.0
+
+    def test_dt_validation(self):
+        with pytest.raises(ValueError):
+            PIDController(kp=1.0).update(1.0, dt=0.0)
+
+
+class TestPeriodicAction:
+    def test_fires_immediately_then_at_period(self):
+        action = PeriodicAction(period_s=1.0)
+        assert action.due(0.0)
+        assert not action.due(0.5)
+        assert action.due(1.0)
+        assert not action.due(1.5)
+
+    def test_start_offset(self):
+        action = PeriodicAction(period_s=1.0, start_at_s=5.0)
+        assert not action.due(4.0)
+        assert action.due(5.0)
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicAction(period_s=0.0)
+
+
+class TestScaffolding:
+    def test_max_frequency_governor_pins_top_levels(self):
+        task = make_task("swaptions", "l")
+        sim = Simulation(
+            tc2_chip(), [task], MaxFrequencyGovernor(), config=SimConfig(dt=0.01)
+        )
+        sim.run(0.1)
+        little = sim.chip.cluster("little")
+        assert little.frequency_mhz == little.vf_table.max_level.frequency_mhz
+
+    def test_cluster_utilization_reports_busiest_core(self):
+        chip = tc2_chip()
+        sim = Simulation(chip, [], BaseGovernor(), config=SimConfig())
+        chip.cluster("big").cores[0].utilization = 0.3
+        chip.cluster("big").cores[1].utilization = 0.9
+        assert cluster_utilization(sim)["big"] == 0.9

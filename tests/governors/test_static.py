@@ -1,0 +1,63 @@
+"""Tests for the static (powersave/userspace) governors."""
+
+import pytest
+
+from repro.governors import PowersaveGovernor, UserspaceGovernor
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import make_task
+
+
+class TestPowersave:
+    def test_pins_lowest_level(self):
+        task = make_task("tracking", "f")  # would love more supply
+        sim = Simulation(tc2_chip(), [task], PowersaveGovernor(), config=SimConfig())
+        sim.run(1.0)
+        little = sim.chip.cluster("little")
+        assert little.frequency_mhz == little.vf_table.min_level.frequency_mhz
+
+    def test_is_the_power_floor(self):
+        from repro.governors import MaxFrequencyGovernor
+
+        def run(governor):
+            task = make_task("tracking", "f")
+            sim = Simulation(
+                tc2_chip(), [task], governor, config=SimConfig(metrics_warmup_s=0.5)
+            )
+            return sim.run(3.0).average_power_w()
+
+        assert run(PowersaveGovernor()) < run(MaxFrequencyGovernor())
+
+
+class TestUserspace:
+    def test_holds_requested_levels(self):
+        task = make_task("swaptions", "l")
+        governor = UserspaceGovernor({"little": 3})
+        sim = Simulation(tc2_chip(), [task], governor, config=SimConfig())
+        sim.run(0.5)
+        little = sim.chip.cluster("little")
+        assert little.level_index == 3
+
+    def test_set_level_takes_effect(self):
+        task = make_task("swaptions", "l")
+        governor = UserspaceGovernor({"little": 1})
+        sim = Simulation(tc2_chip(), [task], governor, config=SimConfig())
+        sim.run(0.2)
+        governor.set_level("little", 5)
+        sim.run(0.2)
+        assert sim.chip.cluster("little").level_index == 5
+
+    def test_out_of_range_levels_clamped(self):
+        task = make_task("swaptions", "l")
+        governor = UserspaceGovernor({"little": 99})
+        sim = Simulation(tc2_chip(), [task], governor, config=SimConfig())
+        sim.run(0.2)
+        little = sim.chip.cluster("little")
+        assert little.level_index == little.vf_table.max_index
+
+    def test_unlisted_clusters_untouched(self):
+        task = make_task("swaptions", "l")
+        governor = UserspaceGovernor({})
+        sim = Simulation(tc2_chip(), [task], governor, config=SimConfig())
+        sim.run(0.2)
+        assert sim.chip.cluster("little").level_index == 0

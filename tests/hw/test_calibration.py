@@ -1,0 +1,78 @@
+"""Tests for power-model calibration utilities."""
+
+import pytest
+
+from repro.hw import (
+    A7_POWER,
+    A15_POWER,
+    CalibrationTarget,
+    a7_vf_table,
+    a15_vf_table,
+    energy_per_pu_w,
+    fit_power_params,
+    verify_calibration,
+)
+from repro.hw.vf import VFLevel
+
+
+class TestFit:
+    def test_fit_hits_target_exactly(self):
+        target = CalibrationTarget(
+            max_power_w=6.0,
+            n_cores=2,
+            top_level=VFLevel(1200.0, 1.2),
+            dynamic_fraction=0.8,
+            uncore_w=0.2,
+        )
+        params = fit_power_params(target)
+        ok, measured = verify_calibration(
+            params,
+            a15_vf_table(),
+            n_cores=2,
+            expected_max_w=6.0,
+            tolerance=0.01,
+        )
+        assert ok, measured
+
+    def test_dynamic_fraction_respected(self):
+        target = CalibrationTarget(
+            max_power_w=4.0, n_cores=2, top_level=VFLevel(1000.0, 1.0),
+            dynamic_fraction=0.6, uncore_w=0.0,
+        )
+        params = fit_power_params(target)
+        dynamic = params.k_dyn * 1.0 * 1000.0
+        static = params.k_static * 1.0
+        assert dynamic / (dynamic + static) == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationTarget(max_power_w=0.1, n_cores=1,
+                              top_level=VFLevel(500, 1.0), uncore_w=0.2)
+        with pytest.raises(ValueError):
+            CalibrationTarget(max_power_w=2.0, n_cores=1,
+                              top_level=VFLevel(500, 1.0), dynamic_fraction=1.0)
+        with pytest.raises(ValueError):
+            CalibrationTarget(max_power_w=2.0, n_cores=0,
+                              top_level=VFLevel(500, 1.0))
+
+
+class TestShippedPresets:
+    def test_tc2_presets_verify_against_paper_envelope(self):
+        ok_little, w_little = verify_calibration(
+            A7_POWER, a7_vf_table(), 3, expected_max_w=2.0, tolerance=0.15
+        )
+        ok_big, w_big = verify_calibration(
+            A15_POWER, a15_vf_table(), 2, expected_max_w=6.0, tolerance=0.15
+        )
+        assert ok_little, w_little
+        assert ok_big, w_big
+
+    def test_energy_per_pu_ranks_little_cheaper(self):
+        little = energy_per_pu_w(A7_POWER, a7_vf_table(), 3)
+        big = energy_per_pu_w(A15_POWER, a15_vf_table(), 2)
+        assert little < big
+
+    def test_energy_per_pu_level_argument(self):
+        low = energy_per_pu_w(A15_POWER, a15_vf_table(), 2, level_index=0)
+        high = energy_per_pu_w(A15_POWER, a15_vf_table(), 2)
+        assert low != high

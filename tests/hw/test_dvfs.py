@@ -1,0 +1,83 @@
+"""Unit tests for the DVFS regulator."""
+
+import pytest
+
+from repro.hw import DVFSRegulator, vf_table_from_pairs
+
+
+def make_regulator(latency=0.001):
+    table = vf_table_from_pairs([(350, 0.85), (500, 0.9), (800, 1.0), (1000, 1.05)])
+    return DVFSRegulator(table=table, level_index=0, transition_latency_s=latency)
+
+
+class TestRequests:
+    def test_request_starts_transition(self):
+        reg = make_regulator()
+        assert reg.request(2)
+        assert reg.in_transition
+        assert reg.target_index == 2
+        assert reg.level_index == 0  # not yet applied
+
+    def test_request_same_level_is_noop(self):
+        reg = make_regulator()
+        assert not reg.request(0)
+        assert not reg.in_transition
+
+    def test_request_clamps_out_of_range(self):
+        reg = make_regulator()
+        reg.request(99)
+        assert reg.target_index == 3
+
+    def test_step_relative_to_target(self):
+        reg = make_regulator()
+        reg.step(+1)
+        reg.step(+1)  # retargets the pending transition
+        assert reg.target_index == 2
+
+    def test_step_down_at_bottom_is_noop(self):
+        reg = make_regulator()
+        assert not reg.step(-1)
+
+
+class TestTransitions:
+    def test_transition_applies_after_latency(self):
+        reg = make_regulator(latency=0.003)
+        reg.request(1)
+        assert not reg.tick(0.001)
+        assert not reg.tick(0.001)
+        assert reg.tick(0.001)  # completes exactly here
+        assert reg.level_index == 1
+        assert not reg.in_transition
+
+    def test_tick_without_pending_returns_false(self):
+        reg = make_regulator()
+        assert not reg.tick(0.01)
+
+    def test_retarget_does_not_restart_clock(self):
+        reg = make_regulator(latency=0.002)
+        reg.request(1)
+        reg.tick(0.001)
+        reg.request(3)  # retarget mid-flight
+        assert reg.tick(0.001)
+        assert reg.level_index == 3
+
+    def test_transitions_counter(self):
+        reg = make_regulator()
+        reg.request(1)
+        reg.tick(0.002)
+        reg.request(2)
+        reg.tick(0.002)
+        assert reg.transitions == 2
+
+    def test_force_level_cancels_pending(self):
+        reg = make_regulator()
+        reg.request(3)
+        reg.force_level(1)
+        assert reg.level_index == 1
+        assert not reg.in_transition
+        assert not reg.tick(1.0)
+
+    def test_initial_index_clamped(self):
+        table = vf_table_from_pairs([(350, 0.85), (500, 0.9)])
+        reg = DVFSRegulator(table=table, level_index=10)
+        assert reg.level_index == 1

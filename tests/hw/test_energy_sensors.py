@@ -1,0 +1,81 @@
+"""Unit tests for energy metering and the hwmon-style sensors."""
+
+import pytest
+
+from repro.hw import EnergyMeter, PowerSensor, tc2_chip
+
+
+class TestEnergyMeter:
+    def test_integrates_power_over_time(self):
+        meter = EnergyMeter()
+        meter.record({"big": 2.0, "little": 1.0}, dt=0.5)
+        meter.record({"big": 2.0, "little": 1.0}, dt=0.5)
+        assert meter.total_energy_j == pytest.approx(3.0)
+        assert meter.cluster_energy_j("big") == pytest.approx(2.0)
+        assert meter.elapsed_s == pytest.approx(1.0)
+
+    def test_average_power(self):
+        meter = EnergyMeter()
+        meter.record({"c": 4.0}, dt=1.0)
+        meter.record({"c": 2.0}, dt=1.0)
+        assert meter.average_power_w == pytest.approx(3.0)
+
+    def test_average_power_empty_is_zero(self):
+        assert EnergyMeter().average_power_w == 0.0
+
+    def test_unknown_cluster_energy_is_zero(self):
+        assert EnergyMeter().cluster_energy_j("nope") == 0.0
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyMeter().record({"c": 1.0}, dt=-0.1)
+
+    def test_reset(self):
+        meter = EnergyMeter()
+        meter.record({"c": 1.0}, dt=1.0)
+        meter.reset()
+        assert meter.total_energy_j == 0.0
+        assert meter.elapsed_s == 0.0
+
+
+class TestPowerSensor:
+    def test_noiseless_sample_matches_model(self):
+        chip = tc2_chip()
+        for core in chip.cores:
+            core.utilization = 0.5
+        sensor = PowerSensor(chip)
+        sample = sensor.sample()
+        assert sample.chip_power_w == pytest.approx(chip.total_power_w())
+        assert set(sample.cluster_power_w) == {"big", "little"}
+        assert sample.cluster_frequency_mhz["big"] == chip.cluster("big").frequency_mhz
+
+    def test_last_sample_cached(self):
+        chip = tc2_chip()
+        sensor = PowerSensor(chip)
+        assert sensor.last_sample is None
+        sample = sensor.sample()
+        assert sensor.last_sample is sample
+
+    def test_noise_is_reproducible_with_seed(self):
+        chip = tc2_chip()
+        for core in chip.cores:
+            core.utilization = 1.0
+        a = PowerSensor(chip, noise_std_w=0.2, seed=7).sample()
+        b = PowerSensor(chip, noise_std_w=0.2, seed=7).sample()
+        assert a.chip_power_w == pytest.approx(b.chip_power_w)
+
+    def test_noise_never_negative(self):
+        chip = tc2_chip()
+        chip.cluster("big").power_down()
+        chip.cluster("little").power_down()
+        sensor = PowerSensor(chip, noise_std_w=5.0, seed=3)
+        for _ in range(50):
+            sample = sensor.sample()
+            assert all(w >= 0.0 for w in sample.cluster_power_w.values())
+
+    def test_powered_down_cluster_reads_zero_voltage(self):
+        chip = tc2_chip()
+        chip.cluster("big").power_down()
+        sample = PowerSensor(chip).sample()
+        assert sample.cluster_voltage_v["big"] == 0.0
+        assert sample.cluster_power_w["big"] == 0.0

@@ -1,0 +1,71 @@
+"""Unit tests for the measured migration-cost model."""
+
+import pytest
+
+from repro.hw import CostRange, MigrationCostModel, tc2_chip, synthetic_chip
+
+
+class TestCostRange:
+    def test_endpoints(self):
+        r = CostRange(1e-3, 2e-3)
+        assert r.at_fraction(1.0) == pytest.approx(1e-3)
+        assert r.at_fraction(0.0) == pytest.approx(2e-3)
+
+    def test_midpoint(self):
+        r = CostRange(1e-3, 2e-3)
+        assert r.at_fraction(0.5) == pytest.approx(1.5e-3)
+
+    def test_fraction_clamped(self):
+        r = CostRange(1e-3, 2e-3)
+        assert r.at_fraction(7.0) == pytest.approx(1e-3)
+        assert r.at_fraction(-1.0) == pytest.approx(2e-3)
+
+
+class TestTC2Costs:
+    """Ranges measured on the board (paper section 5.1)."""
+
+    def setup_method(self):
+        self.chip = tc2_chip()
+        self.model = MigrationCostModel()
+        self.big = self.chip.cluster("big")
+        self.little = self.chip.cluster("little")
+
+    def test_within_big_cluster(self):
+        cost = self.model.cost_s(self.big, self.big)
+        assert 54e-6 <= cost <= 105e-6
+
+    def test_within_little_cluster(self):
+        cost = self.model.cost_s(self.little, self.little)
+        assert 71e-6 <= cost <= 167e-6
+
+    def test_little_to_big(self):
+        cost = self.model.cost_s(self.little, self.big)
+        assert 1.88e-3 <= cost <= 2.16e-3
+
+    def test_big_to_little_is_most_expensive(self):
+        down = self.model.cost_s(self.big, self.little)
+        up = self.model.cost_s(self.little, self.big)
+        assert 3.54e-3 <= down <= 3.83e-3
+        assert down > up
+
+    def test_higher_destination_frequency_lowers_cost(self):
+        slow = self.model.cost_s(self.little, self.big)  # big at min level
+        self.big.regulator.force_level(self.big.vf_table.max_index)
+        fast = self.model.cost_s(self.little, self.big)
+        assert fast < slow
+        assert fast == pytest.approx(1.88e-3)
+
+    def test_is_inter_cluster(self):
+        assert self.model.is_inter_cluster(self.big, self.little)
+        assert not self.model.is_inter_cluster(self.big, self.big)
+
+
+class TestFallbacks:
+    def test_unknown_types_use_defaults(self):
+        chip = synthetic_chip(3, 2, seed=1)
+        model = MigrationCostModel()
+        a, b = chip.clusters[0], chip.clusters[1]
+        inter = model.cost_s(a, b)
+        intra = model.cost_s(a, a)
+        assert 0 < intra < inter
+        assert inter <= 4e-3

@@ -1,0 +1,96 @@
+"""Unit tests for the analytic power model and its TC2 calibration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import (
+    A7_POWER,
+    A15_POWER,
+    CorePowerParams,
+    PowerModel,
+    TC2_TDP_W,
+    a7_vf_table,
+    a15_vf_table,
+)
+from repro.hw.vf import VFLevel
+
+PARAMS = CorePowerParams(k_dyn=1e-3, k_static=0.2, uncore_w=0.1)
+LEVEL = VFLevel(1000.0, 1.0)
+
+
+class TestCorePower:
+    def test_idle_core_pays_only_leakage(self):
+        assert PARAMS.core_power_w(LEVEL, 0.0) == pytest.approx(0.2)
+
+    def test_full_utilisation(self):
+        expected = 1e-3 * 1.0 * 1000.0 + 0.2
+        assert PARAMS.core_power_w(LEVEL, 1.0) == pytest.approx(expected)
+
+    def test_power_scales_linearly_with_utilisation(self):
+        half = PARAMS.core_power_w(LEVEL, 0.5)
+        full = PARAMS.core_power_w(LEVEL, 1.0)
+        idle = PARAMS.core_power_w(LEVEL, 0.0)
+        assert half == pytest.approx((full + idle) / 2)
+
+    def test_utilisation_clamped_to_unit_interval(self):
+        assert PARAMS.core_power_w(LEVEL, 1.7) == PARAMS.core_power_w(LEVEL, 1.0)
+        assert PARAMS.core_power_w(LEVEL, -0.3) == PARAMS.core_power_w(LEVEL, 0.0)
+
+    def test_voltage_squared_dependence(self):
+        low = PARAMS.core_power_w(VFLevel(1000.0, 0.5), 1.0)
+        high = PARAMS.core_power_w(VFLevel(1000.0, 1.0), 1.0)
+        dyn_low = low - PARAMS.k_static * 0.5
+        dyn_high = high - PARAMS.k_static * 1.0
+        assert dyn_high == pytest.approx(4 * dyn_low)
+
+    @given(st.floats(min_value=0, max_value=1))
+    def test_power_is_monotone_in_utilisation(self, u):
+        assert PARAMS.core_power_w(LEVEL, u) <= PARAMS.core_power_w(LEVEL, 1.0)
+        assert PARAMS.core_power_w(LEVEL, u) >= PARAMS.core_power_w(LEVEL, 0.0)
+
+
+class TestClusterPower:
+    def test_uncore_counted_once(self):
+        model = PowerModel()
+        one = model.cluster_power_w(PARAMS, LEVEL, [0.0])
+        two = model.cluster_power_w(PARAMS, LEVEL, [0.0, 0.0])
+        assert two - one == pytest.approx(PARAMS.k_static * LEVEL.voltage_v)
+
+    def test_powered_down_cluster_is_zero(self):
+        model = PowerModel()
+        assert model.cluster_power_w(PARAMS, LEVEL, [1.0, 1.0], powered=False) == 0.0
+
+    def test_max_cluster_power(self):
+        model = PowerModel()
+        assert model.max_cluster_power_w(PARAMS, LEVEL, 3) == pytest.approx(
+            model.cluster_power_w(PARAMS, LEVEL, [1.0, 1.0, 1.0])
+        )
+
+
+class TestTC2Calibration:
+    """The paper's measured envelope: A7 ~2 W, A15 ~6 W, TDP 8 W."""
+
+    def test_little_cluster_peaks_near_two_watts(self):
+        model = PowerModel()
+        watts = model.max_cluster_power_w(A7_POWER, a7_vf_table().max_level, 3)
+        assert 1.7 <= watts <= 2.3
+
+    def test_big_cluster_peaks_near_six_watts(self):
+        model = PowerModel()
+        watts = model.max_cluster_power_w(A15_POWER, a15_vf_table().max_level, 2)
+        assert 5.4 <= watts <= 6.6
+
+    def test_chip_peak_below_platform_tdp(self):
+        model = PowerModel()
+        total = model.max_cluster_power_w(
+            A7_POWER, a7_vf_table().max_level, 3
+        ) + model.max_cluster_power_w(A15_POWER, a15_vf_table().max_level, 2)
+        assert total <= TC2_TDP_W * 1.05
+
+    def test_big_costs_more_per_pu_than_little(self):
+        model = PowerModel()
+        big = model.max_cluster_power_w(A15_POWER, a15_vf_table().max_level, 2)
+        little = model.max_cluster_power_w(A7_POWER, a7_vf_table().max_level, 3)
+        big_per_pu = big / (2 * a15_vf_table().max_level.supply_pus)
+        little_per_pu = little / (3 * a7_vf_table().max_level.supply_pus)
+        assert big_per_pu > 1.5 * little_per_pu

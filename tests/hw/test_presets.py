@@ -1,0 +1,59 @@
+"""Unit tests for chip presets."""
+
+import pytest
+
+from repro.hw import synthetic_chip, tc2_chip
+
+
+class TestTC2:
+    def test_custom_core_counts(self):
+        chip = tc2_chip(big_cores=4, little_cores=4)
+        assert len(chip.cluster("big").cores) == 4
+        assert len(chip.cluster("little").cores) == 4
+
+    def test_ladders_strictly_ascending(self):
+        for cluster in tc2_chip().clusters:
+            freqs = list(cluster.vf_table.frequencies_mhz)
+            assert freqs == sorted(freqs)
+            assert len(set(freqs)) == len(freqs)
+
+    def test_voltages_non_decreasing_with_frequency(self):
+        for cluster in tc2_chip().clusters:
+            volts = [l.voltage_v for l in cluster.vf_table]
+            assert volts == sorted(volts)
+
+
+class TestSynthetic:
+    def test_shape(self):
+        chip = synthetic_chip(8, 4, seed=0)
+        assert len(chip.clusters) == 8
+        assert all(len(c.cores) == 4 for c in chip.clusters)
+
+    def test_max_supplies_in_requested_range(self):
+        chip = synthetic_chip(32, 2, seed=5, max_supply_range=(350.0, 3000.0))
+        for cluster in chip.clusters:
+            assert 350.0 <= cluster.max_supply_pus <= 3000.0
+
+    def test_seed_determinism(self):
+        a = synthetic_chip(4, 2, seed=11)
+        b = synthetic_chip(4, 2, seed=11)
+        for ca, cb in zip(a.clusters, b.clusters):
+            assert ca.max_supply_pus == cb.max_supply_pus
+
+    def test_different_seeds_differ(self):
+        a = synthetic_chip(4, 2, seed=1)
+        b = synthetic_chip(4, 2, seed=2)
+        assert any(
+            ca.max_supply_pus != cb.max_supply_pus
+            for ca, cb in zip(a.clusters, b.clusters)
+        )
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_chip(0, 4)
+        with pytest.raises(ValueError):
+            synthetic_chip(4, 0)
+
+    def test_level_count(self):
+        chip = synthetic_chip(2, 2, seed=3, n_levels=6)
+        assert all(len(c.vf_table) == 6 for c in chip.clusters)

@@ -1,0 +1,123 @@
+"""Unit tests for the RC thermal model and cycle counting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import ThermalCycleCounter, ThermalModel, ThermalParams, track_thermals
+
+
+class TestThermalParams:
+    def test_steady_state(self):
+        params = ThermalParams(resistance_k_per_w=10.0, ambient_c=25.0)
+        assert params.steady_state_c(5.0) == pytest.approx(75.0)
+
+    def test_time_constant(self):
+        params = ThermalParams(resistance_k_per_w=9.0, capacitance_j_per_k=0.35)
+        assert params.time_constant_s == pytest.approx(3.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalParams(resistance_k_per_w=0.0)
+        with pytest.raises(ValueError):
+            ThermalParams(capacitance_j_per_k=-1.0)
+
+
+class TestThermalModel:
+    def test_starts_at_ambient(self):
+        model = ThermalModel(["big"], params={"big": ThermalParams(ambient_c=25.0)})
+        assert model.temperature_c("big") == 25.0
+
+    def test_heats_toward_steady_state(self):
+        params = ThermalParams(resistance_k_per_w=10.0, capacitance_j_per_k=0.1)
+        model = ThermalModel(["c"], params={"c": params})
+        for _ in range(1000):
+            model.step({"c": 4.0}, dt=0.05)
+        assert model.temperature_c("c") == pytest.approx(65.0, abs=0.5)
+
+    def test_cools_back_to_ambient(self):
+        params = ThermalParams(resistance_k_per_w=10.0, capacitance_j_per_k=0.1)
+        model = ThermalModel(["c"], params={"c": params}, initial_c=80.0)
+        for _ in range(1000):
+            model.step({"c": 0.0}, dt=0.05)
+        assert model.temperature_c("c") == pytest.approx(25.0, abs=0.5)
+
+    def test_exponential_time_constant(self):
+        params = ThermalParams(resistance_k_per_w=10.0, capacitance_j_per_k=0.1)
+        model = ThermalModel(["c"], params={"c": params})
+        model.step({"c": 4.0}, dt=params.time_constant_s)  # one tau, one step
+        expected = 65.0 + (25.0 - 65.0) * math.exp(-1.0)
+        assert model.temperature_c("c") == pytest.approx(expected)
+
+    def test_stable_for_huge_dt(self):
+        model = ThermalModel(["c"])
+        model.step({"c": 6.0}, dt=1e6)
+        assert model.temperature_c("c") == pytest.approx(
+            ThermalParams().steady_state_c(6.0)
+        )
+
+    def test_missing_power_means_idle(self):
+        model = ThermalModel(["a", "b"], initial_c=50.0)
+        model.step({"a": 3.0}, dt=0.1)
+        assert model.temperature_c("b") < 50.0
+
+    def test_max_temperature(self):
+        model = ThermalModel(["a", "b"])
+        model.step({"a": 6.0, "b": 1.0}, dt=1.0)
+        assert model.max_temperature_c() == model.temperature_c("a")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalModel([])
+        with pytest.raises(ValueError):
+            ThermalModel(["c"]).step({}, dt=0.0)
+
+    @given(st.floats(min_value=0, max_value=10))
+    def test_temperature_bounded_by_steady_state(self, power):
+        params = ThermalParams()
+        model = ThermalModel(["c"], params={"c": params})
+        for _ in range(50):
+            model.step({"c": power}, dt=0.1)
+            assert (
+                params.ambient_c - 1e-9
+                <= model.temperature_c("c")
+                <= params.steady_state_c(power) + 1e-9
+            )
+
+
+class TestCycleCounter:
+    def test_no_cycles_for_monotone_trace(self):
+        counter = ThermalCycleCounter(threshold_k=3.0)
+        for t in [25, 30, 35, 40, 45]:
+            counter.update(float(t))
+        assert counter.cycles == 0
+
+    def test_counts_large_reversals(self):
+        counter = ThermalCycleCounter(threshold_k=3.0)
+        for t in [25, 40, 30, 40, 30]:
+            counter.update(float(t))
+        assert counter.cycles == 3
+
+    def test_ignores_small_ripple(self):
+        counter = ThermalCycleCounter(threshold_k=3.0)
+        for t in [40.0, 41.0, 39.5, 41.0, 40.0, 41.5]:
+            counter.update(t)
+        assert counter.cycles == 0
+
+
+class TestTrackThermals:
+    def test_replay_produces_traces_and_counts(self):
+        series = [(0.1, {"big": 6.0, "little": 1.0})] * 100
+        traces, cycles = track_thermals(series, ["big", "little"])
+        assert len(traces["big"]) == 100
+        assert traces["big"][-1] > traces["little"][-1]
+        assert cycles == {"big": 0, "little": 0}
+
+    def test_oscillating_power_causes_cycles(self):
+        series = []
+        for i in range(200):
+            watts = 6.0 if (i // 25) % 2 == 0 else 0.5
+            series.append((0.5, {"c": watts}))
+        _, cycles = track_thermals(series, ["c"], cycle_threshold_k=3.0)
+        assert cycles["c"] >= 4

@@ -1,0 +1,114 @@
+"""Unit tests for cores, clusters and the chip."""
+
+import pytest
+
+from repro.hw import Chip, Cluster, CorePowerParams, PowerModel, tc2_chip, vf_table_from_pairs
+
+PARAMS = CorePowerParams(k_dyn=1e-3, k_static=0.2, uncore_w=0.1)
+
+
+def make_cluster(n_cores=2, cluster_id="c0"):
+    return Cluster(
+        cluster_id=cluster_id,
+        core_type="A7",
+        n_cores=n_cores,
+        vf_table=vf_table_from_pairs([(350, 0.85), (500, 0.9), (1000, 1.05)]),
+        power_params=PARAMS,
+    )
+
+
+class TestCluster:
+    def test_needs_at_least_one_core(self):
+        with pytest.raises(ValueError):
+            make_cluster(n_cores=0)
+
+    def test_starts_at_lowest_level(self):
+        assert make_cluster().frequency_mhz == 350
+
+    def test_supply_and_capacity(self):
+        cluster = make_cluster(n_cores=3)
+        cluster.regulator.force_level(2)
+        assert cluster.supply_pus == 1000
+        assert cluster.capacity_pus == 3000
+        assert cluster.max_supply_pus == 1000
+        assert cluster.max_capacity_pus == 3000
+
+    def test_power_down_zeroes_supply_and_utilization(self):
+        cluster = make_cluster()
+        cluster.cores[0].utilization = 0.7
+        cluster.power_down()
+        assert cluster.supply_pus == 0.0
+        assert cluster.frequency_mhz == 0.0
+        assert cluster.cores[0].utilization == 0.0
+        assert cluster.power_w(PowerModel()) == 0.0
+        cluster.power_up()
+        assert cluster.supply_pus == 350
+
+    def test_core_ids_namespaced_by_cluster(self):
+        cluster = make_cluster(cluster_id="little")
+        assert [c.core_id for c in cluster.cores] == ["little.0", "little.1"]
+
+    def test_core_supply_follows_cluster(self):
+        cluster = make_cluster()
+        core = cluster.cores[0]
+        assert core.supply_pus == 350
+        cluster.regulator.force_level(1)
+        assert core.supply_pus == 500
+        assert core.max_supply_pus == 1000
+
+
+class TestChip:
+    def test_requires_clusters(self):
+        with pytest.raises(ValueError):
+            Chip(name="empty", clusters=[])
+
+    def test_duplicate_cluster_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Chip(name="dup", clusters=[make_cluster(), make_cluster()])
+
+    def test_lookup_by_id(self):
+        chip = tc2_chip()
+        assert chip.cluster("big").core_type == "A15"
+        assert chip.core("little.2").cluster.cluster_id == "little"
+
+    def test_cores_enumeration(self):
+        chip = tc2_chip()
+        assert len(chip.cores) == 5
+        assert len(list(chip.iter_cores())) == 5
+
+    def test_total_supply_sums_cluster_supplies(self):
+        chip = tc2_chip()
+        expected = sum(c.supply_pus for c in chip.clusters)
+        assert chip.total_supply_pus() == expected
+
+    def test_total_power_sums_cluster_power(self):
+        chip = tc2_chip()
+        for core in chip.cores:
+            core.utilization = 1.0
+        total = chip.total_power_w()
+        assert total == pytest.approx(
+            chip.cluster_power_w("big") + chip.cluster_power_w("little")
+        )
+        assert total > 0
+
+    def test_tick_reports_completed_transitions(self):
+        chip = tc2_chip(transition_latency_s=0.001)
+        chip.cluster("big").regulator.request(3)
+        changed = chip.tick(0.002)
+        assert changed == ["big"]
+        assert chip.tick(0.002) == []
+
+
+class TestTC2Preset:
+    def test_shape(self):
+        chip = tc2_chip()
+        big, little = chip.cluster("big"), chip.cluster("little")
+        assert len(big.cores) == 2 and big.core_type == "A15"
+        assert len(little.cores) == 3 and little.core_type == "A7"
+
+    def test_frequency_ranges(self):
+        chip = tc2_chip()
+        assert chip.cluster("big").vf_table.min_level.frequency_mhz == 500
+        assert chip.cluster("big").vf_table.max_level.frequency_mhz == 1200
+        assert chip.cluster("little").vf_table.min_level.frequency_mhz == 350
+        assert chip.cluster("little").vf_table.max_level.frequency_mhz == 1000

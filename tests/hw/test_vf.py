@@ -1,0 +1,96 @@
+"""Unit tests for V-F levels and tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import VFLevel, VFTable, vf_table_from_pairs
+
+
+def make_table():
+    return vf_table_from_pairs([(350, 0.85), (500, 0.9), (800, 1.0), (1000, 1.05)])
+
+
+class TestVFLevel:
+    def test_supply_equals_frequency(self):
+        assert VFLevel(700.0, 0.95).supply_pus == 700.0
+
+    def test_str_is_human_readable(self):
+        assert "700" in str(VFLevel(700.0, 0.95))
+
+
+class TestVFTableConstruction:
+    def test_levels_sorted_ascending(self):
+        table = VFTable([VFLevel(1000, 1.05), VFLevel(350, 0.85)])
+        assert [l.frequency_mhz for l in table] == [350, 1000]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VFTable([])
+
+    def test_duplicate_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            VFTable([VFLevel(500, 0.9), VFLevel(500, 1.0)])
+
+    def test_len_and_getitem(self):
+        table = make_table()
+        assert len(table) == 4
+        assert table[0].frequency_mhz == 350
+        assert table[-1].frequency_mhz == 1000
+
+    def test_min_max_levels(self):
+        table = make_table()
+        assert table.min_level.frequency_mhz == 350
+        assert table.max_level.frequency_mhz == 1000
+        assert table.max_index == 3
+
+
+class TestVFTableLookups:
+    def test_index_of_frequency(self):
+        assert make_table().index_of_frequency(800) == 2
+
+    def test_index_of_unknown_frequency_raises(self):
+        with pytest.raises(KeyError):
+            make_table().index_of_frequency(666)
+
+    def test_clamp_index(self):
+        table = make_table()
+        assert table.clamp_index(-5) == 0
+        assert table.clamp_index(99) == 3
+        assert table.clamp_index(2) == 2
+
+    def test_step_clamps_at_both_ends(self):
+        table = make_table()
+        assert table.step(0, -1) == 0
+        assert table.step(3, +1) == 3
+        assert table.step(1, +1) == 2
+
+    def test_supply_at(self):
+        assert make_table().supply_at(1) == 500
+
+
+class TestIndexForDemand:
+    def test_exact_match(self):
+        assert make_table().index_for_demand(500) == 1
+
+    def test_rounds_up_between_levels(self):
+        # 600 PUs sits between 500 and 800 -> next level up (paper 3.2.4).
+        assert make_table().index_for_demand(600) == 2
+
+    def test_below_minimum_gives_lowest(self):
+        assert make_table().index_for_demand(10) == 0
+
+    def test_above_maximum_saturates(self):
+        assert make_table().index_for_demand(5000) == 3
+
+    def test_zero_demand(self):
+        assert make_table().index_for_demand(0) == 0
+
+    @given(st.floats(min_value=0, max_value=2000, allow_nan=False))
+    def test_chosen_level_covers_demand_or_is_max(self, demand):
+        table = make_table()
+        index = table.index_for_demand(demand)
+        if index < table.max_index:
+            assert table.supply_at(index) >= demand
+        if index > 0:
+            # The level below would not have covered the demand.
+            assert table.supply_at(index - 1) < demand

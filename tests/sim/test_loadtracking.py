@@ -1,0 +1,68 @@
+"""Unit tests for PELT-style load tracking."""
+
+import pytest
+
+from repro.sim import LoadTracker
+from repro.tasks import make_task
+
+
+class TestRunnableFraction:
+    def test_starved_task_is_fully_runnable(self):
+        assert LoadTracker.runnable_fraction(0.0, 100.0) == 1.0
+
+    def test_undersupplied_task_is_fully_runnable(self):
+        assert LoadTracker.runnable_fraction(50.0, 100.0) == 1.0
+
+    def test_oversupplied_task_runs_partially(self):
+        assert LoadTracker.runnable_fraction(200.0, 100.0) == 0.5
+
+    def test_no_demand_means_idle(self):
+        assert LoadTracker.runnable_fraction(100.0, 0.0) == 0.0
+
+
+class TestDecay:
+    def test_first_observation_adopted_directly(self):
+        tracker = LoadTracker()
+        task = make_task("x264", "l")
+        load = tracker.update(task, granted_pus=100.0, demand_pus=50.0, dt=0.01)
+        assert load == pytest.approx(0.5)
+
+    def test_converges_to_new_level(self):
+        tracker = LoadTracker(halflife_s=0.032)
+        task = make_task("x264", "l")
+        tracker.update(task, 100.0, 100.0, dt=0.01)  # load 1.0
+        for _ in range(100):
+            tracker.update(task, 100.0, 25.0, dt=0.01)
+        assert tracker.load(task) == pytest.approx(0.25, abs=0.01)
+
+    def test_halflife_semantics(self):
+        tracker = LoadTracker(halflife_s=0.1)
+        task = make_task("x264", "l")
+        tracker.update(task, 100.0, 100.0, dt=0.01)  # start at 1.0
+        # One halflife of zero-load observations halves the distance to 0.
+        for _ in range(10):
+            tracker.update(task, 100.0, 0.0, dt=0.01)
+        assert tracker.load(task) == pytest.approx(0.5, abs=0.02)
+
+    def test_unknown_task_reads_zero(self):
+        assert LoadTracker().load(make_task("x264", "l")) == 0.0
+
+    def test_forget(self):
+        tracker = LoadTracker()
+        task = make_task("x264", "l")
+        tracker.update(task, 0.0, 10.0, dt=0.01)
+        tracker.forget(task)
+        assert tracker.load(task) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadTracker(halflife_s=0.0)
+        with pytest.raises(ValueError):
+            LoadTracker().update(make_task("x264", "l"), 1.0, 1.0, dt=0.0)
+
+    def test_load_stays_in_unit_interval(self):
+        tracker = LoadTracker()
+        task = make_task("x264", "l")
+        for granted, demand in [(0, 10), (100, 5), (50, 500), (10, 0)] * 10:
+            load = tracker.update(task, float(granted), float(demand), dt=0.02)
+            assert 0.0 <= load <= 1.0

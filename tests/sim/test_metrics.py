@@ -1,0 +1,117 @@
+"""Unit tests for the metrics collector."""
+
+import pytest
+
+from repro.sim import MetricsCollector
+from repro.tasks import make_task
+
+
+def record_tick(collector, t, power, tasks_with_rates):
+    """Helper: force each task's HRM to a given rate, then record."""
+    for task, rate in tasks_with_rates:
+        task.hrm.reset()
+        task.hrm.record(t, 0.0)
+        task.hrm.record(t + 0.1, rate * 0.1)
+    collector.record(
+        time_s=t,
+        chip_power_w=power,
+        cluster_power_w={"big": power / 2, "little": power / 2},
+        cluster_frequency_mhz={"big": 1000.0, "little": 500.0},
+        tasks=[task for task, _ in tasks_with_rates],
+    )
+
+
+@pytest.fixture
+def task():
+    return make_task("x264", "l", task_name="enc")  # nominal 30 hb/s
+
+
+class TestMissMetrics:
+    def test_any_task_miss_fraction(self, task):
+        other = make_task("swaptions", "l", task_name="sw")  # nominal 10
+        collector = MetricsCollector(warmup_s=0.0)
+        record_tick(collector, 0.0, 3.0, [(task, 30.0), (other, 10.0)])
+        record_tick(collector, 1.0, 3.0, [(task, 20.0), (other, 10.0)])  # enc below
+        record_tick(collector, 2.0, 3.0, [(task, 30.0), (other, 5.0)])  # sw below
+        record_tick(collector, 3.0, 3.0, [(task, 30.0), (other, 10.0)])
+        assert collector.any_task_miss_fraction() == pytest.approx(0.5)
+
+    def test_per_task_fractions(self, task):
+        collector = MetricsCollector(warmup_s=0.0)
+        record_tick(collector, 0.0, 1.0, [(task, 30.0)])  # in range
+        record_tick(collector, 1.0, 1.0, [(task, 20.0)])  # below
+        record_tick(collector, 2.0, 1.0, [(task, 40.0)])  # above (outside only)
+        assert collector.task_below_fraction("enc") == pytest.approx(1 / 3)
+        assert collector.task_outside_range_fraction("enc") == pytest.approx(2 / 3)
+
+    def test_warmup_excluded(self, task):
+        collector = MetricsCollector(warmup_s=5.0)
+        record_tick(collector, 0.0, 1.0, [(task, 5.0)])  # warm-up: below, ignored
+        record_tick(collector, 6.0, 1.0, [(task, 30.0)])
+        assert collector.any_task_miss_fraction() == 0.0
+        assert collector.task_below_fraction("enc") == 0.0
+
+    def test_mean_miss_fraction(self, task):
+        other = make_task("swaptions", "l", task_name="sw")
+        collector = MetricsCollector(warmup_s=0.0)
+        record_tick(collector, 0.0, 1.0, [(task, 20.0), (other, 10.0)])
+        record_tick(collector, 1.0, 1.0, [(task, 20.0), (other, 10.0)])
+        assert collector.mean_miss_fraction() == pytest.approx(0.5)
+
+    def test_empty_collector(self):
+        collector = MetricsCollector()
+        assert collector.any_task_miss_fraction() == 0.0
+        assert collector.average_power_w() == 0.0
+        assert collector.task_below_fraction("nope") == 0.0
+
+
+class TestPowerMetrics:
+    def test_average_and_peak(self, task):
+        collector = MetricsCollector(warmup_s=0.0)
+        record_tick(collector, 0.0, 2.0, [(task, 30.0)])
+        record_tick(collector, 1.0, 4.0, [(task, 30.0)])
+        assert collector.average_power_w() == pytest.approx(3.0)
+        assert collector.peak_power_w() == pytest.approx(4.0)
+
+    def test_time_above_power(self, task):
+        collector = MetricsCollector(warmup_s=0.0)
+        for t, p in [(0.0, 3.0), (1.0, 5.0), (2.0, 4.5), (3.0, 2.0)]:
+            record_tick(collector, t, p, [(task, 30.0)])
+        assert collector.time_above_power(4.0) == pytest.approx(0.5)
+
+    def test_average_cluster_frequency(self, task):
+        collector = MetricsCollector(warmup_s=0.0)
+        record_tick(collector, 0.0, 1.0, [(task, 30.0)])
+        assert collector.average_cluster_frequency_mhz("big") == 1000.0
+        assert collector.average_cluster_frequency_mhz("nope") == 0.0
+
+
+class TestSeries:
+    def test_heart_rate_series(self, task):
+        collector = MetricsCollector(warmup_s=0.0)
+        record_tick(collector, 0.0, 1.0, [(task, 30.0)])
+        record_tick(collector, 1.0, 1.0, [(task, 15.0)])
+        times, rates = collector.heart_rate_series("enc")
+        assert times == [0.0, 1.0]
+        assert rates == pytest.approx([30.0, 15.0])
+
+    def test_normalised_series(self, task):
+        collector = MetricsCollector(warmup_s=0.0)
+        record_tick(collector, 0.0, 1.0, [(task, 30.0)])
+        _, rates = collector.heart_rate_series("enc", normalize_by=30.0)
+        assert rates == pytest.approx([1.0])
+
+    def test_power_and_frequency_series(self, task):
+        collector = MetricsCollector(warmup_s=0.0)
+        record_tick(collector, 0.0, 2.5, [(task, 30.0)])
+        times, powers = collector.power_series()
+        assert (times, powers) == ([0.0], [2.5])
+        _, freqs = collector.frequency_series("little")
+        assert freqs == [500.0]
+
+    def test_task_names_in_first_seen_order(self, task):
+        other = make_task("swaptions", "l", task_name="sw")
+        collector = MetricsCollector(warmup_s=0.0)
+        record_tick(collector, 0.0, 1.0, [(task, 30.0)])
+        record_tick(collector, 1.0, 1.0, [(task, 30.0), (other, 10.0)])
+        assert collector.task_names() == ["enc", "sw"]

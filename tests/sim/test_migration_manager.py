@@ -1,0 +1,87 @@
+"""Unit tests for migration execution with measured costs."""
+
+import pytest
+
+from repro.hw import tc2_chip
+from repro.sim import MigrationManager, Placement
+from repro.tasks import make_task
+
+
+@pytest.fixture
+def setup():
+    chip = tc2_chip()
+    placement = Placement(chip)
+    manager = MigrationManager(placement=placement)
+    task = make_task("swaptions", "l")
+    placement.place(task, chip.core("little.0"))
+    return chip, placement, manager, task
+
+
+class TestMigrate:
+    def test_moves_and_freezes(self, setup):
+        chip, placement, manager, task = setup
+        record = manager.migrate(task, chip.core("big.0"), now=1.0)
+        assert placement.core_of(task).core_id == "big.0"
+        assert task.frozen_until == pytest.approx(1.0 + record.cost_s)
+        assert record.inter_cluster
+        assert 1.88e-3 <= record.cost_s <= 2.16e-3
+        assert task.migrations == 1
+
+    def test_intra_cluster_is_cheap(self, setup):
+        chip, placement, manager, task = setup
+        record = manager.migrate(task, chip.core("little.2"), now=0.0)
+        assert not record.inter_cluster
+        assert record.cost_s < 2e-4
+
+    def test_big_to_little_cost(self, setup):
+        chip, placement, manager, task = setup
+        manager.migrate(task, chip.core("big.0"), now=0.0)
+        record = manager.migrate(task, chip.core("little.1"), now=10.0)
+        assert 3.54e-3 <= record.cost_s <= 3.83e-3
+
+    def test_freeze_never_shrinks(self, setup):
+        chip, placement, manager, task = setup
+        task.frozen_until = 99.0
+        manager.migrate(task, chip.core("big.0"), now=1.0)
+        assert task.frozen_until == 99.0
+
+    def test_same_core_rejected(self, setup):
+        chip, placement, manager, task = setup
+        with pytest.raises(ValueError):
+            manager.migrate(task, chip.core("little.0"), now=0.0)
+
+    def test_unplaced_task_rejected(self, setup):
+        chip, placement, manager, _ = setup
+        loose = make_task("x264", "l")
+        with pytest.raises(ValueError):
+            manager.migrate(loose, chip.core("big.0"), now=0.0)
+
+
+class TestAccounting:
+    def test_counts(self, setup):
+        chip, placement, manager, task = setup
+        manager.migrate(task, chip.core("little.1"), now=0.0)
+        manager.migrate(task, chip.core("big.0"), now=1.0)
+        manager.migrate(task, chip.core("big.1"), now=2.0)
+        intra, inter = manager.counts()
+        assert (intra, inter) == (2, 1)
+
+    def test_counts_by_task(self, setup):
+        chip, placement, manager, task = setup
+        other = make_task("x264", "l")
+        placement.place(other, chip.core("little.1"))
+        manager.migrate(task, chip.core("big.0"), now=0.0)
+        manager.migrate(other, chip.core("little.2"), now=0.0)
+        manager.migrate(other, chip.core("little.1"), now=1.0)
+        by_task = manager.counts_by_task()
+        assert by_task[task.name] == 1
+        assert by_task[other.name] == 2
+
+    def test_history_records_endpoints(self, setup):
+        chip, placement, manager, task = setup
+        manager.migrate(task, chip.core("big.1"), now=3.0)
+        record = manager.history[-1]
+        assert record.source_core == "little.0"
+        assert record.destination_core == "big.1"
+        assert record.time_s == 3.0
+        assert record.task_name == task.name

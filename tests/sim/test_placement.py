@@ -1,0 +1,96 @@
+"""Unit tests for the task-to-core placement registry."""
+
+import pytest
+
+from repro.hw import tc2_chip
+from repro.sim import Placement
+from repro.tasks import make_task
+
+
+@pytest.fixture
+def chip():
+    return tc2_chip()
+
+
+@pytest.fixture
+def placement(chip):
+    return Placement(chip)
+
+
+def task(priority=1):
+    return make_task("swaptions", "l", priority=priority)
+
+
+class TestPlacement:
+    def test_unplaced_task(self, placement):
+        t = task()
+        assert placement.core_of(t) is None
+        assert placement.cluster_of(t) is None
+        assert not placement.is_placed(t)
+
+    def test_place_and_lookup(self, placement, chip):
+        t = task()
+        core = chip.core("little.1")
+        placement.place(t, core)
+        assert placement.core_of(t) is core
+        assert placement.cluster_of(t).cluster_id == "little"
+        assert t in placement.tasks_on_core(core)
+        assert t in placement.tasks_on_cluster(chip.cluster("little"))
+        assert placement.all_tasks() == [t]
+
+    def test_replace_moves_between_cores(self, placement, chip):
+        t = task()
+        placement.place(t, chip.core("little.0"))
+        placement.place(t, chip.core("big.1"))
+        assert placement.tasks_on_core(chip.core("little.0")) == []
+        assert placement.core_of(t).core_id == "big.1"
+
+    def test_remove(self, placement, chip):
+        t = task()
+        placement.place(t, chip.core("big.0"))
+        placement.remove(t)
+        assert not placement.is_placed(t)
+        assert placement.tasks_on_core(chip.core("big.0")) == []
+
+    def test_remove_unplaced_is_noop(self, placement):
+        placement.remove(task())
+
+
+class TestPrioritySums:
+    def test_sums_at_all_levels(self, placement, chip):
+        t1, t2, t3 = task(2), task(3), task(5)
+        placement.place(t1, chip.core("little.0"))
+        placement.place(t2, chip.core("little.0"))
+        placement.place(t3, chip.core("big.0"))
+        assert placement.priority_sum_core(chip.core("little.0")) == 5
+        assert placement.priority_sum_cluster(chip.cluster("little")) == 5
+        assert placement.priority_sum_cluster(chip.cluster("big")) == 5
+        assert placement.priority_sum_chip() == 10
+
+
+class TestQueries:
+    def test_empty_clusters(self, placement, chip):
+        assert {c.cluster_id for c in placement.empty_clusters()} == {"big", "little"}
+        placement.place(task(), chip.core("big.0"))
+        assert [c.cluster_id for c in placement.empty_clusters()] == ["little"]
+
+    def test_least_loaded_core_by_demand(self, placement, chip):
+        heavy = make_task("tracking", "f")
+        light = make_task("blackscholes", "l")
+        placement.place(heavy, chip.core("little.0"))
+        placement.place(light, chip.core("little.1"))
+        best = placement.least_loaded_core(chip.cluster("little").cores, t=0.0)
+        assert best.core_id == "little.2"
+
+    def test_least_loaded_core_exclude(self, placement, chip):
+        heavy = make_task("tracking", "f")
+        placement.place(heavy, chip.core("little.0"))
+        best = placement.least_loaded_core(
+            [chip.core("little.0"), chip.core("little.1")], t=0.0, exclude=heavy
+        )
+        # With the heavy task excluded both cores are empty; first minimum wins.
+        assert best.core_id in {"little.0", "little.1"}
+
+    def test_least_loaded_requires_candidates(self, placement):
+        with pytest.raises(ValueError):
+            placement.least_loaded_core([], t=0.0)

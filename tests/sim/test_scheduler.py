@@ -1,0 +1,93 @@
+"""Unit tests for per-core supply dispatch."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import compute_grants
+from repro.tasks import make_task
+
+
+def tasks(n):
+    return [make_task("swaptions", "l") for _ in range(n)]
+
+
+class TestExplicitAllocations:
+    def test_honoured_exactly_when_they_fit(self):
+        a, b = tasks(2)
+        grants = compute_grants(1000.0, [a, b], {a: 300.0, b: 500.0}, {})
+        assert grants[a] == 300.0
+        assert grants[b] == 500.0
+
+    def test_scaled_down_when_oversubscribed(self):
+        a, b = tasks(2)
+        grants = compute_grants(600.0, [a, b], {a: 400.0, b: 800.0}, {})
+        assert grants[a] == pytest.approx(200.0)
+        assert grants[b] == pytest.approx(400.0)
+
+    def test_negative_allocation_treated_as_zero(self):
+        (a,) = tasks(1)
+        grants = compute_grants(500.0, [a], {a: -10.0}, {})
+        assert grants[a] == 0.0
+
+
+class TestWeightedPool:
+    def test_equal_weights_split_evenly(self):
+        a, b = tasks(2)
+        grants = compute_grants(900.0, [a, b], {}, {})
+        assert grants[a] == pytest.approx(450.0)
+        assert grants[b] == pytest.approx(450.0)
+
+    def test_weights_respected(self):
+        a, b = tasks(2)
+        grants = compute_grants(900.0, [a, b], {}, {a: 2.0, b: 1.0})
+        assert grants[a] == pytest.approx(600.0)
+        assert grants[b] == pytest.approx(300.0)
+
+    def test_pool_gets_leftover_after_explicit(self):
+        a, b = tasks(2)
+        grants = compute_grants(1000.0, [a, b], {a: 400.0}, {})
+        assert grants[a] == 400.0
+        assert grants[b] == pytest.approx(600.0)
+
+    def test_all_zero_weights_fall_back_to_even_split(self):
+        a, b = tasks(2)
+        grants = compute_grants(800.0, [a, b], {}, {a: 0.0, b: 0.0})
+        assert grants[a] == grants[b] == pytest.approx(400.0)
+
+
+class TestEdgeCases:
+    def test_no_tasks(self):
+        assert compute_grants(500.0, [], {}, {}) == {}
+
+    def test_zero_supply(self):
+        a, b = tasks(2)
+        grants = compute_grants(0.0, [a, b], {a: 100.0}, {})
+        assert grants == {a: 0.0, b: 0.0}
+
+    def test_negative_supply_rejected(self):
+        with pytest.raises(ValueError):
+            compute_grants(-1.0, [], {}, {})
+
+    def test_no_leftover_for_pool_when_explicit_saturates(self):
+        a, b = tasks(2)
+        grants = compute_grants(500.0, [a, b], {a: 500.0}, {})
+        assert grants[a] == 500.0
+        assert grants[b] == 0.0
+
+
+class TestInvariants:
+    @given(
+        st.floats(min_value=0, max_value=5000),
+        st.lists(st.floats(min_value=0, max_value=2000), min_size=0, max_size=5),
+        st.lists(st.floats(min_value=0, max_value=5), min_size=0, max_size=5),
+    )
+    def test_grants_bounded_by_supply_and_non_negative(
+        self, supply, allocations, weights
+    ):
+        all_tasks = tasks(len(allocations) + len(weights))
+        explicit = dict(zip(all_tasks, allocations))
+        weighted = dict(zip(all_tasks[len(allocations):], weights))
+        grants = compute_grants(supply, all_tasks, explicit, weighted)
+        assert all(g >= 0.0 for g in grants.values())
+        assert sum(grants.values()) <= supply + 1e-6
+        assert set(grants) == set(all_tasks)

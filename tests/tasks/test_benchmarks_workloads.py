@@ -1,0 +1,128 @@
+"""Unit tests for the Table 5 benchmark suite and Table 6 workload sets."""
+
+import pytest
+
+from repro.hw import tc2_chip
+from repro.tasks import (
+    BENCHMARK_SPECS,
+    WORKLOAD_ORDER,
+    WORKLOAD_SETS,
+    WorkloadClass,
+    build_workload,
+    classify_workload,
+    little_capacity_pus,
+    make_profile,
+    make_task,
+    workload_intensity,
+)
+
+
+class TestBenchmarkSuite:
+    def test_every_spec_builds_a_profile(self):
+        for (name, input_label) in BENCHMARK_SPECS:
+            profile = make_profile(name, input_label)
+            assert profile.nominal_demand_pus("A7") > 0
+            assert profile.nominal_demand_pus("A15") > 0
+
+    def test_eight_distinct_benchmarks(self):
+        assert len({name for name, _ in BENCHMARK_SPECS}) == 8
+
+    def test_input_codes_resolve(self):
+        assert make_profile("swaptions", "l").input_label == "large"
+        assert make_profile("h264", "fo").input_label == "foreman"
+        assert make_profile("texture", "v").input_label == "vga"
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            make_profile("doom", "native")
+        with pytest.raises(KeyError):
+            make_profile("swaptions", "gigantic")
+
+    def test_a15_speedup_in_expected_band(self):
+        for (name, input_label) in BENCHMARK_SPECS:
+            profile = make_profile(name, input_label)
+            speedup = profile.speedup("A15", "A7")
+            assert 1.6 <= speedup <= 2.1, (name, input_label, speedup)
+
+    def test_a7_demand_matches_spec(self):
+        for (name, input_label), spec in BENCHMARK_SPECS.items():
+            profile = make_profile(name, input_label)
+            assert profile.nominal_demand_pus("A7") == pytest.approx(
+                spec.demand_a7_pus
+            )
+
+    def test_phase_offset_staggers_instances(self):
+        a = make_profile("bodytrack", "native", phase_offset_s=0.0)
+        b = make_profile("bodytrack", "native", phase_offset_s=5.0)
+        assert a.phases.multiplier_at(0.0) != b.phases.multiplier_at(0.0)
+
+    def test_swaptions_is_steady(self):
+        profile = make_profile("swaptions", "native")
+        assert profile.phases.multiplier_at(3.0) == profile.phases.multiplier_at(17.0)
+
+    def test_make_task_sets_priority_and_name(self):
+        task = make_task("x264", "n", priority=3, task_name="enc")
+        assert task.priority == 3
+        assert task.name == "enc"
+
+
+class TestWorkloadSets:
+    def test_nine_sets_of_six_tasks(self):
+        assert set(WORKLOAD_SETS) == set(WORKLOAD_ORDER)
+        for set_id in WORKLOAD_ORDER:
+            assert len(build_workload(set_id)) == 6
+
+    def test_unknown_set_raises(self):
+        with pytest.raises(KeyError):
+            build_workload("xxl")
+
+    def test_task_names_carry_set_id(self):
+        tasks = build_workload("m2")
+        assert all(t.name.startswith("m2.") for t in tasks)
+
+    def test_priorities_uniform_by_default(self):
+        # Comparative-study setting: equal priorities everywhere.
+        assert all(t.priority == 1 for t in build_workload("h1"))
+        assert all(t.priority == 4 for t in build_workload("h1", priority=4))
+
+    def test_intensity_classification_matches_paper_classes(self):
+        chip = tc2_chip()
+        for set_id in WORKLOAD_ORDER:
+            tasks = build_workload(set_id)
+            expected = {"l": "light", "m": "medium", "h": "heavy"}[set_id[0]]
+            assert classify_workload(tasks, chip) == expected, set_id
+
+    def test_intensity_formula(self):
+        chip = tc2_chip()
+        tasks = build_workload("l1")
+        capacity = little_capacity_pus(chip)
+        total = sum(t.profile.nominal_demand_pus("A7") for t in tasks)
+        assert workload_intensity(tasks, chip) == pytest.approx(
+            (total - capacity) / capacity
+        )
+
+    def test_little_capacity_is_three_thousand(self):
+        assert little_capacity_pus(tc2_chip()) == pytest.approx(3000.0)
+
+    def test_little_capacity_requires_a7(self):
+        from repro.hw import synthetic_chip
+
+        with pytest.raises(ValueError):
+            little_capacity_pus(synthetic_chip(2, 2, seed=0))
+
+    def test_class_boundaries(self):
+        wc = WorkloadClass()
+        assert wc.classify(-0.1) == "light"
+        assert wc.classify(0.0) == "light"
+        assert wc.classify(0.15) == "medium"
+        assert wc.classify(0.30) == "medium"
+        assert wc.classify(0.31) == "heavy"
+
+    def test_intensity_ordering_light_to_heavy(self):
+        chip = tc2_chip()
+        values = [
+            workload_intensity(build_workload(s), chip) for s in WORKLOAD_ORDER
+        ]
+        lights, mediums, heavies = values[:3], values[3:6], values[6:]
+        assert max(lights) <= min(mediums)
+        assert max(mediums) <= min(heavies)

@@ -1,0 +1,64 @@
+"""Unit tests for heart-rate -> demand conversion (paper Table 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tasks import HeartRateRange, demand_for_range, demand_from_heart_rate, demand_from_load
+
+
+class TestTable4Values:
+    """The paper's worked conversions with target = 27 hb/s."""
+
+    def test_phase1_undersupplied(self):
+        # 500 PUs at 15 hb/s -> needs 900 PUs.
+        assert demand_from_heart_rate(27.0, 500.0, 15.0) == pytest.approx(900.0)
+
+    def test_phase2_half_utilisation(self):
+        # 800 MHz at 50% utilisation = 400 PUs at 10 hb/s -> 1080 PUs.
+        assert demand_from_heart_rate(27.0, 400.0, 10.0) == pytest.approx(1080.0)
+
+    def test_phase3_oversupplied_lowers_demand(self):
+        # 1000 PUs at 40 hb/s -> only 675 PUs needed.
+        assert demand_from_heart_rate(27.0, 1000.0, 40.0) == pytest.approx(675.0)
+
+
+class TestEdgeCases:
+    def test_zero_rate_returns_fallback(self):
+        assert demand_from_heart_rate(27.0, 500.0, 0.0, fallback_pus=333.0) == 333.0
+
+    def test_zero_supply_returns_fallback(self):
+        assert demand_from_heart_rate(27.0, 0.0, 10.0, fallback_pus=42.0) == 42.0
+
+    def test_non_positive_target_rejected(self):
+        with pytest.raises(ValueError):
+            demand_from_heart_rate(0.0, 500.0, 10.0)
+
+    def test_range_wrapper_uses_midpoint(self):
+        r = HeartRateRange(24.0, 30.0)
+        assert demand_for_range(r, 500.0, 15.0) == pytest.approx(900.0)
+
+    @given(
+        st.floats(min_value=1, max_value=100),
+        st.floats(min_value=1, max_value=5000),
+        st.floats(min_value=0.1, max_value=200),
+    )
+    def test_conversion_is_exact_fixed_point(self, target, supply, rate):
+        """Supplying the converted demand at proportional speed hits target."""
+        demand = demand_from_heart_rate(target, supply, rate)
+        # Task speed is proportional to supply: rate' = rate * demand/supply.
+        achieved = rate * demand / supply
+        assert achieved == pytest.approx(target, rel=1e-9)
+
+
+class TestLoadProxy:
+    def test_fully_runnable_task_wants_headroom(self):
+        assert demand_from_load(1.0, 400.0, headroom=1.5) == pytest.approx(600.0)
+
+    def test_partial_runnable_scales_down(self):
+        assert demand_from_load(0.5, 400.0) == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            demand_from_load(1.5, 400.0)
+        with pytest.raises(ValueError):
+            demand_from_load(0.5, 400.0, headroom=0.0)

@@ -1,0 +1,53 @@
+"""Unit tests for the random task generator (Table 7 inputs)."""
+
+import pytest
+
+from repro.tasks import random_profile, random_task_records, random_tasks
+
+
+class TestRandomTasks:
+    def test_count(self):
+        assert len(random_tasks(10, seed=1)) == 10
+        assert random_tasks(0, seed=1) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_tasks(-1)
+
+    def test_demands_in_paper_range(self):
+        for task in random_tasks(50, seed=2, demand_range=(10.0, 50.0)):
+            demand = task.profile.nominal_demand_pus("*")
+            assert 10.0 - 1e-9 <= demand <= 50.0 + 1e-9
+
+    def test_priorities_in_range(self):
+        for task in random_tasks(50, seed=3, priority_range=(1, 8)):
+            assert 1 <= task.priority <= 8
+
+    def test_seed_determinism(self):
+        a = random_tasks(5, seed=42)
+        b = random_tasks(5, seed=42)
+        for ta, tb in zip(a, b):
+            assert ta.priority == tb.priority
+            assert ta.profile.nominal_demand_pus("*") == tb.profile.nominal_demand_pus("*")
+
+    def test_multiple_core_types_have_speedups(self):
+        import random
+
+        profile = random_profile(
+            random.Random(7), "p", core_types=("A7", "A15")
+        )
+        assert 1.5 <= profile.speedup("A15", "A7") <= 2.0
+
+
+class TestRandomRecords:
+    def test_fields_in_ranges(self):
+        records = random_task_records(100, seed=9)
+        for r in records:
+            assert 10.0 <= r.demand_pus <= 50.0
+            assert 10.0 <= r.supply_pus <= 50.0
+            assert 1 <= r.priority <= 8
+            assert 0.5 <= r.bid <= 2.0
+
+    def test_names_unique(self):
+        records = random_task_records(20, seed=5)
+        assert len({r.name for r in records}) == 20

@@ -1,0 +1,102 @@
+"""Unit tests for the HRM infrastructure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tasks import HeartRateMonitor, HeartRateRange
+
+
+class TestHeartRateRange:
+    def test_target_is_midpoint(self):
+        assert HeartRateRange(24.0, 30.0).target_hr == 27.0
+
+    def test_contains(self):
+        r = HeartRateRange(24.0, 30.0)
+        assert r.contains(24.0)
+        assert r.contains(27.0)
+        assert r.contains(30.0)
+        assert not r.contains(23.9)
+        assert not r.contains(30.1)
+
+    def test_contains_tolerates_float_noise_at_bounds(self):
+        r = HeartRateRange(0.95, 1.05)
+        assert r.contains(1.05 * (1 + 1e-12))
+        assert r.contains(0.95 * (1 - 1e-12))
+
+    def test_below(self):
+        r = HeartRateRange(24.0, 30.0)
+        assert r.below(23.0)
+        assert not r.below(24.0)
+        assert not r.below(40.0)
+
+    def test_scaled(self):
+        r = HeartRateRange(24.0, 30.0).scaled(0.5)
+        assert (r.min_hr, r.max_hr) == (12.0, 15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeartRateRange(0.0, 10.0)
+        with pytest.raises(ValueError):
+            HeartRateRange(10.0, 5.0)
+
+
+class TestHeartRateMonitor:
+    def test_no_samples_reads_zero(self):
+        assert HeartRateMonitor().heart_rate() == 0.0
+
+    def test_single_sample_reads_zero(self):
+        hrm = HeartRateMonitor()
+        hrm.record(0.0, 0.0)
+        assert hrm.heart_rate() == 0.0
+
+    def test_constant_rate(self):
+        hrm = HeartRateMonitor(window_s=1.0)
+        for i in range(11):
+            hrm.record(i * 0.1, i * 3.0)  # 30 beats/s
+        assert hrm.heart_rate() == pytest.approx(30.0)
+
+    def test_window_trims_old_samples(self):
+        hrm = HeartRateMonitor(window_s=0.5)
+        # 10 hb/s for 1 s, then 40 hb/s for 0.5 s -> window sees only 40.
+        t, beats = 0.0, 0.0
+        for _ in range(10):
+            t += 0.1
+            beats += 1.0
+            hrm.record(t, beats)
+        for _ in range(5):
+            t += 0.1
+            beats += 4.0
+            hrm.record(t, beats)
+        assert hrm.heart_rate() == pytest.approx(40.0, rel=0.05)
+
+    def test_time_must_be_non_decreasing(self):
+        hrm = HeartRateMonitor()
+        hrm.record(1.0, 5.0)
+        with pytest.raises(ValueError):
+            hrm.record(0.5, 6.0)
+
+    def test_reset(self):
+        hrm = HeartRateMonitor()
+        hrm.record(0.0, 0.0)
+        hrm.record(1.0, 10.0)
+        hrm.reset()
+        assert hrm.heart_rate() == 0.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            HeartRateMonitor(window_s=0.0)
+
+    @given(st.floats(min_value=0.1, max_value=100.0))
+    def test_measured_rate_matches_generation_rate(self, rate):
+        hrm = HeartRateMonitor(window_s=1.0)
+        for i in range(20):
+            hrm.record(i * 0.1, i * 0.1 * rate)
+        assert hrm.heart_rate() == pytest.approx(rate, rel=1e-6)
+
+    def test_rate_never_negative_with_monotone_beats(self):
+        hrm = HeartRateMonitor(window_s=0.3)
+        beats = 0.0
+        for i in range(50):
+            beats += (i % 5) * 0.2
+            hrm.record(i * 0.05, beats)
+            assert hrm.heart_rate() >= 0.0

@@ -1,0 +1,102 @@
+"""Tests for the online cross-core-type demand estimator (future work)."""
+
+import pytest
+
+from repro.tasks import OnlineDemandEstimator
+
+
+def feed(estimator, task, core_type, demand, n=15):
+    for _ in range(n):
+        estimator.observe(task, core_type, demand)
+
+
+class TestObservation:
+    def test_untrusted_until_min_samples(self):
+        est = OnlineDemandEstimator(min_samples=5)
+        est.observe("t", "A7", 400.0)
+        assert est.known_demand("t", "A7") is None
+        feed(est, "t", "A7", 400.0, n=5)
+        assert est.known_demand("t", "A7") == pytest.approx(400.0)
+
+    def test_ewma_tracks_changes(self):
+        est = OnlineDemandEstimator(alpha=0.5, min_samples=1)
+        feed(est, "t", "A7", 400.0, n=3)
+        feed(est, "t", "A7", 800.0, n=20)
+        assert est.known_demand("t", "A7") == pytest.approx(800.0, rel=0.01)
+
+    def test_non_positive_demand_ignored(self):
+        est = OnlineDemandEstimator(min_samples=1)
+        est.observe("t", "A7", 0.0)
+        assert est.known_demand("t", "A7") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineDemandEstimator(default_speedup=0.0)
+        with pytest.raises(ValueError):
+            OnlineDemandEstimator(alpha=0.0)
+
+
+class TestSpeedupLearning:
+    def test_prior_before_any_observation(self):
+        est = OnlineDemandEstimator(default_speedup=1.8)
+        assert est.speedup("A15", "A7") == pytest.approx(1.8)
+
+    def test_learns_from_visited_types(self):
+        est = OnlineDemandEstimator(min_samples=5)
+        feed(est, "t", "A7", 600.0)
+        feed(est, "t", "A15", 300.0)
+        assert est.speedup("A15", "A7") == pytest.approx(2.0, rel=0.05)
+        assert est.speedup("A7", "A15") == pytest.approx(0.5, rel=0.05)
+
+    def test_population_prior_transfers_across_tasks(self):
+        est = OnlineDemandEstimator(min_samples=5)
+        feed(est, "veteran", "A7", 600.0)
+        feed(est, "veteran", "A15", 300.0)
+        # A task that has never visited A15 benefits from the population.
+        demand = est.estimate_demand(
+            "rookie",
+            target_type="A15",
+            current_type="A7",
+            current_demand_pus=900.0,
+            target_is_faster=True,
+        )
+        assert demand == pytest.approx(450.0, rel=0.05)
+
+
+class TestEstimateDemand:
+    def test_prior_based_estimate(self):
+        est = OnlineDemandEstimator(default_speedup=2.0)
+        up = est.estimate_demand("t", "A15", "A7", 800.0, target_is_faster=True)
+        down = est.estimate_demand("t", "A7", "A15", 400.0, target_is_faster=False)
+        assert up == pytest.approx(400.0)
+        assert down == pytest.approx(800.0)
+
+    def test_own_history_preferred_and_phase_scaled(self):
+        est = OnlineDemandEstimator(min_samples=5)
+        feed(est, "t", "A7", 600.0)
+        feed(est, "t", "A15", 240.0)  # personal speedup 2.5x
+        # Live demand doubled by a phase: the prediction scales with it.
+        demand = est.estimate_demand("t", "A15", "A7", 1200.0, target_is_faster=True)
+        assert demand == pytest.approx(480.0, rel=0.05)
+
+
+class TestGovernorIntegration:
+    def test_online_mode_runs_and_migrates(self):
+        from repro.core import PPMConfig, PPMGovernor
+        from repro.hw import tc2_chip
+        from repro.sim import SimConfig, Simulation
+        from repro.tasks import build_workload
+
+        tasks = build_workload("h3")
+        governor = PPMGovernor(PPMConfig(online_estimation=True))
+        sim = Simulation(tc2_chip(), tasks, governor, config=SimConfig(metrics_warmup_s=5.0))
+        metrics = sim.run(15.0)
+        assert governor.online_estimator is not None
+        # The estimator has learned this workload's A7 demands.
+        assert any(
+            governor.online_estimator.known_demand(t.name, "A7") is not None
+            for t in tasks
+        )
+        # Heavy set still forces promotion to big without profile tables.
+        assert sim.migrations.counts()[1] >= 1
+        assert metrics.any_task_miss_fraction() < 0.9

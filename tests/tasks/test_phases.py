@@ -1,0 +1,98 @@
+"""Unit tests for phase traces."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tasks import ConstantPhase, PiecewisePhases, SinusoidalPhases, SquareWavePhases
+
+
+class TestConstantPhase:
+    def test_default_is_one(self):
+        assert ConstantPhase().multiplier_at(123.4) == 1.0
+
+    def test_custom_multiplier(self):
+        assert ConstantPhase(0.5).multiplier_at(0.0) == 0.5
+
+
+class TestPiecewisePhases:
+    def test_segments_in_order(self):
+        trace = PiecewisePhases([(10.0, 0.5), (20.0, 1.5)])
+        assert trace.multiplier_at(5.0) == 0.5
+        assert trace.multiplier_at(10.0) == 1.5
+        assert trace.multiplier_at(29.9) == 1.5
+
+    def test_past_end_holds_last_segment(self):
+        trace = PiecewisePhases([(10.0, 0.5), (20.0, 1.5)])
+        assert trace.multiplier_at(1000.0) == 1.5
+
+    def test_repeat_wraps(self):
+        trace = PiecewisePhases([(10.0, 0.5), (10.0, 1.5)], repeat=True)
+        assert trace.multiplier_at(25.0) == 0.5
+        assert trace.multiplier_at(35.0) == 1.5
+
+    def test_negative_time_clamps_to_start(self):
+        trace = PiecewisePhases([(10.0, 0.7), (10.0, 1.3)])
+        assert trace.multiplier_at(-5.0) == 0.7
+
+    def test_total_duration(self):
+        assert PiecewisePhases([(10.0, 1.0), (5.0, 2.0)]).total_duration == 15.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewisePhases([])
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewisePhases([(0.0, 1.0)])
+
+
+class TestSinusoidalPhases:
+    def test_oscillates_around_one(self):
+        trace = SinusoidalPhases(period_s=10.0, amplitude=0.2)
+        assert trace.multiplier_at(0.0) == pytest.approx(1.0)
+        assert trace.multiplier_at(2.5) == pytest.approx(1.2)
+        assert trace.multiplier_at(7.5) == pytest.approx(0.8)
+
+    def test_offset_shifts_phase(self):
+        base = SinusoidalPhases(period_s=10.0, amplitude=0.2)
+        shifted = SinusoidalPhases(period_s=10.0, amplitude=0.2, offset_s=2.5)
+        assert shifted.multiplier_at(0.0) == pytest.approx(base.multiplier_at(2.5))
+
+    def test_periodicity(self):
+        trace = SinusoidalPhases(period_s=7.0, amplitude=0.3)
+        assert trace.multiplier_at(3.0) == pytest.approx(trace.multiplier_at(3.0 + 7.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SinusoidalPhases(period_s=0.0, amplitude=0.1)
+        with pytest.raises(ValueError):
+            SinusoidalPhases(period_s=1.0, amplitude=1.0)
+
+    @given(st.floats(min_value=0, max_value=1000, allow_nan=False))
+    def test_multiplier_stays_positive(self, t):
+        trace = SinusoidalPhases(period_s=13.0, amplitude=0.4)
+        assert 0.6 - 1e-9 <= trace.multiplier_at(t) <= 1.4 + 1e-9
+
+
+class TestSquareWavePhases:
+    def test_high_then_low(self):
+        trace = SquareWavePhases(period_s=10.0, low=0.5, high=1.5, duty=0.3)
+        assert trace.multiplier_at(1.0) == 1.5
+        assert trace.multiplier_at(5.0) == 0.5
+
+    def test_wraps(self):
+        trace = SquareWavePhases(period_s=10.0, low=0.5, high=1.5, duty=0.5)
+        assert trace.multiplier_at(12.0) == 1.5
+        assert trace.multiplier_at(17.0) == 0.5
+
+    def test_negative_time(self):
+        trace = SquareWavePhases(period_s=10.0, low=0.5, high=1.5, duty=0.5)
+        assert trace.multiplier_at(-2.0) in (0.5, 1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SquareWavePhases(period_s=-1.0, low=0.5, high=1.5)
+        with pytest.raises(ValueError):
+            SquareWavePhases(period_s=1.0, low=0.5, high=1.5, duty=1.0)

@@ -1,0 +1,171 @@
+"""Unit tests for benchmark profiles and the task runtime model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tasks import (
+    ANY_CORE_TYPE,
+    BenchmarkProfile,
+    ConstantPhase,
+    PiecewisePhases,
+    Task,
+    default_hr_range,
+)
+
+
+def make_profile(work_limit=1.1, phases=None, nominal_hr=30.0, cost_a7=20.0):
+    return BenchmarkProfile(
+        name="bench",
+        input_label="test",
+        nominal_hr=nominal_hr,
+        hr_range=default_hr_range(nominal_hr),
+        cost_pu_s_per_beat_by_type={"A7": cost_a7, "A15": cost_a7 / 2.0},
+        phases=phases or ConstantPhase(),
+        work_limit_factor=work_limit,
+    )
+
+
+class TestBenchmarkProfile:
+    def test_label(self):
+        assert make_profile().label == "bench_test"
+
+    def test_cost_lookup_per_type(self):
+        p = make_profile(cost_a7=20.0)
+        assert p.cost_pu_s_per_beat("A7") == 20.0
+        assert p.cost_pu_s_per_beat("A15") == 10.0
+
+    def test_phase_multiplier_scales_cost(self):
+        assert make_profile().cost_pu_s_per_beat("A7", 1.5) == 30.0
+
+    def test_unknown_type_raises_without_wildcard(self):
+        with pytest.raises(KeyError):
+            make_profile().cost_pu_s_per_beat("RISCV")
+
+    def test_wildcard_fallback(self):
+        p = BenchmarkProfile(
+            name="b",
+            input_label="i",
+            nominal_hr=10.0,
+            hr_range=default_hr_range(10.0),
+            cost_pu_s_per_beat_by_type={ANY_CORE_TYPE: 5.0},
+        )
+        assert p.cost_pu_s_per_beat("whatever") == 5.0
+
+    def test_nominal_demand(self):
+        p = make_profile(nominal_hr=30.0, cost_a7=20.0)
+        assert p.nominal_demand_pus("A7") == pytest.approx(600.0)
+
+    def test_speedup(self):
+        assert make_profile().speedup("A15", "A7") == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                name="b", input_label="i", nominal_hr=0.0,
+                hr_range=default_hr_range(10.0),
+                cost_pu_s_per_beat_by_type={"A7": 1.0},
+            )
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                name="b", input_label="i", nominal_hr=10.0,
+                hr_range=default_hr_range(10.0),
+                cost_pu_s_per_beat_by_type={},
+            )
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                name="b", input_label="i", nominal_hr=10.0,
+                hr_range=default_hr_range(10.0),
+                cost_pu_s_per_beat_by_type={"A7": -1.0},
+            )
+        with pytest.raises(ValueError):
+            make_profile(work_limit=0.5)
+
+    def test_default_hr_range_width(self):
+        r = default_hr_range(30.0)
+        assert r.min_hr == pytest.approx(28.5)
+        assert r.max_hr == pytest.approx(31.5)
+
+
+class TestTaskLifecycle:
+    def test_priority_validated(self):
+        with pytest.raises(ValueError):
+            Task(profile=make_profile(), priority=0)
+
+    def test_names_unique_by_default(self):
+        a, b = Task(make_profile()), Task(make_profile())
+        assert a.name != b.name
+
+    def test_is_active_window(self):
+        t = Task(make_profile(), start_time=5.0, duration=10.0)
+        assert not t.is_active(4.9)
+        assert t.is_active(5.0)
+        assert t.is_active(14.9)
+        assert not t.is_active(15.0)
+
+    def test_forever_task(self):
+        t = Task(make_profile())
+        assert t.is_active(1e9)
+
+    def test_local_time_clamped(self):
+        t = Task(make_profile(), start_time=10.0)
+        assert t.local_time(5.0) == 0.0
+        assert t.local_time(12.0) == 2.0
+
+
+class TestTaskExecution:
+    def test_consume_generates_heartbeats(self):
+        t = Task(make_profile(cost_a7=20.0))  # 20 PU-s per beat
+        consumed = t.consume(granted_pus=400.0, core_type="A7", t=0.0, dt=1.0)
+        assert consumed == pytest.approx(400.0)
+        assert t.total_beats == pytest.approx(20.0)
+        assert t.last_supply_pus == 400.0
+        assert t.last_consumed_pus == pytest.approx(400.0)
+
+    def test_work_limit_caps_consumption(self):
+        # demand = 30 hb/s * 20 PU-s = 600 PUs; limit 1.1 -> 660.
+        t = Task(make_profile(work_limit=1.1, cost_a7=20.0))
+        consumed = t.consume(granted_pus=1000.0, core_type="A7", t=0.0, dt=1.0)
+        assert consumed == pytest.approx(660.0)
+        assert t.last_supply_pus == 1000.0
+
+    def test_unlimited_task_consumes_everything(self):
+        t = Task(make_profile(work_limit=None))
+        assert t.consume(5000.0, "A7", 0.0, 1.0) == pytest.approx(5000.0)
+
+    def test_faster_core_type_yields_more_beats(self):
+        little = Task(make_profile(work_limit=None))
+        big = Task(make_profile(work_limit=None))
+        little.consume(400.0, "A7", 0.0, 1.0)
+        big.consume(400.0, "A15", 0.0, 1.0)
+        assert big.total_beats == pytest.approx(2 * little.total_beats)
+
+    def test_observed_heart_rate_converges(self):
+        t = Task(make_profile(cost_a7=20.0), hrm_window_s=0.5)
+        for i in range(100):
+            t.consume(600.0, "A7", i * 0.01, 0.01)  # exactly the demand
+        assert t.observed_heart_rate() == pytest.approx(30.0, rel=0.01)
+
+    def test_idle_tick_freezes_progress(self):
+        t = Task(make_profile())
+        t.consume(600.0, "A7", 0.0, 0.5)
+        beats = t.total_beats
+        t.idle_tick(0.5, 0.5)
+        assert t.total_beats == beats
+        assert t.last_supply_pus == 0.0
+
+    def test_phase_raises_demand(self):
+        t = Task(make_profile(phases=PiecewisePhases([(10.0, 1.0), (10.0, 2.0)])))
+        assert t.true_demand_pus("A7", 5.0) == pytest.approx(600.0)
+        assert t.true_demand_pus("A7", 15.0) == pytest.approx(1200.0)
+
+    def test_consume_validation(self):
+        t = Task(make_profile())
+        with pytest.raises(ValueError):
+            t.consume(-1.0, "A7", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            t.consume(1.0, "A7", 0.0, 0.0)
+
+    @given(st.floats(min_value=0, max_value=2000))
+    def test_consumed_never_exceeds_grant(self, grant):
+        t = Task(make_profile(work_limit=1.1))
+        assert t.consume(grant, "A7", 0.0, 0.1) <= grant + 1e-9

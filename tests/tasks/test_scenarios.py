@@ -1,0 +1,87 @@
+"""Tests for Poisson arrival scenarios."""
+
+import pytest
+
+from repro.tasks import ScenarioConfig, peak_concurrency, poisson_workload
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        ScenarioConfig()
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(duration_s=0.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(lifetime_range_s=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            ScenarioConfig(initial_tasks=-1)
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        a = poisson_workload(seed=42)
+        b = poisson_workload(seed=42)
+        assert [t.name for t in a] == [t.name for t in b]
+        assert [t.start_time for t in a] == [t.start_time for t in b]
+
+    def test_initial_tasks_start_at_zero(self):
+        tasks = poisson_workload(ScenarioConfig(initial_tasks=3, arrival_rate_hz=0.0), seed=1)
+        assert len(tasks) == 3
+        assert all(t.start_time == 0.0 for t in tasks)
+
+    def test_arrivals_within_horizon(self):
+        config = ScenarioConfig(duration_s=30.0, arrival_rate_hz=0.5)
+        tasks = poisson_workload(config, seed=7)
+        for task in tasks:
+            assert 0.0 <= task.start_time < 30.0
+            assert task.duration is not None
+            lo, hi = config.lifetime_range_s
+            assert lo <= task.duration <= hi
+
+    def test_rate_scales_population(self):
+        low = poisson_workload(ScenarioConfig(arrival_rate_hz=0.1, duration_s=100.0), seed=3)
+        high = poisson_workload(ScenarioConfig(arrival_rate_hz=1.0, duration_s=100.0), seed=3)
+        assert len(high) > len(low)
+
+    def test_catalogue_restriction(self):
+        config = ScenarioConfig(catalogue=[("swaptions", "large")], arrival_rate_hz=0.3)
+        tasks = poisson_workload(config, seed=5)
+        assert all(t.profile.name == "swaptions" for t in tasks)
+
+    def test_priorities_within_bounds(self):
+        tasks = poisson_workload(ScenarioConfig(priority_range=(2, 4)), seed=9)
+        assert all(2 <= t.priority <= 4 for t in tasks)
+
+
+class TestPeakConcurrency:
+    def test_empty(self):
+        assert peak_concurrency([]) == 0
+
+    def test_counts_overlap(self):
+        from repro.tasks import make_task
+
+        tasks = [
+            make_task("swaptions", "l", start_time=0.0, duration=10.0),
+            make_task("x264", "l", start_time=5.0, duration=10.0),
+            make_task("h264", "s", start_time=20.0, duration=5.0),
+        ]
+        assert peak_concurrency(tasks) == 2
+
+
+class TestEndToEndChurn:
+    def test_ppm_survives_a_poisson_scenario(self):
+        from repro.core import PPMGovernor
+        from repro.hw import tc2_chip
+        from repro.sim import SimConfig, Simulation
+
+        tasks = poisson_workload(
+            ScenarioConfig(duration_s=15.0, arrival_rate_hz=0.4, initial_tasks=2),
+            seed=11,
+        )
+        governor = PPMGovernor()
+        sim = Simulation(tc2_chip(), tasks, governor, config=SimConfig())
+        sim.run(25.0)
+        # Market bookkeeping survived the churn.
+        alive = {t.name for t in sim.active_tasks()}
+        assert set(governor.market.tasks) == alive

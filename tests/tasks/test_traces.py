@@ -1,0 +1,132 @@
+"""Tests for trace-driven phase behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tasks import DemandTrace, SinusoidalPhases, record_trace
+
+
+def make_trace(interpolation="step", loop=False):
+    return DemandTrace(
+        [(0.0, 1.0), (10.0, 0.5), (20.0, 1.5)],
+        interpolation=interpolation,
+        loop=loop,
+        name="t",
+    )
+
+
+class TestValidation:
+    def test_needs_points(self):
+        with pytest.raises(ValueError):
+            DemandTrace([])
+
+    def test_times_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            DemandTrace([(0.0, 1.0), (0.0, 2.0)])
+
+    def test_positive_multipliers(self):
+        with pytest.raises(ValueError):
+            DemandTrace([(0.0, 0.0)])
+
+    def test_interpolation_name(self):
+        with pytest.raises(ValueError):
+            DemandTrace([(0.0, 1.0)], interpolation="cubic")
+
+
+class TestReplay:
+    def test_step_holds_values(self):
+        trace = make_trace("step")
+        assert trace.multiplier_at(5.0) == 1.0
+        assert trace.multiplier_at(10.0) == 0.5
+        assert trace.multiplier_at(15.0) == 0.5
+
+    def test_linear_ramps(self):
+        trace = make_trace("linear")
+        assert trace.multiplier_at(5.0) == pytest.approx(0.75)
+        assert trace.multiplier_at(15.0) == pytest.approx(1.0)
+
+    def test_before_and_after_clamped(self):
+        trace = make_trace()
+        assert trace.multiplier_at(-3.0) == 1.0
+        assert trace.multiplier_at(99.0) == 1.5
+
+    def test_loop_wraps(self):
+        trace = make_trace("step", loop=True)
+        assert trace.multiplier_at(25.0) == trace.multiplier_at(5.0)
+
+    def test_duration(self):
+        assert make_trace().duration_s == 20.0
+
+    @given(st.floats(min_value=-50, max_value=200, allow_nan=False))
+    def test_multiplier_always_within_trace_range(self, t):
+        trace = make_trace("linear", loop=True)
+        assert 0.5 - 1e-9 <= trace.multiplier_at(t) <= 1.5 + 1e-9
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self):
+        trace = make_trace("linear", loop=True)
+        clone = DemandTrace.from_json(trace.to_json())
+        for t in [0.0, 3.3, 12.7, 19.9, 31.0]:
+            assert clone.multiplier_at(t) == pytest.approx(trace.multiplier_at(t))
+        assert clone.name == "t"
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = make_trace()
+        path = trace.write(str(tmp_path / "trace.json"))
+        clone = DemandTrace.read(path)
+        assert clone.multiplier_at(15.0) == trace.multiplier_at(15.0)
+
+
+class TestRecording:
+    def test_records_a_live_source(self):
+        source = SinusoidalPhases(period_s=8.0, amplitude=0.3)
+        trace = record_trace(
+            source.multiplier_at, duration_s=16.0, sample_period_s=0.25,
+            interpolation="linear",
+        )
+        for t in [1.0, 4.5, 11.0]:
+            assert trace.multiplier_at(t) == pytest.approx(
+                source.multiplier_at(t), abs=0.03
+            )
+
+    def test_recorded_trace_drives_a_task(self):
+        from repro.tasks import BenchmarkProfile, Task, default_hr_range
+
+        trace = DemandTrace([(0.0, 1.0), (5.0, 2.0)], interpolation="step")
+        profile = BenchmarkProfile(
+            name="traced", input_label="t", nominal_hr=10.0,
+            hr_range=default_hr_range(10.0),
+            cost_pu_s_per_beat_by_type={"A7": 10.0},
+            phases=trace,
+        )
+        task = Task(profile=profile)
+        assert task.true_demand_pus("A7", 1.0) == pytest.approx(100.0)
+        assert task.true_demand_pus("A7", 6.0) == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            record_trace(lambda t: 1.0, duration_s=0.0)
+
+
+class TestOdroidPreset:
+    def test_four_plus_four(self):
+        from repro.hw import odroid_xu3_chip
+
+        chip = odroid_xu3_chip()
+        assert len(chip.cluster("big").cores) == 4
+        assert len(chip.cluster("little").cores) == 4
+
+    def test_ppm_runs_on_odroid(self):
+        from repro.core import PPMGovernor
+        from repro.hw import odroid_xu3_chip
+        from repro.sim import SimConfig, Simulation
+        from repro.tasks import build_workload
+
+        sim = Simulation(
+            odroid_xu3_chip(), build_workload("m2"), PPMGovernor(),
+            config=SimConfig(metrics_warmup_s=2.0),
+        )
+        metrics = sim.run(8.0)
+        # Twice the LITTLE capacity: m2 is comfortable on this chip.
+        assert metrics.any_task_miss_fraction() < 0.6

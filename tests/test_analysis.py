@@ -1,0 +1,120 @@
+"""Tests for the analysis package (stats + export)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    comparative_to_csv,
+    comparative_to_json,
+    comparative_to_records,
+    dominance_count,
+    pairwise_improvements,
+    relative_improvement,
+    run_result_to_dict,
+    summarize,
+    write_comparative,
+)
+from repro.experiments import ComparativeResult, RunResult
+
+
+def fake_run(governor="PPM", workload="l1", miss=0.1, power=3.0):
+    return RunResult(
+        governor=governor,
+        workload=workload,
+        duration_s=10.0,
+        miss_fraction=miss,
+        mean_miss_fraction=miss / 2,
+        average_power_w=power,
+        peak_power_w=power + 1,
+        intra_migrations=2,
+        inter_migrations=1,
+        per_task_below={"a": miss},
+        per_task_outside={"a": miss * 2},
+    )
+
+
+def fake_comparative():
+    return ComparativeResult(
+        runs={
+            "PPM": {"l1": fake_run("PPM", "l1", 0.1), "m2": fake_run("PPM", "m2", 0.2)},
+            "HL": {"l1": fake_run("HL", "l1", 0.3), "m2": fake_run("HL", "m2", 0.6)},
+        },
+        power_cap_w=4.0,
+    )
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.stdev == pytest.approx(1.0)
+        assert (s.minimum, s.maximum) == (1.0, 3.0)
+
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.stdev == 0.0
+        assert s.stderr == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_confidence_interval_brackets_mean(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        lo, hi = s.confidence95()
+        assert lo < s.mean < hi
+
+    def test_relative_improvement(self):
+        assert relative_improvement(0.5, 0.25) == pytest.approx(0.5)
+        assert relative_improvement(0.5, 0.75) == pytest.approx(-0.5)
+        assert relative_improvement(0.0, 0.0) == 0.0
+        with pytest.raises(ValueError):
+            relative_improvement(0.0, 0.1)
+
+    def test_pairwise_improvements(self):
+        metrics = {"PPM": [0.1, 0.2], "HPM": [0.2, 0.4], "HL": [0.5, 0.7]}
+        imp = pairwise_improvements(metrics)
+        assert imp["HPM"] == pytest.approx(0.5)
+        assert imp["HL"] == pytest.approx(1 - 0.15 / 0.6)
+        with pytest.raises(KeyError):
+            pairwise_improvements({"HL": [0.1]})
+
+    def test_dominance_count(self):
+        metrics = {"PPM": [0.1, 0.5], "HL": [0.3, 0.4]}
+        assert dominance_count(metrics) == {"HL": 1}
+        with pytest.raises(ValueError):
+            dominance_count({"PPM": [0.1], "HL": [0.1, 0.2]})
+
+
+class TestExport:
+    def test_run_result_to_dict(self):
+        record = run_result_to_dict(fake_run())
+        assert record["governor"] == "PPM"
+        assert record["per_task_below"] == {"a": 0.1}
+
+    def test_records_include_cap(self):
+        records = comparative_to_records(fake_comparative())
+        assert len(records) == 4
+        assert all(r["power_cap_w"] == 4.0 for r in records)
+
+    def test_json_parses(self):
+        payload = json.loads(comparative_to_json(fake_comparative()))
+        assert len(payload) == 4
+
+    def test_csv_has_header_and_rows(self):
+        text = comparative_to_csv(fake_comparative())
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("governor,workload")
+        assert len(lines) == 5
+
+    def test_write_comparative(self, tmp_path):
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        write_comparative(fake_comparative(), str(json_path))
+        write_comparative(fake_comparative(), str(csv_path))
+        assert json.loads(json_path.read_text())
+        assert csv_path.read_text().count("\n") >= 4
+        with pytest.raises(ValueError):
+            write_comparative(fake_comparative(), str(tmp_path / "out.txt"))

@@ -1,0 +1,153 @@
+"""Failure-injection and robustness tests across the whole stack.
+
+The paper's system lives in a hostile environment: noisy sensors, task
+churn, saturated chips.  These tests drive the full simulator through
+those conditions and require the framework to stay sane (no crashes, no
+corrupted accounting, graceful degradation).
+"""
+
+import pytest
+
+from repro.core import MarketConfig, PPMConfig, PPMGovernor
+from repro.governors import HLGovernor, HPMGovernor
+from repro.hw import synthetic_chip, tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload, make_task, random_tasks
+
+
+class TestSensorNoise:
+    def test_ppm_survives_noisy_power_readings(self):
+        tasks = build_workload("m2")
+        sim = Simulation(
+            tc2_chip(),
+            tasks,
+            PPMGovernor(PPMConfig(market=MarketConfig(wtdp=4.0))),
+            config=SimConfig(sensor_noise_std_w=0.4, seed=7, metrics_warmup_s=5.0),
+        )
+        metrics = sim.run(20.0)
+        # Noise costs some QoS but the system keeps functioning.
+        assert metrics.any_task_miss_fraction() < 0.9
+        assert metrics.average_power_w() > 0.0
+
+    def test_noise_does_not_break_baselines(self):
+        for governor in (HPMGovernor(power_cap_w=4.0), HLGovernor(power_cap_w=4.0)):
+            sim = Simulation(
+                tc2_chip(),
+                build_workload("l1"),
+                governor,
+                config=SimConfig(sensor_noise_std_w=0.4, seed=3),
+            )
+            sim.run(5.0)
+
+
+class TestTaskChurn:
+    def test_staggered_arrivals_and_departures(self):
+        tasks = []
+        for i, (name, code) in enumerate(
+            [("swaptions", "l"), ("x264", "l"), ("bodytrack", "l"), ("h264", "s")]
+        ):
+            tasks.append(
+                make_task(
+                    name,
+                    code,
+                    task_name=f"churn{i}",
+                    start_time=i * 2.0,
+                    duration=8.0,
+                )
+            )
+        governor = PPMGovernor()
+        sim = Simulation(tc2_chip(), tasks, governor, config=SimConfig())
+        sim.run(20.0)
+        # All gone: market empty, clusters gated off.
+        assert not governor.market.tasks
+        assert all(not c.powered for c in sim.chip.clusters)
+
+    def test_single_tick_task_lifetime(self):
+        blip = make_task("swaptions", "l", start_time=0.1, duration=0.01)
+        keeper = make_task("x264", "l")
+        sim = Simulation(tc2_chip(), [blip, keeper], PPMGovernor(), config=SimConfig())
+        sim.run(1.0)
+        assert keeper.total_beats > 0
+
+    def test_empty_task_set(self):
+        sim = Simulation(tc2_chip(), [], PPMGovernor(), config=SimConfig())
+        metrics = sim.run(1.0)
+        assert metrics.any_task_miss_fraction() == 0.0
+        assert all(not c.powered for c in sim.chip.clusters)
+
+
+class TestSaturation:
+    def test_wildly_oversubscribed_chip(self):
+        # 18 demanding tasks on 5 cores: nothing can be satisfied.
+        tasks = [
+            make_task("tracking", "f", task_name=f"storm{i}", phase_offset_s=i * 1.7)
+            for i in range(18)
+        ]
+        governor = PPMGovernor(PPMConfig(market=MarketConfig(wtdp=4.0)))
+        sim = Simulation(
+            tc2_chip(), tasks, governor, config=SimConfig(metrics_warmup_s=5.0)
+        )
+        metrics = sim.run(15.0)
+        # Misses are inevitable; the cap and the accounting are not.
+        recent = [s.chip_power_w for s in sim.metrics.samples[-300:]]
+        assert sum(recent) / len(recent) < 4.5
+        for agent in governor.market.tasks.values():
+            assert agent.bid >= governor.config.market.bmin - 1e-12
+            assert agent.wallet.savings >= -1e-9
+
+    def test_single_task_on_many_cluster_chip(self):
+        chip = synthetic_chip(8, 2, seed=13)
+        tasks = random_tasks(1, seed=5, demand_range=(100.0, 200.0))
+        sim = Simulation(chip, tasks, PPMGovernor(), config=SimConfig())
+        sim.run(5.0)
+        powered = [c for c in chip.clusters if c.powered]
+        assert len(powered) == 1  # everything else gated off
+
+
+class TestExtremeConfigs:
+    def test_tiny_tdp_drives_all_levels_to_minimum(self):
+        # A 1 W budget sits below the hardware floor: the best the market
+        # can do is park every powered cluster at its lowest level.
+        tasks = build_workload("l1")
+        governor = PPMGovernor(
+            PPMConfig(market=MarketConfig(wtdp=1.0, wth=0.8))
+        )
+        sim = Simulation(tc2_chip(), tasks, governor, config=SimConfig())
+        sim.run(10.0)
+        for cluster in sim.chip.clusters:
+            if cluster.powered:
+                assert cluster.level_index == 0
+        recent = [s.chip_power_w for s in sim.metrics.samples[-200:]]
+        assert sum(recent) / len(recent) < 2.0
+
+    def test_zero_savings_cap(self):
+        tasks = build_workload("l2")
+        governor = PPMGovernor(
+            PPMConfig(market=MarketConfig(savings_cap_fraction=0.0))
+        )
+        sim = Simulation(tc2_chip(), tasks, governor, config=SimConfig())
+        sim.run(5.0)
+        assert all(
+            a.wallet.savings == pytest.approx(0.0, abs=1e-9)
+            for a in governor.market.tasks.values()
+        )
+
+    def test_single_core_chip(self):
+        from repro.hw import Chip, Cluster, CorePowerParams, vf_table_from_pairs
+
+        chip = Chip(
+            name="uni",
+            clusters=[
+                Cluster(
+                    cluster_id="solo",
+                    core_type="A7",
+                    n_cores=1,
+                    vf_table=vf_table_from_pairs([(350, 0.85), (700, 0.95), (1000, 1.05)]),
+                    power_params=CorePowerParams(k_dyn=4.5e-4, k_static=0.13, uncore_w=0.11),
+                )
+            ],
+        )
+        task = make_task("x264", "l")
+        sim = Simulation(chip, [task], PPMGovernor(), config=SimConfig(metrics_warmup_s=2.0))
+        metrics = sim.run(10.0)
+        assert metrics.task_below_fraction(task.name) < 0.5

@@ -1,0 +1,103 @@
+"""Cross-governor sanity orderings on short runs.
+
+The benchmark suite checks the paper's quantitative shapes at full
+duration; these tests pin the *unconditional* orderings that must hold
+even on short runs -- the cheap canaries for a broken governor.
+"""
+
+import pytest
+
+from repro.core import PPMGovernor
+from repro.governors import (
+    EASGovernor,
+    HLGovernor,
+    HPMGovernor,
+    MaxFrequencyGovernor,
+    PowersaveGovernor,
+)
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload, make_task
+
+
+def run(governor, workload="m2", duration=8.0):
+    sim = Simulation(
+        tc2_chip(),
+        build_workload(workload),
+        governor,
+        config=SimConfig(metrics_warmup_s=2.0),
+    )
+    metrics = sim.run(duration)
+    return metrics, sim
+
+
+class TestStaticBounds:
+    def test_powersave_cheapest_maxfreq_most_capable(self):
+        power_ps, _ = run(PowersaveGovernor())[0].average_power_w(), None
+        metrics_max, _ = run(MaxFrequencyGovernor())
+        assert power_ps < metrics_max.average_power_w()
+
+    def test_powersave_misses_most(self):
+        miss_ps = run(PowersaveGovernor())[0].mean_miss_fraction()
+        miss_max = run(MaxFrequencyGovernor())[0].mean_miss_fraction()
+        assert miss_ps >= miss_max
+
+    def test_every_governor_above_the_powersave_floor(self):
+        # Note: max-frequency is *not* a power ceiling here -- it has no
+        # placement policy, so it never wakes the big cluster, while the
+        # dynamic governors spend power on big to actually serve QoS.
+        floor = run(PowersaveGovernor())[0].average_power_w()
+        for governor in (PPMGovernor(), HPMGovernor(), HLGovernor(), EASGovernor()):
+            power = run(governor)[0].average_power_w()
+            assert power >= floor * 0.9, type(governor).__name__
+
+
+class TestDynamicGovernorsEarnTheirKeep:
+    def test_ppm_beats_powersave_qos_at_fraction_of_maxfreq_power(self):
+        metrics_ppm, _ = run(PPMGovernor())
+        miss_ps = run(PowersaveGovernor())[0].mean_miss_fraction()
+        assert metrics_ppm.mean_miss_fraction() < miss_ps
+
+    def test_all_governors_make_progress(self):
+        for governor in (
+            PPMGovernor(), HPMGovernor(), HLGovernor(), EASGovernor(),
+            PowersaveGovernor(), MaxFrequencyGovernor(),
+        ):
+            chip = tc2_chip()
+            task = make_task("h264", "s")
+            sim = Simulation(chip, [task], governor, config=SimConfig())
+            sim.run(3.0)
+            assert task.total_beats > 0, type(governor).__name__
+
+
+class TestEnergyPerBeat:
+    def test_metric_computes(self):
+        metrics, sim = run(PPMGovernor(), duration=6.0)
+        energy = metrics.energy_per_beat_mj(sim.tasks, dt=sim.dt)
+        assert 0.0 < energy < float("inf")
+
+    def test_no_work_is_infinite(self):
+        from repro.sim import MetricsCollector
+
+        collector = MetricsCollector(warmup_s=0.0)
+        task = make_task("h264", "s")
+        assert collector.energy_per_beat_mj([task], dt=0.01) == float("inf")
+
+    def test_ppm_more_efficient_than_maxfreq_like_for_like(self):
+        # Same single task, same core, so the comparison is purely about
+        # the operating point the governor chooses.
+        def energy_per_beat(governor):
+            chip = tc2_chip()
+            task = make_task("h264", "s")
+            sim = Simulation(chip, [task], governor,
+                             config=SimConfig(metrics_warmup_s=2.0))
+            sim.place(task, chip.cluster("little").cores[0])
+            metrics = sim.run(8.0)
+            return metrics.energy_per_beat_mj([task], dt=sim.dt)
+
+        from repro.core import PPMConfig
+
+        ppm = energy_per_beat(PPMGovernor(PPMConfig(
+            enable_load_balancing=False, enable_migration=False)))
+        mx = energy_per_beat(MaxFrequencyGovernor())
+        assert ppm < mx
