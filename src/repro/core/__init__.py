@@ -30,10 +30,24 @@ from .lbt import LBTModule, MoveDecision
 from .market import Market, MarketObservations, RoundResult
 from .money import Wallet
 from .audit import AuditReport, MarketAuditor, MarketInvariantError, audited_round
+from .resilience import (
+    BackoffRetry,
+    DVFSSupervisor,
+    MarketWatchdog,
+    ResilienceConfig,
+    StaleSensorDetector,
+    WatchdogState,
+)
 from .telemetry import MarketRecorder, MarketSnapshot
 
 __all__ = [
     "AuditReport",
+    "BackoffRetry",
+    "DVFSSupervisor",
+    "MarketWatchdog",
+    "ResilienceConfig",
+    "StaleSensorDetector",
+    "WatchdogState",
     "ChipAgent",
     "ChipPowerState",
     "ClusterAgent",

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .resilience import ResilienceConfig
+
 
 @dataclass
 class MarketConfig:
@@ -92,6 +94,11 @@ class PPMConfig:
     #: demand estimator -- the paper's stated future-work extension
     #: ("eliminate the off-line profiling step", section 3.3).
     online_estimation: bool = False
+    #: Governor-side resilience layer (stale-sensor fallback, actuation
+    #: retry, market watchdog with safe-mode degradation).  On by default
+    #: -- in a fault-free run it changes nothing; ``None`` disables it,
+    #: restoring the raise-on-failure behaviour for debugging.
+    resilience: Optional[ResilienceConfig] = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         if self.bid_period_s <= 0:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..hw.sensors import SensorReadError, SensorSample
 from ..sim.engine import Simulation
 from ..tasks.demand import demand_for_range
 from ..tasks.estimation import OnlineDemandEstimator
@@ -25,6 +26,12 @@ from .config import PPMConfig
 from .estimation import SteadyStateEstimator
 from .lbt import LBTModule, MoveDecision
 from .market import Market, MarketObservations, RoundResult
+from .resilience import (
+    BackoffRetry,
+    DVFSSupervisor,
+    MarketWatchdog,
+    StaleSensorDetector,
+)
 
 
 class PPMGovernor:
@@ -47,6 +54,26 @@ class PPMGovernor:
         self.online_estimator: Optional[OnlineDemandEstimator] = (
             OnlineDemandEstimator() if self.config.online_estimation else None
         )
+        # -- resilience layer (None when config.resilience is None) -----
+        res = self.config.resilience
+        self.sensor_guard: Optional[StaleSensorDetector] = None
+        self.dvfs_supervisor: Optional[DVFSSupervisor] = None
+        self.watchdog: Optional[MarketWatchdog] = None
+        self._move_retry: Optional[BackoffRetry] = None
+        self._pending_moves: Dict[str, MoveDecision] = {}
+        self.safe_mode_entries = 0
+        self._last_observed_power_w = 0.0
+        if res is not None:
+            self.sensor_guard = StaleSensorDetector(
+                stale_reads=res.stale_reads, spike_factor=res.spike_factor
+            )
+            self.dvfs_supervisor = DVFSSupervisor(
+                BackoffRetry(res.retry_initial_rounds, res.retry_max_rounds)
+            )
+            self.watchdog = MarketWatchdog(res)
+            self._move_retry = BackoffRetry(
+                res.retry_initial_rounds, res.retry_max_rounds
+            )
 
     # ------------------------------------------------------------------
     # Engine hooks
@@ -72,11 +99,36 @@ class PPMGovernor:
             return
         self._next_bid_time = sim.now + self.config.bid_period_s
         self._sync_tasks(sim)
+        if self.watchdog is not None and self.watchdog.in_safe_mode:
+            self._safe_mode_round(sim)
+            return
         if not self.market.tasks:
             return
-        result = self._run_market_round(sim)
+        try:
+            result = self._run_market_round(sim)
+        except Exception:
+            if self.watchdog is None:
+                raise
+            # A frozen/raising round: keep last allocations, count it,
+            # and degrade to the safe static policy if rounds stay dead.
+            if self.watchdog.record_failure("market round raised"):
+                self._enter_safe_mode(sim)
+            return
         self.last_round = result
         self._round_counter += 1
+        if self.watchdog is not None:
+            tripped = self.watchdog.record_round(
+                chip_power_w=self._last_observed_power_w,
+                wtdp=self.config.market.wtdp,
+                prices=result.prices,
+                allocations=result.allocations,
+            )
+            if tripped:
+                self._enter_safe_mode(sim)
+                return
+        if self.dvfs_supervisor is not None:
+            self.dvfs_supervisor.verify(sim, self._round_counter)
+        self._retry_pending_moves(sim)
         # LBT is disabled in the emergency state: the immediate goal is to
         # bring power under the TDP through the supply-demand module.
         if result.chip_state is ChipPowerState.EMERGENCY or not self.config.lbt_enabled:
@@ -153,10 +205,40 @@ class PPMGovernor:
         self._smoothed_demand[task.name] = demand
         return demand
 
-    def _run_market_round(self, sim: Simulation) -> RoundResult:
+    def _observe_power(self, sim: Simulation) -> SensorSample:
+        """Read the power sensors, surviving dropouts and bad readings.
+
+        Uses the engine's last sample (already dropout-substituted), pulls
+        a fresh reading before the first tick, and -- with resilience on
+        -- validates it through the stale-sensor detector so stuck or
+        spiking registers trade on the last good value instead.
+        """
         sample = sim.last_power_sample()
         if sample is None:
-            sample = sim.sensor.sample()
+            try:
+                sample = sim.sensor.sample()
+            except SensorReadError:
+                sample = None
+        if self.sensor_guard is not None:
+            return self.sensor_guard.observe(sample)
+        if sample is None:
+            # Resilience disabled: fall back to an all-zero reading
+            # rather than crashing the bid round before the first tick.
+            return SensorSample(
+                chip_power_w=0.0,
+                cluster_power_w={
+                    c.cluster_id: 0.0 for c in sim.chip.clusters
+                },
+                cluster_frequency_mhz={
+                    c.cluster_id: c.frequency_mhz for c in sim.chip.clusters
+                },
+                cluster_voltage_v={c.cluster_id: 0.0 for c in sim.chip.clusters},
+            )
+        return sample
+
+    def _run_market_round(self, sim: Simulation) -> RoundResult:
+        sample = self._observe_power(sim)
+        self._last_observed_power_w = sample.chip_power_w
         demands = {
             task_id: self._demand_of(sim, task)
             for task_id, task in self._tasks_by_id.items()
@@ -186,7 +268,11 @@ class PPMGovernor:
             if task is not None:
                 sim.set_allocation(task, allocation)
         for cluster_id, level in result.level_requests.items():
-            sim.request_level(sim.chip.cluster(cluster_id), level)
+            cluster = sim.chip.cluster(cluster_id)
+            if self.dvfs_supervisor is not None:
+                self.dvfs_supervisor.request(sim, cluster, level)
+            else:
+                sim.request_level(cluster, level)
         return result
 
     # ------------------------------------------------------------------
@@ -262,6 +348,7 @@ class PPMGovernor:
         destination = sim.chip.core(decision.target_core_id)
         current = sim.placement.core_of(task)
         if current is destination:
+            self._pending_moves.pop(decision.task_id, None)
             return
         crossed_types = current is None or (
             current.cluster.core_type != destination.cluster.core_type
@@ -271,7 +358,19 @@ class PPMGovernor:
         seeded = self._demand_on_cluster(
             decision.task_id, destination.cluster.cluster_id
         )
-        sim.migrate(task, destination)
+        record = sim.migrate(task, destination)
+        if record.failed:
+            # sched_setaffinity failed: the task did not move.  Remember
+            # the decision and re-issue it with exponential backoff.
+            if self._move_retry is not None:
+                self._pending_moves[decision.task_id] = decision
+                self._move_retry.record_failure(
+                    decision.task_id, self._round_counter
+                )
+            return
+        self._pending_moves.pop(decision.task_id, None)
+        if self._move_retry is not None:
+            self._move_retry.record_success(decision.task_id)
         self.market.move_task(decision.task_id, decision.target_core_id)
         self._last_move_time[decision.task_id] = sim.now
         self.moves_executed += 1
@@ -285,3 +384,66 @@ class PPMGovernor:
             if agent is not None:
                 agent.demand = seeded
             self._smoothed_demand[decision.task_id] = seeded
+
+    # ------------------------------------------------------------------
+    # Resilience: migration retry and safe-mode degradation
+    # ------------------------------------------------------------------
+    def _retry_pending_moves(self, sim: Simulation) -> None:
+        """Re-issue failed migrations whose backoff has elapsed."""
+        if not self._pending_moves or self._move_retry is None:
+            return
+        for task_id, decision in list(self._pending_moves.items()):
+            if task_id not in self.market.tasks:
+                self._pending_moves.pop(task_id, None)
+                self._move_retry.record_success(task_id)
+                continue
+            if not self._move_retry.should_attempt(task_id, self._round_counter):
+                continue
+            self._execute_move(sim, decision)
+
+    @property
+    def in_safe_mode(self) -> bool:
+        return self.watchdog is not None and self.watchdog.in_safe_mode
+
+    def _safe_level_for(self, cluster) -> int:
+        assert self.config.resilience is not None
+        return cluster.vf_table.clamp_index(self.config.resilience.safe_level_index)
+
+    def _enter_safe_mode(self, sim: Simulation) -> None:
+        """Degrade to a safe static policy: fair shares at the safe level.
+
+        Explicit allocations are dropped (the dispatcher falls back to
+        fair weighted sharing) and every online cluster is parked at the
+        configured safe V-F level -- a powersave-like floor that cannot
+        violate the TDP -- until the watchdog observes sustained health.
+        """
+        self.safe_mode_entries += 1
+        self._pending_moves.clear()
+        sim.clear_allocations()
+        for cluster in sim.chip.clusters:
+            if cluster.cluster_id in sim.offline_clusters:
+                continue
+            if self.dvfs_supervisor is not None:
+                self.dvfs_supervisor.request(
+                    sim, cluster, self._safe_level_for(cluster)
+                )
+            else:
+                sim.request_level(cluster, self._safe_level_for(cluster))
+
+    def _safe_mode_round(self, sim: Simulation) -> None:
+        """One bid period spent degraded: hold the floor, watch for health."""
+        assert self.watchdog is not None
+        self._round_counter += 1
+        for cluster in sim.chip.clusters:
+            if cluster.cluster_id in sim.offline_clusters:
+                continue
+            safe = self._safe_level_for(cluster)
+            if cluster.regulator.target_index != safe:
+                sim.request_level(cluster, safe)
+        if self.dvfs_supervisor is not None:
+            self.dvfs_supervisor.verify(sim, self._round_counter)
+        sample = self._observe_power(sim)
+        self._last_observed_power_w = sample.chip_power_w
+        wtdp = self.config.market.wtdp
+        healthy = wtdp is None or sample.chip_power_w <= wtdp
+        self.watchdog.record_safe_round(healthy)

@@ -26,6 +26,7 @@ Round protocol (sections 3.2.1-3.2.3, validated against Tables 1-3):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -127,8 +128,28 @@ class Market:
         return agent
 
     def remove_task(self, task_id: str) -> None:
+        """Remove a task, keeping the books balanced when it vanishes mid-round.
+
+        A task can disappear between bid and settle (it exited, or its
+        cluster was hot-unplugged and the engine retired it).  Its wallet
+        simply leaves circulation -- allowances are re-distributed from
+        the global pool every round, so no money leaks -- but two
+        invariants need guarding on the way out: the global allowance
+        must stay at/above the ``bmin`` floor for the *remaining* tasks
+        (I6), and the pool must stay finite even if the vanished agent
+        carried a corrupted balance.
+        """
         self.tasks.pop(task_id, None)
         self._placement.pop(task_id, None)
+        if not self.tasks:
+            return
+        floor = self.config.bmin * len(self.tasks)
+        if not math.isfinite(self.chip.allowance):
+            self.chip.allowance = max(
+                floor, 10.0 * self.config.initial_bid * len(self.tasks)
+            )
+        elif self.chip.allowance < floor:
+            self.chip.allowance = floor
 
     def move_task(self, task_id: str, core_id: str) -> None:
         """Update the market's view of a migration; agent state persists."""

@@ -1,0 +1,328 @@
+"""Governor-side resilience: surviving faulty sensing and actuation.
+
+The market's stability arguments assume its inputs (power readings) and
+outputs (DVFS requests, migrations) work.  On real hardware they fail;
+this module adds the machinery a production power manager wraps around a
+policy:
+
+* :class:`StaleSensorDetector` -- validates power samples (dropout,
+  stuck-at-last-value, spikes, NaN) and serves a last-good-value fallback
+  so one broken hwmon read cannot poison a bid round.
+* :class:`BackoffRetry` / :class:`DVFSSupervisor` -- read-back
+  verification of issued DVFS requests with exponential-backoff re-issue,
+  because a dropped cpufreq write is silent.
+* :class:`MarketWatchdog` -- detects frozen bid rounds (the market raises
+  or stops producing results) and diverging power, and degrades the
+  governor to a safe static policy until health returns.
+
+The PPM governor wires these in behind ``PPMConfig.resilience``; the
+fault model that exercises them lives in :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..hw.sensors import SensorSample
+
+
+@dataclass
+class ResilienceConfig:
+    """Tuning of the resilience layer (defaults are deliberately benign:
+    in a fault-free run none of the mechanisms changes behaviour).
+
+    Attributes:
+        stale_reads: Bit-identical chip-power readings tolerated before
+            the sensor is declared stuck and the fallback serves values.
+        spike_factor: A reading above this multiple of the recent median
+            (or below zero) is rejected as a glitch.
+        retry_initial_rounds: First re-issue backoff for unacknowledged
+            DVFS requests, in bid rounds; doubles per failure.
+        retry_max_rounds: Backoff ceiling.
+        watchdog_failures: Consecutive failed/raising bid rounds before
+            the watchdog trips into safe mode.
+        divergence_factor: Chip power above ``factor * wtdp`` counts as a
+            diverging round (only with a power budget configured).
+        divergence_rounds: Consecutive diverging rounds before tripping.
+        recovery_rounds: Consecutive healthy safe-mode rounds required
+            before the market is resumed.
+        safe_level_index: V-F level the safe static policy pins clusters
+            to (0 = lowest, the powersave floor).
+    """
+
+    stale_reads: int = 8
+    spike_factor: float = 3.0
+    retry_initial_rounds: int = 1
+    retry_max_rounds: int = 32
+    watchdog_failures: int = 4
+    divergence_factor: float = 1.75
+    divergence_rounds: int = 64
+    recovery_rounds: int = 16
+    safe_level_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stale_reads < 2:
+            raise ValueError("stale_reads must be at least 2")
+        if self.spike_factor <= 1.0:
+            raise ValueError("spike_factor must exceed 1")
+        if self.retry_initial_rounds < 1 or self.retry_max_rounds < self.retry_initial_rounds:
+            raise ValueError("need 1 <= retry_initial_rounds <= retry_max_rounds")
+        if min(self.watchdog_failures, self.divergence_rounds, self.recovery_rounds) < 1:
+            raise ValueError("watchdog windows must be positive")
+        if self.safe_level_index < 0:
+            raise ValueError("safe_level_index must be non-negative")
+
+
+class StaleSensorDetector:
+    """Validates power samples and serves a last-good-value fallback.
+
+    ``observe(sample)`` returns a trusted sample: the input when it looks
+    healthy, otherwise the last good one (before any good sample: a
+    zero-power stand-in, the conservative choice -- a governor that
+    under-estimates power can only over-deliver QoS, never melt the
+    chip's accounting).  Detection is three-pronged: *dropout* (``None``
+    input -- the engine already substituted, or the caller read nothing),
+    *stuck* (bit-identical chip power for ``stale_reads`` consecutive
+    observations), and *spikes* (non-finite, negative, or above
+    ``spike_factor`` times the rolling median).
+    """
+
+    _HISTORY = 32
+
+    def __init__(self, stale_reads: int = 8, spike_factor: float = 3.0):
+        self._stale_reads = stale_reads
+        self._spike_factor = spike_factor
+        self._history: List[float] = []
+        self._last_good: Optional[SensorSample] = None
+        self._last_raw: Optional[float] = None
+        self._repeats = 0
+        self.dropouts = 0
+        self.stuck = 0
+        self.spikes = 0
+
+    # -- classification ----------------------------------------------------------
+    def _is_spike(self, watts: float) -> bool:
+        if not math.isfinite(watts) or watts < 0.0:
+            return True
+        if len(self._history) < 4:
+            return False
+        ordered = sorted(self._history)
+        median = ordered[len(ordered) // 2]
+        return watts > self._spike_factor * max(median, 0.25)
+
+    def _is_stuck(self, watts: float) -> bool:
+        if self._last_raw is not None and watts == self._last_raw:
+            self._repeats += 1
+        else:
+            self._repeats = 0
+        self._last_raw = watts
+        return self._repeats >= self._stale_reads
+
+    # -- entry point -------------------------------------------------------------
+    def observe(self, sample: Optional[SensorSample]) -> SensorSample:
+        """Classify ``sample`` and return a trusted one."""
+        if sample is None:
+            self.dropouts += 1
+            return self.fallback()
+        watts = sample.chip_power_w
+        stuck = self._is_stuck(watts)
+        if self._is_spike(watts):
+            self.spikes += 1
+            return self.fallback()
+        if stuck:
+            # A stuck register repeats the last *good* value too, so the
+            # fallback is behaviour-preserving when the repetition is a
+            # genuinely constant power draw.
+            self.stuck += 1
+            return self.fallback()
+        self._history.append(watts)
+        if len(self._history) > self._HISTORY:
+            self._history.pop(0)
+        self._last_good = sample
+        return sample
+
+    def fallback(self) -> SensorSample:
+        if self._last_good is not None:
+            return self._last_good
+        return SensorSample(
+            chip_power_w=0.0,
+            cluster_power_w={},
+            cluster_frequency_mhz={},
+            cluster_voltage_v={},
+        )
+
+    @property
+    def suspect_reads(self) -> int:
+        return self.dropouts + self.stuck + self.spikes
+
+
+class BackoffRetry:
+    """Per-key exponential backoff in units of rounds."""
+
+    def __init__(self, initial_rounds: int = 1, max_rounds: int = 32):
+        self._initial = initial_rounds
+        self._max = max_rounds
+        #: key -> (next round at which a retry is allowed, current backoff)
+        self._state: Dict[object, tuple] = {}
+        self.retries = 0
+
+    def should_attempt(self, key: object, round_no: int) -> bool:
+        state = self._state.get(key)
+        return state is None or round_no >= state[0]
+
+    def record_failure(self, key: object, round_no: int) -> None:
+        _, backoff = self._state.get(key, (0, self._initial))
+        self._state[key] = (round_no + backoff, min(2 * backoff, self._max))
+        self.retries += 1
+
+    def record_success(self, key: object) -> None:
+        self._state.pop(key, None)
+
+    def pending(self) -> int:
+        return len(self._state)
+
+
+class DVFSSupervisor:
+    """Verifies DVFS requests took effect; re-issues with backoff.
+
+    The governor routes level requests through :meth:`request`; once per
+    bid round :meth:`verify` reads the regulator's target back (the
+    cpufreq sysfs read-back) and re-issues any request that was silently
+    dropped, backing off exponentially while the actuation path stays
+    broken.
+    """
+
+    def __init__(self, retry: Optional[BackoffRetry] = None):
+        self._retry = retry or BackoffRetry()
+        self._desired: Dict[str, int] = {}
+        self.reissues = 0
+
+    def request(self, sim, cluster, level_index: int) -> bool:
+        clamped = cluster.vf_table.clamp_index(level_index)
+        self._desired[cluster.cluster_id] = clamped
+        return sim.request_level(cluster, clamped)
+
+    def forget(self, cluster_id: str) -> None:
+        self._desired.pop(cluster_id, None)
+        self._retry.record_success(cluster_id)
+
+    def verify(self, sim, round_no: int) -> int:
+        """Re-issue unacknowledged requests; returns how many were sent."""
+        sent = 0
+        for cluster_id, level in list(self._desired.items()):
+            cluster = sim.chip.cluster(cluster_id)
+            if cluster.regulator.target_index == level:
+                self._retry.record_success(cluster_id)
+                continue
+            if cluster_id in sim.offline_clusters:
+                continue  # nothing to actuate until the cluster returns
+            if self._retry.should_attempt(cluster_id, round_no):
+                sim.request_level(cluster, level)
+                self._retry.record_failure(cluster_id, round_no)
+                if cluster.regulator.target_index == level:
+                    self._retry.record_success(cluster_id)
+                self.reissues += 1
+                sent += 1
+        return sent
+
+
+class WatchdogState(Enum):
+    HEALTHY = "healthy"
+    SAFE_MODE = "safe-mode"
+
+
+class MarketWatchdog:
+    """Detects frozen or diverging bid rounds; drives graceful degradation.
+
+    *Frozen*: the market raised or otherwise failed to complete
+    ``watchdog_failures`` consecutive rounds.  *Diverging*: round results
+    carry non-finite prices/allocations, or chip power stays above
+    ``divergence_factor * wtdp`` for ``divergence_rounds`` rounds despite
+    the market's own emergency machinery.  Either trips the watchdog into
+    safe mode; ``recovery_rounds`` consecutive healthy safe-mode rounds
+    arm the market again.
+    """
+
+    def __init__(self, config: Optional[ResilienceConfig] = None):
+        self.config = config or ResilienceConfig()
+        self.state = WatchdogState.HEALTHY
+        self.trips = 0
+        self.trip_reasons: List[str] = []
+        self._failures = 0
+        self._diverging = 0
+        self._healthy = 0
+
+    # -- healthy-state feeds -----------------------------------------------------
+    def record_failure(self, reason: str = "round failed") -> bool:
+        """Feed one failed bid round; returns True if this trips safe mode."""
+        self._failures += 1
+        if (
+            self.state is WatchdogState.HEALTHY
+            and self._failures >= self.config.watchdog_failures
+        ):
+            self._trip(f"{reason} x{self._failures}")
+            return True
+        return False
+
+    def record_round(
+        self,
+        chip_power_w: float,
+        wtdp: Optional[float],
+        prices: Optional[Dict[str, float]] = None,
+        allocations: Optional[Dict[str, float]] = None,
+    ) -> bool:
+        """Feed one completed round; returns True if it trips safe mode."""
+        self._failures = 0
+        if self.state is not WatchdogState.HEALTHY:
+            return False
+        for label, values in (("price", prices), ("allocation", allocations)):
+            for key, value in (values or {}).items():
+                if not math.isfinite(value):
+                    self._trip(f"non-finite {label} for {key}: {value}")
+                    return True
+        if wtdp is not None and chip_power_w > self.config.divergence_factor * wtdp:
+            self._diverging += 1
+            if self._diverging >= self.config.divergence_rounds:
+                self._trip(
+                    f"power {chip_power_w:.2f} W diverging above "
+                    f"{self.config.divergence_factor:.2f} x TDP for "
+                    f"{self._diverging} rounds"
+                )
+                return True
+        else:
+            self._diverging = 0
+        return False
+
+    # -- safe-mode feeds ---------------------------------------------------------
+    def record_safe_round(self, healthy: bool) -> bool:
+        """Feed one safe-mode round; returns True when recovery completes."""
+        if self.state is not WatchdogState.SAFE_MODE:
+            return False
+        if healthy:
+            self._healthy += 1
+            if self._healthy >= self.config.recovery_rounds:
+                self.state = WatchdogState.HEALTHY
+                self._reset_counters()
+                return True
+        else:
+            self._healthy = 0
+        return False
+
+    # -- internals ---------------------------------------------------------------
+    def _trip(self, reason: str) -> None:
+        self.state = WatchdogState.SAFE_MODE
+        self.trips += 1
+        self.trip_reasons.append(reason)
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
+        self._failures = 0
+        self._diverging = 0
+        self._healthy = 0
+
+    @property
+    def in_safe_mode(self) -> bool:
+        return self.state is WatchdogState.SAFE_MODE

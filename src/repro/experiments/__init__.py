@@ -8,6 +8,15 @@
 * CLI: ``repro-experiments <table1|...|fig8|all>``
 """
 
+from .campaigns import (
+    CAMPAIGN_FAULTS,
+    CampaignResult,
+    CampaignRun,
+    DEFAULT_CAMPAIGN_GOVERNORS,
+    build_campaign_schedule,
+    run_fault_campaign,
+    write_campaign_report,
+)
 from .comparative import ComparativeResult, figure4, figure5, figure6, run_comparative
 from .harness import (
     DEFAULT_DURATION_S,
@@ -33,7 +42,14 @@ from .scalability import (
 )
 
 __all__ = [
+    "CAMPAIGN_FAULTS",
+    "CampaignResult",
+    "CampaignRun",
+    "DEFAULT_CAMPAIGN_GOVERNORS",
+    "build_campaign_schedule",
     "ComparativeResult",
+    "run_fault_campaign",
+    "write_campaign_report",
     "ConstrainedCoreEmulator",
     "DEFAULT_DURATION_S",
     "DEFAULT_WARMUP_S",

@@ -1,0 +1,233 @@
+"""Fault campaigns: sweep injected faults and report resilience metrics.
+
+A campaign drives one workload under several governors through the same
+:class:`~repro.faults.FaultSchedule` and reports how each policy degrades
+and recovers:
+
+* QoS inside vs. outside the fault windows (the price of a fault);
+* time-to-recover after the last window closes (hot-replug latency);
+* TDP-violation seconds (how long the cap was broken, e.g. while the
+  power sensor was blind);
+* market audit violations (PPM only -- the books must survive faults).
+
+Reports land in ``results/campaign_<fault>.txt`` (+ ``.json``) through
+the existing reporting conventions, and the CLI exposes this as
+``repro-experiments campaign --fault <kind>``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..faults import FaultInjector, FaultKind, FaultSchedule, periodic_faults
+from ..hw import tc2_chip
+from ..sim import SimConfig, Simulation
+from ..tasks import build_workload
+from .harness import capped_tdp_w, make_governor
+
+#: CLI spellings of the injectable fault kinds.
+CAMPAIGN_FAULTS: Dict[str, FaultKind] = {
+    kind.value: kind for kind in FaultKind
+}
+
+#: Governors every campaign exercises by default.
+DEFAULT_CAMPAIGN_GOVERNORS: Tuple[str, ...] = ("PPM", "HPM", "HL")
+
+
+@dataclass
+class CampaignRun:
+    """Resilience summary of one governor under one fault schedule."""
+
+    governor: str
+    fault: str
+    intensity: float
+    miss_fraction_in_fault: float
+    miss_fraction_outside_fault: float
+    recovery_time_s: Optional[float]
+    tdp_violation_s: float
+    average_power_w: float
+    audit_violations: int
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def qos_degradation(self) -> float:
+        """Extra miss time a fault window costs over fault-free operation."""
+        return self.miss_fraction_in_fault - self.miss_fraction_outside_fault
+
+
+@dataclass
+class CampaignResult:
+    """One campaign: a fault kind swept across governors."""
+
+    fault: str
+    workload: str
+    duration_s: float
+    intensity: float
+    tdp_w: float
+    windows: List[Tuple[float, float]]
+    runs: List[CampaignRun] = field(default_factory=list)
+
+    def as_table(self) -> str:
+        header = (
+            f"Fault campaign: {self.fault}  (workload {self.workload}, "
+            f"{self.duration_s:.0f} s, intensity {self.intensity:.2f}, "
+            f"TDP {self.tdp_w:.1f} W, {len(self.windows)} fault windows)"
+        )
+        columns = (
+            f"{'governor':<10} {'miss in-fault':>13} {'miss outside':>13} "
+            f"{'recovery (s)':>13} {'TDP-viol (s)':>13} {'avg W':>7} {'audits':>7}"
+        )
+        rows = []
+        for run in self.runs:
+            recovery = (
+                f"{run.recovery_time_s:.2f}"
+                if run.recovery_time_s is not None
+                else "never"
+            )
+            rows.append(
+                f"{run.governor:<10} {run.miss_fraction_in_fault:>13.3f} "
+                f"{run.miss_fraction_outside_fault:>13.3f} {recovery:>13} "
+                f"{run.tdp_violation_s:>13.2f} {run.average_power_w:>7.2f} "
+                f"{run.audit_violations:>7d}"
+            )
+        return "\n".join([header, "", columns, "-" * len(columns), *rows])
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "fault": self.fault,
+                "workload": self.workload,
+                "duration_s": self.duration_s,
+                "intensity": self.intensity,
+                "tdp_w": self.tdp_w,
+                "windows": self.windows,
+                "runs": [asdict(run) for run in self.runs],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def build_campaign_schedule(
+    fault: FaultKind,
+    duration_s: float,
+    warmup_s: float,
+    intensity: float,
+    chip,
+) -> FaultSchedule:
+    """Evenly spaced fault windows covering ``intensity`` of the run.
+
+    Windows start after the warm-up (so fault-free QoS is measurable) and
+    stop early enough to observe recovery.  Cluster-scoped faults target
+    the fastest cluster -- losing the big cores is the hard case -- and
+    sensor/task faults apply chip-wide.
+    """
+    if not 0.0 < intensity <= 0.8:
+        raise ValueError("intensity must be in (0, 0.8]")
+    target: Optional[str] = None
+    if fault in (FaultKind.HOTPLUG, FaultKind.DVFS_DROP, FaultKind.DVFS_DELAY):
+        target = max(chip.clusters, key=lambda c: c.max_supply_pus).cluster_id
+    period_s = 12.0 if fault is FaultKind.HOTPLUG else 8.0
+    window_s = min(intensity * period_s, period_s - 1.0)
+    start_s = warmup_s + 2.0
+    until_s = max(start_s + 1e-9, duration_s - period_s * 0.5)
+    kwargs = {"magnitude": 4.0} if fault is FaultKind.SENSOR_SPIKE else {}
+    return periodic_faults(
+        fault,
+        period_s=period_s,
+        duration_s=window_s,
+        until_s=until_s,
+        start_s=start_s,
+        target=target,
+        **kwargs,
+    )
+
+
+def run_fault_campaign(
+    fault: str,
+    governors: Sequence[str] = DEFAULT_CAMPAIGN_GOVERNORS,
+    workload: str = "m2",
+    duration_s: float = 40.0,
+    warmup_s: float = 5.0,
+    intensity: float = 0.3,
+    seed: int = 1,
+    power_cap_w: Optional[float] = None,
+) -> CampaignResult:
+    """Sweep one fault kind across ``governors`` and collect resilience data.
+
+    Every governor replays the *same* schedule (faults live below the
+    policy layer), under the Figure 6 power cap by default so the
+    TDP-violation metric is meaningful.
+    """
+    kind = CAMPAIGN_FAULTS.get(fault)
+    if kind is None:
+        raise KeyError(
+            f"unknown fault {fault!r}; choose from {sorted(CAMPAIGN_FAULTS)}"
+        )
+    cap = power_cap_w if power_cap_w is not None else capped_tdp_w()
+    schedule = build_campaign_schedule(
+        kind, duration_s, warmup_s, intensity, tc2_chip()
+    )
+    result = CampaignResult(
+        fault=fault,
+        workload=workload,
+        duration_s=duration_s,
+        intensity=intensity,
+        tdp_w=cap,
+        windows=list(schedule.windows()),
+    )
+    settle_s = 1.0
+    for name in governors:
+        chip = tc2_chip()
+        tasks = build_workload(workload)
+        governor = make_governor(name, power_cap_w=cap)
+        sim = Simulation(
+            chip,
+            tasks,
+            governor,
+            config=SimConfig(
+                metrics_warmup_s=warmup_s, seed=seed, audit=True
+            ),
+        )
+        injector = FaultInjector(sim, schedule).attach()
+        metrics = sim.run(duration_s)
+        last_window_end = max((end for _, end in result.windows), default=warmup_s)
+        result.runs.append(
+            CampaignRun(
+                governor=name,
+                fault=fault,
+                intensity=intensity,
+                miss_fraction_in_fault=metrics.miss_fraction_in_windows(
+                    result.windows
+                ),
+                miss_fraction_outside_fault=metrics.miss_fraction_outside_windows(
+                    result.windows
+                ),
+                recovery_time_s=metrics.recovery_time_s(
+                    after_s=last_window_end, settle_s=settle_s, dt=sim.dt
+                ),
+                tdp_violation_s=metrics.tdp_violation_seconds(cap, sim.dt),
+                average_power_w=metrics.average_power_w(),
+                audit_violations=metrics.audit_violation_count(),
+                fault_stats=injector.stats(),
+            )
+        )
+    return result
+
+
+def write_campaign_report(
+    result: CampaignResult, out_dir: str = "results"
+) -> str:
+    """Write the campaign table and JSON under ``out_dir``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    stem = os.path.join(out_dir, f"campaign_{result.fault}")
+    with open(stem + ".txt", "w") as handle:
+        handle.write(result.as_table())
+        handle.write("\n")
+    with open(stem + ".json", "w") as handle:
+        handle.write(result.to_json())
+        handle.write("\n")
+    return stem + ".txt"

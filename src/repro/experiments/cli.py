@@ -7,6 +7,7 @@ Examples::
     repro-experiments fig7
     repro-experiments table7
     repro-experiments all --duration 60
+    repro-experiments campaign --fault sensor-dropout
 """
 
 from __future__ import annotations
@@ -15,6 +16,12 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .campaigns import (
+    CAMPAIGN_FAULTS,
+    DEFAULT_CAMPAIGN_GOVERNORS,
+    run_fault_campaign,
+    write_campaign_report,
+)
 from .comparative import figure4, figure5, figure6, run_comparative
 from .priorities import figure7
 from .running_examples import table1, table2, table3, table4
@@ -82,6 +89,23 @@ def _run_validate(args) -> str:
     return report.as_table() + "\n" + status
 
 
+def _run_campaign(args) -> str:
+    if args.fault is None:
+        raise SystemExit("campaign requires --fault (e.g. --fault sensor-dropout)")
+    governors = [g.strip() for g in args.governors.split(",") if g.strip()]
+    result = run_fault_campaign(
+        args.fault,
+        governors=governors,
+        workload=args.workload,
+        duration_s=args.campaign_duration,
+        warmup_s=args.campaign_warmup,
+        intensity=args.intensity,
+        seed=args.seed,
+    )
+    path = write_campaign_report(result, out_dir=args.out)
+    return result.as_table() + f"\n\nreport written to {path}"
+
+
 _COMMANDS = {
     "table1": _run_table1,
     "table2": _run_table2,
@@ -96,6 +120,11 @@ _COMMANDS = {
     "validate": _run_validate,
 }
 
+#: Commands excluded from ``all`` (campaigns are a study, not a figure).
+_EXTRA_COMMANDS = {
+    "campaign": _run_campaign,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -104,8 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(_COMMANDS) + sorted(_EXTRA_COMMANDS) + ["all"],
+        help="which table/figure to regenerate (or 'campaign')",
     )
     parser.add_argument(
         "--duration",
@@ -141,6 +170,52 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="validate with benchmark-grade durations instead of quick runs",
     )
+    campaign = parser.add_argument_group("fault campaigns")
+    campaign.add_argument(
+        "--fault",
+        choices=sorted(CAMPAIGN_FAULTS),
+        default=None,
+        help="fault kind to inject (campaign command)",
+    )
+    campaign.add_argument(
+        "--governors",
+        default=",".join(DEFAULT_CAMPAIGN_GOVERNORS),
+        help="comma-separated governors to sweep (default: PPM,HPM,HL)",
+    )
+    campaign.add_argument(
+        "--workload",
+        default="m2",
+        help="workload set for the campaign (default: m2)",
+    )
+    campaign.add_argument(
+        "--intensity",
+        type=float,
+        default=0.3,
+        help="fraction of time under fault, in (0, 0.8] (default: 0.3)",
+    )
+    campaign.add_argument(
+        "--campaign-duration",
+        type=float,
+        default=40.0,
+        help="simulated seconds per campaign run (default: 40)",
+    )
+    campaign.add_argument(
+        "--campaign-warmup",
+        type=float,
+        default=5.0,
+        help="warm-up seconds per campaign run (default: 5)",
+    )
+    campaign.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="engine seed for campaign runs (default: 1)",
+    )
+    campaign.add_argument(
+        "--out",
+        default="results",
+        help="directory for campaign reports (default: results/)",
+    )
     return parser
 
 
@@ -150,8 +225,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         names = sorted(_COMMANDS)
     else:
         names = [args.experiment]
+    commands = {**_COMMANDS, **_EXTRA_COMMANDS}
     for name in names:
-        print(_COMMANDS[name](args))
+        print(commands[name](args))
         print()
     return 0
 

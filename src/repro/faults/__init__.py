@@ -1,0 +1,36 @@
+"""Fault injection: scheduled sensing/actuation/topology failures.
+
+The robustness subsystem.  A :class:`FaultSchedule` of typed
+:class:`FaultEvent` windows is interposed on the engine's narrow seams by
+a :class:`FaultInjector`, so any governor can be driven through sensor
+dropouts, stuck or spiking readings, dropped/delayed DVFS transitions,
+cluster hot-unplug/replug, heartbeat delivery loss and migration failures
+without policy-code changes.  The resilience counterpart lives in
+:mod:`repro.core.resilience`; fault campaigns in
+:mod:`repro.experiments.campaigns`.
+"""
+
+from .events import (
+    CLUSTER_FAULTS,
+    TASK_FAULTS,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    periodic_faults,
+    random_faults,
+    single_fault,
+)
+from .injector import FaultInjector, FaultySensor
+
+__all__ = [
+    "CLUSTER_FAULTS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultySensor",
+    "TASK_FAULTS",
+    "periodic_faults",
+    "random_faults",
+    "single_fault",
+]

@@ -1,0 +1,221 @@
+"""Typed fault events and schedules.
+
+The real TC2 platform fails in ways the idealised simulator never did:
+hwmon reads time out or return stale registers, cpufreq transitions are
+silently dropped by a busy regulator, cores get hot-unplugged by the
+thermal framework, heartbeat messages are lost on a saturated system and
+``sched_setaffinity`` calls fail.  This module gives each of those a
+first-class, schedulable representation so experiments can replay the
+same disturbance against every governor.
+
+A :class:`FaultEvent` is one fault window: a kind, a start time, a
+duration and an optional target (cluster id for hardware faults, task
+name for task faults; ``None`` targets everything the kind applies to).
+A :class:`FaultSchedule` is an immutable collection of events with the
+point queries the injector needs ("is a dropout active at ``t``?").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+class FaultKind(str, Enum):
+    """The fault taxonomy of the resilience study."""
+
+    #: Power sensor returns no reading (hwmon read failure).
+    SENSOR_DROPOUT = "sensor-dropout"
+    #: Power sensor repeats its last reading (stale register).
+    SENSOR_STUCK = "sensor-stuck"
+    #: Power sensor multiplies readings by ``magnitude`` (glitch spike).
+    SENSOR_SPIKE = "sensor-spike"
+    #: DVFS level requests are silently dropped (cpufreq write lost).
+    DVFS_DROP = "dvfs-drop"
+    #: DVFS level requests are applied ``delay_ticks`` ticks late.
+    DVFS_DELAY = "dvfs-delay"
+    #: A cluster is hot-unplugged for the window, then replugged.
+    HOTPLUG = "hotplug"
+    #: Heartbeat delivery to the monitor is lost (work still happens).
+    HEARTBEAT_LOSS = "heartbeat-loss"
+    #: Migration requests fail without moving the task.
+    MIGRATION_FAIL = "migration-fail"
+
+
+#: Kinds whose ``target`` names a cluster.
+CLUSTER_FAULTS = frozenset(
+    {FaultKind.DVFS_DROP, FaultKind.DVFS_DELAY, FaultKind.HOTPLUG}
+)
+#: Kinds whose ``target`` names a task.
+TASK_FAULTS = frozenset({FaultKind.HEARTBEAT_LOSS, FaultKind.MIGRATION_FAIL})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault window.
+
+    Attributes:
+        kind: What fails.
+        start_s: Window start (simulation time, inclusive).
+        duration_s: Window length; must be positive.
+        target: Cluster id / task name the fault is scoped to, or
+            ``None`` for "every matching subject".
+        magnitude: Kind-specific intensity (spike multiplier for
+            :attr:`FaultKind.SENSOR_SPIKE`); must be non-negative so a
+            spiked reading can never go negative.
+        delay_ticks: Actuation delay for :attr:`FaultKind.DVFS_DELAY`.
+    """
+
+    kind: FaultKind
+    start_s: float
+    duration_s: float
+    target: Optional[str] = None
+    magnitude: float = 1.0
+    delay_ticks: int = 5
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("fault start must be non-negative")
+        if not self.duration_s > 0:
+            raise ValueError("fault duration must be positive")
+        if not (self.magnitude >= 0 and math.isfinite(self.magnitude)):
+            raise ValueError("fault magnitude must be finite and non-negative")
+        if self.delay_ticks < 1:
+            raise ValueError("delay must be at least one tick")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def active_at(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+    def matches(self, subject: Optional[str]) -> bool:
+        """Whether this event applies to ``subject`` (None = wildcard)."""
+        return self.target is None or subject is None or self.target == subject
+
+    @property
+    def window(self) -> Tuple[float, float]:
+        return (self.start_s, self.end_s)
+
+
+class FaultSchedule:
+    """An immutable set of fault events with point queries."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self._events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.start_s, e.kind.value))
+        )
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def of_kind(self, kind: FaultKind) -> List[FaultEvent]:
+        return [e for e in self._events if e.kind is kind]
+
+    def active(
+        self, t: float, kind: FaultKind, subject: Optional[str] = None
+    ) -> Optional[FaultEvent]:
+        """The first event of ``kind`` active at ``t`` for ``subject``."""
+        for event in self._events:
+            if event.kind is kind and event.active_at(t) and event.matches(subject):
+                return event
+        return None
+
+    def windows(
+        self, kind: Optional[FaultKind] = None, target: Optional[str] = None
+    ) -> List[Tuple[float, float]]:
+        """(start, end) windows, optionally filtered by kind/target."""
+        return [
+            e.window
+            for e in self._events
+            if (kind is None or e.kind is kind)
+            and (target is None or e.target == target)
+        ]
+
+    def end_s(self) -> float:
+        """When the last fault window closes (0 for an empty schedule)."""
+        return max((e.end_s for e in self._events), default=0.0)
+
+    def extended(self, events: Iterable[FaultEvent]) -> "FaultSchedule":
+        return FaultSchedule(self._events + tuple(events))
+
+
+# ----------------------------------------------------------------------
+# Schedule builders
+# ----------------------------------------------------------------------
+def single_fault(
+    kind: FaultKind,
+    start_s: float,
+    duration_s: float,
+    target: Optional[str] = None,
+    **kwargs,
+) -> FaultSchedule:
+    """A schedule with exactly one fault window."""
+    return FaultSchedule(
+        [FaultEvent(kind, start_s, duration_s, target=target, **kwargs)]
+    )
+
+
+def periodic_faults(
+    kind: FaultKind,
+    period_s: float,
+    duration_s: float,
+    until_s: float,
+    start_s: float = 0.0,
+    target: Optional[str] = None,
+    **kwargs,
+) -> FaultSchedule:
+    """Evenly spaced fault windows: one every ``period_s`` until ``until_s``.
+
+    The campaign harness expresses fault *rates* through this builder:
+    the fraction of time under fault is ``duration_s / period_s``.
+    """
+    if period_s <= 0:
+        raise ValueError("period must be positive")
+    if duration_s > period_s:
+        raise ValueError("fault windows must not overlap: duration <= period")
+    events = []
+    t = start_s
+    while t < until_s:
+        events.append(FaultEvent(kind, t, duration_s, target=target, **kwargs))
+        t += period_s
+    return FaultSchedule(events)
+
+
+def random_faults(
+    kind: FaultKind,
+    rate_hz: float,
+    mean_duration_s: float,
+    horizon_s: float,
+    seed: int,
+    targets: Sequence[Optional[str]] = (None,),
+    **kwargs,
+) -> FaultSchedule:
+    """Poisson-arrival fault windows with exponential durations.
+
+    Arrivals occur at ``rate_hz`` over ``[0, horizon_s)``; each window's
+    length is exponential with mean ``mean_duration_s`` and its target is
+    drawn uniformly from ``targets``.  Fully determined by ``seed``.
+    """
+    if rate_hz <= 0 or mean_duration_s <= 0:
+        raise ValueError("rate and mean duration must be positive")
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+    t = rng.expovariate(rate_hz)
+    while t < horizon_s:
+        duration = max(1e-3, rng.expovariate(1.0 / mean_duration_s))
+        target = rng.choice(list(targets))
+        events.append(FaultEvent(kind, t, duration, target=target, **kwargs))
+        t += rng.expovariate(rate_hz)
+    return FaultSchedule(events)

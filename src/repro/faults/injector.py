@@ -1,0 +1,290 @@
+"""The fault injector: interposes a schedule on the engine's narrow seams.
+
+Attaching a :class:`FaultInjector` to a simulation wraps exactly the
+interfaces governors already go through -- the power sensor, the DVFS and
+migration control surface, the per-task heartbeat monitors -- so every
+governor runs under faults *without code changes*, mirroring how the real
+failures live below the policy layer (hwmon, cpufreq, sched_setaffinity,
+CPU hotplug).
+
+The injector is deliberately mechanical: all stochastic choice lives in
+the schedule (see :mod:`repro.faults.events`), so a given schedule replays
+identically against any governor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..hw.sensors import PowerSensor, SensorReadError, SensorSample
+from ..hw.topology import Cluster
+from .events import FaultKind, FaultSchedule
+
+
+class FaultySensor:
+    """A :class:`PowerSensor` front end that applies scheduled sensor faults.
+
+    Drop-in for the engine's sensor attribute: ``sample()`` raises
+    :class:`SensorReadError` during a dropout window, repeats the last
+    reading during a stuck window, and multiplies power readings by the
+    event magnitude during a spike window.  Cluster-targeted events
+    corrupt only that cluster's reading (the chip total is re-summed).
+    """
+
+    def __init__(self, inner: PowerSensor, schedule: FaultSchedule, clock):
+        self._inner = inner
+        self._schedule = schedule
+        self._clock = clock
+        #: Cluster watts frozen at entry of the active targeted-stuck window.
+        self._stuck_hold: Optional[Tuple[object, float]] = None
+        self.dropouts = 0
+        self.stuck_reads = 0
+        self.spikes = 0
+
+    @property
+    def last_sample(self) -> Optional[SensorSample]:
+        return self._inner.last_sample
+
+    def sample(self) -> SensorSample:
+        now = self._clock()
+        if self._schedule.active(now, FaultKind.SENSOR_DROPOUT) is not None:
+            self.dropouts += 1
+            raise SensorReadError(f"power sensor dropout at t={now:.3f}")
+        previous = self._inner.last_sample
+        stuck = self._schedule.active(now, FaultKind.SENSOR_STUCK)
+        if stuck is not None and previous is not None and stuck.target is None:
+            self.stuck_reads += 1
+            return previous
+        sample = self._inner.sample()
+        if stuck is not None and previous is not None and stuck.target is not None:
+            # Freeze the cluster's reading at its window-entry value; a
+            # stale register does not track the previous tick.
+            if self._stuck_hold is None or self._stuck_hold[0] is not stuck:
+                held = previous.cluster_power_w.get(stuck.target)
+                self._stuck_hold = (stuck, held) if held is not None else None
+            if self._stuck_hold is not None:
+                sample = self._replace_cluster_power(
+                    sample, stuck.target, self._stuck_hold[1]
+                )
+                self.stuck_reads += 1
+        elif stuck is None:
+            self._stuck_hold = None
+        spike = self._schedule.active(now, FaultKind.SENSOR_SPIKE)
+        if spike is not None:
+            sample = self._spiked(sample, spike.target, spike.magnitude)
+            self.spikes += 1
+        return sample
+
+    @staticmethod
+    def _replace_cluster_power(
+        sample: SensorSample, cluster_id: str, watts: Optional[float]
+    ) -> SensorSample:
+        if watts is None or cluster_id not in sample.cluster_power_w:
+            return sample
+        power = dict(sample.cluster_power_w)
+        power[cluster_id] = watts
+        return SensorSample(
+            chip_power_w=sum(power.values()),
+            cluster_power_w=power,
+            cluster_frequency_mhz=sample.cluster_frequency_mhz,
+            cluster_voltage_v=sample.cluster_voltage_v,
+        )
+
+    @staticmethod
+    def _spiked(
+        sample: SensorSample, cluster_id: Optional[str], factor: float
+    ) -> SensorSample:
+        power = {
+            cid: watts * (factor if cluster_id in (None, cid) else 1.0)
+            for cid, watts in sample.cluster_power_w.items()
+        }
+        return SensorSample(
+            chip_power_w=sum(power.values()),
+            cluster_power_w=power,
+            cluster_frequency_mhz=sample.cluster_frequency_mhz,
+            cluster_voltage_v=sample.cluster_voltage_v,
+        )
+
+
+class FaultInjector:
+    """Wires a :class:`FaultSchedule` into a running simulation.
+
+    Usage::
+
+        injector = FaultInjector(sim, schedule).attach()
+        sim.run(60.0)
+        print(injector.stats())
+
+    Attach exactly once, before the first tick.
+    """
+
+    def __init__(self, sim, schedule: FaultSchedule):
+        self.sim = sim
+        self.schedule = schedule
+        self._attached = False
+        #: Delayed DVFS requests: (due tick, cluster, level index).
+        self._pending_dvfs: List[Tuple[int, Cluster, int]] = []
+        #: Hotplug events currently applied (index into schedule order).
+        self._unplugged: Dict[int, str] = {}
+        self._beats_seen: Dict[str, float] = {}
+        self.dvfs_dropped = 0
+        self.dvfs_delayed = 0
+        self.migrations_failed = 0
+        self.heartbeats_lost = 0
+        self.unplugs = 0
+        self.replugs = 0
+
+    # ------------------------------------------------------------------
+    def attach(self) -> "FaultInjector":
+        if self._attached:
+            raise RuntimeError("fault injector already attached")
+        self._attached = True
+        sim = self.sim
+        sim.sensor = FaultySensor(sim.sensor, self.schedule, lambda: sim.now)
+        self._wrap_dvfs(sim)
+        self._wrap_migrate(sim)
+        self._wrap_heartbeats(sim)
+        self._wrap_step(sim)
+        sim.fault_injector = self
+        return self
+
+    # ------------------------------------------------------------------
+    # DVFS: dropped and delayed actuations
+    # ------------------------------------------------------------------
+    def _wrap_dvfs(self, sim) -> None:
+        original_request = sim.request_level
+
+        def request_level(cluster: Cluster, index: int) -> bool:
+            drop = self.schedule.active(
+                sim.now, FaultKind.DVFS_DROP, cluster.cluster_id
+            )
+            if drop is not None:
+                # The write "succeeds" but the regulator never sees it.
+                self.dvfs_dropped += 1
+                return True
+            delay = self.schedule.active(
+                sim.now, FaultKind.DVFS_DELAY, cluster.cluster_id
+            )
+            if delay is not None:
+                self.dvfs_delayed += 1
+                self._pending_dvfs.append(
+                    (sim.tick_index + delay.delay_ticks, cluster, index)
+                )
+                return True
+            return original_request(cluster, index)
+
+        def step_level(cluster: Cluster, delta: int) -> bool:
+            index = cluster.vf_table.clamp_index(
+                cluster.regulator.target_index + delta
+            )
+            return request_level(cluster, index)
+
+        sim.request_level = request_level
+        sim.step_level = step_level
+        self._deliver_dvfs = original_request
+
+    def _pump_delayed_dvfs(self) -> None:
+        sim = self.sim
+        due = [entry for entry in self._pending_dvfs if entry[0] <= sim.tick_index]
+        if not due:
+            return
+        self._pending_dvfs = [
+            entry for entry in self._pending_dvfs if entry[0] > sim.tick_index
+        ]
+        for _, cluster, index in due:
+            self._deliver_dvfs(cluster, index)
+
+    # ------------------------------------------------------------------
+    # Migrations
+    # ------------------------------------------------------------------
+    def _wrap_migrate(self, sim) -> None:
+        original_migrate = sim.migrate
+
+        def migrate(task, destination):
+            fault = self.schedule.active(
+                sim.now, FaultKind.MIGRATION_FAIL, task.name
+            )
+            if fault is not None:
+                self.migrations_failed += 1
+                return sim.failed_migration_record(task, destination)
+            return original_migrate(task, destination)
+
+        sim.migrate = migrate
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    def _wrap_heartbeats(self, sim) -> None:
+        if not self.schedule.of_kind(FaultKind.HEARTBEAT_LOSS):
+            return
+        for task in sim.tasks:
+            self._wrap_task_heartbeats(task)
+
+    def _wrap_task_heartbeats(self, task) -> None:
+        original_record = task.hrm.record
+        self._beats_seen[task.name] = task.total_beats
+
+        def record(t: float, total_beats: float) -> None:
+            fault = self.schedule.active(
+                self.sim.now, FaultKind.HEARTBEAT_LOSS, task.name
+            )
+            if fault is not None:
+                # Beats emitted in the window never reach the monitor;
+                # the observed rate collapses while real work continues.
+                self.heartbeats_lost += 1
+                original_record(t, self._beats_seen[task.name])
+                return
+            self._beats_seen[task.name] = total_beats
+            original_record(t, total_beats)
+
+        task.hrm.record = record
+
+    # ------------------------------------------------------------------
+    # Hotplug + per-tick pump
+    # ------------------------------------------------------------------
+    def _apply_hotplug(self) -> None:
+        sim = self.sim
+        for idx, event in enumerate(self.schedule.events):
+            if event.kind is not FaultKind.HOTPLUG:
+                continue
+            cluster_id = event.target
+            if cluster_id is None:
+                continue
+            active = event.active_at(sim.now)
+            if active and idx not in self._unplugged:
+                self._unplugged[idx] = cluster_id
+                if cluster_id not in sim.offline_clusters:
+                    sim.hotplug_out(sim.chip.cluster(cluster_id))
+                    self.unplugs += 1
+            elif not active and idx in self._unplugged and sim.now >= event.end_s:
+                del self._unplugged[idx]
+                # Replug only if no other active window still holds it out.
+                if cluster_id not in self._unplugged.values():
+                    sim.hotplug_in(sim.chip.cluster(cluster_id))
+                    self.replugs += 1
+
+    def _wrap_step(self, sim) -> None:
+        original_step = sim.step
+
+        def step() -> None:
+            self._pump_delayed_dvfs()
+            self._apply_hotplug()
+            original_step()
+
+        sim.step = step
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Counts of injected faults, for reports and assertions."""
+        sensor = self.sim.sensor
+        return {
+            "sensor_dropouts": getattr(sensor, "dropouts", 0),
+            "sensor_stuck_reads": getattr(sensor, "stuck_reads", 0),
+            "sensor_spikes": getattr(sensor, "spikes", 0),
+            "dvfs_dropped": self.dvfs_dropped,
+            "dvfs_delayed": self.dvfs_delayed,
+            "migrations_failed": self.migrations_failed,
+            "heartbeats_lost": self.heartbeats_lost,
+            "unplugs": self.unplugs,
+            "replugs": self.replugs,
+        }

@@ -17,6 +17,16 @@ import random
 from .topology import Chip
 
 
+class SensorReadError(RuntimeError):
+    """A sensor read produced no usable reading (hwmon timeout/failure).
+
+    Raised by faulty sensor front ends (see :mod:`repro.faults`); the
+    engine substitutes the last good sample so governors and metrics keep
+    running on stale-but-sane data, the way a production power manager
+    treats a failed hwmon read.
+    """
+
+
 @dataclass
 class SensorSample:
     """One chip-wide sensor reading."""

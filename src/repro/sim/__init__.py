@@ -5,7 +5,7 @@ tracking, migration execution with measured costs, sensor sampling and
 metrics collection, and drives a pluggable governor every tick.
 """
 
-from .engine import Governor, SimConfig, Simulation
+from .engine import Governor, SimConfig, Simulation, derive_stream_seed
 from .loadtracking import LoadTracker
 from .metrics import MetricsCollector, TaskSample, TickSample
 from .migration import MigrationManager, MigrationRecord
@@ -28,4 +28,5 @@ __all__ = [
     "TickSample",
     "attach_tracer",
     "compute_grants",
+    "derive_stream_seed",
 ]

@@ -15,12 +15,13 @@ bid round is ~32 ms).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence
 
 from ..hw.energy import EnergyMeter
 from ..hw.migration import MigrationCostModel
-from ..hw.sensors import PowerSensor, SensorSample
+from ..hw.sensors import PowerSensor, SensorReadError, SensorSample
 from ..hw.topology import Chip, Cluster, Core
 from ..tasks.task import Task
 from .loadtracking import LoadTracker
@@ -28,6 +29,20 @@ from .metrics import MetricsCollector
 from .migration import MigrationManager, MigrationRecord
 from .placement import Placement
 from .scheduler import compute_grants
+
+
+def derive_stream_seed(seed: Optional[int], stream: str) -> Optional[int]:
+    """A per-stream sub-seed derived deterministically from ``seed``.
+
+    Each stochastic component gets its own named stream, so adding a new
+    randomised subsystem later cannot perturb the random numbers an
+    existing one draws under the same engine seed.  ``None`` stays
+    ``None`` (unseeded components remain unseeded).
+    """
+    if seed is None:
+        return None
+    digest = hashlib.sha256(f"{seed}:{stream}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class Governor(Protocol):
@@ -52,7 +67,11 @@ class SimConfig:
             power down that cluster").
         metrics_warmup_s: Prefix excluded from summary metrics.
         sensor_noise_std_w: Gaussian noise on power readings (0 = ideal).
-        seed: Seed for the engine's stochastic parts (sensor noise).
+        seed: Seed for the engine's stochastic parts; each component
+            draws from its own stream via :func:`derive_stream_seed`.
+        audit: Attach a non-strict :class:`~repro.core.audit.MarketAuditor`
+            to the governor's market (when it has one) and surface the
+            collected invariant violations in the metrics summary.
     """
 
     dt: float = 0.01
@@ -60,6 +79,15 @@ class SimConfig:
     metrics_warmup_s: float = 2.0
     sensor_noise_std_w: float = 0.0
     seed: Optional[int] = None
+    audit: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.metrics_warmup_s < 0:
+            raise ValueError("metrics_warmup_s must be non-negative")
+        if self.sensor_noise_std_w < 0:
+            raise ValueError("sensor_noise_std_w must be non-negative")
 
 
 class Simulation:
@@ -77,8 +105,6 @@ class Simulation:
         self.tasks: List[Task] = list(tasks)
         self.governor = governor
         self.config = config or SimConfig()
-        if self.config.dt <= 0:
-            raise ValueError("dt must be positive")
         self.placement = Placement(chip)
         self.migrations = MigrationManager(
             placement=self.placement,
@@ -86,7 +112,9 @@ class Simulation:
         )
         self.load_tracker = LoadTracker()
         self.sensor = PowerSensor(
-            chip, noise_std_w=self.config.sensor_noise_std_w, seed=self.config.seed
+            chip,
+            noise_std_w=self.config.sensor_noise_std_w,
+            seed=derive_stream_seed(self.config.seed, "power-sensor-noise"),
         )
         self.energy = EnergyMeter()
         self.metrics = MetricsCollector(warmup_s=self.config.metrics_warmup_s)
@@ -96,6 +124,14 @@ class Simulation:
         self._weights: Dict[Task, float] = {}
         self._prepared = False
         self._gate_held_down: set = set()
+        self._offline: set = set()
+        self._last_sensor_sample: Optional[SensorSample] = None
+        #: Failed sensor reads substituted with the last good sample.
+        self.sensor_read_failures: int = 0
+        #: Migrations refused (offline destination or injected fault).
+        self.failed_migrations: int = 0
+        self.auditor = None
+        self._last_audited_round: object = None
 
     # ------------------------------------------------------------------
     # Control surface used by governors
@@ -137,11 +173,40 @@ class Simulation:
 
     def place(self, task: Task, core: Core) -> None:
         """Initial (cost-free) placement of a task onto a core."""
+        if core.cluster.cluster_id in self._offline:
+            raise ValueError(
+                f"cannot place {task.name}: cluster "
+                f"{core.cluster.cluster_id} is hot-unplugged"
+            )
         self.placement.place(task, core)
 
     def migrate(self, task: Task, destination: Core) -> MigrationRecord:
-        """Migrate a task, charging the measured cost."""
+        """Migrate a task, charging the measured cost.
+
+        A migration onto a hot-unplugged cluster fails without moving the
+        task (``record.failed`` is set), the way ``sched_setaffinity``
+        refuses an offlined CPU; governors observe the placement is
+        unchanged and retry or re-plan.
+        """
+        if destination.cluster.cluster_id in self._offline:
+            return self.failed_migration_record(task, destination)
         return self.migrations.migrate(task, destination, now=self.now)
+
+    def failed_migration_record(self, task: Task, destination: Core) -> MigrationRecord:
+        """Account a migration that failed to move ``task`` (no cost)."""
+        self.failed_migrations += 1
+        source = self.placement.core_of(task)
+        return MigrationRecord(
+            time_s=self.now,
+            task_name=task.name,
+            source_core=source.core_id if source is not None else "?",
+            destination_core=destination.core_id,
+            inter_cluster=(
+                source is None or source.cluster is not destination.cluster
+            ),
+            cost_s=0.0,
+            failed=True,
+        )
 
     def power_down(self, cluster: Cluster, hold: bool = False) -> None:
         """Gate a cluster off.  ``hold`` keeps it off even with tasks mapped."""
@@ -150,10 +215,50 @@ class Simulation:
             self._gate_held_down.add(cluster.cluster_id)
 
     def power_up(self, cluster: Cluster) -> None:
+        if cluster.cluster_id in self._offline:
+            return  # hot-unplugged hardware cannot be powered back up
         self._gate_held_down.discard(cluster.cluster_id)
         cluster.power_up()
 
+    # ------------------------------------------------------------------
+    # Hotplug (fault surface)
+    # ------------------------------------------------------------------
+    def hotplug_out(self, cluster: Cluster) -> List[Task]:
+        """Hot-unplug ``cluster``: evict its tasks and gate it off.
+
+        The displaced tasks are re-placed on the remaining clusters at the
+        start of the next tick (governor ``place_task`` hook first, then
+        the default boot-cluster rule).  Returns the displaced tasks.
+        """
+        if cluster.cluster_id in self._offline:
+            return []
+        displaced = self.placement.tasks_on_cluster(cluster)
+        for task in displaced:
+            self.placement.remove(task)
+        self.power_down(cluster, hold=True)
+        self._offline.add(cluster.cluster_id)
+        return displaced
+
+    def hotplug_in(self, cluster: Cluster) -> None:
+        """Replug a hot-unplugged cluster (stays gated until tasks arrive)."""
+        if cluster.cluster_id not in self._offline:
+            return
+        self._offline.discard(cluster.cluster_id)
+        self._gate_held_down.discard(cluster.cluster_id)
+
+    @property
+    def offline_clusters(self) -> FrozenSet[str]:
+        """Ids of clusters currently hot-unplugged."""
+        return frozenset(self._offline)
+
+    def online_clusters(self) -> List[Cluster]:
+        return [
+            c for c in self.chip.clusters if c.cluster_id not in self._offline
+        ]
+
     def last_power_sample(self) -> Optional[SensorSample]:
+        if self._last_sensor_sample is not None:
+            return self._last_sensor_sample
         return self.sensor.last_sample
 
     # ------------------------------------------------------------------
@@ -164,9 +269,12 @@ class Simulation:
 
         Matches the platform behaviour of booting work on the LITTLE
         cluster; the governor's LBT is expected to move it if that is
-        wrong.
+        wrong.  Hot-unplugged clusters are skipped; with every cluster
+        offline the task stays unplaced (and idles) until one returns.
         """
-        clusters = sorted(self.chip.clusters, key=lambda c: c.max_supply_pus)
+        clusters = sorted(self.online_clusters(), key=lambda c: c.max_supply_pus)
+        if not clusters:
+            return
         core = self.placement.least_loaded_core(clusters[0].cores, self.now)
         self.placement.place(task, core)
 
@@ -175,7 +283,10 @@ class Simulation:
             if not self.placement.is_placed(task):
                 place_task = getattr(self.governor, "place_task", None)
                 if place_task is not None:
-                    place_task(self, task)
+                    try:
+                        place_task(self, task)
+                    except ValueError:
+                        pass  # governor chose offline hardware; use default
                 if not self.placement.is_placed(task):
                     self._default_place(task)
 
@@ -191,6 +302,8 @@ class Simulation:
         if not self.config.auto_power_gate:
             return
         for cluster in self.chip.clusters:
+            if cluster.cluster_id in self._offline:
+                continue
             has_tasks = bool(self.placement.tasks_on_cluster(cluster))
             held = cluster.cluster_id in self._gate_held_down
             # Route through the public control surface so tracers see
@@ -238,20 +351,69 @@ class Simulation:
             if task not in dispatched:
                 task.idle_tick(now, dt)
 
+    def _read_sensor(self) -> SensorSample:
+        """Sample power, substituting the last good sample on read failure.
+
+        A failed hwmon read must not stall the kernel's accounting: the
+        engine keeps running on the stale sample (or an all-zero one
+        before the first success) and counts the failure.  Governor-side
+        staleness handling lives in :mod:`repro.core.resilience`.
+        """
+        try:
+            sample = self.sensor.sample()
+        except SensorReadError:
+            self.sensor_read_failures += 1
+            sample = self._last_sensor_sample or SensorSample(
+                chip_power_w=0.0,
+                cluster_power_w={c.cluster_id: 0.0 for c in self.chip.clusters},
+                cluster_frequency_mhz={
+                    c.cluster_id: c.frequency_mhz for c in self.chip.clusters
+                },
+                cluster_voltage_v={c.cluster_id: 0.0 for c in self.chip.clusters},
+            )
+        self._last_sensor_sample = sample
+        return sample
+
+    def _maybe_attach_auditor(self) -> None:
+        if not self.config.audit:
+            return
+        market = getattr(self.governor, "market", None)
+        if market is None:
+            return
+        from ..core.audit import MarketAuditor  # local: avoids import cycle
+
+        self.auditor = MarketAuditor(market, strict=False)
+
+    def _run_audit(self) -> None:
+        """Audit the governor's market once per completed bid round."""
+        if self.auditor is None:
+            return
+        last_round = getattr(self.governor, "last_round", None)
+        if last_round is None or last_round is self._last_audited_round:
+            return
+        self._last_audited_round = last_round
+        report = self.auditor.audit_now()
+        if report.violations:
+            self.metrics.audit_violations.extend(
+                f"t={self.now:.3f}: {violation}" for violation in report.violations
+            )
+
     def step(self) -> None:
         """Advance the simulation by one tick."""
         if not self._prepared:
             self._ensure_placed()
             self.governor.prepare(self)
+            self._maybe_attach_auditor()
             self._prepared = True
         self._retire_inactive()
         self._ensure_placed()
         self._apply_power_gating()
         self.governor.on_tick(self)
+        self._run_audit()
         self._apply_power_gating()
         self.chip.tick(self.config.dt)
         self._dispatch()
-        sample = self.sensor.sample()
+        sample = self._read_sensor()
         self.energy.record(sample.cluster_power_w, self.config.dt)
         self.metrics.record(
             time_s=self.now,

@@ -50,6 +50,9 @@ class MetricsCollector:
 
     warmup_s: float = 2.0
     samples: List[TickSample] = field(default_factory=list)
+    #: Market-invariant violations collected by the engine's non-strict
+    #: auditor (``SimConfig.audit``); empty when auditing is off or clean.
+    audit_violations: List[str] = field(default_factory=list)
 
     def record(
         self,
@@ -161,6 +164,69 @@ class MetricsCollector:
         return sum(s.cluster_frequency_mhz.get(cluster_id, 0.0) for s in measured) / len(
             measured
         )
+
+    def audit_violation_count(self) -> int:
+        """Number of market-invariant violations the engine's auditor saw."""
+        return len(self.audit_violations)
+
+    # -- resilience metrics (fault campaigns) -----------------------------------
+    @staticmethod
+    def _in_windows(t: float, windows: Sequence[Tuple[float, float]]) -> bool:
+        return any(start <= t < end for start, end in windows)
+
+    def _miss_fraction_over(self, samples: Sequence[TickSample]) -> float:
+        if not samples:
+            return 0.0
+        missed = sum(
+            1 for s in samples if any(ts.below_min for ts in s.tasks.values())
+        )
+        return missed / len(samples)
+
+    def miss_fraction_in_windows(
+        self, windows: Sequence[Tuple[float, float]]
+    ) -> float:
+        """Any-task miss fraction over the ticks inside ``windows``.
+
+        Fault windows are explicit measurement intervals, so no warm-up
+        exclusion applies here.
+        """
+        return self._miss_fraction_over(
+            [s for s in self.samples if self._in_windows(s.time_s, windows)]
+        )
+
+    def miss_fraction_outside_windows(
+        self, windows: Sequence[Tuple[float, float]]
+    ) -> float:
+        """Any-task miss fraction over post-warm-up ticks outside ``windows``."""
+        return self._miss_fraction_over(
+            [s for s in self._measured() if not self._in_windows(s.time_s, windows)]
+        )
+
+    def tdp_violation_seconds(self, tdp_w: float, dt: float) -> float:
+        """Seconds (over the whole run) with chip power above ``tdp_w``."""
+        return dt * sum(1 for s in self.samples if s.chip_power_w > tdp_w)
+
+    def recovery_time_s(
+        self, after_s: float, settle_s: float, dt: float
+    ) -> Optional[float]:
+        """Time from ``after_s`` until QoS first holds for ``settle_s``.
+
+        Scans forward from ``after_s`` for the first tick after which no
+        task misses its heart-rate floor for ``settle_s`` of consecutive
+        simulated time; returns that delay, or ``None`` if the run ends
+        before QoS settles.  Used for time-to-recover after hot-replug.
+        """
+        window = max(1, round(settle_s / dt))
+        tail = [s for s in self.samples if s.time_s >= after_s]
+        clean = 0
+        for index, sample in enumerate(tail):
+            if any(ts.below_min for ts in sample.tasks.values()):
+                clean = 0
+            else:
+                clean += 1
+                if clean >= window:
+                    return tail[index - clean + 1].time_s - after_s
+        return None
 
     # -- series (Figures 7/8) ---------------------------------------------------
     def task_names(self) -> List[str]:

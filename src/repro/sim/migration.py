@@ -29,6 +29,9 @@ class MigrationRecord:
     destination_core: str
     inter_cluster: bool
     cost_s: float
+    #: The request did not move the task (offline destination or an
+    #: injected actuation fault); the placement is unchanged.
+    failed: bool = False
 
 
 @dataclass

@@ -1,0 +1,156 @@
+"""Unit tests for the fault taxonomy, events and schedules."""
+
+import pytest
+
+from repro.faults import (
+    CLUSTER_FAULTS,
+    TASK_FAULTS,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    periodic_faults,
+    random_faults,
+    single_fault,
+)
+
+
+class TestFaultEvent:
+    def test_window_bounds_are_half_open(self):
+        event = FaultEvent(FaultKind.SENSOR_DROPOUT, start_s=1.0, duration_s=2.0)
+        assert event.end_s == pytest.approx(3.0)
+        assert not event.active_at(0.999)
+        assert event.active_at(1.0)  # start inclusive
+        assert event.active_at(2.999)
+        assert not event.active_at(3.0)  # end exclusive
+        assert event.window == (1.0, 3.0)
+
+    def test_target_matching(self):
+        scoped = FaultEvent(FaultKind.HOTPLUG, 0.0, 1.0, target="big")
+        assert scoped.matches("big")
+        assert not scoped.matches("little")
+        assert scoped.matches(None)  # wildcard query hits scoped events
+        wild = FaultEvent(FaultKind.SENSOR_SPIKE, 0.0, 1.0)
+        assert wild.matches("anything")
+        assert wild.matches(None)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start_s": -0.1, "duration_s": 1.0},
+            {"start_s": 0.0, "duration_s": 0.0},
+            {"start_s": 0.0, "duration_s": -1.0},
+            {"start_s": 0.0, "duration_s": 1.0, "magnitude": -1.0},
+            {"start_s": 0.0, "duration_s": 1.0, "magnitude": float("nan")},
+            {"start_s": 0.0, "duration_s": 1.0, "magnitude": float("inf")},
+            {"start_s": 0.0, "duration_s": 1.0, "delay_ticks": 0},
+        ],
+    )
+    def test_invalid_events_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultEvent(FaultKind.SENSOR_SPIKE, **kwargs)
+
+    def test_taxonomy_partitions_targeted_kinds(self):
+        assert CLUSTER_FAULTS.isdisjoint(TASK_FAULTS)
+        assert FaultKind.HOTPLUG in CLUSTER_FAULTS
+        assert FaultKind.MIGRATION_FAIL in TASK_FAULTS
+        # Every kind has a distinct CLI spelling.
+        values = [kind.value for kind in FaultKind]
+        assert len(values) == len(set(values))
+
+
+class TestFaultSchedule:
+    def test_events_are_sorted_and_immutable(self):
+        late = FaultEvent(FaultKind.SENSOR_STUCK, 5.0, 1.0)
+        early = FaultEvent(FaultKind.SENSOR_DROPOUT, 1.0, 1.0)
+        schedule = FaultSchedule([late, early])
+        assert schedule.events == (early, late)
+        assert len(schedule) == 2
+        assert list(schedule) == [early, late]
+
+    def test_active_filters_kind_time_and_subject(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(FaultKind.DVFS_DROP, 1.0, 2.0, target="big"),
+                FaultEvent(FaultKind.SENSOR_DROPOUT, 2.0, 2.0),
+            ]
+        )
+        assert schedule.active(0.5, FaultKind.DVFS_DROP) is None
+        assert schedule.active(1.5, FaultKind.DVFS_DROP, "big") is not None
+        assert schedule.active(1.5, FaultKind.DVFS_DROP, "little") is None
+        assert schedule.active(1.5, FaultKind.SENSOR_DROPOUT) is None
+        assert schedule.active(2.5, FaultKind.SENSOR_DROPOUT) is not None
+
+    def test_windows_end_and_extension(self):
+        schedule = single_fault(FaultKind.HOTPLUG, 2.0, 3.0, target="big")
+        assert schedule.windows() == [(2.0, 5.0)]
+        assert schedule.windows(FaultKind.HOTPLUG, target="big") == [(2.0, 5.0)]
+        assert schedule.windows(FaultKind.SENSOR_SPIKE) == []
+        assert schedule.end_s() == pytest.approx(5.0)
+        extended = schedule.extended(
+            [FaultEvent(FaultKind.SENSOR_SPIKE, 6.0, 1.0, magnitude=2.0)]
+        )
+        assert len(extended) == 2
+        assert len(schedule) == 1  # original untouched
+        assert extended.end_s() == pytest.approx(7.0)
+        assert FaultSchedule().end_s() == 0.0
+
+
+class TestBuilders:
+    def test_periodic_spacing_and_horizon(self):
+        schedule = periodic_faults(
+            FaultKind.SENSOR_DROPOUT,
+            period_s=5.0,
+            duration_s=1.0,
+            until_s=20.0,
+            start_s=2.0,
+        )
+        starts = [e.start_s for e in schedule]
+        assert starts == [2.0, 7.0, 12.0, 17.0]
+        assert all(e.duration_s == 1.0 for e in schedule)
+
+    def test_periodic_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            periodic_faults(
+                FaultKind.SENSOR_DROPOUT, period_s=1.0, duration_s=2.0, until_s=5.0
+            )
+        with pytest.raises(ValueError):
+            periodic_faults(
+                FaultKind.SENSOR_DROPOUT, period_s=0.0, duration_s=0.0, until_s=5.0
+            )
+
+    def test_random_faults_deterministic_in_seed(self):
+        a = random_faults(
+            FaultKind.MIGRATION_FAIL,
+            rate_hz=0.5,
+            mean_duration_s=1.0,
+            horizon_s=60.0,
+            seed=42,
+            targets=("t0", "t1"),
+        )
+        b = random_faults(
+            FaultKind.MIGRATION_FAIL,
+            rate_hz=0.5,
+            mean_duration_s=1.0,
+            horizon_s=60.0,
+            seed=42,
+            targets=("t0", "t1"),
+        )
+        assert a.events == b.events
+        assert len(a) > 0
+        assert all(0.0 <= e.start_s < 60.0 for e in a)
+        assert all(e.target in ("t0", "t1") for e in a)
+        c = random_faults(
+            FaultKind.MIGRATION_FAIL,
+            rate_hz=0.5,
+            mean_duration_s=1.0,
+            horizon_s=60.0,
+            seed=43,
+            targets=("t0", "t1"),
+        )
+        assert c.events != a.events
+
+    def test_random_faults_validates_rates(self):
+        with pytest.raises(ValueError):
+            random_faults(FaultKind.SENSOR_SPIKE, 0.0, 1.0, 10.0, seed=1)
+        with pytest.raises(ValueError):
+            random_faults(FaultKind.SENSOR_SPIKE, 1.0, 0.0, 10.0, seed=1)

@@ -1,0 +1,109 @@
+"""Property-based robustness tests (hypothesis).
+
+Whatever sensor faults we throw at the stack, two things must hold: the
+recorded power stream stays physical (finite, non-negative) and the QoS
+accounting stays well-defined (fractions in [0, 1]).  The scenarios are
+deliberately short -- the properties are about state corruption, which
+shows up within a few hundred ticks or not at all.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MarketConfig, PPMConfig, PPMGovernor
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultSchedule
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import make_task
+
+_SENSOR_KINDS = (
+    FaultKind.SENSOR_DROPOUT,
+    FaultKind.SENSOR_STUCK,
+    FaultKind.SENSOR_SPIKE,
+)
+
+_DURATION_S = 2.5
+
+sensor_events = st.builds(
+    FaultEvent,
+    kind=st.sampled_from(_SENSOR_KINDS),
+    start_s=st.floats(0.0, 2.0, allow_nan=False, allow_infinity=False),
+    duration_s=st.floats(0.05, 2.0, allow_nan=False, allow_infinity=False),
+    magnitude=st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False),
+)
+
+sensor_schedules = st.lists(sensor_events, min_size=1, max_size=3).map(
+    FaultSchedule
+)
+
+
+def _run(schedule, seed=0, noise=0.1):
+    governor = PPMGovernor(PPMConfig(market=MarketConfig(wtdp=4.0)))
+    sim = Simulation(
+        tc2_chip(),
+        [make_task("x264", "l"), make_task("h264", "s")],
+        governor,
+        config=SimConfig(seed=seed, sensor_noise_std_w=noise),
+    )
+    FaultInjector(sim, schedule).attach()
+    metrics = sim.run(_DURATION_S)
+    return sim, governor, metrics
+
+
+@settings(max_examples=15, deadline=None)
+@given(schedule=sensor_schedules, seed=st.integers(0, 2**16))
+def test_sensor_faults_never_corrupt_power_or_metrics(schedule, seed):
+    sim, governor, metrics = _run(schedule, seed=seed)
+    for sample in metrics.samples:
+        assert math.isfinite(sample.chip_power_w)
+        assert sample.chip_power_w >= 0.0
+        for watts in sample.cluster_power_w.values():
+            assert math.isfinite(watts) and watts >= 0.0
+    miss = metrics.any_task_miss_fraction()
+    assert 0.0 <= miss <= 1.0
+    for task_name in ("x264", "h264"):
+        assert 0.0 <= metrics.task_below_fraction(task_name) <= 1.0
+    # The market's books stay solvent under every sensor-fault schedule.
+    for agent in governor.market.tasks.values():
+        assert math.isfinite(agent.bid)
+        assert agent.wallet.savings >= -1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    start=st.floats(0.0, 1.0, allow_nan=False),
+    duration=st.floats(0.1, 5.0, allow_nan=False),
+    seed=st.integers(0, 2**16),
+)
+def test_dropout_of_any_length_falls_back_instead_of_crashing(
+    start, duration, seed
+):
+    schedule = FaultSchedule(
+        [FaultEvent(FaultKind.SENSOR_DROPOUT, start, duration)]
+    )
+    sim, governor, metrics = _run(schedule, seed=seed)
+    # The run completed (no SensorReadError escaped) and when the window
+    # overlapped ticks, the engine counted and substituted every one.
+    overlap = max(0.0, min(start + duration, _DURATION_S) - start)
+    if overlap > 0.1:
+        assert sim.sensor_read_failures > 0
+        assert governor.sensor_guard is not None
+    assert len(metrics.samples) == int(round(_DURATION_S / sim.dt))
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_fault_runs_are_deterministic(seed):
+    schedule = FaultSchedule(
+        [
+            FaultEvent(FaultKind.SENSOR_STUCK, 0.5, 0.5),
+            FaultEvent(FaultKind.SENSOR_SPIKE, 1.2, 0.4, magnitude=3.0),
+        ]
+    )
+    _, _, first = _run(schedule, seed=seed)
+    _, _, second = _run(schedule, seed=seed)
+    assert [s.chip_power_w for s in first.samples] == [
+        s.chip_power_w for s in second.samples
+    ]

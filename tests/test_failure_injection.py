@@ -9,6 +9,7 @@ corrupted accounting, graceful degradation).
 import pytest
 
 from repro.core import MarketConfig, PPMConfig, PPMGovernor
+from repro.faults import FaultInjector, FaultKind, single_fault
 from repro.governors import HLGovernor, HPMGovernor
 from repro.hw import synthetic_chip, tc2_chip
 from repro.sim import SimConfig, Simulation
@@ -102,6 +103,70 @@ class TestSaturation:
         sim.run(5.0)
         powered = [c for c in chip.clusters if c.powered]
         assert len(powered) == 1  # everything else gated off
+
+
+class TestFaultRecovery:
+    """Faults must be transient: QoS after the window returns to the
+    level seen before it, not to a degraded plateau."""
+
+    def test_churn_recovers_after_sensor_dropout(self):
+        # Task churn *during* a blind sensor: arrivals and departures
+        # while the market trades on fallback readings.  The TDP leaves
+        # headroom, so pre-fault QoS is the reachable equilibrium again.
+        tasks = build_workload("m2") + [
+            make_task(
+                "swaptions", "l", task_name="visitor", start_time=9.0, duration=4.0
+            )
+        ]
+        governor = PPMGovernor(PPMConfig(market=MarketConfig(wtdp=6.0)))
+        sim = Simulation(
+            tc2_chip(),
+            tasks,
+            governor,
+            config=SimConfig(metrics_warmup_s=3.0, seed=7),
+        )
+        schedule = single_fault(FaultKind.SENSOR_DROPOUT, 8.0, 4.0)
+        FaultInjector(sim, schedule).attach()
+        metrics = sim.run(24.0)
+        before = metrics.miss_fraction_in_windows([(3.0, 8.0)])
+        after = metrics.miss_fraction_in_windows([(16.0, 24.0)])
+        assert after <= before + 0.1  # post-fault QoS matches pre-fault
+        assert metrics.recovery_time_s(after_s=12.0, settle_s=0.5, dt=sim.dt) is not None
+
+    def test_saturated_chip_recovers_from_big_cluster_outage(self):
+        # Six demanding tasks and a hot-unplugged big cluster: misses
+        # saturate during the outage, then the governor claws most of
+        # the QoS back on replug.  (Full return to the pre-fault miss
+        # level is placement-history dependent under saturation, so the
+        # bound is against the outage, not the pre-fault optimum.)
+        tasks = [
+            make_task("x264", "n", task_name=f"storm{i}", phase_offset_s=i * 1.7)
+            for i in range(6)
+        ]
+        governor = PPMGovernor()
+        sim = Simulation(
+            tc2_chip(), tasks, governor, config=SimConfig(metrics_warmup_s=3.0)
+        )
+        schedule = single_fault(FaultKind.HOTPLUG, 8.0, 3.0, target="big")
+        injector = FaultInjector(sim, schedule).attach()
+        metrics = sim.run(24.0)
+        assert injector.stats()["unplugs"] == 1
+        assert injector.stats()["replugs"] == 1
+        before = metrics.miss_fraction_in_windows([(3.0, 8.0)])
+        during = metrics.miss_fraction_in_windows([(8.0, 11.0)])
+        after = metrics.miss_fraction_in_windows([(16.0, 24.0)])
+        assert during >= before  # losing big cores cannot help
+        assert after <= 0.5 * during  # most of the loss is recovered
+        # The displaced tasks made it back onto the big cluster ...
+        clusters = {
+            sim.placement.core_of(task).cluster.cluster_id
+            for task in sim.active_tasks()
+        }
+        assert clusters == {"big", "little"}
+        # ... and the market's books survived the churn of evictions.
+        for agent in governor.market.tasks.values():
+            assert agent.bid >= governor.config.market.bmin - 1e-12
+            assert agent.wallet.savings >= -1e-9
 
 
 class TestExtremeConfigs:
