@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""CI crash-recovery drill: SIGKILL a campaign mid-run, resume, compare.
+
+Launches a checkpointing fault campaign as a subprocess, waits for the
+first checkpoint file to appear, kills the process with SIGKILL (no
+cleanup handlers run -- the atomic write discipline is what is on
+trial), resumes from the surviving checkpoints, and asserts the resumed
+campaign's report is byte-identical to an uninterrupted run's.
+
+Exits 0 on success, 1 with a diagnostic on any mismatch.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+FAULT = "sensor-dropout"
+CAMPAIGN_ARGS = [
+    "--fault", FAULT,
+    "--governors", "PPM,HL",
+    "--workload", "m1",
+    "--campaign-duration", "12",
+    "--campaign-warmup", "2",
+    "--intensity", "0.4",
+    "--seed", "5",
+    "--checkpoint-interval", "1",
+]
+
+
+def campaign_command(checkpoint_dir, out_dir):
+    return [
+        sys.executable, "-m", "repro.experiments.cli", "checkpoint",
+        *CAMPAIGN_ARGS,
+        "--checkpoint-dir", checkpoint_dir,
+        "--out", out_dir,
+    ]
+
+
+def wait_for_checkpoint(directory, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if os.path.isdir(directory):
+            names = [n for n in os.listdir(directory) if n.startswith("ckpt_")]
+            if names:
+                return names
+        time.sleep(0.05)
+    raise SystemExit(
+        f"no checkpoint appeared under {directory!r} within {timeout_s}s"
+    )
+
+
+def read_report(out_dir):
+    path = os.path.join(out_dir, f"campaign_{FAULT}.json")
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="kill-resume-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
+    )
+    try:
+        # 1. Reference: the same campaign, never interrupted.
+        ref_out = os.path.join(workdir, "reference")
+        subprocess.run(
+            campaign_command(os.path.join(workdir, "ref-ckpt"), ref_out),
+            check=True, env=env, cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL,
+        )
+        reference = read_report(ref_out)
+
+        # 2. Victim: same campaign, SIGKILLed at its first checkpoint.
+        ckpt_dir = os.path.join(workdir, "ckpt")
+        victim_out = os.path.join(workdir, "victim")
+        victim = subprocess.Popen(
+            campaign_command(ckpt_dir, victim_out),
+            env=env, cwd=REPO_ROOT, stdout=subprocess.DEVNULL,
+        )
+        try:
+            seen = wait_for_checkpoint(ckpt_dir)
+        finally:
+            if victim.poll() is None:
+                victim.send_signal(signal.SIGKILL)
+            victim.wait()
+        print(f"killed campaign after checkpoint(s): {sorted(seen)}")
+        if os.path.exists(os.path.join(victim_out, f"campaign_{FAULT}.json")):
+            raise SystemExit(
+                "victim finished before the kill; lower the checkpoint "
+                "interval or raise the campaign duration"
+            )
+
+        # 3. Resume from whatever survived and compare reports.
+        resume = subprocess.run(
+            [
+                sys.executable, "-m", "repro.experiments.cli", "resume",
+                "--checkpoint-dir", ckpt_dir,
+                "--checkpoint-interval", "1",
+                "--out", victim_out,
+            ],
+            check=True, env=env, cwd=REPO_ROOT,
+            stdout=subprocess.PIPE, text=True,
+        )
+        print(resume.stdout.strip().splitlines()[-1])
+        resumed = read_report(victim_out)
+        if resumed != reference:
+            print("resumed campaign report differs from uninterrupted run:")
+            print(json.dumps(reference, indent=2, sort_keys=True)[:2000])
+            print("--- vs resumed ---")
+            print(json.dumps(resumed, indent=2, sort_keys=True)[:2000])
+            return 1
+
+        # 4. The replayed checkpoints must also verify divergence-free.
+        subprocess.run(
+            [
+                sys.executable, "-m", "repro.experiments.cli", "replay",
+                "--checkpoint-dir", ckpt_dir, "--verify",
+            ],
+            check=True, env=env, cwd=REPO_ROOT,
+        )
+        print("kill-resume drill passed: resumed report matches uninterrupted run")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

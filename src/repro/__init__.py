@@ -8,7 +8,8 @@ A full-system reproduction of Muthukaruppan, Pathania & Mitra (ASPLOS
 * :mod:`repro.sim` -- the discrete-time OS/scheduler simulator;
 * :mod:`repro.core` -- the price-theory framework (PPM), the contribution;
 * :mod:`repro.governors` -- PPM plus the HPM and HL baselines;
-* :mod:`repro.experiments` -- harnesses regenerating every table & figure.
+* :mod:`repro.experiments` -- harnesses regenerating every table & figure;
+* :mod:`repro.checkpoint` -- crash-consistent snapshots, resume and replay.
 
 Quickstart::
 
@@ -21,6 +22,7 @@ Quickstart::
     print(metrics.any_task_miss_fraction(), metrics.average_power_w())
 """
 
+from .checkpoint import CheckpointManager, resume_from
 from .core import MarketConfig, PPMConfig, PPMGovernor
 from .governors import HLGovernor, HPMGovernor, MaxFrequencyGovernor, OndemandGovernor
 from .hw import TC2_CAPPED_TDP_W, TC2_TDP_W, Chip, synthetic_chip, tc2_chip
@@ -30,6 +32,7 @@ from .tasks import Task, build_workload, make_task, workload_intensity
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointManager",
     "Chip",
     "HLGovernor",
     "HPMGovernor",
@@ -46,6 +49,7 @@ __all__ = [
     "__version__",
     "build_workload",
     "make_task",
+    "resume_from",
     "synthetic_chip",
     "tc2_chip",
     "workload_intensity",

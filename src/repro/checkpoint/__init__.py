@@ -1,0 +1,77 @@
+"""Crash-consistent checkpoint/resume and deterministic replay.
+
+Checkpoints are versioned JSON envelopes written atomically (temp file +
+fsync + rename) carrying a config/seed fingerprint and a checksummed
+snapshot of the full simulation state -- engine clock and RNG streams,
+chip/DVFS state, task progress and placement, market prices and budgets,
+governor internals, and any attached fault injector.  ``resume_from``
+restores one onto a freshly rebuilt simulation; ``replay_from_checkpoint``
+re-runs from a checkpoint and diffs per-tick telemetry against the
+original run's journal to localize the first divergent tick.
+"""
+
+from .atomicio import atomic_write_text, fsync_directory
+from .manager import CheckpointManager, resume_from
+from .replay import (
+    JOURNAL_MAGIC,
+    ReplayReport,
+    diff_tick_records,
+    read_journal,
+    replay_from_checkpoint,
+    tick_records,
+    write_journal,
+)
+from .snapshot import (
+    Snapshottable,
+    SnapshotRestoreError,
+    restore_simulation,
+    simulation_fingerprint,
+    snapshot_simulation,
+)
+from .store import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointCorruptError,
+    CheckpointEnvelope,
+    CheckpointError,
+    CheckpointFingerprintError,
+    CheckpointSchemaError,
+    canonical_json,
+    checkpoint_filename,
+    latest_checkpoint,
+    list_checkpoints,
+    payload_checksum,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "JOURNAL_MAGIC",
+    "CheckpointCorruptError",
+    "CheckpointEnvelope",
+    "CheckpointError",
+    "CheckpointFingerprintError",
+    "CheckpointManager",
+    "CheckpointSchemaError",
+    "ReplayReport",
+    "Snapshottable",
+    "SnapshotRestoreError",
+    "atomic_write_text",
+    "canonical_json",
+    "checkpoint_filename",
+    "diff_tick_records",
+    "fsync_directory",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "payload_checksum",
+    "read_checkpoint",
+    "read_journal",
+    "replay_from_checkpoint",
+    "restore_simulation",
+    "resume_from",
+    "simulation_fingerprint",
+    "snapshot_simulation",
+    "tick_records",
+    "write_checkpoint",
+    "write_journal",
+]

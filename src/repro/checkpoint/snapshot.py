@@ -1,0 +1,564 @@
+"""Full-state snapshot/restore of a running simulation.
+
+``snapshot_simulation`` walks every mutable object a tick can touch --
+the engine's clock and bookkeeping, the chip's regulators and gating, the
+tasks' progress and heart-rate windows, placement, load tracking, energy
+and metrics accumulators, the sensor's RNG stream, the governor, and an
+attached fault injector -- into a JSON-serialisable payload.
+``restore_simulation`` applies such a payload onto a *freshly built*
+simulation (same config, seed, workload, governor: enforced upstream by
+the fingerprint check) so that continuing the restored run is bit-
+identical to never having stopped.  Python's ``json`` round-trips floats
+exactly (shortest-repr), which is what makes bit-identity achievable
+through a text format.
+
+Governors participate in one of two ways:
+
+* implement the :class:`Snapshottable` protocol (``snapshot_state`` /
+  ``restore_state``) -- the PPM governor and its market do this, because
+  their state includes enums, agent objects and round results that
+  deserve explicit, versioned handling;
+* or rely on the generic fallback, which encodes the instance ``__dict__``
+  with tagged values (tasks by name, tuples, typed objects by import
+  path) and restores onto / reconstructs the live objects.  The HPM and
+  HL baselines restore through this path without any code of their own.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import asdict
+from typing import Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
+
+from ..hw.sensors import SensorSample
+from ..sim.metrics import TaskSample, TickSample
+from ..sim.migration import MigrationRecord
+from .store import CheckpointError, canonical_json
+
+#: Attribute names every generic governor snapshot skips: engine-owned
+#: objects the factory rebuilds (snapshotting them would duplicate state
+#: that :func:`restore_simulation` already handles authoritatively).
+_GENERIC_SKIP_TYPES = frozenset(
+    {"Simulation", "Chip", "Cluster", "Core", "Market", "LBTModule",
+     "SteadyStateEstimator", "FaultInjector", "PowerSensor", "FaultySensor"}
+)
+
+_MAX_DEPTH = 8
+
+
+@runtime_checkable
+class Snapshottable(Protocol):
+    """A governor (or sub-component) with explicit snapshot handling."""
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Return a JSON-serialisable dict of all mutable state."""
+
+    def restore_state(self, sim, state: Dict[str, Any]) -> None:
+        """Apply a previously snapshotted ``state`` onto ``self``."""
+
+
+class SnapshotRestoreError(CheckpointError):
+    """The payload does not fit the simulation it is being applied to."""
+
+
+# ---------------------------------------------------------------------------
+# Small value codecs
+# ---------------------------------------------------------------------------
+def rng_state_to_json(state: tuple) -> list:
+    """``random.Random.getstate()`` -> JSON-safe nested lists."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def rng_state_from_json(data: list) -> tuple:
+    version, internal, gauss_next = data
+    return (int(version), tuple(int(v) for v in internal), gauss_next)
+
+
+def sample_to_json(sample: Optional[SensorSample]) -> Optional[dict]:
+    return None if sample is None else asdict(sample)
+
+
+def sample_from_json(data: Optional[dict]) -> Optional[SensorSample]:
+    if data is None:
+        return None
+    return SensorSample(
+        chip_power_w=data["chip_power_w"],
+        cluster_power_w=dict(data["cluster_power_w"]),
+        cluster_frequency_mhz=dict(data["cluster_frequency_mhz"]),
+        cluster_voltage_v=dict(data["cluster_voltage_v"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint
+# ---------------------------------------------------------------------------
+def simulation_fingerprint(sim, extra: Any = None) -> str:
+    """Identity hash of everything that must match between save and resume.
+
+    Covers the engine config (tick, seed, warm-up, gating, noise, audit),
+    the chip topology (clusters, core counts, V-F ladders, transition
+    latencies), the task population (names, profiles, priorities,
+    lifetimes, HRM windows) and the governor class.  ``extra`` lets
+    callers fold additional identity in (e.g. the campaign's fault kind
+    and schedule parameters).  Two runs share a fingerprint iff a
+    checkpoint of one is a valid resume point for the other.
+    """
+    cfg = sim.config
+    material = {
+        "config": {
+            "dt": cfg.dt,
+            "auto_power_gate": cfg.auto_power_gate,
+            "metrics_warmup_s": cfg.metrics_warmup_s,
+            "sensor_noise_std_w": cfg.sensor_noise_std_w,
+            "seed": cfg.seed,
+            "audit": cfg.audit,
+        },
+        "chip": {
+            "name": sim.chip.name,
+            "clusters": [
+                {
+                    "id": c.cluster_id,
+                    "core_type": c.core_type,
+                    "n_cores": len(c.cores),
+                    "ladder": [
+                        [lvl.frequency_mhz, lvl.voltage_v]
+                        for lvl in c.vf_table.levels
+                    ],
+                    "transition_latency_s": c.regulator.transition_latency_s,
+                }
+                for c in sim.chip.clusters
+            ],
+        },
+        "tasks": [
+            {
+                "name": t.name,
+                "profile": t.profile.label,
+                "priority": t.priority,
+                "start_time": t.start_time,
+                "duration": t.duration,
+                "hrm_window_s": t.hrm.window_s,
+            }
+            for t in sim.tasks
+        ],
+        "governor": type(sim.governor).__name__,
+        "extra": extra,
+    }
+    return hashlib.sha256(canonical_json(material).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Generic (fallback) governor encoding
+# ---------------------------------------------------------------------------
+_UNSUPPORTED = object()
+
+
+def _is_task(value: Any) -> bool:
+    from ..tasks.task import Task
+
+    return isinstance(value, Task)
+
+
+def _encode_value(value: Any, depth: int = 0) -> Any:
+    """Encode one value into tagged JSON; ``_UNSUPPORTED`` when it can't be."""
+    if depth > _MAX_DEPTH:
+        return _UNSUPPORTED
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if _is_task(value):
+        return {"__kind__": "task", "name": value.name}
+    if isinstance(value, list):
+        items = [_encode_value(v, depth + 1) for v in value]
+        return _UNSUPPORTED if any(i is _UNSUPPORTED for i in items) else items
+    if isinstance(value, tuple):
+        items = [_encode_value(v, depth + 1) for v in value]
+        if any(i is _UNSUPPORTED for i in items):
+            return _UNSUPPORTED
+        return {"__kind__": "tuple", "items": items}
+    if isinstance(value, dict):
+        pairs = []
+        for k, v in value.items():
+            ek = _encode_value(k, depth + 1)
+            ev = _encode_value(v, depth + 1)
+            if ek is _UNSUPPORTED or ev is _UNSUPPORTED:
+                return _UNSUPPORTED
+            pairs.append([ek, ev])
+        return {"__kind__": "dict", "items": pairs}
+    if type(value).__name__ in _GENERIC_SKIP_TYPES:
+        return _UNSUPPORTED
+    if hasattr(value, "__dict__") and not callable(value):
+        state = {}
+        for attr, attr_value in vars(value).items():
+            encoded = _encode_value(attr_value, depth + 1)
+            if encoded is not _UNSUPPORTED:
+                state[attr] = encoded
+        return {
+            "__kind__": "object",
+            "module": type(value).__module__,
+            "qualname": type(value).__qualname__,
+            "state": state,
+        }
+    return _UNSUPPORTED
+
+
+def _decode_value(encoded: Any, task_by_name: Dict[str, Any], existing: Any = None) -> Any:
+    """Decode a tagged value; ``existing`` (when given) is updated in place."""
+    if encoded is None or isinstance(encoded, (bool, int, float, str)):
+        return encoded
+    if isinstance(encoded, list):
+        return [_decode_value(v, task_by_name) for v in encoded]
+    kind = encoded.get("__kind__")
+    if kind == "task":
+        name = encoded["name"]
+        if name not in task_by_name:
+            raise SnapshotRestoreError(
+                f"snapshot references task {name!r} which does not exist in "
+                "the rebuilt simulation; the workload differs from the "
+                "checkpointed run"
+            )
+        return task_by_name[name]
+    if kind == "tuple":
+        return tuple(_decode_value(v, task_by_name) for v in encoded["items"])
+    if kind == "dict":
+        return {
+            _decode_value(k, task_by_name): _decode_value(v, task_by_name)
+            for k, v in encoded["items"]
+        }
+    if kind == "object":
+        target = existing
+        if target is None or type(target).__qualname__ != encoded["qualname"]:
+            target = _construct_object(encoded)
+        _apply_object_state(target, encoded["state"], task_by_name)
+        return target
+    raise SnapshotRestoreError(f"unknown tagged value kind {kind!r} in snapshot")
+
+
+def _construct_object(encoded: dict) -> Any:
+    import importlib
+
+    try:
+        module = importlib.import_module(encoded["module"])
+        cls = module
+        for part in encoded["qualname"].split("."):
+            cls = getattr(cls, part)
+    except (ImportError, AttributeError) as exc:
+        raise SnapshotRestoreError(
+            f"cannot reconstruct {encoded['module']}.{encoded['qualname']} "
+            f"from snapshot: {exc}"
+        ) from exc
+    return object.__new__(cls)  # type: ignore[arg-type]
+
+
+def _apply_object_state(
+    target: Any, state: Dict[str, Any], task_by_name: Dict[str, Any]
+) -> None:
+    for attr, encoded in state.items():
+        existing = getattr(target, attr, None)
+        setattr(target, attr, _decode_value(encoded, task_by_name, existing))
+
+
+def generic_snapshot(obj: Any) -> Dict[str, Any]:
+    """Snapshot an arbitrary object's ``__dict__`` with tagged values."""
+    state = {}
+    for attr, value in vars(obj).items():
+        encoded = _encode_value(value)
+        if encoded is not _UNSUPPORTED:
+            state[attr] = encoded
+    return state
+
+
+def generic_restore(obj: Any, state: Dict[str, Any], task_by_name: Dict[str, Any]) -> None:
+    """Apply a :func:`generic_snapshot` onto a live object in place."""
+    _apply_object_state(obj, state, task_by_name)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot
+# ---------------------------------------------------------------------------
+def snapshot_simulation(sim) -> Dict[str, Any]:
+    """Capture every mutable bit of ``sim`` into a JSON-serialisable dict."""
+    payload: Dict[str, Any] = {
+        "engine": _snapshot_engine(sim),
+        "chip": _snapshot_chip(sim),
+        "tasks": _snapshot_tasks(sim),
+        "placement": _snapshot_placement(sim),
+        "load": [
+            [task.name, load] for task, load in sim.load_tracker._load.items()
+        ],
+        "energy": {
+            "energy_j": dict(sim.energy.energy_j),
+            "elapsed_s": sim.energy.elapsed_s,
+        },
+        "migrations": [asdict(r) for r in sim.migrations.history],
+        "metrics": {
+            "samples": [asdict(s) for s in sim.metrics.samples],
+            "audit_violations": list(sim.metrics.audit_violations),
+        },
+        "sensor": _snapshot_sensor(sim),
+        "governor": _snapshot_governor(sim),
+    }
+    injector = getattr(sim, "fault_injector", None)
+    if injector is not None:
+        payload["fault_injector"] = injector.snapshot_state()
+    return payload
+
+
+def _snapshot_engine(sim) -> Dict[str, Any]:
+    return {
+        "now": sim.now,
+        "tick_index": sim.tick_index,
+        "prepared": sim._prepared,
+        "offline": sorted(sim._offline),
+        "gate_held_down": sorted(sim._gate_held_down),
+        "sensor_read_failures": sim.sensor_read_failures,
+        "failed_migrations": sim.failed_migrations,
+        "allocations": [[t.name, v] for t, v in sim._allocations.items()],
+        "weights": [[t.name, v] for t, v in sim._weights.items()],
+        "last_sensor_sample": sample_to_json(sim._last_sensor_sample),
+    }
+
+
+def _snapshot_chip(sim) -> Dict[str, Any]:
+    clusters = {}
+    for cluster in sim.chip.clusters:
+        reg = cluster.regulator
+        clusters[cluster.cluster_id] = {
+            "powered": cluster.powered,
+            "regulator": {
+                "level_index": reg.level_index,
+                "pending_index": reg._pending_index,
+                "pending_remaining_s": reg._pending_remaining_s,
+                "transitions": reg.transitions,
+            },
+            "core_utilization": [core.utilization for core in cluster.cores],
+        }
+    return {"clusters": clusters}
+
+
+def _snapshot_tasks(sim) -> List[Dict[str, Any]]:
+    return [
+        {
+            "name": task.name,
+            "total_beats": task.total_beats,
+            "total_work_pu_s": task.total_work_pu_s,
+            "last_supply_pus": task.last_supply_pus,
+            "last_consumed_pus": task.last_consumed_pus,
+            "frozen_until": task.frozen_until,
+            "migrations": task.migrations,
+            "hrm_samples": [[t, b] for t, b in task.hrm._samples],
+        }
+        for task in sim.tasks
+    ]
+
+
+def _snapshot_placement(sim) -> List[List[Any]]:
+    return [
+        [core.core_id, [t.name for t in sim.placement.tasks_on_core(core)]]
+        for core in sim.chip.cores
+    ]
+
+
+def _snapshot_sensor(sim) -> Dict[str, Any]:
+    sensor = sim.sensor
+    wrapper = None
+    inner = sensor
+    if hasattr(sensor, "_inner"):  # FaultySensor front end
+        inner = sensor._inner
+        wrapper = sensor.snapshot_state()
+    return {
+        "rng_state": rng_state_to_json(inner._rng.getstate()),
+        "last_sample": sample_to_json(inner._last_sample),
+        "wrapper": wrapper,
+    }
+
+
+def _snapshot_governor(sim) -> Dict[str, Any]:
+    governor = sim.governor
+    if isinstance(governor, Snapshottable):
+        return {
+            "type": type(governor).__name__,
+            "mode": "snapshottable",
+            "state": governor.snapshot_state(),
+        }
+    return {
+        "type": type(governor).__name__,
+        "mode": "generic",
+        "state": generic_snapshot(governor),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Restore
+# ---------------------------------------------------------------------------
+def restore_simulation(sim, payload: Dict[str, Any]) -> None:
+    """Apply ``payload`` onto a freshly built ``sim`` in place.
+
+    ``sim`` must be structurally identical to the checkpointed run (same
+    config/seed/chip/workload/governor -- callers verify the fingerprint
+    before getting here) and must not have been stepped yet.
+    """
+    task_by_name = _restore_tasks(sim, payload["tasks"])
+    _restore_chip(sim, payload["chip"])
+    _restore_placement(sim, payload["placement"], task_by_name)
+    _restore_engine(sim, payload["engine"], task_by_name)
+    sim.load_tracker._load = {
+        task_by_name[name]: load for name, load in payload["load"]
+    }
+    sim.energy.energy_j = dict(payload["energy"]["energy_j"])
+    sim.energy.elapsed_s = payload["energy"]["elapsed_s"]
+    sim.migrations.history = [
+        MigrationRecord(**record) for record in payload["migrations"]
+    ]
+    _restore_metrics(sim, payload["metrics"])
+    _restore_sensor(sim, payload["sensor"])
+    _restore_governor(sim, payload["governor"], task_by_name)
+    # The first-tick prepare already ran in the checkpointed run; mark it
+    # done and re-create the pieces that prepare would have attached.
+    sim._prepared = True
+    sim._maybe_attach_auditor()
+    sim._last_audited_round = getattr(sim.governor, "last_round", None)
+    injector_state = payload.get("fault_injector")
+    injector = getattr(sim, "fault_injector", None)
+    if injector_state is not None:
+        if injector is None:
+            raise SnapshotRestoreError(
+                "checkpoint was taken with a fault injector attached, but "
+                "the rebuilt simulation has none; attach the same fault "
+                "schedule before restoring"
+            )
+        injector.restore_state(sim, injector_state)
+    elif injector is not None:
+        raise SnapshotRestoreError(
+            "rebuilt simulation has a fault injector but the checkpoint "
+            "was taken without one; rebuild without the schedule"
+        )
+
+
+def _restore_tasks(sim, states: List[Dict[str, Any]]) -> Dict[str, Any]:
+    if len(states) != len(sim.tasks):
+        raise SnapshotRestoreError(
+            f"snapshot holds {len(states)} tasks but the rebuilt simulation "
+            f"has {len(sim.tasks)}; the workload differs from the "
+            "checkpointed run"
+        )
+    task_by_name: Dict[str, Any] = {}
+    for task, state in zip(sim.tasks, states):
+        task.name = state["name"]
+        task.total_beats = state["total_beats"]
+        task.total_work_pu_s = state["total_work_pu_s"]
+        task.last_supply_pus = state["last_supply_pus"]
+        task.last_consumed_pus = state["last_consumed_pus"]
+        task.frozen_until = state["frozen_until"]
+        task.migrations = state["migrations"]
+        task.hrm._samples = deque((t, b) for t, b in state["hrm_samples"])
+        task_by_name[task.name] = task
+    return task_by_name
+
+
+def _restore_chip(sim, state: Dict[str, Any]) -> None:
+    snapshot_ids = set(state["clusters"])
+    live_ids = {c.cluster_id for c in sim.chip.clusters}
+    if snapshot_ids != live_ids:
+        raise SnapshotRestoreError(
+            f"snapshot covers clusters {sorted(snapshot_ids)} but the chip "
+            f"has {sorted(live_ids)}; the topology differs from the "
+            "checkpointed run"
+        )
+    for cluster in sim.chip.clusters:
+        cstate = state["clusters"][cluster.cluster_id]
+        cluster.powered = cstate["powered"]
+        reg = cluster.regulator
+        rstate = cstate["regulator"]
+        reg.level_index = rstate["level_index"]
+        reg._pending_index = rstate["pending_index"]
+        reg._pending_remaining_s = rstate["pending_remaining_s"]
+        reg.transitions = rstate["transitions"]
+        utils = cstate["core_utilization"]
+        if len(utils) != len(cluster.cores):
+            raise SnapshotRestoreError(
+                f"snapshot has {len(utils)} cores for cluster "
+                f"{cluster.cluster_id} but the chip has {len(cluster.cores)}"
+            )
+        for core, utilization in zip(cluster.cores, utils):
+            core.utilization = utilization
+
+
+def _restore_placement(sim, state: List[List[Any]], task_by_name: Dict[str, Any]) -> None:
+    for task in list(sim.placement.all_tasks()):
+        sim.placement.remove(task)
+    for core_id, names in state:
+        core = sim.chip.core(core_id)
+        for name in names:
+            sim.placement.place(task_by_name[name], core)
+
+
+def _restore_engine(sim, state: Dict[str, Any], task_by_name: Dict[str, Any]) -> None:
+    sim.now = state["now"]
+    sim.tick_index = state["tick_index"]
+    sim._offline = set(state["offline"])
+    sim._gate_held_down = set(state["gate_held_down"])
+    sim.sensor_read_failures = state["sensor_read_failures"]
+    sim.failed_migrations = state["failed_migrations"]
+    sim._allocations = {
+        task_by_name[name]: value for name, value in state["allocations"]
+    }
+    sim._weights = {task_by_name[name]: value for name, value in state["weights"]}
+    sim._last_sensor_sample = sample_from_json(state["last_sensor_sample"])
+
+
+def _restore_metrics(sim, state: Dict[str, Any]) -> None:
+    sim.metrics.samples = [
+        TickSample(
+            time_s=s["time_s"],
+            chip_power_w=s["chip_power_w"],
+            cluster_power_w=dict(s["cluster_power_w"]),
+            cluster_frequency_mhz=dict(s["cluster_frequency_mhz"]),
+            tasks={
+                name: TaskSample(**task_sample)
+                for name, task_sample in s["tasks"].items()
+            },
+        )
+        for s in state["samples"]
+    ]
+    sim.metrics.audit_violations = list(state["audit_violations"])
+
+
+def _restore_sensor(sim, state: Dict[str, Any]) -> None:
+    sensor = sim.sensor
+    wrapped = hasattr(sensor, "_inner")
+    if state["wrapper"] is not None and not wrapped:
+        raise SnapshotRestoreError(
+            "checkpoint was taken through a faulty-sensor front end but the "
+            "rebuilt simulation reads the bare sensor; attach the fault "
+            "injector before restoring"
+        )
+    if state["wrapper"] is None and wrapped:
+        raise SnapshotRestoreError(
+            "rebuilt simulation wraps the sensor in a fault injector but "
+            "the checkpoint was taken without one"
+        )
+    inner = sensor._inner if wrapped else sensor
+    inner._rng.setstate(rng_state_from_json(state["rng_state"]))
+    inner._last_sample = sample_from_json(state["last_sample"])
+    if wrapped:
+        sensor.restore_state(sim, state["wrapper"])
+
+
+def _restore_governor(sim, state: Dict[str, Any], task_by_name: Dict[str, Any]) -> None:
+    governor = sim.governor
+    expected = state["type"]
+    if type(governor).__name__ != expected:
+        raise SnapshotRestoreError(
+            f"checkpoint was taken under governor {expected!r} but the "
+            f"rebuilt simulation runs {type(governor).__name__!r}"
+        )
+    if state["mode"] == "snapshottable":
+        if not isinstance(governor, Snapshottable):
+            raise SnapshotRestoreError(
+                f"governor {expected!r} no longer implements the "
+                "Snapshottable protocol this checkpoint requires"
+            )
+        governor.restore_state(sim, state["state"])
+    else:
+        generic_restore(governor, state["state"], task_by_name)

@@ -151,6 +151,150 @@ class PPMGovernor:
             self._execute_move(sim, decision)
 
     # ------------------------------------------------------------------
+    # Snapshot/restore (checkpointing)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """All mutable governor state (Snapshottable protocol)."""
+        from ..checkpoint.snapshot import generic_snapshot
+
+        return {
+            "market": self.market.snapshot_state(),
+            "smoothed_demand": dict(self._smoothed_demand),
+            "next_bid_time": self._next_bid_time,
+            "round_counter": self._round_counter,
+            "last_move_time": dict(self._last_move_time),
+            "last_round": self._round_result_to_json(self.last_round),
+            "moves_executed": self.moves_executed,
+            "safe_mode_entries": self.safe_mode_entries,
+            "last_observed_power_w": self._last_observed_power_w,
+            "lbt_evaluations": self.lbt.evaluations if self.lbt is not None else 0,
+            "pending_moves": {
+                task_id: self._move_decision_to_json(decision)
+                for task_id, decision in self._pending_moves.items()
+            },
+            "sensor_guard": (
+                self.sensor_guard.snapshot_state() if self.sensor_guard else None
+            ),
+            "dvfs_supervisor": (
+                self.dvfs_supervisor.snapshot_state() if self.dvfs_supervisor else None
+            ),
+            "watchdog": self.watchdog.snapshot_state() if self.watchdog else None,
+            "move_retry": (
+                self._move_retry.snapshot_state() if self._move_retry else None
+            ),
+            "online_estimator": (
+                generic_snapshot(self.online_estimator)
+                if self.online_estimator is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, sim: Simulation, state: Dict[str, object]) -> None:
+        """Apply a :meth:`snapshot_state` onto a freshly built governor."""
+        from ..checkpoint.snapshot import generic_restore
+
+        if self._chip is None:
+            # Registers clusters/cores with the market and builds the
+            # estimator/LBT; the market's agent state is overwritten below.
+            self.prepare(sim)
+        self.market.restore_state(state["market"])
+        self._tasks_by_id = {
+            task.name: task for task in sim.tasks if task.name in self.market.tasks
+        }
+        self._smoothed_demand = dict(state["smoothed_demand"])
+        self._next_bid_time = state["next_bid_time"]
+        self._round_counter = state["round_counter"]
+        self._last_move_time = dict(state["last_move_time"])
+        self.last_round = self._round_result_from_json(state["last_round"])
+        self.moves_executed = state["moves_executed"]
+        self.safe_mode_entries = state["safe_mode_entries"]
+        self._last_observed_power_w = state["last_observed_power_w"]
+        if self.lbt is not None:
+            self.lbt.evaluations = state["lbt_evaluations"]
+        self._pending_moves = {
+            task_id: self._move_decision_from_json(decision)
+            for task_id, decision in state["pending_moves"].items()
+        }
+        for component, cstate in (
+            (self.sensor_guard, state["sensor_guard"]),
+            (self.dvfs_supervisor, state["dvfs_supervisor"]),
+            (self.watchdog, state["watchdog"]),
+            (self._move_retry, state["move_retry"]),
+        ):
+            if component is not None and cstate is not None:
+                component.restore_state(cstate)
+        if self.online_estimator is not None and state["online_estimator"] is not None:
+            generic_restore(self.online_estimator, state["online_estimator"], {})
+
+    @staticmethod
+    def _round_result_to_json(result: Optional[RoundResult]) -> Optional[dict]:
+        if result is None:
+            return None
+        return {
+            "allocations": dict(result.allocations),
+            "level_requests": dict(result.level_requests),
+            "chip_state": result.chip_state.value,
+            "allowance": result.allowance,
+            "prices": dict(result.prices),
+            "frozen_clusters": sorted(result.frozen_clusters),
+            "total_demand": result.total_demand,
+            "total_supply": result.total_supply,
+        }
+
+    @staticmethod
+    def _round_result_from_json(data: Optional[dict]) -> Optional[RoundResult]:
+        if data is None:
+            return None
+        return RoundResult(
+            allocations=dict(data["allocations"]),
+            level_requests=dict(data["level_requests"]),
+            chip_state=ChipPowerState(data["chip_state"]),
+            allowance=data["allowance"],
+            prices=dict(data["prices"]),
+            frozen_clusters=set(data["frozen_clusters"]),
+            total_demand=data["total_demand"],
+            total_supply=data["total_supply"],
+        )
+
+    @staticmethod
+    def _move_decision_to_json(decision: MoveDecision) -> dict:
+        def estimate(est) -> dict:
+            return {
+                "ratios": dict(est.ratios),
+                "bids": dict(est.bids),
+                "levels": dict(est.levels),
+            }
+
+        return {
+            "task_id": decision.task_id,
+            "source_core_id": decision.source_core_id,
+            "target_core_id": decision.target_core_id,
+            "mode": decision.mode,
+            "current": estimate(decision.current),
+            "candidate": estimate(decision.candidate),
+        }
+
+    @staticmethod
+    def _move_decision_from_json(data: dict) -> MoveDecision:
+        from .estimation import MappingEstimate
+
+        def estimate(est: dict) -> MappingEstimate:
+            return MappingEstimate(
+                ratios=dict(est["ratios"]),
+                bids=dict(est["bids"]),
+                levels=dict(est["levels"]),
+            )
+
+        return MoveDecision(
+            task_id=data["task_id"],
+            source_core_id=data["source_core_id"],
+            target_core_id=data["target_core_id"],
+            mode=data["mode"],
+            current=estimate(data["current"]),
+            candidate=estimate(data["candidate"]),
+        )
+
+    # ------------------------------------------------------------------
     # Market round plumbing
     # ------------------------------------------------------------------
     def _sync_tasks(self, sim: Simulation) -> None:

@@ -266,6 +266,97 @@ class Market:
                 self.chip.allowance = 10.0 * self.config.initial_bid * len(self.tasks)
 
     # ------------------------------------------------------------------
+    # Snapshot/restore (checkpointing)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """All mutable market state, JSON-serialisable (see repro.checkpoint)."""
+        return {
+            "tasks": [
+                {
+                    "task_id": agent.task_id,
+                    "priority": agent.priority,
+                    "allowance": agent.wallet.allowance,
+                    "savings": agent.wallet.savings,
+                    "bid": agent.bid,
+                    "demand": agent.demand,
+                    "supply": agent.supply,
+                    "unsatisfied_rounds": agent.unsatisfied_rounds,
+                }
+                for agent in self.tasks.values()
+            ],
+            "cores": {
+                core_id: {"price": core.price, "base_price": core.base_price}
+                for core_id, core in self.cores.items()
+            },
+            "clusters": {
+                cluster_id: {
+                    "level_index": cluster.level_index,
+                    "freeze": cluster.freeze.value,
+                }
+                for cluster_id, cluster in self.clusters.items()
+            },
+            "chip": {
+                "allowance": self.chip.allowance,
+                "state": self.chip.state.value,
+                "last_delta": self.chip.last_delta,
+            },
+            "placement": [
+                [task_id, core_id] for task_id, core_id in self._placement.items()
+            ],
+            "prev_total_demand": self._prev_total_demand,
+            "prev_total_supply": self._prev_total_supply,
+            "prev_shortfall": self._prev_shortfall,
+            "rounds_run": self.rounds_run,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Apply a :meth:`snapshot_state` onto this market.
+
+        Clusters and cores must already be registered (``add_cluster`` ran,
+        i.e. the governor's ``prepare``); task agents are rebuilt wholesale
+        in snapshot order.
+        """
+        from .money import Wallet
+
+        missing = set(state["clusters"]) - set(self.clusters)
+        if missing:
+            raise KeyError(
+                f"market snapshot references unregistered clusters {sorted(missing)}"
+            )
+        self.tasks = {}
+        self._placement = {}
+        for tstate in state["tasks"]:
+            agent = TaskAgent(
+                task_id=tstate["task_id"],
+                priority=tstate["priority"],
+                wallet=Wallet(
+                    allowance=tstate["allowance"], savings=tstate["savings"]
+                ),
+                bid=tstate["bid"],
+                demand=tstate["demand"],
+                supply=tstate["supply"],
+                unsatisfied_rounds=tstate["unsatisfied_rounds"],
+            )
+            self.tasks[agent.task_id] = agent
+        for core_id, cstate in state["cores"].items():
+            core = self.cores[core_id]
+            core.price = cstate["price"]
+            core.base_price = cstate["base_price"]
+        for cluster_id, cstate in state["clusters"].items():
+            cluster = self.clusters[cluster_id]
+            cluster.level_index = cstate["level_index"]
+            cluster.freeze = ClusterFreeze(cstate["freeze"])
+        self.chip.allowance = state["chip"]["allowance"]
+        self.chip.state = ChipPowerState(state["chip"]["state"])
+        self.chip.last_delta = state["chip"]["last_delta"]
+        for task_id, core_id in state["placement"]:
+            self._placement[task_id] = core_id
+        self._prev_total_demand = state["prev_total_demand"]
+        self._prev_total_supply = state["prev_total_supply"]
+        self._prev_shortfall = state["prev_shortfall"]
+        self.rounds_run = state["rounds_run"]
+
+    # ------------------------------------------------------------------
     # The round engine
     # ------------------------------------------------------------------
     def run_round(self, obs: MarketObservations) -> RoundResult:

@@ -22,7 +22,7 @@ fault model that exercises them lives in :mod:`repro.faults`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from enum import Enum
 from typing import Dict, List, Optional
 
@@ -158,6 +158,33 @@ class StaleSensorDetector:
     def suspect_reads(self) -> int:
         return self.dropouts + self.stuck + self.spikes
 
+    # -- snapshot/restore (checkpointing) ----------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "history": list(self._history),
+            "last_good": None if self._last_good is None else asdict(self._last_good),
+            "last_raw": self._last_raw,
+            "repeats": self._repeats,
+            "dropouts": self.dropouts,
+            "stuck": self.stuck,
+            "spikes": self.spikes,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._history = list(state["history"])
+        good = state["last_good"]
+        self._last_good = None if good is None else SensorSample(
+            chip_power_w=good["chip_power_w"],
+            cluster_power_w=dict(good["cluster_power_w"]),
+            cluster_frequency_mhz=dict(good["cluster_frequency_mhz"]),
+            cluster_voltage_v=dict(good["cluster_voltage_v"]),
+        )
+        self._last_raw = state["last_raw"]
+        self._repeats = state["repeats"]
+        self.dropouts = state["dropouts"]
+        self.stuck = state["stuck"]
+        self.spikes = state["spikes"]
+
 
 class BackoffRetry:
     """Per-key exponential backoff in units of rounds."""
@@ -183,6 +210,23 @@ class BackoffRetry:
 
     def pending(self) -> int:
         return len(self._state)
+
+    # -- snapshot/restore (checkpointing) ----------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "state": [
+                [key, next_round, backoff]
+                for key, (next_round, backoff) in self._state.items()
+            ],
+            "retries": self.retries,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._state = {
+            key: (next_round, backoff)
+            for key, next_round, backoff in state["state"]
+        }
+        self.retries = state["retries"]
 
 
 class DVFSSupervisor:
@@ -227,6 +271,19 @@ class DVFSSupervisor:
                 self.reissues += 1
                 sent += 1
         return sent
+
+    # -- snapshot/restore (checkpointing) ----------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "desired": dict(self._desired),
+            "reissues": self.reissues,
+            "retry": self._retry.snapshot_state(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._desired = dict(state["desired"])
+        self.reissues = state["reissues"]
+        self._retry.restore_state(state["retry"])
 
 
 class WatchdogState(Enum):
@@ -326,3 +383,22 @@ class MarketWatchdog:
     @property
     def in_safe_mode(self) -> bool:
         return self.state is WatchdogState.SAFE_MODE
+
+    # -- snapshot/restore (checkpointing) ----------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "state": self.state.value,
+            "trips": self.trips,
+            "trip_reasons": list(self.trip_reasons),
+            "failures": self._failures,
+            "diverging": self._diverging,
+            "healthy": self._healthy,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self.state = WatchdogState(state["state"])
+        self.trips = state["trips"]
+        self.trip_reasons = list(state["trip_reasons"])
+        self._failures = state["failures"]
+        self._diverging = state["diverging"]
+        self._healthy = state["healthy"]

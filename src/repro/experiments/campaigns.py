@@ -22,6 +22,19 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    ReplayReport,
+    atomic_write_text,
+    read_checkpoint,
+    read_journal,
+    replay_from_checkpoint,
+    resume_from,
+    tick_records,
+    write_journal,
+)
+from ..checkpoint.store import CHECKPOINT_GLOB_RE
 from ..faults import FaultInjector, FaultKind, FaultSchedule, periodic_faults
 from ..hw import tc2_chip
 from ..sim import SimConfig, Simulation
@@ -146,6 +159,126 @@ def build_campaign_schedule(
     )
 
 
+def _campaign_identity(
+    fault: str,
+    workload: str,
+    duration_s: float,
+    warmup_s: float,
+    intensity: float,
+    seed: int,
+    cap: float,
+    governors: Sequence[str],
+) -> Dict[str, object]:
+    """Everything needed to rebuild a campaign run deterministically."""
+    return {
+        "fault": fault,
+        "workload": workload,
+        "duration_s": duration_s,
+        "warmup_s": warmup_s,
+        "intensity": intensity,
+        "seed": seed,
+        "tdp_w": cap,
+        "governors": list(governors),
+    }
+
+
+def _campaign_schedule(identity: Dict[str, object]) -> FaultSchedule:
+    return build_campaign_schedule(
+        CAMPAIGN_FAULTS[identity["fault"]],
+        identity["duration_s"],
+        identity["warmup_s"],
+        identity["intensity"],
+        tc2_chip(),
+    )
+
+
+def _build_campaign_sim(
+    name: str, identity: Dict[str, object], schedule: FaultSchedule
+) -> Tuple[Simulation, FaultInjector]:
+    """One governor's simulation, injector attached, ready to run."""
+    chip = tc2_chip()
+    tasks = build_workload(identity["workload"])
+    governor = make_governor(name, power_cap_w=identity["tdp_w"])
+    sim = Simulation(
+        chip,
+        tasks,
+        governor,
+        config=SimConfig(
+            metrics_warmup_s=identity["warmup_s"],
+            seed=identity["seed"],
+            audit=True,
+        ),
+    )
+    injector = FaultInjector(sim, schedule).attach()
+    return sim, injector
+
+
+def _summarise_run(
+    name: str,
+    result: CampaignResult,
+    metrics,
+    sim: Simulation,
+    injector: FaultInjector,
+    settle_s: float = 1.0,
+) -> CampaignRun:
+    last_window_end = max(
+        (end for _, end in result.windows), default=sim.config.metrics_warmup_s
+    )
+    return CampaignRun(
+        governor=name,
+        fault=result.fault,
+        intensity=result.intensity,
+        miss_fraction_in_fault=metrics.miss_fraction_in_windows(result.windows),
+        miss_fraction_outside_fault=metrics.miss_fraction_outside_windows(
+            result.windows
+        ),
+        recovery_time_s=metrics.recovery_time_s(
+            after_s=last_window_end, settle_s=settle_s, dt=sim.dt
+        ),
+        tdp_violation_s=metrics.tdp_violation_seconds(result.tdp_w, sim.dt),
+        average_power_w=metrics.average_power_w(),
+        audit_violations=metrics.audit_violation_count(),
+        fault_stats=injector.stats(),
+    )
+
+
+def _campaign_stream(index: int, name: str) -> str:
+    """Checkpoint stream label for governor ``name`` at campaign ``index``."""
+    return f"{index}-{name}"
+
+
+def _attach_campaign_manager(
+    sim: Simulation,
+    checkpoint_dir: str,
+    checkpoint_interval_s: float,
+    identity: Dict[str, object],
+    index: int,
+    name: str,
+    result: CampaignResult,
+) -> CheckpointManager:
+    """Checkpoint this governor's run, carrying campaign progress along."""
+    return CheckpointManager(
+        checkpoint_dir,
+        interval_s=checkpoint_interval_s,
+        retention=3,
+        stream=_campaign_stream(index, name),
+        fingerprint_extra={"campaign": identity, "index": index, "governor": name},
+        extra_payload={
+            "campaign": identity,
+            "index": index,
+            "governor": name,
+            "completed_runs": [asdict(run) for run in result.runs],
+            "windows": [list(window) for window in result.windows],
+        },
+    ).attach(sim)
+
+
+def _campaign_journal_path(checkpoint_dir: str, index: int, name: str) -> str:
+    return os.path.join(
+        checkpoint_dir, f"journal_{_campaign_stream(index, name)}.json"
+    )
+
+
 def run_fault_campaign(
     fault: str,
     governors: Sequence[str] = DEFAULT_CAMPAIGN_GOVERNORS,
@@ -155,12 +288,20 @@ def run_fault_campaign(
     intensity: float = 0.3,
     seed: int = 1,
     power_cap_w: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_interval_s: float = 1.0,
 ) -> CampaignResult:
     """Sweep one fault kind across ``governors`` and collect resilience data.
 
     Every governor replays the *same* schedule (faults live below the
     policy layer), under the Figure 6 power cap by default so the
     TDP-violation metric is meaningful.
+
+    With ``checkpoint_dir`` set, each governor's run writes periodic
+    crash-consistent checkpoints (one stream per governor, campaign
+    progress embedded) plus a per-tick telemetry journal, so a killed
+    campaign can be continued with :func:`resume_fault_campaign` and
+    verified with ``repro-experiments replay``.
     """
     kind = CAMPAIGN_FAULTS.get(fault)
     if kind is None:
@@ -168,9 +309,10 @@ def run_fault_campaign(
             f"unknown fault {fault!r}; choose from {sorted(CAMPAIGN_FAULTS)}"
         )
     cap = power_cap_w if power_cap_w is not None else capped_tdp_w()
-    schedule = build_campaign_schedule(
-        kind, duration_s, warmup_s, intensity, tc2_chip()
+    identity = _campaign_identity(
+        fault, workload, duration_s, warmup_s, intensity, seed, cap, governors
     )
+    schedule = _campaign_schedule(identity)
     result = CampaignResult(
         fault=fault,
         workload=workload,
@@ -179,55 +321,189 @@ def run_fault_campaign(
         tdp_w=cap,
         windows=list(schedule.windows()),
     )
-    settle_s = 1.0
-    for name in governors:
-        chip = tc2_chip()
-        tasks = build_workload(workload)
-        governor = make_governor(name, power_cap_w=cap)
-        sim = Simulation(
-            chip,
-            tasks,
-            governor,
-            config=SimConfig(
-                metrics_warmup_s=warmup_s, seed=seed, audit=True
-            ),
-        )
-        injector = FaultInjector(sim, schedule).attach()
-        metrics = sim.run(duration_s)
-        last_window_end = max((end for _, end in result.windows), default=warmup_s)
-        result.runs.append(
-            CampaignRun(
-                governor=name,
-                fault=fault,
-                intensity=intensity,
-                miss_fraction_in_fault=metrics.miss_fraction_in_windows(
-                    result.windows
-                ),
-                miss_fraction_outside_fault=metrics.miss_fraction_outside_windows(
-                    result.windows
-                ),
-                recovery_time_s=metrics.recovery_time_s(
-                    after_s=last_window_end, settle_s=settle_s, dt=sim.dt
-                ),
-                tdp_violation_s=metrics.tdp_violation_seconds(cap, sim.dt),
-                average_power_w=metrics.average_power_w(),
-                audit_violations=metrics.audit_violation_count(),
-                fault_stats=injector.stats(),
+    for index, name in enumerate(governors):
+        sim, injector = _build_campaign_sim(name, identity, schedule)
+        manager = None
+        if checkpoint_dir is not None:
+            manager = _attach_campaign_manager(
+                sim, checkpoint_dir, checkpoint_interval_s,
+                identity, index, name, result,
             )
+        metrics = sim.run(duration_s)
+        if manager is not None:
+            write_journal(
+                _campaign_journal_path(checkpoint_dir, index, name),
+                tick_records(metrics),
+                manager.fingerprint,
+                sim.dt,
+            )
+        result.runs.append(_summarise_run(name, result, metrics, sim, injector))
+    return result
+
+
+def _latest_campaign_checkpoint(checkpoint_dir: str) -> str:
+    """The furthest-progressed checkpoint: max (governor index, tick)."""
+    best = None
+    best_key = None
+    if os.path.isdir(checkpoint_dir):
+        for entry in os.listdir(checkpoint_dir):
+            match = CHECKPOINT_GLOB_RE.match(entry)
+            if not match or match.group("stream") is None:
+                continue
+            index_text = match.group("stream").split("-", 1)[0]
+            if not index_text.isdigit():
+                continue
+            key = (int(index_text), int(match.group("tick")))
+            if best_key is None or key > best_key:
+                best_key = key
+                best = entry
+    if best is None:
+        raise CheckpointError(
+            f"no campaign checkpoints found under {checkpoint_dir!r}; run "
+            "'repro-experiments campaign --checkpoint-dir ...' first"
+        )
+    return os.path.join(checkpoint_dir, best)
+
+
+def resume_fault_campaign(
+    checkpoint_dir: str,
+    checkpoint_interval_s: float = 1.0,
+) -> CampaignResult:
+    """Continue a killed campaign from its latest checkpoint.
+
+    Re-reads the campaign identity and completed per-governor results
+    embedded in the newest checkpoint, rebuilds the interrupted
+    governor's simulation (validating the config/seed fingerprint),
+    restores it mid-run, finishes it, then runs any governors the
+    campaign had not yet reached.  The returned :class:`CampaignResult`
+    is tick-for-tick identical to the uninterrupted campaign's.
+    """
+    path = _latest_campaign_checkpoint(checkpoint_dir)
+    envelope = read_checkpoint(path)
+    extra = envelope.payload.get("extra")
+    if not isinstance(extra, dict) or "campaign" not in extra:
+        raise CheckpointError(
+            f"checkpoint {path!r} was not written by a fault campaign "
+            "(no embedded campaign identity)"
+        )
+    identity = extra["campaign"]
+    index = extra["index"]
+    name = extra["governor"]
+    governors = identity["governors"]
+    schedule = _campaign_schedule(identity)
+    result = CampaignResult(
+        fault=identity["fault"],
+        workload=identity["workload"],
+        duration_s=identity["duration_s"],
+        intensity=identity["intensity"],
+        tdp_w=identity["tdp_w"],
+        windows=[tuple(window) for window in extra["windows"]],
+        runs=[CampaignRun(**run) for run in extra["completed_runs"]],
+    )
+    # Finish the interrupted governor from its checkpoint.
+    injectors = []
+
+    def factory():
+        sim, injector = _build_campaign_sim(name, identity, schedule)
+        injectors.append(injector)
+        return sim
+
+    sim, _ = resume_from(
+        path,
+        factory,
+        fingerprint_extra={"campaign": identity, "index": index, "governor": name},
+    )
+    manager = _attach_campaign_manager(
+        sim, checkpoint_dir, checkpoint_interval_s, identity, index, name, result
+    )
+    metrics = sim.run(identity["duration_s"] - sim.now)
+    write_journal(
+        _campaign_journal_path(checkpoint_dir, index, name),
+        tick_records(metrics),
+        manager.fingerprint,
+        sim.dt,
+    )
+    result.runs.append(_summarise_run(name, result, metrics, sim, injectors[-1]))
+    # Then any governors the campaign never reached.
+    for later_index in range(index + 1, len(governors)):
+        later_name = governors[later_index]
+        sim, injector = _build_campaign_sim(later_name, identity, schedule)
+        manager = _attach_campaign_manager(
+            sim, checkpoint_dir, checkpoint_interval_s,
+            identity, later_index, later_name, result,
+        )
+        metrics = sim.run(identity["duration_s"])
+        write_journal(
+            _campaign_journal_path(checkpoint_dir, later_index, later_name),
+            tick_records(metrics),
+            manager.fingerprint,
+            sim.dt,
+        )
+        result.runs.append(
+            _summarise_run(later_name, result, metrics, sim, injector)
         )
     return result
+
+
+def _campaign_checkpoint_context(checkpoint_dir: str, checkpoint_path: Optional[str]):
+    """Resolve a campaign checkpoint to (path, identity, index, governor)."""
+    path = checkpoint_path or _latest_campaign_checkpoint(checkpoint_dir)
+    envelope = read_checkpoint(path)
+    extra = envelope.payload.get("extra")
+    if not isinstance(extra, dict) or "campaign" not in extra:
+        raise CheckpointError(
+            f"checkpoint {path!r} was not written by a fault campaign "
+            "(no embedded campaign identity)"
+        )
+    return path, extra["campaign"], extra["index"], extra["governor"]
+
+
+def replay_campaign_checkpoint(
+    checkpoint_dir: str, checkpoint_path: Optional[str] = None
+) -> ReplayReport:
+    """Replay one campaign checkpoint against its telemetry journal.
+
+    Picks the newest checkpoint unless ``checkpoint_path`` names one,
+    rebuilds that governor's simulation from the embedded campaign
+    identity, restores and re-runs it to the journal's end, and reports
+    either a clean match or the first divergent tick with field-level
+    diffs.  Requires the journal written when that governor's run
+    completed (``journal_<index>-<governor>.json``).
+    """
+    path, identity, index, name = _campaign_checkpoint_context(
+        checkpoint_dir, checkpoint_path
+    )
+    journal_path = _campaign_journal_path(checkpoint_dir, index, name)
+    if not os.path.exists(journal_path):
+        raise CheckpointError(
+            f"no telemetry journal at {journal_path!r}; the campaign run that "
+            "wrote this checkpoint has not completed (finish it with "
+            "'repro-experiments resume' first)"
+        )
+    journal = read_journal(journal_path)
+    schedule = _campaign_schedule(identity)
+
+    def factory():
+        sim, _ = _build_campaign_sim(name, identity, schedule)
+        return sim
+
+    return replay_from_checkpoint(
+        path,
+        factory,
+        journal["records"],
+        fingerprint_extra={"campaign": identity, "index": index, "governor": name},
+    )
 
 
 def write_campaign_report(
     result: CampaignResult, out_dir: str = "results"
 ) -> str:
-    """Write the campaign table and JSON under ``out_dir``; returns the path."""
-    os.makedirs(out_dir, exist_ok=True)
+    """Write the campaign table and JSON under ``out_dir``; returns the path.
+
+    Both files are written atomically (temp + rename) so a crash mid-write
+    never leaves a truncated report behind.
+    """
     stem = os.path.join(out_dir, f"campaign_{result.fault}")
-    with open(stem + ".txt", "w") as handle:
-        handle.write(result.as_table())
-        handle.write("\n")
-    with open(stem + ".json", "w") as handle:
-        handle.write(result.to_json())
-        handle.write("\n")
+    atomic_write_text(stem + ".txt", result.as_table() + "\n")
+    atomic_write_text(stem + ".json", result.to_json() + "\n")
     return stem + ".txt"

@@ -8,6 +8,9 @@ Examples::
     repro-experiments table7
     repro-experiments all --duration 60
     repro-experiments campaign --fault sensor-dropout
+    repro-experiments checkpoint --fault hotplug --checkpoint-dir results/ckpt
+    repro-experiments resume --checkpoint-dir results/ckpt
+    repro-experiments replay --checkpoint-dir results/ckpt --verify
 """
 
 from __future__ import annotations
@@ -16,12 +19,19 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..checkpoint import CheckpointError
 from .campaigns import (
     CAMPAIGN_FAULTS,
     DEFAULT_CAMPAIGN_GOVERNORS,
+    replay_campaign_checkpoint,
+    resume_fault_campaign,
     run_fault_campaign,
     write_campaign_report,
 )
+from .harness import GOVERNOR_NAMES
+
+#: Where campaign checkpoints land unless ``--checkpoint-dir`` says otherwise.
+DEFAULT_CHECKPOINT_DIR = "results/checkpoints"
 from .comparative import figure4, figure5, figure6, run_comparative
 from .priorities import figure7
 from .running_examples import table1, table2, table3, table4
@@ -89,10 +99,28 @@ def _run_validate(args) -> str:
     return report.as_table() + "\n" + status
 
 
+def _parse_governors(spec: str) -> List[str]:
+    """Split and validate a ``--governors`` list; exits cleanly on bad names."""
+    governors = [g.strip() for g in spec.split(",") if g.strip()]
+    if not governors:
+        raise SystemExit(
+            "no governors given; valid choices: " + ", ".join(GOVERNOR_NAMES)
+        )
+    unknown = [g for g in governors if g not in GOVERNOR_NAMES]
+    if unknown:
+        raise SystemExit(
+            "unknown governor(s) "
+            + ", ".join(repr(g) for g in unknown)
+            + "; valid choices: "
+            + ", ".join(GOVERNOR_NAMES)
+        )
+    return governors
+
+
 def _run_campaign(args) -> str:
     if args.fault is None:
         raise SystemExit("campaign requires --fault (e.g. --fault sensor-dropout)")
-    governors = [g.strip() for g in args.governors.split(",") if g.strip()]
+    governors = _parse_governors(args.governors)
     result = run_fault_campaign(
         args.fault,
         governors=governors,
@@ -101,9 +129,42 @@ def _run_campaign(args) -> str:
         warmup_s=args.campaign_warmup,
         intensity=args.intensity,
         seed=args.seed,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval_s=args.checkpoint_interval,
     )
     path = write_campaign_report(result, out_dir=args.out)
     return result.as_table() + f"\n\nreport written to {path}"
+
+
+def _run_checkpoint(args) -> str:
+    """``campaign`` with checkpointing always on (default directory)."""
+    if args.checkpoint_dir is None:
+        args.checkpoint_dir = DEFAULT_CHECKPOINT_DIR
+    return _run_campaign(args)
+
+
+def _run_resume(args) -> str:
+    directory = args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR
+    try:
+        result = resume_fault_campaign(
+            directory, checkpoint_interval_s=args.checkpoint_interval
+        )
+    except CheckpointError as exc:
+        raise SystemExit(f"resume failed: {exc}")
+    path = write_campaign_report(result, out_dir=args.out)
+    return result.as_table() + f"\n\nreport written to {path}"
+
+
+def _run_replay(args) -> str:
+    directory = args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR
+    try:
+        report = replay_campaign_checkpoint(directory)
+    except CheckpointError as exc:
+        raise SystemExit(f"replay failed: {exc}")
+    text = report.describe()
+    if args.verify and not report.clean:
+        raise SystemExit(text)
+    return text
 
 
 _COMMANDS = {
@@ -123,6 +184,9 @@ _COMMANDS = {
 #: Commands excluded from ``all`` (campaigns are a study, not a figure).
 _EXTRA_COMMANDS = {
     "campaign": _run_campaign,
+    "checkpoint": _run_checkpoint,
+    "resume": _run_resume,
+    "replay": _run_replay,
 }
 
 
@@ -215,6 +279,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default="results",
         help="directory for campaign reports (default: results/)",
+    )
+    checkpointing = parser.add_argument_group("checkpoint / resume / replay")
+    checkpointing.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "write/read campaign checkpoints here (checkpoint/resume/replay "
+            f"default to {DEFAULT_CHECKPOINT_DIR}/)"
+        ),
+    )
+    checkpointing.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=1.0,
+        help="simulated seconds between checkpoints (default: 1.0)",
+    )
+    checkpointing.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay: exit non-zero if the replay diverges from the journal",
     )
     return parser
 

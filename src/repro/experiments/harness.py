@@ -74,6 +74,8 @@ def run_system(
     keep_metrics: bool = False,
     governor_name: str = "?",
     workload_name: str = "?",
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_interval_s: float = 1.0,
 ) -> RunResult:
     """Run ``tasks`` under ``governor`` and summarise the steady state.
 
@@ -82,6 +84,9 @@ def run_system(
             tick (the Figure 7/8 experiments pin two tasks to one core).
         keep_metrics: Attach the full tick-level collector to the result
             (needed for time-series figures; costs memory).
+        checkpoint_dir: When set, write periodic crash-consistent
+            checkpoints of the run there (see :mod:`repro.checkpoint`),
+            every ``checkpoint_interval_s`` simulated seconds.
     """
     chip = chip or tc2_chip()
     sim = Simulation(
@@ -89,6 +94,12 @@ def run_system(
     )
     if placement is not None:
         placement(sim)
+    if checkpoint_dir is not None:
+        from ..checkpoint import CheckpointManager
+
+        CheckpointManager(
+            checkpoint_dir, interval_s=checkpoint_interval_s
+        ).attach(sim)
     metrics = sim.run(duration_s)
     intra, inter = sim.migrations.counts()
     return RunResult(

@@ -90,6 +90,40 @@ class FaultySensor:
             cluster_voltage_v=sample.cluster_voltage_v,
         )
 
+    # ------------------------------------------------------------------
+    # Snapshot/restore (checkpointing)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        stuck = None
+        if self._stuck_hold is not None:
+            event, watts = self._stuck_hold
+            index = next(
+                i for i, e in enumerate(self._schedule.events) if e is event
+            )
+            stuck = {"event_index": index, "watts": watts}
+        return {
+            "stuck_hold": stuck,
+            "dropouts": self.dropouts,
+            "stuck_reads": self.stuck_reads,
+            "spikes": self.spikes,
+        }
+
+    def restore_state(self, sim, state: Dict[str, object]) -> None:
+        stuck = state["stuck_hold"]
+        if stuck is None:
+            self._stuck_hold = None
+        else:
+            # Re-bind to this process's event object: the stuck-window
+            # entry test compares event identity, so the hold must point
+            # at the same schedule slot the original run froze on.
+            self._stuck_hold = (
+                self._schedule.events[stuck["event_index"]],
+                stuck["watts"],
+            )
+        self.dropouts = state["dropouts"]
+        self.stuck_reads = state["stuck_reads"]
+        self.spikes = state["spikes"]
+
     @staticmethod
     def _spiked(
         sample: SensorSample, cluster_id: Optional[str], factor: float
@@ -272,6 +306,47 @@ class FaultInjector:
             original_step()
 
         sim.step = step
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (checkpointing)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """All mutable injector state, JSON-serialisable."""
+        return {
+            "pending_dvfs": [
+                [due_tick, cluster.cluster_id, index]
+                for due_tick, cluster, index in self._pending_dvfs
+            ],
+            "unplugged": [
+                [index, cluster_id] for index, cluster_id in self._unplugged.items()
+            ],
+            "beats_seen": [
+                [name, beats] for name, beats in self._beats_seen.items()
+            ],
+            "dvfs_dropped": self.dvfs_dropped,
+            "dvfs_delayed": self.dvfs_delayed,
+            "migrations_failed": self.migrations_failed,
+            "heartbeats_lost": self.heartbeats_lost,
+            "unplugs": self.unplugs,
+            "replugs": self.replugs,
+        }
+
+    def restore_state(self, sim, state: Dict[str, object]) -> None:
+        """Apply a snapshot; the injector must already be attached to ``sim``."""
+        self._pending_dvfs = [
+            (due_tick, sim.chip.cluster(cluster_id), index)
+            for due_tick, cluster_id, index in state["pending_dvfs"]
+        ]
+        self._unplugged = {
+            int(index): cluster_id for index, cluster_id in state["unplugged"]
+        }
+        self._beats_seen = {name: beats for name, beats in state["beats_seen"]}
+        self.dvfs_dropped = state["dvfs_dropped"]
+        self.dvfs_delayed = state["dvfs_delayed"]
+        self.migrations_failed = state["migrations_failed"]
+        self.heartbeats_lost = state["heartbeats_lost"]
+        self.unplugs = state["unplugs"]
+        self.replugs = state["replugs"]
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:

@@ -132,6 +132,9 @@ class Simulation:
         self.failed_migrations: int = 0
         self.auditor = None
         self._last_audited_round: object = None
+        #: Optional :class:`repro.checkpoint.CheckpointManager`, invoked
+        #: at the end of every tick; ``None`` disables checkpointing.
+        self.checkpointer = None
 
     # ------------------------------------------------------------------
     # Control surface used by governors
@@ -424,6 +427,8 @@ class Simulation:
         )
         self.now += self.config.dt
         self.tick_index += 1
+        if self.checkpointer is not None:
+            self.checkpointer.on_tick(self)
 
     def run(self, duration_s: float) -> MetricsCollector:
         """Run for ``duration_s`` seconds of simulated time."""

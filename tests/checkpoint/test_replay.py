@@ -1,0 +1,167 @@
+"""Replay verification: clean runs diff to nothing, perturbed runs localize."""
+
+import os
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointManager,
+    diff_tick_records,
+    read_journal,
+    replay_from_checkpoint,
+    resume_from,
+    tick_records,
+    write_journal,
+)
+from repro.experiments.campaigns import (
+    replay_campaign_checkpoint,
+    run_fault_campaign,
+)
+from repro.experiments.harness import make_governor
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload
+
+DURATION_S = 5.0
+
+
+def build_sim(seed=23):
+    return Simulation(
+        tc2_chip(),
+        build_workload("m1"),
+        make_governor("PPM", power_cap_w=10.0),
+        config=SimConfig(seed=seed, metrics_warmup_s=1.0, audit=True),
+    )
+
+
+@pytest.fixture
+def recorded_run(tmp_path):
+    """A checkpointed run plus its telemetry journal."""
+    sim = build_sim()
+    manager = CheckpointManager(
+        str(tmp_path), interval_s=1.0, retention=None
+    ).attach(sim)
+    sim.run(DURATION_S)
+    journal_path = os.path.join(str(tmp_path), "journal.json")
+    write_journal(
+        journal_path, tick_records(sim.metrics), manager.fingerprint, sim.dt
+    )
+    return manager, journal_path
+
+
+class TestReplay:
+    def test_clean_replay_reports_zero_divergence(self, recorded_run):
+        manager, journal_path = recorded_run
+        records = read_journal(journal_path)["records"]
+        report = replay_from_checkpoint(
+            manager.checkpoints()[1], build_sim, records
+        )
+        assert report.clean
+        assert report.first_divergent_tick is None
+        assert report.checkpoint_tick == 200
+        assert report.ticks_compared == 500
+        assert "clean" in report.describe()
+
+    def test_perturbed_state_pinpoints_first_divergent_tick(self, recorded_run):
+        manager, journal_path = recorded_run
+        records = read_journal(journal_path)["records"]
+        checkpoint = manager.checkpoints()[1]
+        sim, envelope = resume_from(checkpoint, build_sim)
+        sim.tasks[0].total_beats += 5.0  # corrupt one task's progress
+        while sim.tick_index < len(records):
+            sim.step()
+        divergence = diff_tick_records(records, tick_records(sim.metrics))
+        assert divergence is not None
+        assert divergence["tick"] >= envelope.tick_index
+        assert divergence["diffs"]
+        # The field-level diff names the perturbed task's telemetry.
+        assert any(sim.tasks[0].name in diff for diff in divergence["diffs"])
+
+    def test_divergent_report_describe_names_the_tick(self):
+        expected = [{"power": 1.0}, {"power": 2.0}]
+        actual = [{"power": 1.0}, {"power": 2.5}]
+        divergence = diff_tick_records(expected, actual)
+        assert divergence == {
+            "tick": 1,
+            "diffs": ["tick.power: 2.5 != expected 2.0"],
+        }
+
+    def test_length_mismatch_is_divergence(self):
+        expected = [{"power": 1.0}, {"power": 2.0}]
+        divergence = diff_tick_records(expected, expected[:1])
+        assert divergence["tick"] == 1
+        assert "1" in divergence["diffs"][0]
+
+    def test_identical_streams_have_no_divergence(self):
+        records = [{"power": 1.0, "tasks": {"a": {"rate": 2.0}}}]
+        assert diff_tick_records(records, list(records)) is None
+
+    def test_checkpoint_beyond_journal_is_an_error(self, recorded_run):
+        manager, journal_path = recorded_run
+        records = read_journal(journal_path)["records"]
+        with pytest.raises(ValueError, match="earlier checkpoint"):
+            replay_from_checkpoint(
+                manager.checkpoints()[-1], build_sim, records[:100]
+            )
+
+
+class TestJournalFormat:
+    def test_round_trip(self, tmp_path):
+        path = os.path.join(str(tmp_path), "journal.json")
+        records = [{"time_s": 0.01, "power": 3.5}]
+        write_journal(path, records, fingerprint="a" * 64, dt=0.01)
+        journal = read_journal(path)
+        assert journal["records"] == records
+        assert journal["fingerprint"] == "a" * 64
+        assert journal["dt"] == 0.01
+
+    def test_rejects_non_journal_files(self, tmp_path):
+        path = os.path.join(str(tmp_path), "not_journal.json")
+        with open(path, "w") as handle:
+            handle.write('{"magic": "other"}')
+        with pytest.raises(CheckpointCorruptError, match="not a telemetry"):
+            read_journal(path)
+
+    def test_rejects_unreadable_files(self, tmp_path):
+        path = os.path.join(str(tmp_path), "truncated.json")
+        with open(path, "w") as handle:
+            handle.write('{"magic": "repro-journal", "rec')
+        with pytest.raises(CheckpointCorruptError, match="unreadable"):
+            read_journal(path)
+
+
+class TestCampaignReplay:
+    def test_campaign_checkpoints_replay_clean(self, tmp_path):
+        directory = str(tmp_path)
+        run_fault_campaign(
+            "sensor-dropout",
+            governors=("PPM",),
+            workload="m1",
+            duration_s=10.0,
+            warmup_s=2.0,
+            intensity=0.4,
+            seed=5,
+            checkpoint_dir=directory,
+            checkpoint_interval_s=2.0,
+        )
+        report = replay_campaign_checkpoint(directory)
+        assert report.clean
+
+    def test_replay_without_journal_is_actionable(self, tmp_path):
+        directory = str(tmp_path)
+        run_fault_campaign(
+            "sensor-dropout",
+            governors=("PPM",),
+            workload="m1",
+            duration_s=10.0,
+            warmup_s=2.0,
+            intensity=0.4,
+            seed=5,
+            checkpoint_dir=directory,
+            checkpoint_interval_s=2.0,
+        )
+        os.unlink(os.path.join(directory, "journal_0-PPM.json"))
+        with pytest.raises(CheckpointError, match="journal"):
+            replay_campaign_checkpoint(directory)
