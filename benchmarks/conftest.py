@@ -3,13 +3,34 @@
 Each benchmark regenerates one of the paper's tables or figures and writes
 the rendered text to ``results/<name>.txt`` so the outputs survive the
 run (EXPERIMENTS.md indexes them).
+
+Sweeps honour ``$REPRO_JOBS`` (or ``--repro-jobs``): with N > 1 the
+experiment points fan out over a process pool.  Results are identical to
+serial runs either way -- parallelism only changes wall-clock time.
 """
 
 import pathlib
 
 import pytest
 
+from repro.experiments.parallel import resolve_jobs
+
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-jobs", type=int, default=None,
+        help="worker processes per experiment sweep "
+             "(default: $REPRO_JOBS, else serial)",
+    )
+
+
+@pytest.fixture(scope="session")
+def jobs(request):
+    """Worker-process count for sweeps: --repro-jobs, else $REPRO_JOBS, else 1."""
+    option = request.config.getoption("--repro-jobs")
+    return option if option is not None else resolve_jobs()
 
 
 @pytest.fixture(scope="session")

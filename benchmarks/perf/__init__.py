@@ -1,0 +1,10 @@
+"""Performance-regression benchmark suite.
+
+Measures the wall-clock cost of the simulator's hot paths and the
+parallel experiment executor, and emits machine-readable results for the
+``scripts/run_perf_bench.py`` front end and the CI ``perf-smoke`` gate.
+"""
+
+from .scenarios import SCENARIO_ORDER, SCENARIOS, run_scenario
+
+__all__ = ["SCENARIOS", "SCENARIO_ORDER", "run_scenario"]

@@ -14,10 +14,10 @@ DURATION_S = 120.0
 WARMUP_S = 30.0
 
 
-def test_figure6_qos_tdp_4w(benchmark, record):
+def test_figure6_qos_tdp_4w(benchmark, record, jobs):
     result, text = benchmark.pedantic(
         figure6,
-        kwargs={"duration_s": DURATION_S, "warmup_s": WARMUP_S},
+        kwargs={"duration_s": DURATION_S, "warmup_s": WARMUP_S, "jobs": jobs},
         rounds=1,
         iterations=1,
     )

@@ -22,14 +22,14 @@ WARMUP_S = 30.0
 _cache = {}
 
 
-def _sweep():
-    result = run_comparative(duration_s=DURATION_S, warmup_s=WARMUP_S)
+def _sweep(jobs=None):
+    result = run_comparative(duration_s=DURATION_S, warmup_s=WARMUP_S, jobs=jobs)
     _cache["no_tdp"] = result
     return result
 
 
-def test_figure4_qos_no_tdp(benchmark, record):
-    result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_figure4_qos_no_tdp(benchmark, record, jobs):
+    result = benchmark.pedantic(_sweep, args=(jobs,), rounds=1, iterations=1)
     _, text = figure4(result=result)
     record("figure4_qos_no_tdp", text)
 

@@ -12,9 +12,9 @@ import pytest
 from repro.experiments import measure_overhead, table7
 
 
-def test_table7_scalability(benchmark, record):
+def test_table7_scalability(benchmark, record, jobs):
     points, text = benchmark.pedantic(
-        table7, kwargs={"invocations": 5}, rounds=1, iterations=1
+        table7, kwargs={"invocations": 5, "jobs": jobs}, rounds=1, iterations=1
     )
     record("table7_scalability", text)
 

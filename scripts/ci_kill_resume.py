@@ -7,6 +7,11 @@ cleanup handlers run -- the atomic write discipline is what is on
 trial), resumes from the surviving checkpoints, and asserts the resumed
 campaign's report is byte-identical to an uninterrupted run's.
 
+The drill runs twice: once serially, and once with ``--jobs 2`` so two
+governor points are checkpointing *concurrently* into their own
+``point_<index>-<governor>/`` subdirectories when the SIGKILL lands --
+the parallel-safety property the per-point layout exists for.
+
 Exits 0 on success, 1 with a diagnostic on any mismatch.
 """
 
@@ -35,25 +40,40 @@ CAMPAIGN_ARGS = [
 ]
 
 
-def campaign_command(checkpoint_dir, out_dir):
-    return [
+def campaign_command(checkpoint_dir, out_dir, jobs=None):
+    command = [
         sys.executable, "-m", "repro.experiments.cli", "checkpoint",
         *CAMPAIGN_ARGS,
         "--checkpoint-dir", checkpoint_dir,
         "--out", out_dir,
     ]
+    if jobs is not None:
+        command += ["--jobs", str(jobs)]
+    return command
 
 
-def wait_for_checkpoint(directory, timeout_s=120.0):
+def find_checkpoints(directory):
+    """All checkpoint files under the campaign directory (point subdirs)."""
+    found = []
+    for root, _dirs, files in os.walk(directory):
+        for name in files:
+            if name.startswith("ckpt_"):
+                found.append(os.path.relpath(os.path.join(root, name), directory))
+    return found
+
+
+def wait_for_checkpoint(directory, min_streams=1, timeout_s=120.0):
+    """Block until checkpoints exist in ``min_streams`` point directories."""
     deadline = time.monotonic() + timeout_s
     while time.monotonic() < deadline:
-        if os.path.isdir(directory):
-            names = [n for n in os.listdir(directory) if n.startswith("ckpt_")]
-            if names:
-                return names
+        names = find_checkpoints(directory)
+        streams = {os.path.dirname(name) for name in names}
+        if len(streams) >= min_streams:
+            return names
         time.sleep(0.05)
     raise SystemExit(
-        f"no checkpoint appeared under {directory!r} within {timeout_s}s"
+        f"checkpoints in {min_streams} point dir(s) did not appear under "
+        f"{directory!r} within {timeout_s}s"
     )
 
 
@@ -63,6 +83,71 @@ def read_report(out_dir):
         return json.load(handle)
 
 
+def run_drill(workdir, env, reference, jobs, min_streams):
+    """One kill-resume cycle; returns True when the reports match."""
+    tag = f"jobs{jobs or 1}"
+    ckpt_dir = os.path.join(workdir, f"ckpt-{tag}")
+    victim_out = os.path.join(workdir, f"victim-{tag}")
+    # The victim gets its own session (= its own process group) and the
+    # SIGKILL goes to the whole group: with --jobs its pool workers are
+    # separate processes, and killing only the parent would orphan them
+    # -- still writing checkpoints, blocked forever on the dead pool's
+    # task queue, and holding any inherited pipes open.  Killing the
+    # group is also the honest crash model: a dying machine takes the
+    # workers down with the parent.
+    victim = subprocess.Popen(
+        campaign_command(ckpt_dir, victim_out, jobs=jobs),
+        env=env, cwd=REPO_ROOT, stdout=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    try:
+        seen = wait_for_checkpoint(ckpt_dir, min_streams=min_streams)
+    finally:
+        if victim.poll() is None:
+            try:
+                os.killpg(victim.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        victim.wait()
+    print(f"[{tag}] killed campaign after checkpoint(s): {sorted(seen)}")
+    if os.path.exists(os.path.join(victim_out, f"campaign_{FAULT}.json")):
+        raise SystemExit(
+            "victim finished before the kill; lower the checkpoint "
+            "interval or raise the campaign duration"
+        )
+
+    # Resume from whatever survived and compare reports.
+    resume = subprocess.run(
+        [
+            sys.executable, "-m", "repro.experiments.cli", "resume",
+            "--checkpoint-dir", ckpt_dir,
+            "--checkpoint-interval", "1",
+            "--out", victim_out,
+        ],
+        check=True, env=env, cwd=REPO_ROOT,
+        stdout=subprocess.PIPE, text=True,
+    )
+    print(f"[{tag}] " + resume.stdout.strip().splitlines()[-1])
+    resumed = read_report(victim_out)
+    if resumed != reference:
+        print(f"[{tag}] resumed campaign report differs from uninterrupted run:")
+        print(json.dumps(reference, indent=2, sort_keys=True)[:2000])
+        print("--- vs resumed ---")
+        print(json.dumps(resumed, indent=2, sort_keys=True)[:2000])
+        return False
+
+    # The replayed checkpoints must also verify divergence-free.
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro.experiments.cli", "replay",
+            "--checkpoint-dir", ckpt_dir, "--verify",
+        ],
+        check=True, env=env, cwd=REPO_ROOT,
+    )
+    print(f"[{tag}] kill-resume drill passed")
+    return True
+
+
 def main():
     workdir = tempfile.mkdtemp(prefix="kill-resume-")
     env = dict(os.environ)
@@ -70,7 +155,7 @@ def main():
         p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
     )
     try:
-        # 1. Reference: the same campaign, never interrupted.
+        # Reference: the same campaign, never interrupted.
         ref_out = os.path.join(workdir, "reference")
         subprocess.run(
             campaign_command(os.path.join(workdir, "ref-ckpt"), ref_out),
@@ -79,55 +164,14 @@ def main():
         )
         reference = read_report(ref_out)
 
-        # 2. Victim: same campaign, SIGKILLed at its first checkpoint.
-        ckpt_dir = os.path.join(workdir, "ckpt")
-        victim_out = os.path.join(workdir, "victim")
-        victim = subprocess.Popen(
-            campaign_command(ckpt_dir, victim_out),
-            env=env, cwd=REPO_ROOT, stdout=subprocess.DEVNULL,
-        )
-        try:
-            seen = wait_for_checkpoint(ckpt_dir)
-        finally:
-            if victim.poll() is None:
-                victim.send_signal(signal.SIGKILL)
-            victim.wait()
-        print(f"killed campaign after checkpoint(s): {sorted(seen)}")
-        if os.path.exists(os.path.join(victim_out, f"campaign_{FAULT}.json")):
-            raise SystemExit(
-                "victim finished before the kill; lower the checkpoint "
-                "interval or raise the campaign duration"
-            )
-
-        # 3. Resume from whatever survived and compare reports.
-        resume = subprocess.run(
-            [
-                sys.executable, "-m", "repro.experiments.cli", "resume",
-                "--checkpoint-dir", ckpt_dir,
-                "--checkpoint-interval", "1",
-                "--out", victim_out,
-            ],
-            check=True, env=env, cwd=REPO_ROOT,
-            stdout=subprocess.PIPE, text=True,
-        )
-        print(resume.stdout.strip().splitlines()[-1])
-        resumed = read_report(victim_out)
-        if resumed != reference:
-            print("resumed campaign report differs from uninterrupted run:")
-            print(json.dumps(reference, indent=2, sort_keys=True)[:2000])
-            print("--- vs resumed ---")
-            print(json.dumps(resumed, indent=2, sort_keys=True)[:2000])
+        # Serial victim: killed at its first checkpoint.
+        if not run_drill(workdir, env, reference, jobs=None, min_streams=1):
             return 1
-
-        # 4. The replayed checkpoints must also verify divergence-free.
-        subprocess.run(
-            [
-                sys.executable, "-m", "repro.experiments.cli", "replay",
-                "--checkpoint-dir", ckpt_dir, "--verify",
-            ],
-            check=True, env=env, cwd=REPO_ROOT,
-        )
-        print("kill-resume drill passed: resumed report matches uninterrupted run")
+        # Parallel victim: two governor points checkpointing concurrently
+        # into their own subdirectories when the SIGKILL lands.
+        if not run_drill(workdir, env, reference, jobs=2, min_streams=2):
+            return 1
+        print("kill-resume drills passed: resumed reports match uninterrupted run")
         return 0
     finally:
         shutil.rmtree(workdir, ignore_errors=True)

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Performance-regression benchmark runner.
+
+Runs the ``benchmarks/perf`` scenarios, writes a schema-versioned
+``BENCH_<date>.json`` at the repository root, and -- when given a
+baseline file -- fails with a nonzero exit if any scenario's ``wall_s``
+regressed by more than ``--max-regression`` (25% by default).
+
+Typical uses::
+
+    # Full run, writes BENCH_<today>.json at the repo root.
+    python scripts/run_perf_bench.py
+
+    # CI smoke: short scenarios, gate against the committed baseline.
+    python scripts/run_perf_bench.py --quick \
+        --baseline BENCH_2026-08-06.json --max-regression 0.25
+
+Wall-clock numbers are only comparable on similar hardware; the gate is
+meant for CI runners benchmarking against a baseline produced on the
+same runner class, or for before/after comparisons on one machine.
+Counters and ratios (ticks/s, speedup, report-identity) are portable.
+"""
+
+import argparse
+import datetime
+import json
+import multiprocessing
+import os
+import platform
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)
+
+from benchmarks.perf import SCENARIO_ORDER, run_scenario  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="short scenario variants (CI smoke; seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the parallel_sweep scenario "
+             "(default: CPU count, at least 2)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="repetitions per scenario; best-of-N wall time is reported",
+    )
+    parser.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated subset to run (default: all, in canonical order)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="result path (default: BENCH_<date>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="prior BENCH_*.json to gate against; regressions fail the run",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="allowed fractional wall_s slowdown vs the baseline (default 0.25)",
+    )
+    return parser
+
+
+def select_scenarios(spec):
+    if spec is None:
+        return list(SCENARIO_ORDER)
+    chosen = [name.strip() for name in spec.split(",") if name.strip()]
+    unknown = [name for name in chosen if name not in SCENARIO_ORDER]
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s) {unknown}; available: {SCENARIO_ORDER}"
+        )
+    return [name for name in SCENARIO_ORDER if name in chosen]
+
+
+def check_regressions(report, baseline, max_regression):
+    """Compare wall_s per scenario; returns a list of failure strings."""
+    if baseline.get("schema_version") != report["schema_version"]:
+        raise SystemExit(
+            "baseline schema_version "
+            f"{baseline.get('schema_version')!r} does not match "
+            f"{report['schema_version']!r}; regenerate the baseline"
+        )
+    if bool(baseline.get("quick")) != report["quick"]:
+        raise SystemExit(
+            "baseline quick mode does not match this run; "
+            "compare --quick runs only against --quick baselines"
+        )
+    failures = []
+    for name, metrics in report["scenarios"].items():
+        old = baseline.get("scenarios", {}).get(name)
+        if old is None or "wall_s" not in old:
+            continue  # new scenario: nothing to compare against
+        limit = old["wall_s"] * (1.0 + max_regression)
+        if metrics["wall_s"] > limit:
+            failures.append(
+                f"{name}: wall_s {metrics['wall_s']:.3f}s exceeds "
+                f"{limit:.3f}s (baseline {old['wall_s']:.3f}s "
+                f"+{max_regression:.0%})"
+            )
+    return failures
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    cpu_count = multiprocessing.cpu_count()
+    jobs = args.jobs if args.jobs is not None else max(2, cpu_count)
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be positive, got {jobs}")
+
+    scenarios = {}
+    for name in select_scenarios(args.scenarios):
+        print(f"[perf] running {name} ({'quick' if args.quick else 'full'})...")
+        metrics = run_scenario(
+            name, quick=args.quick, jobs=jobs, repeats=args.repeats
+        )
+        scenarios[name] = metrics
+        summary = ", ".join(
+            f"{key}={value:.3f}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in sorted(metrics.items())
+        )
+        print(f"[perf] {name}: {summary}")
+
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "created": datetime.date.today().isoformat(),
+        "quick": bool(args.quick),
+        "jobs": jobs,
+        "repeats": args.repeats,
+        "cpu_count": cpu_count,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": scenarios,
+    }
+
+    output = args.output or os.path.join(
+        REPO_ROOT, f"BENCH_{report['created']}.json"
+    )
+    tmp = output + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, output)
+    print(f"[perf] results written to {output}")
+
+    sweep = scenarios.get("parallel_sweep")
+    if sweep is not None and not sweep["reports_identical"]:
+        print("[perf] FAIL: parallel sweep report differs from serial")
+        return 1
+
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        failures = check_regressions(report, baseline, args.max_regression)
+        if failures:
+            print(f"[perf] FAIL: regression vs {args.baseline}:")
+            for line in failures:
+                print(f"[perf]   {line}")
+            return 1
+        print(f"[perf] no regressions vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

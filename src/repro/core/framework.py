@@ -45,6 +45,9 @@ class PPMGovernor:
         self.lbt: Optional[LBTModule] = None
         self._tasks_by_id: Dict[str, Task] = {}
         self._smoothed_demand: Dict[str, float] = {}
+        #: Cached Table 4 demand cap; the chip's max capacities are fixed
+        #: for a run, so compute the max once instead of per task per round.
+        self._demand_cap: Optional[float] = None
         self._next_bid_time = 0.0
         self._round_counter = 0
         self._last_move_time: Dict[str, float] = {}
@@ -328,9 +331,12 @@ class PPMGovernor:
             task.hr_range, supply, task.observed_heart_rate(), fallback_pus=fallback
         )
         demand *= self.config.market.demand_headroom
-        cap = self.config.market.demand_cap_factor * max(
-            cluster.max_supply_pus for cluster in sim.chip.clusters
-        )
+        cap = self._demand_cap
+        if cap is None:
+            cap = self.config.market.demand_cap_factor * max(
+                cluster.max_supply_pus for cluster in sim.chip.clusters
+            )
+            self._demand_cap = cap
         demand = min(max(demand, 1.0), cap)
         previous = self._smoothed_demand.get(task.name)
         if previous is not None:

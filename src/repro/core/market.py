@@ -89,6 +89,13 @@ class Market:
             allowance=0.0, wth=self.config.wth, wtdp=self.config.wtdp
         )
         self._placement: Dict[str, str] = {}  # task_id -> core_id
+        # Incremental per-core index over ``_placement``: task ids per
+        # core, kept in task-registration order (the order a full scan of
+        # ``_placement.items()`` would yield) so float reductions over a
+        # core's agents are bit-identical to the scan they replace.
+        self._tasks_by_core: Dict[str, List[str]] = {}
+        self._task_seq: Dict[str, int] = {}
+        self._seq_counter: int = 0
         self._prev_total_demand: Optional[float] = None
         self._prev_total_supply: Optional[float] = None
         self._prev_shortfall: Optional[float] = None
@@ -112,6 +119,7 @@ class Market:
             if core_id in self.cores:
                 raise ValueError(f"duplicate core {core_id}")
             self.cores[core_id] = CoreAgent(core_id=core_id, cluster_id=cluster_id)
+            self._tasks_by_core[core_id] = []
         return agent
 
     def add_task(self, task_id: str, priority: int, core_id: str) -> TaskAgent:
@@ -124,6 +132,9 @@ class Market:
         )
         self.tasks[task_id] = agent
         self._placement[task_id] = core_id
+        self._task_seq[task_id] = self._seq_counter
+        self._seq_counter += 1
+        self._tasks_by_core[core_id].append(task_id)  # newest seq: append
         self._ensure_allowance_pool()
         return agent
 
@@ -140,7 +151,10 @@ class Market:
         carried a corrupted balance.
         """
         self.tasks.pop(task_id, None)
-        self._placement.pop(task_id, None)
+        core_id = self._placement.pop(task_id, None)
+        if core_id is not None:
+            self._tasks_by_core[core_id].remove(task_id)
+        self._task_seq.pop(task_id, None)
         if not self.tasks:
             return
         floor = self.config.bmin * len(self.tasks)
@@ -157,22 +171,51 @@ class Market:
             raise KeyError(f"unknown task {task_id}")
         if core_id not in self.cores:
             raise KeyError(f"unknown core {core_id}")
+        previous = self._placement[task_id]
+        if previous == core_id:
+            return
         self._placement[task_id] = core_id
+        self._tasks_by_core[previous].remove(task_id)
+        self._insert_in_seq_order(core_id, task_id)
+
+    def _insert_in_seq_order(self, core_id: str, task_id: str) -> None:
+        """Insert into a core's list keeping registration order.
+
+        A ``dict`` keeps a moved task at its original position, so the
+        index must too; core populations are small, so a linear scan from
+        the tail beats maintaining a parallel key list.
+        """
+        bucket = self._tasks_by_core[core_id]
+        seq = self._task_seq[task_id]
+        index = len(bucket)
+        while index > 0 and self._task_seq[bucket[index - 1]] > seq:
+            index -= 1
+        bucket.insert(index, task_id)
+
+    def _rebuild_core_index(self) -> Dict[str, List[str]]:
+        """The per-core index a full ``_placement`` scan would produce."""
+        rebuilt: Dict[str, List[str]] = {core_id: [] for core_id in self.cores}
+        for task_id, core_id in self._placement.items():
+            rebuilt[core_id].append(task_id)
+        return rebuilt
+
+    def core_index_consistent(self) -> bool:
+        """Whether the incremental per-core index matches a fresh rebuild."""
+        return self._rebuild_core_index() == self._tasks_by_core
 
     def core_of(self, task_id: str) -> str:
         return self._placement[task_id]
 
     def tasks_on_core(self, core_id: str) -> List[TaskAgent]:
-        return [
-            self.tasks[tid]
-            for tid, cid in self._placement.items()
-            if cid == core_id
-        ]
+        tasks = self.tasks
+        return [tasks[tid] for tid in self._tasks_by_core[core_id]]
 
     def tasks_on_cluster(self, cluster_id: str) -> List[TaskAgent]:
         agents: List[TaskAgent] = []
+        tasks = self.tasks
         for core_id in self.clusters[cluster_id].core_ids:
-            agents.extend(self.tasks_on_core(core_id))
+            for tid in self._tasks_by_core[core_id]:
+                agents.append(tasks[tid])
         return agents
 
     def core_demand(self, core_id: str) -> float:
@@ -325,6 +368,9 @@ class Market:
             )
         self.tasks = {}
         self._placement = {}
+        self._tasks_by_core = {core_id: [] for core_id in self.cores}
+        self._task_seq = {}
+        self._seq_counter = 0
         for tstate in state["tasks"]:
             agent = TaskAgent(
                 task_id=tstate["task_id"],
@@ -351,6 +397,9 @@ class Market:
         self.chip.last_delta = state["chip"]["last_delta"]
         for task_id, core_id in state["placement"]:
             self._placement[task_id] = core_id
+            self._task_seq[task_id] = self._seq_counter
+            self._seq_counter += 1
+            self._tasks_by_core[core_id].append(task_id)
         self._prev_total_demand = state["prev_total_demand"]
         self._prev_total_supply = state["prev_total_supply"]
         self._prev_shortfall = state["prev_shortfall"]

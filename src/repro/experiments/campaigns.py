@@ -40,6 +40,7 @@ from ..hw import tc2_chip
 from ..sim import SimConfig, Simulation
 from ..tasks import build_workload
 from .harness import capped_tdp_w, make_governor
+from .parallel import PointSpec, execute_points
 
 #: CLI spellings of the injectable fault kinds.
 CAMPAIGN_FAULTS: Dict[str, FaultKind] = {
@@ -213,70 +214,168 @@ def _build_campaign_sim(
     return sim, injector
 
 
-def _summarise_run(
+def _campaign_stream(index: int, name: str) -> str:
+    """Checkpoint stream label for governor ``name`` at campaign ``index``."""
+    return f"{index}-{name}"
+
+
+def _point_dir(checkpoint_dir: str, index: int, name: str) -> str:
+    """Per-point checkpoint subdirectory.
+
+    Each (index, governor) point owns a private directory so concurrent
+    workers never write into the same path, and a point's checkpoints,
+    journal and final result travel together.
+    """
+    return os.path.join(checkpoint_dir, f"point_{_campaign_stream(index, name)}")
+
+
+def _campaign_manifest_path(checkpoint_dir: str) -> str:
+    return os.path.join(checkpoint_dir, "campaign.json")
+
+
+def _write_campaign_manifest(
+    checkpoint_dir: str, identity: Dict[str, object]
+) -> None:
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    atomic_write_text(
+        _campaign_manifest_path(checkpoint_dir),
+        json.dumps(
+            {"magic": "repro-campaign", "version": 1, "identity": identity},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+    )
+
+
+def _point_run_path(point_dir: str) -> str:
+    return os.path.join(point_dir, "run.json")
+
+
+def _point_journal_path(point_dir: str) -> str:
+    return os.path.join(point_dir, "journal.json")
+
+
+def _write_point_result(point_dir: str, run: CampaignRun) -> None:
+    atomic_write_text(
+        _point_run_path(point_dir),
+        json.dumps({"run": asdict(run)}, indent=2, sort_keys=True) + "\n",
+    )
+
+
+def _read_point_result(point_dir: str) -> Optional[CampaignRun]:
+    path = _point_run_path(point_dir)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return CampaignRun(**data["run"])
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise CheckpointError(
+            f"campaign point result {path!r} is unreadable: {exc}"
+        )
+
+
+def _latest_point_checkpoint(point_dir: str) -> Optional[str]:
+    """Newest checkpoint inside one point directory, or None."""
+    if not os.path.isdir(point_dir):
+        return None
+    best = None
+    best_tick = -1
+    for entry in os.listdir(point_dir):
+        match = CHECKPOINT_GLOB_RE.match(entry)
+        if not match:
+            continue
+        tick = int(match.group("tick"))
+        if tick > best_tick:
+            best_tick = tick
+            best = entry
+    return os.path.join(point_dir, best) if best is not None else None
+
+
+def _attach_campaign_manager(
+    sim: Simulation,
+    point_dir: str,
+    checkpoint_interval_s: float,
+    identity: Dict[str, object],
+    index: int,
     name: str,
-    result: CampaignResult,
+) -> CheckpointManager:
+    """Checkpoint this governor's run into its private point directory."""
+    return CheckpointManager(
+        point_dir,
+        interval_s=checkpoint_interval_s,
+        retention=3,
+        stream=_campaign_stream(index, name),
+        fingerprint_extra={"campaign": identity, "index": index, "governor": name},
+        extra_payload={"campaign": identity, "index": index, "governor": name},
+    ).attach(sim)
+
+
+def _summarise_point(
+    name: str,
+    identity: Dict[str, object],
+    windows: List[Tuple[float, float]],
     metrics,
     sim: Simulation,
     injector: FaultInjector,
     settle_s: float = 1.0,
 ) -> CampaignRun:
     last_window_end = max(
-        (end for _, end in result.windows), default=sim.config.metrics_warmup_s
+        (end for _, end in windows), default=sim.config.metrics_warmup_s
     )
     return CampaignRun(
         governor=name,
-        fault=result.fault,
-        intensity=result.intensity,
-        miss_fraction_in_fault=metrics.miss_fraction_in_windows(result.windows),
-        miss_fraction_outside_fault=metrics.miss_fraction_outside_windows(
-            result.windows
-        ),
+        fault=identity["fault"],
+        intensity=identity["intensity"],
+        miss_fraction_in_fault=metrics.miss_fraction_in_windows(windows),
+        miss_fraction_outside_fault=metrics.miss_fraction_outside_windows(windows),
         recovery_time_s=metrics.recovery_time_s(
             after_s=last_window_end, settle_s=settle_s, dt=sim.dt
         ),
-        tdp_violation_s=metrics.tdp_violation_seconds(result.tdp_w, sim.dt),
+        tdp_violation_s=metrics.tdp_violation_seconds(identity["tdp_w"], sim.dt),
         average_power_w=metrics.average_power_w(),
         audit_violations=metrics.audit_violation_count(),
         fault_stats=injector.stats(),
     )
 
 
-def _campaign_stream(index: int, name: str) -> str:
-    """Checkpoint stream label for governor ``name`` at campaign ``index``."""
-    return f"{index}-{name}"
-
-
-def _attach_campaign_manager(
-    sim: Simulation,
-    checkpoint_dir: str,
-    checkpoint_interval_s: float,
+def _campaign_point(
     identity: Dict[str, object],
     index: int,
     name: str,
-    result: CampaignResult,
-) -> CheckpointManager:
-    """Checkpoint this governor's run, carrying campaign progress along."""
-    return CheckpointManager(
-        checkpoint_dir,
-        interval_s=checkpoint_interval_s,
-        retention=3,
-        stream=_campaign_stream(index, name),
-        fingerprint_extra={"campaign": identity, "index": index, "governor": name},
-        extra_payload={
-            "campaign": identity,
-            "index": index,
-            "governor": name,
-            "completed_runs": [asdict(run) for run in result.runs],
-            "windows": [list(window) for window in result.windows],
-        },
-    ).attach(sim)
+    checkpoint_dir: Optional[str],
+    checkpoint_interval_s: float,
+) -> CampaignRun:
+    """Run one (campaign, governor) point end to end.
 
-
-def _campaign_journal_path(checkpoint_dir: str, index: int, name: str) -> str:
-    return os.path.join(
-        checkpoint_dir, f"journal_{_campaign_stream(index, name)}.json"
-    )
+    Top-level and fed only picklable arguments, so it runs identically
+    in-process (``jobs=1``) and inside a pool worker: the schedule, chip,
+    workload and governor are all rebuilt from ``identity``, and all
+    checkpoint artifacts stay inside this point's own subdirectory.
+    """
+    schedule = _campaign_schedule(identity)
+    sim, injector = _build_campaign_sim(name, identity, schedule)
+    manager = None
+    point_dir = None
+    if checkpoint_dir is not None:
+        point_dir = _point_dir(checkpoint_dir, index, name)
+        manager = _attach_campaign_manager(
+            sim, point_dir, checkpoint_interval_s, identity, index, name
+        )
+    metrics = sim.run(identity["duration_s"])
+    windows = list(schedule.windows())
+    run = _summarise_point(name, identity, windows, metrics, sim, injector)
+    if manager is not None:
+        write_journal(
+            _point_journal_path(point_dir),
+            tick_records(metrics),
+            manager.fingerprint,
+            sim.dt,
+        )
+        _write_point_result(point_dir, run)
+    return run
 
 
 def run_fault_campaign(
@@ -290,6 +389,7 @@ def run_fault_campaign(
     power_cap_w: Optional[float] = None,
     checkpoint_dir: Optional[str] = None,
     checkpoint_interval_s: float = 1.0,
+    jobs: Optional[int] = None,
 ) -> CampaignResult:
     """Sweep one fault kind across ``governors`` and collect resilience data.
 
@@ -297,11 +397,17 @@ def run_fault_campaign(
     policy layer), under the Figure 6 power cap by default so the
     TDP-violation metric is meaningful.
 
-    With ``checkpoint_dir`` set, each governor's run writes periodic
-    crash-consistent checkpoints (one stream per governor, campaign
-    progress embedded) plus a per-tick telemetry journal, so a killed
-    campaign can be continued with :func:`resume_fault_campaign` and
-    verified with ``repro-experiments replay``.
+    With ``checkpoint_dir`` set, a campaign manifest is written at the
+    directory root and each governor's run writes periodic crash-consistent
+    checkpoints, a per-tick telemetry journal and (on completion) its
+    summary into its own ``point_<index>-<governor>/`` subdirectory, so a
+    killed campaign can be continued with :func:`resume_fault_campaign`
+    and verified with ``repro-experiments replay``.
+
+    ``jobs`` (default ``$REPRO_JOBS`` or 1) runs governor points in
+    worker processes; per-point subdirectories make the checkpoint
+    streams disjoint, and results are merged in governor order so the
+    report is identical to a serial campaign's.
     """
     kind = CAMPAIGN_FAULTS.get(fault)
     if kind is None:
@@ -321,86 +427,80 @@ def run_fault_campaign(
         tdp_w=cap,
         windows=list(schedule.windows()),
     )
-    for index, name in enumerate(governors):
-        sim, injector = _build_campaign_sim(name, identity, schedule)
-        manager = None
-        if checkpoint_dir is not None:
-            manager = _attach_campaign_manager(
-                sim, checkpoint_dir, checkpoint_interval_s,
-                identity, index, name, result,
-            )
-        metrics = sim.run(duration_s)
-        if manager is not None:
-            write_journal(
-                _campaign_journal_path(checkpoint_dir, index, name),
-                tick_records(metrics),
-                manager.fingerprint,
-                sim.dt,
-            )
-        result.runs.append(_summarise_run(name, result, metrics, sim, injector))
+    if checkpoint_dir is not None:
+        _write_campaign_manifest(checkpoint_dir, identity)
+    specs = [
+        PointSpec(
+            fn=_campaign_point,
+            label=f"campaign {fault}/{name}",
+            args=(identity, index, name, checkpoint_dir, checkpoint_interval_s),
+        )
+        for index, name in enumerate(governors)
+    ]
+    result.runs.extend(execute_points(specs, jobs=jobs))
     return result
 
 
-def _latest_campaign_checkpoint(checkpoint_dir: str) -> str:
-    """The furthest-progressed checkpoint: max (governor index, tick)."""
-    best = None
-    best_key = None
-    if os.path.isdir(checkpoint_dir):
-        for entry in os.listdir(checkpoint_dir):
-            match = CHECKPOINT_GLOB_RE.match(entry)
-            if not match or match.group("stream") is None:
-                continue
-            index_text = match.group("stream").split("-", 1)[0]
-            if not index_text.isdigit():
-                continue
-            key = (int(index_text), int(match.group("tick")))
-            if best_key is None or key > best_key:
-                best_key = key
-                best = entry
-    if best is None:
-        raise CheckpointError(
-            f"no campaign checkpoints found under {checkpoint_dir!r}; run "
-            "'repro-experiments campaign --checkpoint-dir ...' first"
-        )
-    return os.path.join(checkpoint_dir, best)
+def _load_campaign_identity(checkpoint_dir: str) -> Dict[str, object]:
+    """The campaign identity: from the manifest, else any checkpoint.
 
-
-def resume_fault_campaign(
-    checkpoint_dir: str,
-    checkpoint_interval_s: float = 1.0,
-) -> CampaignResult:
-    """Continue a killed campaign from its latest checkpoint.
-
-    Re-reads the campaign identity and completed per-governor results
-    embedded in the newest checkpoint, rebuilds the interrupted
-    governor's simulation (validating the config/seed fingerprint),
-    restores it mid-run, finishes it, then runs any governors the
-    campaign had not yet reached.  The returned :class:`CampaignResult`
-    is tick-for-tick identical to the uninterrupted campaign's.
+    The manifest is written before the first tick, so it survives any
+    mid-campaign crash; the per-checkpoint fallback keeps resume working
+    even if only a bare point directory was salvaged.
     """
-    path = _latest_campaign_checkpoint(checkpoint_dir)
-    envelope = read_checkpoint(path)
-    extra = envelope.payload.get("extra")
-    if not isinstance(extra, dict) or "campaign" not in extra:
-        raise CheckpointError(
-            f"checkpoint {path!r} was not written by a fault campaign "
-            "(no embedded campaign identity)"
-        )
-    identity = extra["campaign"]
-    index = extra["index"]
-    name = extra["governor"]
-    governors = identity["governors"]
-    schedule = _campaign_schedule(identity)
-    result = CampaignResult(
-        fault=identity["fault"],
-        workload=identity["workload"],
-        duration_s=identity["duration_s"],
-        intensity=identity["intensity"],
-        tdp_w=identity["tdp_w"],
-        windows=[tuple(window) for window in extra["windows"]],
-        runs=[CampaignRun(**run) for run in extra["completed_runs"]],
+    manifest_path = _campaign_manifest_path(checkpoint_dir)
+    if os.path.exists(manifest_path):
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if data.get("magic") != "repro-campaign":
+                raise ValueError("not a campaign manifest")
+            return data["identity"]
+        except (OSError, ValueError, KeyError) as exc:
+            raise CheckpointError(
+                f"campaign manifest {manifest_path!r} is unreadable: {exc}"
+            )
+    for path in _iter_point_checkpoints(checkpoint_dir):
+        envelope = read_checkpoint(path)
+        extra = envelope.payload.get("extra")
+        if isinstance(extra, dict) and "campaign" in extra:
+            return extra["campaign"]
+    raise CheckpointError(
+        f"no campaign checkpoints found under {checkpoint_dir!r}; run "
+        "'repro-experiments campaign --checkpoint-dir ...' first"
     )
-    # Finish the interrupted governor from its checkpoint.
+
+
+def _iter_point_checkpoints(checkpoint_dir: str):
+    """Every checkpoint under every point subdirectory, newest point first."""
+    if not os.path.isdir(checkpoint_dir):
+        return
+    entries = []
+    for entry in os.listdir(checkpoint_dir):
+        if not entry.startswith("point_"):
+            continue
+        index_text = entry[len("point_"):].split("-", 1)[0]
+        if not index_text.isdigit():
+            continue
+        entries.append((int(index_text), entry))
+    for _, entry in sorted(entries, reverse=True):
+        point_dir = os.path.join(checkpoint_dir, entry)
+        path = _latest_point_checkpoint(point_dir)
+        if path is not None:
+            yield path
+
+
+def _resume_point(
+    identity: Dict[str, object],
+    index: int,
+    name: str,
+    point_dir: str,
+    checkpoint_interval_s: float,
+) -> CampaignRun:
+    """Finish one interrupted point from its newest checkpoint."""
+    path = _latest_point_checkpoint(point_dir)
+    assert path is not None
+    schedule = _campaign_schedule(identity)
     injectors = []
 
     def factory():
@@ -414,40 +514,86 @@ def resume_fault_campaign(
         fingerprint_extra={"campaign": identity, "index": index, "governor": name},
     )
     manager = _attach_campaign_manager(
-        sim, checkpoint_dir, checkpoint_interval_s, identity, index, name, result
+        sim, point_dir, checkpoint_interval_s, identity, index, name
     )
     metrics = sim.run(identity["duration_s"] - sim.now)
+    windows = list(schedule.windows())
+    run = _summarise_point(name, identity, windows, metrics, sim, injectors[-1])
     write_journal(
-        _campaign_journal_path(checkpoint_dir, index, name),
+        _point_journal_path(point_dir),
         tick_records(metrics),
         manager.fingerprint,
         sim.dt,
     )
-    result.runs.append(_summarise_run(name, result, metrics, sim, injectors[-1]))
-    # Then any governors the campaign never reached.
-    for later_index in range(index + 1, len(governors)):
-        later_name = governors[later_index]
-        sim, injector = _build_campaign_sim(later_name, identity, schedule)
-        manager = _attach_campaign_manager(
-            sim, checkpoint_dir, checkpoint_interval_s,
-            identity, later_index, later_name, result,
-        )
-        metrics = sim.run(identity["duration_s"])
-        write_journal(
-            _campaign_journal_path(checkpoint_dir, later_index, later_name),
-            tick_records(metrics),
-            manager.fingerprint,
-            sim.dt,
-        )
-        result.runs.append(
-            _summarise_run(later_name, result, metrics, sim, injector)
-        )
+    _write_point_result(point_dir, run)
+    return run
+
+
+def resume_fault_campaign(
+    checkpoint_dir: str,
+    checkpoint_interval_s: float = 1.0,
+    jobs: Optional[int] = None,
+) -> CampaignResult:
+    """Continue a killed campaign from its per-point checkpoints.
+
+    Re-reads the campaign identity (manifest, else embedded in any
+    checkpoint), then brings every governor point to completion: points
+    with a ``run.json`` are taken as-is, points with checkpoints resume
+    mid-run from the newest one (validating the config/seed fingerprint),
+    and points never started run from scratch -- in parallel when
+    ``jobs`` > 1, since each owns a private subdirectory.  The returned
+    :class:`CampaignResult` is tick-for-tick identical to an
+    uninterrupted campaign's.
+    """
+    identity = _load_campaign_identity(checkpoint_dir)
+    governors = list(identity["governors"])
+    schedule = _campaign_schedule(identity)
+    result = CampaignResult(
+        fault=identity["fault"],
+        workload=identity["workload"],
+        duration_s=identity["duration_s"],
+        intensity=identity["intensity"],
+        tdp_w=identity["tdp_w"],
+        windows=list(schedule.windows()),
+    )
+    runs: List[Optional[CampaignRun]] = [None] * len(governors)
+    pending: List[Tuple[int, str]] = []
+    for index, name in enumerate(governors):
+        point_dir = _point_dir(checkpoint_dir, index, name)
+        done = _read_point_result(point_dir)
+        if done is not None:
+            runs[index] = done
+        elif _latest_point_checkpoint(point_dir) is not None:
+            runs[index] = _resume_point(
+                identity, index, name, point_dir, checkpoint_interval_s
+            )
+        else:
+            pending.append((index, name))
+    if pending:
+        specs = [
+            PointSpec(
+                fn=_campaign_point,
+                label=f"campaign {identity['fault']}/{name}",
+                args=(identity, index, name, checkpoint_dir, checkpoint_interval_s),
+            )
+            for index, name in pending
+        ]
+        for (index, _), run in zip(pending, execute_points(specs, jobs=jobs)):
+            runs[index] = run
+    result.runs.extend(runs)
     return result
 
 
 def _campaign_checkpoint_context(checkpoint_dir: str, checkpoint_path: Optional[str]):
     """Resolve a campaign checkpoint to (path, identity, index, governor)."""
-    path = checkpoint_path or _latest_campaign_checkpoint(checkpoint_dir)
+    path = checkpoint_path
+    if path is None:
+        path = next(_iter_point_checkpoints(checkpoint_dir), None)
+        if path is None:
+            raise CheckpointError(
+                f"no campaign checkpoints found under {checkpoint_dir!r}; run "
+                "'repro-experiments campaign --checkpoint-dir ...' first"
+            )
     envelope = read_checkpoint(path)
     extra = envelope.payload.get("extra")
     if not isinstance(extra, dict) or "campaign" not in extra:
@@ -463,17 +609,18 @@ def replay_campaign_checkpoint(
 ) -> ReplayReport:
     """Replay one campaign checkpoint against its telemetry journal.
 
-    Picks the newest checkpoint unless ``checkpoint_path`` names one,
-    rebuilds that governor's simulation from the embedded campaign
-    identity, restores and re-runs it to the journal's end, and reports
-    either a clean match or the first divergent tick with field-level
-    diffs.  Requires the journal written when that governor's run
-    completed (``journal_<index>-<governor>.json``).
+    Picks the newest checkpoint of the furthest-progressed point unless
+    ``checkpoint_path`` names one, rebuilds that governor's simulation
+    from the embedded campaign identity, restores and re-runs it to the
+    journal's end, and reports either a clean match or the first
+    divergent tick with field-level diffs.  Requires the journal written
+    when that governor's run completed (``point_<index>-<governor>/
+    journal.json``).
     """
     path, identity, index, name = _campaign_checkpoint_context(
         checkpoint_dir, checkpoint_path
     )
-    journal_path = _campaign_journal_path(checkpoint_dir, index, name)
+    journal_path = _point_journal_path(os.path.dirname(path))
     if not os.path.exists(journal_path):
         raise CheckpointError(
             f"no telemetry journal at {journal_path!r}; the campaign run that "

@@ -64,7 +64,9 @@ def _export(result, path):
 
 
 def _run_fig4(args) -> str:
-    result = run_comparative(duration_s=args.duration, warmup_s=args.warmup)
+    result = run_comparative(
+        duration_s=args.duration, warmup_s=args.warmup, jobs=args.jobs
+    )
     text4 = figure4(result=result)[1]
     text5 = figure5(result=result)[1]
     _export(result, args.export)
@@ -72,11 +74,15 @@ def _run_fig4(args) -> str:
 
 
 def _run_fig5(args) -> str:
-    return figure5(duration_s=args.duration, warmup_s=args.warmup)[1]
+    return figure5(
+        duration_s=args.duration, warmup_s=args.warmup, jobs=args.jobs
+    )[1]
 
 
 def _run_fig6(args) -> str:
-    result, text = figure6(duration_s=args.duration, warmup_s=args.warmup)
+    result, text = figure6(
+        duration_s=args.duration, warmup_s=args.warmup, jobs=args.jobs
+    )
     _export(result, args.export)
     return text
 
@@ -90,7 +96,7 @@ def _run_fig8(args) -> str:
 
 
 def _run_table7(args) -> str:
-    return table7(invocations=args.invocations)[1]
+    return table7(invocations=args.invocations, jobs=args.jobs)[1]
 
 
 def _run_validate(args) -> str:
@@ -131,6 +137,7 @@ def _run_campaign(args) -> str:
         seed=args.seed,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval_s=args.checkpoint_interval,
+        jobs=args.jobs,
     )
     path = write_campaign_report(result, out_dir=args.out)
     return result.as_table() + f"\n\nreport written to {path}"
@@ -147,7 +154,9 @@ def _run_resume(args) -> str:
     directory = args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR
     try:
         result = resume_fault_campaign(
-            directory, checkpoint_interval_s=args.checkpoint_interval
+            directory,
+            checkpoint_interval_s=args.checkpoint_interval,
+            jobs=args.jobs,
         )
     except CheckpointError as exc:
         raise SystemExit(f"resume failed: {exc}")
@@ -199,6 +208,16 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(_COMMANDS) + sorted(_EXTRA_COMMANDS) + ["all"],
         help="which table/figure to regenerate (or 'campaign')",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for independent experiment points "
+            "(default: $REPRO_JOBS or 1; results are identical at any "
+            "job count)"
+        ),
     )
     parser.add_argument(
         "--duration",

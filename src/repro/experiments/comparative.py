@@ -26,6 +26,7 @@ from .harness import (
     capped_tdp_w,
     run_workload,
 )
+from .parallel import PointSpec, execute_points
 from .reporting import format_percent_table, format_table
 
 
@@ -77,19 +78,36 @@ def run_comparative(
     workloads: Sequence[str] = WORKLOAD_ORDER,
     duration_s: float = DEFAULT_DURATION_S,
     warmup_s: float = DEFAULT_WARMUP_S,
+    jobs: Optional[int] = None,
 ) -> ComparativeResult:
-    """Run the full governors x workloads sweep."""
+    """Run the full governors x workloads sweep.
+
+    ``jobs`` (default ``$REPRO_JOBS`` or 1) fans the independent
+    (governor, workload) points out over worker processes; results are
+    merged back in the serial iteration order, so the resulting tables
+    are identical whatever the job count.
+    """
+    specs = [
+        PointSpec(
+            fn=run_workload,
+            label=f"{governor}/{workload}",
+            args=(workload, governor),
+            kwargs={
+                "duration_s": duration_s,
+                "warmup_s": warmup_s,
+                "power_cap_w": power_cap_w,
+            },
+        )
+        for governor in governors
+        for workload in workloads
+    ]
+    results = execute_points(specs, jobs=jobs)
     runs: Dict[str, Dict[str, RunResult]] = {}
+    cursor = iter(results)
     for governor in governors:
         runs[governor] = {}
         for workload in workloads:
-            runs[governor][workload] = run_workload(
-                workload,
-                governor,
-                duration_s=duration_s,
-                warmup_s=warmup_s,
-                power_cap_w=power_cap_w,
-            )
+            runs[governor][workload] = next(cursor)
     return ComparativeResult(runs=runs, power_cap_w=power_cap_w)
 
 
@@ -97,9 +115,12 @@ def figure4(
     duration_s: float = DEFAULT_DURATION_S,
     warmup_s: float = DEFAULT_WARMUP_S,
     result: Optional[ComparativeResult] = None,
+    jobs: Optional[int] = None,
 ) -> Tuple[ComparativeResult, str]:
     """Figure 4: QoS miss percentage, no TDP constraint."""
-    result = result or run_comparative(duration_s=duration_s, warmup_s=warmup_s)
+    result = result or run_comparative(
+        duration_s=duration_s, warmup_s=warmup_s, jobs=jobs
+    )
     text = format_percent_table(
         "Figure 4: % time any task misses its reference heart-rate range (no TDP)",
         list(result.workloads()),
@@ -112,13 +133,16 @@ def figure5(
     duration_s: float = DEFAULT_DURATION_S,
     warmup_s: float = DEFAULT_WARMUP_S,
     result: Optional[ComparativeResult] = None,
+    jobs: Optional[int] = None,
 ) -> Tuple[ComparativeResult, str]:
     """Figure 5: average power consumption, no TDP constraint.
 
     Pass the :class:`ComparativeResult` from :func:`figure4` to reuse the
     same runs, as the paper does.
     """
-    result = result or run_comparative(duration_s=duration_s, warmup_s=warmup_s)
+    result = result or run_comparative(
+        duration_s=duration_s, warmup_s=warmup_s, jobs=jobs
+    )
     columns = list(result.workloads())
     headers = ["governor"] + columns + ["mean [W]"]
     rows = []
@@ -139,11 +163,12 @@ def figure6(
     duration_s: float = DEFAULT_DURATION_S,
     warmup_s: float = DEFAULT_WARMUP_S,
     power_cap_w: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> Tuple[ComparativeResult, str]:
     """Figure 6: QoS miss percentage under the 4 W TDP constraint."""
     cap = power_cap_w if power_cap_w is not None else capped_tdp_w()
     result = run_comparative(
-        power_cap_w=cap, duration_s=duration_s, warmup_s=warmup_s
+        power_cap_w=cap, duration_s=duration_s, warmup_s=warmup_s, jobs=jobs
     )
     text = format_percent_table(
         f"Figure 6: % time any task misses its reference range (TDP {cap:.0f} W)",

@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from .parallel import PointSpec, execute_points
 from .reporting import format_table
 
 #: (clusters, cores per cluster, tasks per core) rows of Table 7.
@@ -229,11 +230,25 @@ def measure_overhead(
 def table7(
     configs: Sequence[Tuple[int, int, int]] = TABLE7_CONFIGS,
     invocations: int = 5,
+    jobs: Optional[int] = None,
 ) -> Tuple[List[ScalabilityPoint], str]:
-    """Regenerate Table 7 over the paper's configurations."""
-    points = [
-        measure_overhead(v, c, t, invocations=invocations) for (v, c, t) in configs
+    """Regenerate Table 7 over the paper's configurations.
+
+    With ``jobs`` > 1 the configurations are timed in worker processes.
+    The emulated *work* is identical, but wall-clock overhead numbers are
+    then measured under CPU contention -- use multiple jobs to smoke-test
+    the table quickly, and a single job for quotable measurements.
+    """
+    specs = [
+        PointSpec(
+            fn=measure_overhead,
+            label=f"table7 V={v} C={c} T={t}",
+            args=(v, c, t),
+            kwargs={"invocations": invocations},
+        )
+        for (v, c, t) in configs
     ]
+    points = execute_points(specs, jobs=jobs)
     rows = [
         [
             p.clusters,

@@ -15,6 +15,7 @@ from ..core import MarketConfig, PPMConfig, PPMGovernor
 from ..hw import tc2_chip
 from ..sim import SimConfig, Simulation
 from ..tasks import build_workload
+from .parallel import PointSpec, execute_points
 from .reporting import format_table
 
 
@@ -80,6 +81,29 @@ def apply_market_parameter(config: PPMConfig, name: str, value) -> PPMConfig:
     raise AttributeError(f"PPMConfig has no parameter {name!r}")
 
 
+def _sweep_point(
+    name: str,
+    value: object,
+    workload: str,
+    duration_s: float,
+    warmup_s: float,
+    base_config: Optional[PPMConfig],
+    outcome_fn: Callable[[Simulation, object], Dict[str, float]],
+    chip_factory: Callable,
+) -> SweepPoint:
+    """One sweep value, self-contained so it can run in a worker process."""
+    base = base_config or PPMConfig()
+    config = apply_market_parameter(base, name, value)
+    sim = Simulation(
+        chip_factory(),
+        build_workload(workload),
+        PPMGovernor(config),
+        config=SimConfig(metrics_warmup_s=warmup_s),
+    )
+    metrics = sim.run(duration_s)
+    return SweepPoint(value=value, outcomes=outcome_fn(sim, metrics))
+
+
 def sweep_parameter(
     name: str,
     values: Sequence[object],
@@ -89,25 +113,36 @@ def sweep_parameter(
     base_config: Optional[PPMConfig] = None,
     outcome_fn: Callable[[Simulation, object], Dict[str, float]] = default_outcomes,
     chip_factory: Callable = tc2_chip,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Run ``workload`` under PPM for each value of parameter ``name``.
 
     ``name`` may be any field of :class:`PPMConfig` or its embedded
     :class:`MarketConfig` (e.g. ``tolerance``, ``savings_cap_fraction``,
     ``migrate_every``).
+
+    With ``jobs`` > 1 the sweep values run in worker processes; custom
+    ``outcome_fn``/``chip_factory`` callables must then be picklable
+    (module-level functions, not lambdas).  Points are appended in value
+    order either way.
     """
-    base = base_config or PPMConfig()
     result = SweepResult(parameter=name, workload=workload)
-    for value in values:
-        config = apply_market_parameter(base, name, value)
-        sim = Simulation(
-            chip_factory(),
-            build_workload(workload),
-            PPMGovernor(config),
-            config=SimConfig(metrics_warmup_s=warmup_s),
+    specs = [
+        PointSpec(
+            fn=_sweep_point,
+            label=f"{name}={value!r}",
+            args=(
+                name,
+                value,
+                workload,
+                duration_s,
+                warmup_s,
+                base_config,
+                outcome_fn,
+                chip_factory,
+            ),
         )
-        metrics = sim.run(duration_s)
-        result.points.append(
-            SweepPoint(value=value, outcomes=outcome_fn(sim, metrics))
-        )
+        for value in values
+    ]
+    result.points.extend(execute_points(specs, jobs=jobs))
     return result

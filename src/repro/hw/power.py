@@ -59,6 +59,12 @@ class PowerModel:
     speculation (the LBT module estimates power of candidate mappings).
     """
 
+    def __init__(self) -> None:
+        # (params, level) -> (dynamic coefficient, per-core static watts).
+        # Both inputs are frozen dataclasses, so the cache stays small (a
+        # handful of V-F levels per micro-architecture) and never stales.
+        self._coef_cache: "dict[tuple[CorePowerParams, VFLevel], tuple[float, float]]" = {}
+
     def cluster_power_w(
         self,
         params: CorePowerParams,
@@ -79,7 +85,22 @@ class PowerModel:
         """
         if not powered:
             return 0.0
-        core_total = sum(params.core_power_w(level, u) for u in core_utilizations)
+        cached = self._coef_cache.get((params, level))
+        if cached is None:
+            # Same association order as core_power_w: (k_dyn * V^2 * f) * u.
+            cached = (
+                params.k_dyn * level.voltage_v**2 * level.frequency_mhz,
+                params.k_static * level.voltage_v,
+            )
+            self._coef_cache[(params, level)] = cached
+        coef, static = cached
+        core_total = 0.0
+        for u in core_utilizations:
+            if u < 0.0:
+                u = 0.0
+            elif u > 1.0:
+                u = 1.0
+            core_total += coef * u + static
         return core_total + params.uncore_w
 
     def max_cluster_power_w(

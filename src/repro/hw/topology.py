@@ -35,9 +35,12 @@ class Core:
     @property
     def supply_pus(self) -> float:
         """Current supply of this core in PUs (0 when cluster is off)."""
-        if not self.cluster.powered:
+        cluster = self.cluster
+        if not cluster.powered:
             return 0.0
-        return self.cluster.level.supply_pus
+        # Inlined cluster.level.supply_pus: this sits on the dispatch and
+        # market hot paths, so skip the two intermediate property hops.
+        return cluster.vf_table[cluster.regulator.level_index].frequency_mhz
 
     @property
     def max_supply_pus(self) -> float:
@@ -95,7 +98,9 @@ class Cluster:
     @property
     def supply_pus(self) -> float:
         """Per-core supply of this cluster (paper's ``S_v``)."""
-        return self.level.supply_pus if self.powered else 0.0
+        if not self.powered:
+            return 0.0
+        return self.vf_table[self.regulator.level_index].frequency_mhz
 
     @property
     def max_supply_pus(self) -> float:

@@ -123,6 +123,14 @@ class Simulation:
         self._allocations: Dict[Task, float] = {}
         self._weights: Dict[Task, float] = {}
         self._prepared = False
+        # Per-tick cache of the active task list.  Activity only depends
+        # on ``now``, which is constant within a tick, so every consumer
+        # of ``active_tasks`` inside one tick shares a single scan.
+        self._active_cache_now: Optional[float] = None
+        self._active_cache: List[Task] = []
+        #: Whether any task can ever retire (finite duration); with only
+        #: unbounded tasks the per-tick retirement scan is skipped.
+        self._any_finite_task = any(t.duration is not None for t in self.tasks)
         self._gate_held_down: set = set()
         self._offline: set = set()
         self._last_sensor_sample: Optional[SensorSample] = None
@@ -145,7 +153,24 @@ class Simulation:
 
     def active_tasks(self) -> List[Task]:
         """Tasks alive at the current time."""
-        return [t for t in self.tasks if t.is_active(self.now)]
+        return list(self._active_now())
+
+    def _active_now(self) -> List[Task]:
+        """The cached active-task list for this tick (do not mutate)."""
+        if self._active_cache_now != self.now:
+            now = self.now
+            self._active_cache = [t for t in self.tasks if t.is_active(now)]
+            self._active_cache_now = now
+        return self._active_cache
+
+    def invalidate_task_cache(self) -> None:
+        """Drop per-tick task caches after out-of-band task mutation.
+
+        Checkpoint restore and scenario drivers that edit task start or
+        duration fields mid-run must call this so the engine re-scans.
+        """
+        self._active_cache_now = None
+        self._any_finite_task = any(t.duration is not None for t in self.tasks)
 
     def set_allocation(self, task: Task, pus: float) -> None:
         """Pin an explicit supply allocation for ``task`` (PPM market)."""
@@ -282,7 +307,7 @@ class Simulation:
         self.placement.place(task, core)
 
     def _ensure_placed(self) -> None:
-        for task in self.active_tasks():
+        for task in self._active_now():
             if not self.placement.is_placed(task):
                 place_task = getattr(self.governor, "place_task", None)
                 if place_task is not None:
@@ -294,12 +319,17 @@ class Simulation:
                     self._default_place(task)
 
     def _retire_inactive(self) -> None:
-        for task in list(self.placement.all_tasks()):
-            if not task.is_active(self.now):
-                self.placement.remove(task)
-                self._allocations.pop(task, None)
-                self._weights.pop(task, None)
-                self.load_tracker.forget(task)
+        if not self._any_finite_task:
+            return  # nothing can ever retire; skip the scan
+        now = self.now
+        retired = [
+            task for task in self.placement.all_tasks() if not task.is_active(now)
+        ]
+        for task in retired:
+            self.placement.remove(task)
+            self._allocations.pop(task, None)
+            self._weights.pop(task, None)
+            self.load_tracker.forget(task)
 
     def _apply_power_gating(self) -> None:
         if not self.config.auto_power_gate:
@@ -307,7 +337,7 @@ class Simulation:
         for cluster in self.chip.clusters:
             if cluster.cluster_id in self._offline:
                 continue
-            has_tasks = bool(self.placement.tasks_on_cluster(cluster))
+            has_tasks = self.placement.has_tasks(cluster)
             held = cluster.cluster_id in self._gate_held_down
             # Route through the public control surface so tracers see
             # auto-gating too.
@@ -319,40 +349,59 @@ class Simulation:
     def _dispatch(self) -> None:
         dt = self.config.dt
         now = self.now
-        dispatched: set = set()
+        allocations = self._allocations
+        weights = self._weights
+        tracker = self.load_tracker
+        placement = self.placement
+        inactive_mapped = False
         for cluster in self.chip.clusters:
+            core_type = cluster.core_type
             for core in cluster.cores:
-                mapped = [
-                    t
-                    for t in self.placement.tasks_on_core(core)
-                    if t.is_active(now)
-                ]
-                runnable = [t for t in mapped if t.frozen_until <= now]
-                frozen = [t for t in mapped if t.frozen_until > now]
+                mapped = placement.iter_tasks_on_core(core)
+                if not mapped:
+                    core.utilization = 0.0
+                    continue
+                # Fast path: every mapped task runnable (active, not
+                # frozen by a migration) -- the common no-migration tick.
+                runnable = mapped
+                frozen: List[Task] = ()
+                for t in mapped:
+                    if not t.is_active(now) or t.frozen_until > now:
+                        active_mapped = [t for t in mapped if t.is_active(now)]
+                        if len(active_mapped) != len(mapped):
+                            inactive_mapped = True
+                        runnable = [t for t in active_mapped if t.frozen_until <= now]
+                        frozen = [t for t in active_mapped if t.frozen_until > now]
+                        break
                 grants = compute_grants(
-                    core.supply_pus, runnable, self._allocations, self._weights
+                    core.supply_pus, runnable, allocations, weights
                 )
                 consumed_total = 0.0
                 for task in runnable:
                     granted = grants.get(task, 0.0)
-                    consumed = task.consume(granted, cluster.core_type, now, dt)
-                    consumed_total += consumed
-                    demand = task.true_demand_pus(cluster.core_type, now)
-                    self.load_tracker.update(task, granted, demand, dt)
-                    dispatched.add(task)
+                    consumed_total += task.consume(granted, core_type, now, dt)
+                    # ``consume`` just computed the task's true demand;
+                    # reuse it instead of re-evaluating the phase trace.
+                    tracker.update(task, granted, task.last_demand_pus, dt)
                 for task in frozen:
                     task.idle_tick(now, dt)
-                    self.load_tracker.update(
-                        task, 0.0, task.true_demand_pus(cluster.core_type, now), dt
+                    tracker.update(
+                        task, 0.0, task.true_demand_pus(core_type, now), dt
                     )
-                    dispatched.add(task)
                 if core.supply_pus > 0.0:
                     core.utilization = min(1.0, consumed_total / core.supply_pus)
                 else:
                     core.utilization = 0.0
-        for task in self.active_tasks():
-            if task not in dispatched:
-                task.idle_tick(now, dt)
+        # Active tasks not mapped to any core (all clusters offline, or
+        # evicted by a mid-tick hotplug) idle in place.  Every *active*
+        # mapped task was dispatched above, so the placement map doubles
+        # as the dispatch set and the common all-placed tick skips the
+        # scan entirely.
+        active = self._active_now()
+        if inactive_mapped or placement.placed_count() != len(active):
+            for task in active:
+                if not placement.is_placed(task):
+                    task.idle_tick(now, dt)
 
     def _read_sensor(self) -> SensorSample:
         """Sample power, substituting the last good sample on read failure.
@@ -423,7 +472,7 @@ class Simulation:
             chip_power_w=sample.chip_power_w,
             cluster_power_w=sample.cluster_power_w,
             cluster_frequency_mhz=sample.cluster_frequency_mhz,
-            tasks=self.active_tasks(),
+            tasks=self._active_now(),
         )
         self.now += self.config.dt
         self.tick_index += 1

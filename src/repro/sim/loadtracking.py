@@ -33,6 +33,10 @@ class LoadTracker:
             raise ValueError("halflife must be positive")
         self._halflife_s = halflife_s
         self._load: Dict[Task, float] = {}
+        # Decay factor depends only on (halflife, dt); dt is fixed per run,
+        # so cache the exp() result instead of recomputing it per task-tick.
+        self._decay_dt: float = -1.0
+        self._decay: float = 0.0
 
     @staticmethod
     def runnable_fraction(granted_pus: float, demand_pus: float) -> float:
@@ -52,7 +56,10 @@ class LoadTracker:
         if dt <= 0:
             raise ValueError("dt must be positive")
         instantaneous = self.runnable_fraction(granted_pus, demand_pus)
-        decay = math.exp(-math.log(2.0) * dt / self._halflife_s)
+        if dt != self._decay_dt:
+            self._decay = math.exp(-math.log(2.0) * dt / self._halflife_s)
+            self._decay_dt = dt
+        decay = self._decay
         previous = self._load.get(task, instantaneous)
         updated = decay * previous + (1.0 - decay) * instantaneous
         self._load[task] = updated

@@ -66,12 +66,17 @@ class MetricsCollector:
         task_samples: Dict[str, TaskSample] = {}
         for task in tasks:
             hr = task.observed_heart_rate()
+            rng = task.hr_range
+            # Inlined HeartRateRange.below/contains (same expressions) --
+            # this runs once per task per tick.
+            lo = rng.min_hr * (1.0 - rng._REL_EPS)
+            hi = rng.max_hr * (1.0 + rng._REL_EPS)
             task_samples[task.name] = TaskSample(
-                heart_rate=hr,
-                below_min=task.hr_range.below(hr),
-                outside_range=not task.hr_range.contains(hr),
-                granted_pus=task.last_supply_pus,
-                demand_pus=task.last_consumed_pus,
+                hr,
+                hr < lo,
+                not (lo <= hr <= hi),
+                task.last_supply_pus,
+                task.last_consumed_pus,
             )
         self.samples.append(
             TickSample(

@@ -4,11 +4,18 @@ Pure bookkeeping: which task currently lives on which core, with the
 cluster-level views the agents need (``T_c``, ``T_v``, priority sums
 ``R_c``/``R_v``/``R``).  Mutation goes through the simulator's migration
 manager so costs are charged consistently.
+
+The mapping is held as an *incremental index*: per-core task lists plus
+per-cluster task counts, both updated in O(1) on every place/remove, so
+the engine's per-tick queries (dispatch, power gating, default placement)
+never rescan the whole task population.  ``rebuild_index`` reconstructs
+the derived structures from the authoritative task->core map; the
+property tests assert the incremental index always matches that rebuild.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..hw.topology import Chip, Cluster, Core
 from ..tasks.task import Task
@@ -21,6 +28,12 @@ class Placement:
         self._chip = chip
         self._core_of: Dict[Task, str] = {}
         self._tasks_on: Dict[str, List[Task]] = {core.core_id: [] for core in chip.cores}
+        self._cluster_of_core: Dict[str, str] = {
+            core.core_id: core.cluster.cluster_id for core in chip.cores
+        }
+        self._cluster_count: Dict[str, int] = {
+            cluster.cluster_id: 0 for cluster in chip.clusters
+        }
 
     @property
     def chip(self) -> Chip:
@@ -40,6 +53,14 @@ class Placement:
         """``T_c``: tasks mapped to ``core`` (insertion order)."""
         return list(self._tasks_on[core.core_id])
 
+    def iter_tasks_on_core(self, core: Core) -> List[Task]:
+        """The internal ``T_c`` list, *not* copied.
+
+        Hot-path accessor for the engine's dispatch loop; callers must
+        not mutate the returned list (use :meth:`place`/:meth:`remove`).
+        """
+        return self._tasks_on[core.core_id]
+
     def tasks_on_cluster(self, cluster: Cluster) -> List[Task]:
         """``T_v``: tasks mapped to any core of ``cluster``."""
         tasks: List[Task] = []
@@ -47,8 +68,19 @@ class Placement:
             tasks.extend(self._tasks_on[core.core_id])
         return tasks
 
+    def cluster_task_count(self, cluster: Cluster) -> int:
+        """Number of tasks mapped to ``cluster`` (O(1), incremental)."""
+        return self._cluster_count[cluster.cluster_id]
+
+    def has_tasks(self, cluster: Cluster) -> bool:
+        """Whether any task is mapped to ``cluster`` (O(1))."""
+        return self._cluster_count[cluster.cluster_id] > 0
+
     def all_tasks(self) -> List[Task]:
         return list(self._core_of.keys())
+
+    def placed_count(self) -> int:
+        return len(self._core_of)
 
     def is_placed(self, task: Task) -> bool:
         return task in self._core_of
@@ -69,15 +101,19 @@ class Placement:
         self.remove(task)
         self._core_of[task] = core.core_id
         self._tasks_on[core.core_id].append(task)
+        self._cluster_count[self._cluster_of_core[core.core_id]] += 1
 
     def remove(self, task: Task) -> None:
         core_id = self._core_of.pop(task, None)
         if core_id is not None:
             self._tasks_on[core_id].remove(task)
+            self._cluster_count[self._cluster_of_core[core_id]] -= 1
 
     def empty_clusters(self) -> List[Cluster]:
         """Clusters with no mapped tasks (candidates for power gating)."""
-        return [c for c in self._chip.clusters if not self.tasks_on_cluster(c)]
+        return [
+            c for c in self._chip.clusters if self._cluster_count[c.cluster_id] == 0
+        ]
 
     def least_loaded_core(
         self, cores: Iterable[Core], t: float, exclude: Optional[Task] = None
@@ -95,3 +131,41 @@ class Placement:
             )
 
         return min(candidates, key=load)
+
+    # -- index integrity ----------------------------------------------------------
+    def rebuild_index(self) -> Tuple[Dict[str, List[Task]], Dict[str, int]]:
+        """Recompute the derived index from the task->core map alone.
+
+        Returns ``(tasks_on, cluster_count)`` in the same shapes the
+        incremental structures use.  Per-core order is the task-insertion
+        order of ``_core_of`` filtered by core, which is exactly what the
+        incremental lists maintain (append on place, remove on unplace).
+        """
+        tasks_on: Dict[str, List[Task]] = {
+            core.core_id: [] for core in self._chip.cores
+        }
+        cluster_count: Dict[str, int] = {
+            cluster.cluster_id: 0 for cluster in self._chip.clusters
+        }
+        for task, core_id in self._core_of.items():
+            tasks_on[core_id].append(task)
+            cluster_count[self._cluster_of_core[core_id]] += 1
+        return tasks_on, cluster_count
+
+    def index_consistent(self) -> bool:
+        """Whether the incremental index matches a from-scratch rebuild.
+
+        Strict: per-core lists must match element-for-element.  ``place``
+        moves the task to the end of both the authoritative map and its
+        core's list, so the orders coincide exactly.
+        """
+        tasks_on, cluster_count = self.rebuild_index()
+        if cluster_count != self._cluster_count:
+            return False
+        for core_id, expected in tasks_on.items():
+            actual = self._tasks_on[core_id]
+            if len(actual) != len(expected) or any(
+                a is not b for a, b in zip(actual, expected)
+            ):
+                return False
+        return True

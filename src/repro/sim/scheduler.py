@@ -48,27 +48,55 @@ def compute_grants(
     if core_supply_pus == 0.0:
         return {task: 0.0 for task in tasks}
 
-    explicit = [t for t in tasks if t in allocations]
-    pooled = [t for t in tasks if t not in allocations]
+    # Single pass: partition tasks and accumulate the explicit request in
+    # the same left-to-right order the two-pass version used, so the float
+    # sums keep their exact bits.
+    explicit: list = []
+    explicit_vals: list = []
+    pooled: list = []
+    requested = 0.0
+    for t in tasks:
+        if t in allocations:
+            v = max(0.0, allocations[t])
+            explicit.append(t)
+            explicit_vals.append(v)
+            requested += v
+        else:
+            pooled.append(t)
 
-    requested = sum(max(0.0, allocations[t]) for t in explicit)
     scale = 1.0
     if requested > core_supply_pus and requested > 0.0:
         scale = core_supply_pus / requested
-    for task in explicit:
-        grants[task] = max(0.0, allocations[task]) * scale
+    granted_total = 0.0
+    for task, v in zip(explicit, explicit_vals):
+        g = v * scale
+        grants[task] = g
+        granted_total += g
 
-    leftover = core_supply_pus - sum(grants.values())
+    leftover = core_supply_pus - granted_total
     if pooled and leftover > 0.0:
-        total_weight = sum(max(0.0, weights.get(t, 1.0)) for t in pooled)
+        pooled_weights = [max(0.0, weights.get(t, 1.0)) for t in pooled]
+        total_weight = 0.0
+        for w in pooled_weights:
+            total_weight += w
         if total_weight <= 0.0:
             share = leftover / len(pooled)
             for task in pooled:
                 grants[task] = share
         else:
-            for task in pooled:
-                grants[task] = leftover * max(0.0, weights.get(task, 1.0)) / total_weight
+            for task, w in zip(pooled, pooled_weights):
+                grants[task] = leftover * w / total_weight
     else:
         for task in pooled:
             grants[task] = 0.0
+    # Subnormal weights can defeat the proportional split above: with a
+    # single weight of 5e-324, ``leftover * w / total_weight`` rounds
+    # through the subnormal range and can exceed the leftover itself.
+    # Rescale only on a material overshoot so ordinary 1-ulp rounding
+    # noise keeps its exact bits (replay journals depend on them).
+    total = sum(grants.values())
+    if total > core_supply_pus * (1.0 + 1e-9):
+        factor = core_supply_pus / total
+        for task in grants:
+            grants[task] *= factor
     return grants

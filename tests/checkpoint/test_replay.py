@@ -162,6 +162,6 @@ class TestCampaignReplay:
             checkpoint_dir=directory,
             checkpoint_interval_s=2.0,
         )
-        os.unlink(os.path.join(directory, "journal_0-PPM.json"))
+        os.unlink(os.path.join(directory, "point_0-PPM", "journal.json"))
         with pytest.raises(CheckpointError, match="journal"):
             replay_campaign_checkpoint(directory)

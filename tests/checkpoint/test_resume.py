@@ -173,17 +173,24 @@ class TestCampaignResume:
         uninterrupted = self._run()
         directory = str(tmp_path)
         self._run(checkpoint_dir=directory)
-        # Emulate a SIGKILL mid governor 0: only one early checkpoint left,
-        # no journals, governor 1 never started.
-        survivor = "ckpt_0-PPM_0000000600.json"
-        for name in os.listdir(directory):
-            if name != survivor:
-                os.unlink(os.path.join(directory, name))
+        # Emulate a SIGKILL mid governor 0: only one early checkpoint left
+        # in its point directory, no journal/result, governor 1 never
+        # started.  The campaign manifest is deleted too, so resume must
+        # fall back to the identity embedded in the checkpoint.
+        point_dir = os.path.join(directory, "point_0-PPM")
+        survivor = os.path.join(point_dir, "ckpt_0-PPM_0000000600.json")
+        for root, _dirs, files in os.walk(directory):
+            for name in files:
+                path = os.path.join(root, name)
+                if path != survivor:
+                    os.unlink(path)
         resumed = resume_fault_campaign(directory, checkpoint_interval_s=2.0)
         assert resumed.to_json() == uninterrupted.to_json()
         # Resume regenerates the journals for replay verification.
-        assert os.path.exists(os.path.join(directory, "journal_0-PPM.json"))
-        assert os.path.exists(os.path.join(directory, "journal_1-HL.json"))
+        assert os.path.exists(os.path.join(point_dir, "journal.json"))
+        assert os.path.exists(
+            os.path.join(directory, "point_1-HL", "journal.json")
+        )
 
     def test_campaign_checkpointing_is_observation_free(self, tmp_path):
         with_checkpoints = self._run(checkpoint_dir=str(tmp_path))

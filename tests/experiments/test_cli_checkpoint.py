@@ -53,8 +53,10 @@ class TestCheckpointVerbs:
         base = ["--fault", "sensor-dropout", *CAMPAIGN_ARGS,
                 "--checkpoint-dir", ckpt_dir, "--out", out_dir]
         assert main(["checkpoint", *base]) == 0
+        point_dir = os.path.join(ckpt_dir, "point_0-PPM")
+        assert os.path.exists(os.path.join(ckpt_dir, "campaign.json"))
         assert any(
-            name.startswith("ckpt_0-PPM_") for name in os.listdir(ckpt_dir)
+            name.startswith("ckpt_0-PPM_") for name in os.listdir(point_dir)
         )
         assert main(["replay", "--checkpoint-dir", ckpt_dir, "--verify"]) == 0
         assert "clean" in capsys.readouterr().out

@@ -1,0 +1,178 @@
+"""Parallel experiment execution produces byte-identical results.
+
+The process-pool executor is only a wall-clock optimization: every
+report, journal and summary must match the serial path exactly.  These
+tests run the same sweeps at ``jobs=1`` and ``jobs>=2`` and compare the
+full serialized outputs; campaign telemetry journals are additionally
+diffed tick-for-tick with the checkpoint/replay differ so a divergence
+(should one ever appear) is localized to a tick and field, not just a
+hash mismatch.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.checkpoint import diff_tick_records, read_journal
+from repro.experiments.campaigns import run_fault_campaign
+from repro.experiments.comparative import run_comparative
+from repro.experiments.parallel import (
+    JOBS_ENV_VAR,
+    PointSpec,
+    execute_points,
+    resolve_jobs,
+)
+from repro.experiments.sweeps import sweep_parameter
+
+
+class TestResolveJobs:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs() == 1
+
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_var_is_honoured(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "4")
+        assert resolve_jobs() == 4
+
+    def test_blank_env_var_is_serial(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "  ")
+        assert resolve_jobs() == 1
+
+    @pytest.mark.parametrize("bad", ["zero", "1.5", ""])
+    def test_malformed_env_var_raises(self, monkeypatch, bad):
+        monkeypatch.setenv(JOBS_ENV_VAR, bad)
+        if bad.strip():
+            with pytest.raises(ValueError, match=JOBS_ENV_VAR):
+                resolve_jobs()
+        else:
+            assert resolve_jobs() == 1
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_non_positive_raises(self, bad):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(bad)
+
+
+def _square(value):
+    return value * value
+
+
+def _fail(value):
+    raise RuntimeError(f"boom on {value}")
+
+
+class TestExecutePoints:
+    def test_results_come_back_in_spec_order(self):
+        specs = [
+            PointSpec(fn=_square, label=f"sq/{i}", args=(i,))
+            for i in range(6)
+        ]
+        assert execute_points(specs, jobs=1) == [i * i for i in range(6)]
+        assert execute_points(specs, jobs=3) == [i * i for i in range(6)]
+
+    def test_parallel_failure_names_the_point(self):
+        specs = [
+            PointSpec(fn=_square, label="ok", args=(2,)),
+            PointSpec(fn=_fail, label="bad-point", args=(3,)),
+        ]
+        with pytest.raises(RuntimeError, match="bad-point"):
+            execute_points(specs, jobs=2)
+
+    def test_serial_failure_is_untouched(self):
+        specs = [PointSpec(fn=_fail, label="bad-point", args=(3,))]
+        with pytest.raises(RuntimeError, match="^boom on 3$"):
+            execute_points(specs, jobs=1)
+
+    def test_empty_spec_list(self):
+        assert execute_points([], jobs=4) == []
+
+
+def _comparative_payload(result):
+    """Full serialized form of a comparative sweep, metrics excluded."""
+    return json.dumps(
+        {
+            gov: {
+                wl: {
+                    field.name: getattr(run, field.name)
+                    for field in dataclasses.fields(run)
+                    if field.name != "metrics"
+                }
+                for wl, run in by_wl.items()
+            }
+            for gov, by_wl in result.runs.items()
+        },
+        sort_keys=True,
+    )
+
+
+class TestComparativeEquivalence:
+    def test_parallel_sweep_report_is_byte_identical(self):
+        kwargs = dict(
+            governors=("PPM", "HL"),
+            workloads=("l1", "m1"),
+            duration_s=4.0,
+            warmup_s=1.0,
+            power_cap_w=4.0,
+        )
+        serial = run_comparative(jobs=1, **kwargs)
+        parallel = run_comparative(jobs=2, **kwargs)
+        assert _comparative_payload(serial) == _comparative_payload(parallel)
+
+
+class TestSweepEquivalence:
+    def test_parameter_sweep_is_identical_in_parallel(self):
+        kwargs = dict(
+            name="bid_period_s",
+            values=(0.1, 0.2),
+            workload="m1",
+            duration_s=4.0,
+            warmup_s=1.0,
+        )
+        serial = sweep_parameter(jobs=1, **kwargs)
+        parallel = sweep_parameter(jobs=2, **kwargs)
+        assert [dataclasses.asdict(p) for p in serial.points] == [
+            dataclasses.asdict(p) for p in parallel.points
+        ]
+
+
+class TestCampaignEquivalence:
+    def test_campaign_report_and_journals_match(self, tmp_path):
+        kwargs = dict(
+            fault="sensor-dropout",
+            governors=("PPM", "HL"),
+            workload="m1",
+            duration_s=8.0,
+            warmup_s=2.0,
+            intensity=0.4,
+            seed=5,
+            checkpoint_interval_s=2.0,
+        )
+        serial_dir = os.path.join(str(tmp_path), "serial")
+        parallel_dir = os.path.join(str(tmp_path), "parallel")
+        serial = run_fault_campaign(
+            checkpoint_dir=serial_dir, jobs=1, **kwargs
+        )
+        parallel = run_fault_campaign(
+            checkpoint_dir=parallel_dir, jobs=2, **kwargs
+        )
+        assert serial.to_json() == parallel.to_json()
+
+        # Per-tick telemetry must also be identical; on divergence the
+        # replay differ points at the first differing tick and field.
+        for point in ("point_0-PPM", "point_1-HL"):
+            expected = read_journal(
+                os.path.join(serial_dir, point, "journal.json")
+            )
+            actual = read_journal(
+                os.path.join(parallel_dir, point, "journal.json")
+            )
+            divergence = diff_tick_records(
+                expected["records"], actual["records"]
+            )
+            assert divergence is None, f"{point}: {divergence}"

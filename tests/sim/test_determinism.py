@@ -1,8 +1,10 @@
 """Determinism guarantees the checkpoint/replay machinery is built on."""
 
+import hashlib
+
 import pytest
 
-from repro.checkpoint import tick_records
+from repro.checkpoint import canonical_json, tick_records
 from repro.experiments.campaigns import CAMPAIGN_FAULTS, build_campaign_schedule
 from repro.experiments.harness import make_governor
 from repro.faults import FaultInjector
@@ -36,12 +38,13 @@ class TestDeriveStreamSeed:
         assert derive_stream_seed(99, "x") == derive_stream_seed(99, "x")
 
 
-def _run(seed, fault=None, duration_s=4.0, noise_w=0.0):
+def _run(seed, fault=None, duration_s=4.0, noise_w=0.0, governor="PPM",
+         workload="m1"):
     chip = tc2_chip()
     sim = Simulation(
         chip,
-        build_workload("m1"),
-        make_governor("PPM", power_cap_w=10.0),
+        build_workload(workload),
+        make_governor(governor, power_cap_w=10.0),
         config=SimConfig(
             seed=seed,
             metrics_warmup_s=1.0,
@@ -77,3 +80,51 @@ class TestRunDeterminism:
         first = _run(seed=17, noise_w=0.05)
         second = _run(seed=18, noise_w=0.05)
         assert tick_records(first.metrics) != tick_records(second.metrics)
+
+
+def _telemetry_digest(sim):
+    payload = canonical_json(tick_records(sim.metrics))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# Pinned sha256 digests of the full per-tick telemetry stream
+# (canonical_json over tick_records).  These fail if ANY floating-point
+# operation in the tick loop changes order or association -- the
+# guarantee the hot-path optimizations are held to.  If a digest changes
+# on purpose (a deliberate model change), re-pin it and say so in the
+# commit message; checkpoints and journals recorded before the change
+# will no longer replay cleanly.
+GOLDEN_DIGESTS = {
+    ("PPM", "m1", 17, 4.0, 0.05, None):
+        "08e2421dd86da185a95d02e567666bec272a274e4a59eaa8f2a73bd5078773e9",
+    ("PPM", "m2", 17, 6.0, 0.0, None):
+        "0ad8cbd70e7babd5af0a223de384bdb58e525dec4bc3ff35c61a8363447e1fac",
+    ("HPM", "m1", 17, 4.0, 0.0, None):
+        "081c6c2cc0ffacef7e576cf69e21c5278c758f645f75bab259929c94062545fe",
+    ("HL", "l1", 17, 4.0, 0.0, None):
+        "c75b8e161205b017a91aef91b2a60aa0f50ea6fedc25f4a5e07091ecad1e8830",
+    ("PPM", "m1", 17, 6.0, 0.0, "sensor-dropout"):
+        "2d7d8e5673b5f7e7e63035da6c3a14859e40ece73332b36c62d00ff4ac7434bd",
+    ("PPM", "m1", 5, 6.0, 0.0, "hotplug"):
+        "e28591b8daf7448bfe1c1cc33b17f47a0e24afca928c65d97ac2cc40e55bf2a5",
+}
+
+
+class TestGoldenTelemetryDigests:
+    @pytest.mark.parametrize(
+        "governor,workload,seed,duration_s,noise_w,fault",
+        sorted(GOLDEN_DIGESTS, key=str),
+    )
+    def test_digest_matches_pin(
+        self, governor, workload, seed, duration_s, noise_w, fault
+    ):
+        sim = _run(
+            seed=seed,
+            fault=fault,
+            duration_s=duration_s,
+            noise_w=noise_w,
+            governor=governor,
+            workload=workload,
+        )
+        key = (governor, workload, seed, duration_s, noise_w, fault)
+        assert _telemetry_digest(sim) == GOLDEN_DIGESTS[key]

@@ -1,0 +1,92 @@
+"""Property tests: incremental indices always match a from-scratch rebuild.
+
+The placement layer and the market both keep incremental per-core task
+indices on the tick hot path, updated on every place/migrate/remove
+instead of rebuilt.  Each class carries its own oracle
+(``index_consistent`` / ``core_index_consistent``) comparing the
+incremental state against a fresh rebuild from the authoritative map;
+here hypothesis drives random operation sequences and asserts the oracle
+after every step, so any drift is reported with the shrunk op sequence
+that caused it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.market import Market
+from repro.hw import tc2_chip
+from repro.sim.placement import Placement
+from repro.tasks import random_tasks
+
+N_TASKS = 8
+
+# An op is (kind, task_index, core_index); indices wrap around whatever
+# is currently available so every generated sequence is valid.
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["place", "remove", "hotplug", "snapshot"]),
+        st.integers(min_value=0, max_value=N_TASKS - 1),
+        st.integers(min_value=0, max_value=31),
+    ),
+    max_size=60,
+)
+
+
+def _cores(chip):
+    return [core for cluster in chip.clusters for core in cluster.cores]
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_placement_index_matches_rebuild(ops):
+    chip = tc2_chip()
+    placement = Placement(chip)
+    tasks = random_tasks(N_TASKS, seed=3)
+    cores = _cores(chip)
+    for kind, task_i, core_i in ops:
+        task = tasks[task_i]
+        if kind == "place":  # first placement or a migration
+            placement.place(task, cores[core_i % len(cores)])
+        elif kind == "remove" and placement.is_placed(task):
+            placement.remove(task)
+        elif kind == "hotplug":
+            cluster = chip.clusters[core_i % len(chip.clusters)]
+            if cluster.powered:
+                cluster.power_down()
+            else:
+                cluster.power_up()
+        assert placement.index_consistent()
+    assert placement.placed_count() == sum(
+        1 for task in tasks if placement.is_placed(task)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_market_core_index_matches_rebuild(ops):
+    market = Market()
+    core_ids = []
+    for cluster_i in range(2):
+        ids = [f"c{cluster_i}.{core_i}" for core_i in range(2)]
+        market.add_cluster(f"cluster{cluster_i}", ids, [100.0, 200.0, 400.0])
+        core_ids.extend(ids)
+    in_market = set()
+    for kind, task_i, core_i in ops:
+        task_id = f"t{task_i}"
+        core_id = core_ids[core_i % len(core_ids)]
+        if kind == "place":
+            if task_id in in_market:
+                market.move_task(task_id, core_id)
+            else:
+                market.add_task(task_id, priority=1 + task_i % 8, core_id=core_id)
+                in_market.add(task_id)
+        elif kind == "remove" and task_id in in_market:
+            market.remove_task(task_id)
+            in_market.discard(task_id)
+        elif kind == "snapshot":
+            # A restore rebuilds the index from the snapshot payload;
+            # round-tripping must land in a consistent state too.
+            market.restore_state(market.snapshot_state())
+        assert market.core_index_consistent()
+    for task_id in in_market:
+        assert market.core_of(task_id) in core_ids

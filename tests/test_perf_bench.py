@@ -1,0 +1,83 @@
+"""The perf-bench regression gate: comparison logic, not timings.
+
+Scenario wall-clock measurement is exercised by the benchmark suite
+itself; these tests cover the CI-facing decision logic in
+``scripts/run_perf_bench.py`` with synthetic reports, so the gate's
+behaviour (pass, fail, schema guard, new-scenario tolerance) is pinned
+without running a single simulation.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "scripts",
+    "run_perf_bench.py",
+)
+_spec = importlib.util.spec_from_file_location("run_perf_bench", _SCRIPT)
+perf_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_bench)
+
+
+def _report(wall_s, quick=True, schema=perf_bench.SCHEMA_VERSION):
+    return {
+        "schema_version": schema,
+        "quick": quick,
+        "scenarios": {name: {"wall_s": value} for name, value in wall_s.items()},
+    }
+
+
+class TestCheckRegressions:
+    def test_within_budget_passes(self):
+        failures = perf_bench.check_regressions(
+            _report({"single_point": 1.2}), _report({"single_point": 1.0}), 0.25
+        )
+        assert failures == []
+
+    def test_regression_beyond_budget_fails_with_numbers(self):
+        failures = perf_bench.check_regressions(
+            _report({"single_point": 1.3}), _report({"single_point": 1.0}), 0.25
+        )
+        assert len(failures) == 1
+        assert "single_point" in failures[0]
+        assert "1.300" in failures[0] and "1.250" in failures[0]
+
+    def test_new_scenario_without_baseline_is_tolerated(self):
+        failures = perf_bench.check_regressions(
+            _report({"single_point": 1.0, "brand_new": 9.0}),
+            _report({"single_point": 1.0}),
+            0.25,
+        )
+        assert failures == []
+
+    def test_schema_mismatch_is_rejected(self):
+        with pytest.raises(SystemExit, match="schema_version"):
+            perf_bench.check_regressions(
+                _report({"single_point": 1.0}),
+                _report({"single_point": 1.0}, schema=0),
+                0.25,
+            )
+
+    def test_quick_full_mismatch_is_rejected(self):
+        with pytest.raises(SystemExit, match="quick"):
+            perf_bench.check_regressions(
+                _report({"single_point": 1.0}, quick=True),
+                _report({"single_point": 1.0}, quick=False),
+                0.25,
+            )
+
+
+class TestScenarioSelection:
+    def test_default_is_canonical_order(self):
+        assert perf_bench.select_scenarios(None) == perf_bench.SCENARIO_ORDER
+
+    def test_subset_keeps_canonical_order(self):
+        chosen = perf_bench.select_scenarios("many_tasks, single_point")
+        assert chosen == ["single_point", "many_tasks"]
+
+    def test_unknown_scenario_is_actionable(self):
+        with pytest.raises(SystemExit, match="nonsense"):
+            perf_bench.select_scenarios("nonsense")
