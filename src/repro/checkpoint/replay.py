@@ -23,8 +23,21 @@ JOURNAL_MAGIC = "repro-journal"
 
 
 def tick_records(metrics) -> List[Dict[str, Any]]:
-    """One JSON-safe record per simulated tick, in order."""
-    return [asdict(sample) for sample in metrics.samples]
+    """One JSON-safe record per simulated tick, in order.
+
+    ``cluster_temperature_c`` is omitted from records where it is ``None``
+    (thermal tracking off), so journals and the pinned telemetry digests
+    of thermal-free runs are byte-identical to those recorded before the
+    field existed.  Thermal-enabled runs carry the temperatures, making
+    replay divergence detection cover the thermal state too.
+    """
+    records = []
+    for sample in metrics.samples:
+        record = asdict(sample)
+        if record.get("cluster_temperature_c") is None:
+            record.pop("cluster_temperature_c", None)
+        records.append(record)
+    return records
 
 
 def write_journal(path: str, records: List[Dict[str, Any]], fingerprint: str, dt: float) -> str:

@@ -31,7 +31,7 @@ from collections import deque
 from dataclasses import asdict
 from typing import Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
 
-from ..hw.sensors import SensorSample
+from ..hw.sensors import SensorSample, ThermalSample
 from ..sim.metrics import TaskSample, TickSample
 from ..sim.migration import MigrationRecord
 from .store import CheckpointError, canonical_json
@@ -91,6 +91,16 @@ def sample_from_json(data: Optional[dict]) -> Optional[SensorSample]:
     )
 
 
+def thermal_sample_to_json(sample: Optional[ThermalSample]) -> Optional[dict]:
+    return None if sample is None else asdict(sample)
+
+
+def thermal_sample_from_json(data: Optional[dict]) -> Optional[ThermalSample]:
+    if data is None:
+        return None
+    return ThermalSample(cluster_temperature_c=dict(data["cluster_temperature_c"]))
+
+
 # ---------------------------------------------------------------------------
 # Fingerprint
 # ---------------------------------------------------------------------------
@@ -114,6 +124,18 @@ def simulation_fingerprint(sim, extra: Any = None) -> str:
             "sensor_noise_std_w": cfg.sensor_noise_std_w,
             "seed": cfg.seed,
             "audit": cfg.audit,
+            "thermal": None if cfg.thermal is None else {
+                "sensor_noise_std_c": cfg.thermal.sensor_noise_std_c,
+                "cycle_threshold_k": cfg.thermal.cycle_threshold_k,
+                "tcrit_c": cfg.thermal.tcrit_c,
+                "params": None if cfg.thermal.params is None else {
+                    cid: asdict(p) for cid, p in sorted(cfg.thermal.params.items())
+                },
+                "protection": (
+                    None if cfg.thermal.protection is None
+                    else asdict(cfg.thermal.protection)
+                ),
+            },
         },
         "chip": {
             "name": sim.chip.name,
@@ -301,6 +323,8 @@ def snapshot_simulation(sim) -> Dict[str, Any]:
     injector = getattr(sim, "fault_injector", None)
     if injector is not None:
         payload["fault_injector"] = injector.snapshot_state()
+    if sim.thermal is not None:
+        payload["thermal"] = _snapshot_thermal(sim)
     return payload
 
 
@@ -373,6 +397,35 @@ def _snapshot_sensor(sim) -> Dict[str, Any]:
     }
 
 
+def _snapshot_thermal(sim) -> Dict[str, Any]:
+    sensor = sim.thermal_sensor
+    wrapper = None
+    inner = sensor
+    if hasattr(sensor, "_inner"):  # FaultyThermalSensor front end
+        inner = sensor._inner
+        wrapper = sensor.snapshot_state()
+    supervisor = sim.thermal_supervisor
+    return {
+        "model": sim.thermal.snapshot_state(),
+        "cycle_counters": {
+            cid: counter.snapshot_state()
+            for cid, counter in sim.cycle_counters.items()
+        },
+        "sensor": {
+            "rng_state": rng_state_to_json(inner._rng.getstate()),
+            "last_sample": thermal_sample_to_json(inner._last_sample),
+            "wrapper": wrapper,
+        },
+        "last_thermal_sample": thermal_sample_to_json(sim._last_thermal_sample),
+        "time_over_tcrit_s": sim.time_over_tcrit_s,
+        "thermal_read_failures": sim.thermal_read_failures,
+        "level_ceiling": dict(sim._level_ceiling),
+        "supervisor": (
+            supervisor.snapshot_state() if supervisor is not None else None
+        ),
+    }
+
+
 def _snapshot_governor(sim) -> Dict[str, Any]:
     governor = sim.governor
     if isinstance(governor, Snapshottable):
@@ -419,6 +472,20 @@ def restore_simulation(sim, payload: Dict[str, Any]) -> None:
     sim.invalidate_task_cache()
     sim._maybe_attach_auditor()
     sim._last_audited_round = getattr(sim.governor, "last_round", None)
+    thermal_state = payload.get("thermal")
+    if thermal_state is not None:
+        if sim.thermal is None:
+            raise SnapshotRestoreError(
+                "checkpoint was taken with thermal tracking but the rebuilt "
+                "simulation has none; set the same SimConfig.thermal before "
+                "restoring"
+            )
+        _restore_thermal(sim, thermal_state)
+    elif sim.thermal is not None:
+        raise SnapshotRestoreError(
+            "rebuilt simulation tracks thermals but the checkpoint was "
+            "taken without thermal tracking; rebuild with thermal=None"
+        )
     injector_state = payload.get("fault_injector")
     injector = getattr(sim, "fault_injector", None)
     if injector_state is not None:
@@ -519,10 +586,62 @@ def _restore_metrics(sim, state: Dict[str, Any]) -> None:
                 name: TaskSample(**task_sample)
                 for name, task_sample in s["tasks"].items()
             },
+            cluster_temperature_c=(
+                None
+                if s.get("cluster_temperature_c") is None
+                else dict(s["cluster_temperature_c"])
+            ),
         )
         for s in state["samples"]
     ]
     sim.metrics.audit_violations = list(state["audit_violations"])
+
+
+def _restore_thermal(sim, state: Dict[str, Any]) -> None:
+    sim.thermal.restore_state(state["model"])
+    counters = state["cycle_counters"]
+    if set(counters) != set(sim.cycle_counters):
+        raise SnapshotRestoreError(
+            f"snapshot has cycle counters for {sorted(counters)} but the "
+            f"rebuilt simulation tracks {sorted(sim.cycle_counters)}"
+        )
+    for cluster_id, cstate in counters.items():
+        sim.cycle_counters[cluster_id].restore_state(cstate)
+    sensor = sim.thermal_sensor
+    sensor_state = state["sensor"]
+    wrapped = hasattr(sensor, "_inner")
+    if sensor_state["wrapper"] is not None and not wrapped:
+        raise SnapshotRestoreError(
+            "checkpoint was taken through a faulty thermal-sensor front end "
+            "but the rebuilt simulation reads the bare sensor; attach the "
+            "fault injector before restoring"
+        )
+    if sensor_state["wrapper"] is None and wrapped:
+        raise SnapshotRestoreError(
+            "rebuilt simulation wraps the thermal sensor in a fault "
+            "injector but the checkpoint was taken without one"
+        )
+    inner = sensor._inner if wrapped else sensor
+    inner._rng.setstate(rng_state_from_json(sensor_state["rng_state"]))
+    inner._last_sample = thermal_sample_from_json(sensor_state["last_sample"])
+    if wrapped:
+        sensor.restore_state(sim, sensor_state["wrapper"])
+    sim._last_thermal_sample = thermal_sample_from_json(
+        state["last_thermal_sample"]
+    )
+    sim.time_over_tcrit_s = state["time_over_tcrit_s"]
+    sim.thermal_read_failures = state["thermal_read_failures"]
+    sim._level_ceiling = {
+        cid: int(index) for cid, index in state["level_ceiling"].items()
+    }
+    supervisor_state = state["supervisor"]
+    if supervisor_state is not None:
+        if sim.thermal_supervisor is None:
+            raise SnapshotRestoreError(
+                "checkpoint includes thermal-supervisor state but the "
+                "rebuilt simulation has no ThermalProtectionConfig"
+            )
+        sim.thermal_supervisor.restore_state(supervisor_state)
 
 
 def _restore_sensor(sim, state: Dict[str, Any]) -> None:

@@ -36,6 +36,8 @@ from .resilience import (
     MarketWatchdog,
     ResilienceConfig,
     StaleSensorDetector,
+    ThermalState,
+    ThermalSupervisor,
     WatchdogState,
 )
 from .telemetry import MarketRecorder, MarketSnapshot
@@ -47,6 +49,8 @@ __all__ = [
     "MarketWatchdog",
     "ResilienceConfig",
     "StaleSensorDetector",
+    "ThermalState",
+    "ThermalSupervisor",
     "WatchdogState",
     "ChipAgent",
     "ChipPowerState",

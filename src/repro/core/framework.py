@@ -66,6 +66,10 @@ class PPMGovernor:
         self._pending_moves: Dict[str, MoveDecision] = {}
         self.safe_mode_entries = 0
         self._last_observed_power_w = 0.0
+        #: Fractional power mark-up applied to the market's observations
+        #: while the thermal supervisor holds a cluster at WARN or above;
+        #: raises prices so bids shrink before forcible throttling.
+        self.thermal_surcharge = 0.0
         if res is not None:
             self.sensor_guard = StaleSensorDetector(
                 stale_reads=res.stale_reads, spike_factor=res.spike_factor
@@ -153,6 +157,10 @@ class PPMGovernor:
         if decision is not None:
             self._execute_move(sim, decision)
 
+    def set_thermal_surcharge(self, surcharge: float) -> None:
+        """Hook for the thermal supervisor's WARN rung (0 clears it)."""
+        self.thermal_surcharge = max(0.0, surcharge)
+
     # ------------------------------------------------------------------
     # Snapshot/restore (checkpointing)
     # ------------------------------------------------------------------
@@ -170,6 +178,7 @@ class PPMGovernor:
             "moves_executed": self.moves_executed,
             "safe_mode_entries": self.safe_mode_entries,
             "last_observed_power_w": self._last_observed_power_w,
+            "thermal_surcharge": self.thermal_surcharge,
             "lbt_evaluations": self.lbt.evaluations if self.lbt is not None else 0,
             "pending_moves": {
                 task_id: self._move_decision_to_json(decision)
@@ -212,6 +221,7 @@ class PPMGovernor:
         self.moves_executed = state["moves_executed"]
         self.safe_mode_entries = state["safe_mode_entries"]
         self._last_observed_power_w = state["last_observed_power_w"]
+        self.thermal_surcharge = state.get("thermal_surcharge", 0.0)
         if self.lbt is not None:
             self.lbt.evaluations = state["lbt_evaluations"]
         self._pending_moves = {
@@ -401,6 +411,11 @@ class PPMGovernor:
                     self.online_estimator.observe(
                         task_id, core.cluster.core_type, demand
                     )
+        # Thermal surcharge: inflate the power the market trades on (the
+        # chip agent shrinks the allowance, raising prices chip-wide).
+        # ``_last_observed_power_w`` above stays raw so the watchdog's
+        # divergence detection is not fooled by the synthetic mark-up.
+        scale = 1.0 + self.thermal_surcharge
         obs = MarketObservations(
             demands=demands,
             cluster_level={
@@ -409,8 +424,11 @@ class PPMGovernor:
             cluster_in_transition={
                 c.cluster_id: c.regulator.in_transition for c in sim.chip.clusters
             },
-            chip_power_w=sample.chip_power_w,
-            cluster_power_w=sample.cluster_power_w,
+            chip_power_w=sample.chip_power_w * scale,
+            cluster_power_w={
+                cid: watts * scale
+                for cid, watts in sample.cluster_power_w.items()
+            },
         )
         result = self.market.run_round(obs)
         for task_id, allocation in result.allocations.items():

@@ -253,12 +253,28 @@ class DVFSSupervisor:
         self._desired.pop(cluster_id, None)
         self._retry.record_success(cluster_id)
 
+    @staticmethod
+    def _acknowledged_level(sim, cluster, level: int) -> int:
+        """The level the engine can actually grant for a desired ``level``.
+
+        A thermal V-F ceiling clamps requests below the governor's desire;
+        read-back verification must compare against the clamped level or
+        it would re-issue a doomed request every round for as long as the
+        throttle holds.
+        """
+        ceiling_of = getattr(sim, "level_ceiling_of", None)
+        ceiling = ceiling_of(cluster.cluster_id) if ceiling_of is not None else None
+        if ceiling is not None and level > ceiling:
+            return ceiling
+        return level
+
     def verify(self, sim, round_no: int) -> int:
         """Re-issue unacknowledged requests; returns how many were sent."""
         sent = 0
         for cluster_id, level in list(self._desired.items()):
             cluster = sim.chip.cluster(cluster_id)
-            if cluster.regulator.target_index == level:
+            acknowledged = self._acknowledged_level(sim, cluster, level)
+            if cluster.regulator.target_index == acknowledged:
                 self._retry.record_success(cluster_id)
                 continue
             if cluster_id in sim.offline_clusters:
@@ -266,7 +282,7 @@ class DVFSSupervisor:
             if self._retry.should_attempt(cluster_id, round_no):
                 sim.request_level(cluster, level)
                 self._retry.record_failure(cluster_id, round_no)
-                if cluster.regulator.target_index == level:
+                if cluster.regulator.target_index == acknowledged:
                     self._retry.record_success(cluster_id)
                 self.reissues += 1
                 sent += 1
@@ -402,3 +418,224 @@ class MarketWatchdog:
         self._failures = state["failures"]
         self._diverging = state["diverging"]
         self._healthy = state["healthy"]
+
+
+class ThermalState(Enum):
+    """Per-cluster rung on the thermal protection ladder."""
+
+    NORMAL = "normal"
+    WARN = "warn"
+    THROTTLE = "throttle"
+    SHED = "shed"
+    TRIP = "trip"
+
+
+#: Ladder order, coolest to hottest.  Transitions move one rung per
+#: evaluation, so escalation is always warn -> throttle -> shed -> trip.
+_LADDER = [
+    ThermalState.NORMAL,
+    ThermalState.WARN,
+    ThermalState.THROTTLE,
+    ThermalState.SHED,
+    ThermalState.TRIP,
+]
+
+
+class ThermalSupervisor:
+    """Graduated thermal degradation with hysteresis.
+
+    Driven by the engine every tick with the *sensed* thermal sample (so a
+    stuck thermal sensor blinds it, exactly like hardware); it evaluates
+    each cluster at most once per ``check_period_s`` and moves that
+    cluster one rung up the ladder when its temperature reaches the next
+    rung's entry threshold, or one rung down when it has cooled below the
+    current rung's entry threshold minus ``hysteresis_k``:
+
+    * **warn** -- asks the governor (when it exposes
+      ``set_thermal_surcharge``) to inflate observed power, so a price-
+      theory market raises prices and bids shrink before any forcible
+      action.
+    * **throttle** -- ratchets the cluster's V-F ceiling
+      (:meth:`~repro.sim.engine.Simulation.set_level_ceiling`) down one
+      level per hot evaluation and back up one per cool evaluation.
+    * **shed** -- migrates the cluster's tasks to the coolest other
+      online cluster (big -> LITTLE under a typical hot big cluster).
+    * **trip** -- hot-unplugs the cluster through the engine's existing
+      safe-mode/hotplug machinery; it is replugged on recovery.
+
+    The supervisor only ever replugs clusters *it* tripped, so an
+    injected hotplug fault is never masked by thermal recovery.
+    """
+
+    def __init__(self, config, tcrit_c: float = 95.0):
+        self.config = config
+        self.tcrit_c = tcrit_c
+        self._states: Dict[str, ThermalState] = {}
+        self._next_check_s = 0.0
+        self._tripped: set = set()
+        self._entry_c = {
+            ThermalState.WARN: config.warn_c,
+            ThermalState.THROTTLE: config.throttle_c,
+            ThermalState.SHED: config.shed_c,
+            ThermalState.TRIP: config.trip_c,
+        }
+        self.warnings = 0
+        self.throttles = 0
+        self.sheds = 0
+        self.tasks_shed = 0
+        self.trips = 0
+        self.recoveries = 0
+        #: ``(time_s, cluster_id, from_state, to_state)`` per transition.
+        self.transitions: List[tuple] = []
+
+    # -- queries -----------------------------------------------------------------
+    def state_of(self, cluster_id: str) -> ThermalState:
+        return self._states.get(cluster_id, ThermalState.NORMAL)
+
+    @property
+    def unrecovered_trips(self) -> int:
+        """Clusters currently offline because this supervisor tripped them."""
+        return len(self._tripped)
+
+    @property
+    def max_state(self) -> ThermalState:
+        if not self._states:
+            return ThermalState.NORMAL
+        return max(self._states.values(), key=_LADDER.index)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "warnings": self.warnings,
+            "throttles": self.throttles,
+            "sheds": self.sheds,
+            "tasks_shed": self.tasks_shed,
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+            "unrecovered_trips": self.unrecovered_trips,
+            "transitions": len(self.transitions),
+        }
+
+    # -- engine hook -------------------------------------------------------------
+    def on_tick(self, sim, sample) -> None:
+        """Evaluate the ladder against one sensed thermal sample."""
+        if sim.now < self._next_check_s:
+            return
+        self._next_check_s = sim.now + self.config.check_period_s
+        for cluster in sim.chip.clusters:
+            temp = sample.cluster_temperature_c.get(cluster.cluster_id)
+            if temp is None:
+                continue
+            self._evaluate(sim, cluster, temp, sample)
+        self._apply_surcharge(sim)
+
+    # -- ladder mechanics --------------------------------------------------------
+    def _evaluate(self, sim, cluster, temp: float, sample) -> None:
+        cluster_id = cluster.cluster_id
+        state = self.state_of(cluster_id)
+        rank = _LADDER.index(state)
+        new_rank = rank
+        if rank < len(_LADDER) - 1 and temp >= self._entry_c[_LADDER[rank + 1]]:
+            new_rank = rank + 1
+        elif rank > 0 and temp < self._entry_c[state] - self.config.hysteresis_k:
+            new_rank = rank - 1
+        if new_rank != rank:
+            self._transition(sim, cluster, state, _LADDER[new_rank], sample)
+        self._states[cluster_id] = _LADDER[new_rank]
+        self._adjust_ceiling(sim, cluster, temp)
+
+    def _transition(self, sim, cluster, old: ThermalState, new: ThermalState, sample) -> None:
+        self.transitions.append(
+            (sim.now, cluster.cluster_id, old.value, new.value)
+        )
+        if _LADDER.index(new) > _LADDER.index(old):
+            if new is ThermalState.WARN:
+                self.warnings += 1
+            elif new is ThermalState.THROTTLE:
+                self.throttles += 1
+            elif new is ThermalState.SHED:
+                self.sheds += 1
+                self._shed(sim, cluster, sample)
+            elif new is ThermalState.TRIP:
+                self.trips += 1
+                sim.hotplug_out(cluster)
+                self._tripped.add(cluster.cluster_id)
+        elif old is ThermalState.TRIP and cluster.cluster_id in self._tripped:
+            sim.hotplug_in(cluster)
+            self._tripped.discard(cluster.cluster_id)
+            self.recoveries += 1
+
+    def _adjust_ceiling(self, sim, cluster, temp: float) -> None:
+        """Ratchet the V-F ceiling while at or above the throttle rung.
+
+        One level per evaluation in either direction: down while the
+        cluster is still at or above ``throttle_c``, back up once it has
+        dropped below the throttle rung, clearing the ceiling entirely
+        when it returns to the table's top level.
+        """
+        state = self.state_of(cluster.cluster_id)
+        ceiling = sim.level_ceiling_of(cluster.cluster_id)
+        max_index = cluster.vf_table.max_index
+        if _LADDER.index(state) >= _LADDER.index(ThermalState.THROTTLE):
+            if temp >= self.config.throttle_c:
+                current = max_index if ceiling is None else ceiling
+                sim.set_level_ceiling(cluster, max(0, current - 1))
+        elif ceiling is not None:
+            if ceiling + 1 >= max_index:
+                sim.clear_level_ceiling(cluster)
+            else:
+                sim.set_level_ceiling(cluster, ceiling + 1)
+
+    def _shed(self, sim, cluster, sample) -> None:
+        """Migrate the hot cluster's tasks to the coolest other cluster."""
+        others = [
+            c for c in sim.online_clusters() if c.cluster_id != cluster.cluster_id
+        ]
+        if not others:
+            return  # nowhere to go; throttle/trip remain
+        temps = sample.cluster_temperature_c
+        destination = min(
+            others, key=lambda c: (temps.get(c.cluster_id, float("inf")), c.cluster_id)
+        )
+        for task in sorted(
+            sim.placement.tasks_on_cluster(cluster), key=lambda t: t.name
+        ):
+            core = sim.placement.least_loaded_core(destination.cores, sim.now)
+            record = sim.migrate(task, core)
+            if not record.failed:
+                self.tasks_shed += 1
+
+    def _apply_surcharge(self, sim) -> None:
+        hook = getattr(sim.governor, "set_thermal_surcharge", None)
+        if hook is None:
+            return
+        hot = _LADDER.index(self.max_state) >= _LADDER.index(ThermalState.WARN)
+        hook(self.config.warn_surcharge if hot else 0.0)
+
+    # -- snapshot/restore (checkpointing) ----------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "states": {cid: state.value for cid, state in self._states.items()},
+            "next_check_s": self._next_check_s,
+            "tripped": sorted(self._tripped),
+            "warnings": self.warnings,
+            "throttles": self.throttles,
+            "sheds": self.sheds,
+            "tasks_shed": self.tasks_shed,
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+            "transitions": [list(t) for t in self.transitions],
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._states = {
+            cid: ThermalState(value) for cid, value in state["states"].items()
+        }
+        self._next_check_s = state["next_check_s"]
+        self._tripped = set(state["tripped"])
+        self.warnings = state["warnings"]
+        self.throttles = state["throttles"]
+        self.sheds = state["sheds"]
+        self.tasks_shed = state["tasks_shed"]
+        self.trips = state["trips"]
+        self.recoveries = state["recoveries"]
+        self.transitions = [tuple(t) for t in state["transitions"]]

@@ -13,9 +13,15 @@ from .campaigns import (
     CampaignResult,
     CampaignRun,
     DEFAULT_CAMPAIGN_GOVERNORS,
+    SoakResult,
+    SoakRun,
     build_campaign_schedule,
+    build_soak_schedule,
+    merged_windows,
     run_fault_campaign,
+    run_soak,
     write_campaign_report,
+    write_soak_report,
 )
 from .comparative import ComparativeResult, figure4, figure5, figure6, run_comparative
 from .harness import (
@@ -46,10 +52,16 @@ __all__ = [
     "CampaignResult",
     "CampaignRun",
     "DEFAULT_CAMPAIGN_GOVERNORS",
+    "SoakResult",
+    "SoakRun",
     "build_campaign_schedule",
+    "build_soak_schedule",
+    "merged_windows",
     "ComparativeResult",
     "run_fault_campaign",
+    "run_soak",
     "write_campaign_report",
+    "write_soak_report",
     "ConstrainedCoreEmulator",
     "DEFAULT_DURATION_S",
     "DEFAULT_WARMUP_S",

@@ -35,8 +35,15 @@ from ..checkpoint import (
     write_journal,
 )
 from ..checkpoint.store import CHECKPOINT_GLOB_RE
-from ..faults import FaultInjector, FaultKind, FaultSchedule, periodic_faults
-from ..hw import tc2_chip
+from ..faults import (
+    THERMAL_FAULTS,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    parse_fault_kind,
+    periodic_faults,
+)
+from ..hw import ThermalConfig, ThermalParams, ThermalProtectionConfig, tc2_chip
 from ..sim import SimConfig, Simulation
 from ..tasks import build_workload
 from .harness import capped_tdp_w, make_governor
@@ -49,6 +56,23 @@ CAMPAIGN_FAULTS: Dict[str, FaultKind] = {
 
 #: Governors every campaign exercises by default.
 DEFAULT_CAMPAIGN_GOVERNORS: Tuple[str, ...] = ("PPM", "HPM", "HL")
+
+#: RC parameters for thermal campaigns and soak runs.  Chosen so a
+#: fault-free big cluster settles well below the WARN threshold (~6 W
+#: peak -> ~61 degC against warn_c = 70), which makes every trip-ladder
+#: engagement attributable to the injected fault and guarantees full
+#: recovery once the fault window closes.
+CAMPAIGN_THERMAL_PARAMS = ThermalParams(
+    resistance_k_per_w=6.0, capacitance_j_per_k=0.5, ambient_c=25.0
+)
+
+
+def campaign_thermal_config(chip) -> ThermalConfig:
+    """Thermal tracking plus the full protection ladder for campaign sims."""
+    return ThermalConfig(
+        params={c.cluster_id: CAMPAIGN_THERMAL_PARAMS for c in chip.clusters},
+        protection=ThermalProtectionConfig(),
+    )
 
 
 @dataclass
@@ -142,13 +166,23 @@ def build_campaign_schedule(
     if not 0.0 < intensity <= 0.8:
         raise ValueError("intensity must be in (0, 0.8]")
     target: Optional[str] = None
-    if fault in (FaultKind.HOTPLUG, FaultKind.DVFS_DROP, FaultKind.DVFS_DELAY):
+    if fault in (
+        FaultKind.HOTPLUG,
+        FaultKind.DVFS_DROP,
+        FaultKind.DVFS_DELAY,
+    ) or fault in THERMAL_FAULTS:
         target = max(chip.clusters, key=lambda c: c.max_supply_pus).cluster_id
     period_s = 12.0 if fault is FaultKind.HOTPLUG else 8.0
     window_s = min(intensity * period_s, period_s - 1.0)
     start_s = warmup_s + 2.0
     until_s = max(start_s + 1e-9, duration_s - period_s * 0.5)
-    kwargs = {"magnitude": 4.0} if fault is FaultKind.SENSOR_SPIKE else {}
+    kwargs = {}
+    if fault is FaultKind.SENSOR_SPIKE:
+        kwargs["magnitude"] = 4.0
+    elif fault is FaultKind.COOLING_DEGRADED:
+        kwargs["magnitude"] = 3.0  # heatsink sheds heat 3x more slowly
+    elif fault is FaultKind.THERMAL_RUNAWAY:
+        kwargs["magnitude"] = 12.0  # watts of unaccounted heat
     return periodic_faults(
         fault,
         period_s=period_s,
@@ -200,6 +234,11 @@ def _build_campaign_sim(
     chip = tc2_chip()
     tasks = build_workload(identity["workload"])
     governor = make_governor(name, power_cap_w=identity["tdp_w"])
+    thermal = (
+        campaign_thermal_config(chip)
+        if CAMPAIGN_FAULTS[identity["fault"]] in THERMAL_FAULTS
+        else None
+    )
     sim = Simulation(
         chip,
         tasks,
@@ -208,6 +247,7 @@ def _build_campaign_sim(
             metrics_warmup_s=identity["warmup_s"],
             seed=identity["seed"],
             audit=True,
+            thermal=thermal,
         ),
     )
     injector = FaultInjector(sim, schedule).attach()
@@ -409,11 +449,7 @@ def run_fault_campaign(
     streams disjoint, and results are merged in governor order so the
     report is identical to a serial campaign's.
     """
-    kind = CAMPAIGN_FAULTS.get(fault)
-    if kind is None:
-        raise KeyError(
-            f"unknown fault {fault!r}; choose from {sorted(CAMPAIGN_FAULTS)}"
-        )
+    parse_fault_kind(fault)  # clean ValueError naming every valid kind
     cap = power_cap_w if power_cap_w is not None else capped_tdp_w()
     identity = _campaign_identity(
         fault, workload, duration_s, warmup_s, intensity, seed, cap, governors
@@ -651,6 +687,279 @@ def write_campaign_report(
     never leaves a truncated report behind.
     """
     stem = os.path.join(out_dir, f"campaign_{result.fault}")
+    atomic_write_text(stem + ".txt", result.as_table() + "\n")
+    atomic_write_text(stem + ".json", result.to_json() + "\n")
+    return stem + ".txt"
+
+
+# ----------------------------------------------------------------------
+# Chaos/soak harness: long compound-fault runs with live thermals
+# ----------------------------------------------------------------------
+#: Recovery tail kept fault-free at the end of every soak schedule.
+SOAK_RECOVERY_TAIL_S = 10.0
+
+
+@dataclass
+class SoakRun:
+    """Resilience summary of one governor over a compound-fault soak."""
+
+    governor: str
+    mttr_s: Optional[float]
+    unrecovered_windows: int
+    time_over_tcrit_s: float
+    thermal_cycles: Dict[str, int]
+    peak_temperature_c: Optional[float]
+    supervisor: Dict[str, int]
+    unrecovered_trips: int
+    audit_violations: int
+    miss_fraction_in_fault: float
+    miss_fraction_outside_fault: float
+    average_power_w: float
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SoakResult:
+    """One soak: every governor through the same compound-fault schedule."""
+
+    workload: str
+    duration_s: float
+    seed: int
+    tdp_w: float
+    windows: List[Tuple[float, float]]
+    runs: List[SoakRun] = field(default_factory=list)
+
+    def as_table(self) -> str:
+        header = (
+            f"Chaos soak  (workload {self.workload}, {self.duration_s:.0f} s, "
+            f"seed {self.seed}, TDP {self.tdp_w:.1f} W, "
+            f"{len(self.windows)} merged fault windows)"
+        )
+        columns = (
+            f"{'governor':<10} {'MTTR (s)':>9} {'unrec win':>9} "
+            f"{'t>Tcrit (s)':>11} {'cycles':>7} {'trips':>6} {'unrec':>6} "
+            f"{'audits':>7} {'miss in':>8} {'miss out':>9} {'avg W':>7}"
+        )
+        rows = []
+        for run in self.runs:
+            mttr = f"{run.mttr_s:.2f}" if run.mttr_s is not None else "never"
+            rows.append(
+                f"{run.governor:<10} {mttr:>9} {run.unrecovered_windows:>9d} "
+                f"{run.time_over_tcrit_s:>11.2f} "
+                f"{sum(run.thermal_cycles.values()):>7d} "
+                f"{run.supervisor.get('trips', 0):>6d} "
+                f"{run.unrecovered_trips:>6d} {run.audit_violations:>7d} "
+                f"{run.miss_fraction_in_fault:>8.3f} "
+                f"{run.miss_fraction_outside_fault:>9.3f} "
+                f"{run.average_power_w:>7.2f}"
+            )
+        return "\n".join([header, "", columns, "-" * len(columns), *rows])
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "workload": self.workload,
+                "duration_s": self.duration_s,
+                "seed": self.seed,
+                "tdp_w": self.tdp_w,
+                "windows": self.windows,
+                "runs": [asdict(run) for run in self.runs],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def build_soak_schedule(
+    duration_s: float, warmup_s: float, chip
+) -> FaultSchedule:
+    """Staggered periodic compound faults: thermal + sensing + actuation.
+
+    Five overlapping periodic trains, all starting after the warm-up and
+    all ending :data:`SOAK_RECOVERY_TAIL_S` before the run does, so the
+    final recovery is always observable.  Thermal model faults hit the
+    fastest cluster (the one the trip ladder must eventually unplug);
+    the thermal-sensor-stuck and power-sensor-dropout trains are
+    chip-wide to also blind the supervisor and the watchdog.
+    """
+    if duration_s <= warmup_s + SOAK_RECOVERY_TAIL_S:
+        raise ValueError(
+            "soak duration must exceed warmup + "
+            f"{SOAK_RECOVERY_TAIL_S:.0f} s recovery tail"
+        )
+    hot = max(chip.clusters, key=lambda c: c.max_supply_pus).cluster_id
+    until_s = duration_s - SOAK_RECOVERY_TAIL_S
+    trains = [
+        # (kind, period, duration, stagger, target, kwargs)
+        (FaultKind.THERMAL_RUNAWAY, 20.0, 6.0, 2.0, hot, {"magnitude": 12.0}),
+        (FaultKind.COOLING_DEGRADED, 25.0, 8.0, 5.0, hot, {"magnitude": 3.0}),
+        (FaultKind.THERMAL_SENSOR_STUCK, 15.0, 4.0, 3.0, None, {}),
+        (FaultKind.SENSOR_DROPOUT, 10.0, 1.0, 1.0, None, {}),
+        (FaultKind.DVFS_DROP, 13.0, 3.0, 4.0, hot, {}),
+    ]
+    schedule = FaultSchedule()
+    for kind, period_s, window_s, stagger_s, target, kwargs in trains:
+        start_s = warmup_s + stagger_s
+        duration = min(window_s, until_s - start_s)
+        # Bound the last *end*, not just the last start: every window must
+        # close before the recovery tail so the tail stays fault-free.
+        if duration <= 0 or start_s + duration > until_s:
+            continue
+        schedule = schedule.extended(
+            periodic_faults(
+                kind,
+                period_s=period_s,
+                duration_s=duration,
+                until_s=until_s - duration + 1e-9,
+                start_s=start_s,
+                target=target,
+                **kwargs,
+            ).events
+        )
+    return schedule
+
+
+def merged_windows(
+    windows: Sequence[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Coalesce overlapping fault windows into distinct outage episodes."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _soak_identity(
+    workload: str,
+    duration_s: float,
+    warmup_s: float,
+    seed: int,
+    cap: float,
+    governors: Sequence[str],
+) -> Dict[str, object]:
+    return {
+        "workload": workload,
+        "duration_s": duration_s,
+        "warmup_s": warmup_s,
+        "seed": seed,
+        "tdp_w": cap,
+        "governors": list(governors),
+    }
+
+
+def _soak_schedule(identity: Dict[str, object]) -> FaultSchedule:
+    return build_soak_schedule(
+        identity["duration_s"], identity["warmup_s"], tc2_chip()
+    )
+
+
+def _soak_point(identity: Dict[str, object], name: str) -> SoakRun:
+    """Run one governor through the soak schedule; picklable for workers.
+
+    Every soak sim runs with live thermal tracking, the full protection
+    ladder and the market auditor enabled -- the point of a soak is to
+    prove the invariants hold *under* compound faults, so auditing is not
+    optional here the way it is for the performance sweeps.
+    """
+    schedule = _soak_schedule(identity)
+    chip = tc2_chip()
+    sim = Simulation(
+        chip,
+        build_workload(identity["workload"]),
+        make_governor(name, power_cap_w=identity["tdp_w"]),
+        config=SimConfig(
+            metrics_warmup_s=identity["warmup_s"],
+            seed=identity["seed"],
+            audit=True,
+            thermal=campaign_thermal_config(chip),
+        ),
+    )
+    injector = FaultInjector(sim, schedule).attach()
+    metrics = sim.run(identity["duration_s"])
+    episodes = merged_windows(schedule.windows())
+    recoveries = [
+        metrics.recovery_time_s(after_s=end, settle_s=1.0, dt=sim.dt)
+        for _, end in episodes
+    ]
+    recovered = [r for r in recoveries if r is not None]
+    temp_peaks = [
+        max(s.cluster_temperature_c.values())
+        for s in metrics.samples
+        if s.cluster_temperature_c
+    ]
+    supervisor = sim.thermal_supervisor
+    return SoakRun(
+        governor=name,
+        mttr_s=(sum(recovered) / len(recovered)) if recovered else None,
+        unrecovered_windows=sum(1 for r in recoveries if r is None),
+        time_over_tcrit_s=sim.time_over_tcrit_s,
+        thermal_cycles={
+            cid: counter.cycles for cid, counter in sim.cycle_counters.items()
+        },
+        peak_temperature_c=max(temp_peaks) if temp_peaks else None,
+        supervisor=supervisor.stats() if supervisor is not None else {},
+        unrecovered_trips=(
+            supervisor.unrecovered_trips if supervisor is not None else 0
+        ),
+        audit_violations=metrics.audit_violation_count(),
+        miss_fraction_in_fault=metrics.miss_fraction_in_windows(episodes),
+        miss_fraction_outside_fault=metrics.miss_fraction_outside_windows(
+            episodes
+        ),
+        average_power_w=metrics.average_power_w(),
+        fault_stats=injector.stats(),
+    )
+
+
+def run_soak(
+    governors: Sequence[str] = DEFAULT_CAMPAIGN_GOVERNORS,
+    workload: str = "m2",
+    duration_s: float = 120.0,
+    warmup_s: float = 5.0,
+    seed: int = 1,
+    power_cap_w: Optional[float] = None,
+    jobs: Optional[int] = None,
+) -> SoakResult:
+    """Drive every governor through the same long compound-fault soak.
+
+    Unlike single-kind campaigns, the soak overlaps thermal runaway,
+    degraded cooling, stuck thermal zones, power-sensor dropouts and
+    dropped DVFS writes, with the market auditor checking every round.
+    The report answers the chaos-engineering questions: mean time to
+    recover per outage episode (MTTR), seconds any cluster spent over
+    ``tcrit_c``, thermal cycle counts, trip-ladder activity and whether
+    the market books stayed consistent throughout.
+    """
+    cap = power_cap_w if power_cap_w is not None else capped_tdp_w()
+    identity = _soak_identity(
+        workload, duration_s, warmup_s, seed, cap, governors
+    )
+    schedule = _soak_schedule(identity)
+    result = SoakResult(
+        workload=workload,
+        duration_s=duration_s,
+        seed=seed,
+        tdp_w=cap,
+        windows=merged_windows(schedule.windows()),
+    )
+    specs = [
+        PointSpec(
+            fn=_soak_point,
+            label=f"soak/{name}",
+            args=(identity, name),
+        )
+        for name in governors
+    ]
+    result.runs.extend(execute_points(specs, jobs=jobs))
+    return result
+
+
+def write_soak_report(result: SoakResult, out_dir: str = "results") -> str:
+    """Write the soak table and JSON under ``out_dir``; returns the path."""
+    stem = os.path.join(out_dir, f"soak_{result.workload}")
     atomic_write_text(stem + ".txt", result.as_table() + "\n")
     atomic_write_text(stem + ".json", result.to_json() + "\n")
     return stem + ".txt"

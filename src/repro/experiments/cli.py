@@ -8,6 +8,8 @@ Examples::
     repro-experiments table7
     repro-experiments all --duration 60
     repro-experiments campaign --fault sensor-dropout
+    repro-experiments campaign --fault thermal-runaway
+    repro-experiments soak --soak-duration 120
     repro-experiments checkpoint --fault hotplug --checkpoint-dir results/ckpt
     repro-experiments resume --checkpoint-dir results/ckpt
     repro-experiments replay --checkpoint-dir results/ckpt --verify
@@ -26,7 +28,9 @@ from .campaigns import (
     replay_campaign_checkpoint,
     resume_fault_campaign,
     run_fault_campaign,
+    run_soak,
     write_campaign_report,
+    write_soak_report,
 )
 from .harness import GOVERNOR_NAMES
 
@@ -63,28 +67,38 @@ def _export(result, path):
         write_comparative(result, path)
 
 
+def _audit_suffix(args, result) -> str:
+    if not args.strict_audit:
+        return ""
+    return f"\n\nmarket audit violations: {result.total_audit_violations()}"
+
+
 def _run_fig4(args) -> str:
     result = run_comparative(
-        duration_s=args.duration, warmup_s=args.warmup, jobs=args.jobs
+        duration_s=args.duration, warmup_s=args.warmup, jobs=args.jobs,
+        strict_audit=args.strict_audit,
     )
     text4 = figure4(result=result)[1]
     text5 = figure5(result=result)[1]
     _export(result, args.export)
-    return text4 + "\n\n" + text5
+    return text4 + "\n\n" + text5 + _audit_suffix(args, result)
 
 
 def _run_fig5(args) -> str:
-    return figure5(
-        duration_s=args.duration, warmup_s=args.warmup, jobs=args.jobs
-    )[1]
+    result, text = figure5(
+        duration_s=args.duration, warmup_s=args.warmup, jobs=args.jobs,
+        strict_audit=args.strict_audit,
+    )
+    return text + _audit_suffix(args, result)
 
 
 def _run_fig6(args) -> str:
     result, text = figure6(
-        duration_s=args.duration, warmup_s=args.warmup, jobs=args.jobs
+        duration_s=args.duration, warmup_s=args.warmup, jobs=args.jobs,
+        strict_audit=args.strict_audit,
     )
     _export(result, args.export)
-    return text
+    return text + _audit_suffix(args, result)
 
 
 def _run_fig7(args) -> str:
@@ -143,6 +157,20 @@ def _run_campaign(args) -> str:
     return result.as_table() + f"\n\nreport written to {path}"
 
 
+def _run_soak(args) -> str:
+    governors = _parse_governors(args.governors)
+    result = run_soak(
+        governors=governors,
+        workload=args.workload,
+        duration_s=args.soak_duration,
+        warmup_s=args.campaign_warmup,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    path = write_soak_report(result, out_dir=args.out)
+    return result.as_table() + f"\n\nreport written to {path}"
+
+
 def _run_checkpoint(args) -> str:
     """``campaign`` with checkpointing always on (default directory)."""
     if args.checkpoint_dir is None:
@@ -193,6 +221,7 @@ _COMMANDS = {
 #: Commands excluded from ``all`` (campaigns are a study, not a figure).
 _EXTRA_COMMANDS = {
     "campaign": _run_campaign,
+    "soak": _run_soak,
     "checkpoint": _run_checkpoint,
     "resume": _run_resume,
     "replay": _run_replay,
@@ -253,6 +282,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="validate with benchmark-grade durations instead of quick runs",
     )
+    parser.add_argument(
+        "--strict-audit",
+        action="store_true",
+        help=(
+            "run the market auditor every round of the comparative sweeps "
+            "(figs 4-6) and report the violation total; slower, off by "
+            "default (campaign and soak runs always audit)"
+        ),
+    )
     campaign = parser.add_argument_group("fault campaigns")
     campaign.add_argument(
         "--fault",
@@ -293,6 +331,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="engine seed for campaign runs (default: 1)",
+    )
+    campaign.add_argument(
+        "--soak-duration",
+        type=float,
+        default=120.0,
+        help="simulated seconds for the soak command (default: 120)",
     )
     campaign.add_argument(
         "--out",

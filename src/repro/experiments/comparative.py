@@ -71,6 +71,13 @@ class ComparativeResult:
             return 0.0
         return (base - self.mean_miss(ours)) / base
 
+    def total_audit_violations(self) -> int:
+        """Market-invariant violations across all runs (strict audit only)."""
+        return sum(
+            r.audit_violations for by_wl in self.runs.values()
+            for r in by_wl.values()
+        )
+
 
 def run_comparative(
     power_cap_w: Optional[float] = None,
@@ -79,6 +86,7 @@ def run_comparative(
     duration_s: float = DEFAULT_DURATION_S,
     warmup_s: float = DEFAULT_WARMUP_S,
     jobs: Optional[int] = None,
+    strict_audit: bool = False,
 ) -> ComparativeResult:
     """Run the full governors x workloads sweep.
 
@@ -86,6 +94,10 @@ def run_comparative(
     (governor, workload) points out over worker processes; results are
     merged back in the serial iteration order, so the resulting tables
     are identical whatever the job count.
+
+    ``strict_audit`` runs the market auditor every round of every point
+    (slower; see ``--strict-audit`` on the CLI) and surfaces the total
+    violation count via :meth:`ComparativeResult.total_audit_violations`.
     """
     specs = [
         PointSpec(
@@ -96,6 +108,7 @@ def run_comparative(
                 "duration_s": duration_s,
                 "warmup_s": warmup_s,
                 "power_cap_w": power_cap_w,
+                "strict_audit": strict_audit,
             },
         )
         for governor in governors
@@ -116,10 +129,12 @@ def figure4(
     warmup_s: float = DEFAULT_WARMUP_S,
     result: Optional[ComparativeResult] = None,
     jobs: Optional[int] = None,
+    strict_audit: bool = False,
 ) -> Tuple[ComparativeResult, str]:
     """Figure 4: QoS miss percentage, no TDP constraint."""
     result = result or run_comparative(
-        duration_s=duration_s, warmup_s=warmup_s, jobs=jobs
+        duration_s=duration_s, warmup_s=warmup_s, jobs=jobs,
+        strict_audit=strict_audit,
     )
     text = format_percent_table(
         "Figure 4: % time any task misses its reference heart-rate range (no TDP)",
@@ -134,6 +149,7 @@ def figure5(
     warmup_s: float = DEFAULT_WARMUP_S,
     result: Optional[ComparativeResult] = None,
     jobs: Optional[int] = None,
+    strict_audit: bool = False,
 ) -> Tuple[ComparativeResult, str]:
     """Figure 5: average power consumption, no TDP constraint.
 
@@ -141,7 +157,8 @@ def figure5(
     same runs, as the paper does.
     """
     result = result or run_comparative(
-        duration_s=duration_s, warmup_s=warmup_s, jobs=jobs
+        duration_s=duration_s, warmup_s=warmup_s, jobs=jobs,
+        strict_audit=strict_audit,
     )
     columns = list(result.workloads())
     headers = ["governor"] + columns + ["mean [W]"]
@@ -164,11 +181,13 @@ def figure6(
     warmup_s: float = DEFAULT_WARMUP_S,
     power_cap_w: Optional[float] = None,
     jobs: Optional[int] = None,
+    strict_audit: bool = False,
 ) -> Tuple[ComparativeResult, str]:
     """Figure 6: QoS miss percentage under the 4 W TDP constraint."""
     cap = power_cap_w if power_cap_w is not None else capped_tdp_w()
     result = run_comparative(
-        power_cap_w=cap, duration_s=duration_s, warmup_s=warmup_s, jobs=jobs
+        power_cap_w=cap, duration_s=duration_s, warmup_s=warmup_s, jobs=jobs,
+        strict_audit=strict_audit,
     )
     text = format_percent_table(
         f"Figure 6: % time any task misses its reference range (TDP {cap:.0f} W)",

@@ -60,6 +60,7 @@ class RunResult:
     inter_migrations: int
     per_task_below: Dict[str, float] = field(default_factory=dict)
     per_task_outside: Dict[str, float] = field(default_factory=dict)
+    audit_violations: int = 0  #: market-invariant violations (strict audit)
     metrics: Optional[MetricsCollector] = None
 
 
@@ -76,6 +77,7 @@ def run_system(
     workload_name: str = "?",
     checkpoint_dir: Optional[str] = None,
     checkpoint_interval_s: float = 1.0,
+    strict_audit: bool = False,
 ) -> RunResult:
     """Run ``tasks`` under ``governor`` and summarise the steady state.
 
@@ -87,10 +89,18 @@ def run_system(
         checkpoint_dir: When set, write periodic crash-consistent
             checkpoints of the run there (see :mod:`repro.checkpoint`),
             every ``checkpoint_interval_s`` simulated seconds.
+        strict_audit: Run the market auditor every round and report the
+            violation count on the result (off by default: auditing every
+            tick costs throughput the performance sweeps care about).
     """
     chip = chip or tc2_chip()
     sim = Simulation(
-        chip, tasks, governor, config=SimConfig(dt=dt, metrics_warmup_s=warmup_s)
+        chip,
+        tasks,
+        governor,
+        config=SimConfig(
+            dt=dt, metrics_warmup_s=warmup_s, audit=strict_audit
+        ),
     )
     if placement is not None:
         placement(sim)
@@ -118,6 +128,7 @@ def run_system(
         per_task_outside={
             t.name: metrics.task_outside_range_fraction(t.name) for t in tasks
         },
+        audit_violations=metrics.audit_violation_count(),
         metrics=metrics if keep_metrics else None,
     )
 
@@ -128,6 +139,7 @@ def run_workload(
     duration_s: float = DEFAULT_DURATION_S,
     warmup_s: float = DEFAULT_WARMUP_S,
     power_cap_w: Optional[float] = None,
+    strict_audit: bool = False,
 ) -> RunResult:
     """One comparative-study data point: workload set x governor."""
     tasks = build_workload(set_id)
@@ -139,6 +151,7 @@ def run_workload(
         warmup_s=warmup_s,
         governor_name=governor_name,
         workload_name=set_id,
+        strict_audit=strict_audit,
     )
 
 

@@ -4,7 +4,12 @@ The real TC2 platform fails in ways the idealised simulator never did:
 hwmon reads time out or return stale registers, cpufreq transitions are
 silently dropped by a busy regulator, cores get hot-unplugged by the
 thermal framework, heartbeat messages are lost on a saturated system and
-``sched_setaffinity`` calls fail.  This module gives each of those a
+``sched_setaffinity`` calls fail.  The thermal path fails too: thermal
+zone reads stick at a stale register (:attr:`FaultKind.THERMAL_SENSOR_STUCK`),
+heatsinks clog or fans die so the package sheds heat more slowly
+(:attr:`FaultKind.COOLING_DEGRADED`), and a wedged rail or runaway
+leakage dumps extra heat the power model never accounted for
+(:attr:`FaultKind.THERMAL_RUNAWAY`).  This module gives each of those a
 first-class, schedulable representation so experiments can replay the
 same disturbance against every governor.
 
@@ -43,14 +48,52 @@ class FaultKind(str, Enum):
     HEARTBEAT_LOSS = "heartbeat-loss"
     #: Migration requests fail without moving the task.
     MIGRATION_FAIL = "migration-fail"
+    #: Thermal sensor repeats its last reading (stale thermal zone).
+    THERMAL_SENSOR_STUCK = "thermal-sensor-stuck"
+    #: Thermal resistance scales by ``magnitude`` (clogged heatsink,
+    #: dead fan); > 1 means the cluster sheds heat more slowly.
+    COOLING_DEGRADED = "cooling-degraded"
+    #: ``magnitude`` extra watts of heat injected into the cluster
+    #: (wedged rail / runaway leakage the power model cannot see).
+    THERMAL_RUNAWAY = "thermal-runaway"
 
 
 #: Kinds whose ``target`` names a cluster.
 CLUSTER_FAULTS = frozenset(
-    {FaultKind.DVFS_DROP, FaultKind.DVFS_DELAY, FaultKind.HOTPLUG}
+    {
+        FaultKind.DVFS_DROP,
+        FaultKind.DVFS_DELAY,
+        FaultKind.HOTPLUG,
+        FaultKind.THERMAL_SENSOR_STUCK,
+        FaultKind.COOLING_DEGRADED,
+        FaultKind.THERMAL_RUNAWAY,
+    }
 )
 #: Kinds whose ``target`` names a task.
 TASK_FAULTS = frozenset({FaultKind.HEARTBEAT_LOSS, FaultKind.MIGRATION_FAIL})
+#: Kinds that require simulation-time thermal tracking to have any effect.
+THERMAL_FAULTS = frozenset(
+    {
+        FaultKind.THERMAL_SENSOR_STUCK,
+        FaultKind.COOLING_DEGRADED,
+        FaultKind.THERMAL_RUNAWAY,
+    }
+)
+
+
+def parse_fault_kind(name: str) -> FaultKind:
+    """Look up a :class:`FaultKind` by its string value.
+
+    Raises a :class:`ValueError` naming every valid kind on a miss,
+    instead of the bare enum ``KeyError`` callers would otherwise see.
+    """
+    try:
+        return FaultKind(name)
+    except ValueError:
+        valid = ", ".join(sorted(kind.value for kind in FaultKind))
+        raise ValueError(
+            f"unknown fault kind {name!r}; valid kinds: {valid}"
+        ) from None
 
 
 @dataclass(frozen=True)

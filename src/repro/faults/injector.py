@@ -16,9 +16,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..hw.sensors import PowerSensor, SensorReadError, SensorSample
+from ..hw.sensors import (
+    PowerSensor,
+    SensorReadError,
+    SensorSample,
+    ThermalSample,
+    ThermalSensor,
+)
 from ..hw.topology import Cluster
-from .events import FaultKind, FaultSchedule
+from .events import THERMAL_FAULTS, FaultKind, FaultSchedule
 
 
 class FaultySensor:
@@ -140,6 +146,76 @@ class FaultySensor:
         )
 
 
+class FaultyThermalSensor:
+    """A :class:`ThermalSensor` front end applying scheduled thermal faults.
+
+    Drop-in for the engine's thermal sensor attribute: during a
+    :attr:`FaultKind.THERMAL_SENSOR_STUCK` window ``sample()`` repeats the
+    last reading (stale thermal zone register); a cluster-targeted event
+    freezes only that cluster's reading at its window-entry value.  The
+    physics (:class:`~repro.hw.thermal.ThermalModel`) keeps heating
+    underneath -- only the supervisor's view goes blind.
+    """
+
+    def __init__(self, inner: ThermalSensor, schedule: FaultSchedule, clock):
+        self._inner = inner
+        self._schedule = schedule
+        self._clock = clock
+        #: Cluster temperature frozen at entry of the active targeted window.
+        self._stuck_hold: Optional[Tuple[object, float]] = None
+        self.stuck_reads = 0
+
+    @property
+    def last_sample(self) -> Optional[ThermalSample]:
+        return self._inner.last_sample
+
+    def sample(self) -> ThermalSample:
+        now = self._clock()
+        previous = self._inner.last_sample
+        stuck = self._schedule.active(now, FaultKind.THERMAL_SENSOR_STUCK)
+        if stuck is not None and previous is not None and stuck.target is None:
+            self.stuck_reads += 1
+            return previous
+        sample = self._inner.sample()
+        if stuck is not None and previous is not None and stuck.target is not None:
+            if self._stuck_hold is None or self._stuck_hold[0] is not stuck:
+                held = previous.cluster_temperature_c.get(stuck.target)
+                self._stuck_hold = (stuck, held) if held is not None else None
+            if self._stuck_hold is not None:
+                temps = dict(sample.cluster_temperature_c)
+                temps[stuck.target] = self._stuck_hold[1]
+                sample = ThermalSample(cluster_temperature_c=temps)
+                self.stuck_reads += 1
+        elif stuck is None:
+            self._stuck_hold = None
+        return sample
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (checkpointing)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        stuck = None
+        if self._stuck_hold is not None:
+            event, temp = self._stuck_hold
+            index = next(
+                i for i, e in enumerate(self._schedule.events) if e is event
+            )
+            stuck = {"event_index": index, "temp": temp}
+        return {"stuck_hold": stuck, "stuck_reads": self.stuck_reads}
+
+    def restore_state(self, sim, state: Dict[str, object]) -> None:
+        stuck = state["stuck_hold"]
+        if stuck is None:
+            self._stuck_hold = None
+        else:
+            # Re-bind to this process's event object (identity-compared).
+            self._stuck_hold = (
+                self._schedule.events[stuck["event_index"]],
+                stuck["temp"],
+            )
+        self.stuck_reads = state["stuck_reads"]
+
+
 class FaultInjector:
     """Wires a :class:`FaultSchedule` into a running simulation.
 
@@ -167,6 +243,14 @@ class FaultInjector:
         self.heartbeats_lost = 0
         self.unplugs = 0
         self.replugs = 0
+        self.cooling_degraded_ticks = 0
+        self.runaway_ticks = 0
+        #: Whether any scheduled fault perturbs the thermal *physics*
+        #: (sensor-stuck only blinds the reading path).
+        self._has_thermal_model_faults = any(
+            e.kind in (FaultKind.COOLING_DEGRADED, FaultKind.THERMAL_RUNAWAY)
+            for e in schedule
+        )
 
     # ------------------------------------------------------------------
     def attach(self) -> "FaultInjector":
@@ -174,7 +258,20 @@ class FaultInjector:
             raise RuntimeError("fault injector already attached")
         self._attached = True
         sim = self.sim
+        thermal_kinds = sorted(
+            {e.kind.value for e in self.schedule if e.kind in THERMAL_FAULTS}
+        )
+        if thermal_kinds and sim.thermal is None:
+            raise ValueError(
+                f"schedule contains thermal faults ({', '.join(thermal_kinds)}) "
+                "but the simulation has no thermal tracking; set "
+                "SimConfig.thermal"
+            )
         sim.sensor = FaultySensor(sim.sensor, self.schedule, lambda: sim.now)
+        if self.schedule.of_kind(FaultKind.THERMAL_SENSOR_STUCK):
+            sim.thermal_sensor = FaultyThermalSensor(
+                sim.thermal_sensor, self.schedule, lambda: sim.now
+            )
         self._wrap_dvfs(sim)
         self._wrap_migrate(sim)
         self._wrap_heartbeats(sim)
@@ -297,12 +394,43 @@ class FaultInjector:
                     sim.hotplug_in(sim.chip.cluster(cluster_id))
                     self.replugs += 1
 
+    def _apply_thermal(self) -> None:
+        """Drive the thermal model's fault hooks from the schedule.
+
+        Recomputed statelessly from the schedule every tick (no window
+        entry/exit bookkeeping to snapshot): the model's resistance
+        factor and heat injection are simply *set* to whatever the
+        currently-active windows dictate, 1.0 / 0 W otherwise.
+        """
+        sim = self.sim
+        if not self._has_thermal_model_faults or sim.thermal is None:
+            return
+        for cluster in sim.chip.clusters:
+            cluster_id = cluster.cluster_id
+            cooling = self.schedule.active(
+                sim.now, FaultKind.COOLING_DEGRADED, cluster_id
+            )
+            sim.thermal.set_resistance_factor(
+                cluster_id, cooling.magnitude if cooling is not None else 1.0
+            )
+            runaway = self.schedule.active(
+                sim.now, FaultKind.THERMAL_RUNAWAY, cluster_id
+            )
+            sim.thermal.set_power_injection(
+                cluster_id, runaway.magnitude if runaway is not None else 0.0
+            )
+            if cooling is not None:
+                self.cooling_degraded_ticks += 1
+            if runaway is not None:
+                self.runaway_ticks += 1
+
     def _wrap_step(self, sim) -> None:
         original_step = sim.step
 
         def step() -> None:
             self._pump_delayed_dvfs()
             self._apply_hotplug()
+            self._apply_thermal()
             original_step()
 
         sim.step = step
@@ -329,6 +457,8 @@ class FaultInjector:
             "heartbeats_lost": self.heartbeats_lost,
             "unplugs": self.unplugs,
             "replugs": self.replugs,
+            "cooling_degraded_ticks": self.cooling_degraded_ticks,
+            "runaway_ticks": self.runaway_ticks,
         }
 
     def restore_state(self, sim, state: Dict[str, object]) -> None:
@@ -347,6 +477,8 @@ class FaultInjector:
         self.heartbeats_lost = state["heartbeats_lost"]
         self.unplugs = state["unplugs"]
         self.replugs = state["replugs"]
+        self.cooling_degraded_ticks = state.get("cooling_degraded_ticks", 0)
+        self.runaway_ticks = state.get("runaway_ticks", 0)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
@@ -362,4 +494,9 @@ class FaultInjector:
             "heartbeats_lost": self.heartbeats_lost,
             "unplugs": self.unplugs,
             "replugs": self.replugs,
+            "cooling_degraded_ticks": self.cooling_degraded_ticks,
+            "runaway_ticks": self.runaway_ticks,
+            "thermal_stuck_reads": getattr(
+                self.sim.thermal_sensor, "stuck_reads", 0
+            ),
         }

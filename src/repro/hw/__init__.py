@@ -22,8 +22,15 @@ from .presets import (
     synthetic_chip,
     tc2_chip,
 )
-from .sensors import PowerSensor, SensorSample
-from .thermal import ThermalCycleCounter, ThermalModel, ThermalParams, track_thermals
+from .sensors import PowerSensor, SensorSample, ThermalSample, ThermalSensor
+from .thermal import (
+    ThermalConfig,
+    ThermalCycleCounter,
+    ThermalModel,
+    ThermalParams,
+    ThermalProtectionConfig,
+    track_thermals,
+)
 from .topology import Chip, Cluster, Core
 from .vf import VFLevel, VFTable, vf_table_from_pairs
 
@@ -42,9 +49,13 @@ __all__ = [
     "PowerModel",
     "PowerSensor",
     "SensorSample",
+    "ThermalConfig",
     "ThermalCycleCounter",
     "ThermalModel",
     "ThermalParams",
+    "ThermalProtectionConfig",
+    "ThermalSample",
+    "ThermalSensor",
     "TC2_CAPPED_TDP_W",
     "TC2_MIGRATION_COSTS",
     "TC2_TDP_W",

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 import random
 
+from .thermal import ThermalModel
 from .topology import Chip
 
 
@@ -79,5 +80,60 @@ class PowerSensor:
 
     @property
     def last_sample(self) -> Optional[SensorSample]:
+        """Most recent reading, or ``None`` before the first sample."""
+        return self._last_sample
+
+
+@dataclass
+class ThermalSample:
+    """One chip-wide thermal reading (degrees Celsius per cluster)."""
+
+    cluster_temperature_c: Dict[str, float]
+
+    @property
+    def max_temperature_c(self) -> float:
+        return max(self.cluster_temperature_c.values())
+
+
+class ThermalSensor:
+    """Samples per-cluster temperatures from a :class:`ThermalModel`.
+
+    The thermal analogue of :class:`PowerSensor`, with the same seams: an
+    optional Gaussian noise term with a private, stream-seeded RNG, a
+    ``last_sample`` cache, and the same front-end shape the fault injector
+    wraps (``sample()`` may raise :class:`SensorReadError` through a
+    faulty front end; governors never read the model directly).
+
+    Args:
+        model: The thermal model to observe.
+        noise_std_c: Standard deviation of additive Gaussian noise on
+            each cluster reading, in kelvin (0 disables noise).
+        seed: Seed for the sensor's private RNG, for reproducible noise.
+    """
+
+    def __init__(
+        self,
+        model: ThermalModel,
+        noise_std_c: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        self._model = model
+        self._noise_std_c = noise_std_c
+        self._rng = random.Random(seed)
+        self._last_sample: Optional[ThermalSample] = None
+
+    def sample(self) -> ThermalSample:
+        """Take a fresh reading of every cluster's temperature."""
+        temps: Dict[str, float] = {}
+        for cluster_id, temp in self._model.temperatures().items():
+            if self._noise_std_c > 0.0:
+                temp += self._rng.gauss(0.0, self._noise_std_c)
+            temps[cluster_id] = temp
+        sample = ThermalSample(cluster_temperature_c=temps)
+        self._last_sample = sample
+        return sample
+
+    @property
+    def last_sample(self) -> Optional[ThermalSample]:
         """Most recent reading, or ``None`` before the first sample."""
         return self._last_sample

@@ -47,6 +47,83 @@ class ThermalParams:
         return self.ambient_c + power_w * self.resistance_k_per_w
 
 
+@dataclass(frozen=True)
+class ThermalProtectionConfig:
+    """Trip ladder of the :class:`~repro.core.resilience.ThermalSupervisor`.
+
+    The four ascending thresholds gate the graduated responses -- warn
+    (price surcharge), throttle (V-F ceiling), shed (migrate off the hot
+    cluster) and trip (hot-unplug).  A rung is left again only once the
+    temperature falls ``hysteresis_k`` below its entry threshold, so the
+    ladder cannot chatter on a temperature hovering at a threshold.
+
+    Attributes:
+        warn_c: Entry threshold of the WARN rung.
+        throttle_c: Entry threshold of the THROTTLE rung.
+        shed_c: Entry threshold of the SHED rung.
+        trip_c: Entry threshold of the TRIP rung (hot-unplug).
+        hysteresis_k: Cooling below ``entry - hysteresis_k`` steps one
+            rung back down.
+        check_period_s: How often the supervisor evaluates the ladder;
+            each evaluation moves at most one rung per cluster.
+        warn_surcharge: Fractional price surcharge applied chip-wide
+            while any cluster sits at WARN or above (the chip agent sees
+            power inflated by ``1 + warn_surcharge``).
+    """
+
+    warn_c: float = 70.0
+    throttle_c: float = 80.0
+    shed_c: float = 90.0
+    trip_c: float = 95.0
+    hysteresis_k: float = 5.0
+    check_period_s: float = 0.1
+    warn_surcharge: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.warn_c < self.throttle_c < self.shed_c < self.trip_c:
+            raise ValueError(
+                "thresholds must ascend: warn < throttle < shed < trip"
+            )
+        if self.hysteresis_k <= 0:
+            raise ValueError("hysteresis must be positive")
+        if self.check_period_s <= 0:
+            raise ValueError("check period must be positive")
+        if self.warn_surcharge < 0:
+            raise ValueError("warn surcharge must be non-negative")
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Simulation-time thermal tracking (``SimConfig.thermal``).
+
+    ``None`` (the default) keeps the engine exactly as before: no thermal
+    state is created, stepped, sensed or recorded.
+
+    Attributes:
+        params: Per-cluster RC parameters; clusters not listed use the
+            :class:`ThermalParams` defaults.
+        sensor_noise_std_c: Gaussian noise on thermal sensor readings.
+        cycle_threshold_k: Delta-T a reversal must exceed to count as a
+            thermal cycle (see :class:`ThermalCycleCounter`).
+        tcrit_c: Critical temperature; the engine accumulates the time
+            any cluster's *true* temperature exceeds it.
+        protection: Enables the graduated-degradation supervisor; ``None``
+            tracks temperatures without acting on them.
+    """
+
+    params: Optional[Dict[str, ThermalParams]] = None
+    sensor_noise_std_c: float = 0.0
+    cycle_threshold_k: float = 3.0
+    tcrit_c: float = 95.0
+    protection: Optional[ThermalProtectionConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.sensor_noise_std_c < 0:
+            raise ValueError("sensor_noise_std_c must be non-negative")
+        if self.cycle_threshold_k <= 0:
+            raise ValueError("cycle_threshold_k must be positive")
+
+
 class ThermalModel:
     """Integrates per-cluster temperatures from power samples.
 
@@ -54,6 +131,12 @@ class ThermalModel:
     any ``dt``)::
 
         T' = T_ss + (T - T_ss) * exp(-dt / tau)
+
+    Two fault seams let the injector degrade the physics without touching
+    the integrator: a per-cluster *resistance factor* (a clogged heatsink
+    multiplies the thermal resistance, raising the steady state and
+    slowing the response) and a per-cluster *power injection* (a thermal
+    runaway adds heat the power model never accounted for).
     """
 
     def __init__(
@@ -71,6 +154,12 @@ class ThermalModel:
             cid: (initial_c if initial_c is not None else p.ambient_c)
             for cid, p in self._params.items()
         }
+        self._resistance_factor: Dict[str, float] = {
+            cid: 1.0 for cid in self._params
+        }
+        self._power_injection_w: Dict[str, float] = {
+            cid: 0.0 for cid in self._params
+        }
 
     def params_of(self, cluster_id: str) -> ThermalParams:
         return self._params[cluster_id]
@@ -84,18 +173,60 @@ class ThermalModel:
     def max_temperature_c(self) -> float:
         return max(self._temps.values())
 
+    # -- fault seams (see repro.faults) -----------------------------------------
+    def set_resistance_factor(self, cluster_id: str, factor: float) -> None:
+        """Multiply the cluster's thermal resistance (cooling degradation)."""
+        if factor <= 0 or not math.isfinite(factor):
+            raise ValueError("resistance factor must be positive and finite")
+        self._resistance_factor[cluster_id] = factor
+
+    def set_power_injection(self, cluster_id: str, watts: float) -> None:
+        """Add ``watts`` of unaccounted heat to the cluster (runaway)."""
+        if watts < 0 or not math.isfinite(watts):
+            raise ValueError("power injection must be non-negative and finite")
+        self._power_injection_w[cluster_id] = watts
+
+    def resistance_factor(self, cluster_id: str) -> float:
+        return self._resistance_factor[cluster_id]
+
+    def power_injection_w(self, cluster_id: str) -> float:
+        return self._power_injection_w[cluster_id]
+
     def step(self, cluster_powers_w: Dict[str, float], dt: float) -> Dict[str, float]:
         """Advance all clusters by ``dt`` seconds; returns new temps."""
         if dt <= 0:
             raise ValueError("dt must be positive")
         for cluster_id, params in self._params.items():
-            power = cluster_powers_w.get(cluster_id, 0.0)
-            steady = params.steady_state_c(power)
-            decay = math.exp(-dt / params.time_constant_s)
+            power = (
+                cluster_powers_w.get(cluster_id, 0.0)
+                + self._power_injection_w[cluster_id]
+            )
+            factor = self._resistance_factor[cluster_id]
+            resistance = params.resistance_k_per_w * factor
+            steady = params.ambient_c + power * resistance
+            tau = resistance * params.capacitance_j_per_k
+            decay = math.exp(-dt / tau)
             self._temps[cluster_id] = steady + (
                 self._temps[cluster_id] - steady
             ) * decay
         return self.temperatures()
+
+    # -- snapshot/restore (checkpointing) ----------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "temps": dict(self._temps),
+            "resistance_factor": dict(self._resistance_factor),
+            "power_injection_w": dict(self._power_injection_w),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._temps = {cid: float(t) for cid, t in state["temps"].items()}
+        self._resistance_factor = {
+            cid: float(f) for cid, f in state["resistance_factor"].items()
+        }
+        self._power_injection_w = {
+            cid: float(w) for cid, w in state["power_injection_w"].items()
+        }
 
 
 @dataclass
@@ -132,6 +263,19 @@ class ThermalCycleCounter:
                 self._direction = 1
                 self._extreme = temperature_c
         return self.cycles
+
+    # -- snapshot/restore (checkpointing) ----------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "cycles": self.cycles,
+            "extreme": self._extreme,
+            "direction": self._direction,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self.cycles = state["cycles"]
+        self._extreme = state["extreme"]
+        self._direction = state["direction"]
 
 
 def track_thermals(

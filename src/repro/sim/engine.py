@@ -21,7 +21,14 @@ from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence
 
 from ..hw.energy import EnergyMeter
 from ..hw.migration import MigrationCostModel
-from ..hw.sensors import PowerSensor, SensorReadError, SensorSample
+from ..hw.sensors import (
+    PowerSensor,
+    SensorReadError,
+    SensorSample,
+    ThermalSample,
+    ThermalSensor,
+)
+from ..hw.thermal import ThermalConfig, ThermalCycleCounter, ThermalModel
 from ..hw.topology import Chip, Cluster, Core
 from ..tasks.task import Task
 from .loadtracking import LoadTracker
@@ -72,6 +79,10 @@ class SimConfig:
         audit: Attach a non-strict :class:`~repro.core.audit.MarketAuditor`
             to the governor's market (when it has one) and surface the
             collected invariant violations in the metrics summary.
+        thermal: Enable simulation-time thermal tracking (see
+            :class:`~repro.hw.thermal.ThermalConfig`).  ``None`` (default)
+            preserves pre-thermal behaviour exactly: no thermal state is
+            created and telemetry is byte-identical to older runs.
     """
 
     dt: float = 0.01
@@ -80,6 +91,7 @@ class SimConfig:
     sensor_noise_std_w: float = 0.0
     seed: Optional[int] = None
     audit: bool = False
+    thermal: Optional[ThermalConfig] = None
 
     def __post_init__(self) -> None:
         if self.dt <= 0:
@@ -88,6 +100,8 @@ class SimConfig:
             raise ValueError("metrics_warmup_s must be non-negative")
         if self.sensor_noise_std_w < 0:
             raise ValueError("sensor_noise_std_w must be non-negative")
+        if self.thermal is not None and not isinstance(self.thermal, ThermalConfig):
+            raise ValueError("thermal must be a ThermalConfig or None")
 
 
 class Simulation:
@@ -143,6 +157,40 @@ class Simulation:
         #: Optional :class:`repro.checkpoint.CheckpointManager`, invoked
         #: at the end of every tick; ``None`` disables checkpointing.
         self.checkpointer = None
+        #: Per-cluster V-F level ceilings (thermal throttling); requests
+        #: above a ceiling are clamped to it, like hardware throttling.
+        self._level_ceiling: Dict[str, int] = {}
+        # -- simulation-time thermals (None unless config.thermal set) --
+        self.thermal: Optional[ThermalModel] = None
+        self.thermal_sensor: Optional[ThermalSensor] = None
+        self.thermal_supervisor = None
+        self.cycle_counters: Dict[str, ThermalCycleCounter] = {}
+        #: Seconds any cluster's true temperature exceeded ``tcrit_c``.
+        self.time_over_tcrit_s: float = 0.0
+        #: Failed thermal reads substituted with the last good sample.
+        self.thermal_read_failures: int = 0
+        self._last_thermal_sample: Optional[ThermalSample] = None
+        tcfg = self.config.thermal
+        if tcfg is not None:
+            cluster_ids = [c.cluster_id for c in chip.clusters]
+            self.thermal = ThermalModel(cluster_ids, params=tcfg.params)
+            self.thermal_sensor = ThermalSensor(
+                self.thermal,
+                noise_std_c=tcfg.sensor_noise_std_c,
+                seed=derive_stream_seed(self.config.seed, "thermal-sensor-noise"),
+            )
+            self.cycle_counters = {
+                cid: ThermalCycleCounter(tcfg.cycle_threshold_k)
+                for cid in cluster_ids
+            }
+            if tcfg.protection is not None:
+                # Local import: repro.core imports this module at package
+                # load, so the engine must not import repro.core at the top.
+                from ..core.resilience import ThermalSupervisor
+
+                self.thermal_supervisor = ThermalSupervisor(
+                    tcfg.protection, tcrit_c=tcfg.tcrit_c
+                )
 
     # ------------------------------------------------------------------
     # Control surface used by governors
@@ -193,11 +241,45 @@ class Simulation:
         return self._allocations.get(task)
 
     def request_level(self, cluster: Cluster, index: int) -> bool:
-        """Ask a cluster's regulator for V-F level ``index`` (cpufreq)."""
+        """Ask a cluster's regulator for V-F level ``index`` (cpufreq).
+
+        Requests above an active thermal ceiling are clamped to it, the
+        way hardware throttling silently caps cpufreq: every governor
+        (PPM, HPM, HL, ondemand, PID-driven) goes through this method, so
+        none of them can out-vote the thermal supervisor.
+        """
+        ceiling = self._level_ceiling.get(cluster.cluster_id)
+        if ceiling is not None and index > ceiling:
+            index = ceiling
         return cluster.regulator.request(index)
 
     def step_level(self, cluster: Cluster, delta: int) -> bool:
-        return cluster.regulator.step(delta)
+        index = cluster.vf_table.clamp_index(
+            cluster.regulator.target_index + delta
+        )
+        return self.request_level(cluster, index)
+
+    # ------------------------------------------------------------------
+    # V-F ceilings (thermal throttling surface)
+    # ------------------------------------------------------------------
+    def set_level_ceiling(self, cluster: Cluster, index: int) -> None:
+        """Cap the cluster's V-F level at ``index``; forces down if above.
+
+        Actuates the regulator directly (not through the governor-facing
+        ``request_level`` seam), mirroring hardware thermal throttling
+        which sits below a possibly-faulty cpufreq write path.
+        """
+        index = cluster.vf_table.clamp_index(index)
+        self._level_ceiling[cluster.cluster_id] = index
+        if cluster.regulator.target_index > index:
+            cluster.regulator.request(index)
+
+    def clear_level_ceiling(self, cluster: Cluster) -> None:
+        self._level_ceiling.pop(cluster.cluster_id, None)
+
+    def level_ceiling_of(self, cluster_id: str) -> Optional[int]:
+        """Active V-F ceiling for ``cluster_id``, or ``None`` (uncapped)."""
+        return self._level_ceiling.get(cluster_id)
 
     def place(self, task: Task, core: Core) -> None:
         """Initial (cost-free) placement of a task onto a core."""
@@ -288,6 +370,14 @@ class Simulation:
         if self._last_sensor_sample is not None:
             return self._last_sensor_sample
         return self.sensor.last_sample
+
+    def last_thermal_sample(self) -> Optional[ThermalSample]:
+        """Most recent (possibly fault-affected) thermal reading."""
+        if self._last_thermal_sample is not None:
+            return self._last_thermal_sample
+        if self.thermal_sensor is not None:
+            return self.thermal_sensor.last_sample
+        return None
 
     # ------------------------------------------------------------------
     # Engine loop
@@ -426,6 +516,39 @@ class Simulation:
         self._last_sensor_sample = sample
         return sample
 
+    def _step_thermal(self) -> Optional[Dict[str, float]]:
+        """Advance thermals one tick; returns the true temperatures.
+
+        Physics runs on the chip's *true* per-cluster power (a stuck or
+        noisy power sensor cannot cool the silicon), while the supervisor
+        acts on the *sensed* temperatures -- so thermal sensor faults make
+        the protection blind exactly the way they would on hardware.
+        Metrics record the true temperatures.
+        """
+        if self.thermal is None:
+            return None
+        dt = self.config.dt
+        true_powers = {
+            c.cluster_id: self.chip.cluster_power_w(c.cluster_id)
+            for c in self.chip.clusters
+        }
+        temps = self.thermal.step(true_powers, dt)
+        for cluster_id, counter in self.cycle_counters.items():
+            counter.update(temps[cluster_id])
+        if max(temps.values()) > self.config.thermal.tcrit_c:
+            self.time_over_tcrit_s += dt
+        try:
+            sample = self.thermal_sensor.sample()
+        except SensorReadError:
+            self.thermal_read_failures += 1
+            sample = self._last_thermal_sample or ThermalSample(
+                cluster_temperature_c=dict(temps)
+            )
+        self._last_thermal_sample = sample
+        if self.thermal_supervisor is not None:
+            self.thermal_supervisor.on_tick(self, sample)
+        return temps
+
     def _maybe_attach_auditor(self) -> None:
         if not self.config.audit:
             return
@@ -465,6 +588,7 @@ class Simulation:
         self._apply_power_gating()
         self.chip.tick(self.config.dt)
         self._dispatch()
+        thermal_temps = self._step_thermal()
         sample = self._read_sensor()
         self.energy.record(sample.cluster_power_w, self.config.dt)
         self.metrics.record(
@@ -473,6 +597,7 @@ class Simulation:
             cluster_power_w=sample.cluster_power_w,
             cluster_frequency_mhz=sample.cluster_frequency_mhz,
             tasks=self._active_now(),
+            cluster_temperature_c=thermal_temps,
         )
         self.now += self.config.dt
         self.tick_index += 1

@@ -35,13 +35,20 @@ class TaskSample:
 
 @dataclass
 class TickSample:
-    """Chip-wide observation for one tick."""
+    """Chip-wide observation for one tick.
+
+    ``cluster_temperature_c`` is ``None`` unless the run tracks thermals
+    (``SimConfig.thermal``); journals and telemetry digests omit the field
+    entirely when it is ``None`` so thermal-free runs stay byte-identical
+    to runs recorded before thermal tracking existed.
+    """
 
     time_s: float
     chip_power_w: float
     cluster_power_w: Dict[str, float]
     cluster_frequency_mhz: Dict[str, float]
     tasks: Dict[str, TaskSample]
+    cluster_temperature_c: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -61,6 +68,7 @@ class MetricsCollector:
         cluster_power_w: Dict[str, float],
         cluster_frequency_mhz: Dict[str, float],
         tasks: Sequence[Task],
+        cluster_temperature_c: Optional[Dict[str, float]] = None,
     ) -> None:
         """Record one tick's state for the given active tasks."""
         task_samples: Dict[str, TaskSample] = {}
@@ -85,6 +93,11 @@ class MetricsCollector:
                 cluster_power_w=dict(cluster_power_w),
                 cluster_frequency_mhz=dict(cluster_frequency_mhz),
                 tasks=task_samples,
+                cluster_temperature_c=(
+                    None
+                    if cluster_temperature_c is None
+                    else dict(cluster_temperature_c)
+                ),
             )
         )
 
@@ -266,3 +279,26 @@ class MetricsCollector:
             [s.time_s for s in self.samples],
             [s.cluster_frequency_mhz.get(cluster_id, 0.0) for s in self.samples],
         )
+
+    def temperature_series(self, cluster_id: str) -> Tuple[List[float], List[float]]:
+        """(times, temperatures) for one cluster; empty without thermals."""
+        times: List[float] = []
+        temps: List[float] = []
+        for sample in self.samples:
+            if sample.cluster_temperature_c is None:
+                continue
+            if cluster_id in sample.cluster_temperature_c:
+                times.append(sample.time_s)
+                temps.append(sample.cluster_temperature_c[cluster_id])
+        return times, temps
+
+    def peak_temperature_c(self) -> Optional[float]:
+        """Hottest recorded cluster temperature, or ``None`` without thermals."""
+        peak: Optional[float] = None
+        for sample in self.samples:
+            if sample.cluster_temperature_c is None:
+                continue
+            hottest = max(sample.cluster_temperature_c.values())
+            if peak is None or hottest > peak:
+                peak = hottest
+        return peak

@@ -1,0 +1,173 @@
+"""Checkpoint/resume/replay of thermally-throttled runs must not diverge.
+
+The thermal subsystem adds live state everywhere the checkpoint layer
+looks: the RC model temperatures and fault seams, the sensor RNG and
+stuck-reading cache, the cycle counters, ``time_over_tcrit_s``, and the
+supervisor's ladder (states, ceilings, shed/trip bookkeeping).  A resume
+that loses any of it diverges within a tick or two, so these tests pin
+bit-exact identity through a run that warns, throttles, sheds and trips.
+"""
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointFingerprintError,
+    CheckpointManager,
+    SnapshotRestoreError,
+    replay_from_checkpoint,
+    restore_simulation,
+    resume_from,
+    snapshot_simulation,
+    tick_records,
+)
+from repro.core.resilience import ThermalState
+from repro.experiments.harness import make_governor
+from repro.faults import FaultInjector, FaultKind, single_fault
+from repro.hw import ThermalConfig, ThermalParams, ThermalProtectionConfig, tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload
+
+DURATION_S = 6.0
+
+#: tau = 0.6 s so the runaway fault walks the full ladder well before the
+#: midpoint checkpoint at t = 3 s.
+FAST_PARAMS = ThermalParams(resistance_k_per_w=6.0, capacitance_j_per_k=0.1)
+
+
+def build_sim(seed=11, governor="PPM", thermal=True, fault=None):
+    chip = tc2_chip()
+    config = None
+    if thermal:
+        config = ThermalConfig(
+            params={c.cluster_id: FAST_PARAMS for c in chip.clusters},
+            protection=ThermalProtectionConfig(),
+            sensor_noise_std_c=0.3,  # exercises the sensor RNG stream
+        )
+    sim = Simulation(
+        chip,
+        build_workload("m1"),
+        make_governor(governor, power_cap_w=10.0),
+        config=SimConfig(
+            seed=seed, metrics_warmup_s=1.0, audit=True, thermal=config
+        ),
+    )
+    if fault is not None:
+        schedule = single_fault(
+            fault, 1.0, 2.0, target="big", magnitude=30.0
+        )
+        FaultInjector(sim, schedule).attach()
+    return sim
+
+
+def build_throttled_sim():
+    return build_sim(fault=FaultKind.THERMAL_RUNAWAY)
+
+
+def run_with_checkpoints(tmp_path, factory=build_throttled_sim):
+    sim = factory()
+    manager = CheckpointManager(
+        str(tmp_path), interval_s=1.0, retention=None
+    ).attach(sim)
+    sim.run(DURATION_S)
+    return sim, manager
+
+
+class TestThermalResumeIdentity:
+    def test_scenario_actually_throttles(self):
+        """Guard against vacuity: the ladder must fully engage mid-run."""
+        sim = build_throttled_sim()
+        sim.run(3.0)  # the midpoint checkpoint the tests resume from
+        assert sim.thermal_supervisor.state_of("big") is ThermalState.TRIP
+        sim.run(DURATION_S - sim.now)
+        assert sim.thermal_supervisor.recoveries == 1
+
+    def test_checkpointing_does_not_perturb_a_throttled_run(self, tmp_path):
+        baseline = build_throttled_sim()
+        baseline.run(DURATION_S)
+        checkpointed, _ = run_with_checkpoints(tmp_path)
+        assert tick_records(baseline.metrics) == tick_records(
+            checkpointed.metrics
+        )
+
+    def test_resume_mid_trip_matches_uninterrupted(self, tmp_path):
+        """Resume lands inside the tripped window and still matches."""
+        baseline = build_throttled_sim()
+        baseline.run(DURATION_S)
+        _, manager = run_with_checkpoints(tmp_path)
+        midpoint = manager.checkpoints()[2]  # t = 3 s: big is offline
+        sim, envelope = resume_from(midpoint, build_throttled_sim)
+        assert envelope.tick_index == 300
+        assert sim.thermal_supervisor.state_of("big") is ThermalState.TRIP
+        assert "big" in sim.offline_clusters
+        sim.run(DURATION_S - sim.now)
+        assert tick_records(sim.metrics) == tick_records(baseline.metrics)
+        # The resumed run finishes the recovery exactly like the baseline.
+        assert sim.thermal_supervisor.recoveries == 1
+        assert sim.thermal_supervisor.unrecovered_trips == 0
+
+    def test_resume_from_every_checkpoint_matches(self, tmp_path):
+        baseline = build_throttled_sim()
+        baseline.run(DURATION_S)
+        expected = tick_records(baseline.metrics)
+        _, manager = run_with_checkpoints(tmp_path)
+        for path in manager.checkpoints():
+            sim, _ = resume_from(path, build_throttled_sim)
+            sim.run(DURATION_S - sim.now)
+            assert tick_records(sim.metrics) == expected
+
+    def test_replay_of_throttled_run_is_clean(self, tmp_path):
+        baseline = build_throttled_sim()
+        baseline.run(DURATION_S)
+        journal = tick_records(baseline.metrics)
+        _, manager = run_with_checkpoints(tmp_path)
+        report = replay_from_checkpoint(
+            manager.checkpoints()[2], build_throttled_sim, journal
+        )
+        assert report.clean, report.describe()
+        assert report.ticks_compared == len(journal)
+
+    def test_records_carry_temperatures(self, tmp_path):
+        sim, _ = run_with_checkpoints(tmp_path)
+        records = tick_records(sim.metrics)
+        assert all(
+            set(r["cluster_temperature_c"]) == {"big", "little"}
+            for r in records
+        )
+
+    def test_fault_free_thermal_resume_matches(self, tmp_path):
+        baseline = build_sim()
+        baseline.run(DURATION_S)
+        _, manager = run_with_checkpoints(tmp_path, factory=build_sim)
+        sim, _ = resume_from(manager.checkpoints()[2], build_sim)
+        sim.run(DURATION_S - sim.now)
+        assert tick_records(sim.metrics) == tick_records(baseline.metrics)
+
+
+class TestThermalResumeRefusals:
+    """Presence mismatches refuse loudly instead of resuming half-blind.
+
+    ``resume_from`` already rejects these via the config fingerprint;
+    driving ``restore_simulation`` directly pins the snapshot layer's own
+    guard, which protects hand-rolled restore paths too.
+    """
+
+    def test_thermal_checkpoint_needs_thermal_sim(self):
+        donor = build_sim()
+        donor.run(1.0)
+        payload = snapshot_simulation(donor)
+        with pytest.raises(SnapshotRestoreError, match="thermal tracking"):
+            restore_simulation(build_sim(thermal=False), payload)
+
+    def test_thermal_free_checkpoint_refuses_thermal_sim(self):
+        donor = build_sim(thermal=False)
+        donor.run(1.0)
+        payload = snapshot_simulation(donor)
+        with pytest.raises(SnapshotRestoreError, match="without thermal"):
+            restore_simulation(build_sim(), payload)
+
+    def test_fingerprint_catches_thermal_config_drift(self, tmp_path):
+        _, manager = run_with_checkpoints(tmp_path, factory=build_sim)
+        with pytest.raises(CheckpointFingerprintError, match="different run"):
+            resume_from(
+                manager.checkpoints()[0], lambda: build_sim(thermal=False)
+            )

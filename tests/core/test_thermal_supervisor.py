@@ -1,0 +1,238 @@
+"""Tests for the graduated thermal-degradation supervisor.
+
+Two styles: engine-integrated (the supervisor wired in by
+``SimConfig.thermal.protection``, physics driven through the thermal
+model's fault seams) and direct (a supervisor fed hand-crafted thermal
+samples, for exact threshold/hysteresis arithmetic).
+"""
+
+import pytest
+
+from repro.core import MarketConfig, PPMConfig, PPMGovernor
+from repro.core.resilience import DVFSSupervisor, ThermalState, ThermalSupervisor
+from repro.governors import MaxFrequencyGovernor
+from repro.hw import ThermalConfig, ThermalParams, ThermalProtectionConfig, tc2_chip
+from repro.hw.sensors import ThermalSample
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload, make_task
+
+#: Fast thermal path (tau = 0.6 s) with a fault-free steady state below
+#: the WARN threshold, so escalation in tests is injection-driven.
+FAST_PARAMS = ThermalParams(resistance_k_per_w=6.0, capacitance_j_per_k=0.1)
+
+
+def _thermal_sim(tasks, governor=None, protection=None, **config):
+    chip = tc2_chip()
+    thermal = ThermalConfig(
+        params={c.cluster_id: FAST_PARAMS for c in chip.clusters},
+        protection=protection,
+    )
+    return Simulation(
+        chip,
+        tasks,
+        governor or MaxFrequencyGovernor(),
+        config=SimConfig(thermal=thermal, **config),
+    )
+
+
+def _upward(transitions, cluster_id):
+    order = [s.value for s in (
+        ThermalState.NORMAL, ThermalState.WARN, ThermalState.THROTTLE,
+        ThermalState.SHED, ThermalState.TRIP,
+    )]
+    return [
+        new for _, cid, old, new in transitions
+        if cid == cluster_id and order.index(new) > order.index(old)
+    ]
+
+
+class TestLadderInEngine:
+    def test_runaway_engages_ladder_in_order_then_recovers(self):
+        sim = _thermal_sim(build_workload("m2"), protection=ThermalProtectionConfig())
+        sim.run(0.5)  # settle fault-free
+        supervisor = sim.thermal_supervisor
+        assert supervisor.state_of("big") is ThermalState.NORMAL
+        sim.thermal.set_power_injection("big", 30.0)
+        sim.run(2.0)
+        assert supervisor.state_of("big") is ThermalState.TRIP
+        assert "big" in sim.offline_clusters
+        assert supervisor.unrecovered_trips == 1
+        assert _upward(supervisor.transitions, "big") == [
+            "warn", "throttle", "shed", "trip"
+        ]
+        # Heat source removed: the cluster cools, the ladder unwinds and
+        # the supervisor replugs the cluster it tripped.
+        sim.thermal.set_power_injection("big", 0.0)
+        sim.run(4.0)
+        assert supervisor.state_of("big") is ThermalState.NORMAL
+        assert "big" not in sim.offline_clusters
+        assert supervisor.recoveries == 1
+        assert supervisor.unrecovered_trips == 0
+
+    def test_time_over_tcrit_accumulates(self):
+        sim = _thermal_sim(build_workload("m2"), protection=ThermalProtectionConfig())
+        sim.thermal.set_power_injection("big", 30.0)
+        sim.run(2.0)
+        assert sim.time_over_tcrit_s > 0.0
+
+    def test_without_protection_no_supervisor_acts(self):
+        sim = _thermal_sim(build_workload("m2"))
+        sim.thermal.set_power_injection("big", 30.0)
+        sim.run(1.0)
+        assert sim.thermal_supervisor is None
+        assert "big" not in sim.offline_clusters
+        assert sim.level_ceiling_of("big") is None
+
+
+class TestLadderArithmetic:
+    """Direct drive: exact thresholds and hysteresis, no physics."""
+
+    def _setup(self, governor=None, tasks=()):
+        sim = Simulation(
+            tc2_chip(),
+            list(tasks),
+            governor or MaxFrequencyGovernor(),
+            config=SimConfig(),
+        )
+        supervisor = ThermalSupervisor(ThermalProtectionConfig())
+        return sim, supervisor
+
+    def _evaluate(self, sim, supervisor, temps):
+        sim.run(0.2)  # advance past the check period
+        supervisor.on_tick(sim, ThermalSample(cluster_temperature_c=temps))
+
+    def test_exact_threshold_enters_rung(self):
+        sim, sup = self._setup()
+        self._evaluate(sim, sup, {"big": 70.0, "little": 30.0})
+        assert sup.state_of("big") is ThermalState.WARN
+        assert sup.state_of("little") is ThermalState.NORMAL
+
+    def test_hysteresis_band_holds_the_rung(self):
+        sim, sup = self._setup()
+        self._evaluate(sim, sup, {"big": 71.0})
+        assert sup.state_of("big") is ThermalState.WARN
+        # warn_c=70, hysteresis=5: anything in [65, 70) holds WARN.
+        for temp in (69.0, 66.0, 65.0):
+            self._evaluate(sim, sup, {"big": temp})
+            assert sup.state_of("big") is ThermalState.WARN
+        self._evaluate(sim, sup, {"big": 64.9})
+        assert sup.state_of("big") is ThermalState.NORMAL
+        assert sup.warnings == 1  # one engagement, no chatter
+
+    def test_one_rung_per_evaluation_even_when_scalding(self):
+        sim, sup = self._setup()
+        for expected in (
+            ThermalState.WARN,
+            ThermalState.THROTTLE,
+            ThermalState.SHED,
+            ThermalState.TRIP,
+        ):
+            self._evaluate(sim, sup, {"big": 120.0})
+            assert sup.state_of("big") is expected
+
+    def test_evaluations_gated_by_check_period(self):
+        sim, sup = self._setup()
+        sim.run(0.2)
+        sup.on_tick(sim, ThermalSample(cluster_temperature_c={"big": 120.0}))
+        sup.on_tick(sim, ThermalSample(cluster_temperature_c={"big": 120.0}))
+        # Second call lands inside the same check period: no extra rung.
+        assert sup.state_of("big") is ThermalState.WARN
+
+    def test_throttle_ratchets_ceiling_down_then_back_up(self):
+        sim, sup = self._setup()
+        big = sim.chip.cluster("big")
+        top = big.vf_table.max_index
+        self._evaluate(sim, sup, {"big": 85.0})  # -> WARN, no ceiling yet
+        assert sim.level_ceiling_of("big") is None
+        self._evaluate(sim, sup, {"big": 85.0})  # -> THROTTLE
+        assert sim.level_ceiling_of("big") == top - 1
+        self._evaluate(sim, sup, {"big": 85.0})  # still hot: one more level
+        assert sim.level_ceiling_of("big") == top - 2
+        # In the hysteresis band the ceiling holds (no ratchet either way).
+        self._evaluate(sim, sup, {"big": 77.0})
+        assert sup.state_of("big") is ThermalState.THROTTLE
+        assert sim.level_ceiling_of("big") == top - 2
+        # Cooled below throttle_c - hysteresis: rung down, ceiling back up.
+        self._evaluate(sim, sup, {"big": 60.0})
+        assert sup.state_of("big") is ThermalState.WARN
+        assert sim.level_ceiling_of("big") == top - 1
+        self._evaluate(sim, sup, {"big": 60.0})
+        assert sim.level_ceiling_of("big") is None  # cleared at the top
+
+    def test_ceiling_clamps_governor_requests(self):
+        sim, sup = self._setup()
+        big = sim.chip.cluster("big")
+        top = big.vf_table.max_index
+        self._evaluate(sim, sup, {"big": 85.0})
+        self._evaluate(sim, sup, {"big": 85.0})
+        sim.request_level(big, top)
+        assert big.regulator.target_index == top - 1
+
+    def test_shed_migrates_tasks_to_cooler_cluster(self):
+        task = make_task("x264", "l")
+        sim, sup = self._setup(tasks=[task])
+        sim.run(0.05)  # initial placement happens on the first tick
+        big = sim.chip.cluster("big")
+        if sim.placement.core_of(task).cluster.cluster_id != "big":
+            sim.migrate(task, big.cores[0])
+        # 91 >= shed_c after two intermediate rungs; little stays cool.
+        for _ in range(3):
+            self._evaluate(sim, sup, {"big": 91.0, "little": 35.0})
+        assert sup.state_of("big") is ThermalState.SHED
+        assert sim.placement.core_of(task).cluster.cluster_id == "little"
+        assert sup.tasks_shed == 1
+        assert not sim.placement.tasks_on_cluster(big)
+
+    def test_never_replugs_clusters_it_did_not_trip(self):
+        sim, sup = self._setup()
+        big = sim.chip.cluster("big")
+        sim.hotplug_out(big)  # injected fault, not a thermal trip
+        for _ in range(5):
+            self._evaluate(sim, sup, {"big": 30.0, "little": 30.0})
+        assert "big" in sim.offline_clusters
+        assert sup.recoveries == 0
+
+    def test_warn_surcharge_applied_and_cleared(self):
+        governor = PPMGovernor(PPMConfig(market=MarketConfig()))
+        task = make_task("x264", "l")
+        sim, sup = self._setup(governor=governor, tasks=[task])
+        self._evaluate(sim, sup, {"big": 71.0})
+        assert governor.thermal_surcharge == pytest.approx(0.25)
+        for _ in range(2):
+            self._evaluate(sim, sup, {"big": 30.0})
+        assert governor.thermal_surcharge == 0.0
+
+    def test_surcharge_hook_optional(self):
+        sim, sup = self._setup()  # MaxFrequencyGovernor has no hook
+        self._evaluate(sim, sup, {"big": 71.0})  # must not raise
+        assert sup.state_of("big") is ThermalState.WARN
+
+    def test_snapshot_roundtrip_resumes_identically(self):
+        sim, sup = self._setup()
+        for temp in (85.0, 85.0, 77.0):
+            self._evaluate(sim, sup, {"big": temp})
+        clone = ThermalSupervisor(ThermalProtectionConfig())
+        clone.restore_state(sup.snapshot_state())
+        assert clone.state_of("big") is sup.state_of("big")
+        assert clone.stats() == sup.stats()
+        assert clone.transitions == sup.transitions
+
+
+class TestDVFSSupervisorUnderCeiling:
+    def test_no_reissue_storm_while_throttled(self):
+        sim = Simulation(
+            tc2_chip(), [], MaxFrequencyGovernor(), config=SimConfig()
+        )
+        big = sim.chip.cluster("big")
+        top = big.vf_table.max_index
+        sim.set_level_ceiling(big, 1)
+        dvfs = DVFSSupervisor()
+        dvfs.request(sim, big, top)
+        assert big.regulator.target_index == 1  # clamped by the ceiling
+        for round_no in range(5):
+            assert dvfs.verify(sim, round_no) == 0
+        assert dvfs.reissues == 0
+        # Ceiling lifted: verification notices and restores the desire.
+        sim.clear_level_ceiling(big)
+        assert dvfs.verify(sim, 6) == 1
+        assert big.regulator.target_index == top

@@ -58,7 +58,7 @@ class TestScheduleBuilder:
 
 class TestCampaignRuns:
     def test_unknown_fault_and_governor_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="valid kinds:.*sensor-dropout"):
             run_fault_campaign("meteor-strike")
         with pytest.raises(KeyError):
             run_fault_campaign(

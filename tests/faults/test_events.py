@@ -5,9 +5,11 @@ import pytest
 from repro.faults import (
     CLUSTER_FAULTS,
     TASK_FAULTS,
+    THERMAL_FAULTS,
     FaultEvent,
     FaultKind,
     FaultSchedule,
+    parse_fault_kind,
     periodic_faults,
     random_faults,
     single_fault,
@@ -56,6 +58,29 @@ class TestFaultEvent:
         # Every kind has a distinct CLI spelling.
         values = [kind.value for kind in FaultKind]
         assert len(values) == len(set(values))
+
+    def test_thermal_kinds_are_cluster_scoped(self):
+        assert THERMAL_FAULTS <= CLUSTER_FAULTS
+        assert THERMAL_FAULTS == {
+            FaultKind.THERMAL_SENSOR_STUCK,
+            FaultKind.COOLING_DEGRADED,
+            FaultKind.THERMAL_RUNAWAY,
+        }
+        assert THERMAL_FAULTS.isdisjoint(TASK_FAULTS)
+
+
+class TestParseFaultKind:
+    def test_parses_every_cli_spelling(self):
+        for kind in FaultKind:
+            assert parse_fault_kind(kind.value) is kind
+
+    def test_unknown_kind_names_all_valid_ones(self):
+        with pytest.raises(ValueError) as excinfo:
+            parse_fault_kind("melted")
+        message = str(excinfo.value)
+        assert "'melted'" in message
+        for kind in FaultKind:
+            assert kind.value in message
 
 
 class TestFaultSchedule:

@@ -240,6 +240,9 @@ class TestInjectorLifecycle:
             "heartbeats_lost",
             "unplugs",
             "replugs",
+            "cooling_degraded_ticks",
+            "runaway_ticks",
+            "thermal_stuck_reads",
         }
         assert all(v == 0 for v in stats.values())
 

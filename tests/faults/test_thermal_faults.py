@@ -1,0 +1,189 @@
+"""Thermal fault injection against the live engine.
+
+The acceptance scenario of the thermal protection subsystem: a
+thermal-runaway fault drives the trip ladder through every rung *in
+order* (warn -> throttle -> shed -> trip) and the system fully recovers
+once the fault window closes.  Plus the two quieter thermal kinds:
+degraded cooling (hotter steady state, slower response) and a stuck
+thermal zone (a supervisor blind to a melting cluster).
+"""
+
+import pytest
+
+from repro.core.resilience import ThermalState
+from repro.faults import FaultInjector, FaultKind, single_fault
+from repro.governors import MaxFrequencyGovernor
+from repro.hw import ThermalConfig, ThermalParams, ThermalProtectionConfig, tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload, make_task
+
+#: tau = 0.6 s and a fault-free big-cluster steady state below WARN, so
+#: ladder engagements inside short test runs are fault-driven only.
+FAST_PARAMS = ThermalParams(resistance_k_per_w=6.0, capacitance_j_per_k=0.1)
+
+UPWARD_ORDER = ["warn", "throttle", "shed", "trip"]
+
+
+def _thermal_sim(tasks, protection=None, **config):
+    chip = tc2_chip()
+    thermal = ThermalConfig(
+        params={c.cluster_id: FAST_PARAMS for c in chip.clusters},
+        protection=protection,
+    )
+    return Simulation(
+        chip,
+        tasks,
+        MaxFrequencyGovernor(),
+        config=SimConfig(thermal=thermal, **config),
+    )
+
+
+def _load_big(sim):
+    """Move one task onto the big cluster so it actually dissipates heat."""
+    sim.run(0.05)  # initial placement happens on the first tick
+    task = sim.active_tasks()[0]
+    big = sim.chip.cluster("big")
+    if sim.placement.core_of(task).cluster.cluster_id != "big":
+        record = sim.migrate(task, big.cores[0])
+        assert not record.failed
+
+
+def _upward(transitions, cluster_id):
+    states = [s.value for s in ThermalState]
+    return [
+        new for _, cid, old, new in transitions
+        if cid == cluster_id and states.index(new) > states.index(old)
+    ]
+
+
+class TestThermalRunaway:
+    def test_ladder_engages_in_order_and_fully_recovers(self):
+        """The PR's acceptance scenario, driven through the injector."""
+        sim = _thermal_sim(
+            build_workload("m2"), protection=ThermalProtectionConfig()
+        )
+        schedule = single_fault(
+            FaultKind.THERMAL_RUNAWAY, 0.5, 1.5, target="big", magnitude=30.0
+        )
+        injector = FaultInjector(sim, schedule).attach()
+        supervisor = sim.thermal_supervisor
+
+        sim.run(2.0)  # fault window is open: [0.5, 2.0)
+        assert supervisor.state_of("big") is ThermalState.TRIP
+        assert "big" in sim.offline_clusters
+        assert _upward(supervisor.transitions, "big") == UPWARD_ORDER
+        assert injector.stats()["runaway_ticks"] > 0
+
+        sim.run(3.0)  # window closed: heat source gone, cluster cools
+        assert supervisor.state_of("big") is ThermalState.NORMAL
+        assert "big" not in sim.offline_clusters
+        assert supervisor.recoveries == 1
+        assert supervisor.unrecovered_trips == 0
+        assert sim.level_ceiling_of("big") is None
+        # Every displaced task is back in service on some online core.
+        for task in sim.active_tasks():
+            assert sim.placement.core_of(task) is not None
+
+    def test_runaway_without_protection_just_heats(self):
+        sim = _thermal_sim(build_workload("m2"))
+        schedule = single_fault(
+            FaultKind.THERMAL_RUNAWAY, 0.2, 1.0, target="big", magnitude=30.0
+        )
+        FaultInjector(sim, schedule).attach()
+        sim.run(1.2)
+        assert sim.thermal_supervisor is None
+        assert "big" not in sim.offline_clusters
+        assert sim.time_over_tcrit_s > 0.0
+
+
+class TestCoolingDegraded:
+    def test_degraded_window_runs_hotter_then_recovers(self):
+        sim = _thermal_sim([make_task("x264", "l"), make_task("h264", "s")])
+        schedule = single_fault(
+            FaultKind.COOLING_DEGRADED, 2.0, 2.0, target="big", magnitude=3.0
+        )
+        injector = FaultInjector(sim, schedule).attach()
+        _load_big(sim)
+        metrics = sim.run(7.0 - sim.now)
+
+        def temp_at(t):
+            sample = min(metrics.samples, key=lambda s: abs(s.time_s - t))
+            return sample.cluster_temperature_c["big"]
+
+        before = temp_at(1.9)
+        hottest = max(
+            s.cluster_temperature_c["big"]
+            for s in metrics.samples
+            if 2.0 <= s.time_s < 4.0
+        )
+        after = temp_at(6.9)
+        # Tripled resistance: the over-ambient delta heads toward 3x.
+        assert hottest > before + 0.5 * (before - 25.0)
+        # Factor restored at window close: back near the old steady state.
+        assert after == pytest.approx(before, abs=3.0)
+        assert injector.stats()["cooling_degraded_ticks"] > 0
+
+
+class TestThermalSensorStuck:
+    def test_stuck_zone_blinds_the_supervisor(self):
+        """True temperature exceeds Tcrit but the ladder never moves."""
+        sim = _thermal_sim(
+            build_workload("m2"), protection=ThermalProtectionConfig()
+        )
+        schedule = single_fault(
+            FaultKind.THERMAL_SENSOR_STUCK, 0.3, 3.0
+        ).extended(
+            single_fault(
+                FaultKind.THERMAL_RUNAWAY, 0.5, 1.5, target="big", magnitude=30.0
+            ).events
+        )
+        injector = FaultInjector(sim, schedule).attach()
+        sim.run(2.0)
+        assert sim.time_over_tcrit_s > 0.0  # physics melted on
+        assert sim.thermal_supervisor.trips == 0  # ...but nobody saw it
+        assert sim.thermal_supervisor.state_of("big") is ThermalState.NORMAL
+        assert injector.stats()["thermal_stuck_reads"] > 0
+
+    def test_targeted_stuck_freezes_one_cluster_reading(self):
+        sim = _thermal_sim(build_workload("m2"))
+        schedule = single_fault(
+            FaultKind.THERMAL_SENSOR_STUCK, 0.5, 1.0, target="big"
+        )
+        FaultInjector(sim, schedule).attach()
+        _load_big(sim)
+        sim.run(0.6 - sim.now)
+        frozen = sim.last_thermal_sample().cluster_temperature_c["big"]
+        little_then = sim.last_thermal_sample().cluster_temperature_c["little"]
+        sim.run(0.8)  # still warming from ambient, temps are moving
+        inside = sim.last_thermal_sample()
+        assert inside.cluster_temperature_c["big"] == frozen
+        assert inside.cluster_temperature_c["little"] != little_then
+        sim.run(0.3)  # window closed: big's reading tracks again
+        assert sim.last_thermal_sample().cluster_temperature_c["big"] != frozen
+
+
+class TestAttachValidation:
+    def test_thermal_faults_require_thermal_tracking(self):
+        sim = Simulation(
+            tc2_chip(), [], MaxFrequencyGovernor(), config=SimConfig()
+        )
+        for kind in (
+            FaultKind.THERMAL_RUNAWAY,
+            FaultKind.COOLING_DEGRADED,
+            FaultKind.THERMAL_SENSOR_STUCK,
+        ):
+            injector = FaultInjector(
+                sim, single_fault(kind, 0.0, 1.0, target="big")
+            )
+            with pytest.raises(ValueError):
+                injector.attach()
+
+    def test_non_thermal_faults_attach_without_thermal(self):
+        sim = Simulation(
+            tc2_chip(), [], MaxFrequencyGovernor(), config=SimConfig()
+        )
+        FaultInjector(
+            sim, single_fault(FaultKind.SENSOR_DROPOUT, 0.0, 1.0)
+        ).attach()
+        sim.run(0.1)  # no crash, thermal stays disabled
+        assert sim.thermal is None

@@ -5,7 +5,14 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.hw import ThermalCycleCounter, ThermalModel, ThermalParams, track_thermals
+from repro.hw import (
+    ThermalConfig,
+    ThermalCycleCounter,
+    ThermalModel,
+    ThermalParams,
+    ThermalProtectionConfig,
+    track_thermals,
+)
 
 
 class TestThermalParams:
@@ -85,6 +92,70 @@ class TestThermalModel:
                 <= params.steady_state_c(power) + 1e-9
             )
 
+    @given(
+        st.floats(min_value=0.0, max_value=150.0),
+        st.floats(min_value=0.0, max_value=15.0),
+        st.lists(
+            st.floats(min_value=1e-4, max_value=100.0), min_size=1, max_size=30
+        ),
+    )
+    def test_never_overshoots_steady_state(self, initial_c, power, dts):
+        """For constant power the trace stays between T0 and T_ss.
+
+        The exact-exponential integrator is monotone toward the steady
+        state for any step size -- no dt, however large or ragged, may
+        produce an overshoot (the instability Euler integration has).
+        """
+        params = ThermalParams()
+        model = ThermalModel(["c"], params={"c": params}, initial_c=initial_c)
+        steady = params.steady_state_c(power)
+        low, high = min(initial_c, steady), max(initial_c, steady)
+        previous = initial_c
+        for dt in dts:
+            temp = model.step({"c": power}, dt)["c"]
+            assert low - 1e-9 <= temp <= high + 1e-9
+            # ... and monotonically approaches the steady state.
+            assert abs(temp - steady) <= abs(previous - steady) + 1e-9
+            previous = temp
+
+    def test_resistance_factor_raises_steady_state(self):
+        params = ThermalParams(resistance_k_per_w=10.0)
+        model = ThermalModel(["c"], params={"c": params})
+        model.set_resistance_factor("c", 3.0)
+        model.step({"c": 4.0}, dt=1e6)  # settle
+        assert model.temperature_c("c") == pytest.approx(25.0 + 4.0 * 30.0)
+        assert model.resistance_factor("c") == 3.0
+
+    def test_power_injection_adds_unaccounted_heat(self):
+        params = ThermalParams(resistance_k_per_w=10.0)
+        model = ThermalModel(["c"], params={"c": params})
+        model.set_power_injection("c", 2.0)
+        model.step({"c": 1.0}, dt=1e6)
+        assert model.temperature_c("c") == pytest.approx(25.0 + 3.0 * 10.0)
+        assert model.power_injection_w("c") == 2.0
+
+    def test_fault_seam_validation(self):
+        model = ThermalModel(["c"])
+        with pytest.raises(ValueError):
+            model.set_resistance_factor("c", 0.0)
+        with pytest.raises(ValueError):
+            model.set_resistance_factor("c", math.inf)
+        with pytest.raises(ValueError):
+            model.set_power_injection("c", -1.0)
+
+    def test_snapshot_roundtrip_is_bit_exact(self):
+        model = ThermalModel(["a", "b"])
+        model.set_resistance_factor("a", 2.0)
+        model.set_power_injection("b", 1.5)
+        for _ in range(7):
+            model.step({"a": 3.0, "b": 1.0}, dt=0.03)
+        clone = ThermalModel(["a", "b"])
+        clone.restore_state(model.snapshot_state())
+        for _ in range(5):
+            assert model.step({"a": 2.0, "b": 4.0}, dt=0.01) == clone.step(
+                {"a": 2.0, "b": 4.0}, dt=0.01
+            )
+
 
 class TestCycleCounter:
     def test_no_cycles_for_monotone_trace(self):
@@ -104,6 +175,72 @@ class TestCycleCounter:
         for t in [40.0, 41.0, 39.5, 41.0, 40.0, 41.5]:
             counter.update(t)
         assert counter.cycles == 0
+
+    def test_exact_threshold_touch_counts(self):
+        # A reversal of exactly threshold_k is a cycle (>=, not >).
+        counter = ThermalCycleCounter(threshold_k=3.0)
+        counter.update(40.0)
+        counter.update(37.0)  # down exactly 3.0
+        assert counter.cycles == 1
+        counter.update(40.0)  # back up exactly 3.0
+        assert counter.cycles == 2
+
+    def test_just_below_threshold_never_counts(self):
+        counter = ThermalCycleCounter(threshold_k=3.0)
+        for t in [40.0, 37.1, 40.0, 37.1, 40.0]:
+            counter.update(t)
+        assert counter.cycles == 0
+
+    def test_single_sample_spike_counts_once(self):
+        # One hot sample and straight back: exactly one reversal.
+        counter = ThermalCycleCounter(threshold_k=3.0)
+        for t in [40.0, 48.0, 40.0, 40.0, 40.0]:
+            counter.update(t)
+        assert counter.cycles == 1
+
+    def test_single_sample_spike_below_threshold_is_ignored(self):
+        counter = ThermalCycleCounter(threshold_k=3.0)
+        for t in [40.0, 42.0, 40.0, 40.0]:
+            counter.update(t)
+        assert counter.cycles == 0
+
+    def test_first_sample_establishes_baseline_without_cycling(self):
+        counter = ThermalCycleCounter(threshold_k=3.0)
+        assert counter.update(90.0) == 0
+        assert counter.update(25.0) == 1  # huge drop is still one cycle
+
+    def test_snapshot_roundtrip_preserves_direction(self):
+        counter = ThermalCycleCounter(threshold_k=3.0)
+        for t in [25.0, 40.0, 30.0]:  # mid-stream, trending down
+            counter.update(t)
+        clone = ThermalCycleCounter(threshold_k=3.0)
+        clone.restore_state(counter.snapshot_state())
+        for t in [28.0, 40.0, 25.0]:
+            assert counter.update(t) == clone.update(t)
+        assert counter.cycles == clone.cycles
+
+
+class TestThermalConfigs:
+    def test_protection_thresholds_must_ascend(self):
+        with pytest.raises(ValueError):
+            ThermalProtectionConfig(warn_c=80.0, throttle_c=70.0)
+        with pytest.raises(ValueError):
+            ThermalProtectionConfig(shed_c=96.0, trip_c=95.0)
+
+    def test_protection_knob_validation(self):
+        with pytest.raises(ValueError):
+            ThermalProtectionConfig(hysteresis_k=0.0)
+        with pytest.raises(ValueError):
+            ThermalProtectionConfig(check_period_s=0.0)
+        with pytest.raises(ValueError):
+            ThermalProtectionConfig(warn_surcharge=-0.1)
+
+    def test_thermal_config_validation(self):
+        with pytest.raises(ValueError):
+            ThermalConfig(sensor_noise_std_c=-1.0)
+        with pytest.raises(ValueError):
+            ThermalConfig(cycle_threshold_k=0.0)
+        assert ThermalConfig().protection is None
 
 
 class TestTrackThermals:

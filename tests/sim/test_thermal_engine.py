@@ -1,0 +1,131 @@
+"""Engine-level thermal tracking: stepping, sensing, recording, ceilings."""
+
+import pytest
+
+from repro.governors import MaxFrequencyGovernor, OndemandGovernor
+from repro.hw import ThermalConfig, ThermalParams, tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload, make_task
+
+FAST_PARAMS = ThermalParams(resistance_k_per_w=6.0, capacitance_j_per_k=0.1)
+
+
+def _sim(tasks, governor=None, thermal=None, **config):
+    return Simulation(
+        tc2_chip(),
+        tasks,
+        governor or MaxFrequencyGovernor(),
+        config=SimConfig(thermal=thermal, **config),
+    )
+
+
+def _fast_thermal(**kwargs):
+    chip = tc2_chip()
+    return ThermalConfig(
+        params={c.cluster_id: FAST_PARAMS for c in chip.clusters}, **kwargs
+    )
+
+
+class TestThermalOffByDefault:
+    def test_disabled_leaves_no_thermal_state(self):
+        sim = _sim(build_workload("m2"))
+        metrics = sim.run(0.3)
+        assert sim.thermal is None
+        assert sim.thermal_sensor is None
+        assert sim.cycle_counters == {}
+        assert sim.time_over_tcrit_s == 0.0
+        assert all(s.cluster_temperature_c is None for s in metrics.samples)
+
+    def test_config_rejects_wrong_type(self):
+        with pytest.raises(ValueError):
+            SimConfig(thermal="hot")
+
+
+class TestThermalStepping:
+    def test_true_temperatures_recorded_every_tick(self):
+        sim = _sim(build_workload("m2"), thermal=_fast_thermal())
+        metrics = sim.run(1.0)
+        temps = [s.cluster_temperature_c for s in metrics.samples]
+        assert all(t is not None and set(t) == {"big", "little"} for t in temps)
+        # A loaded cluster warms monotonically from ambient at the start.
+        little = [t["little"] for t in temps]
+        assert little[-1] > little[0] >= 25.0
+
+    def test_time_over_tcrit_counts_true_excursions(self):
+        thermal = _fast_thermal(tcrit_c=26.0)  # trivially exceeded
+        sim = _sim(build_workload("m2"), thermal=thermal)
+        sim.run(0.5)
+        assert sim.time_over_tcrit_s > 0.2
+
+    def test_cycle_counters_track_every_cluster(self):
+        sim = _sim(build_workload("m2"), thermal=_fast_thermal())
+        sim.run(0.3)
+        assert set(sim.cycle_counters) == {"big", "little"}
+
+    def test_sensor_noise_is_seed_deterministic(self):
+        def trace(seed):
+            sim = _sim(
+                build_workload("m2"),
+                thermal=_fast_thermal(sensor_noise_std_c=0.5),
+                seed=seed,
+            )
+            sim.run(0.3)
+            return sim.last_thermal_sample().cluster_temperature_c
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)
+
+    def test_sensed_sample_differs_from_truth_under_noise(self):
+        sim = _sim(
+            build_workload("m2"),
+            thermal=_fast_thermal(sensor_noise_std_c=0.5),
+            seed=3,
+        )
+        metrics = sim.run(0.3)
+        sensed = sim.last_thermal_sample().cluster_temperature_c
+        truth = metrics.samples[-1].cluster_temperature_c
+        assert sensed != truth  # metrics record physics, not the sensor
+
+
+class TestLevelCeilings:
+    def test_request_level_clamps_to_ceiling(self):
+        sim = _sim([])
+        big = sim.chip.cluster("big")
+        sim.set_level_ceiling(big, 2)
+        sim.request_level(big, big.vf_table.max_index)
+        assert big.regulator.target_index == 2
+
+    def test_set_ceiling_forces_running_cluster_down(self):
+        sim = _sim([])
+        big = sim.chip.cluster("big")
+        sim.request_level(big, big.vf_table.max_index)
+        sim.set_level_ceiling(big, 1)
+        assert big.regulator.target_index == 1
+
+    def test_step_level_respects_ceiling(self):
+        sim = _sim([])
+        big = sim.chip.cluster("big")
+        sim.set_level_ceiling(big, 1)
+        for _ in range(big.vf_table.max_index + 2):
+            sim.step_level(big, +1)
+        assert big.regulator.target_index == 1
+
+    def test_clear_ceiling_restores_full_range(self):
+        sim = _sim([])
+        big = sim.chip.cluster("big")
+        top = big.vf_table.max_index
+        sim.set_level_ceiling(big, 1)
+        sim.clear_level_ceiling(big)
+        assert sim.level_ceiling_of("big") is None
+        sim.request_level(big, top)
+        assert big.regulator.target_index == top
+
+    def test_ondemand_governor_cannot_outvote_ceiling(self):
+        sim = _sim(
+            [make_task("x264", "l"), make_task("h264", "s")],
+            governor=OndemandGovernor(),
+        )
+        big = sim.chip.cluster("big")
+        sim.set_level_ceiling(big, 1)
+        sim.run(0.5)  # busy tasks would push frequency to the top
+        assert big.regulator.target_index <= 1
