@@ -14,6 +14,10 @@ Three scenarios bracket the performance envelope:
 * ``many_tasks`` -- a 50-task synthetic workload on the TC2 chip, which
   stresses the per-core scheduling, placement-index and market-round
   paths far beyond the paper's 4-6 task sets.
+* ``arrival_churn`` -- a flash-crowd arrival stream behind the
+  admission ladder: tasks spawn, retire, queue and get shed all run
+  long, which stresses the task-cache invalidation, market add/remove
+  and admission-control paths that the fixed-set scenarios never touch.
 
 Every scenario returns flat ``{metric: value}`` dicts so the JSON
 emitter and the regression gate stay schema-trivial.  Timed sections use
@@ -42,6 +46,8 @@ FULL_SWEEP_S = 20.0
 QUICK_SWEEP_S = 8.0
 FULL_MANY_TASKS_S = 20.0
 QUICK_MANY_TASKS_S = 8.0
+FULL_CHURN_S = 30.0
+QUICK_CHURN_S = 15.0
 
 
 def _timed(fn: Callable[[], object], repeats: int) -> float:
@@ -160,14 +166,65 @@ def many_tasks(quick: bool, jobs: int, repeats: int = 1) -> Dict[str, float]:
     }
 
 
+def arrival_churn(quick: bool, jobs: int, repeats: int = 1) -> Dict[str, float]:
+    """Flash-crowd arrivals through the admission ladder under PPM.
+
+    Open-ended churn is the tick loop's worst case: every spawn and
+    retirement invalidates the task cache and re-touches the market and
+    placement indices, and the admission controller re-prices the chip
+    every check period.
+    """
+    from repro.core import AdmissionConfig, AdmissionController, OverloadManager
+    from repro.experiments.overload import OVERLOAD_TDP_W, build_overload_arrivals
+    from repro.tasks import ArrivalStream, build_workload
+
+    duration_s = QUICK_CHURN_S if quick else FULL_CHURN_S
+    counters: Dict[str, float] = {}
+
+    def run() -> None:
+        chip = tc2_chip()
+        config = build_overload_arrivals(chip, duration_s, duration_s / 4.0)
+        sim = Simulation(
+            chip,
+            build_workload("l1"),
+            make_governor("PPM", power_cap_w=OVERLOAD_TDP_W),
+            config=SimConfig(seed=7, metrics_warmup_s=duration_s / 4.0),
+        )
+        manager = OverloadManager(
+            ArrivalStream(config, seed=7),
+            AdmissionController(AdmissionConfig()),
+        ).attach(sim)
+        sim.run(duration_s)
+        stats = manager.stats()
+        counters["offered"] = stats["offered"]
+        counters["admitted"] = stats["admitted"]
+        counters["shed"] = stats["shed_tasks"]
+
+    wall_s = _timed(run, repeats)
+    ticks = int(round(duration_s / 0.01))
+    return {
+        "wall_s": wall_s,
+        "sim_s": duration_s,
+        "ticks": ticks,
+        "ticks_per_s": ticks / wall_s,
+        **counters,
+    }
+
+
 SCENARIOS: Dict[str, Callable[..., Dict[str, float]]] = {
     "single_point": single_point,
     "parallel_sweep": parallel_sweep,
     "many_tasks": many_tasks,
+    "arrival_churn": arrival_churn,
 }
 
 #: Canonical execution/reporting order.
-SCENARIO_ORDER: List[str] = ["single_point", "parallel_sweep", "many_tasks"]
+SCENARIO_ORDER: List[str] = [
+    "single_point",
+    "parallel_sweep",
+    "many_tasks",
+    "arrival_churn",
+]
 
 
 def run_scenario(

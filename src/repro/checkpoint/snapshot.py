@@ -163,10 +163,18 @@ def simulation_fingerprint(sim, extra: Any = None) -> str:
                 "hrm_window_s": t.hrm.window_s,
             }
             for t in sim.tasks
+            # Arrival-spawned tasks are run state, not run identity: the
+            # population they came from is pinned below via the stream's
+            # own identity (config + seed + trace), so a checkpoint taken
+            # mid-crowd still fingerprints the same as the fresh run.
+            if not getattr(t, "from_arrival", False)
         ],
         "governor": type(sim.governor).__name__,
         "extra": extra,
     }
+    manager = getattr(sim, "arrivals", None)
+    if manager is not None:
+        material["arrivals"] = manager.identity()
     return hashlib.sha256(canonical_json(material).encode("utf-8")).hexdigest()
 
 
@@ -325,6 +333,8 @@ def snapshot_simulation(sim) -> Dict[str, Any]:
         payload["fault_injector"] = injector.snapshot_state()
     if sim.thermal is not None:
         payload["thermal"] = _snapshot_thermal(sim)
+    if sim.arrivals is not None:
+        payload["arrivals"] = sim.arrivals.snapshot_state()
     return payload
 
 
@@ -451,6 +461,24 @@ def restore_simulation(sim, payload: Dict[str, Any]) -> None:
     config/seed/chip/workload/governor -- callers verify the fingerprint
     before getting here) and must not have been stepped yet.
     """
+    arrivals_state = payload.get("arrivals")
+    manager = getattr(sim, "arrivals", None)
+    if arrivals_state is not None:
+        if manager is None:
+            raise SnapshotRestoreError(
+                "checkpoint was taken with an arrival stream attached, but "
+                "the rebuilt simulation has none; attach the same "
+                "OverloadManager before restoring"
+            )
+        # Re-materialise the tasks the stream had spawned so the ordered
+        # task zip below lines up (base workload first, then arrivals in
+        # their original spawn order).
+        manager.rematerialize_tasks(sim, arrivals_state)
+    elif manager is not None:
+        raise SnapshotRestoreError(
+            "rebuilt simulation has an arrival stream but the checkpoint "
+            "was taken without one; rebuild without attaching it"
+        )
     task_by_name = _restore_tasks(sim, payload["tasks"])
     _restore_chip(sim, payload["chip"])
     _restore_placement(sim, payload["placement"], task_by_name)
@@ -501,6 +529,8 @@ def restore_simulation(sim, payload: Dict[str, Any]) -> None:
             "rebuilt simulation has a fault injector but the checkpoint "
             "was taken without one; rebuild without the schedule"
         )
+    if arrivals_state is not None:
+        manager.restore_state(sim, arrivals_state)
 
 
 def _restore_tasks(sim, states: List[Dict[str, Any]]) -> Dict[str, Any]:

@@ -8,6 +8,12 @@ load balancing and cross-cluster migration driven by steady-state
 ``perf``/``spend`` estimation.
 """
 
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionState,
+    OverloadManager,
+)
 from .agents import (
     ChipAgent,
     ChipPowerState,
@@ -43,6 +49,10 @@ from .resilience import (
 from .telemetry import MarketRecorder, MarketSnapshot
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionState",
+    "OverloadManager",
     "AuditReport",
     "BackoffRetry",
     "DVFSSupervisor",

@@ -34,6 +34,19 @@ from .harness import (
     run_system,
     run_workload,
 )
+from .overload import (
+    OVERLOAD_MULTIPLIER,
+    OVERLOAD_TDP_W,
+    OverloadResult,
+    OverloadRun,
+    OverloadSoakResult,
+    OverloadSoakRun,
+    build_overload_arrivals,
+    run_overload,
+    run_overload_soak,
+    write_overload_report,
+    write_overload_soak_report,
+)
 from .priorities import PriorityResult, figure7, run_priority_experiment
 from .running_examples import SingleCoreScenario, table1, table2, table3, table4
 from .savings import SavingsResult, figure8, run_savings_experiment
@@ -63,6 +76,17 @@ __all__ = [
     "write_campaign_report",
     "write_soak_report",
     "ConstrainedCoreEmulator",
+    "OVERLOAD_MULTIPLIER",
+    "OVERLOAD_TDP_W",
+    "OverloadResult",
+    "OverloadRun",
+    "OverloadSoakResult",
+    "OverloadSoakRun",
+    "build_overload_arrivals",
+    "run_overload",
+    "run_overload_soak",
+    "write_overload_report",
+    "write_overload_soak_report",
     "DEFAULT_DURATION_S",
     "DEFAULT_WARMUP_S",
     "GOVERNOR_NAMES",

@@ -13,15 +13,19 @@ Examples::
     repro-experiments checkpoint --fault hotplug --checkpoint-dir results/ckpt
     repro-experiments resume --checkpoint-dir results/ckpt
     repro-experiments replay --checkpoint-dir results/ckpt --verify
+    repro-experiments overload --multiplier 3 --overload-duration 30
+    repro-experiments overload-soak --soak-duration 60
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from ..checkpoint import CheckpointError
+from ..tasks import DemandTrace
 from .campaigns import (
     CAMPAIGN_FAULTS,
     DEFAULT_CAMPAIGN_GOVERNORS,
@@ -33,6 +37,12 @@ from .campaigns import (
     write_soak_report,
 )
 from .harness import GOVERNOR_NAMES
+from .overload import (
+    run_overload,
+    run_overload_soak,
+    write_overload_report,
+    write_overload_soak_report,
+)
 
 #: Where campaign checkpoints land unless ``--checkpoint-dir`` says otherwise.
 DEFAULT_CHECKPOINT_DIR = "results/checkpoints"
@@ -137,6 +147,35 @@ def _parse_governors(spec: str) -> List[str]:
     return governors
 
 
+def _load_trace(path: Optional[str]):
+    """Load a :class:`DemandTrace` JSON file; exits cleanly on bad paths."""
+    if path is None:
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = handle.read()
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        raise SystemExit(f"cannot read trace file {path!r}: {reason}")
+    try:
+        return DemandTrace.from_json(payload)
+    except ValueError as exc:
+        raise SystemExit(f"invalid trace file {path!r}: {exc}")
+
+
+def _checkpoint_directory(args) -> str:
+    """Resolve ``--checkpoint-dir``; exits cleanly when it is unusable."""
+    directory = args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR
+    if not os.path.isdir(directory):
+        raise SystemExit(
+            f"checkpoint directory {directory!r} does not exist; run "
+            "'repro-experiments checkpoint' first or pass --checkpoint-dir"
+        )
+    if not os.access(directory, os.R_OK):
+        raise SystemExit(f"checkpoint directory {directory!r} is not readable")
+    return directory
+
+
 def _run_campaign(args) -> str:
     if args.fault is None:
         raise SystemExit("campaign requires --fault (e.g. --fault sensor-dropout)")
@@ -144,7 +183,7 @@ def _run_campaign(args) -> str:
     result = run_fault_campaign(
         args.fault,
         governors=governors,
-        workload=args.workload,
+        workload=args.workload or "m2",
         duration_s=args.campaign_duration,
         warmup_s=args.campaign_warmup,
         intensity=args.intensity,
@@ -161,7 +200,7 @@ def _run_soak(args) -> str:
     governors = _parse_governors(args.governors)
     result = run_soak(
         governors=governors,
-        workload=args.workload,
+        workload=args.workload or "m2",
         duration_s=args.soak_duration,
         warmup_s=args.campaign_warmup,
         seed=args.seed,
@@ -179,29 +218,63 @@ def _run_checkpoint(args) -> str:
 
 
 def _run_resume(args) -> str:
-    directory = args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR
+    directory = _checkpoint_directory(args)
     try:
         result = resume_fault_campaign(
             directory,
             checkpoint_interval_s=args.checkpoint_interval,
             jobs=args.jobs,
         )
-    except CheckpointError as exc:
+    except (CheckpointError, OSError) as exc:
         raise SystemExit(f"resume failed: {exc}")
     path = write_campaign_report(result, out_dir=args.out)
     return result.as_table() + f"\n\nreport written to {path}"
 
 
 def _run_replay(args) -> str:
-    directory = args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR
+    directory = _checkpoint_directory(args)
     try:
         report = replay_campaign_checkpoint(directory)
-    except CheckpointError as exc:
+    except (CheckpointError, OSError) as exc:
         raise SystemExit(f"replay failed: {exc}")
     text = report.describe()
     if args.verify and not report.clean:
         raise SystemExit(text)
     return text
+
+
+def _run_overload(args) -> str:
+    governors = _parse_governors(args.governors)
+    trace = _load_trace(args.trace)
+    result = run_overload(
+        governors=governors,
+        workload=args.workload or "l1",
+        duration_s=args.overload_duration,
+        warmup_s=args.campaign_warmup,
+        seed=args.seed,
+        multiplier=args.multiplier,
+        trace=trace,
+        jobs=args.jobs,
+    )
+    path = write_overload_report(result, out_dir=args.out)
+    return result.as_table() + f"\n\nreport written to {path}"
+
+
+def _run_overload_soak(args) -> str:
+    governors = _parse_governors(args.governors)
+    trace = _load_trace(args.trace)
+    result = run_overload_soak(
+        governors=governors,
+        workload=args.workload or "m2",
+        duration_s=args.soak_duration,
+        warmup_s=args.campaign_warmup,
+        seed=args.seed,
+        multiplier=args.multiplier,
+        trace=trace,
+        jobs=args.jobs,
+    )
+    path = write_overload_soak_report(result, out_dir=args.out)
+    return result.as_table() + f"\n\nreport written to {path}"
 
 
 _COMMANDS = {
@@ -225,6 +298,8 @@ _EXTRA_COMMANDS = {
     "checkpoint": _run_checkpoint,
     "resume": _run_resume,
     "replay": _run_replay,
+    "overload": _run_overload,
+    "overload-soak": _run_overload_soak,
 }
 
 
@@ -305,8 +380,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--workload",
-        default="m2",
-        help="workload set for the campaign (default: m2)",
+        default=None,
+        help="workload set (default: m2 for campaigns/soaks, l1 for overload)",
     )
     campaign.add_argument(
         "--intensity",
@@ -342,6 +417,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default="results",
         help="directory for campaign reports (default: results/)",
+    )
+    overload = parser.add_argument_group("overload / flash crowds")
+    overload.add_argument(
+        "--overload-duration",
+        type=float,
+        default=30.0,
+        help="simulated seconds for the overload command (default: 30)",
+    )
+    overload.add_argument(
+        "--multiplier",
+        type=float,
+        default=3.0,
+        help="flash-crowd burst rate as a multiple of sustainable (default: 3)",
+    )
+    overload.add_argument(
+        "--trace",
+        default=None,
+        help="DemandTrace JSON file modulating the arrival rate (optional)",
     )
     checkpointing = parser.add_argument_group("checkpoint / resume / replay")
     checkpointing.add_argument(

@@ -157,6 +157,10 @@ class Simulation:
         #: Optional :class:`repro.checkpoint.CheckpointManager`, invoked
         #: at the end of every tick; ``None`` disables checkpointing.
         self.checkpointer = None
+        #: Optional :class:`repro.core.admission.OverloadManager`, polled
+        #: at the top of every tick for open-ended task arrivals; ``None``
+        #: keeps the task population fixed (the paper's setting).
+        self.arrivals = None
         #: Per-cluster V-F level ceilings (thermal throttling); requests
         #: above a ceiling are clamped to it, like hardware throttling.
         self._level_ceiling: Dict[str, int] = {}
@@ -580,6 +584,8 @@ class Simulation:
             self.governor.prepare(self)
             self._maybe_attach_auditor()
             self._prepared = True
+        if self.arrivals is not None:
+            self.arrivals.on_tick(self)
         self._retire_inactive()
         self._ensure_placed()
         self._apply_power_gating()

@@ -16,6 +16,7 @@ real platform similarly discards application start-up).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -245,6 +246,81 @@ class MetricsCollector:
                 if clean >= window:
                     return tail[index - clean + 1].time_s - after_s
         return None
+
+    # -- tail QoS (overload campaigns) ------------------------------------------
+    @staticmethod
+    def percentile(values: Sequence[float], pct: float) -> float:
+        """Nearest-rank percentile of ``values`` (``pct`` in [0, 100]).
+
+        Nearest-rank (not interpolated) so the result is always an
+        observed value and stays bit-stable across platforms -- these
+        numbers land in golden campaign reports.  Returns 0.0 for an
+        empty sequence.
+        """
+        if not values:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(values)
+        if pct == 0.0:
+            return ordered[0]
+        rank = math.ceil(pct / 100.0 * len(ordered))
+        return ordered[rank - 1]
+
+    def task_below_percentiles(
+        self,
+        task_names: Optional[Sequence[str]] = None,
+        percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+    ) -> Dict[str, float]:
+        """Tail of the per-task below-minimum-heart-rate distribution.
+
+        Computes each task's below-minimum fraction (the Figure 7 per-task
+        metric) over ``task_names`` (default: every task ever observed)
+        and reports the requested percentiles of that distribution, keyed
+        ``"p50"``/``"p95"``/``"p99"``.  The overload campaigns read the
+        tail over *admitted* stream tasks: means hide exactly the tasks a
+        flash crowd starves.
+        """
+        names = list(task_names) if task_names is not None else self.task_names()
+        fractions = [self.task_below_fraction(name) for name in names]
+        return {
+            f"p{pct:g}": self.percentile(fractions, pct) for pct in percentiles
+        }
+
+    def violation_fraction_percentiles(
+        self,
+        task_names: Optional[Sequence[str]] = None,
+        percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+    ) -> Dict[str, float]:
+        """Tail over *time* of the instantaneous QoS-violation rate.
+
+        For every measured tick, the fraction of the named tasks alive at
+        that tick whose heart rate sits below its minimum; the requested
+        percentiles of that per-tick series are returned keyed
+        ``"p50"``/``"p95"``/``"p99"``.  This is the overload headline
+        metric: "at the p99-worst moment, how much of the admitted
+        population was the system failing?" -- bounded and population-
+        wide, where the per-task tail
+        (:meth:`task_below_percentiles`) degenerates to the single
+        unluckiest task.  Ticks where none of the named tasks are alive
+        are skipped.
+        """
+        names = None if task_names is None else set(task_names)
+        fractions: List[float] = []
+        for sample in self._measured():
+            relevant = [
+                ts
+                for name, ts in sample.tasks.items()
+                if names is None or name in names
+            ]
+            if not relevant:
+                continue
+            fractions.append(
+                sum(1 for ts in relevant if ts.below_min) / len(relevant)
+            )
+        return {
+            f"p{pct:g}": self.percentile(fractions, pct) for pct in percentiles
+        }
 
     # -- series (Figures 7/8) ---------------------------------------------------
     def task_names(self) -> List[str]:

@@ -6,6 +6,14 @@ cost profiles (the off-line profiling tables), the Table 5 benchmark suite
 and the Table 6 workload sets.
 """
 
+from .arrivals import (
+    ARRIVAL_PROCESSES,
+    ArrivalConfig,
+    ArrivalRecord,
+    ArrivalStream,
+    nominal_demand_a7_pus,
+    sustainable_rate_hz,
+)
 from .benchmarks import BENCHMARK_SPECS, INPUT_CODES, BenchmarkSpec, make_profile, make_task
 from .demand import demand_for_range, demand_from_heart_rate, demand_from_load
 from .estimation import OnlineDemandEstimator
@@ -34,6 +42,10 @@ from .workloads import (
 
 __all__ = [
     "ANY_CORE_TYPE",
+    "ARRIVAL_PROCESSES",
+    "ArrivalConfig",
+    "ArrivalRecord",
+    "ArrivalStream",
     "BENCHMARK_SPECS",
     "BenchmarkProfile",
     "BenchmarkSpec",
@@ -62,11 +74,13 @@ __all__ = [
     "little_capacity_pus",
     "make_profile",
     "make_task",
+    "nominal_demand_a7_pus",
     "peak_concurrency",
     "poisson_workload",
     "random_profile",
     "record_trace",
     "random_task_records",
     "random_tasks",
+    "sustainable_rate_hz",
     "workload_intensity",
 ]

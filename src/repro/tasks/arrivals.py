@@ -1,0 +1,407 @@
+"""Open-ended task arrival/departure processes.
+
+The paper's experiments clear a *fixed* task set against the chip; a
+deployed power manager instead faces an endless stream of short-lived
+requests whose rate it does not control.  This module generates such
+streams: seed-deterministic arrival processes that feed short-lived
+heartbeat tasks into a running :class:`~repro.sim.engine.Simulation`
+(via :class:`~repro.core.admission.OverloadManager`) instead of a fixed
+workload set.
+
+Four processes cover the classic open-system shapes:
+
+* ``poisson`` -- homogeneous Poisson arrivals at ``rate_hz``;
+* ``mmpp`` -- a Markov-modulated Poisson process switching between
+  ``mmpp_rates`` with exponentially distributed dwell times (bursty
+  traffic with long-range correlation);
+* ``diurnal`` -- a sinusoidally rate-modulated Poisson process (the
+  day/night cycle of a service);
+* ``flash-crowd`` -- base-rate Poisson with rectangular bursts at
+  ``burst_rate_hz`` (the overload scenario the admission ladder exists
+  for).
+
+Any process can additionally be rate-modulated by a replayable
+:class:`~repro.tasks.traces.DemandTrace` (trace-driven arrivals).
+
+Generation is *incremental* (one arrival drawn ahead) via Ogata
+thinning against the process's maximum rate, so a stream is open-ended,
+O(1) per tick, and -- because every draw comes from one private
+``random.Random`` -- bit-reproducible from ``(config, seed)`` alone and
+snapshot/restorable mid-stream for checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .benchmarks import BENCHMARK_SPECS, INPUT_CODES, make_task
+from .task import Task
+from .traces import DemandTrace
+
+#: Valid values of :attr:`ArrivalConfig.process`.
+ARRIVAL_PROCESSES = ("poisson", "mmpp", "diurnal", "flash-crowd")
+
+#: Default benchmark/input catalogue for arrival-spawned heartbeat tasks:
+#: the lighter half of the Table 5 suite, so a single request never
+#: dwarfs the chip and overload comes from *many* requests, as in a
+#: service under a flash crowd.
+DEFAULT_CATALOGUE: Tuple[Tuple[str, str], ...] = (
+    ("blackscholes", "l"),
+    ("h264", "s"),
+    ("multicnt", "v"),
+    ("texture", "v"),
+    ("x264", "l"),
+    ("swaptions", "l"),
+)
+
+
+def nominal_demand_a7_pus(benchmark: str, input_code: str) -> float:
+    """Off-line profiled A7 demand of one benchmark/input pair (PUs)."""
+    label = INPUT_CODES.get(input_code, input_code)
+    try:
+        return BENCHMARK_SPECS[(benchmark, label)].demand_a7_pus
+    except KeyError:
+        raise KeyError(f"unknown benchmark/input: {benchmark}/{input_code}") from None
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Parameters of one arrival stream.
+
+    Attributes:
+        process: One of :data:`ARRIVAL_PROCESSES`.
+        rate_hz: Base arrival rate (mean arrivals per simulated second).
+        burst_rate_hz: Peak rate during flash-crowd bursts (>= rate_hz).
+        burst_start_s: When the first burst begins.
+        burst_duration_s: Length of each burst.
+        burst_period_s: Burst repetition period; 0 means a single burst.
+        mmpp_rates: Per-state rates of the MMPP (at least two).
+        mmpp_dwell_s: Mean exponential dwell time in each MMPP state.
+        diurnal_period_s: Period of the diurnal cycle.
+        diurnal_depth: Relative swing of the diurnal rate, in [0, 1);
+            the rate moves through ``rate_hz * (1 +/- depth)``.
+        lifetime_s: ``(min, max)`` of the uniform task lifetime.
+        priorities: Priority values drawn uniformly per arrival.
+        catalogue: Benchmark/input pairs drawn uniformly per arrival.
+        hrm_window_s: Heart-rate window of spawned tasks.
+        max_phase_offset_s: Spawned tasks get a uniform phase offset in
+            ``[0, max_phase_offset_s)`` so identical benchmarks do not
+            move in lockstep.
+    """
+
+    process: str = "poisson"
+    rate_hz: float = 1.0
+    burst_rate_hz: float = 0.0
+    burst_start_s: float = 0.0
+    burst_duration_s: float = 0.0
+    burst_period_s: float = 0.0
+    mmpp_rates: Tuple[float, ...] = ()
+    mmpp_dwell_s: float = 5.0
+    diurnal_period_s: float = 60.0
+    diurnal_depth: float = 0.5
+    lifetime_s: Tuple[float, float] = (2.0, 6.0)
+    priorities: Tuple[int, ...] = (1, 2, 4)
+    catalogue: Tuple[Tuple[str, str], ...] = DEFAULT_CATALOGUE
+    hrm_window_s: float = 0.5
+    max_phase_offset_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"process must be one of {ARRIVAL_PROCESSES}, got {self.process!r}"
+            )
+        if not (math.isfinite(self.rate_hz) and self.rate_hz > 0):
+            raise ValueError("rate_hz must be positive and finite")
+        if self.process == "mmpp":
+            if len(self.mmpp_rates) < 2:
+                raise ValueError("mmpp needs at least two mmpp_rates")
+            if any(not math.isfinite(r) or r <= 0 for r in self.mmpp_rates):
+                raise ValueError("mmpp_rates must be positive and finite")
+            if self.mmpp_dwell_s <= 0:
+                raise ValueError("mmpp_dwell_s must be positive")
+        if self.process == "diurnal" and not 0.0 <= self.diurnal_depth < 1.0:
+            raise ValueError("diurnal_depth must be in [0, 1)")
+        if self.process == "diurnal" and self.diurnal_period_s <= 0:
+            raise ValueError("diurnal_period_s must be positive")
+        if self.process == "flash-crowd":
+            if self.burst_rate_hz < self.rate_hz:
+                raise ValueError("burst_rate_hz must be >= rate_hz")
+            if self.burst_duration_s <= 0:
+                raise ValueError("flash-crowd needs a positive burst_duration_s")
+            if 0 < self.burst_period_s <= self.burst_duration_s:
+                raise ValueError("burst_period_s must exceed burst_duration_s")
+        lo, hi = self.lifetime_s
+        if not (0 < lo <= hi) or not math.isfinite(hi):
+            raise ValueError("lifetime_s must be a finite (min, max) with 0 < min <= max")
+        if not self.priorities or any(p < 1 for p in self.priorities):
+            raise ValueError("priorities must be positive integers")
+        if not self.catalogue:
+            raise ValueError("catalogue must not be empty")
+        for bench, code in self.catalogue:
+            try:
+                nominal_demand_a7_pus(bench, code)
+            except KeyError as exc:
+                raise ValueError(str(exc)) from None
+        if self.hrm_window_s <= 0:
+            raise ValueError("hrm_window_s must be positive")
+        if self.max_phase_offset_s < 0:
+            raise ValueError("max_phase_offset_s must be non-negative")
+
+    def identity(self) -> Dict[str, object]:
+        """JSON-safe identity for checkpoint fingerprints."""
+        return asdict(self)
+
+    def mean_demand_a7_pus(self) -> float:
+        """Catalogue-average nominal A7 demand of one arrival."""
+        return sum(
+            nominal_demand_a7_pus(bench, code) for bench, code in self.catalogue
+        ) / len(self.catalogue)
+
+    def mean_lifetime_s(self) -> float:
+        lo, hi = self.lifetime_s
+        return 0.5 * (lo + hi)
+
+
+def sustainable_rate_hz(chip, config: ArrivalConfig) -> float:
+    """Arrival rate whose steady-state offered demand equals chip capacity.
+
+    By Little's law the mean number of concurrent arrivals is
+    ``rate * mean_lifetime``, each demanding the catalogue-average A7
+    load, so offered demand matches the chip's aggregate max-frequency
+    supply at ``capacity / (mean_demand * mean_lifetime)``.  A
+    flash-crowd at ``3 x`` this rate is the canonical "3x sustainable
+    demand" overload scenario.
+    """
+    capacity = sum(c.max_capacity_pus for c in chip.clusters)
+    return capacity / (config.mean_demand_a7_pus() * config.mean_lifetime_s())
+
+
+@dataclass(frozen=True)
+class ArrivalRecord:
+    """One arrival: everything needed to (re-)materialise its task.
+
+    Records are deliberately JSON-trivial -- benchmark identity plus
+    scalars -- so checkpoint payloads can carry the spawn history and
+    :func:`restore` can rebuild the exact task population of a killed
+    run.
+    """
+
+    name: str
+    benchmark: str
+    input_code: str
+    priority: int
+    arrival_s: float
+    lifetime_s: float
+    phase_offset_s: float
+
+    def nominal_demand_a7_pus(self) -> float:
+        return nominal_demand_a7_pus(self.benchmark, self.input_code)
+
+    def materialize(
+        self,
+        start_time_s: float,
+        qos_factor: float = 1.0,
+        hrm_window_s: float = 0.5,
+    ) -> Task:
+        """Build the runnable task for this arrival.
+
+        ``qos_factor`` < 1 admits the task at a *reduced* QoS target (the
+        admission ladder's degraded rung): the whole heart-rate range is
+        scaled down, which proportionally shrinks the demand the task
+        asserts against the market.
+        """
+        if not 0.0 < qos_factor <= 1.0:
+            raise ValueError("qos_factor must be in (0, 1]")
+        task = make_task(
+            self.benchmark,
+            self.input_code,
+            priority=self.priority,
+            phase_offset_s=self.phase_offset_s,
+            task_name=self.name,
+            start_time=start_time_s,
+            duration=self.lifetime_s,
+        )
+        task.hrm = type(task.hrm)(window_s=hrm_window_s)
+        if qos_factor != 1.0:
+            from dataclasses import replace
+
+            task.profile = replace(
+                task.profile, hr_range=task.profile.hr_range.scaled(qos_factor)
+            )
+        #: Marks the task as stream-spawned: excluded from checkpoint
+        #: fingerprints (the spawn history is identity instead) and
+        #: eligible for admission-ladder shedding.
+        task.from_arrival = True
+        return task
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "ArrivalRecord":
+        return cls(
+            name=str(data["name"]),
+            benchmark=str(data["benchmark"]),
+            input_code=str(data["input_code"]),
+            priority=int(data["priority"]),
+            arrival_s=float(data["arrival_s"]),
+            lifetime_s=float(data["lifetime_s"]),
+            phase_offset_s=float(data["phase_offset_s"]),
+        )
+
+
+class ArrivalStream:
+    """Incremental, seed-deterministic generator of :class:`ArrivalRecord`.
+
+    One private ``random.Random`` drives thinning, MMPP state dwell and
+    per-arrival attribute draws, so the full stream is a pure function
+    of ``(config, seed, trace)`` and two streams built alike yield
+    identical records in any execution interleaving (the serial vs
+    ``--jobs N`` guarantee).
+    """
+
+    def __init__(
+        self,
+        config: ArrivalConfig,
+        seed: Optional[int],
+        trace: Optional[DemandTrace] = None,
+    ):
+        self.config = config
+        self.seed = seed
+        self.trace = trace
+        self._rng = random.Random(seed)
+        self._cursor_s = 0.0
+        self._next: Optional[ArrivalRecord] = None
+        #: Arrivals generated so far (names are ``arr<count>.<bench>_<code>``).
+        self.count = 0
+        # MMPP modulation state: dwell intervals are drawn lazily as the
+        # thinning cursor advances (queries are monotonic in time).
+        self._mmpp_index = 0
+        self._mmpp_until_s = 0.0
+
+    # -- identity ----------------------------------------------------------------
+    def identity(self) -> Dict[str, object]:
+        return {
+            "config": self.config.identity(),
+            "seed": self.seed,
+            "trace": None if self.trace is None else self.trace.to_json(),
+        }
+
+    # -- rate model --------------------------------------------------------------
+    def _max_rate_hz(self) -> float:
+        cfg = self.config
+        if cfg.process == "poisson":
+            peak = cfg.rate_hz
+        elif cfg.process == "mmpp":
+            peak = max(cfg.mmpp_rates)
+        elif cfg.process == "diurnal":
+            peak = cfg.rate_hz * (1.0 + cfg.diurnal_depth)
+        else:  # flash-crowd
+            peak = max(cfg.rate_hz, cfg.burst_rate_hz)
+        if self.trace is not None:
+            peak *= self.trace.max_multiplier
+        return peak
+
+    def _in_burst(self, t: float) -> bool:
+        cfg = self.config
+        if t < cfg.burst_start_s:
+            return False
+        if cfg.burst_period_s > 0:
+            phase = math.fmod(t - cfg.burst_start_s, cfg.burst_period_s)
+            return phase < cfg.burst_duration_s
+        return t < cfg.burst_start_s + cfg.burst_duration_s
+
+    def _rate_at(self, t: float) -> float:
+        cfg = self.config
+        if cfg.process == "poisson":
+            rate = cfg.rate_hz
+        elif cfg.process == "mmpp":
+            while t >= self._mmpp_until_s:
+                self._mmpp_until_s += self._rng.expovariate(1.0 / cfg.mmpp_dwell_s)
+                self._mmpp_index = self._rng.randrange(len(cfg.mmpp_rates))
+            rate = cfg.mmpp_rates[self._mmpp_index]
+        elif cfg.process == "diurnal":
+            rate = cfg.rate_hz * (
+                1.0
+                + cfg.diurnal_depth
+                * math.sin(2.0 * math.pi * t / cfg.diurnal_period_s)
+            )
+        else:  # flash-crowd
+            rate = cfg.burst_rate_hz if self._in_burst(t) else cfg.rate_hz
+        if self.trace is not None:
+            rate *= self.trace.multiplier_at(t)
+        return rate
+
+    # -- generation --------------------------------------------------------------
+    def _draw_next(self) -> ArrivalRecord:
+        """Advance the thinning sampler to the next accepted arrival."""
+        rng = self._rng
+        cfg = self.config
+        peak = self._max_rate_hz()
+        t = self._cursor_s
+        while True:
+            t += rng.expovariate(peak)
+            if rng.random() * peak <= self._rate_at(t):
+                break
+        self._cursor_s = t
+        bench, code = cfg.catalogue[rng.randrange(len(cfg.catalogue))]
+        priority = cfg.priorities[rng.randrange(len(cfg.priorities))]
+        lo, hi = cfg.lifetime_s
+        lifetime = rng.uniform(lo, hi)
+        offset = (
+            rng.uniform(0.0, cfg.max_phase_offset_s)
+            if cfg.max_phase_offset_s > 0
+            else 0.0
+        )
+        self.count += 1
+        return ArrivalRecord(
+            name=f"arr{self.count}.{bench}_{code}",
+            benchmark=bench,
+            input_code=code,
+            priority=priority,
+            arrival_s=t,
+            lifetime_s=lifetime,
+            phase_offset_s=offset,
+        )
+
+    def pop_due(self, until_s: float) -> List[ArrivalRecord]:
+        """All arrivals with ``arrival_s <= until_s``, in arrival order.
+
+        Generation is incremental: exactly one arrival is held drawn
+        ahead, so calling this every tick costs O(arrivals), not
+        O(ticks).
+        """
+        if self._next is None:
+            self._next = self._draw_next()
+        due: List[ArrivalRecord] = []
+        while self._next.arrival_s <= until_s:
+            due.append(self._next)
+            self._next = self._draw_next()
+        return due
+
+    # -- snapshot/restore (checkpointing) ----------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        from ..checkpoint.snapshot import rng_state_to_json
+
+        return {
+            "rng_state": rng_state_to_json(self._rng.getstate()),
+            "cursor_s": self._cursor_s,
+            "count": self.count,
+            "mmpp_index": self._mmpp_index,
+            "mmpp_until_s": self._mmpp_until_s,
+            "next": None if self._next is None else self._next.to_json_dict(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        from ..checkpoint.snapshot import rng_state_from_json
+
+        self._rng.setstate(rng_state_from_json(state["rng_state"]))
+        self._cursor_s = state["cursor_s"]
+        self.count = state["count"]
+        self._mmpp_index = state["mmpp_index"]
+        self._mmpp_until_s = state["mmpp_until_s"]
+        nxt = state["next"]
+        self._next = None if nxt is None else ArrivalRecord.from_json_dict(nxt)

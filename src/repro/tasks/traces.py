@@ -49,10 +49,15 @@ class DemandTrace(PhaseTrace):
         if not points:
             raise ValueError("a trace needs at least one point")
         times = [t for t, _ in points]
+        # Validate finiteness explicitly: NaN compares False against
+        # everything, so it would sail through the ordering checks below
+        # and only blow up later inside bisect during replay.
+        if any(not math.isfinite(t) for t in times):
+            raise ValueError("trace times must be finite")
         if any(b <= a for a, b in zip(times, times[1:])):
             raise ValueError("trace times must be strictly increasing")
-        if any(m <= 0 for _, m in points):
-            raise ValueError("multipliers must be positive")
+        if any(not math.isfinite(m) or m <= 0 for _, m in points):
+            raise ValueError("multipliers must be positive and finite")
         if interpolation not in _INTERPOLATIONS:
             raise ValueError(f"interpolation must be one of {_INTERPOLATIONS}")
         if loop and times[-1] <= 0:
@@ -66,6 +71,15 @@ class DemandTrace(PhaseTrace):
     @property
     def duration_s(self) -> float:
         return self._times[-1]
+
+    @property
+    def max_multiplier(self) -> float:
+        """Largest multiplier the trace can ever produce.
+
+        Upper-bounds trace-modulated stochastic rates (the arrival
+        layer's thinning sampler needs a majorising constant).
+        """
+        return max(self._values)
 
     def multiplier_at(self, t: float) -> float:
         if self.loop and self._times[-1] > 0:
@@ -98,9 +112,29 @@ class DemandTrace(PhaseTrace):
 
     @classmethod
     def from_json(cls, payload: str) -> "DemandTrace":
-        data = json.loads(payload)
+        """Parse a serialised trace; raises ``ValueError`` on any bad payload.
+
+        Malformed JSON, a missing/ill-typed ``points`` key and invalid
+        breakpoint values all surface as a clean ``ValueError`` (never a
+        raw ``KeyError``/``TypeError``), so callers replaying user-supplied
+        trace files can report one exception type.
+        """
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace payload is not valid JSON: {exc}") from None
+        if not isinstance(data, dict) or "points" not in data:
+            raise ValueError(
+                "trace payload must be a JSON object with a 'points' list"
+            )
+        try:
+            points = [(float(t), float(v)) for t, v in data["points"]]
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"trace points must be [time, multiplier] number pairs: {exc}"
+            ) from None
         return cls(
-            points=[(float(t), float(v)) for t, v in data["points"]],
+            points=points,
             interpolation=data.get("interpolation", "step"),
             loop=bool(data.get("loop", False)),
             name=data.get("name", "trace"),

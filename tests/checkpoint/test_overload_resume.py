@@ -1,0 +1,133 @@
+"""Checkpoint/resume through a flash crowd must stay bit-exact.
+
+The overload acceptance drill: snapshot mid-crowd (spawned tasks live,
+queue populated, ladder escalated, possibly tasks already shed), rebuild
+from the checkpoint, and the resumed run's telemetry and admission
+accounting must equal the uninterrupted run byte for byte.
+"""
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointManager,
+    SnapshotRestoreError,
+    resume_from,
+    tick_records,
+)
+from repro.checkpoint.snapshot import restore_simulation, snapshot_simulation
+from repro.core import AdmissionConfig, AdmissionController, OverloadManager
+from repro.experiments.harness import make_governor
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import ArrivalConfig, ArrivalStream, build_workload
+
+DURATION_S = 8.0
+
+
+def crowd_config() -> ArrivalConfig:
+    # A dense flash crowd inside a short run: burst from 3 s to 6 s.
+    return ArrivalConfig(
+        process="flash-crowd",
+        rate_hz=2.0,
+        burst_rate_hz=12.0,
+        burst_start_s=3.0,
+        burst_duration_s=3.0,
+        lifetime_s=(1.0, 3.0),
+    )
+
+
+def build_sim(seed=11, with_admission=True):
+    sim = Simulation(
+        tc2_chip(),
+        build_workload("l1"),
+        make_governor("PPM", power_cap_w=10.0),
+        config=SimConfig(seed=seed, metrics_warmup_s=1.0, audit=True),
+    )
+    controller = (
+        AdmissionController(AdmissionConfig()) if with_admission else None
+    )
+    OverloadManager(ArrivalStream(crowd_config(), seed), controller).attach(sim)
+    return sim
+
+
+def admission_facts(sim):
+    manager = sim.arrivals
+    facts = {
+        "spawned": [t.name for t in manager.spawned_tasks],
+        "durations": [t.duration for t in manager.spawned_tasks],
+        "stats": manager.stats(),
+    }
+    if manager.controller is not None:
+        facts["snapshot"] = manager.controller.snapshot_state()
+    return facts
+
+
+class TestOverloadResume:
+    @pytest.mark.parametrize("cut_index", [2, 4])  # pre-burst / mid-burst
+    def test_resume_through_flash_crowd_is_bit_exact(self, tmp_path, cut_index):
+        baseline = build_sim()
+        baseline.run(DURATION_S)
+
+        interrupted = build_sim()
+        manager = CheckpointManager(
+            str(tmp_path), interval_s=1.0, retention=None
+        ).attach(interrupted)
+        interrupted.run(DURATION_S)
+
+        cut = manager.checkpoints()[cut_index]
+        resumed, _ = resume_from(cut, build_sim)
+        resumed.run(DURATION_S - resumed.now)
+
+        assert tick_records(resumed.metrics) == tick_records(baseline.metrics)
+        assert admission_facts(resumed) == admission_facts(baseline)
+
+    def test_resume_baseline_manager_without_controller(self, tmp_path):
+        baseline = build_sim(with_admission=False)
+        baseline.run(DURATION_S)
+
+        interrupted = build_sim(with_admission=False)
+        manager = CheckpointManager(
+            str(tmp_path), interval_s=1.0, retention=None
+        ).attach(interrupted)
+        interrupted.run(DURATION_S)
+
+        cut = manager.checkpoints()[4]
+        resumed, _ = resume_from(
+            cut, lambda: build_sim(with_admission=False)
+        )
+        resumed.run(DURATION_S - resumed.now)
+        assert tick_records(resumed.metrics) == tick_records(baseline.metrics)
+        assert admission_facts(resumed) == admission_facts(baseline)
+
+    def test_checkpointing_does_not_perturb_the_crowd(self, tmp_path):
+        baseline = build_sim()
+        baseline.run(DURATION_S)
+        checkpointed = build_sim()
+        CheckpointManager(str(tmp_path), interval_s=1.0, retention=None).attach(
+            checkpointed
+        )
+        checkpointed.run(DURATION_S)
+        assert tick_records(checkpointed.metrics) == tick_records(
+            baseline.metrics
+        )
+
+    def test_controller_presence_must_match_the_checkpoint(self):
+        sim = build_sim()
+        sim.run(4.0)
+        payload = snapshot_simulation(sim)
+        mismatched = build_sim(with_admission=False)
+        with pytest.raises((SnapshotRestoreError, ValueError)):
+            restore_simulation(mismatched, payload)
+
+    def test_arrivals_presence_must_match_the_checkpoint(self):
+        sim = build_sim()
+        sim.run(4.0)
+        payload = snapshot_simulation(sim)
+        plain = Simulation(
+            tc2_chip(),
+            build_workload("l1"),
+            make_governor("PPM", power_cap_w=10.0),
+            config=SimConfig(seed=11, metrics_warmup_s=1.0, audit=True),
+        )
+        with pytest.raises(SnapshotRestoreError):
+            restore_simulation(plain, payload)

@@ -63,14 +63,24 @@ class TestCheckpointVerbs:
         assert main(["resume", "--checkpoint-dir", ckpt_dir, "--out", out_dir]) == 0
         assert "report written" in capsys.readouterr().out
 
-    def test_resume_without_checkpoints_is_actionable(self, tmp_path):
+    def test_resume_without_checkpoint_dir_is_actionable(self, tmp_path):
         with pytest.raises(SystemExit) as excinfo:
             main(["resume", "--checkpoint-dir", os.path.join(str(tmp_path), "x")])
-        assert "resume failed" in str(excinfo.value)
+        assert "checkpoint directory" in str(excinfo.value)
 
-    def test_replay_without_checkpoints_is_actionable(self, tmp_path):
+    def test_replay_without_checkpoint_dir_is_actionable(self, tmp_path):
         with pytest.raises(SystemExit) as excinfo:
             main(["replay", "--checkpoint-dir", os.path.join(str(tmp_path), "x")])
+        assert "checkpoint directory" in str(excinfo.value)
+
+    def test_resume_empty_checkpoint_dir_is_actionable(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["resume", "--checkpoint-dir", str(tmp_path)])
+        assert "resume failed" in str(excinfo.value)
+
+    def test_replay_empty_checkpoint_dir_is_actionable(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["replay", "--checkpoint-dir", str(tmp_path)])
         assert "replay failed" in str(excinfo.value)
 
     def test_parser_accepts_new_verbs(self):

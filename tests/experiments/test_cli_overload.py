@@ -1,0 +1,95 @@
+"""CLI overload verbs and clean path-error handling (no tracebacks)."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestPathErrors:
+    def test_missing_trace_file_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["overload", "--trace", "/no/such/trace.json"])
+        message = str(excinfo.value)
+        assert "trace" in message and "/no/such/trace.json" in message
+        assert "Traceback" not in message
+
+    def test_invalid_trace_file_exits_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["overload", "--trace", str(bad)])
+        assert "invalid trace file" in str(excinfo.value)
+
+    def test_unreadable_trace_path_exits_cleanly(self, tmp_path):
+        # A directory is unreadable as a file regardless of privileges
+        # (chmod-based unreadability is moot when tests run as root).
+        with pytest.raises(SystemExit) as excinfo:
+            main(["overload", "--trace", str(tmp_path)])
+        assert "cannot read trace file" in str(excinfo.value)
+
+    @pytest.mark.parametrize("verb", ["resume", "replay"])
+    def test_missing_checkpoint_dir_exits_cleanly(self, verb):
+        with pytest.raises(SystemExit) as excinfo:
+            main([verb, "--checkpoint-dir", "/no/such/ckpt-dir"])
+        message = str(excinfo.value)
+        assert "checkpoint directory" in message
+        assert "/no/such/ckpt-dir" in message
+
+    def test_empty_checkpoint_dir_reports_no_checkpoints(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["resume", "--checkpoint-dir", str(tmp_path)])
+        assert "resume failed" in str(excinfo.value)
+
+
+class TestOverloadVerbs:
+    def test_parser_registers_overload_verbs(self):
+        args = build_parser().parse_args(["overload"])
+        assert args.multiplier == 3.0
+        assert args.overload_duration == 30.0
+        assert args.trace is None
+        build_parser().parse_args(["overload-soak"])
+
+    def test_overload_verb_runs_and_reports(self, tmp_path, capsys):
+        code = main(
+            [
+                "overload",
+                "--governors", "PPM",
+                "--overload-duration", "12",
+                "--campaign-warmup", "2",
+                "--seed", "3",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flash crowd" in out and "report written to" in out
+        payload = json.loads((tmp_path / "overload_l1.json").read_text())
+        assert payload["runs"][0]["governor"] == "PPM"
+
+    def test_overload_with_trace_modulation(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        trace.write_text(
+            json.dumps(
+                {
+                    "name": "damp",
+                    "interpolation": "step",
+                    "loop": False,
+                    "points": [[0.0, 1.0]],
+                }
+            )
+        )
+        code = main(
+            [
+                "overload",
+                "--governors", "PPM",
+                "--overload-duration", "12",
+                "--campaign-warmup", "2",
+                "--seed", "3",
+                "--trace", str(trace),
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "report written to" in capsys.readouterr().out

@@ -115,3 +115,46 @@ class TestSeries:
         record_tick(collector, 0.0, 1.0, [(task, 30.0)])
         record_tick(collector, 1.0, 1.0, [(task, 30.0), (other, 10.0)])
         assert collector.task_names() == ["enc", "sw"]
+
+
+class TestTailQoS:
+    def test_percentile_nearest_rank(self):
+        values = [0.1, 0.4, 0.2, 0.3]
+        assert MetricsCollector.percentile(values, 0.0) == 0.1
+        assert MetricsCollector.percentile(values, 50.0) == 0.2
+        assert MetricsCollector.percentile(values, 75.0) == 0.3
+        assert MetricsCollector.percentile(values, 99.0) == 0.4
+        assert MetricsCollector.percentile(values, 100.0) == 0.4
+        assert MetricsCollector.percentile([], 99.0) == 0.0
+        with pytest.raises(ValueError):
+            MetricsCollector.percentile(values, 101.0)
+
+    def test_violation_fraction_percentiles(self, task):
+        other = make_task("swaptions", "l", task_name="sw")  # nominal 10
+        collector = MetricsCollector(warmup_s=0.0)
+        record_tick(collector, 0.0, 1.0, [(task, 30.0), (other, 10.0)])  # 0/2
+        record_tick(collector, 1.0, 1.0, [(task, 20.0), (other, 10.0)])  # 1/2
+        record_tick(collector, 2.0, 1.0, [(task, 20.0), (other, 5.0)])  # 2/2
+        tail = collector.violation_fraction_percentiles()
+        assert tail["p50"] == pytest.approx(0.5)
+        assert tail["p99"] == pytest.approx(1.0)
+
+    def test_violation_population_filter_skips_dead_ticks(self, task):
+        other = make_task("swaptions", "l", task_name="sw")
+        collector = MetricsCollector(warmup_s=0.0)
+        record_tick(collector, 0.0, 1.0, [(task, 20.0)])  # 'sw' not alive
+        record_tick(collector, 1.0, 1.0, [(task, 30.0), (other, 5.0)])
+        only_sw = collector.violation_fraction_percentiles(["sw"])
+        assert only_sw["p50"] == pytest.approx(1.0)  # tick 0 skipped
+        both = collector.violation_fraction_percentiles(["enc", "sw"])
+        assert both["p99"] == pytest.approx(1.0)  # tick 0: 1/1 below
+        assert both["p50"] == pytest.approx(0.5)  # tick 1: 1/2 below
+
+    def test_task_below_percentiles(self, task):
+        other = make_task("swaptions", "l", task_name="sw")
+        collector = MetricsCollector(warmup_s=0.0)
+        record_tick(collector, 0.0, 1.0, [(task, 20.0), (other, 10.0)])
+        record_tick(collector, 1.0, 1.0, [(task, 30.0), (other, 10.0)])
+        tail = collector.task_below_percentiles()
+        assert tail["p99"] == pytest.approx(0.5)  # enc below half the time
+        assert tail["p50"] == pytest.approx(0.0)  # sw never below

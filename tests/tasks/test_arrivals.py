@@ -1,0 +1,207 @@
+"""Arrival streams: seed determinism, interleaving independence, validation.
+
+The overload experiments' serial-vs-``--jobs N`` guarantee rests on the
+stream being a pure function of ``(config, seed, trace)`` -- these are
+the property tests that pin that down.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import tc2_chip
+from repro.tasks import (
+    ARRIVAL_PROCESSES,
+    ArrivalConfig,
+    ArrivalRecord,
+    ArrivalStream,
+    DemandTrace,
+    nominal_demand_a7_pus,
+    sustainable_rate_hz,
+)
+
+HORIZON_S = 30.0
+
+
+def make_config(process="poisson", **overrides) -> ArrivalConfig:
+    defaults = {"process": process, "rate_hz": 2.0}
+    if process == "mmpp":
+        defaults["mmpp_rates"] = (1.0, 6.0)
+        defaults["mmpp_dwell_s"] = 2.0
+    elif process == "flash-crowd":
+        defaults.update(
+            burst_rate_hz=8.0, burst_start_s=5.0, burst_duration_s=5.0
+        )
+    defaults.update(overrides)
+    return ArrivalConfig(**defaults)
+
+
+def drain(stream: ArrivalStream, until_s: float = HORIZON_S, step_s: float = 0.01):
+    """Pop the stream tick by tick, like the engine does."""
+    records = []
+    t = 0.0
+    while t <= until_s:
+        records.append(stream.pop_due(t))
+        t += step_s
+    return [r for batch in records for r in batch]
+
+
+class TestSeedDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        process=st.sampled_from(ARRIVAL_PROCESSES),
+        seed=st.integers(min_value=0, max_value=2**31),
+        rate=st.floats(min_value=0.5, max_value=8.0),
+    )
+    def test_same_seed_same_stream(self, process, seed, rate):
+        config = make_config(process, rate_hz=rate)
+        first = drain(ArrivalStream(config, seed), step_s=0.5)
+        second = drain(ArrivalStream(config, seed), step_s=0.5)
+        assert first == second
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        process=st.sampled_from(ARRIVAL_PROCESSES),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_pop_granularity_does_not_change_the_stream(self, process, seed):
+        """The serial vs ``--jobs N`` guarantee at the stream level: how
+        often the engine polls must not affect which arrivals exist."""
+        config = make_config(process)
+        fine = drain(ArrivalStream(config, seed), step_s=0.01)
+        coarse = drain(ArrivalStream(config, seed), step_s=1.0)
+        one_shot = ArrivalStream(config, seed).pop_due(HORIZON_S)
+        assert fine == coarse == one_shot
+
+    def test_different_seeds_differ(self):
+        config = make_config()
+        a = ArrivalStream(config, 1).pop_due(HORIZON_S)
+        b = ArrivalStream(config, 2).pop_due(HORIZON_S)
+        assert a != b
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        process=st.sampled_from(ARRIVAL_PROCESSES),
+        seed=st.integers(min_value=0, max_value=2**31),
+        cut=st.floats(min_value=1.0, max_value=HORIZON_S - 1.0),
+    )
+    def test_snapshot_restore_resumes_identically(self, process, seed, cut):
+        config = make_config(process)
+        reference = ArrivalStream(config, seed)
+        head = reference.pop_due(cut)
+        state = json.loads(json.dumps(reference.snapshot_state()))
+        resumed = ArrivalStream(config, seed)
+        resumed.pop_due(cut)  # advance to the cut the normal way
+        resumed.restore_state(state)
+        assert reference.pop_due(HORIZON_S) == resumed.pop_due(HORIZON_S)
+        assert head == ArrivalStream(config, seed).pop_due(cut)
+
+
+class TestStreamShape:
+    def test_arrivals_are_ordered_and_named_uniquely(self):
+        records = ArrivalStream(make_config(), 7).pop_due(HORIZON_S)
+        times = [r.arrival_s for r in records]
+        assert times == sorted(times)
+        assert len({r.name for r in records}) == len(records)
+
+    def test_flash_crowd_bursts_raise_the_rate(self):
+        config = make_config("flash-crowd", rate_hz=1.0, burst_rate_hz=20.0)
+        records = ArrivalStream(config, 3).pop_due(HORIZON_S)
+        in_burst = [r for r in records if 5.0 <= r.arrival_s < 10.0]
+        outside = [r for r in records if not 5.0 <= r.arrival_s < 10.0]
+        # 5 s of burst at 20x the base rate dominates 25 s of base rate.
+        assert len(in_burst) > len(outside)
+
+    def test_trace_modulation_scales_the_rate(self):
+        config = make_config(rate_hz=4.0)
+        trace = DemandTrace([(0.0, 0.1), (HORIZON_S, 0.1)])
+        plain = ArrivalStream(config, 5).pop_due(HORIZON_S)
+        damped = ArrivalStream(config, 5, trace=trace).pop_due(HORIZON_S)
+        assert len(damped) < len(plain) / 2
+
+    def test_sustainable_rate_matches_littles_law(self):
+        config = make_config()
+        chip = tc2_chip()
+        rate = sustainable_rate_hz(chip, config)
+        capacity = sum(c.max_capacity_pus for c in chip.clusters)
+        offered = rate * config.mean_lifetime_s() * config.mean_demand_a7_pus()
+        assert offered == pytest.approx(capacity)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"process": "laplace"},
+            {"rate_hz": 0.0},
+            {"rate_hz": math.inf},
+            {"process": "mmpp", "mmpp_rates": (1.0,)},
+            {"process": "mmpp", "mmpp_rates": (1.0, -2.0)},
+            {"process": "mmpp", "mmpp_rates": (1.0, 2.0), "mmpp_dwell_s": 0.0},
+            {"process": "diurnal", "diurnal_depth": 1.5},
+            {"process": "diurnal", "diurnal_period_s": 0.0},
+            {"process": "flash-crowd", "burst_rate_hz": 0.5, "burst_duration_s": 1.0},
+            {"lifetime_s": (0.0, 2.0)},
+            {"lifetime_s": (3.0, 2.0)},
+            {"priorities": ()},
+            {"priorities": (0,)},
+            {"catalogue": ()},
+            {"catalogue": (("nosuch", "l"),)},
+            {"hrm_window_s": 0.0},
+            {"max_phase_offset_s": -1.0},
+        ],
+    )
+    def test_bad_configs_raise(self, overrides):
+        base = {"process": "poisson", "rate_hz": 1.0}
+        if overrides.get("process") == "flash-crowd":
+            base.update(burst_rate_hz=2.0, burst_duration_s=1.0)
+        base.update(overrides)
+        with pytest.raises(ValueError):
+            ArrivalConfig(**base)
+
+    def test_flash_crowd_period_must_exceed_duration(self):
+        with pytest.raises(ValueError):
+            make_config("flash-crowd", burst_period_s=3.0, burst_duration_s=5.0)
+
+
+class TestArrivalRecord:
+    def record(self, **overrides):
+        fields = dict(
+            name="arr1.h264_s",
+            benchmark="h264",
+            input_code="s",
+            priority=2,
+            arrival_s=3.5,
+            lifetime_s=4.0,
+            phase_offset_s=1.0,
+        )
+        fields.update(overrides)
+        return ArrivalRecord(**fields)
+
+    def test_json_round_trip(self):
+        record = self.record()
+        assert ArrivalRecord.from_json_dict(record.to_json_dict()) == record
+
+    def test_materialize_marks_and_scales(self):
+        record = self.record()
+        full = record.materialize(start_time_s=3.5)
+        degraded = record.materialize(start_time_s=3.5, qos_factor=0.5)
+        assert full.from_arrival and degraded.from_arrival
+        assert full.start_time == 3.5
+        assert full.duration == 4.0
+        assert degraded.profile.hr_range.min_hr == pytest.approx(
+            0.5 * full.profile.hr_range.min_hr
+        )
+
+    def test_materialize_rejects_bad_qos(self):
+        with pytest.raises(ValueError):
+            self.record().materialize(start_time_s=0.0, qos_factor=0.0)
+        with pytest.raises(ValueError):
+            self.record().materialize(start_time_s=0.0, qos_factor=1.5)
+
+    def test_nominal_demand_matches_catalogue(self):
+        assert self.record().nominal_demand_a7_pus() == nominal_demand_a7_pus(
+            "h264", "s"
+        )
