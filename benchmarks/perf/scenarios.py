@@ -18,6 +18,11 @@ Three scenarios bracket the performance envelope:
   admission ladder: tasks spawn, retire, queue and get shed all run
   long, which stresses the task-cache invalidation, market add/remove
   and admission-control paths that the fixed-set scenarios never touch.
+* ``estimated_power`` -- the single-point run with the counter-based
+  power estimator in the loop and a mid-run model-drift fault: every
+  tick samples synthetic counters, updates the per-cluster RLS fits and
+  walks the supervisor ladder, which prices the estimation subsystem's
+  per-tick overhead against the plain metered path.
 
 Every scenario returns flat ``{metric: value}`` dicts so the JSON
 emitter and the regression gate stay schema-trivial.  Timed sections use
@@ -48,6 +53,8 @@ FULL_MANY_TASKS_S = 20.0
 QUICK_MANY_TASKS_S = 8.0
 FULL_CHURN_S = 30.0
 QUICK_CHURN_S = 15.0
+FULL_ESTIMATION_S = 60.0
+QUICK_ESTIMATION_S = 20.0
 
 
 def _timed(fn: Callable[[], object], repeats: int) -> float:
@@ -211,11 +218,65 @@ def arrival_churn(quick: bool, jobs: int, repeats: int = 1) -> Dict[str, float]:
     }
 
 
+def estimated_power(quick: bool, jobs: int, repeats: int = 1) -> Dict[str, float]:
+    """PPM on m2 with the power estimator in the loop plus a drift fault.
+
+    Adds the full estimated-power tick tax on top of ``single_point``:
+    counter synthesis with cross-talk, four RLS updates per tick (two
+    clusters), supervisor health checks, and the drift fault's
+    coefficient walk, which forces the ladder (and its telemetry) to
+    actually engage instead of idling in HEALTHY.
+    """
+    from repro.core.powerest import EstimationConfig
+    from repro.faults import FaultInjector, FaultKind, single_fault
+    from repro.tasks import build_workload
+
+    duration_s = QUICK_ESTIMATION_S if quick else FULL_ESTIMATION_S
+    counters: Dict[str, float] = {}
+
+    def run() -> None:
+        sim = Simulation(
+            tc2_chip(),
+            build_workload("m2"),
+            make_governor("PPM", power_cap_w=4.0),
+            config=SimConfig(
+                seed=7,
+                metrics_warmup_s=duration_s / 4.0,
+                estimation=EstimationConfig(),
+            ),
+        )
+        schedule = single_fault(
+            FaultKind.POWER_MODEL_DRIFT,
+            duration_s / 2.0,
+            duration_s / 4.0,
+            target="big",
+            magnitude=3.0,
+        )
+        FaultInjector(sim, schedule).attach()
+        sim.run(duration_s)
+        stats = sim.estimation.stats()
+        counters["estimator_ticks"] = stats["ticks"]
+        counters["supervisor_transitions"] = stats.get(
+            "estimator_transitions", 0
+        )
+
+    wall_s = _timed(run, repeats)
+    ticks = int(round(duration_s / 0.01))
+    return {
+        "wall_s": wall_s,
+        "sim_s": duration_s,
+        "ticks": ticks,
+        "ticks_per_s": ticks / wall_s,
+        **counters,
+    }
+
+
 SCENARIOS: Dict[str, Callable[..., Dict[str, float]]] = {
     "single_point": single_point,
     "parallel_sweep": parallel_sweep,
     "many_tasks": many_tasks,
     "arrival_churn": arrival_churn,
+    "estimated_power": estimated_power,
 }
 
 #: Canonical execution/reporting order.
@@ -224,6 +285,7 @@ SCENARIO_ORDER: List[str] = [
     "parallel_sweep",
     "many_tasks",
     "arrival_churn",
+    "estimated_power",
 ]
 
 

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""CI model-error smoke: estimated-power operation must fail safe.
+
+Runs every governor over a small error-magnitude x drift-rate grid with
+the counter-based power estimator in the loop, then asserts the
+guarantees the estimated-power subsystem promises:
+
+* bounded TDP overshoot: even with badly biased counters or a drifting
+  power model, no run spends more than a tolerance fraction of the
+  measured window above the cap (the supervisor's freeze -> margin ->
+  fallback ladder bounds the damage);
+* no silent divergence: every estimation-error percentile is finite, and
+  any run whose p95 estimation error blows past the divergence threshold
+  must show supervisor activity (transitions) rather than a still-trusted
+  broken model;
+* zero market-invariant violations across the whole grid.
+
+It also sanity-checks that the drift arm actually degrades the estimator
+(some run leaves the HEALTHY state) so a mistuned grid cannot pass
+vacuously.
+
+Exits 0 on success, 1 with a diagnostic on any violation.
+"""
+
+import math
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.experiments.modelerror import run_model_error_campaign  # noqa: E402
+
+DURATION_S = 20.0
+WARMUP_S = 3.0
+ERROR_MAGNITUDES = (0.0, 2.0)
+DRIFT_RATES = (0.0, 0.5)
+#: Fraction of the measured window a run may spend above the cap.  The
+#: drift fault physically raises the draw, so some overshoot while the
+#: governor chases the ramp is expected; spending most of the window hot
+#: means the fallback never re-anchored control to the metered sensor.
+TDP_TOLERANCE_FRACTION = 0.5
+#: p95 estimation error above which the supervisor must have reacted.
+DIVERGENCE_W = 1.5
+
+
+def main() -> int:
+    result = run_model_error_campaign(
+        duration_s=DURATION_S,
+        warmup_s=WARMUP_S,
+        error_magnitudes=ERROR_MAGNITUDES,
+        drift_rates=DRIFT_RATES,
+    )
+    print(result.as_table())
+    print()
+    failures = []
+    measured_s = DURATION_S - WARMUP_S
+    degraded_somewhere = False
+    for run in result.runs:
+        label = (
+            f"{run.governor} (error={run.error_magnitude}, "
+            f"drift={run.drift_rate_per_s}/s)"
+        )
+        if any(
+            not math.isfinite(v) for v in run.estimation_error_w.values()
+        ):
+            failures.append(
+                f"{label}: non-finite estimation-error percentile "
+                f"{run.estimation_error_w} -- the estimator diverged "
+                "numerically"
+            )
+        if run.tdp_violation_s > TDP_TOLERANCE_FRACTION * measured_s:
+            failures.append(
+                f"{label}: {run.tdp_violation_s:.2f}s above the cap out of "
+                f"{measured_s:.0f}s measured (tolerance "
+                f"{TDP_TOLERANCE_FRACTION:.0%}) -- overshoot is not bounded"
+            )
+        if run.audit_violations != 0:
+            failures.append(
+                f"{label}: {run.audit_violations} market-invariant "
+                "violations under model error"
+            )
+        p95 = run.estimation_error_w.get("p95", 0.0)
+        if p95 > DIVERGENCE_W and not run.estimator_transitions:
+            failures.append(
+                f"{label}: p95 estimation error {p95:.2f} W with zero "
+                "supervisor transitions -- a diverged model is still "
+                "trusted"
+            )
+        if run.estimator_state != "healthy" or run.estimator_transitions:
+            degraded_somewhere = True
+    if not degraded_somewhere:
+        failures.append(
+            "no run ever left the HEALTHY estimator state -- the grid is "
+            "not exercising the degradation ladder"
+        )
+    if failures:
+        print("MODEL-ERROR SMOKE FAILED:")
+        for line in failures:
+            print("  -", line)
+        return 1
+    print(
+        "model-error smoke passed: overshoot bounded, percentiles finite, "
+        "divergence supervised, zero audit violations"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,12 +30,16 @@ def tick_records(metrics) -> List[Dict[str, Any]]:
     of thermal-free runs are byte-identical to those recorded before the
     field existed.  Thermal-enabled runs carry the temperatures, making
     replay divergence detection cover the thermal state too.
+    ``estimated_chip_power_w`` gets the same treatment for runs without
+    estimated-power operation.
     """
     records = []
     for sample in metrics.samples:
         record = asdict(sample)
         if record.get("cluster_temperature_c") is None:
             record.pop("cluster_temperature_c", None)
+        if record.get("estimated_chip_power_w") is None:
+            record.pop("estimated_chip_power_w", None)
         records.append(record)
     return records
 

@@ -41,7 +41,8 @@ from .store import CheckpointError, canonical_json
 #: that :func:`restore_simulation` already handles authoritatively).
 _GENERIC_SKIP_TYPES = frozenset(
     {"Simulation", "Chip", "Cluster", "Core", "Market", "LBTModule",
-     "SteadyStateEstimator", "FaultInjector", "PowerSensor", "FaultySensor"}
+     "SteadyStateEstimator", "FaultInjector", "PowerSensor", "FaultySensor",
+     "EstimationManager", "CounterEmitter", "FaultyCounters"}
 )
 
 _MAX_DEPTH = 8
@@ -136,6 +137,9 @@ def simulation_fingerprint(sim, extra: Any = None) -> str:
                     else asdict(cfg.thermal.protection)
                 ),
             },
+            "estimation": (
+                None if cfg.estimation is None else asdict(cfg.estimation)
+            ),
         },
         "chip": {
             "name": sim.chip.name,
@@ -333,6 +337,8 @@ def snapshot_simulation(sim) -> Dict[str, Any]:
         payload["fault_injector"] = injector.snapshot_state()
     if sim.thermal is not None:
         payload["thermal"] = _snapshot_thermal(sim)
+    if getattr(sim, "estimation", None) is not None:
+        payload["estimation"] = _snapshot_estimation(sim)
     if sim.arrivals is not None:
         payload["arrivals"] = sim.arrivals.snapshot_state()
     return payload
@@ -436,6 +442,28 @@ def _snapshot_thermal(sim) -> Dict[str, Any]:
     }
 
 
+def _snapshot_estimation(sim) -> Dict[str, Any]:
+    manager = sim.estimation
+    emitter = manager.emitter
+    wrapper = None
+    if hasattr(emitter, "_inner"):  # FaultyCounters front end
+        wrapper = emitter.snapshot_state()
+    supervisor = manager.supervisor
+    return {
+        "ticks": manager.ticks,
+        "emitter": {
+            # rng_state passes through the wrapper to the inner emitter.
+            "rng_state": rng_state_to_json(emitter.rng_state()),
+            "wrapper": wrapper,
+        },
+        "estimator": manager.estimator.snapshot_state(),
+        "supervisor": (
+            supervisor.snapshot_state() if supervisor is not None else None
+        ),
+        "served_sample": sample_to_json(sim._estimated_sample),
+    }
+
+
 def _snapshot_governor(sim) -> Dict[str, Any]:
     governor = sim.governor
     if isinstance(governor, Snapshottable):
@@ -513,6 +541,20 @@ def restore_simulation(sim, payload: Dict[str, Any]) -> None:
         raise SnapshotRestoreError(
             "rebuilt simulation tracks thermals but the checkpoint was "
             "taken without thermal tracking; rebuild with thermal=None"
+        )
+    estimation_state = payload.get("estimation")
+    if estimation_state is not None:
+        if getattr(sim, "estimation", None) is None:
+            raise SnapshotRestoreError(
+                "checkpoint was taken in estimated-power mode but the "
+                "rebuilt simulation has no estimation pipeline; set the "
+                "same SimConfig.estimation before restoring"
+            )
+        _restore_estimation(sim, estimation_state)
+    elif getattr(sim, "estimation", None) is not None:
+        raise SnapshotRestoreError(
+            "rebuilt simulation runs estimated-power mode but the "
+            "checkpoint was taken without it; rebuild with estimation=None"
         )
     injector_state = payload.get("fault_injector")
     injector = getattr(sim, "fault_injector", None)
@@ -621,6 +663,7 @@ def _restore_metrics(sim, state: Dict[str, Any]) -> None:
                 if s.get("cluster_temperature_c") is None
                 else dict(s["cluster_temperature_c"])
             ),
+            estimated_chip_power_w=s.get("estimated_chip_power_w"),
         )
         for s in state["samples"]
     ]
@@ -672,6 +715,44 @@ def _restore_thermal(sim, state: Dict[str, Any]) -> None:
                 "rebuilt simulation has no ThermalProtectionConfig"
             )
         sim.thermal_supervisor.restore_state(supervisor_state)
+
+
+def _restore_estimation(sim, state: Dict[str, Any]) -> None:
+    manager = sim.estimation
+    emitter = manager.emitter
+    wrapped = hasattr(emitter, "_inner")
+    emitter_state = state["emitter"]
+    if emitter_state["wrapper"] is not None and not wrapped:
+        raise SnapshotRestoreError(
+            "checkpoint was taken through a faulty-counters front end but "
+            "the rebuilt simulation reads the bare emitter; attach the "
+            "fault injector before restoring"
+        )
+    if emitter_state["wrapper"] is None and wrapped:
+        raise SnapshotRestoreError(
+            "rebuilt simulation wraps the counter emitter in a fault "
+            "injector but the checkpoint was taken without one"
+        )
+    emitter.set_rng_state(rng_state_from_json(emitter_state["rng_state"]))
+    if wrapped:
+        emitter.restore_state(sim, emitter_state["wrapper"])
+    manager.ticks = state["ticks"]
+    manager.estimator.restore_state(state["estimator"])
+    supervisor_state = state["supervisor"]
+    if supervisor_state is not None:
+        if manager.supervisor is None:
+            raise SnapshotRestoreError(
+                "checkpoint includes estimator-supervisor state but the "
+                "rebuilt simulation runs unsupervised estimation"
+            )
+        manager.supervisor.restore_state(supervisor_state)
+    elif manager.supervisor is not None:
+        raise SnapshotRestoreError(
+            "rebuilt simulation supervises the estimator but the "
+            "checkpoint was taken without a supervisor"
+        )
+    sim._estimated_sample = sample_from_json(state["served_sample"])
+    manager.served_sample = sim._estimated_sample
 
 
 def _restore_sensor(sim, state: Dict[str, Any]) -> None:

@@ -33,12 +33,21 @@ from .estimation import (
 )
 from .framework import PPMGovernor
 from .lbt import LBTModule, MoveDecision
+from .powerest import (
+    ClusterPowerEstimator,
+    EstimationConfig,
+    EstimationManager,
+    PowerEstimate,
+    PowerEstimator,
+)
 from .market import Market, MarketObservations, RoundResult
 from .money import Wallet
 from .audit import AuditReport, MarketAuditor, MarketInvariantError, audited_round
 from .resilience import (
     BackoffRetry,
     DVFSSupervisor,
+    EstimatorState,
+    EstimatorSupervisor,
     MarketWatchdog,
     ResilienceConfig,
     StaleSensorDetector,
@@ -55,7 +64,12 @@ __all__ = [
     "OverloadManager",
     "AuditReport",
     "BackoffRetry",
+    "ClusterPowerEstimator",
     "DVFSSupervisor",
+    "EstimationConfig",
+    "EstimationManager",
+    "EstimatorState",
+    "EstimatorSupervisor",
     "MarketWatchdog",
     "ResilienceConfig",
     "StaleSensorDetector",
@@ -79,6 +93,8 @@ __all__ = [
     "MoveDecision",
     "PPMConfig",
     "PPMGovernor",
+    "PowerEstimate",
+    "PowerEstimator",
     "RoundResult",
     "SteadyStateEstimator",
     "TaskAgent",

@@ -93,6 +93,11 @@ class AdmissionConfig:
         thermal_surcharge: Pressure inflation while the thermal
             supervisor reports WARN or hotter (mirrors the chip agent's
             warn surcharge).
+        estimation_surcharge: Pressure inflation while the estimator
+            supervisor reports a degraded power signal (MARGIN or
+            FALLBACK) -- with the power estimate suspect, admitting at
+            the margin risks an unseen TDP overshoot, so arrivals pay a
+            scarcity premium until the estimator recovers.
     """
 
     check_period_s: float = 0.25
@@ -108,6 +113,7 @@ class AdmissionConfig:
     budget_per_priority: float = 0.25
     sheds_per_check: int = 2
     thermal_surcharge: float = 0.25
+    estimation_surcharge: float = 0.25
 
     def __post_init__(self) -> None:
         if self.check_period_s <= 0:
@@ -132,6 +138,8 @@ class AdmissionConfig:
             raise ValueError("sheds_per_check must be positive")
         if self.thermal_surcharge < 0:
             raise ValueError("thermal_surcharge must be non-negative")
+        if self.estimation_surcharge < 0:
+            raise ValueError("estimation_surcharge must be non-negative")
 
 
 class AdmissionController:
@@ -234,6 +242,12 @@ class AdmissionController:
             )
             if hot:
                 pressure *= 1.0 + self.config.thermal_surcharge
+        estimation = getattr(sim, "estimation", None)
+        if estimation is not None and estimation.degraded:
+            # Estimated-power analogue of the thermal surcharge: a
+            # suspect power signal means the supply side of the ratio
+            # is less trustworthy than it looks.
+            pressure *= 1.0 + self.config.estimation_surcharge
         return pressure
 
     def unit_price(self) -> float:

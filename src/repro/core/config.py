@@ -94,6 +94,13 @@ class PPMConfig:
     #: demand estimator -- the paper's stated future-work extension
     #: ("eliminate the off-line profiling step", section 3.3).
     online_estimation: bool = False
+    #: Trade on the counter-estimated power signal when the simulation
+    #: runs an estimation pipeline (``SimConfig.estimation``).  ``False``
+    #: pins the market to the metered sensor even with estimation
+    #: attached -- the ablation arm of the model-error experiments.
+    #: Without an estimation pipeline the flag is inert: both signals
+    #: are the same metered sample.
+    use_estimated_power: bool = True
     #: Governor-side resilience layer (stale-sensor fallback, actuation
     #: retry, market watchdog with safe-mode degradation).  On by default
     #: -- in a fault-free run it changes nothing; ``None`` disables it,

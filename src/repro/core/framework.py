@@ -372,8 +372,15 @@ class PPMGovernor:
         a fresh reading before the first tick, and -- with resilience on
         -- validates it through the stale-sensor detector so stuck or
         spiking registers trade on the last good value instead.
+
+        With ``use_estimated_power`` off the market is pinned to the
+        metered sensor even when an estimation pipeline is attached --
+        the ablation arm of the model-error experiments.
         """
-        sample = sim.last_power_sample()
+        if self.config.use_estimated_power:
+            sample = sim.last_power_sample()
+        else:
+            sample = sim.metered_power_sample()
         if sample is None:
             try:
                 sample = sim.sensor.sample()

@@ -521,11 +521,19 @@ class ThermalSupervisor:
         if sim.now < self._next_check_s:
             return
         self._next_check_s = sim.now + self.config.check_period_s
+        # Estimated-power guard band: while the power signal is suspect
+        # the heat forecast is too, so judge every cluster a few degrees
+        # hotter than sensed and escalate earlier.  Zero whenever no
+        # estimation pipeline is attached or it is healthy.
+        guard = 0.0
+        estimation = getattr(sim, "estimation", None)
+        if estimation is not None and estimation.degraded:
+            guard = getattr(self.config, "estimation_guard_k", 0.0)
         for cluster in sim.chip.clusters:
             temp = sample.cluster_temperature_c.get(cluster.cluster_id)
             if temp is None:
                 continue
-            self._evaluate(sim, cluster, temp, sample)
+            self._evaluate(sim, cluster, temp + guard, sample)
         self._apply_surcharge(sim)
 
     # -- ladder mechanics --------------------------------------------------------
@@ -637,5 +645,215 @@ class ThermalSupervisor:
         self.sheds = state["sheds"]
         self.tasks_shed = state["tasks_shed"]
         self.trips = state["trips"]
+        self.recoveries = state["recoveries"]
+        self.transitions = [tuple(t) for t in state["transitions"]]
+
+
+class EstimatorState(Enum):
+    """Chip-global rung on the power-estimator degradation ladder."""
+
+    HEALTHY = "healthy"
+    FROZEN = "frozen"
+    MARGIN = "margin"
+    FALLBACK = "fallback"
+
+
+#: Ladder order, healthy to degraded.  Like the thermal ladder,
+#: transitions move one rung per evaluation.
+_ESTIMATOR_LADDER = [
+    EstimatorState.HEALTHY,
+    EstimatorState.FROZEN,
+    EstimatorState.MARGIN,
+    EstimatorState.FALLBACK,
+]
+
+#: Health-score (worst-cluster innovation EWMA / gate) entry thresholds.
+_ESTIMATOR_ENTRY = {
+    EstimatorState.FROZEN: 1.0,
+    EstimatorState.MARGIN: 2.0,
+    EstimatorState.FALLBACK: 4.0,
+}
+
+
+class EstimatorSupervisor:
+    """Sanity-gates power estimates and degrades the estimator gracefully.
+
+    Two layers of protection, mirroring how a production power manager
+    treats a counter-based model it cannot fully trust:
+
+    **Per-tick sanity gates** (always on, any rung below fallback):
+    non-finite estimates are replaced by the metered reading; estimates
+    are clamped into ``[0, max_cluster_power_w]`` (the physical envelope
+    of the cluster at its top V-F level); and an estimate farther than
+    ``innovation_clamp_w`` from the metered reading is rejected for that
+    tick.  Every intervention is counted.
+
+    **Degradation ladder** (evaluated once per ``check_period_s``): the
+    health score is the worst cluster's innovation EWMA divided by
+    ``innovation_gate_w``.  Escalation moves one rung per evaluation when
+    the score reaches the next rung's entry threshold:
+
+    * **frozen** -- coefficient updates stop, holding the last model that
+      tracked reality; the innovation EWMA keeps scoring the held model
+      against fresh metered power so recovery is observable.
+    * **margin** -- served estimates are inflated by ``margin_factor``,
+      pushing every governor conservative while the model is suspect.
+    * **fallback** -- the metered (analytic-model) sample is served
+      outright and the estimator *retrains in the shadow* (its output is
+      out of the loop, so re-learning is free), letting a post-fault
+      model re-converge and climb back down the ladder.
+
+    Descent requires the score below the *current* rung's entry threshold
+    minus ``hysteresis`` for ``recovery_checks`` consecutive evaluations,
+    then moves one rung down, so recovery never flaps and never skips a
+    rung either.  Every transition is recorded as
+    ``(time_s, from_state, to_state, score)``.
+    """
+
+    def __init__(self, config, max_cluster_power_w: Dict[str, float]):
+        self.config = config
+        self._max_power = dict(max_cluster_power_w)
+        self.state = EstimatorState.HEALTHY
+        self._next_check_s = 0.0
+        self._healthy_checks = 0
+        self.nonfinite_reads = 0
+        self.clamped_reads = 0
+        self.rejected_reads = 0
+        self.freezes = 0
+        self.margins = 0
+        self.fallbacks = 0
+        self.recoveries = 0
+        #: ``(time_s, from_state, to_state, score)`` per transition.
+        self.transitions: List[tuple] = []
+
+    # -- queries -----------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Margin or worse: admission should price in the uncertainty."""
+        return _ESTIMATOR_LADDER.index(self.state) >= _ESTIMATOR_LADDER.index(
+            EstimatorState.MARGIN
+        )
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "estimator_state": self.state.value,
+            "nonfinite_reads": self.nonfinite_reads,
+            "clamped_reads": self.clamped_reads,
+            "rejected_reads": self.rejected_reads,
+            "freezes": self.freezes,
+            "margins": self.margins,
+            "fallbacks": self.fallbacks,
+            "estimator_recoveries": self.recoveries,
+            "estimator_transitions": len(self.transitions),
+        }
+
+    # -- pipeline hook -----------------------------------------------------------
+    def on_tick(self, sim, estimator, metered: SensorSample) -> SensorSample:
+        """Gate this tick's estimates; returns the sample to serve."""
+        if sim.now >= self._next_check_s:
+            self._next_check_s = sim.now + self.config.check_period_s
+            self._evaluate(sim, estimator)
+        if self.state is EstimatorState.FALLBACK:
+            return metered
+        margin = (
+            self.config.margin_factor
+            if self.state is EstimatorState.MARGIN
+            else 1.0
+        )
+        cluster_power: Dict[str, float] = {}
+        for cluster_id, estimate in estimator.estimates().items():
+            metered_w = metered.cluster_power_w.get(cluster_id, 0.0)
+            watts = estimate.power_w
+            if not math.isfinite(watts):
+                self.nonfinite_reads += 1
+                watts = metered_w
+            else:
+                ceiling = self._max_power.get(cluster_id, float("inf"))
+                if watts < 0.0 or watts > ceiling:
+                    self.clamped_reads += 1
+                    watts = min(max(watts, 0.0), ceiling)
+                if abs(watts - metered_w) > self.config.innovation_clamp_w:
+                    self.rejected_reads += 1
+                    watts = metered_w
+            cluster_power[cluster_id] = watts * margin
+        return SensorSample(
+            chip_power_w=sum(cluster_power.values()),
+            cluster_power_w=cluster_power,
+            cluster_frequency_mhz=dict(metered.cluster_frequency_mhz),
+            cluster_voltage_v=dict(metered.cluster_voltage_v),
+        )
+
+    # -- ladder mechanics --------------------------------------------------------
+    def _evaluate(self, sim, estimator) -> None:
+        score = estimator.health_score()
+        rank = _ESTIMATOR_LADDER.index(self.state)
+        new_rank = rank
+        if (
+            rank < len(_ESTIMATOR_LADDER) - 1
+            and score >= _ESTIMATOR_ENTRY[_ESTIMATOR_LADDER[rank + 1]]
+        ):
+            new_rank = rank + 1
+            self._healthy_checks = 0
+        elif (
+            rank > 0
+            and score < _ESTIMATOR_ENTRY[self.state] - self.config.hysteresis
+        ):
+            self._healthy_checks += 1
+            if self._healthy_checks >= self.config.recovery_checks:
+                new_rank = rank - 1
+                self._healthy_checks = 0
+        else:
+            self._healthy_checks = 0
+        if new_rank != rank:
+            self._transition(sim, estimator, _ESTIMATOR_LADDER[new_rank], score)
+
+    def _transition(self, sim, estimator, new: EstimatorState, score: float) -> None:
+        old = self.state
+        self.transitions.append((sim.now, old.value, new.value, score))
+        self.state = new
+        new_rank = _ESTIMATOR_LADDER.index(new)
+        if new_rank > _ESTIMATOR_LADDER.index(old):
+            if new is EstimatorState.FROZEN:
+                self.freezes += 1
+            elif new is EstimatorState.MARGIN:
+                self.margins += 1
+            elif new is EstimatorState.FALLBACK:
+                self.fallbacks += 1
+        else:
+            self.recoveries += 1
+        # Hold the model while its output is still being served (frozen /
+        # margin); let it learn when it is out of the loop (healthy) or
+        # shadow-retraining behind the metered fallback.
+        if new in (EstimatorState.FROZEN, EstimatorState.MARGIN):
+            estimator.freeze()
+        else:
+            estimator.unfreeze()
+
+    # -- snapshot/restore (checkpointing) ----------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "state": self.state.value,
+            "next_check_s": self._next_check_s,
+            "healthy_checks": self._healthy_checks,
+            "nonfinite_reads": self.nonfinite_reads,
+            "clamped_reads": self.clamped_reads,
+            "rejected_reads": self.rejected_reads,
+            "freezes": self.freezes,
+            "margins": self.margins,
+            "fallbacks": self.fallbacks,
+            "recoveries": self.recoveries,
+            "transitions": [list(t) for t in self.transitions],
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self.state = EstimatorState(state["state"])
+        self._next_check_s = state["next_check_s"]
+        self._healthy_checks = state["healthy_checks"]
+        self.nonfinite_reads = state["nonfinite_reads"]
+        self.clamped_reads = state["clamped_reads"]
+        self.rejected_reads = state["rejected_reads"]
+        self.freezes = state["freezes"]
+        self.margins = state["margins"]
+        self.fallbacks = state["fallbacks"]
         self.recoveries = state["recoveries"]
         self.transitions = [tuple(t) for t in state["transitions"]]

@@ -24,6 +24,15 @@ from .campaigns import (
     write_soak_report,
 )
 from .comparative import ComparativeResult, figure4, figure5, figure6, run_comparative
+from .modelerror import (
+    DEFAULT_DRIFT_RATES,
+    DEFAULT_ERROR_MAGNITUDES,
+    ModelErrorResult,
+    ModelErrorRun,
+    build_model_error_schedule,
+    run_model_error_campaign,
+    write_model_error_report,
+)
 from .harness import (
     DEFAULT_DURATION_S,
     DEFAULT_WARMUP_S,
@@ -71,6 +80,13 @@ __all__ = [
     "build_soak_schedule",
     "merged_windows",
     "ComparativeResult",
+    "DEFAULT_DRIFT_RATES",
+    "DEFAULT_ERROR_MAGNITUDES",
+    "ModelErrorResult",
+    "ModelErrorRun",
+    "build_model_error_schedule",
+    "run_model_error_campaign",
+    "write_model_error_report",
     "run_fault_campaign",
     "run_soak",
     "write_campaign_report",

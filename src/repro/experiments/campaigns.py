@@ -35,7 +35,9 @@ from ..checkpoint import (
     write_journal,
 )
 from ..checkpoint.store import CHECKPOINT_GLOB_RE
+from ..core.powerest import EstimationConfig
 from ..faults import (
+    COUNTER_FAULTS,
     THERMAL_FAULTS,
     FaultInjector,
     FaultKind,
@@ -166,11 +168,17 @@ def build_campaign_schedule(
     if not 0.0 < intensity <= 0.8:
         raise ValueError("intensity must be in (0, 0.8]")
     target: Optional[str] = None
-    if fault in (
-        FaultKind.HOTPLUG,
-        FaultKind.DVFS_DROP,
-        FaultKind.DVFS_DELAY,
-    ) or fault in THERMAL_FAULTS:
+    if (
+        fault
+        in (
+            FaultKind.HOTPLUG,
+            FaultKind.DVFS_DROP,
+            FaultKind.DVFS_DELAY,
+            FaultKind.POWER_MODEL_DRIFT,
+        )
+        or fault in THERMAL_FAULTS
+        or fault in COUNTER_FAULTS
+    ):
         target = max(chip.clusters, key=lambda c: c.max_supply_pus).cluster_id
     period_s = 12.0 if fault is FaultKind.HOTPLUG else 8.0
     window_s = min(intensity * period_s, period_s - 1.0)
@@ -183,6 +191,10 @@ def build_campaign_schedule(
         kwargs["magnitude"] = 3.0  # heatsink sheds heat 3x more slowly
     elif fault is FaultKind.THERMAL_RUNAWAY:
         kwargs["magnitude"] = 12.0  # watts of unaccounted heat
+    elif fault is FaultKind.COUNTER_BIAS:
+        kwargs["magnitude"] = 3.0  # counters read 3x their true value
+    elif fault is FaultKind.POWER_MODEL_DRIFT:
+        kwargs["magnitude"] = 2.0  # draw ramps to 3x the model over a window
     return periodic_faults(
         fault,
         period_s=period_s,
@@ -234,9 +246,18 @@ def _build_campaign_sim(
     chip = tc2_chip()
     tasks = build_workload(identity["workload"])
     governor = make_governor(name, power_cap_w=identity["tdp_w"])
+    fault_kind = CAMPAIGN_FAULTS[identity["fault"]]
     thermal = (
-        campaign_thermal_config(chip)
-        if CAMPAIGN_FAULTS[identity["fault"]] in THERMAL_FAULTS
+        campaign_thermal_config(chip) if fault_kind in THERMAL_FAULTS else None
+    )
+    # Counter faults only bite a simulation that trades on counters, and
+    # a drifting power model is only interesting when a fitted model
+    # exists to drift away from -- attach the estimation pipeline for
+    # both, exactly as thermal faults pull in thermal tracking.
+    estimation = (
+        EstimationConfig()
+        if fault_kind in COUNTER_FAULTS
+        or fault_kind is FaultKind.POWER_MODEL_DRIFT
         else None
     )
     sim = Simulation(
@@ -248,6 +269,7 @@ def _build_campaign_sim(
             seed=identity["seed"],
             audit=True,
             thermal=thermal,
+            estimation=estimation,
         ),
     )
     injector = FaultInjector(sim, schedule).attach()

@@ -15,6 +15,7 @@ Examples::
     repro-experiments replay --checkpoint-dir results/ckpt --verify
     repro-experiments overload --multiplier 3 --overload-duration 30
     repro-experiments overload-soak --soak-duration 60
+    repro-experiments model-error --error-magnitudes 0,0.5,2 --drift-rates 0,0.2
 """
 
 from __future__ import annotations
@@ -37,6 +38,12 @@ from .campaigns import (
     write_soak_report,
 )
 from .harness import GOVERNOR_NAMES
+from .modelerror import (
+    DEFAULT_DRIFT_RATES,
+    DEFAULT_ERROR_MAGNITUDES,
+    run_model_error_campaign,
+    write_model_error_report,
+)
 from .overload import (
     run_overload,
     run_overload_soak,
@@ -243,6 +250,42 @@ def _run_replay(args) -> str:
     return text
 
 
+def _parse_floats(spec: str, flag: str) -> List[float]:
+    """Split a comma-separated float list; exits cleanly on junk."""
+    values = []
+    for piece in spec.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        try:
+            values.append(float(piece))
+        except ValueError:
+            raise SystemExit(
+                f"{flag} expects comma-separated numbers, got {piece!r}"
+            )
+    if not values:
+        raise SystemExit(f"{flag} needs at least one value")
+    return values
+
+
+def _run_model_error(args) -> str:
+    governors = _parse_governors(args.governors)
+    result = run_model_error_campaign(
+        governors=governors,
+        workload=args.workload or "m2",
+        duration_s=args.campaign_duration,
+        warmup_s=args.campaign_warmup,
+        error_magnitudes=_parse_floats(
+            args.error_magnitudes, "--error-magnitudes"
+        ),
+        drift_rates=_parse_floats(args.drift_rates, "--drift-rates"),
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    path = write_model_error_report(result, out_dir=args.out)
+    return result.as_table() + f"\n\nreport written to {path}"
+
+
 def _run_overload(args) -> str:
     governors = _parse_governors(args.governors)
     trace = _load_trace(args.trace)
@@ -300,6 +343,7 @@ _EXTRA_COMMANDS = {
     "replay": _run_replay,
     "overload": _run_overload,
     "overload-soak": _run_overload_soak,
+    "model-error": _run_model_error,
 }
 
 
@@ -417,6 +461,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default="results",
         help="directory for campaign reports (default: results/)",
+    )
+    modelerror = parser.add_argument_group("model-error / estimated power")
+    modelerror.add_argument(
+        "--error-magnitudes",
+        default=",".join(str(v) for v in DEFAULT_ERROR_MAGNITUDES),
+        help=(
+            "comma-separated counter-bias magnitudes to sweep "
+            "(model-error command; 0 = clean counters)"
+        ),
+    )
+    modelerror.add_argument(
+        "--drift-rates",
+        default=",".join(str(v) for v in DEFAULT_DRIFT_RATES),
+        help=(
+            "comma-separated power-model drift rates per second to sweep "
+            "(model-error command; 0 = stable silicon)"
+        ),
     )
     overload = parser.add_argument_group("overload / flash crowds")
     overload.add_argument(

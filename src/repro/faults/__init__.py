@@ -4,35 +4,46 @@ The robustness subsystem.  A :class:`FaultSchedule` of typed
 :class:`FaultEvent` windows is interposed on the engine's narrow seams by
 a :class:`FaultInjector`, so any governor can be driven through sensor
 dropouts, stuck or spiking readings, dropped/delayed DVFS transitions,
-cluster hot-unplug/replug, heartbeat delivery loss, migration failures
-and thermal faults (stuck thermal zones, degraded cooling, thermal
-runaway) without policy-code changes.  The resilience counterpart lives
-in :mod:`repro.core.resilience`; fault campaigns in
+cluster hot-unplug/replug, heartbeat delivery loss, migration failures,
+thermal faults (stuck thermal zones, degraded cooling, thermal runaway)
+and estimated-power faults (biased or dropped performance counters,
+power-model drift) without policy-code changes.  The resilience
+counterpart lives in :mod:`repro.core.resilience`; fault campaigns in
 :mod:`repro.experiments.campaigns`.
 """
 
 from .events import (
     CLUSTER_FAULTS,
+    COUNTER_FAULTS,
     TASK_FAULTS,
     THERMAL_FAULTS,
     FaultEvent,
     FaultKind,
     FaultSchedule,
+    KindSpec,
     parse_fault_kind,
     periodic_faults,
     random_faults,
     single_fault,
 )
-from .injector import FaultInjector, FaultySensor, FaultyThermalSensor
+from .injector import (
+    FaultInjector,
+    FaultyCounters,
+    FaultySensor,
+    FaultyThermalSensor,
+)
 
 __all__ = [
     "CLUSTER_FAULTS",
+    "COUNTER_FAULTS",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
     "FaultSchedule",
+    "FaultyCounters",
     "FaultySensor",
     "FaultyThermalSensor",
+    "KindSpec",
     "TASK_FAULTS",
     "THERMAL_FAULTS",
     "parse_fault_kind",

@@ -56,29 +56,78 @@ class FaultKind(str, Enum):
     #: ``magnitude`` extra watts of heat injected into the cluster
     #: (wedged rail / runaway leakage the power model cannot see).
     THERMAL_RUNAWAY = "thermal-runaway"
+    #: Performance counters read ``magnitude`` times their true value
+    #: (a firmware scaling bug biasing the power model's inputs).
+    COUNTER_BIAS = "counter-bias"
+    #: Performance counters read zero (counter bank offlined / unreadable).
+    COUNTER_DROPOUT = "counter-dropout"
+    #: The cluster's true power walks away from the fitted model: draw is
+    #: scaled by a factor ramping linearly from 1 to ``1 + magnitude``
+    #: over the window (silicon aging / temperature-dependent leakage).
+    POWER_MODEL_DRIFT = "power-model-drift"
+
+
+@dataclass(frozen=True)
+class KindSpec:
+    """Registration record for one :class:`FaultKind`.
+
+    The target/requirement groupings the injector and campaign harness
+    consult all derive from this one registry, so adding a kind is a
+    single entry here -- the frozensets below, the ``attach`` guards and
+    ``parse_fault_kind`` diagnostics follow automatically.
+
+    Attributes:
+        targets: What the event's ``target`` field names -- ``"cluster"``,
+            ``"task"``, or ``None`` when the kind addresses a chip-global
+            subject (the power sensor).
+        requires: Opt-in subsystem the kind needs to have any effect:
+            ``"thermal"`` (``SimConfig.thermal``), ``"counters"``
+            (``SimConfig.estimation``), or ``None``.
+    """
+
+    targets: Optional[str] = None
+    requires: Optional[str] = None
+
+
+_KIND_SPECS = {
+    FaultKind.SENSOR_DROPOUT: KindSpec(),
+    FaultKind.SENSOR_STUCK: KindSpec(),
+    FaultKind.SENSOR_SPIKE: KindSpec(),
+    FaultKind.DVFS_DROP: KindSpec(targets="cluster"),
+    FaultKind.DVFS_DELAY: KindSpec(targets="cluster"),
+    FaultKind.HOTPLUG: KindSpec(targets="cluster"),
+    FaultKind.HEARTBEAT_LOSS: KindSpec(targets="task"),
+    FaultKind.MIGRATION_FAIL: KindSpec(targets="task"),
+    FaultKind.THERMAL_SENSOR_STUCK: KindSpec(targets="cluster", requires="thermal"),
+    FaultKind.COOLING_DEGRADED: KindSpec(targets="cluster", requires="thermal"),
+    FaultKind.THERMAL_RUNAWAY: KindSpec(targets="cluster", requires="thermal"),
+    FaultKind.COUNTER_BIAS: KindSpec(targets="cluster", requires="counters"),
+    FaultKind.COUNTER_DROPOUT: KindSpec(targets="cluster", requires="counters"),
+    FaultKind.POWER_MODEL_DRIFT: KindSpec(targets="cluster"),
+}
+if set(_KIND_SPECS) != set(FaultKind):
+    missing = {kind.value for kind in FaultKind} - {
+        kind.value for kind in _KIND_SPECS
+    }
+    raise RuntimeError(
+        f"every FaultKind needs a KindSpec registration; missing: {sorted(missing)}"
+    )
+
+
+def _kinds_where(predicate) -> frozenset:
+    return frozenset(
+        kind for kind, spec in _KIND_SPECS.items() if predicate(spec)
+    )
 
 
 #: Kinds whose ``target`` names a cluster.
-CLUSTER_FAULTS = frozenset(
-    {
-        FaultKind.DVFS_DROP,
-        FaultKind.DVFS_DELAY,
-        FaultKind.HOTPLUG,
-        FaultKind.THERMAL_SENSOR_STUCK,
-        FaultKind.COOLING_DEGRADED,
-        FaultKind.THERMAL_RUNAWAY,
-    }
-)
+CLUSTER_FAULTS = _kinds_where(lambda spec: spec.targets == "cluster")
 #: Kinds whose ``target`` names a task.
-TASK_FAULTS = frozenset({FaultKind.HEARTBEAT_LOSS, FaultKind.MIGRATION_FAIL})
+TASK_FAULTS = _kinds_where(lambda spec: spec.targets == "task")
 #: Kinds that require simulation-time thermal tracking to have any effect.
-THERMAL_FAULTS = frozenset(
-    {
-        FaultKind.THERMAL_SENSOR_STUCK,
-        FaultKind.COOLING_DEGRADED,
-        FaultKind.THERMAL_RUNAWAY,
-    }
-)
+THERMAL_FAULTS = _kinds_where(lambda spec: spec.requires == "thermal")
+#: Kinds that require estimated-power operation (the counter pipeline).
+COUNTER_FAULTS = _kinds_where(lambda spec: spec.requires == "counters")
 
 
 def parse_fault_kind(name: str) -> FaultKind:

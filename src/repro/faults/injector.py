@@ -23,8 +23,9 @@ from ..hw.sensors import (
     ThermalSample,
     ThermalSensor,
 )
+from ..hw.counters import COUNTER_NAMES, CounterSample
 from ..hw.topology import Cluster
-from .events import THERMAL_FAULTS, FaultKind, FaultSchedule
+from .events import COUNTER_FAULTS, THERMAL_FAULTS, FaultKind, FaultSchedule
 
 
 class FaultySensor:
@@ -216,6 +217,93 @@ class FaultyThermalSensor:
         self.stuck_reads = state["stuck_reads"]
 
 
+class FaultyCounters:
+    """A :class:`~repro.hw.counters.CounterEmitter` front end for counter faults.
+
+    Drop-in for the estimation pipeline's emitter: during a
+    :attr:`FaultKind.COUNTER_BIAS` window every counter of the targeted
+    cluster's cores reads ``magnitude`` times its true value; during a
+    :attr:`FaultKind.COUNTER_DROPOUT` window they all read zero (an
+    offlined counter bank).  The inner emitter is always sampled first,
+    so the RNG advances identically with and without active windows and
+    post-window behaviour is bit-identical to a fault-free run.
+    """
+
+    def __init__(self, inner, schedule: FaultSchedule, clock, core_cluster: Dict[str, str]):
+        self._inner = inner
+        self._schedule = schedule
+        self._clock = clock
+        self._core_cluster = dict(core_cluster)
+        self._last_sample: Optional[CounterSample] = None
+        self.bias_reads = 0
+        self.dropout_reads = 0
+
+    @property
+    def config(self):
+        return self._inner.config
+
+    @property
+    def last_sample(self) -> Optional[CounterSample]:
+        return self._last_sample or self._inner.last_sample
+
+    def sample(self, time_s: float, dt: float) -> CounterSample:
+        sample = self._inner.sample(time_s, dt)
+        now = self._clock()
+        bias = self._schedule.active(now, FaultKind.COUNTER_BIAS)
+        dropout = self._schedule.active(now, FaultKind.COUNTER_DROPOUT)
+        if bias is not None or dropout is not None:
+            core_counters: Dict[str, Dict[str, float]] = {}
+            for core_id, counters in sample.core_counters.items():
+                cluster_id = self._core_cluster.get(core_id)
+                if (
+                    dropout is not None
+                    and self._schedule.active(
+                        now, FaultKind.COUNTER_DROPOUT, cluster_id
+                    )
+                    is not None
+                ):
+                    self.dropout_reads += 1
+                    core_counters[core_id] = dict.fromkeys(COUNTER_NAMES, 0.0)
+                    continue
+                if (
+                    bias is not None
+                    and self._schedule.active(
+                        now, FaultKind.COUNTER_BIAS, cluster_id
+                    )
+                    is not None
+                ):
+                    self.bias_reads += 1
+                    factor = bias.magnitude
+                    core_counters[core_id] = {
+                        name: value * factor for name, value in counters.items()
+                    }
+                    continue
+                core_counters[core_id] = counters
+            sample = CounterSample(time_s=sample.time_s, core_counters=core_counters)
+        self._last_sample = sample
+        return sample
+
+    # -- checkpoint passthrough ----------------------------------------
+    def rng_state(self):
+        return self._inner.rng_state()
+
+    def set_rng_state(self, state) -> None:
+        self._inner.set_rng_state(state)
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore (checkpointing)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        return {
+            "bias_reads": self.bias_reads,
+            "dropout_reads": self.dropout_reads,
+        }
+
+    def restore_state(self, sim, state: Dict[str, object]) -> None:
+        self.bias_reads = state["bias_reads"]
+        self.dropout_reads = state["dropout_reads"]
+
+
 class FaultInjector:
     """Wires a :class:`FaultSchedule` into a running simulation.
 
@@ -245,11 +333,16 @@ class FaultInjector:
         self.replugs = 0
         self.cooling_degraded_ticks = 0
         self.runaway_ticks = 0
+        self.drift_ticks = 0
         #: Whether any scheduled fault perturbs the thermal *physics*
         #: (sensor-stuck only blinds the reading path).
         self._has_thermal_model_faults = any(
             e.kind in (FaultKind.COOLING_DEGRADED, FaultKind.THERMAL_RUNAWAY)
             for e in schedule
+        )
+        #: Whether the schedule walks any cluster's true power draw.
+        self._has_power_drift = any(
+            e.kind is FaultKind.POWER_MODEL_DRIFT for e in schedule
         )
 
     # ------------------------------------------------------------------
@@ -267,10 +360,28 @@ class FaultInjector:
                 "but the simulation has no thermal tracking; set "
                 "SimConfig.thermal"
             )
+        counter_kinds = sorted(
+            {e.kind.value for e in self.schedule if e.kind in COUNTER_FAULTS}
+        )
+        if counter_kinds and getattr(sim, "estimation", None) is None:
+            raise ValueError(
+                f"schedule contains counter faults ({', '.join(counter_kinds)}) "
+                "but the simulation has no estimation pipeline; set "
+                "SimConfig.estimation"
+            )
         sim.sensor = FaultySensor(sim.sensor, self.schedule, lambda: sim.now)
         if self.schedule.of_kind(FaultKind.THERMAL_SENSOR_STUCK):
             sim.thermal_sensor = FaultyThermalSensor(
                 sim.thermal_sensor, self.schedule, lambda: sim.now
+            )
+        if counter_kinds:
+            core_cluster = {
+                core.core_id: cluster.cluster_id
+                for cluster in sim.chip.clusters
+                for core in cluster.cores
+            }
+            sim.estimation.emitter = FaultyCounters(
+                sim.estimation.emitter, self.schedule, lambda: sim.now, core_cluster
             )
         self._wrap_dvfs(sim)
         self._wrap_migrate(sim)
@@ -424,6 +535,29 @@ class FaultInjector:
             if runaway is not None:
                 self.runaway_ticks += 1
 
+    def _apply_power_drift(self) -> None:
+        """Walk cluster power-draw factors from the schedule.
+
+        Stateless like :meth:`_apply_thermal`: each cluster's
+        ``drift_factor`` is *set* every tick to the active window's ramp
+        value (1 at window entry, ``1 + magnitude`` at exit -- a slow
+        coefficient walk the fitted model has to chase), or back to 1.0
+        outside any window.
+        """
+        sim = self.sim
+        if not self._has_power_drift:
+            return
+        for cluster in sim.chip.clusters:
+            drift = self.schedule.active(
+                sim.now, FaultKind.POWER_MODEL_DRIFT, cluster.cluster_id
+            )
+            if drift is None:
+                cluster.drift_factor = 1.0
+            else:
+                progress = (sim.now - drift.start_s) / drift.duration_s
+                cluster.drift_factor = 1.0 + drift.magnitude * progress
+                self.drift_ticks += 1
+
     def _wrap_step(self, sim) -> None:
         original_step = sim.step
 
@@ -431,6 +565,7 @@ class FaultInjector:
             self._pump_delayed_dvfs()
             self._apply_hotplug()
             self._apply_thermal()
+            self._apply_power_drift()
             original_step()
 
         sim.step = step
@@ -459,6 +594,7 @@ class FaultInjector:
             "replugs": self.replugs,
             "cooling_degraded_ticks": self.cooling_degraded_ticks,
             "runaway_ticks": self.runaway_ticks,
+            "drift_ticks": self.drift_ticks,
         }
 
     def restore_state(self, sim, state: Dict[str, object]) -> None:
@@ -479,11 +615,13 @@ class FaultInjector:
         self.replugs = state["replugs"]
         self.cooling_degraded_ticks = state.get("cooling_degraded_ticks", 0)
         self.runaway_ticks = state.get("runaway_ticks", 0)
+        self.drift_ticks = state.get("drift_ticks", 0)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         """Counts of injected faults, for reports and assertions."""
         sensor = self.sim.sensor
+        emitter = getattr(getattr(self.sim, "estimation", None), "emitter", None)
         return {
             "sensor_dropouts": getattr(sensor, "dropouts", 0),
             "sensor_stuck_reads": getattr(sensor, "stuck_reads", 0),
@@ -496,7 +634,10 @@ class FaultInjector:
             "replugs": self.replugs,
             "cooling_degraded_ticks": self.cooling_degraded_ticks,
             "runaway_ticks": self.runaway_ticks,
+            "drift_ticks": self.drift_ticks,
             "thermal_stuck_reads": getattr(
                 self.sim.thermal_sensor, "stuck_reads", 0
             ),
+            "counter_bias_reads": getattr(emitter, "bias_reads", 0),
+            "counter_dropout_reads": getattr(emitter, "dropout_reads", 0),
         }

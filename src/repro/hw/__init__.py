@@ -7,6 +7,12 @@ meters, and the measured migration-cost model.
 """
 
 from .calibration import CalibrationTarget, energy_per_pu_w, fit_power_params, verify_calibration
+from .counters import (
+    COUNTER_NAMES,
+    CounterConfig,
+    CounterEmitter,
+    CounterSample,
+)
 from .dvfs import DVFSRegulator
 from .energy import EnergyMeter
 from .migration import TC2_MIGRATION_COSTS, CostRange, MigrationCostModel
@@ -37,11 +43,15 @@ from .vf import VFLevel, VFTable, vf_table_from_pairs
 __all__ = [
     "A7_POWER",
     "A15_POWER",
+    "COUNTER_NAMES",
     "CalibrationTarget",
     "Chip",
     "Cluster",
     "Core",
     "CorePowerParams",
+    "CounterConfig",
+    "CounterEmitter",
+    "CounterSample",
     "CostRange",
     "DVFSRegulator",
     "EnergyMeter",

@@ -1,0 +1,208 @@
+"""Synthetic per-core performance counters.
+
+Real power managers rarely meter power directly: they estimate it from
+hardware performance counters (cycle, instruction and memory-stall
+counts) through a fitted regression model.  This module emits a
+seed-deterministic synthetic counter stream from the simulator's true
+utilisation and V-F state so the estimation layer
+(:mod:`repro.core.powerest`) has something realistic to fit against:
+
+* ``active_cycles`` -- cycles the core actually consumed this tick
+  (utilisation x delivered frequency);
+* ``instr_proxy`` -- retired-instruction proxy: active cycles times an
+  IPC that droops with utilisation (contention);
+* ``mem_stall`` -- memory-stall-cycle proxy: a utilisation-dependent
+  share of the active cycles;
+* ``idle_s`` -- idle residency in seconds of the tick.
+
+The counters are deliberately *informative but imperfect*: each count
+carries multiplicative measurement noise, and a configurable fraction of
+every core's activity leaks into its cluster neighbours' counters
+(shared-resource cross-talk), so per-core attribution is never exact --
+the estimator has to earn its keep.  The true analytic
+:class:`~repro.hw.power.PowerModel` never reads these counters; they
+exist only for the estimated-power operating mode.
+
+The emitter mirrors the :class:`~repro.hw.sensors.PowerSensor` front-end
+shape (``sample()`` plus a ``last_sample`` cache and a private
+stream-seeded RNG) so the fault injector can wrap it without the engine
+noticing (see ``FaultyCounters`` in :mod:`repro.faults.injector`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .topology import Chip
+
+#: Names of the per-core counters, in canonical order.
+COUNTER_NAMES = ("active_cycles", "instr_proxy", "mem_stall", "idle_s")
+
+#: Cycle-count scale used to normalise counter features (one tick at
+#: 1 GHz delivers 1e7 cycles); keeps the estimator's matrices conditioned.
+CYCLES_SCALE = 1e7
+
+
+@dataclass(frozen=True)
+class CounterConfig:
+    """Shape of the synthetic counter stream.
+
+    Attributes:
+        noise_scale: Relative standard deviation of the multiplicative
+            measurement noise on each cycle counter (0 = noiseless).
+        cross_talk: Fraction of the *mean neighbouring-core* activity
+            leaked into each core's cycle counters (shared L2 / snoop
+            traffic showing up in the wrong core's counts).  0 disables
+            cross-talk; must stay below 1.
+        stall_fraction: Base share of active cycles spent stalled on
+            memory at full utilisation; the effective share scales with
+            utilisation (contention).
+        ipc_base: Instructions retired per active cycle at idle-machine
+            conditions.
+        ipc_droop: Relative IPC loss at full utilisation (contention);
+            effective IPC is ``ipc_base * (1 - ipc_droop * u)``.
+    """
+
+    noise_scale: float = 0.02
+    cross_talk: float = 0.10
+    stall_fraction: float = 0.15
+    ipc_base: float = 1.2
+    ipc_droop: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.noise_scale < 0:
+            raise ValueError(
+                f"counter noise_scale must be non-negative, got {self.noise_scale}"
+            )
+        if not 0.0 <= self.cross_talk < 1.0:
+            raise ValueError(
+                f"cross_talk must be in [0, 1), got {self.cross_talk}"
+            )
+        if not 0.0 <= self.stall_fraction < 1.0:
+            raise ValueError(
+                f"stall_fraction must be in [0, 1), got {self.stall_fraction}"
+            )
+        if self.ipc_base <= 0:
+            raise ValueError(f"ipc_base must be positive, got {self.ipc_base}")
+        if not 0.0 <= self.ipc_droop <= 1.0:
+            raise ValueError(
+                f"ipc_droop must be in [0, 1], got {self.ipc_droop}"
+            )
+
+
+@dataclass
+class CounterSample:
+    """One tick's counter readings for every core.
+
+    ``core_counters`` maps core id to a dict over :data:`COUNTER_NAMES`.
+    Cores of a power-gated cluster read all-zero cycle counters and a
+    full tick of idle residency, like offlined perf counters.
+    """
+
+    time_s: float
+    core_counters: Dict[str, Dict[str, float]]
+
+    def cluster_totals(self, chip: Chip) -> Dict[str, Dict[str, float]]:
+        """Per-cluster sums of every counter (the estimator's features)."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for cluster in chip.clusters:
+            sums = dict.fromkeys(COUNTER_NAMES, 0.0)
+            for core in cluster.cores:
+                counters = self.core_counters.get(core.core_id)
+                if counters is None:
+                    continue
+                for name in COUNTER_NAMES:
+                    sums[name] += counters.get(name, 0.0)
+            totals[cluster.cluster_id] = sums
+        return totals
+
+
+class CounterEmitter:
+    """Emits one :class:`CounterSample` per tick from true chip state.
+
+    Args:
+        chip: The chip whose utilisation/V-F state feeds the counters.
+        config: Counter-shape configuration (noise, cross-talk, IPC).
+        seed: Seed for the emitter's private RNG; derive it through
+            :func:`~repro.sim.engine.derive_stream_seed` with the
+            ``"perf-counters"`` stream so counter noise cannot perturb
+            any other subsystem's randomness.
+    """
+
+    def __init__(
+        self,
+        chip: Chip,
+        config: Optional[CounterConfig] = None,
+        seed: Optional[int] = None,
+    ):
+        self._chip = chip
+        self.config = config or CounterConfig()
+        self._rng = random.Random(seed)
+        self._last_sample: Optional[CounterSample] = None
+
+    def sample(self, time_s: float, dt: float) -> CounterSample:
+        """Take a fresh counter reading of every core."""
+        cfg = self.config
+        noise = cfg.noise_scale
+        rng = self._rng
+        core_counters: Dict[str, Dict[str, float]] = {}
+        for cluster in self._chip.clusters:
+            if not cluster.powered:
+                for core in cluster.cores:
+                    core_counters[core.core_id] = {
+                        "active_cycles": 0.0,
+                        "instr_proxy": 0.0,
+                        "mem_stall": 0.0,
+                        "idle_s": dt,
+                    }
+                continue
+            cycles = cluster.frequency_mhz * 1e6 * dt
+            raw = []
+            for core in cluster.cores:
+                u = core.utilization
+                active = u * cycles
+                stall = cfg.stall_fraction * (0.5 + u) * active
+                instr = cfg.ipc_base * (1.0 - cfg.ipc_droop * u) * active
+                if noise > 0.0:
+                    active = max(0.0, active * (1.0 + noise * rng.gauss(0.0, 1.0)))
+                    instr = max(0.0, instr * (1.0 + noise * rng.gauss(0.0, 1.0)))
+                    stall = max(0.0, stall * (1.0 + noise * rng.gauss(0.0, 1.0)))
+                raw.append((core.core_id, active, instr, stall, (1.0 - u) * dt))
+            n = len(raw)
+            for core_id, active, instr, stall, idle in raw:
+                if cfg.cross_talk > 0.0 and n > 1:
+                    # Leak a slice of the *other* cores' mean activity in.
+                    others = 1.0 / (n - 1)
+                    active += cfg.cross_talk * others * (
+                        sum(r[1] for r in raw) - active
+                    )
+                    instr += cfg.cross_talk * others * (
+                        sum(r[2] for r in raw) - instr
+                    )
+                    stall += cfg.cross_talk * others * (
+                        sum(r[3] for r in raw) - stall
+                    )
+                core_counters[core_id] = {
+                    "active_cycles": active,
+                    "instr_proxy": instr,
+                    "mem_stall": stall,
+                    "idle_s": idle,
+                }
+        sample = CounterSample(time_s=time_s, core_counters=core_counters)
+        self._last_sample = sample
+        return sample
+
+    @property
+    def last_sample(self) -> Optional[CounterSample]:
+        """Most recent reading, or ``None`` before the first sample."""
+        return self._last_sample
+
+    # -- snapshot/restore (checkpointing) -------------------------------
+    def rng_state(self):
+        """The emitter RNG's state (opaque; for checkpointing)."""
+        return self._rng.getstate()
+
+    def set_rng_state(self, state) -> None:
+        self._rng.setstate(state)

@@ -69,6 +69,11 @@ class ThermalProtectionConfig:
         warn_surcharge: Fractional price surcharge applied chip-wide
             while any cluster sits at WARN or above (the chip agent sees
             power inflated by ``1 + warn_surcharge``).
+        estimation_guard_k: Degrees added to every sensed temperature
+            while the simulation's power-estimation supervisor reports a
+            degraded signal (MARGIN or FALLBACK) -- with the power model
+            suspect, the supervisor leans conservative and escalates
+            earlier.  Inert without an estimation pipeline.
     """
 
     warn_c: float = 70.0
@@ -78,6 +83,7 @@ class ThermalProtectionConfig:
     hysteresis_k: float = 5.0
     check_period_s: float = 0.1
     warn_surcharge: float = 0.25
+    estimation_guard_k: float = 2.0
 
     def __post_init__(self) -> None:
         if not self.warn_c < self.throttle_c < self.shed_c < self.trip_c:
@@ -90,6 +96,8 @@ class ThermalProtectionConfig:
             raise ValueError("check period must be positive")
         if self.warn_surcharge < 0:
             raise ValueError("warn surcharge must be non-negative")
+        if self.estimation_guard_k < 0:
+            raise ValueError("estimation guard band must be non-negative")
 
 
 @dataclass(frozen=True)

@@ -78,6 +78,9 @@ class Cluster:
             table=vf_table, level_index=start, transition_latency_s=transition_latency_s
         )
         self.powered = True
+        #: Multiplier on the cluster's true power draw (silicon aging /
+        #: drift faults); 1.0 means the analytic model is exact.
+        self.drift_factor = 1.0
         self.cores: List[Core] = [
             Core(core_id=f"{cluster_id}.{i}", cluster=self) for i in range(n_cores)
         ]
@@ -127,12 +130,17 @@ class Cluster:
 
     def power_w(self, model: PowerModel) -> float:
         """Current cluster power under ``model`` (paper's ``W_v``)."""
-        return model.cluster_power_w(
+        watts = model.cluster_power_w(
             self.power_params,
             self.level,
             [c.utilization for c in self.cores],
             powered=self.powered,
         )
+        # Branch kept off the hot path: with no drift fault active the
+        # returned floats are bit-identical to the pre-drift code.
+        if self.drift_factor != 1.0:
+            watts *= self.drift_factor
+        return watts
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

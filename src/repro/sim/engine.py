@@ -83,6 +83,11 @@ class SimConfig:
             :class:`~repro.hw.thermal.ThermalConfig`).  ``None`` (default)
             preserves pre-thermal behaviour exactly: no thermal state is
             created and telemetry is byte-identical to older runs.
+        estimation: Enable estimated-power operation (see
+            :class:`~repro.core.powerest.EstimationConfig`): synthetic
+            performance counters feed an online power model whose output
+            the governors consume instead of the metered reading.
+            ``None`` (default) keeps runs byte-identical to older ones.
     """
 
     dt: float = 0.01
@@ -92,6 +97,7 @@ class SimConfig:
     seed: Optional[int] = None
     audit: bool = False
     thermal: Optional[ThermalConfig] = None
+    estimation: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.dt <= 0:
@@ -102,6 +108,13 @@ class SimConfig:
             raise ValueError("sensor_noise_std_w must be non-negative")
         if self.thermal is not None and not isinstance(self.thermal, ThermalConfig):
             raise ValueError("thermal must be a ThermalConfig or None")
+        if self.estimation is not None:
+            # Local import: the engine must not import repro.core at the
+            # top (repro.core imports this module at package load).
+            from ..core.powerest import EstimationConfig
+
+            if not isinstance(self.estimation, EstimationConfig):
+                raise ValueError("estimation must be an EstimationConfig or None")
 
 
 class Simulation:
@@ -195,6 +208,19 @@ class Simulation:
                 self.thermal_supervisor = ThermalSupervisor(
                     tcfg.protection, tcrit_c=tcfg.tcrit_c
                 )
+        # -- estimated-power mode (None unless config.estimation set) --
+        #: Optional :class:`repro.core.powerest.EstimationManager`; when
+        #: set, governors consume its estimated sample via
+        #: :meth:`last_power_sample` instead of the metered reading.
+        self.estimation = None
+        self._estimated_sample: Optional[SensorSample] = None
+        ecfg = self.config.estimation
+        if ecfg is not None:
+            from ..core.powerest import EstimationManager  # local: cycle
+
+            self.estimation = EstimationManager(
+                chip, ecfg, derive_stream_seed(self.config.seed, "perf-counters")
+            )
 
     # ------------------------------------------------------------------
     # Control surface used by governors
@@ -371,6 +397,17 @@ class Simulation:
         ]
 
     def last_power_sample(self) -> Optional[SensorSample]:
+        """The power sample governors should act on.
+
+        In estimated-power operation this is the estimation pipeline's
+        (supervised) output; otherwise the metered reading.
+        """
+        if self._estimated_sample is not None:
+            return self._estimated_sample
+        return self.metered_power_sample()
+
+    def metered_power_sample(self) -> Optional[SensorSample]:
+        """Most recent metered (possibly fault-affected) power reading."""
         if self._last_sensor_sample is not None:
             return self._last_sensor_sample
         return self.sensor.last_sample
@@ -596,6 +633,14 @@ class Simulation:
         self._dispatch()
         thermal_temps = self._step_thermal()
         sample = self._read_sensor()
+        estimated_w: Optional[float] = None
+        if self.estimation is not None:
+            # Runs after the metered read so the estimator trains on this
+            # tick's (counters, metered power) pair; governors see the
+            # served sample on the next tick via ``last_power_sample``.
+            served = self.estimation.on_tick(self, sample)
+            self._estimated_sample = served
+            estimated_w = served.chip_power_w
         self.energy.record(sample.cluster_power_w, self.config.dt)
         self.metrics.record(
             time_s=self.now,
@@ -604,6 +649,7 @@ class Simulation:
             cluster_frequency_mhz=sample.cluster_frequency_mhz,
             tasks=self._active_now(),
             cluster_temperature_c=thermal_temps,
+            estimated_chip_power_w=estimated_w,
         )
         self.now += self.config.dt
         self.tick_index += 1

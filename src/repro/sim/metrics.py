@@ -42,6 +42,9 @@ class TickSample:
     (``SimConfig.thermal``); journals and telemetry digests omit the field
     entirely when it is ``None`` so thermal-free runs stay byte-identical
     to runs recorded before thermal tracking existed.
+    ``estimated_chip_power_w`` follows the same rule for estimated-power
+    runs (``SimConfig.estimation``): it is the chip power the governors
+    were served, ``None`` when estimation is off.
     """
 
     time_s: float
@@ -50,6 +53,7 @@ class TickSample:
     cluster_frequency_mhz: Dict[str, float]
     tasks: Dict[str, TaskSample]
     cluster_temperature_c: Optional[Dict[str, float]] = None
+    estimated_chip_power_w: Optional[float] = None
 
 
 @dataclass
@@ -70,6 +74,7 @@ class MetricsCollector:
         cluster_frequency_mhz: Dict[str, float],
         tasks: Sequence[Task],
         cluster_temperature_c: Optional[Dict[str, float]] = None,
+        estimated_chip_power_w: Optional[float] = None,
     ) -> None:
         """Record one tick's state for the given active tasks."""
         task_samples: Dict[str, TaskSample] = {}
@@ -99,6 +104,7 @@ class MetricsCollector:
                     if cluster_temperature_c is None
                     else dict(cluster_temperature_c)
                 ),
+                estimated_chip_power_w=estimated_chip_power_w,
             )
         )
 
@@ -378,3 +384,29 @@ class MetricsCollector:
             if peak is None or hottest > peak:
                 peak = hottest
         return peak
+
+    # -- estimated-power metrics (model-error campaigns) -------------------------
+    def estimation_error_series(self) -> Tuple[List[float], List[float]]:
+        """(times, |served − metered| watts); empty without estimation."""
+        times: List[float] = []
+        errors: List[float] = []
+        for sample in self.samples:
+            if sample.estimated_chip_power_w is None:
+                continue
+            times.append(sample.time_s)
+            errors.append(abs(sample.estimated_chip_power_w - sample.chip_power_w))
+        return times, errors
+
+    def estimation_error_percentiles(
+        self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)
+    ) -> Dict[str, float]:
+        """Nearest-rank tail of the absolute served-vs-metered power error.
+
+        The model-error campaign headline: how far off was the power
+        signal the governors actually acted on?  Keys are ``"p50"`` etc.;
+        all zeros without estimation samples.
+        """
+        _, errors = self.estimation_error_series()
+        return {
+            f"p{pct:g}": self.percentile(errors, pct) for pct in percentiles
+        }

@@ -1,0 +1,163 @@
+"""Checkpoint/resume/replay of estimated-power runs must not diverge.
+
+The estimation pipeline adds live state everywhere the checkpoint layer
+looks: the counter emitter's RNG, each cluster's RLS weights and gain
+matrix, the innovation EWMAs, the supervisor's ladder (state, pending
+check time, recovery counter, transition log) and the served sample.  A
+drift fault walks the ladder mid-run, so a resume from the mid-fault
+checkpoint must restore a partially-degraded estimator bit-exactly.
+"""
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointFingerprintError,
+    CheckpointManager,
+    SnapshotRestoreError,
+    replay_from_checkpoint,
+    restore_simulation,
+    resume_from,
+    snapshot_simulation,
+    tick_records,
+)
+from repro.core.powerest import EstimationConfig
+from repro.core.resilience import EstimatorState
+from repro.experiments.harness import make_governor
+from repro.faults import FaultInjector, FaultKind, single_fault
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload
+
+DURATION_S = 6.0
+FAULT_START_S = 2.0
+FAULT_WINDOW_S = 3.0
+
+
+def build_sim(seed=11, estimation=True, fault=None):
+    config = EstimationConfig(warmup_ticks=50) if estimation else None
+    sim = Simulation(
+        tc2_chip(),
+        build_workload("m1"),
+        make_governor("PPM", power_cap_w=4.0),
+        config=SimConfig(
+            seed=seed, metrics_warmup_s=1.0, audit=True, estimation=config
+        ),
+    )
+    if fault is not None:
+        schedule = single_fault(
+            fault,
+            FAULT_START_S,
+            FAULT_WINDOW_S,
+            target="little",  # m1 loads the little cluster
+            magnitude=6.0,
+        )
+        FaultInjector(sim, schedule).attach()
+    return sim
+
+
+def build_drifting_sim():
+    return build_sim(fault=FaultKind.POWER_MODEL_DRIFT)
+
+
+def run_with_checkpoints(tmp_path, factory=build_drifting_sim):
+    sim = factory()
+    manager = CheckpointManager(
+        str(tmp_path), interval_s=1.0, retention=None
+    ).attach(sim)
+    sim.run(DURATION_S)
+    return sim, manager
+
+
+class TestEstimationResumeIdentity:
+    def test_scenario_actually_degrades(self):
+        """Guard against vacuity: drift walks freeze -> margin -> fallback."""
+        sim = build_drifting_sim()
+        sim.run(DURATION_S)
+        supervisor = sim.estimation.supervisor
+        assert supervisor.fallbacks >= 1
+        visited = [t[2] for t in supervisor.transitions]
+        assert visited[:3] == ["frozen", "margin", "fallback"]
+
+    def test_checkpointing_does_not_perturb_a_drifting_run(self, tmp_path):
+        baseline = build_drifting_sim()
+        baseline.run(DURATION_S)
+        checkpointed, _ = run_with_checkpoints(tmp_path)
+        assert tick_records(baseline.metrics) == tick_records(
+            checkpointed.metrics
+        )
+
+    def test_resume_mid_fault_matches_uninterrupted(self, tmp_path):
+        """Resume lands inside the drift window with the ladder engaged."""
+        baseline = build_drifting_sim()
+        baseline.run(DURATION_S)
+        _, manager = run_with_checkpoints(tmp_path)
+        midpoint = manager.checkpoints()[3]  # t = 4 s: mid-fault
+        sim, envelope = resume_from(midpoint, build_drifting_sim)
+        assert envelope.tick_index == 400
+        supervisor = sim.estimation.supervisor
+        assert supervisor.state is not EstimatorState.HEALTHY
+        assert supervisor.transitions  # telemetry restored, not reset
+        sim.run(DURATION_S - sim.now)
+        assert tick_records(sim.metrics) == tick_records(baseline.metrics)
+        base_sup = baseline.estimation.supervisor
+        assert supervisor.transitions == base_sup.transitions
+        assert supervisor.stats() == base_sup.stats()
+
+    def test_resume_from_every_checkpoint_matches(self, tmp_path):
+        baseline = build_drifting_sim()
+        baseline.run(DURATION_S)
+        expected = tick_records(baseline.metrics)
+        _, manager = run_with_checkpoints(tmp_path)
+        for path in manager.checkpoints():
+            sim, _ = resume_from(path, build_drifting_sim)
+            sim.run(DURATION_S - sim.now)
+            assert tick_records(sim.metrics) == expected
+
+    def test_replay_of_drifting_run_is_clean(self, tmp_path):
+        baseline = build_drifting_sim()
+        baseline.run(DURATION_S)
+        journal = tick_records(baseline.metrics)
+        _, manager = run_with_checkpoints(tmp_path)
+        report = replay_from_checkpoint(
+            manager.checkpoints()[3], build_drifting_sim, journal
+        )
+        assert report.clean, report.describe()
+        assert report.ticks_compared == len(journal)
+
+    def test_records_carry_estimated_power(self, tmp_path):
+        sim, _ = run_with_checkpoints(tmp_path)
+        records = tick_records(sim.metrics)
+        assert all("estimated_chip_power_w" in r for r in records)
+
+    def test_fault_free_estimation_resume_matches(self, tmp_path):
+        baseline = build_sim()
+        baseline.run(DURATION_S)
+        _, manager = run_with_checkpoints(tmp_path, factory=build_sim)
+        sim, _ = resume_from(manager.checkpoints()[2], build_sim)
+        sim.run(DURATION_S - sim.now)
+        assert tick_records(sim.metrics) == tick_records(baseline.metrics)
+
+
+class TestEstimationResumeRefusals:
+    """Presence mismatches refuse loudly instead of resuming half-blind."""
+
+    def test_estimation_checkpoint_needs_estimating_sim(self):
+        donor = build_sim()
+        donor.run(1.0)
+        payload = snapshot_simulation(donor)
+        with pytest.raises(SnapshotRestoreError, match="no estimation"):
+            restore_simulation(build_sim(estimation=False), payload)
+
+    def test_estimation_free_checkpoint_refuses_estimating_sim(self):
+        donor = build_sim(estimation=False)
+        donor.run(1.0)
+        payload = snapshot_simulation(donor)
+        with pytest.raises(SnapshotRestoreError, match="without"):
+            restore_simulation(build_sim(), payload)
+
+    def test_fingerprint_catches_estimation_config_drift(self, tmp_path):
+        _, manager = run_with_checkpoints(tmp_path, factory=build_sim)
+        with pytest.raises(CheckpointFingerprintError, match="different run"):
+            resume_from(
+                manager.checkpoints()[0], lambda: build_sim(estimation=False)
+            )

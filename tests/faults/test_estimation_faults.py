@@ -1,0 +1,203 @@
+"""Estimated-power fault kinds: counter bias/dropout and model drift.
+
+Checks the taxonomy registration (satellite b), the injector's guard
+against counter faults without an estimation pipeline, the per-cluster
+counter corruption, the power-model drift ramp, and byte-identity when
+no window ever opens.
+"""
+
+import pytest
+
+from repro.checkpoint.replay import tick_records
+from repro.core.powerest import EstimationConfig
+from repro.faults import (
+    CLUSTER_FAULTS,
+    COUNTER_FAULTS,
+    TASK_FAULTS,
+    THERMAL_FAULTS,
+    FaultInjector,
+    FaultKind,
+    parse_fault_kind,
+    single_fault,
+)
+from repro.faults.events import _KIND_SPECS
+from repro.governors import MaxFrequencyGovernor
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.tasks import build_workload
+
+
+def _sim(estimation=True, seed=9, **config):
+    return Simulation(
+        tc2_chip(),
+        build_workload("m1"),
+        MaxFrequencyGovernor(),
+        config=SimConfig(
+            seed=seed,
+            estimation=EstimationConfig(warmup_ticks=10) if estimation else None,
+            **config,
+        ),
+    )
+
+
+class TestTaxonomyRegistration:
+    def test_every_kind_has_a_spec(self):
+        assert set(_KIND_SPECS) == set(FaultKind)
+
+    def test_new_kinds_in_derived_groupings(self):
+        assert COUNTER_FAULTS == {
+            FaultKind.COUNTER_BIAS,
+            FaultKind.COUNTER_DROPOUT,
+        }
+        assert COUNTER_FAULTS <= CLUSTER_FAULTS
+        assert FaultKind.POWER_MODEL_DRIFT in CLUSTER_FAULTS
+        assert FaultKind.POWER_MODEL_DRIFT not in COUNTER_FAULTS
+        assert COUNTER_FAULTS.isdisjoint(TASK_FAULTS)
+        assert COUNTER_FAULTS.isdisjoint(THERMAL_FAULTS)
+
+    def test_parse_error_names_new_kinds(self):
+        with pytest.raises(ValueError) as excinfo:
+            parse_fault_kind("bitrot")
+        message = str(excinfo.value)
+        for spelling in ("counter-bias", "counter-dropout", "power-model-drift"):
+            assert spelling in message
+
+    def test_new_spellings_parse(self):
+        assert parse_fault_kind("counter-bias") is FaultKind.COUNTER_BIAS
+        assert parse_fault_kind("counter-dropout") is FaultKind.COUNTER_DROPOUT
+        assert (
+            parse_fault_kind("power-model-drift") is FaultKind.POWER_MODEL_DRIFT
+        )
+
+
+class TestAttachGuard:
+    def test_counter_fault_without_estimation_rejected(self):
+        sim = _sim(estimation=False)
+        schedule = single_fault(FaultKind.COUNTER_BIAS, 0.5, 0.3, magnitude=3.0)
+        with pytest.raises(ValueError, match="no estimation pipeline"):
+            FaultInjector(sim, schedule).attach()
+
+    def test_drift_without_estimation_is_allowed(self):
+        # Drift corrupts the physical draw, not the counters; it is
+        # meaningful even when nobody estimates.
+        sim = _sim(estimation=False)
+        schedule = single_fault(
+            FaultKind.POWER_MODEL_DRIFT, 0.2, 0.3, target="big", magnitude=1.0
+        )
+        injector = FaultInjector(sim, schedule).attach()
+        sim.run(0.6)
+        assert injector.stats()["drift_ticks"] > 0
+
+
+class TestCounterFaults:
+    def test_dropout_zeroes_targeted_cluster_only(self):
+        sim = _sim()
+        schedule = single_fault(
+            FaultKind.COUNTER_DROPOUT, 0.3, 0.2, target="big"
+        )
+        injector = FaultInjector(sim, schedule).attach()
+        sim.run(0.6)
+        stats = injector.stats()
+        assert stats["counter_dropout_reads"] > 0
+        assert stats["counter_bias_reads"] == 0
+        sample = sim.estimation.last_counter_sample
+        totals = sample.cluster_totals(sim.chip)
+        assert totals["little"]["active_cycles"] >= 0.0  # untouched path
+
+    def test_dropout_reads_zero_during_window(self):
+        sim = _sim()
+        schedule = single_fault(
+            FaultKind.COUNTER_DROPOUT, 0.3, 10.0, target="big"
+        )
+        FaultInjector(sim, schedule).attach()
+        sim.run(0.6)  # ends mid-window
+        sample = sim.estimation.last_counter_sample
+        for core in sim.chip.cluster("big").cores:
+            assert all(
+                v == 0.0 for v in sample.core_counters[core.core_id].values()
+            )
+
+    def test_bias_scales_counters_by_magnitude(self):
+        clean = _sim()
+        clean.run(0.6)
+        biased = _sim()
+        schedule = single_fault(
+            FaultKind.COUNTER_BIAS, 0.3, 10.0, target="big", magnitude=3.0
+        )
+        injector = FaultInjector(biased, schedule).attach()
+        biased.run(0.6)
+        assert injector.stats()["counter_bias_reads"] > 0
+        clean_sample = clean.estimation.last_counter_sample
+        biased_sample = biased.estimation.last_counter_sample
+        # Inner emitter sampled first => identical RNG stream, so the
+        # biased read is exactly magnitude x the clean read.
+        for core in clean.chip.cluster("big").cores:
+            for name, value in clean_sample.core_counters[
+                core.core_id
+            ].items():
+                assert biased_sample.core_counters[core.core_id][
+                    name
+                ] == pytest.approx(3.0 * value)
+
+    def test_inactive_counter_fault_is_byte_identical(self):
+        baseline = _sim()
+        base_metrics = baseline.run(0.5)
+        faulty = _sim()
+        # Window opens long after the run ends: wrapper present, inert.
+        schedule = single_fault(
+            FaultKind.COUNTER_BIAS, 100.0, 1.0, target="big", magnitude=3.0
+        )
+        FaultInjector(faulty, schedule).attach()
+        fault_metrics = faulty.run(0.5)
+        assert tick_records(base_metrics) == tick_records(fault_metrics)
+
+
+class TestPowerModelDrift:
+    def test_drift_ramps_power_up(self):
+        clean = _sim(estimation=False)
+        clean_metrics = clean.run(1.0)
+        drifted = _sim(estimation=False)
+        # m1 runs on the little cluster; big is power-gated (0 W), so
+        # drift must target the cluster that actually draws power.
+        schedule = single_fault(
+            FaultKind.POWER_MODEL_DRIFT, 0.2, 0.6, target="little", magnitude=2.0
+        )
+        FaultInjector(drifted, schedule).attach()
+        drift_metrics = drifted.run(1.0)
+
+        def mean_power(metrics, start, end):
+            window = [
+                s.chip_power_w
+                for s in metrics.samples
+                if start <= s.time_s < end
+            ]
+            return sum(window) / len(window)
+
+        # Late in the window the ramp approaches 1+magnitude on 'big'.
+        assert mean_power(drift_metrics, 0.6, 0.8) > mean_power(
+            clean_metrics, 0.6, 0.8
+        ) * 1.3
+        # After the window closes the factor resets to 1.0.
+        assert mean_power(drift_metrics, 0.85, 1.0) == pytest.approx(
+            mean_power(clean_metrics, 0.85, 1.0), rel=0.05
+        )
+
+    def test_drift_factor_resets_after_window(self):
+        sim = _sim(estimation=False)
+        schedule = single_fault(
+            FaultKind.POWER_MODEL_DRIFT, 0.2, 0.3, target="little", magnitude=2.0
+        )
+        FaultInjector(sim, schedule).attach()
+        sim.run(0.8)
+        assert sim.chip.cluster("little").drift_factor == 1.0
+
+    def test_inactive_drift_is_byte_identical(self):
+        baseline = _sim(estimation=False)
+        base_metrics = baseline.run(0.5)
+        drifted = _sim(estimation=False)
+        schedule = single_fault(
+            FaultKind.POWER_MODEL_DRIFT, 100.0, 1.0, target="big", magnitude=2.0
+        )
+        FaultInjector(drifted, schedule).attach()
+        drift_metrics = drifted.run(0.5)
+        assert tick_records(base_metrics) == tick_records(drift_metrics)

@@ -243,6 +243,9 @@ class TestInjectorLifecycle:
             "cooling_degraded_ticks",
             "runaway_ticks",
             "thermal_stuck_reads",
+            "drift_ticks",
+            "counter_bias_reads",
+            "counter_dropout_reads",
         }
         assert all(v == 0 for v in stats.values())
 

@@ -1,0 +1,154 @@
+"""Unit tests for the synthetic performance-counter emitter."""
+
+import pytest
+
+from repro.hw import (
+    COUNTER_NAMES,
+    CounterConfig,
+    CounterEmitter,
+    tc2_chip,
+)
+
+
+def emitter(seed=7, **kwargs):
+    chip = tc2_chip()
+    return chip, CounterEmitter(chip, CounterConfig(**kwargs), seed)
+
+
+def warm_chip(chip, utilization=0.6):
+    for core in chip.iter_cores():
+        core.utilization = utilization
+
+
+class TestCounterConfigValidation:
+    def test_defaults_are_valid(self):
+        CounterConfig()
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError, match="noise_scale must be non-negative"):
+            CounterConfig(noise_scale=-0.1)
+
+    def test_cross_talk_range(self):
+        with pytest.raises(ValueError, match="cross_talk"):
+            CounterConfig(cross_talk=1.0)
+        with pytest.raises(ValueError, match="cross_talk"):
+            CounterConfig(cross_talk=-0.01)
+
+    def test_stall_fraction_range(self):
+        with pytest.raises(ValueError, match="stall_fraction"):
+            CounterConfig(stall_fraction=1.5)
+
+    def test_ipc_base_positive(self):
+        with pytest.raises(ValueError, match="ipc_base"):
+            CounterConfig(ipc_base=0.0)
+
+    def test_ipc_droop_range(self):
+        with pytest.raises(ValueError, match="ipc_droop"):
+            CounterConfig(ipc_droop=1.2)
+
+
+class TestCounterEmitter:
+    def test_sample_covers_every_core(self):
+        chip, em = emitter()
+        warm_chip(chip)
+        sample = em.sample(0.0, 0.01)
+        core_ids = {core.core_id for core in chip.iter_cores()}
+        assert set(sample.core_counters) == core_ids
+        for counters in sample.core_counters.values():
+            assert set(counters) == set(COUNTER_NAMES)
+
+    def test_deterministic_across_instances(self):
+        (chip_a, a), (chip_b, b) = emitter(seed=11), emitter(seed=11)
+        warm_chip(chip_a)
+        warm_chip(chip_b)
+        for tick in range(20):
+            sa = a.sample(tick * 0.01, 0.01)
+            sb = b.sample(tick * 0.01, 0.01)
+            assert sa.core_counters == sb.core_counters
+
+    def test_seed_changes_samples(self):
+        (chip_a, a), (chip_b, b) = emitter(seed=1), emitter(seed=2)
+        warm_chip(chip_a)
+        warm_chip(chip_b)
+        assert (
+            a.sample(0.0, 0.01).core_counters
+            != b.sample(0.0, 0.01).core_counters
+        )
+
+    def test_busier_cores_cycle_more(self):
+        chip, em = emitter(noise_scale=0.0, cross_talk=0.0)
+        busy, idle = chip.cores[0], chip.cores[1]
+        busy.utilization = 0.9
+        idle.utilization = 0.1
+        sample = em.sample(0.0, 0.01)
+        assert (
+            sample.core_counters[busy.core_id]["active_cycles"]
+            > sample.core_counters[idle.core_id]["active_cycles"]
+        )
+
+    def test_gated_cluster_reads_pure_idle(self):
+        chip, em = emitter()
+        warm_chip(chip)
+        chip.cluster("big").power_down()
+        sample = em.sample(0.0, 0.01)
+        for core in chip.cluster("big").cores:
+            counters = sample.core_counters[core.core_id]
+            assert counters["active_cycles"] == 0.0
+            assert counters["instr_proxy"] == 0.0
+            assert counters["mem_stall"] == 0.0
+            assert counters["idle_s"] == pytest.approx(0.01)
+
+    def test_gated_cluster_draws_no_rng(self):
+        """Power gating must not consume randomness, or gating on/off
+        would shift every later sample and break replay."""
+        chip, em = emitter(seed=3)
+        warm_chip(chip)
+        for cluster in chip.clusters:
+            cluster.power_down()
+        before = em.rng_state()
+        em.sample(0.0, 0.01)
+        assert em.rng_state() == before
+
+    def test_cross_talk_bleeds_between_cores(self):
+        chip_clean, clean = emitter(noise_scale=0.0, cross_talk=0.0)
+        chip_leaky, leaky = emitter(noise_scale=0.0, cross_talk=0.5)
+        chip_clean.cores[0].utilization = 1.0  # big.0 busy, rest idle
+        chip_leaky.cores[0].utilization = 1.0
+        sample_clean = clean.sample(0.0, 0.01)
+        sample_leaky = leaky.sample(0.0, 0.01)
+        victim = chip_clean.cluster("big").cores[1].core_id
+        assert sample_clean.core_counters[victim]["active_cycles"] == 0.0
+        assert sample_leaky.core_counters[victim]["active_cycles"] > 0.0
+
+    def test_counters_never_negative(self):
+        chip, em = emitter(noise_scale=5.0)  # absurd noise still clamps
+        warm_chip(chip, utilization=0.2)
+        for tick in range(50):
+            sample = em.sample(tick * 0.01, 0.01)
+            for counters in sample.core_counters.values():
+                assert all(v >= 0.0 for v in counters.values())
+
+    def test_cluster_totals_sum_cores(self):
+        chip, em = emitter()
+        warm_chip(chip)
+        sample = em.sample(0.0, 0.01)
+        totals = sample.cluster_totals(chip)
+        for cluster in chip.clusters:
+            for name in COUNTER_NAMES:
+                expected = sum(
+                    sample.core_counters[c.core_id][name]
+                    for c in cluster.cores
+                )
+                assert totals[cluster.cluster_id][name] == pytest.approx(
+                    expected
+                )
+
+    def test_rng_state_roundtrip(self):
+        chip, em = emitter(seed=5)
+        warm_chip(chip)
+        em.sample(0.0, 0.01)
+        state = em.rng_state()
+        a = em.sample(0.01, 0.01)
+        em.set_rng_state(state)
+        b = em.sample(0.01, 0.01)
+        assert a.core_counters == b.core_counters

@@ -39,12 +39,16 @@ def make_config(process="poisson", **overrides) -> ArrivalConfig:
 
 
 def drain(stream: ArrivalStream, until_s: float = HORIZON_S, step_s: float = 0.01):
-    """Pop the stream tick by tick, like the engine does."""
+    """Pop the stream tick by tick, like the engine does.
+
+    Time comes from the tick index (``i * step_s``), matching the
+    engine's clock; accumulating ``t += step_s`` drifts by float error
+    and can end the loop one poll early, dropping arrivals that land in
+    the final sliver before ``until_s``.
+    """
     records = []
-    t = 0.0
-    while t <= until_s:
-        records.append(stream.pop_due(t))
-        t += step_s
+    for i in range(int(round(until_s / step_s)) + 1):
+        records.append(stream.pop_due(i * step_s))
     return [r for batch in records for r in batch]
 
 
