@@ -13,7 +13,10 @@ Three scenarios bracket the performance envelope:
   records the pool overhead instead.
 * ``many_tasks`` -- a 50-task synthetic workload on the TC2 chip, which
   stresses the per-core scheduling, placement-index and market-round
-  paths far beyond the paper's 4-6 task sets.
+  paths far beyond the paper's 4-6 task sets.  ``many_tasks_1k`` and
+  ``many_tasks_10k`` repeat it at 1,000 and 10,000 tasks (short sim
+  durations); together the three points let ``run_perf_bench.py`` fit
+  the wall-per-tick scaling exponent of the columnar engine.
 * ``arrival_churn`` -- a flash-crowd arrival stream behind the
   admission ladder: tasks spawn, retire, queue and get shed all run
   long, which stresses the task-cache invalidation, market add/remove
@@ -51,6 +54,10 @@ FULL_SWEEP_S = 20.0
 QUICK_SWEEP_S = 8.0
 FULL_MANY_TASKS_S = 20.0
 QUICK_MANY_TASKS_S = 8.0
+FULL_MANY_TASKS_1K_S = 2.0
+QUICK_MANY_TASKS_1K_S = 1.0
+FULL_MANY_TASKS_10K_S = 0.5
+QUICK_MANY_TASKS_10K_S = 0.2
 FULL_CHURN_S = 30.0
 QUICK_CHURN_S = 15.0
 FULL_ESTIMATION_S = 60.0
@@ -149,14 +156,21 @@ def parallel_sweep(quick: bool, jobs: int, repeats: int = 1) -> Dict[str, float]
     }
 
 
-def many_tasks(quick: bool, jobs: int, repeats: int = 1) -> Dict[str, float]:
-    """50 synthetic tasks under PPM; stresses index/market scaling."""
-    duration_s = QUICK_MANY_TASKS_S if quick else FULL_MANY_TASKS_S
+def _many_tasks_scenario(
+    n_tasks: int, duration_s: float, repeats: int
+) -> Dict[str, float]:
+    """``n_tasks`` synthetic tasks under PPM for ``duration_s`` sim seconds.
+
+    The shared body behind ``many_tasks`` and its 1k/10k variants; the
+    task count is the scaling axis the columnar engine is measured on
+    (``run_perf_bench.py`` fits the wall-per-tick growth exponent across
+    every scenario reporting a ``tasks`` count).
+    """
 
     def run() -> None:
         sim = Simulation(
             tc2_chip(),
-            random_tasks(50, seed=7),
+            random_tasks(n_tasks, seed=7),
             make_governor("PPM", power_cap_w=8.0),
             config=SimConfig(seed=7, metrics_warmup_s=duration_s / 4.0),
         )
@@ -167,10 +181,39 @@ def many_tasks(quick: bool, jobs: int, repeats: int = 1) -> Dict[str, float]:
     return {
         "wall_s": wall_s,
         "sim_s": duration_s,
-        "tasks": 50,
+        "tasks": n_tasks,
         "ticks": ticks,
         "ticks_per_s": ticks / wall_s,
     }
+
+
+def many_tasks(quick: bool, jobs: int, repeats: int = 1) -> Dict[str, float]:
+    """50 synthetic tasks under PPM; stresses index/market scaling."""
+    duration_s = QUICK_MANY_TASKS_S if quick else FULL_MANY_TASKS_S
+    return _many_tasks_scenario(50, duration_s, repeats)
+
+
+def many_tasks_1k(quick: bool, jobs: int, repeats: int = 1) -> Dict[str, float]:
+    """1,000 tasks: the columnar engine's batched clearing territory.
+
+    Far beyond the paper's 4-6 task sets; the per-tick market and
+    dispatch work is array-shaped here, so this point anchors the middle
+    of the scaling fit.
+    """
+    duration_s = QUICK_MANY_TASKS_1K_S if quick else FULL_MANY_TASKS_1K_S
+    return _many_tasks_scenario(1000, duration_s, repeats)
+
+
+def many_tasks_10k(quick: bool, jobs: int, repeats: int = 1) -> Dict[str, float]:
+    """10,000 tasks: the Table 7 scale, end to end instead of emulated.
+
+    Short on sim time by design -- at this population a tick costs
+    hundreds of milliseconds (the LBT candidate sweep dominates; see
+    docs/performance.md), and the scenario's job is to pin the scaling
+    exponent, not to soak.
+    """
+    duration_s = QUICK_MANY_TASKS_10K_S if quick else FULL_MANY_TASKS_10K_S
+    return _many_tasks_scenario(10000, duration_s, repeats)
 
 
 def arrival_churn(quick: bool, jobs: int, repeats: int = 1) -> Dict[str, float]:
@@ -275,6 +318,8 @@ SCENARIOS: Dict[str, Callable[..., Dict[str, float]]] = {
     "single_point": single_point,
     "parallel_sweep": parallel_sweep,
     "many_tasks": many_tasks,
+    "many_tasks_1k": many_tasks_1k,
+    "many_tasks_10k": many_tasks_10k,
     "arrival_churn": arrival_churn,
     "estimated_power": estimated_power,
 }
@@ -284,6 +329,8 @@ SCENARIO_ORDER: List[str] = [
     "single_point",
     "parallel_sweep",
     "many_tasks",
+    "many_tasks_1k",
+    "many_tasks_10k",
     "arrival_churn",
     "estimated_power",
 ]

@@ -12,9 +12,16 @@ governor points are checkpointing *concurrently* into their own
 ``point_<index>-<governor>/`` subdirectories when the SIGKILL lands --
 the parallel-safety property the per-point layout exists for.
 
+``--engine columnar|object`` pins every subprocess (reference, victim,
+resume, replay) to one tick engine through the ``REPRO_ENGINE``
+environment variable; the engine is not part of the checkpoint
+fingerprint, so the drill proves crash recovery for whichever engine
+is under test.
+
 Exits 0 on success, 1 with a diagnostic on any mismatch.
 """
 
+import argparse
 import json
 import os
 import shutil
@@ -149,11 +156,22 @@ def run_drill(workdir, env, reference, jobs, min_streams):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--engine", choices=("columnar", "object"), default=None,
+        help="pin every subprocess (reference, victim, resume, replay) to "
+             "one tick engine via REPRO_ENGINE (default: engine default)",
+    )
+    args = parser.parse_args()
+
     workdir = tempfile.mkdtemp(prefix="kill-resume-")
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
     )
+    if args.engine is not None:
+        env["REPRO_ENGINE"] = args.engine
+        print(f"engine pinned to {args.engine} for all drill subprocesses")
     try:
         # Reference: the same campaign, never interrupted.
         ref_out = os.path.join(workdir, "reference")

@@ -24,6 +24,7 @@ Counters and ratios (ticks/s, speedup, report-identity) are portable.
 import argparse
 import datetime
 import json
+import math
 import multiprocessing
 import os
 import platform
@@ -84,6 +85,36 @@ def select_scenarios(spec):
     return [name for name in SCENARIO_ORDER if name in chosen]
 
 
+def scaling_fit(scenarios):
+    """Least-squares exponent of wall-per-tick growth with task count.
+
+    Uses every scenario reporting both ``tasks`` and ``ticks_per_s``
+    (the ``many_tasks`` family).  Fits ``log(wall_per_tick) = a +
+    e * log(tasks)``; ``e`` near 0 means per-tick cost is flat in the
+    population, 1 means linear, 2 quadratic.  Needs at least two sizes;
+    returns None otherwise.
+    """
+    points = sorted(
+        (metrics["tasks"], 1.0 / metrics["ticks_per_s"])
+        for metrics in scenarios.values()
+        if metrics.get("tasks") and metrics.get("ticks_per_s")
+    )
+    sizes = sorted({p[0] for p in points})
+    if len(sizes) < 2:
+        return None
+    logs = [(math.log(n), math.log(w)) for n, w in points]
+    mean_x = sum(x for x, _ in logs) / len(logs)
+    mean_y = sum(y for _, y in logs) / len(logs)
+    sxx = sum((x - mean_x) ** 2 for x, _ in logs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in logs)
+    exponent = sxy / sxx
+    return {
+        "tasks": [n for n, _ in points],
+        "wall_per_tick_s": [w for _, w in points],
+        "exponent": exponent,
+    }
+
+
 def check_regressions(report, baseline, max_regression):
     """Compare wall_s per scenario; returns a list of failure strings."""
     if baseline.get("schema_version") != report["schema_version"]:
@@ -132,8 +163,21 @@ def main(argv=None):
         )
         print(f"[perf] {name}: {summary}")
 
+    scaling = scaling_fit(scenarios)
+    if scaling is not None:
+        pairs = ", ".join(
+            f"n={n}: {w * 1e3:.2f} ms/tick"
+            for n, w in zip(scaling["tasks"], scaling["wall_per_tick_s"])
+        )
+        print(
+            f"[perf] scaling: {pairs}; "
+            f"wall-per-tick exponent {scaling['exponent']:.2f} "
+            f"(0=flat, 1=linear in tasks)"
+        )
+
     report = {
         "schema_version": SCHEMA_VERSION,
+        "scaling": scaling,
         "created": datetime.date.today().isoformat(),
         "quick": bool(args.quick),
         "jobs": jobs,

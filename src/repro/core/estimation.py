@@ -58,15 +58,34 @@ def perf_improves(
 
     True iff some task's supply/demand ratio improves while every task of
     strictly higher priority keeps a ratio at least as good.
+
+    Evaluated by one descending-priority sweep: a task qualifies iff it
+    improves and every strictly-higher-priority task already swept is not
+    worse -- O(k log k) instead of the quadratic all-pairs scan, with
+    identical decisions (the LBT calls this once per candidate mapping).
     """
-    for task_id, new_ratio in candidate.items():
-        if new_ratio > current.get(task_id, 0.0) + _EPS:
-            if all(
-                candidate[other] >= current.get(other, 0.0) - _EPS
-                for other, prio in priorities.items()
-                if other in candidate and prio > priorities[task_id]
-            ):
-                return True
+    if not candidate:
+        return False
+    ordered = sorted(
+        candidate.items(), key=lambda item: priorities[item[0]], reverse=True
+    )
+    above_ok = True  # every strictly-higher-priority task is >= current
+    index = 0
+    count = len(ordered)
+    while index < count:
+        prio = priorities[ordered[index][0]]
+        group_end = index
+        while group_end < count and priorities[ordered[group_end][0]] == prio:
+            group_end += 1
+        if above_ok:
+            for task_id, new_ratio in ordered[index:group_end]:
+                if new_ratio > current.get(task_id, 0.0) + _EPS:
+                    return True
+        for task_id, new_ratio in ordered[index:group_end]:
+            if new_ratio < current.get(task_id, 0.0) - _EPS:
+                # No lower-priority task can qualify any more.
+                return False
+        index = group_end
     return False
 
 
@@ -114,17 +133,58 @@ class SteadyStateEstimator:
         energy_cost_lookup: Optional[EnergyCostLookup] = None,
     ):
         self._market = market
-        self._demand = demand_lookup
+        self._demand_fn = demand_lookup
         self._energy_cost = energy_cost_lookup
+        # Per-batch caches (see begin_batch): market state is frozen while
+        # the LBT enumerates candidates, so every pure lookup is memoised
+        # for the duration of one proposal sweep.
+        self._batch: Optional[dict] = None
 
     @property
     def energy_aware(self) -> bool:
         """Whether spend estimates reflect per-cluster energy costs."""
         return self._energy_cost is not None
 
+    # -- batch memoisation ------------------------------------------------------
+    def begin_batch(self) -> None:
+        """Start a memoised evaluation sweep.
+
+        The LBT module evaluates dozens of candidate mappings against one
+        frozen market state; demand lookups, price estimates and whole
+        mapping estimates repeat heavily across candidates.  Between
+        ``begin_batch`` and ``end_batch`` those pure lookups are cached.
+        Callers must not mutate the market while a batch is active.
+        """
+        self._batch = {
+            "demand": {},  # (task_id, cluster_id) -> PUs
+            "price": {},  # (cluster_id, target_level) -> price per PU
+            "core_demand": {},  # core_id -> unmodified per-core demand sum
+            "evaluate": {},  # (frozenset clusters, move items) -> estimate
+            "avg_price": None,
+            "mean_cost": None,
+        }
+
+    def end_batch(self) -> None:
+        self._batch = None
+
+    def _demand(self, task_id: str, cluster_id: str) -> float:
+        batch = self._batch
+        if batch is None:
+            return self._demand_fn(task_id, cluster_id)
+        memo = batch["demand"]
+        key = (task_id, cluster_id)
+        value = memo.get(key)
+        if value is None:
+            value = self._demand_fn(task_id, cluster_id)
+            memo[key] = value
+        return value
+
     # -- price estimation -----------------------------------------------------
     def _average_price_per_pu(self) -> float:
         """Market-wide average price, the fallback for priceless clusters."""
+        batch = self._batch
+        if batch is not None and batch["avg_price"] is not None:
+            return batch["avg_price"]
         total_bids = sum(agent.bid for agent in self._market.tasks.values())
         total_supply = sum(
             cluster.supply
@@ -132,8 +192,12 @@ class SteadyStateEstimator:
             if self._market.tasks_on_cluster(cluster.cluster_id)
         )
         if total_supply <= 0.0:
-            return self._market.config.bmin
-        return total_bids / total_supply
+            price = self._market.config.bmin
+        else:
+            price = total_bids / total_supply
+        if batch is not None:
+            batch["avg_price"] = price
+        return price
 
     def estimate_price(self, cluster_id: str, target_level: int) -> float:
         """Steady-state price per PU on ``cluster_id`` at ``target_level``.
@@ -148,6 +212,17 @@ class SteadyStateEstimator:
         inflates the price by the tolerance factor (``P_{Z+1} = P_Z + P_Z
         * delta``), moving down deflates it symmetrically.
         """
+        batch = self._batch
+        if batch is not None:
+            cached = batch["price"].get((cluster_id, target_level))
+            if cached is not None:
+                return cached
+        price = self._estimate_price_uncached(cluster_id, target_level)
+        if batch is not None:
+            batch["price"][(cluster_id, target_level)] = price
+        return price
+
+    def _estimate_price_uncached(self, cluster_id: str, target_level: int) -> float:
         cluster = self._market.clusters[cluster_id]
         if self._energy_cost is not None:
             avg_price = self._average_price_per_pu()
@@ -171,6 +246,16 @@ class SteadyStateEstimator:
     def _mean_energy_cost(self) -> float:
         """Mean watts-per-PU across clusters at their current levels."""
         assert self._energy_cost is not None
+        batch = self._batch
+        if batch is not None and batch["mean_cost"] is not None:
+            return batch["mean_cost"]
+        result = self._mean_energy_cost_uncached()
+        if batch is not None:
+            batch["mean_cost"] = result
+        return result
+
+    def _mean_energy_cost_uncached(self) -> float:
+        assert self._energy_cost is not None
         costs = [
             self._energy_cost(cluster_id, cluster.level_index)
             for cluster_id, cluster in self._market.clusters.items()
@@ -191,7 +276,7 @@ class SteadyStateEstimator:
                 for cid in self._market.clusters
                 if self._market.tasks_on_cluster(cid)
             ]
-        return self._evaluate(set(cluster_ids), moves={})
+        return self._evaluate_memo(frozenset(cluster_ids), moves={})
 
     def evaluate_move(
         self, task_id: str, core_id: str
@@ -206,40 +291,84 @@ class SteadyStateEstimator:
             raise KeyError(f"unknown task {task_id}")
         if core_id not in market.cores:
             raise KeyError(f"unknown core {core_id}")
-        affected = {
-            market.cores[market.core_of(task_id)].cluster_id,
-            market.cores[core_id].cluster_id,
-        }
-        current = self._evaluate(affected, moves={})
-        candidate = self._evaluate(affected, moves={task_id: core_id})
+        affected = frozenset(
+            (
+                market.cores[market.core_of(task_id)].cluster_id,
+                market.cores[core_id].cluster_id,
+            )
+        )
+        current = self._evaluate_memo(affected, moves={})
+        candidate = self._evaluate_memo(affected, moves={task_id: core_id})
         return current, candidate
+
+    def _evaluate_memo(
+        self, affected_clusters: frozenset, moves: Dict[str, str]
+    ) -> MappingEstimate:
+        batch = self._batch
+        if batch is None:
+            return self._evaluate(affected_clusters, moves)
+        key = (affected_clusters, tuple(moves.items()))
+        memo = batch["evaluate"]
+        estimate = memo.get(key)
+        if estimate is None:
+            estimate = self._evaluate(affected_clusters, moves)
+            memo[key] = estimate
+        return estimate
+
+    def _core_demand_sum(self, core_id: str, cluster_id: str, tids: List[str]) -> float:
+        """Summed steady-state demand of ``tids`` on ``cluster_id``."""
+        total = 0.0
+        for task_id in tids:
+            total += self._demand(task_id, cluster_id)
+        return total
 
     def _evaluate(
         self, affected_clusters: Set[str], moves: Dict[str, str]
     ) -> MappingEstimate:
         market = self._market
-        # Hypothetical placement restricted to the affected clusters.
-        placement: Dict[str, str] = {}
-        for cluster_id in affected_clusters:
-            for core_id in market.clusters[cluster_id].core_ids:
-                for agent in market.tasks_on_core(core_id):
-                    placement[agent.task_id] = core_id
-        placement.update(moves)
+        batch = self._batch
+        # At most one move per candidate (the LBT evaluates single-task
+        # movements); a moved task leaves its source core's list and is
+        # appended to the destination core's.
+        move_task: Optional[str] = None
+        move_core: Optional[str] = None
+        source_core: Optional[str] = None
+        if moves:
+            move_task, move_core = next(iter(moves.items()))
+            if len(moves) > 1:
+                raise ValueError("estimator evaluates one move at a time")
+            source_core = market.core_of(move_task)
 
         ratios: Dict[str, float] = {}
         bids: Dict[str, float] = {}
         levels: Dict[str, int] = {}
-        for cluster_id in affected_clusters:
+        tasks_by_core = market._tasks_by_core
+        for cluster_id in sorted(affected_clusters):
             cluster = market.clusters[cluster_id]
-            core_tasks: Dict[str, List[str]] = {cid: [] for cid in cluster.core_ids}
-            for task_id, core_id in placement.items():
-                if core_id in core_tasks:
-                    core_tasks[core_id].append(task_id)
+            core_tasks: Dict[str, List[str]] = {}
+            core_demands: Dict[str, float] = {}
+            for core_id in cluster.core_ids:
+                tids = tasks_by_core[core_id]
+                modified = False
+                if move_task is not None and move_core != source_core:
+                    if core_id == source_core:
+                        tids = [t for t in tids if t != move_task]
+                        modified = True
+                    elif core_id == move_core:
+                        tids = tids + [move_task]
+                        modified = True
+                core_tasks[core_id] = tids
+                if modified or batch is None:
+                    core_demands[core_id] = self._core_demand_sum(
+                        core_id, cluster_id, tids
+                    )
+                else:
+                    cached = batch["core_demand"].get(core_id)
+                    if cached is None:
+                        cached = self._core_demand_sum(core_id, cluster_id, tids)
+                        batch["core_demand"][core_id] = cached
+                    core_demands[core_id] = cached
 
-            core_demands = {
-                core_id: sum(self._demand(t, cluster_id) for t in tids)
-                for core_id, tids in core_tasks.items()
-            }
             cluster_demand = max(core_demands.values(), default=0.0)
             if cluster_demand <= 0.0:
                 levels[cluster_id] = 0

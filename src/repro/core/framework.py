@@ -14,7 +14,7 @@ the agents and Linux:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..hw.sensors import SensorReadError, SensorSample
 from ..sim.engine import Simulation
@@ -34,6 +34,28 @@ from .resilience import (
 )
 
 
+class _DemandVecCache:
+    """Round-to-round arrays for the vectorized Table 4 demand conversion.
+
+    ``ids``/``tasks``/``target`` are fixed while the market membership is
+    unchanged; ``fallback`` additionally depends on each task's current
+    core type (refreshed when the placement mutates); ``prev`` is last
+    round's smoothed-demand array, valid until an out-of-band write to
+    the smoothed dict bumps the owning governor's stamp.
+    """
+
+    __slots__ = ("stamp", "ids", "tasks", "target", "pver", "fallback", "prev")
+
+    def __init__(self, stamp: int):
+        self.stamp = stamp
+        self.ids: List[str] = []
+        self.tasks: List[Task] = []
+        self.target = None
+        self.pver = -1
+        self.fallback = None
+        self.prev = None
+
+
 class PPMGovernor:
     """Price-theory based power manager (the paper's contribution)."""
 
@@ -48,6 +70,17 @@ class PPMGovernor:
         #: Cached Table 4 demand cap; the chip's max capacities are fixed
         #: for a run, so compute the max once instead of per task per round.
         self._demand_cap: Optional[float] = None
+        #: Per-(cluster, level) energy cost; pure in the chip's static
+        #: power parameters, so cache for the life of the attachment.
+        self._energy_cost_cache: Dict[Tuple[str, int], float] = {}
+        #: Off-line-profile demand per (task, core type); profiles are
+        #: immutable, so cache for the life of the attachment.
+        self._nominal_demand_cache: Dict[Tuple[str, str], float] = {}
+        #: Per-round array cache for :meth:`_demands_of_all`; invalidated
+        #: by bumping ``_demand_cache_stamp`` at every out-of-band mutation
+        #: of the market membership or the smoothed-demand dict.
+        self._demand_vec_cache: Optional[_DemandVecCache] = None
+        self._demand_cache_stamp = 0
         self._next_bid_time = 0.0
         self._round_counter = 0
         self._last_move_time: Dict[str, float] = {}
@@ -87,6 +120,8 @@ class PPMGovernor:
     # ------------------------------------------------------------------
     def prepare(self, sim: Simulation) -> None:
         self._chip = sim.chip
+        self._energy_cost_cache.clear()
+        self._nominal_demand_cache.clear()
         for cluster in sim.chip.clusters:
             self.market.add_cluster(
                 cluster_id=cluster.cluster_id,
@@ -214,6 +249,7 @@ class PPMGovernor:
             task.name: task for task in sim.tasks if task.name in self.market.tasks
         }
         self._smoothed_demand = dict(state["smoothed_demand"])
+        self._demand_cache_stamp += 1
         self._next_bid_time = state["next_bid_time"]
         self._round_counter = state["round_counter"]
         self._last_move_time = dict(state["last_move_time"])
@@ -320,6 +356,7 @@ class PPMGovernor:
                 if task is not None:
                     sim.clear_allocation(task)
                 self._smoothed_demand.pop(task_id, None)
+                self._demand_cache_stamp += 1
         for task_id, task in active.items():
             core = sim.placement.core_of(task)
             if core is None:
@@ -327,8 +364,105 @@ class PPMGovernor:
             if task_id not in self.market.tasks:
                 self.market.add_task(task_id, task.priority, core.core_id)
                 self._tasks_by_id[task_id] = task
+                self._demand_cache_stamp += 1
             elif self.market.core_of(task_id) != core.core_id:
                 self.market.move_task(task_id, core.core_id)
+
+    def _demands_of_all(self, sim: Simulation) -> Dict[str, float]:
+        """Table 4 demand conversion for every market task.
+
+        Above the vectorization threshold the per-task formula runs as
+        elementwise array arithmetic -- bit-identical to ``_demand_of``
+        (every operation maps 1:1 onto the scalar expression) -- with the
+        observation gather served straight from the columnar engine's
+        buffers when available.
+        """
+        from .market import _VEC_MIN_TASKS
+        from . import vecmarket
+
+        tasks_by_id = self._tasks_by_id
+        if not (vecmarket.AVAILABLE and len(tasks_by_id) >= _VEC_MIN_TASKS):
+            return {
+                task_id: self._demand_of(sim, task)
+                for task_id, task in tasks_by_id.items()
+            }
+        import numpy as np
+
+        cache = self._demand_vec_cache
+        if cache is None or cache.stamp != self._demand_cache_stamp:
+            cache = self._demand_vec_cache = _DemandVecCache(self._demand_cache_stamp)
+            cache.ids = list(tasks_by_id)
+            cache.tasks = list(tasks_by_id.values())
+            cache.target = np.asarray([t.hr_range.target_hr for t in cache.tasks])
+        ids = cache.ids
+        tasks = cache.tasks
+        target = cache.target
+        gather = getattr(sim, "gather_demand_inputs", None)
+        gathered = gather(tasks) if gather is not None else None
+        if gathered is not None:
+            hr, consumed, supplied = gathered
+        else:
+            hr = np.asarray([t.observed_heart_rate() for t in tasks])
+            consumed = np.asarray([t.last_consumed_pus for t in tasks])
+            supplied = np.asarray([t.last_supply_pus for t in tasks])
+        pver = sim.placement.version
+        if cache.fallback is None or cache.pver != pver:
+            cache.fallback = np.asarray(
+                [self._nominal_demand_here(sim, t) for t in tasks]
+            )
+            cache.pver = pver
+        fallback = cache.fallback
+        cap = self._demand_cap
+        if cap is None:
+            cap = self.config.market.demand_cap_factor * max(
+                cluster.max_supply_pus for cluster in sim.chip.clusters
+            )
+            self._demand_cap = cap
+
+        # ``last_consumed or last_supply``: consumed wins unless zero.
+        supply = np.where(consumed != 0.0, consumed, supplied)
+        usable = (hr > 0.0) & (supply > 0.0)
+        demand = np.where(
+            usable,
+            target * supply / np.where(usable, hr, 1.0),
+            fallback,
+        )
+        demand = demand * self.config.market.demand_headroom
+        demand = np.minimum(np.maximum(demand, 1.0), cap)
+
+        smoothed = self._smoothed_demand
+        if cache.prev is not None:
+            # Every id was written by the previous round and nothing
+            # mutated the dict out-of-band since (the stamp check above).
+            prev = cache.prev
+            has_prev = None
+        else:
+            prev = np.asarray([smoothed.get(tid, -1.0) for tid in ids])
+            has_prev = np.asarray([tid in smoothed for tid in ids])
+        rise = 0.4 * prev + 0.6 * demand
+        fall = 0.75 * prev + 0.25 * demand
+        adjusted = np.where(
+            demand > prev,
+            rise,
+            np.where(prev - demand < 0.04 * prev, prev, fall),
+        )
+        demand = adjusted if has_prev is None else np.where(has_prev, adjusted, demand)
+        cache.prev = demand
+        values = demand.tolist()
+        smoothed.update(zip(ids, values))
+        return dict(zip(ids, values))
+
+    def _nominal_demand_here(self, sim: Simulation, task: Task) -> float:
+        """Off-line-profile fallback demand on the task's current core type."""
+        core = sim.placement.core_of(task)
+        assert core is not None
+        core_type = core.cluster.core_type
+        key = (task.name, core_type)
+        cached = self._nominal_demand_cache.get(key)
+        if cached is None:
+            cached = task.profile.nominal_demand_pus(core_type)
+            self._nominal_demand_cache[key] = cached
+        return cached
 
     def _demand_of(self, sim: Simulation, task: Task) -> float:
         """Table 4 conversion with off-line-profile bootstrap and smoothing."""
@@ -406,10 +540,7 @@ class PPMGovernor:
     def _run_market_round(self, sim: Simulation) -> RoundResult:
         sample = self._observe_power(sim)
         self._last_observed_power_w = sample.chip_power_w
-        demands = {
-            task_id: self._demand_of(sim, task)
-            for task_id, task in self._tasks_by_id.items()
-        }
+        demands = self._demands_of_all(sim)
         if self.online_estimator is not None:
             for task_id, demand in demands.items():
                 task = self._tasks_by_id[task_id]
@@ -505,6 +636,10 @@ class PPMGovernor:
         provides the equivalent per-core-type power numbers).
         """
         assert self._chip is not None
+        key = (cluster_id, level_index)
+        cached = self._energy_cost_cache.get(key)
+        if cached is not None:
+            return cached
         cluster = self._chip.cluster(cluster_id)
         table = cluster.vf_table
         level = table[table.clamp_index(level_index)]
@@ -512,9 +647,9 @@ class PPMGovernor:
             cluster.power_params, level, len(cluster.cores)
         )
         total_pus = level.supply_pus * len(cluster.cores)
-        if total_pus <= 0.0:
-            return 0.0
-        return watts / total_pus
+        cost = watts / total_pus if total_pus > 0.0 else 0.0
+        self._energy_cost_cache[key] = cost
+        return cost
 
     def _execute_move(self, sim: Simulation, decision: MoveDecision) -> None:
         task = self._tasks_by_id.get(decision.task_id)
@@ -559,6 +694,7 @@ class PPMGovernor:
             if agent is not None:
                 agent.demand = seeded
             self._smoothed_demand[decision.task_id] = seeded
+            self._demand_cache_stamp += 1
 
     # ------------------------------------------------------------------
     # Resilience: migration retry and safe-mode degradation

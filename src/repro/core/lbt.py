@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from . import market as _market_mod
+from . import vecestimate
 from .estimation import (
     MappingEstimate,
     SteadyStateEstimator,
@@ -85,10 +87,44 @@ class LBTModule:
         #: Candidate mappings evaluated by the last proposal (Table 7's
         #: overhead unit of work).
         self.evaluations = 0
+        # Per-proposal caches: the market is frozen while a proposal is
+        # being evaluated, so demands and constrained cores are pure.
+        self._core_demand_cache: Optional[Dict[str, float]] = None
+        self._constrained_cache: Optional[Dict[str, object]] = None
+        self._target_cache: Optional[Dict[Tuple[str, Optional[str]], Optional[str]]] = None
 
     # -- helpers --------------------------------------------------------------
     def _priorities(self) -> Dict[str, int]:
         return {tid: agent.priority for tid, agent in self._market.tasks.items()}
+
+    def _core_demand(self, core_id: str) -> float:
+        cache = self._core_demand_cache
+        if cache is None:
+            return self._market.core_demand(core_id)
+        demand = cache.get(core_id)
+        if demand is None:
+            demand = self._market.core_demand(core_id)
+            cache[core_id] = demand
+        return demand
+
+    def _constrained_core(self, cluster_id: str):
+        cache = self._constrained_cache
+        if cache is None:
+            return self._market.constrained_core(cluster_id)
+        if cluster_id in cache:
+            return cache[cluster_id]
+        market = self._market
+        cluster = market.clusters[cluster_id]
+        populated = [
+            cid for cid in cluster.core_ids if market.tasks_on_core(cid)
+        ]
+        constrained = (
+            market.cores[max(populated, key=self._core_demand)]
+            if populated
+            else None
+        )
+        cache[cluster_id] = constrained
+        return constrained
 
     def _most_oversupplied_unconstrained_core(
         self, cluster_id: str, exclude_core_id: Optional[str] = None
@@ -99,9 +135,13 @@ class LBTModule:
         smallest summed demand is the most over-supplied one.  The
         constrained core is excluded unless it is the only choice.
         """
+        cache = self._target_cache
+        key = (cluster_id, exclude_core_id)
+        if cache is not None and key in cache:
+            return cache[key]
         market = self._market
         cluster = market.clusters[cluster_id]
-        constrained = market.constrained_core(cluster_id)
+        constrained = self._constrained_core(cluster_id)
         candidates = [
             cid
             for cid in cluster.core_ids
@@ -110,16 +150,17 @@ class LBTModule:
         ]
         if not candidates:
             candidates = [cid for cid in cluster.core_ids if cid != exclude_core_id]
-        if not candidates:
-            return None
-        return min(candidates, key=market.core_demand)
+        target = min(candidates, key=self._core_demand) if candidates else None
+        if cache is not None:
+            cache[key] = target
+        return target
 
     def _movers_on_constrained_core(
         self, cluster_id: str, only_unsatisfied: bool, excluded: frozenset
     ) -> Tuple[Optional[str], List[str]]:
         """(constrained core id, task ids that contemplate moving)."""
         market = self._market
-        constrained = market.constrained_core(cluster_id)
+        constrained = self._constrained_core(cluster_id)
         if constrained is None:
             return None, []
         agents = [
@@ -143,6 +184,22 @@ class LBTModule:
     def _propose(
         self, cross_cluster: bool, exclude_tasks: frozenset
     ) -> Optional[MoveDecision]:
+        """Memoized wrapper: market state is frozen for the whole search."""
+        self._estimator.begin_batch()
+        self._core_demand_cache = {}
+        self._constrained_cache = {}
+        self._target_cache = {}
+        try:
+            return self._propose_inner(cross_cluster, exclude_tasks)
+        finally:
+            self._estimator.end_batch()
+            self._core_demand_cache = None
+            self._constrained_cache = None
+            self._target_cache = None
+
+    def _propose_inner(
+        self, cross_cluster: bool, exclude_tasks: frozenset
+    ) -> Optional[MoveDecision]:
         market = self._market
         populated = [
             cid for cid in market.clusters if market.tasks_on_cluster(cid)
@@ -150,12 +207,26 @@ class LBTModule:
         if not populated:
             return None
         priorities = self._priorities()
-        overall = self._estimator.evaluate_current(populated)
-        performance_mode = not overall.all_satisfied
 
-        best_power: Optional[MoveDecision] = None
-        best_perf: Optional[Tuple[int, float, float, MoveDecision]] = None
+        # Batched evaluation above the same population threshold the
+        # market kernels use, so a given run takes one path consistently
+        # (per-task ratios are bit-identical either way; aggregate spends
+        # can differ in the last ulp, hence the shared gate).
+        batch = (
+            vecestimate.BatchMappingEvaluator(market, self._estimator)
+            if vecestimate.AVAILABLE
+            and len(market.tasks) >= _market_mod._VEC_MIN_TASKS
+            else None
+        )
+        if batch is not None:
+            performance_mode = not batch.all_satisfied(populated)
+        else:
+            overall = self._estimator.evaluate_current(populated)
+            performance_mode = not overall.all_satisfied
 
+        # Enumerate every candidate move in the same order the scalar
+        # nested loops visited them, then evaluate scalar or batched.
+        candidates: List[Tuple[str, str, str]] = []
         for cluster_id in populated:
             source_core, movers = self._movers_on_constrained_core(
                 cluster_id, only_unsatisfied=performance_mode, excluded=exclude_tasks
@@ -185,52 +256,97 @@ class LBTModule:
                     )
                     if target_core is None or target_core == source_core:
                         continue
-                    current, candidate = self._evaluate_candidate(task_id, target_core)
-                    if performance_mode:
-                        if not perf_improves(
-                            current.ratios, candidate.ratios, priorities
-                        ):
-                            continue
-                        mover_prio = priorities[task_id]
-                        mover_ratio = candidate.ratios.get(task_id, 0.0)
-                        if mover_ratio <= current.ratios.get(task_id, 0.0) + _EPS:
-                            continue
-                        key = (mover_prio, mover_ratio, -candidate.spend)
-                        if best_perf is None or key > best_perf[:3]:
-                            best_perf = (
-                                mover_prio,
-                                mover_ratio,
-                                -candidate.spend,
-                                MoveDecision(
-                                    task_id=task_id,
-                                    source_core_id=source_core,
-                                    target_core_id=target_core,
-                                    mode="performance",
-                                    current=current,
-                                    candidate=candidate,
-                                ),
-                            )
-                    else:
-                        saving = current.spend - candidate.spend
-                        if saving <= self._min_saving_frac * max(current.spend, _EPS):
-                            continue
-                        if not perf_not_worse(
-                            current.ratios, candidate.ratios, priorities
-                        ):
-                            continue
-                        decision = MoveDecision(
-                            task_id=task_id,
-                            source_core_id=source_core,
-                            target_core_id=target_core,
-                            mode="power",
-                            current=current,
-                            candidate=candidate,
-                        )
-                        if best_power is None or decision.spend_saving > best_power.spend_saving:
-                            best_power = decision
+                    candidates.append((task_id, source_core, target_core))
+        if not candidates:
+            return None
+
+        self.evaluations += len(candidates)
+        if batch is not None:
+            verdicts = [
+                (v, None, None) for v in batch.evaluate(candidates)
+            ]
+        else:
+            verdicts = [
+                self._scalar_verdict(task_id, target_core, priorities, performance_mode)
+                for task_id, _source_core, target_core in candidates
+            ]
+
+        best_power: Optional[Tuple[float, int]] = None
+        best_perf: Optional[Tuple[Tuple[int, float, float], int]] = None
+        for idx, ((task_id, _source, _target), (verdict, _cur, _cand)) in enumerate(
+            zip(candidates, verdicts)
+        ):
+            if performance_mode:
+                if not verdict.perf_improves:
+                    continue
+                mover_prio = priorities[task_id]
+                mover_ratio = verdict.mover_ratio_candidate
+                if mover_ratio <= verdict.mover_ratio_current + _EPS:
+                    continue
+                key = (mover_prio, mover_ratio, -verdict.spend_candidate)
+                if best_perf is None or key > best_perf[0]:
+                    best_perf = (key, idx)
+            else:
+                saving = verdict.spend_current - verdict.spend_candidate
+                if saving <= self._min_saving_frac * max(verdict.spend_current, _EPS):
+                    continue
+                if not verdict.perf_not_worse:
+                    continue
+                if best_power is None or saving > best_power[0]:
+                    best_power = (saving, idx)
+
         if performance_mode:
-            return best_perf[3] if best_perf is not None else None
-        return best_power
+            if best_perf is None:
+                return None
+            winner = best_perf[1]
+            mode = "performance"
+        else:
+            if best_power is None:
+                return None
+            winner = best_power[1]
+            mode = "power"
+        task_id, source_core, target_core = candidates[winner]
+        _verdict, current, candidate = verdicts[winner]
+        if current is None:
+            # Batched path: materialize full estimates (ratio/bid maps for
+            # the audit trail) for the winning move only.
+            current, candidate = self._estimator.evaluate_move(task_id, target_core)
+        return MoveDecision(
+            task_id=task_id,
+            source_core_id=source_core,
+            target_core_id=target_core,
+            mode=mode,
+            current=current,
+            candidate=candidate,
+        )
+
+    def _scalar_verdict(
+        self,
+        task_id: str,
+        target_core: str,
+        priorities: Dict[str, int],
+        performance_mode: bool,
+    ) -> Tuple["vecestimate.CandidateVerdict", MappingEstimate, MappingEstimate]:
+        """Scalar-path verdict (estimates kept for the decision record)."""
+        current, candidate = self._estimator.evaluate_move(task_id, target_core)
+        if performance_mode:
+            improves = perf_improves(current.ratios, candidate.ratios, priorities)
+            not_worse = improves
+        else:
+            improves = False
+            not_worse = perf_not_worse(current.ratios, candidate.ratios, priorities)
+        return (
+            vecestimate.CandidateVerdict(
+                perf_improves=improves,
+                perf_not_worse=not_worse,
+                mover_ratio_current=current.ratios.get(task_id, 0.0),
+                mover_ratio_candidate=candidate.ratios.get(task_id, 0.0),
+                spend_current=current.spend,
+                spend_candidate=candidate.spend,
+            ),
+            current,
+            candidate,
+        )
 
     def propose_load_balance(
         self, exclude_tasks: frozenset = frozenset()

@@ -40,6 +40,13 @@ from .agents import (
     distribute_allowance,
 )
 from .config import MarketConfig
+from . import vecmarket
+
+#: Below this population the per-agent loops beat the gather/scatter cost
+#: of the array kernels, so small markets (including the pinned golden
+#: scenarios) keep the scalar path.  The threshold depends only on market
+#: state, so both simulation engines take the same path for the same run.
+_VEC_MIN_TASKS = 32
 
 
 @dataclass
@@ -237,7 +244,13 @@ class Market:
         constrained = self.constrained_core(cluster_id)
         return self.core_demand(constrained.core_id) if constrained else 0.0
 
-    def _floor_price_descent(self, cluster: ClusterAgent, constrained: CoreAgent) -> int:
+    def _floor_price_descent(
+        self,
+        cluster: ClusterAgent,
+        constrained: CoreAgent,
+        agents: Optional[List[TaskAgent]] = None,
+        demand: Optional[float] = None,
+    ) -> int:
         """Deflation detection once bids have hit the ``bmin`` floor.
 
         The paper argues that when the constrained core's demand is below
@@ -251,17 +264,21 @@ class Market:
         """
         if cluster.level_index == 0:
             return 0
-        agents = self.tasks_on_core(constrained.core_id)
+        if agents is None:
+            agents = self.tasks_on_core(constrained.core_id)
         if not agents:
             return 0
         if any(agent.bid > self.config.bmin * 1.01 for agent in agents):
             return 0
-        demand = self.core_demand(constrained.core_id)
+        if demand is None:
+            demand = self.core_demand(constrained.core_id)
         if demand <= cluster.supply_ladder[cluster.level_index - 1]:
             return -1
         return 0
 
-    def _allowance_growth_useful(self) -> bool:
+    def _allowance_growth_useful(
+        self, cluster_demands: Optional[Dict[str, float]] = None
+    ) -> bool:
         """True while extra money could actually buy more supply.
 
         Some cluster must have its constrained core demanding more than
@@ -274,7 +291,12 @@ class Market:
         for cluster in self.clusters.values():
             if cluster.level_index >= cluster.max_index:
                 continue
-            if self.cluster_demand(cluster.cluster_id) > cluster.supply * 1.02:
+            demand = (
+                cluster_demands[cluster.cluster_id]
+                if cluster_demands is not None
+                else self.cluster_demand(cluster.cluster_id)
+            )
+            if demand > cluster.supply * 1.02:
                 return True
         return False
 
@@ -406,6 +428,165 @@ class Market:
         self.rounds_run = state["rounds_run"]
 
     # ------------------------------------------------------------------
+    # Vectorized clearing (steps 3-5 of the round protocol)
+    # ------------------------------------------------------------------
+    def _run_clearing_vectorized(
+        self,
+        obs: MarketObservations,
+        core_agents: Dict[str, List[TaskAgent]],
+        cluster_agents: Dict[str, List[TaskAgent]],
+    ):
+        """Allowance distribution, bidding, pricing and purchase as kernels.
+
+        Bit-exact with the scalar steps it replaces: elementwise wallet
+        arithmetic is IEEE-identical and every per-core reduction is an
+        in-order ``bincount`` fold (see :mod:`repro.core.vecmarket`).
+        Also folds in ``note_round_outcome``, which the caller then skips.
+        """
+        import numpy as np
+
+        cfg = self.config
+
+        # Gather agents in the order the scalar loops visit them:
+        # cluster -> core -> per-core registration order.
+        agents: List[TaskAgent] = []
+        core_ix_list: List[int] = []
+        cluster_ix_list: List[int] = []
+        slot_cores: List[CoreAgent] = []
+        slot_supply: List[float] = []
+        slot_bidding: List[bool] = []  # cluster ACTIVE: bids may change
+        slot_pricing: List[bool] = []  # cluster not AWAITING: price rediscovered
+        clusters = list(self.clusters.values())
+        for cluster_index, cluster in enumerate(clusters):
+            bidding = cluster.freeze is ClusterFreeze.ACTIVE
+            pricing = cluster.freeze is not ClusterFreeze.AWAITING
+            for core_id in cluster.core_ids:
+                slot = len(slot_cores)
+                slot_cores.append(self.cores[core_id])
+                slot_supply.append(cluster.supply)
+                slot_bidding.append(bidding)
+                slot_pricing.append(pricing)
+                for agent in core_agents[core_id]:
+                    agents.append(agent)
+                    core_ix_list.append(slot)
+                    cluster_ix_list.append(cluster_index)
+
+        n_cores = len(slot_cores)
+        core_ix = np.asarray(core_ix_list, dtype=np.intp)
+        cluster_ix = np.asarray(cluster_ix_list, dtype=np.intp)
+        bid = np.asarray([a.bid for a in agents])
+        demand = np.asarray([a.demand for a in agents])
+        supply = np.asarray([a.supply for a in agents])
+        savings = np.asarray([a.wallet.savings for a in agents])
+        priority = np.asarray([float(a.priority) for a in agents])
+        unsatisfied = np.asarray(
+            [a.unsatisfied_rounds for a in agents], dtype=np.int64
+        )
+        old_price = np.asarray([c.price for c in slot_cores])
+        supplies = np.asarray(slot_supply)
+        can_bid = np.asarray(slot_bidding)[core_ix]
+        price_mask = np.asarray(slot_pricing)
+
+        # 3. Hierarchical allowance distribution (same weight rule as
+        #    ``distribute_allowance``; per-cluster weights stay scalar).
+        populated = [
+            ci for ci, cluster in enumerate(clusters)
+            if cluster_agents[cluster.cluster_id]
+        ]
+        weights: Dict[int, float] = {}
+        if obs.chip_power_w > 0.0 and len(populated) > 1:
+            for ci in populated:
+                weights[ci] = max(
+                    0.0,
+                    obs.chip_power_w
+                    - obs.cluster_power_w.get(clusters[ci].cluster_id, 0.0),
+                )
+        if not weights or sum(weights.values()) <= 0.0:
+            weights = {ci: 1.0 for ci in populated}
+        total_weight = sum(weights.values())
+        cluster_allowance = np.zeros(len(clusters))
+        for ci in populated:
+            cluster_allowance[ci] = (
+                self.chip.allowance * weights[ci] / total_weight
+            )
+        allowance = vecmarket.share_allowance(priority, cluster_ix, cluster_allowance)
+
+        # 4. Bidding (Equation 1) on actively-trading clusters only.
+        new_bid, new_savings = vecmarket.settle_bids(
+            bid,
+            demand,
+            supply,
+            old_price[core_ix],
+            allowance,
+            savings,
+            cfg.bmin,
+            cfg.savings_cap_fraction,
+        )
+        bid = np.where(can_bid, new_bid, bid)
+        savings = np.where(can_bid, new_savings, savings)
+
+        # 5. Price discovery and pro-rata purchase; AWAITING clusters keep
+        #    last round's prices and allocations.
+        discovered = vecmarket.clear_prices(bid, core_ix, n_cores, supplies)
+        price = np.where(price_mask, discovered, old_price)
+        supply = np.where(
+            price_mask[core_ix],
+            vecmarket.grants_at_prices(bid, core_ix, price),
+            supply,
+        )
+
+        # Persistence counters (``note_round_outcome``; nothing between
+        # here and the scalar call site reads them).
+        unsatisfied = vecmarket.update_unsatisfied_rounds(unsatisfied, demand, supply)
+
+        # Scatter agent state back (one fused pass).
+        has_agents = np.zeros(n_cores, dtype=bool)
+        has_agents[core_ix] = True
+        for agent, b, s, al, sp, u in zip(
+            agents,
+            bid.tolist(),
+            savings.tolist(),
+            allowance.tolist(),
+            supply.tolist(),
+            unsatisfied.tolist(),
+        ):
+            agent.bid = b
+            wallet = agent.wallet
+            wallet.savings = s
+            wallet.allowance = al
+            agent.supply = sp
+            agent.unsatisfied_rounds = u
+
+        # Scatter core prices, mirroring ``discover_price``'s base-price
+        # adoption (only where a fresh price was actually discovered).
+        price_list = price.tolist()
+        for slot, core in enumerate(slot_cores):
+            if not slot_pricing[slot]:
+                continue
+            p = price_list[slot]
+            core.price = p
+            if (
+                has_agents[slot]
+                and (core.base_price is None or core.base_price <= 0.0)
+                and p > 0.0
+            ):
+                core.base_price = p
+
+        allocations = {
+            a.task_id: sp for a, sp in zip(agents, supply.tolist())
+        }
+        prices = {
+            core.core_id: price_list[slot]
+            for slot, core in enumerate(slot_cores)
+        }
+        for cluster in clusters:
+            if cluster.freeze is ClusterFreeze.OBSERVING:
+                for core_id in cluster.core_ids:
+                    self.cores[core_id].reset_base_price()
+                cluster.freeze = ClusterFreeze.ACTIVE
+        return allocations, prices
+
+    # ------------------------------------------------------------------
     # The round engine
     # ------------------------------------------------------------------
     def run_round(self, obs: MarketObservations) -> RoundResult:
@@ -429,13 +610,42 @@ class Market:
             if task_id in obs.demands:
                 agent.demand = max(0.0, obs.demands[task_id])
 
+        # Demands and placement are now fixed for the rest of the round, so
+        # gather the per-core agent lists, per-core demand sums (same fold
+        # order as ``core_demand``) and constrained cores exactly once.
+        tasks = self.tasks
+        core_agents: Dict[str, List[TaskAgent]] = {
+            core_id: [tasks[tid] for tid in tids]
+            for core_id, tids in self._tasks_by_core.items()
+        }
+        core_demands: Dict[str, float] = {
+            core_id: sum(agent.demand for agent in agents)
+            for core_id, agents in core_agents.items()
+        }
+        cluster_agents: Dict[str, List[TaskAgent]] = {}
+        constrained_cores: Dict[str, Optional[CoreAgent]] = {}
+        cluster_demands: Dict[str, float] = {}
+        for cluster_id, cluster in self.clusters.items():
+            gathered: List[TaskAgent] = []
+            for core_id in cluster.core_ids:
+                gathered.extend(core_agents[core_id])
+            cluster_agents[cluster_id] = gathered
+            populated = [cid for cid in cluster.core_ids if core_agents[cid]]
+            if populated:
+                constrained = self.cores[max(populated, key=core_demands.__getitem__)]
+                constrained_cores[cluster_id] = constrained
+                cluster_demands[cluster_id] = core_demands[constrained.core_id]
+            else:
+                constrained_cores[cluster_id] = None
+                cluster_demands[cluster_id] = 0.0
+
         total_demand = 0.0
         total_supply = 0.0
         supply_shortfall = 0.0
         for cluster in self.clusters.values():
-            if not self.tasks_on_cluster(cluster.cluster_id):
+            if not cluster_agents[cluster.cluster_id]:
                 continue
-            cluster_demand = self.cluster_demand(cluster.cluster_id)
+            cluster_demand = cluster_demands[cluster.cluster_id]
             total_demand += cluster_demand
             total_supply += cluster.supply
             supply_shortfall += max(0.0, cluster_demand - cluster.supply)
@@ -462,62 +672,67 @@ class Market:
                     else supply_shortfall
                 ),
                 floor=floor,
-                growth_useful=self._allowance_growth_useful(),
+                growth_useful=self._allowance_growth_useful(cluster_demands),
             )
             self._renormalize_money()
         else:
             self.chip.classify(obs.chip_power_w)
 
-        # 3. Hierarchical allowance distribution.
-        distribute_allowance(
-            global_allowance=self.chip.allowance,
-            chip_power_w=obs.chip_power_w,
-            cluster_power_w=obs.cluster_power_w,
-            cluster_task_agents={
-                cid: self.tasks_on_cluster(cid) for cid in self.clusters
-            },
-        )
+        use_vec = vecmarket.AVAILABLE and len(self.tasks) >= _VEC_MIN_TASKS
+        if use_vec:
+            # Steps 3-5 plus the persistence counters, as array kernels.
+            allocations, prices = self._run_clearing_vectorized(
+                obs, core_agents, cluster_agents
+            )
+        else:
+            # 3. Hierarchical allowance distribution.
+            distribute_allowance(
+                global_allowance=self.chip.allowance,
+                chip_power_w=obs.chip_power_w,
+                cluster_power_w=obs.cluster_power_w,
+                cluster_task_agents=cluster_agents,
+            )
 
-        # 4. Bidding (frozen clusters keep bids and savings untouched).
-        for cluster in self.clusters.values():
-            if cluster.bids_frozen:
-                continue
-            for core_id in cluster.core_ids:
-                core = self.cores[core_id]
-                for agent in self.tasks_on_core(core_id):
-                    agent.place_bid(
-                        last_price=core.price,
-                        bmin=cfg.bmin,
-                        cap_fraction=cfg.savings_cap_fraction,
-                    )
-
-        # 5. Price discovery and purchase.  A cluster still AWAITING its
-        #    transition keeps last round's prices and allocations.
-        allocations: Dict[str, float] = {}
-        prices: Dict[str, float] = {}
-        for cluster in self.clusters.values():
-            supply = cluster.supply
-            for core_id in cluster.core_ids:
-                core = self.cores[core_id]
-                agents = self.tasks_on_core(core_id)
-                if cluster.freeze is ClusterFreeze.AWAITING:
-                    prices[core_id] = core.price
-                    for agent in agents:
-                        allocations[agent.task_id] = agent.supply
+            # 4. Bidding (frozen clusters keep bids and savings untouched).
+            for cluster in self.clusters.values():
+                if cluster.bids_frozen:
                     continue
-                if not agents:
-                    core.price = 0.0
-                    prices[core_id] = 0.0
-                    continue
-                price = core.discover_price([a.bid for a in agents], supply)
-                prices[core_id] = price
-                for agent in agents:
-                    agent.supply = agent.bid / price if price > 0.0 else 0.0
-                    allocations[agent.task_id] = agent.supply
-            if cluster.freeze is ClusterFreeze.OBSERVING:
                 for core_id in cluster.core_ids:
-                    self.cores[core_id].reset_base_price()
-                cluster.freeze = ClusterFreeze.ACTIVE
+                    core = self.cores[core_id]
+                    for agent in core_agents[core_id]:
+                        agent.place_bid(
+                            last_price=core.price,
+                            bmin=cfg.bmin,
+                            cap_fraction=cfg.savings_cap_fraction,
+                        )
+
+            # 5. Price discovery and purchase.  A cluster still AWAITING its
+            #    transition keeps last round's prices and allocations.
+            allocations = {}
+            prices = {}
+            for cluster in self.clusters.values():
+                supply = cluster.supply
+                for core_id in cluster.core_ids:
+                    core = self.cores[core_id]
+                    agents = core_agents[core_id]
+                    if cluster.freeze is ClusterFreeze.AWAITING:
+                        prices[core_id] = core.price
+                        for agent in agents:
+                            allocations[agent.task_id] = agent.supply
+                        continue
+                    if not agents:
+                        core.price = 0.0
+                        prices[core_id] = 0.0
+                        continue
+                    price = core.discover_price([a.bid for a in agents], supply)
+                    prices[core_id] = price
+                    for agent in agents:
+                        agent.supply = agent.bid / price if price > 0.0 else 0.0
+                        allocations[agent.task_id] = agent.supply
+                if cluster.freeze is ClusterFreeze.OBSERVING:
+                    for core_id in cluster.core_ids:
+                        self.cores[core_id].reset_base_price()
+                    cluster.freeze = ClusterFreeze.ACTIVE
 
         # 6. DVFS decisions (clusters that just observed skip one round so
         #    the market settles on the new base price first).
@@ -527,7 +742,7 @@ class Market:
                 continue
             if cluster.cluster_id in observing:
                 continue
-            constrained = self.constrained_core(cluster.cluster_id)
+            constrained = constrained_cores[cluster.cluster_id]
             if constrained is None:
                 continue
             change = cluster.decide_level_change(constrained, cfg.tolerance)
@@ -536,11 +751,16 @@ class Market:
                 # 3.2.4): never deflate onto a level that no longer covers
                 # the constrained core -- that guarantees an immediate
                 # re-inflation and oscillation between adjacent levels.
-                demand = self.core_demand(constrained.core_id)
+                demand = core_demands[constrained.core_id]
                 if cluster.supply_ladder[cluster.level_index - 1] < demand:
                     change = 0
             if change == 0:
-                change = self._floor_price_descent(cluster, constrained)
+                change = self._floor_price_descent(
+                    cluster,
+                    constrained,
+                    core_agents[constrained.core_id],
+                    core_demands[constrained.core_id],
+                )
             if self.chip.state is ChipPowerState.EMERGENCY:
                 # Above the TDP the only admissible direction is down: no
                 # cluster may raise its supply, and a cluster whose buyers
@@ -550,15 +770,16 @@ class Market:
                 if change > 0:
                     change = 0
                 if change == 0 and cluster.level_index > 0:
-                    agents = self.tasks_on_core(constrained.core_id)
+                    agents = core_agents[constrained.core_id]
                     if agents and all(a.bid <= cfg.bmin * 1.01 for a in agents):
                         change = -1
             if change != 0:
                 level_requests[cluster.cluster_id] = cluster.level_index + change
                 cluster.freeze = ClusterFreeze.AWAITING
 
-        for agent in self.tasks.values():
-            agent.note_round_outcome()
+        if not use_vec:
+            for agent in self.tasks.values():
+                agent.note_round_outcome()
 
         self._prev_total_demand = total_demand
         self._prev_total_supply = total_supply

@@ -1,0 +1,442 @@
+"""Batched steady-state mapping evaluation (vectorized LBT search).
+
+The LBT module's proposal sweep evaluates dozens of candidate mappings
+against one frozen market state; :class:`SteadyStateEstimator._evaluate`
+walks every task of the affected clusters per candidate in Python.  This
+module evaluates *all* candidates of one sweep as matrix rows: for each
+cluster, every candidate that touches it becomes one row of a
+``[rows, tasks]`` ratio/bid matrix computed in a handful of array passes.
+
+Per-task arithmetic is elementwise and bit-identical to the scalar
+estimator; per-core demand sums are in-order ``bincount`` folds (also
+bit-identical).  Aggregate ``spend`` values use ``np.sum`` (pairwise) and
+may differ from the scalar dict-order fold in the last ulp, which is why
+the LBT gates this path on the same population threshold as the market
+kernels: a given run takes one path or the other consistently, on either
+simulation engine.
+
+Decision logic equivalence with :func:`repro.core.estimation.perf_improves`
+(descending-priority sweep): an improved task qualifies iff no worsened
+task has strictly higher priority, so the sweep returns True iff
+``max(prio | improved) >= max(prio | worsened)`` with ``-inf`` maxima for
+empty sets and at least one improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - numpy is baked into the image
+    import numpy as np
+except Exception:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+AVAILABLE = np is not None
+
+_EPS = 1e-9
+_NEG_INF = float("-inf")
+#: Dense-matrix budget for one candidate-evaluation chunk (elements of a
+#: ``rows x tasks`` temporary); keeps the working set cache-resident
+#: instead of allocating gigabytes when both dimensions are in the
+#: thousands.
+_CHUNK_ELEMS = 2_000_000
+
+
+@dataclass
+class CandidateVerdict:
+    """Decision quantities for one candidate move."""
+
+    perf_improves: bool
+    perf_not_worse: bool
+    mover_ratio_current: float
+    mover_ratio_candidate: float
+    spend_current: float
+    spend_candidate: float
+
+
+class _ClusterBase:
+    """Frozen per-cluster arrays for one proposal sweep."""
+
+    __slots__ = (
+        "cluster_id", "ladder", "max_index", "tids", "tid_index", "prio",
+        "core_slot", "slot_of_core", "d", "S", "psum", "n_tasks", "n_cores",
+        "cur_present", "cur_level", "cur_ratio", "cur_bids", "cur_spend",
+    )
+
+    def __init__(self, market, estimator, cluster_id: str):
+        cluster = market.clusters[cluster_id]
+        self.cluster_id = cluster_id
+        self.ladder = np.asarray(cluster.supply_ladder)
+        self.max_index = cluster.max_index
+        self.slot_of_core = {
+            core_id: slot for slot, core_id in enumerate(cluster.core_ids)
+        }
+        tids: List[str] = []
+        core_slot: List[int] = []
+        for slot, core_id in enumerate(cluster.core_ids):
+            for tid in market._tasks_by_core[core_id]:
+                tids.append(tid)
+                core_slot.append(slot)
+        self.tids = tids
+        self.tid_index = {tid: i for i, tid in enumerate(tids)}
+        self.n_tasks = len(tids)
+        self.n_cores = len(cluster.core_ids)
+        self.prio = np.asarray(
+            [float(market.tasks[tid].priority) for tid in tids]
+        )
+        self.core_slot = np.asarray(core_slot, dtype=np.intp)
+        self.d = np.asarray(
+            [estimator._demand(tid, cluster_id) for tid in tids]
+        )
+        if self.n_tasks:
+            self.S = np.bincount(
+                self.core_slot, weights=self.d, minlength=self.n_cores
+            )
+            self.psum = np.bincount(
+                self.core_slot, weights=self.prio, minlength=self.n_cores
+            )
+        else:
+            self.S = np.zeros(self.n_cores)
+            self.psum = np.zeros(self.n_cores)
+
+
+class BatchMappingEvaluator:
+    """Evaluates one proposal sweep's candidates as array batches.
+
+    Built per LBT proposal (inside an estimator batch); the market must
+    stay frozen for its lifetime, like the estimator's own batch caches.
+    """
+
+    def __init__(self, market, estimator):
+        self._market = market
+        self._est = estimator
+        self._bases: Dict[str, _ClusterBase] = {}
+
+    # -- base state ---------------------------------------------------------
+    def _base(self, cluster_id: str) -> _ClusterBase:
+        base = self._bases.get(cluster_id)
+        if base is None:
+            base = _ClusterBase(self._market, self._est, cluster_id)
+            self._current(base)
+            self._bases[cluster_id] = base
+        return base
+
+    def _current(self, base: _ClusterBase) -> None:
+        """Current-mapping row (no adjustments) for one cluster."""
+        ratio, bids, present, level, _ = self._eval_rows(
+            base,
+            S_rows=base.S[None, :],
+            psum_rows=base.psum[None, :],
+        )
+        base.cur_present = bool(present[0])
+        base.cur_level = int(level[0])
+        if base.cur_present and base.n_tasks:
+            base.cur_ratio = ratio[0]
+            base.cur_bids = bids[0]
+            base.cur_spend = float(np.sum(bids[0]))
+        else:
+            base.cur_ratio = np.zeros(base.n_tasks)
+            base.cur_bids = np.zeros(base.n_tasks)
+            base.cur_spend = 0.0
+
+    def all_satisfied(self, cluster_ids) -> bool:
+        """Whether the current mapping satisfies every task's demand."""
+        for cluster_id in cluster_ids:
+            base = self._base(cluster_id)
+            if not base.cur_present or not base.n_tasks:
+                continue
+            if bool(np.any(base.cur_ratio < 1.0 - _EPS)):
+                return False
+        return True
+
+    # -- row evaluation -----------------------------------------------------
+    def _eval_rows(self, base: _ClusterBase, S_rows, psum_rows):
+        """Ratio/bid matrices for adjusted core-sum rows of one cluster.
+
+        Mirrors ``SteadyStateEstimator._evaluate`` per-cluster logic: the
+        cluster demand is the max core sum, the target level the first
+        ladder entry covering it, the price the estimator's (memoized)
+        per-(cluster, level) estimate; unsaturated cores supply demand,
+        saturated cores split priority-proportionally.
+        """
+        est = self._est
+        bmin = self._market.config.bmin
+        cd = S_rows.max(axis=1) if base.n_cores else np.zeros(len(S_rows))
+        present = cd > 0.0
+        level = np.minimum(
+            np.searchsorted(base.ladder, cd - _EPS, side="left"),
+            base.max_index,
+        )
+        price = np.asarray(
+            [
+                est.estimate_price(base.cluster_id, int(lv)) if ok else 0.0
+                for lv, ok in zip(level.tolist(), present.tolist())
+            ]
+        )
+        cs = base.ladder[level]
+        sat = S_rows > cs[:, None] + _EPS
+        if not base.n_tasks:
+            shape = (len(S_rows), 0)
+            return np.zeros(shape), np.zeros(shape), present, level, (cs, sat, price)
+        d = base.d[None, :]
+        tsat = sat[:, base.core_slot]
+        psum_t = psum_rows[:, base.core_slot]
+        satsup = cs[:, None] * base.prio[None, :] / np.where(psum_t > 0.0, psum_t, 1.0)
+        satsup = np.where(d > 0.0, np.minimum(satsup, d), satsup)
+        supply = np.where(tsat, satsup, d)
+        ratio = np.where(
+            d > 0.0,
+            np.minimum(1.0, supply / np.where(d > 0.0, d, 1.0)),
+            1.0,
+        )
+        bids = np.maximum(supply * price[:, None], bmin)
+        return ratio, bids, present, level, (cs, sat, price)
+
+    # -- candidate evaluation -----------------------------------------------
+    def evaluate(
+        self, candidates: List[Tuple[str, str, str]]
+    ) -> List[CandidateVerdict]:
+        """Verdicts for ``(task_id, source_core_id, target_core_id)`` triples."""
+        market = self._market
+        est = self._est
+        # Group the per-cluster rows this sweep needs.  Each candidate
+        # contributes a removal row on its source cluster and an addition
+        # row on its target cluster (one combined row when they match).
+        plans = []
+        rows: Dict[str, List[dict]] = {}
+
+        def add_row(cluster_id: str, spec: dict) -> int:
+            bucket = rows.setdefault(cluster_id, [])
+            bucket.append(spec)
+            return len(bucket) - 1
+
+        for task_id, source_core, target_core in candidates:
+            src_cluster = market.cores[source_core].cluster_id
+            dst_cluster = market.cores[target_core].cluster_id
+            prio = float(market.tasks[task_id].priority)
+            d_src = est._demand(task_id, src_cluster)
+            d_dst = est._demand(task_id, dst_cluster)
+            src_base = self._base(src_cluster)
+            dst_base = self._base(dst_cluster)
+            src_slot = src_base.slot_of_core[source_core]
+            dst_slot = dst_base.slot_of_core[target_core]
+            if src_cluster == dst_cluster:
+                row = add_row(
+                    src_cluster,
+                    {
+                        "adjust": [(src_slot, -d_src, -prio), (dst_slot, d_src, prio)],
+                        "mask": src_base.tid_index[task_id],
+                        "mover": (dst_slot, d_src, prio),
+                    },
+                )
+                plans.append((task_id, src_cluster, row, src_cluster, row))
+            else:
+                src_row = add_row(
+                    src_cluster,
+                    {
+                        "adjust": [(src_slot, -d_src, -prio)],
+                        "mask": src_base.tid_index[task_id],
+                        "mover": None,
+                    },
+                )
+                dst_row = add_row(
+                    dst_cluster,
+                    {
+                        "adjust": [(dst_slot, d_dst, prio)],
+                        "mask": None,
+                        "mover": (dst_slot, d_dst, prio),
+                    },
+                )
+                plans.append((task_id, src_cluster, src_row, dst_cluster, dst_row))
+
+        results = {
+            cluster_id: self._eval_cluster_rows(cluster_id, specs)
+            for cluster_id, specs in rows.items()
+        }
+
+        verdicts: List[CandidateVerdict] = []
+        for (task_id, src_cluster, src_row, dst_cluster, dst_row), cand in zip(
+            plans, candidates
+        ):
+            src_base = self._bases[src_cluster]
+            src_res = results[src_cluster]
+            dst_res = results[dst_cluster]
+            same = src_cluster == dst_cluster
+
+            # Mover bookkeeping: present in the current mapping iff its
+            # source cluster contributes ratios; present in the candidate
+            # iff its destination row does.
+            tidx = src_base.tid_index[task_id]
+            mover_cur = (
+                float(src_base.cur_ratio[tidx]) if src_base.cur_present else 0.0
+            )
+            mv_present = dst_res["present"][dst_row] and dst_res["mv_ok"][dst_row]
+            mover_cand = dst_res["mv_ratio"][dst_row] if mv_present else 0.0
+
+            max_imp = max(
+                src_res["maxprio_imp"][src_row],
+                _NEG_INF if same else dst_res["maxprio_imp"][dst_row],
+            )
+            max_wor = max(
+                src_res["maxprio_wor"][src_row],
+                _NEG_INF if same else dst_res["maxprio_wor"][dst_row],
+            )
+            max_abs = max(
+                src_res["maxabs"][src_row],
+                0.0 if same else dst_res["maxabs"][dst_row],
+            )
+            prio = float(market.tasks[task_id].priority)
+            if mv_present:
+                if mover_cand > mover_cur + _EPS:
+                    max_imp = max(max_imp, prio)
+                if mover_cand < mover_cur - _EPS:
+                    max_wor = max(max_wor, prio)
+                max_abs = max(max_abs, abs(mover_cand - mover_cur))
+
+            improves = max_imp > _NEG_INF and max_imp >= max_wor
+            dst_base = self._bases[dst_cluster]
+            # perf_equal's keyset test, at the union level: a cluster whose
+            # presence flag flips only breaks equality if it contributes
+            # tasks besides the mover (moving onto an empty cluster keeps
+            # the task union identical even though the cluster wakes up).
+            keysets_equal = (
+                (
+                    src_base.n_tasks <= 1
+                    or src_res["present"][src_row] == src_base.cur_present
+                )
+                and (
+                    same
+                    or dst_base.n_tasks == 0
+                    or dst_res["present"][dst_row] == dst_base.cur_present
+                )
+                and mv_present == src_base.cur_present
+            )
+            equal = keysets_equal and max_abs <= _EPS
+            spend_cand = (
+                src_res["spend"][src_row]
+                + (0.0 if same else dst_res["spend"][dst_row])
+                + (dst_res["mv_bid"][dst_row] if mv_present else 0.0)
+            )
+            spend_cur = src_base.cur_spend + (
+                0.0 if same else dst_base.cur_spend
+            )
+            verdicts.append(
+                CandidateVerdict(
+                    perf_improves=improves,
+                    perf_not_worse=equal or improves,
+                    mover_ratio_current=mover_cur,
+                    mover_ratio_candidate=mover_cand,
+                    spend_current=spend_cur,
+                    spend_candidate=spend_cand,
+                )
+            )
+        return verdicts
+
+    def _eval_cluster_rows(self, cluster_id: str, specs: List[dict]) -> dict:
+        """Evaluate all of one cluster's rows and reduce against current.
+
+        Rows are processed in chunks that bound the dense ``rows x tasks``
+        temporaries to a few million elements: with thousands of candidate
+        moves against a cluster holding thousands of tasks, one shot would
+        allocate gigabytes of short-lived matrices and the evaluation
+        becomes allocator/bandwidth-bound.  Chunking along rows leaves
+        every per-row result bit-identical (each row's arithmetic and its
+        axis-1 reductions never see the other rows).
+        """
+        base = self._bases[cluster_id]
+        n = base.n_tasks
+        limit = max(1, _CHUNK_ELEMS // max(1, n))
+        if len(specs) > limit:
+            merged: Dict[str, list] = {}
+            for start in range(0, len(specs), limit):
+                part = self._eval_cluster_rows(
+                    cluster_id, specs[start:start + limit]
+                )
+                if not merged:
+                    merged = {key: list(val) for key, val in part.items()}
+                else:
+                    for key, val in part.items():
+                        merged[key].extend(val)
+            return merged
+        n_rows = len(specs)
+        S_list = base.S.tolist()
+        psum_list = base.psum.tolist()
+        S_rows_l = []
+        psum_rows_l = []
+        for spec in specs:
+            s = list(S_list)
+            p = list(psum_list)
+            for slot, dd, dp in spec["adjust"]:
+                s[slot] = s[slot] + dd
+                p[slot] = p[slot] + dp
+            S_rows_l.append(s)
+            psum_rows_l.append(p)
+        S_rows = np.asarray(S_rows_l)
+        psum_rows = np.asarray(psum_rows_l)
+        ratio, bids, present, _level, (cs, sat, price) = self._eval_rows(
+            base, S_rows, psum_rows
+        )
+
+        n = base.n_tasks
+        if n:
+            colmask = np.ones((n_rows, n), dtype=bool)
+            for r, spec in enumerate(specs):
+                if spec["mask"] is not None:
+                    colmask[r, spec["mask"]] = False
+            active = present[:, None] & colmask
+            cur_base = base.cur_ratio if base.cur_present else np.zeros(n)
+            # Comparisons mirror perf_improves exactly: ``new > cur + eps``
+            # (NOT ``new - cur > eps`` -- different rounding at the edge).
+            imp = active & (ratio > cur_base[None, :] + _EPS)
+            wor = active & (ratio < cur_base[None, :] - _EPS)
+            delta = ratio - cur_base[None, :]
+            maxprio_imp = np.max(
+                np.where(imp, base.prio[None, :], _NEG_INF), axis=1
+            )
+            maxprio_wor = np.max(
+                np.where(wor, base.prio[None, :], _NEG_INF), axis=1
+            )
+            maxabs = np.max(np.where(active, np.abs(delta), 0.0), axis=1)
+            spend = np.sum(np.where(active, bids, 0.0), axis=1)
+        else:
+            maxprio_imp = np.full(n_rows, _NEG_INF)
+            maxprio_wor = np.full(n_rows, _NEG_INF)
+            maxabs = np.zeros(n_rows)
+            spend = np.zeros(n_rows)
+
+        # Mover-side values (rows that add the task to this cluster).
+        mv_ok = [spec["mover"] is not None for spec in specs]
+        mv_ratio = [0.0] * n_rows
+        mv_bid = [0.0] * n_rows
+        bmin = self._market.config.bmin
+        for r, spec in enumerate(specs):
+            mover = spec["mover"]
+            if mover is None or not present[r]:
+                continue
+            slot, md, mp = mover
+            cs_r = float(cs[r])
+            sat_m = bool(sat[r, slot])
+            if sat_m:
+                psum_m = float(psum_rows[r, slot])
+                sup = cs_r * mp / (psum_m if psum_m > 0.0 else 1.0)
+                if md > 0.0:
+                    sup = min(sup, md)
+            else:
+                sup = md
+            mv_ratio[r] = min(1.0, sup / md) if md > 0.0 else 1.0
+            mv_bid[r] = max(sup * float(price[r]), bmin)
+
+        return {
+            "present": present.tolist(),
+            "maxprio_imp": maxprio_imp.tolist(),
+            "maxprio_wor": maxprio_wor.tolist(),
+            "maxabs": maxabs.tolist(),
+            "spend": spend.tolist(),
+            "mv_ok": mv_ok,
+            "mv_ratio": mv_ratio,
+            "mv_bid": mv_bid,
+        }
+
+
+__all__ = ["AVAILABLE", "BatchMappingEvaluator", "CandidateVerdict"]

@@ -6,6 +6,7 @@ Examples::
     repro-experiments fig4 --duration 120
     repro-experiments fig7
     repro-experiments table7
+    repro-experiments table7x   # + full-engine rows at 1k/10k tasks
     repro-experiments all --duration 60
     repro-experiments campaign --fault sensor-dropout
     repro-experiments campaign --fault thermal-runaway
@@ -57,7 +58,7 @@ from .comparative import figure4, figure5, figure6, run_comparative
 from .priorities import figure7
 from .running_examples import table1, table2, table3, table4
 from .savings import figure8
-from .scalability import table7
+from .scalability import table7, table7_extended
 from .validation import validate_reproduction
 
 
@@ -128,6 +129,10 @@ def _run_fig8(args) -> str:
 
 def _run_table7(args) -> str:
     return table7(invocations=args.invocations, jobs=args.jobs)[1]
+
+
+def _run_table7x(args) -> str:
+    return table7_extended(invocations=args.invocations, jobs=args.jobs)[2]
 
 
 def _run_validate(args) -> str:
@@ -336,6 +341,7 @@ _COMMANDS = {
 
 #: Commands excluded from ``all`` (campaigns are a study, not a figure).
 _EXTRA_COMMANDS = {
+    "table7x": _run_table7x,
     "campaign": _run_campaign,
     "soak": _run_soak,
     "checkpoint": _run_checkpoint,

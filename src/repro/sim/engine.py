@@ -16,6 +16,7 @@ bid round is ~32 ms).
 from __future__ import annotations
 
 import hashlib
+import os
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence
 
@@ -62,6 +63,19 @@ class Governor(Protocol):
         """Called every tick before supply is dispatched."""
 
 
+def default_engine() -> str:
+    """The tick-loop implementation ``SimConfig`` defaults to.
+
+    ``REPRO_ENGINE`` overrides the default process-wide; since engine
+    choice changes no telemetry bit, tools that spawn subprocesses (the
+    CI kill-resume drill, benchmark harnesses) use the variable to pick
+    the loop under test without threading a flag through every layer.
+    Invalid values are rejected by ``SimConfig.__post_init__`` exactly
+    like an invalid explicit argument.
+    """
+    return os.environ.get("REPRO_ENGINE", "columnar")
+
+
 @dataclass
 class SimConfig:
     """Engine configuration.
@@ -88,6 +102,13 @@ class SimConfig:
             performance counters feed an online power model whose output
             the governors consume instead of the metered reading.
             ``None`` (default) keeps runs byte-identical to older ones.
+        engine: Tick-loop implementation.  ``"columnar"`` (default) runs
+            the struct-of-arrays hot loop (:mod:`repro.sim.columnar`) --
+            bit-identical telemetry, much faster at large task counts;
+            ``"object"`` forces the reference per-object loop.  The
+            columnar engine silently falls back to the object loop when
+            numpy is unavailable.  Not part of the checkpoint
+            fingerprint: snapshots restore into either engine.
     """
 
     dt: float = 0.01
@@ -98,10 +119,13 @@ class SimConfig:
     audit: bool = False
     thermal: Optional[ThermalConfig] = None
     estimation: Optional[object] = None
+    engine: str = field(default_factory=lambda: default_engine())
 
     def __post_init__(self) -> None:
         if self.dt <= 0:
             raise ValueError("dt must be positive")
+        if self.engine not in ("columnar", "object"):
+            raise ValueError('engine must be "columnar" or "object"')
         if self.metrics_warmup_s < 0:
             raise ValueError("metrics_warmup_s must be non-negative")
         if self.sensor_noise_std_w < 0:
@@ -119,6 +143,28 @@ class SimConfig:
 
 class Simulation:
     """One experiment: a chip, a task set and a governor, advanced in ticks."""
+
+    def __new__(
+        cls,
+        chip: Optional[Chip] = None,
+        tasks: Optional[Sequence[Task]] = None,
+        governor: Optional[Governor] = None,
+        config: Optional[SimConfig] = None,
+        migration_cost_model: Optional[MigrationCostModel] = None,
+    ) -> "Simulation":
+        # Engine dispatch: Simulation(...) with engine="columnar" (the
+        # default) transparently constructs the columnar subclass, so
+        # every existing call site gets the fast loop without changes.
+        # ``chip is not None`` keeps no-arg construction (deepcopy,
+        # pickling) on the class that was asked for.
+        if cls is Simulation and chip is not None:
+            if config is None or config.engine == "columnar":
+                from .columnar import AVAILABLE as _columnar_available
+                from .columnar import ColumnarSimulation
+
+                if _columnar_available:
+                    return super().__new__(ColumnarSimulation)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -423,7 +469,9 @@ class Simulation:
     # ------------------------------------------------------------------
     # Engine loop
     # ------------------------------------------------------------------
-    def _default_place(self, task: Task) -> None:
+    def _default_place(
+        self, task: Task, cache: Optional[Dict[str, float]] = None
+    ) -> None:
         """Place a new task on the least-loaded core of the slowest cluster.
 
         Matches the platform behaviour of booting work on the LITTLE
@@ -434,10 +482,19 @@ class Simulation:
         clusters = sorted(self.online_clusters(), key=lambda c: c.max_supply_pus)
         if not clusters:
             return
-        core = self.placement.least_loaded_core(clusters[0].cores, self.now)
+        core = self.placement.least_loaded_core(
+            clusters[0].cores, self.now, cache=cache
+        )
         self.placement.place(task, core)
+        if cache is not None:
+            cache[core.core_id] = cache[core.core_id] + task.true_demand_pus(
+                core.cluster.core_type, self.now
+            )
 
     def _ensure_placed(self) -> None:
+        # Per-batch load memo: placing N tasks at one instant costs O(N)
+        # demand evaluations instead of O(N^2) (see least_loaded_core).
+        cache: Dict[str, float] = {}
         for task in self._active_now():
             if not self.placement.is_placed(task):
                 place_task = getattr(self.governor, "place_task", None)
@@ -446,8 +503,14 @@ class Simulation:
                         place_task(self, task)
                     except ValueError:
                         pass  # governor chose offline hardware; use default
-                if not self.placement.is_placed(task):
-                    self._default_place(task)
+                    if self.placement.is_placed(task):
+                        # Placed outside the cache's bookkeeping; evict so
+                        # the next lookup recomputes that core fresh.
+                        core = self.placement.core_of(task)
+                        if core is not None:
+                            cache.pop(core.core_id, None)
+                        continue
+                self._default_place(task, cache)
 
     def _retire_inactive(self) -> None:
         if not self._any_finite_task:

@@ -65,6 +65,28 @@ class LoadTracker:
         self._load[task] = updated
         return updated
 
+    def decay_for(self, dt: float) -> float:
+        """The cached decay factor for ``dt`` (same expression as update).
+
+        Exposed so the columnar engine's vectorized EWMA folds with the
+        exact float the scalar path uses.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if dt != self._decay_dt:
+            self._decay = math.exp(-math.log(2.0) * dt / self._halflife_s)
+            self._decay_dt = dt
+        return self._decay
+
+    def update_many(self, pairs) -> None:
+        """Bulk write of externally computed loads (columnar engine).
+
+        ``pairs`` is an iterable of ``(task, load)``; insertion order
+        follows the iterable, matching the scalar dispatch order when the
+        caller supplies it that way.
+        """
+        self._load.update(pairs)
+
     def load(self, task: Task) -> float:
         """Tracked load in [0, 1]; 0 for never-seen tasks."""
         return self._load.get(task, 0.0)

@@ -94,7 +94,11 @@ def compute_grants(
     # through the subnormal range and can exceed the leftover itself.
     # Rescale only on a material overshoot so ordinary 1-ulp rounding
     # noise keeps its exact bits (replay journals depend on them).
-    total = sum(grants.values())
+    # Fold in task (dispatch) order -- not dict insertion order -- so the
+    # batched kernel's in-order bincount reduction matches bit-for-bit.
+    total = 0.0
+    for t in tasks:
+        total += grants[t]
     if total > core_supply_pus * (1.0 + 1e-9):
         factor = core_supply_pus / total
         for task in grants:

@@ -1,0 +1,144 @@
+"""Columnar-engine checkpointing: bit-exact snapshot, resume, and replay.
+
+The columnar engine keeps the object graph authoritative through
+write-through, so a snapshot taken mid-run under either engine must be
+byte-identical to the other's, and a snapshot taken under one engine
+must restore into the other with telemetry identical to the donor's
+uninterrupted run.  The engine is deliberately not part of the
+checkpoint fingerprint (``SimConfig`` excludes it from the identity
+dict) -- these tests are what make that exclusion safe.
+"""
+
+import os
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointManager,
+    replay_from_checkpoint,
+    resume_from,
+    tick_records,
+)
+from repro.experiments.harness import make_governor
+from repro.hw import tc2_chip
+from repro.sim import SimConfig, Simulation
+from repro.sim.engine import default_engine
+from repro.tasks import build_workload
+
+DURATION_S = 5.0
+
+
+def build_sim(engine, seed=11, governor="PPM"):
+    return Simulation(
+        tc2_chip(),
+        build_workload("m1"),
+        make_governor(governor, power_cap_w=10.0),
+        config=SimConfig(
+            seed=seed, metrics_warmup_s=1.0, audit=True, engine=engine
+        ),
+    )
+
+
+def run_with_checkpoints(tmp_path, engine, subdir):
+    directory = os.path.join(str(tmp_path), subdir)
+    sim = build_sim(engine)
+    manager = CheckpointManager(
+        directory, interval_s=1.0, retention=None
+    ).attach(sim)
+    sim.run(DURATION_S)
+    return sim, manager
+
+
+class TestColumnarSnapshotIdentity:
+    def test_checkpoint_files_are_byte_identical_across_engines(
+        self, tmp_path
+    ):
+        """Write-through leaves nothing engine-specific in a snapshot."""
+        _, columnar = run_with_checkpoints(tmp_path, "columnar", "columnar")
+        _, obj = run_with_checkpoints(tmp_path, "object", "object")
+        col_paths = columnar.checkpoints()
+        obj_paths = obj.checkpoints()
+        assert len(col_paths) == len(obj_paths) == 5
+        for col_path, obj_path in zip(col_paths, obj_paths):
+            with open(col_path, "rb") as handle:
+                col_bytes = handle.read()
+            with open(obj_path, "rb") as handle:
+                obj_bytes = handle.read()
+            assert col_bytes == obj_bytes, os.path.basename(col_path)
+
+    def test_checkpointing_does_not_perturb_columnar_run(self, tmp_path):
+        baseline = build_sim("columnar")
+        baseline.run(DURATION_S)
+        checkpointed, _ = run_with_checkpoints(tmp_path, "columnar", "ckpt")
+        assert tick_records(checkpointed.metrics) == tick_records(
+            baseline.metrics
+        )
+
+
+class TestColumnarResume:
+    def test_resume_midway_matches_uninterrupted(self, tmp_path):
+        baseline = build_sim("columnar")
+        baseline.run(DURATION_S)
+        _, manager = run_with_checkpoints(tmp_path, "columnar", "ckpt")
+        midpoint = manager.checkpoints()[2]
+        sim, envelope = resume_from(midpoint, lambda: build_sim("columnar"))
+        assert envelope.tick_index == 300
+        sim.run(DURATION_S - sim.now)
+        assert tick_records(sim.metrics) == tick_records(baseline.metrics)
+
+    @pytest.mark.parametrize(
+        "donor,restorer",
+        [("columnar", "object"), ("object", "columnar")],
+        ids=["columnar-to-object", "object-to-columnar"],
+    )
+    def test_cross_engine_restore_is_exact(self, tmp_path, donor, restorer):
+        """A snapshot restores into either engine with identical telemetry."""
+        baseline = build_sim(donor)
+        baseline.run(DURATION_S)
+        _, manager = run_with_checkpoints(tmp_path, donor, "ckpt")
+        midpoint = manager.checkpoints()[2]
+        sim, _ = resume_from(midpoint, lambda: build_sim(restorer))
+        sim.run(DURATION_S - sim.now)
+        assert tick_records(sim.metrics) == tick_records(baseline.metrics)
+
+
+class TestColumnarReplay:
+    def test_clean_replay_from_columnar_checkpoint(self, tmp_path):
+        sim, manager = run_with_checkpoints(tmp_path, "columnar", "ckpt")
+        records = tick_records(sim.metrics)
+        report = replay_from_checkpoint(
+            manager.checkpoints()[1], lambda: build_sim("columnar"), records
+        )
+        assert report.clean
+        assert report.first_divergent_tick is None
+
+    def test_cross_engine_replay_verifies_clean(self, tmp_path):
+        """Object-engine journal replays divergence-free under columnar."""
+        sim, manager = run_with_checkpoints(tmp_path, "object", "ckpt")
+        records = tick_records(sim.metrics)
+        report = replay_from_checkpoint(
+            manager.checkpoints()[1], lambda: build_sim("columnar"), records
+        )
+        assert report.clean
+
+
+class TestEngineDefault:
+    def test_default_engine_is_columnar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert default_engine() == "columnar"
+        assert SimConfig().engine == "columnar"
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "object")
+        assert SimConfig().engine == "object"
+
+    def test_invalid_env_value_is_rejected_like_an_argument(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        with pytest.raises(ValueError, match="engine"):
+            SimConfig()
+
+    def test_explicit_argument_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "object")
+        assert SimConfig(engine="columnar").engine == "columnar"
