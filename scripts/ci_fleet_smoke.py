@@ -1,0 +1,277 @@
+#!/usr/bin/env python
+"""CI fleet smoke: the multi-chip runtime must survive murder and amnesia.
+
+Three drills against an 8-chip fleet with a shared grid power budget:
+
+1. **Determinism** -- the identical fault-free campaign run twice must
+   produce byte-identical reports (the fleet's results depend only on
+   its config, never on process scheduling).
+2. **Supervisor SIGKILL + resume** -- a campaign launched as a
+   subprocess is SIGKILLed (whole process group, no cleanup handlers)
+   once its manifest records progress; its workers must self-terminate
+   (zero orphans), and resuming from the manifest must complete the
+   campaign with a report byte-identical to an uninterrupted run's.
+3. **Worker faults** -- a campaign with injected worker SIGKILLs, a
+   wedged worker (stall) and dropped result messages must detect every
+   fault, restart from per-chip checkpoints, keep the budget audit
+   clean (conservation through every degraded epoch), and still bring
+   every chip to the final epoch.
+
+After every drill the process table is scanned (via each process's
+``REPRO_FLEET_RUN_ID`` environment marker) for orphaned workers.
+
+Exits 0 on success, 1 with a diagnostic on any violation; the wall-clock
+watchdog exits 2 if the smoke itself wedges.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.checkpoint import fleet_manifest_path, read_fleet_manifest  # noqa: E402
+from repro.experiments.fleet import (  # noqa: E402
+    resume_fleet_campaign,
+    run_fleet_campaign,
+)
+from repro.fleet import FLEET_ENV_MARKER, RetryPolicy  # noqa: E402
+from repro.watchdog import WallClockWatchdog  # noqa: E402
+
+#: Hard wall-clock budget; a hung fleet (deadlocked pipe, stuck worker)
+#: exits 2 with thread stacks instead of stalling the CI job
+#: (override: REPRO_SMOKE_TIMEOUT_S).
+WALL_BUDGET_S = 1500.0
+
+CHIPS = 8
+EPOCHS = 5
+EPOCH_S = 0.3
+
+#: Short detection timeouts so injected stalls are cheap to wait out.
+RETRY = RetryPolicy(attempts=2, timeout_s=5.0, backoff=2.0, max_timeout_s=10.0)
+
+
+def fleet_workers(fleet_dir):
+    """PIDs of live workers stamped with this fleet's environment marker."""
+    marker = f"{FLEET_ENV_MARKER}={os.path.realpath(fleet_dir)}".encode()
+    pids = []
+    for name in os.listdir("/proc"):
+        if not name.isdigit():
+            continue
+        try:
+            with open(f"/proc/{name}/environ", "rb") as handle:
+                environ = handle.read()
+        except OSError:
+            continue
+        if marker in environ.split(b"\0"):
+            pids.append(int(name))
+    return pids
+
+
+def assert_no_orphans(fleet_dir, tag, grace_s=30.0):
+    """Workers must vanish on their own within ``grace_s`` of fleet death."""
+    deadline = time.monotonic() + grace_s
+    while time.monotonic() < deadline:
+        orphans = fleet_workers(fleet_dir)
+        if not orphans:
+            print(f"[{tag}] zero orphaned workers")
+            return True
+        time.sleep(0.5)
+    print(f"[{tag}] FAIL: orphaned worker pids {orphans} outlived the fleet")
+    for pid in orphans:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+    return False
+
+
+def report_bytes(result):
+    return json.dumps(result.report, sort_keys=True).encode()
+
+
+def gate(result, tag, expect_restarts=0):
+    """Common pass criteria: complete, audit-clean, expected recoveries."""
+    failures = []
+    if not result.all_chips_complete():
+        completed = {
+            cid: chip["completed_epochs"]
+            for cid, chip in result.report["chips"].items()
+        }
+        failures.append(f"not every chip completed all epochs: {completed}")
+    if result.audit_violations:
+        failures.append(
+            f"budget audit violations: {result.audit_violations}"
+        )
+    if result.total_restarts < expect_restarts:
+        failures.append(
+            f"expected at least {expect_restarts} worker restart(s), "
+            f"saw {result.total_restarts}"
+        )
+    for line in failures:
+        print(f"[{tag}] FAIL: {line}")
+    if not failures:
+        print(
+            f"[{tag}] ok: {result.epochs_completed} epochs, "
+            f"{result.total_restarts} restart(s), audit clean"
+        )
+    return not failures
+
+
+def drill_determinism(workdir):
+    tag = "determinism"
+    runs = []
+    for i in range(2):
+        fleet_dir = os.path.join(workdir, f"det-{i}")
+        result = run_fleet_campaign(
+            chips=CHIPS, epochs=EPOCHS, epoch_s=EPOCH_S,
+            fleet_dir=fleet_dir, retry=RETRY,
+        )
+        if not gate(result, f"{tag}-{i}"):
+            return False
+        if not assert_no_orphans(fleet_dir, f"{tag}-{i}"):
+            return False
+        runs.append(report_bytes(result))
+    if runs[0] != runs[1]:
+        print(f"[{tag}] FAIL: two identical fault-free campaigns diverged")
+        return False
+    print(f"[{tag}] byte-identical reports across runs")
+    return True
+
+
+def wait_for_progress(fleet_dir, min_epochs=1, timeout_s=300.0):
+    """Block until the fleet manifest records ``min_epochs`` epochs."""
+    manifest_path = fleet_manifest_path(fleet_dir)
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if os.path.exists(manifest_path):
+            try:
+                if read_fleet_manifest(manifest_path).epochs_completed >= min_epochs:
+                    return True
+            except Exception:
+                pass  # mid-write or mid-rename; retry
+        time.sleep(0.2)
+    return False
+
+
+def drill_supervisor_kill(workdir):
+    tag = "supervisor-kill"
+    # Reference: the identical campaign, never interrupted.
+    reference = run_fleet_campaign(
+        chips=CHIPS, epochs=EPOCHS, epoch_s=EPOCH_S,
+        fleet_dir=os.path.join(workdir, "kill-ref"), retry=RETRY,
+    )
+    if not gate(reference, f"{tag}-reference"):
+        return False
+
+    # Victim: the same campaign via the CLI, SIGKILLed mid-flight.
+    fleet_dir = os.path.join(workdir, "kill-victim")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
+    )
+    victim = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.cli", "fleet",
+            "--fleet-chips", str(CHIPS), "--fleet-epochs", str(EPOCHS),
+            "--epoch-duration", str(EPOCH_S), "--fleet-timeout", "5.0",
+            "--fleet-dir", fleet_dir,
+            "--out", os.path.join(workdir, "kill-victim-out"),
+        ],
+        env=env, cwd=REPO_ROOT, start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        if not wait_for_progress(fleet_dir, min_epochs=1):
+            print(f"[{tag}] FAIL: victim never recorded an epoch")
+            return False
+        try:
+            os.killpg(victim.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass  # victim finished everything first; resume is a no-op
+        victim.wait(timeout=30)
+    finally:
+        if victim.poll() is None:
+            os.killpg(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+    killed_at = read_fleet_manifest(fleet_manifest_path(fleet_dir)).epochs_completed
+    print(f"[{tag}] victim SIGKILLed at {killed_at}/{EPOCHS} recorded epochs")
+
+    # The murdered supervisor's workers must self-terminate...
+    if not assert_no_orphans(fleet_dir, f"{tag}-post-kill"):
+        return False
+    # ...and the resumed fleet must finish byte-identically.  The CLI's
+    # retry knobs live in the manifest, so resume sees the same config.
+    resumed = resume_fleet_campaign(fleet_dir)
+    if not gate(resumed, f"{tag}-resumed"):
+        return False
+    if not assert_no_orphans(fleet_dir, f"{tag}-resumed"):
+        return False
+    ref_bytes = report_bytes(reference)
+    res_bytes = report_bytes(resumed)
+    if ref_bytes != res_bytes:
+        # The reference ran in-process with RETRY; the victim ran with
+        # the CLI's retry flags.  Identity excludes retry, so only the
+        # config echo may differ -- compare with configs normalised.
+        ref = json.loads(ref_bytes)
+        res = json.loads(res_bytes)
+        ref["config"].pop("retry", None)
+        res["config"].pop("retry", None)
+        if json.dumps(ref, sort_keys=True) != json.dumps(res, sort_keys=True):
+            print(f"[{tag}] FAIL: resumed report diverged from reference")
+            return False
+    print(f"[{tag}] resumed report byte-identical to uninterrupted run")
+    return True
+
+
+def drill_worker_faults(workdir):
+    tag = "worker-faults"
+    fleet_dir = os.path.join(workdir, "faults")
+    result = run_fleet_campaign(
+        chips=CHIPS, epochs=EPOCHS, epoch_s=EPOCH_S,
+        fleet_dir=fleet_dir, retry=RETRY,
+        faults=[
+            "worker-kill@1:chip02",
+            "worker-kill@2:chip05",
+            "worker-stall@2:chip00:3600",
+            "worker-msg-loss@3:chip07:1",
+        ],
+    )
+    # Two SIGKILLs + one hard stall must each force a restart; the
+    # dropped message must be recovered in-band (retry + idempotent
+    # cache), so it contributes no restart.
+    if not gate(result, tag, expect_restarts=3):
+        return False
+    injected = result.report["faults_injected"]
+    if injected.get("worker-kill") != 2 or injected.get("worker-stall") != 1 \
+            or injected.get("worker-msg-loss") != 1:
+        print(f"[{tag}] FAIL: injection counts off: {injected}")
+        return False
+    if not assert_no_orphans(fleet_dir, tag):
+        return False
+    print(f"[{tag}] all faults detected, all chips recovered to final epoch")
+    return True
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="fleet-smoke-")
+    try:
+        for drill in (drill_determinism, drill_supervisor_kill, drill_worker_faults):
+            if not drill(workdir):
+                return 1
+        print("fleet smoke passed: determinism, supervisor kill-resume, "
+              "worker-fault recovery all clean")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    with WallClockWatchdog(WALL_BUDGET_S, label="fleet smoke"):
+        sys.exit(main())

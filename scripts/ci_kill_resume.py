@@ -34,6 +34,13 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
+from repro.watchdog import WallClockWatchdog  # noqa: E402
+
+#: Hard wall-clock budget; a hung drill (e.g. a victim subprocess that
+#: never checkpoints) exits 2 with thread stacks instead of stalling the
+#: CI job (override: REPRO_SMOKE_TIMEOUT_S).
+WALL_BUDGET_S = 1200.0
+
 FAULT = "sensor-dropout"
 CAMPAIGN_ARGS = [
     "--fault", FAULT,
@@ -196,4 +203,5 @@ def main():
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    with WallClockWatchdog(WALL_BUDGET_S, label="kill-resume drill"):
+        sys.exit(main())

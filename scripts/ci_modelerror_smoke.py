@@ -30,9 +30,14 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.experiments.modelerror import run_model_error_campaign  # noqa: E402
+from repro.watchdog import WallClockWatchdog  # noqa: E402
 
 DURATION_S = 20.0
 WARMUP_S = 3.0
+
+#: Hard wall-clock budget; a hung sweep exits 2 with thread stacks
+#: instead of stalling the CI job (override: REPRO_SMOKE_TIMEOUT_S).
+WALL_BUDGET_S = 900.0
 ERROR_MAGNITUDES = (0.0, 2.0)
 DRIFT_RATES = (0.0, 0.5)
 #: Fraction of the measured window a run may spend above the cap.  The
@@ -107,4 +112,5 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    with WallClockWatchdog(WALL_BUDGET_S, label="model-error smoke"):
+        sys.exit(main())

@@ -32,9 +32,14 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.core import AdmissionConfig, AdmissionState  # noqa: E402
 from repro.experiments.overload import run_overload  # noqa: E402
+from repro.watchdog import WallClockWatchdog  # noqa: E402
 
 DURATION_S = 30.0
 WARMUP_S = 3.0
+
+#: Hard wall-clock budget; a hung run exits 2 with thread stacks
+#: instead of stalling the CI job (override: REPRO_SMOKE_TIMEOUT_S).
+WALL_BUDGET_S = 900.0
 CALM_STATES = (AdmissionState.OPEN.value, AdmissionState.DEGRADED.value)
 
 
@@ -92,4 +97,5 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    with WallClockWatchdog(WALL_BUDGET_S, label="overload smoke"):
+        sys.exit(main())

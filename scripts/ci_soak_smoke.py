@@ -26,9 +26,14 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.experiments.campaigns import run_soak  # noqa: E402
+from repro.watchdog import WallClockWatchdog  # noqa: E402
 
 SOAK_DURATION_S = 60.0
 WARMUP_S = 5.0
+
+#: Hard wall-clock budget; a hung soak exits 2 with thread stacks
+#: instead of stalling the CI job (override: REPRO_SMOKE_TIMEOUT_S).
+WALL_BUDGET_S = 1200.0
 
 
 def main() -> int:
@@ -62,4 +67,5 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    with WallClockWatchdog(WALL_BUDGET_S, label="soak smoke"):
+        sys.exit(main())

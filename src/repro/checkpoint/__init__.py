@@ -11,6 +11,16 @@ original run's journal to localize the first divergent tick.
 """
 
 from .atomicio import atomic_write_text, fsync_directory
+from .fleetmanifest import (
+    FLEET_MANIFEST_MAGIC,
+    FLEET_MANIFEST_NAME,
+    FLEET_MANIFEST_SCHEMA_VERSION,
+    FleetManifest,
+    fleet_manifest_path,
+    read_fleet_manifest,
+    validate_fleet_manifest,
+    write_fleet_manifest,
+)
 from .manager import CheckpointManager, resume_from
 from .replay import (
     JOURNAL_MAGIC,
@@ -46,6 +56,10 @@ from .store import (
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
+    "FLEET_MANIFEST_MAGIC",
+    "FLEET_MANIFEST_NAME",
+    "FLEET_MANIFEST_SCHEMA_VERSION",
+    "FleetManifest",
     "JOURNAL_MAGIC",
     "CheckpointCorruptError",
     "CheckpointEnvelope",
@@ -60,11 +74,13 @@ __all__ = [
     "canonical_json",
     "checkpoint_filename",
     "diff_tick_records",
+    "fleet_manifest_path",
     "fsync_directory",
     "latest_checkpoint",
     "list_checkpoints",
     "payload_checksum",
     "read_checkpoint",
+    "read_fleet_manifest",
     "read_journal",
     "replay_from_checkpoint",
     "restore_simulation",
@@ -72,6 +88,8 @@ __all__ = [
     "simulation_fingerprint",
     "snapshot_simulation",
     "tick_records",
+    "validate_fleet_manifest",
     "write_checkpoint",
+    "write_fleet_manifest",
     "write_journal",
 ]

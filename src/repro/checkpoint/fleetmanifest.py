@@ -1,0 +1,200 @@
+"""The fleet checkpoint manifest: one file naming a whole fleet's state.
+
+A fleet campaign checkpoints at two levels.  Each chip's worker writes
+ordinary per-chip checkpoints through :class:`~repro.checkpoint.manager.
+CheckpointManager`; the supervisor then records, after every completed
+global epoch, a *manifest* composing those per-chip snapshots with its
+own market state (ladders, audit records, epoch rows).  Resuming a fleet
+means: read the manifest, respawn every worker from exactly the per-chip
+checkpoint the manifest names (never "the latest file" -- a worker may
+have checkpointed an epoch the supervisor never acknowledged before a
+crash), and restore the supervisor's state verbatim.  A fault-free fleet
+resumed this way reproduces the original report byte for byte.
+
+The manifest envelope mirrors the per-chip format: magic marker, schema
+version, the fleet's config fingerprint, and a checksummed body --
+corrupt or mismatched manifests are refused with the same error
+taxonomy as single-chip checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from .atomicio import atomic_write_text
+from .store import (
+    CheckpointCorruptError,
+    CheckpointFingerprintError,
+    CheckpointSchemaError,
+    payload_checksum,
+    read_checkpoint,
+)
+
+#: Bump on any incompatible change to the manifest body layout.
+FLEET_MANIFEST_SCHEMA_VERSION = 1
+
+FLEET_MANIFEST_MAGIC = "repro-fleet-manifest"
+
+#: File name of the manifest inside a fleet directory.
+FLEET_MANIFEST_NAME = "fleet_manifest.json"
+
+
+def fleet_manifest_path(fleet_dir: str) -> str:
+    return os.path.join(fleet_dir, FLEET_MANIFEST_NAME)
+
+
+@dataclass
+class FleetManifest:
+    """A parsed-and-validated fleet manifest."""
+
+    path: str
+    fingerprint: str
+    epochs_completed: int
+    config: Dict[str, Any]
+    chips: Dict[str, Dict[str, Any]]
+    supervisor: Dict[str, Any]
+
+
+def write_fleet_manifest(
+    fleet_dir: str,
+    *,
+    fingerprint: str,
+    config: Dict[str, Any],
+    epochs_completed: int,
+    chips: Dict[str, Dict[str, Any]],
+    supervisor: Dict[str, Any],
+) -> str:
+    """Atomically write the fleet manifest; returns its path.
+
+    ``chips`` maps chip id to ``{"checkpoint": <relpath under
+    fleet_dir>, "completed_epochs": n, ...}``; ``supervisor`` carries the
+    supervisor's own restorable state.  The body is serialised with
+    sorted keys so identical fleet states produce identical bytes.
+    """
+    body = {
+        "config": config,
+        "epochs_completed": epochs_completed,
+        "chips": chips,
+        "supervisor": supervisor,
+    }
+    envelope = {
+        "magic": FLEET_MANIFEST_MAGIC,
+        "schema_version": FLEET_MANIFEST_SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "body_sha256": payload_checksum(body),
+        "body": body,
+    }
+    return atomic_write_text(
+        fleet_manifest_path(fleet_dir), json.dumps(envelope, sort_keys=True)
+    )
+
+
+def read_fleet_manifest(
+    path: str, expected_fingerprint: Optional[str] = None
+) -> FleetManifest:
+    """Read and validate one fleet manifest.
+
+    Raises:
+        CheckpointCorruptError: unreadable JSON, missing fields, or a
+            body checksum mismatch.
+        CheckpointSchemaError: manifest schema this code does not speak.
+        CheckpointFingerprintError: ``expected_fingerprint`` given and
+            different from the file's -- the manifest belongs to a
+            different fleet configuration.
+    """
+    try:
+        with open(path, "r") as handle:
+            envelope = json.load(handle)
+    except OSError as exc:
+        raise CheckpointCorruptError(
+            f"cannot read fleet manifest {path!r}: {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise CheckpointCorruptError(
+            f"fleet manifest {path!r} is not valid JSON ({exc}); the file "
+            "is corrupt"
+        ) from exc
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("magic") != FLEET_MANIFEST_MAGIC
+    ):
+        raise CheckpointCorruptError(
+            f"fleet manifest {path!r} is missing the "
+            f"{FLEET_MANIFEST_MAGIC!r} magic marker; this is not a fleet "
+            "manifest file"
+        )
+    version = envelope.get("schema_version")
+    if version != FLEET_MANIFEST_SCHEMA_VERSION:
+        raise CheckpointSchemaError(
+            f"fleet manifest {path!r} uses schema version {version!r}, but "
+            f"this build speaks version {FLEET_MANIFEST_SCHEMA_VERSION}"
+        )
+    missing = [
+        key for key in ("fingerprint", "body_sha256", "body") if key not in envelope
+    ]
+    if missing:
+        raise CheckpointCorruptError(
+            f"fleet manifest {path!r} is missing envelope fields {missing}; "
+            "the file is corrupt"
+        )
+    body = envelope["body"]
+    actual = payload_checksum(body)
+    if actual != envelope["body_sha256"]:
+        raise CheckpointCorruptError(
+            f"fleet manifest {path!r} fails its body checksum (expected "
+            f"{envelope['body_sha256'][:12]}..., got {actual[:12]}...); the "
+            "file is corrupt"
+        )
+    if (
+        expected_fingerprint is not None
+        and envelope["fingerprint"] != expected_fingerprint
+    ):
+        raise CheckpointFingerprintError(
+            f"fleet manifest {path!r} belongs to a different fleet: its "
+            f"fingerprint is {envelope['fingerprint'][:12]}... but the fleet "
+            f"being resumed has {expected_fingerprint[:12]}...."
+        )
+    for key in ("config", "epochs_completed", "chips", "supervisor"):
+        if key not in body:
+            raise CheckpointCorruptError(
+                f"fleet manifest {path!r} body is missing {key!r}"
+            )
+    return FleetManifest(
+        path=path,
+        fingerprint=envelope["fingerprint"],
+        epochs_completed=int(body["epochs_completed"]),
+        config=body["config"],
+        chips=body["chips"],
+        supervisor=body["supervisor"],
+    )
+
+
+def validate_fleet_manifest(manifest: FleetManifest, fleet_dir: str) -> None:
+    """Verify every per-chip checkpoint the manifest points at.
+
+    Each chip's checkpoint file must exist, pass its own envelope
+    validation (magic, schema, payload checksum), and agree with the
+    manifest on how many epochs that chip has completed.
+
+    Raises:
+        CheckpointError: (any subclass) naming the first broken chip.
+    """
+    for chip_id in sorted(manifest.chips):
+        entry = manifest.chips[chip_id]
+        relpath = entry.get("checkpoint")
+        if not relpath:
+            raise CheckpointCorruptError(
+                f"fleet manifest names no checkpoint for chip {chip_id!r}"
+            )
+        envelope = read_checkpoint(os.path.join(fleet_dir, relpath))
+        recorded = int(entry.get("completed_epochs", -1))
+        actual = envelope.payload.get("extra", {}).get("completed_epochs")
+        if actual is None or int(actual) != recorded:
+            raise CheckpointCorruptError(
+                f"chip {chip_id!r}: manifest records {recorded} completed "
+                f"epoch(s) but its checkpoint {relpath!r} carries "
+                f"{actual!r}; the manifest and checkpoint disagree"
+            )

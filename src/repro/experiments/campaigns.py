@@ -38,6 +38,7 @@ from ..checkpoint.store import CHECKPOINT_GLOB_RE
 from ..core.powerest import EstimationConfig
 from ..faults import (
     COUNTER_FAULTS,
+    FLEET_FAULTS,
     THERMAL_FAULTS,
     FaultInjector,
     FaultKind,
@@ -51,9 +52,13 @@ from ..tasks import build_workload
 from .harness import capped_tdp_w, make_governor
 from .parallel import PointSpec, execute_points
 
-#: CLI spellings of the injectable fault kinds.
+#: CLI spellings of the single-chip injectable fault kinds.  Fleet-tier
+#: kinds (``FLEET_FAULTS``) address worker *processes*, which a one-chip
+#: campaign does not have -- they are the ``fleet`` command's business
+#: (see :mod:`repro.experiments.fleet`), so they are excluded here and
+#: :func:`run_fault_campaign` refuses them with a pointer.
 CAMPAIGN_FAULTS: Dict[str, FaultKind] = {
-    kind.value: kind for kind in FaultKind
+    kind.value: kind for kind in FaultKind if kind not in FLEET_FAULTS
 }
 
 #: Governors every campaign exercises by default.
@@ -471,7 +476,13 @@ def run_fault_campaign(
     streams disjoint, and results are merged in governor order so the
     report is identical to a serial campaign's.
     """
-    parse_fault_kind(fault)  # clean ValueError naming every valid kind
+    kind = parse_fault_kind(fault)  # clean ValueError naming every valid kind
+    if kind in FLEET_FAULTS:
+        raise ValueError(
+            f"fault kind {fault!r} targets fleet worker processes, which a "
+            "single-chip campaign does not have; run it through "
+            "'repro-experiments fleet --fleet-fault ...' instead"
+        )
     cap = power_cap_w if power_cap_w is not None else capped_tdp_w()
     identity = _campaign_identity(
         fault, workload, duration_s, warmup_s, intensity, seed, cap, governors

@@ -17,6 +17,9 @@ Examples::
     repro-experiments overload --multiplier 3 --overload-duration 30
     repro-experiments overload-soak --soak-duration 60
     repro-experiments model-error --error-magnitudes 0,0.5,2 --drift-rates 0,0.2
+    repro-experiments fleet --fleet-chips 8 --fleet-epochs 6
+    repro-experiments fleet --fleet-fault worker-kill@2:chip03
+    repro-experiments fleet --resume-fleet --fleet-dir results/fleet
 """
 
 from __future__ import annotations
@@ -37,6 +40,12 @@ from .campaigns import (
     run_soak,
     write_campaign_report,
     write_soak_report,
+)
+from .fleet import (
+    DEFAULT_FLEET_DIR,
+    resume_fleet_campaign,
+    run_fleet_campaign,
+    write_fleet_report,
 )
 from .harness import GOVERNOR_NAMES
 from .modelerror import (
@@ -325,6 +334,37 @@ def _run_overload_soak(args) -> str:
     return result.as_table() + f"\n\nreport written to {path}"
 
 
+def _run_fleet(args) -> str:
+    from ..checkpoint import CheckpointError as _CheckpointError
+    from ..fleet import FleetBudgetInvariantError, RetryPolicy
+
+    try:
+        if args.resume_fleet:
+            result = resume_fleet_campaign(
+                args.fleet_dir, strict_audit=args.strict_audit
+            )
+        else:
+            result = run_fleet_campaign(
+                chips=args.fleet_chips,
+                epochs=args.fleet_epochs,
+                epoch_s=args.epoch_duration,
+                grid_budget_w=args.grid_budget,
+                seed=args.seed,
+                fleet_dir=args.fleet_dir,
+                faults=args.fleet_fault or (),
+                retry=RetryPolicy(timeout_s=args.fleet_timeout),
+                strict_audit=args.strict_audit,
+            )
+    except ValueError as exc:
+        raise SystemExit(f"fleet: {exc}")
+    except FleetBudgetInvariantError as exc:
+        raise SystemExit(f"fleet budget audit failed: {exc}")
+    except (_CheckpointError, OSError) as exc:
+        raise SystemExit(f"fleet resume failed: {exc}")
+    path = write_fleet_report(result, out_dir=args.out)
+    return result.as_table() + f"\n\nreport written to {path}"
+
+
 _COMMANDS = {
     "table1": _run_table1,
     "table2": _run_table2,
@@ -350,6 +390,7 @@ _EXTRA_COMMANDS = {
     "overload": _run_overload,
     "overload-soak": _run_overload_soak,
     "model-error": _run_model_error,
+    "fleet": _run_fleet,
 }
 
 
@@ -522,6 +563,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="replay: exit non-zero if the replay diverges from the journal",
+    )
+    fleet = parser.add_argument_group("fleet campaigns (multi-chip)")
+    fleet.add_argument(
+        "--fleet-chips",
+        type=int,
+        default=8,
+        help="number of chips (worker processes) in the fleet (default: 8)",
+    )
+    fleet.add_argument(
+        "--fleet-epochs",
+        type=int,
+        default=6,
+        help="global budget epochs to run (default: 6)",
+    )
+    fleet.add_argument(
+        "--epoch-duration",
+        type=float,
+        default=0.5,
+        help="simulated seconds per fleet epoch (default: 0.5)",
+    )
+    fleet.add_argument(
+        "--grid-budget",
+        type=float,
+        default=None,
+        help="grid power budget in watts (default: 3 W per chip)",
+    )
+    fleet.add_argument(
+        "--fleet-fault",
+        action="append",
+        default=None,
+        metavar="KIND@EPOCH:CHIP[:PARAM]",
+        help=(
+            "inject a fleet fault, e.g. worker-kill@2:chip03, "
+            "worker-stall@3:chip05:45, worker-msg-loss@1:chip00:2 "
+            "(repeatable)"
+        ),
+    )
+    fleet.add_argument(
+        "--fleet-dir",
+        default=DEFAULT_FLEET_DIR,
+        help=(
+            "fleet state directory: per-chip checkpoints + manifest "
+            f"(default: {DEFAULT_FLEET_DIR}/)"
+        ),
+    )
+    fleet.add_argument(
+        "--resume-fleet",
+        action="store_true",
+        help="resume an interrupted fleet campaign from its manifest",
+    )
+    fleet.add_argument(
+        "--fleet-timeout",
+        type=float,
+        default=10.0,
+        help=(
+            "base per-attempt worker reply timeout in wall seconds; "
+            "retries back off exponentially from here (default: 10)"
+        ),
     )
     return parser
 

@@ -15,6 +15,7 @@ counterpart lives in :mod:`repro.core.resilience`; fault campaigns in
 from .events import (
     CLUSTER_FAULTS,
     COUNTER_FAULTS,
+    FLEET_FAULTS,
     TASK_FAULTS,
     THERMAL_FAULTS,
     FaultEvent,
@@ -36,6 +37,7 @@ from .injector import (
 __all__ = [
     "CLUSTER_FAULTS",
     "COUNTER_FAULTS",
+    "FLEET_FAULTS",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",

@@ -65,6 +65,17 @@ class FaultKind(str, Enum):
     #: scaled by a factor ramping linearly from 1 to ``1 + magnitude``
     #: over the window (silicon aging / temperature-dependent leakage).
     POWER_MODEL_DRIFT = "power-model-drift"
+    #: A fleet worker process is killed with SIGKILL (OOM killer, node
+    #: crash); no cleanup handlers run and its chip goes dark mid-epoch.
+    WORKER_KILL = "worker-kill"
+    #: A fleet worker's main loop wedges (deadlock, GC pause, NFS hang):
+    #: the process stays alive but stops answering for ``stall_s`` wall
+    #: seconds, so only heartbeat/result timeouts can detect it.
+    WORKER_STALL = "worker-stall"
+    #: A fleet worker's outbound epoch results are lost in transit
+    #: (dropped datagrams, a flaky overlay); the work itself completes
+    #: and bounded request retries must recover the receipt.
+    WORKER_MSG_LOSS = "worker-msg-loss"
 
 
 @dataclass(frozen=True)
@@ -78,11 +89,15 @@ class KindSpec:
 
     Attributes:
         targets: What the event's ``target`` field names -- ``"cluster"``,
-            ``"task"``, or ``None`` when the kind addresses a chip-global
-            subject (the power sensor).
+            ``"task"``, ``"chip"`` (a fleet worker's chip id), or ``None``
+            when the kind addresses a chip-global subject (the power
+            sensor).
         requires: Opt-in subsystem the kind needs to have any effect:
             ``"thermal"`` (``SimConfig.thermal``), ``"counters"``
-            (``SimConfig.estimation``), or ``None``.
+            (``SimConfig.estimation``), ``"fleet"`` (a
+            :class:`~repro.fleet.FleetSupervisor` run -- these kinds are
+            injected between processes, not inside one simulation), or
+            ``None``.
     """
 
     targets: Optional[str] = None
@@ -104,14 +119,22 @@ _KIND_SPECS = {
     FaultKind.COUNTER_BIAS: KindSpec(targets="cluster", requires="counters"),
     FaultKind.COUNTER_DROPOUT: KindSpec(targets="cluster", requires="counters"),
     FaultKind.POWER_MODEL_DRIFT: KindSpec(targets="cluster"),
+    FaultKind.WORKER_KILL: KindSpec(targets="chip", requires="fleet"),
+    FaultKind.WORKER_STALL: KindSpec(targets="chip", requires="fleet"),
+    FaultKind.WORKER_MSG_LOSS: KindSpec(targets="chip", requires="fleet"),
 }
-if set(_KIND_SPECS) != set(FaultKind):
-    missing = {kind.value for kind in FaultKind} - {
-        kind.value for kind in _KIND_SPECS
-    }
-    raise RuntimeError(
-        f"every FaultKind needs a KindSpec registration; missing: {sorted(missing)}"
-    )
+def _check_registry_complete() -> None:
+    if set(_KIND_SPECS) != set(FaultKind):
+        missing = {kind.value for kind in FaultKind} - {
+            kind.value for kind in _KIND_SPECS
+        }
+        raise RuntimeError(
+            "every FaultKind needs a KindSpec registration; "
+            f"missing: {sorted(missing)}"
+        )
+
+
+_check_registry_complete()
 
 
 def _kinds_where(predicate) -> frozenset:
@@ -128,6 +151,9 @@ TASK_FAULTS = _kinds_where(lambda spec: spec.targets == "task")
 THERMAL_FAULTS = _kinds_where(lambda spec: spec.requires == "thermal")
 #: Kinds that require estimated-power operation (the counter pipeline).
 COUNTER_FAULTS = _kinds_where(lambda spec: spec.requires == "counters")
+#: Kinds injected at the fleet tier (worker processes), not inside one
+#: simulation; single-chip campaigns must refuse them.
+FLEET_FAULTS = _kinds_where(lambda spec: spec.requires == "fleet")
 
 
 def parse_fault_kind(name: str) -> FaultKind:

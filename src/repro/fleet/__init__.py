@@ -1,0 +1,82 @@
+"""Fault-tolerant multi-chip fleet runtime.
+
+One more level of the paper's hierarchy: just as the chip agent splits
+TDP across clusters by auction, a :class:`FleetSupervisor` splits a
+*grid* power budget across whole chips -- each chip simulated in its own
+worker process -- clearing a price-weighted auction every epoch and
+auditing conservation throughout.  The headline property is robustness:
+workers that crash, stall, or drop messages are detected via bounded
+timeouts, restarted from per-chip checkpoints, and readmitted to the
+budget market through a hysteresis ladder, while the fleet degrades
+gracefully (surviving chips inherit the budget) instead of failing.
+
+Fault-free fleet runs are deterministic and byte-identically resumable
+from the fleet checkpoint manifest (:mod:`repro.checkpoint.fleetmanifest`).
+"""
+
+from .budget import (
+    ChipBid,
+    FleetAuditRecord,
+    FleetBudgetAuditor,
+    FleetBudgetConfig,
+    FleetBudgetInvariantError,
+    ReadmissionLadder,
+    clear_grants,
+)
+from .faults import (
+    DEFAULT_STALL_S,
+    FleetFaultEvent,
+    FleetFaultInjector,
+    FleetFaultSchedule,
+    parse_fleet_fault,
+)
+from .protocol import (
+    ProtocolError,
+    RetryPolicy,
+    WorkerClosed,
+    WorkerTimeout,
+    poll_message,
+    request,
+    send_message,
+)
+from .supervisor import (
+    FLEET_ENV_MARKER,
+    FLEET_REPORT_SCHEMA,
+    FleetConfig,
+    FleetSupervisor,
+    WorkerFault,
+    WorkerHandle,
+)
+from .worker import ChipSpec, build_chip_simulation, chip_directory, compute_bid
+
+__all__ = [
+    "DEFAULT_STALL_S",
+    "FLEET_ENV_MARKER",
+    "FLEET_REPORT_SCHEMA",
+    "ChipBid",
+    "ChipSpec",
+    "FleetAuditRecord",
+    "FleetBudgetAuditor",
+    "FleetBudgetConfig",
+    "FleetBudgetInvariantError",
+    "FleetConfig",
+    "FleetFaultEvent",
+    "FleetFaultInjector",
+    "FleetFaultSchedule",
+    "FleetSupervisor",
+    "ProtocolError",
+    "ReadmissionLadder",
+    "RetryPolicy",
+    "WorkerClosed",
+    "WorkerFault",
+    "WorkerHandle",
+    "WorkerTimeout",
+    "build_chip_simulation",
+    "chip_directory",
+    "clear_grants",
+    "compute_bid",
+    "parse_fleet_fault",
+    "poll_message",
+    "request",
+    "send_message",
+]

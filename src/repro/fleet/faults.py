@@ -1,0 +1,192 @@
+"""Fleet-tier fault injection: kill, stall and starve the workers.
+
+Single-chip faults perturb a simulation from the inside
+(:mod:`repro.faults`); fleet faults perturb the *runtime* -- worker
+processes are SIGKILLed, wedged, or have their replies dropped -- so the
+supervisor's detection/recovery machinery is what gets exercised, not
+the governors.  Events are scheduled in **epoch space** (inject at the
+start of global epoch ``k``), which keeps campaigns reproducible even
+though detection itself runs on wall-clock timeouts.
+
+The kinds are first-class members of the :class:`~repro.faults.FaultKind`
+taxonomy (``requires="fleet"`` in the ``KindSpec`` registry), so CLI
+parsing, listings and the completeness test all come from the one
+registry single-chip faults use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..faults import FLEET_FAULTS, FaultKind, parse_fault_kind
+
+#: Default wall-clock wedge for :attr:`FaultKind.WORKER_STALL`; long
+#: enough to exhaust any sane retry schedule so the stall is detected
+#: and the worker is killed and restarted rather than waited out.
+DEFAULT_STALL_S = 3600.0
+
+
+@dataclass(frozen=True)
+class FleetFaultEvent:
+    """One fleet fault: a kind, a global epoch, and a target chip.
+
+    Attributes:
+        kind: A fleet-tier :class:`~repro.faults.FaultKind` (member of
+            ``FLEET_FAULTS``).
+        epoch: Global epoch at whose start the fault is injected.
+        chip_id: The targeted chip's id.
+        stall_s: Wall-clock wedge length for ``WORKER_STALL``.
+        count: Results to drop for ``WORKER_MSG_LOSS``.
+    """
+
+    kind: FaultKind
+    epoch: int
+    chip_id: str
+    stall_s: float = DEFAULT_STALL_S
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FLEET_FAULTS:
+            raise ValueError(
+                f"{self.kind.value!r} is not a fleet fault kind; fleet "
+                "events accept: "
+                + ", ".join(sorted(k.value for k in FLEET_FAULTS))
+            )
+        if self.epoch < 0:
+            raise ValueError("fault epoch must be non-negative")
+        if not self.chip_id:
+            raise ValueError("fleet faults must name a chip id")
+        if self.stall_s <= 0:
+            raise ValueError("stall must be positive")
+        if self.count < 1:
+            raise ValueError("must drop at least one result")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind.value,
+            "epoch": self.epoch,
+            "chip_id": self.chip_id,
+            "stall_s": self.stall_s,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "FleetFaultEvent":
+        return cls(
+            kind=parse_fault_kind(str(data["kind"])),
+            epoch=int(data["epoch"]),
+            chip_id=str(data["chip_id"]),
+            stall_s=float(data.get("stall_s", DEFAULT_STALL_S)),
+            count=int(data.get("count", 1)),
+        )
+
+
+class FleetFaultSchedule:
+    """An immutable, epoch-indexed set of fleet fault events."""
+
+    def __init__(self, events: Iterable[FleetFaultEvent] = ()):
+        self._events: Tuple[FleetFaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.epoch, e.chip_id, e.kind.value))
+        )
+
+    @property
+    def events(self) -> Tuple[FleetFaultEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def at_epoch(self, epoch: int) -> List[FleetFaultEvent]:
+        return [e for e in self._events if e.epoch == epoch]
+
+    def to_json(self) -> List[Dict[str, object]]:
+        return [e.to_json() for e in self._events]
+
+    @classmethod
+    def from_json(cls, data: Iterable[Dict[str, object]]) -> "FleetFaultSchedule":
+        return cls(FleetFaultEvent.from_json(item) for item in data)
+
+
+def parse_fleet_fault(spec: str) -> FleetFaultEvent:
+    """Parse a CLI fault spec: ``<kind>@<epoch>:<chip-id>[:<param>]``.
+
+    ``<param>`` is the stall length in wall seconds for ``worker-stall``
+    and the number of dropped results for ``worker-msg-loss``; ignored
+    for ``worker-kill``.  Examples::
+
+        worker-kill@2:chip03
+        worker-stall@3:chip05:45
+        worker-msg-loss@1:chip00:2
+    """
+    head, sep, rest = spec.partition("@")
+    if not sep:
+        raise ValueError(
+            f"bad fleet fault spec {spec!r}; expected "
+            "<kind>@<epoch>:<chip-id>[:<param>]"
+        )
+    kind = parse_fault_kind(head.strip())
+    pieces = rest.split(":")
+    if len(pieces) not in (2, 3) or not pieces[0] or not pieces[1]:
+        raise ValueError(
+            f"bad fleet fault spec {spec!r}; expected "
+            "<kind>@<epoch>:<chip-id>[:<param>]"
+        )
+    try:
+        epoch = int(pieces[0])
+    except ValueError:
+        raise ValueError(
+            f"bad fleet fault epoch {pieces[0]!r} in {spec!r}"
+        ) from None
+    kwargs: Dict[str, object] = {}
+    if len(pieces) == 3:
+        try:
+            if kind is FaultKind.WORKER_MSG_LOSS:
+                kwargs["count"] = int(pieces[2])
+            else:
+                kwargs["stall_s"] = float(pieces[2])
+        except ValueError:
+            raise ValueError(
+                f"bad fleet fault parameter {pieces[2]!r} in {spec!r}"
+            ) from None
+    return FleetFaultEvent(kind=kind, epoch=epoch, chip_id=pieces[1], **kwargs)
+
+
+class FleetFaultInjector:
+    """Applies scheduled fleet faults through a supervisor's seams.
+
+    The supervisor calls :meth:`apply` at the start of every global
+    epoch; the injector turns each due event into the matching runtime
+    action -- SIGKILL the worker process, send a stall command, or arm a
+    result-drop counter -- and keeps per-kind injection counts for the
+    fleet report, mirroring ``FaultInjector.stats()``.
+    """
+
+    def __init__(self, schedule: FleetFaultSchedule):
+        self.schedule = schedule
+        self.injected: Dict[str, int] = {}
+
+    def apply(self, supervisor, epoch: int) -> List[FleetFaultEvent]:
+        """Inject every event due at ``epoch``; returns what was applied."""
+        applied: List[FleetFaultEvent] = []
+        for event in self.schedule.at_epoch(epoch):
+            if event.kind is FaultKind.WORKER_KILL:
+                done = supervisor.inject_kill(event.chip_id)
+            elif event.kind is FaultKind.WORKER_STALL:
+                done = supervisor.inject_stall(event.chip_id, event.stall_s)
+            else:  # WORKER_MSG_LOSS
+                done = supervisor.inject_message_loss(
+                    event.chip_id, event.count
+                )
+            if done:
+                self.injected[event.kind.value] = (
+                    self.injected.get(event.kind.value, 0) + 1
+                )
+                applied.append(event)
+        return applied
+
+    def stats(self) -> Dict[str, int]:
+        return dict(sorted(self.injected.items()))

@@ -1,0 +1,144 @@
+"""The supervisor<->worker message protocol.
+
+Messages are plain dicts with a ``"type"`` field, carried over
+:class:`multiprocessing.connection.Connection` pipes.  The transport is
+reliable while both ends live, but the *processes* are not: workers get
+SIGKILLed, stall for seconds, or deliberately drop replies under fault
+injection.  Every exchange therefore goes through :func:`request`, which
+implements the robustness contract the fleet promises:
+
+* every wait is bounded by a wall-clock timeout;
+* timeouts re-send the request a bounded number of times with
+  exponential backoff (workers treat re-delivered commands
+  idempotently, re-serving the cached result instead of re-running);
+* a peer that never answers surfaces as :class:`WorkerTimeout`, a
+  closed pipe (dead process) as :class:`WorkerClosed` -- never a hang.
+
+Nothing here touches simulated time: retries and timeouts are wall-clock
+mechanics, so a fault-free fleet run's *results* are independent of
+scheduling jitter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+# -- message types: supervisor -> worker --------------------------------
+MSG_EPOCH = "epoch"  #: run one chip-epoch under a budget grant
+MSG_STALL = "stall"  #: fault injection: wedge the main loop for stall_s
+MSG_DROP = "drop-results"  #: fault injection: drop the next n results
+MSG_SHUTDOWN = "shutdown"  #: clean exit
+
+# -- message types: worker -> supervisor --------------------------------
+MSG_HELLO = "hello"  #: worker up (fresh or restored), with its epoch count
+MSG_HEARTBEAT = "heartbeat"  #: liveness pulse emitted from the tick loop
+MSG_RESULT = "result"  #: one chip-epoch's telemetry + checkpoint pointer
+MSG_ERROR = "error"  #: worker-side exception (treated as a crash)
+
+
+class ProtocolError(RuntimeError):
+    """Base class for fleet transport failures."""
+
+
+class WorkerTimeout(ProtocolError):
+    """The worker did not answer within the bounded retry schedule."""
+
+
+class WorkerClosed(ProtocolError):
+    """The worker's pipe is closed -- the process is gone."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff.
+
+    Attempt ``k`` (0-based) waits ``timeout_s * backoff**k`` wall
+    seconds, capped at ``max_timeout_s``, before re-sending; after
+    ``attempts`` unanswered sends the exchange fails with
+    :class:`WorkerTimeout`.
+    """
+
+    attempts: int = 3
+    timeout_s: float = 10.0
+    backoff: float = 2.0
+    max_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.timeout_s <= 0 or self.max_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must not shrink the timeout")
+
+    def timeout_for(self, attempt: int) -> float:
+        return min(self.timeout_s * self.backoff**attempt, self.max_timeout_s)
+
+    def total_budget_s(self) -> float:
+        return sum(self.timeout_for(k) for k in range(self.attempts))
+
+
+def send_message(conn, msg_type: str, **fields: Any) -> Dict[str, Any]:
+    """Send one message; returns it.  Raises :class:`WorkerClosed`."""
+    message = {"type": msg_type, **fields}
+    try:
+        conn.send(message)
+    except (OSError, ValueError, EOFError) as exc:
+        raise WorkerClosed(f"pipe closed while sending {msg_type!r}: {exc}") from exc
+    return message
+
+
+def poll_message(conn, timeout_s: float) -> Optional[Dict[str, Any]]:
+    """Receive one message, or ``None`` after ``timeout_s`` of silence.
+
+    Raises :class:`WorkerClosed` when the peer end is gone.
+    """
+    try:
+        if not conn.poll(timeout_s):
+            return None
+        message = conn.recv()
+    except (OSError, EOFError) as exc:
+        raise WorkerClosed(f"pipe closed while receiving: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"malformed fleet message: {message!r}")
+    return message
+
+
+def request(
+    conn,
+    msg_type: str,
+    fields: Dict[str, Any],
+    matches: Callable[[Dict[str, Any]], bool],
+    policy: RetryPolicy,
+    on_other: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> Dict[str, Any]:
+    """Send a request and await a matching reply, with bounded retries.
+
+    Non-matching traffic (heartbeats, stale results) is handed to
+    ``on_other`` and does not reset the attempt's deadline, so a worker
+    that heartbeats forever without ever answering still times out.
+
+    Raises:
+        WorkerTimeout: every attempt's window elapsed without a match.
+        WorkerClosed: the pipe died at any point.
+    """
+    for attempt in range(policy.attempts):
+        send_message(conn, msg_type, **fields)
+        deadline = time.monotonic() + policy.timeout_for(attempt)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            message = poll_message(conn, remaining)
+            if message is None:
+                break
+            if matches(message):
+                return message
+            if on_other is not None:
+                on_other(message)
+    raise WorkerTimeout(
+        f"no reply to {msg_type!r} after {policy.attempts} attempt(s) "
+        f"({policy.total_budget_s():.1f}s of wall-clock budget)"
+    )

@@ -1,0 +1,404 @@
+"""The fleet worker: one chip's simulation, supervised over a pipe.
+
+A worker process owns exactly one :class:`~repro.sim.Simulation` (the
+existing single-chip engine, columnar or object) and advances it one
+*epoch* at a time on command.  Everything the robustness contract needs
+lives here:
+
+* **Idempotent commands** -- a re-delivered epoch command (the
+  supervisor retries on timeouts and injected message loss) is answered
+  from the cached result instead of re-running the epoch.
+* **Epoch-boundary checkpoints** -- the chip checkpoints through
+  :mod:`repro.checkpoint` after every epoch *before* reporting it, so a
+  SIGKILL at any instant loses at most the in-flight epoch and a restart
+  resumes bit-identically from the last boundary.
+* **Tick-loop heartbeats** -- liveness pulses are emitted from inside
+  the simulation loop (not a side thread), so a wedged worker genuinely
+  goes silent and the supervisor's timeouts are the only detector.
+* **Orphan self-termination** -- a closed pipe (the supervisor died)
+  aborts the worker even mid-epoch; a SIGKILLed supervisor leaves no
+  orphaned workers behind.
+
+Workers are spawned with the ``spawn`` start method: nothing is
+inherited except the explicit arguments, so no stray pipe ends keep a
+dead peer looking alive.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from ..checkpoint import CheckpointManager, resume_from
+from .protocol import (
+    MSG_DROP,
+    MSG_EPOCH,
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_HELLO,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_STALL,
+    WorkerClosed,
+    poll_message,
+    send_message,
+)
+
+#: Bid shaping: a chip asks for its measured draw plus headroom, plus a
+#: pressure term proportional to its QoS miss fraction -- a starving
+#: chip bids itself more budget, a coasting one releases it.  Pure in
+#: the epoch's telemetry, so bids (and hence the whole grid auction) are
+#: deterministic.
+BID_HEADROOM = 1.15
+BID_PRESSURE = 0.75
+MIN_BID_W = 0.3
+
+#: Floor on an applied budget grant: a cap of literally zero watts would
+#: be rejected by the governors' config validation, and a starved chip
+#: must still be able to run its market at a trickle.
+MIN_APPLIED_CAP_W = 0.05
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Identity of one fleet chip: everything needed to rebuild its sim."""
+
+    chip_id: str
+    workload: str = "m2"
+    governor: str = "PPM"
+    seed: int = 1
+    tdp_w: float = 8.0
+    region: str = "local"
+    dt: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not self.chip_id:
+            raise ValueError("chip id must be non-empty")
+        if self.tdp_w <= 0:
+            raise ValueError("chip TDP must be positive")
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+
+    def identity(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "ChipSpec":
+        return cls(
+            chip_id=str(data["chip_id"]),
+            workload=str(data["workload"]),
+            governor=str(data["governor"]),
+            seed=int(data["seed"]),
+            tdp_w=float(data["tdp_w"]),
+            region=str(data["region"]),
+            dt=float(data["dt"]),
+        )
+
+
+def chip_directory(fleet_dir: str, chip_id: str) -> str:
+    """Where one chip's checkpoints live under the fleet directory."""
+    return os.path.join(fleet_dir, "chips", chip_id)
+
+
+def build_chip_simulation(spec: ChipSpec):
+    """A fresh, never-stepped simulation for one fleet chip."""
+    # Local imports: repro.experiments pulls the whole harness package;
+    # workers only need it at build time and the fleet package must stay
+    # importable without triggering that chain at module load.
+    from ..experiments.harness import make_governor
+    from ..hw import tc2_chip
+    from ..sim import SimConfig, Simulation
+    from ..tasks import build_workload
+
+    chip = tc2_chip()
+    tasks = build_workload(spec.workload)
+    governor = make_governor(spec.governor, power_cap_w=spec.tdp_w)
+    return Simulation(
+        chip,
+        tasks,
+        governor,
+        config=SimConfig(
+            dt=spec.dt, metrics_warmup_s=0.0, seed=spec.seed, audit=True
+        ),
+    )
+
+
+def apply_power_cap(sim, cap_w: float) -> float:
+    """Set the chip's epoch budget as its governor's power cap.
+
+    For PPM the grant becomes the market's ``Wtdp`` (buffer ``Wth``
+    tracking it at the paper's 0.5 W offset); HPM/HL take it as their
+    ``power_cap_w`` setpoint.  Returns the cap actually applied.
+    """
+    cap = max(float(cap_w), MIN_APPLIED_CAP_W)
+    governor = sim.governor
+    market = getattr(governor, "market", None)
+    if market is not None:
+        wth = max(0.0, cap - 0.5)
+        governor.config.market.wtdp = cap
+        governor.config.market.wth = wth
+        market.chip.wtdp = cap
+        market.chip.wth = wth
+    elif hasattr(governor, "power_cap_w"):
+        governor.power_cap_w = cap
+    return cap
+
+
+def epoch_stats(metrics, start_tick: int, end_tick: int) -> Dict[str, float]:
+    """Average power and any-task miss fraction over one epoch's ticks.
+
+    Metrics record one sample per tick from tick zero (the fleet runs
+    with ``metrics_warmup_s=0``), so slicing by tick index is exact and
+    float-accumulation-proof across resumes.
+    """
+    window = metrics.samples[start_tick:end_tick]
+    if not window:
+        return {"avg_power_w": 0.0, "miss_fraction": 0.0}
+    total_power = 0.0
+    missed = 0
+    for sample in window:
+        total_power += sample.chip_power_w
+        if any(task.below_min for task in sample.tasks.values()):
+            missed += 1
+    return {
+        "avg_power_w": total_power / len(window),
+        "miss_fraction": missed / len(window),
+    }
+
+
+def compute_bid(spec: ChipSpec, avg_power_w: float, miss_fraction: float) -> float:
+    """Next epoch's bid from this epoch's telemetry (deterministic)."""
+    wanted = avg_power_w * (BID_HEADROOM + BID_PRESSURE * miss_fraction)
+    return min(spec.tdp_w, max(MIN_BID_W, wanted))
+
+
+class _HeartbeatPulse:
+    """Tick hook emitting liveness pulses from inside the sim loop.
+
+    Installed as ``sim.checkpointer`` (checkpoints are saved explicitly
+    at epoch boundaries, never from the hook).  Send failures mean the
+    supervisor is gone: :class:`WorkerClosed` propagates out of
+    ``sim.run`` and terminates the worker -- no orphans.
+    """
+
+    def __init__(self, conn, chip_id: str, interval_s: float):
+        self.conn = conn
+        self.chip_id = chip_id
+        self.interval_s = interval_s
+        self._last_beat = time.monotonic()
+
+    def on_tick(self, sim) -> None:
+        now = time.monotonic()
+        if now - self._last_beat >= self.interval_s:
+            send_message(
+                self.conn,
+                MSG_HEARTBEAT,
+                chip_id=self.chip_id,
+                tick_index=sim.tick_index,
+            )
+            self._last_beat = now
+
+
+class WorkerRuntime:
+    """The worker's command loop around one chip simulation."""
+
+    def __init__(
+        self,
+        conn,
+        spec: ChipSpec,
+        fleet_identity: Dict[str, Any],
+        fleet_dir: str,
+        heartbeat_interval_s: float = 0.5,
+        resume_checkpoint: Optional[str] = None,
+    ):
+        self.conn = conn
+        self.spec = spec
+        self.fleet_dir = fleet_dir
+        self.completed_epochs = 0
+        self.last_result: Optional[Dict[str, Any]] = None
+        self.drop_results = 0
+        fingerprint_extra = {
+            "fleet": fleet_identity,
+            "chip": spec.identity(),
+        }
+        if resume_checkpoint is not None:
+            path = os.path.join(fleet_dir, resume_checkpoint)
+            self.sim, envelope = resume_from(
+                path,
+                lambda: build_chip_simulation(spec),
+                fingerprint_extra=fingerprint_extra,
+            )
+            self.completed_epochs = int(
+                envelope.payload["extra"]["completed_epochs"]
+            )
+        else:
+            self.sim = build_chip_simulation(spec)
+        self.manager = CheckpointManager(
+            chip_directory(fleet_dir, spec.chip_id),
+            # Saves happen explicitly at epoch boundaries; the periodic
+            # trigger is pushed beyond any realistic run length.
+            interval_s=1e12,
+            retention=4,
+            stream=spec.chip_id,
+            fingerprint_extra=fingerprint_extra,
+        ).attach(self.sim)
+        self.sim.checkpointer = _HeartbeatPulse(
+            conn, spec.chip_id, heartbeat_interval_s
+        )
+        self._last_checkpoint = (
+            resume_checkpoint
+            if resume_checkpoint is not None
+            else self._save_checkpoint()
+        )
+
+    # ------------------------------------------------------------------
+    def _save_checkpoint(self) -> str:
+        """Checkpoint the current epoch boundary; returns its relpath."""
+        self.manager.extra_payload = {
+            "completed_epochs": self.completed_epochs
+        }
+        path = self.manager.save(self.sim)
+        return os.path.relpath(path, self.fleet_dir)
+
+    def _send_result(self, result: Dict[str, Any]) -> None:
+        if self.drop_results > 0:
+            # Injected message loss: the work happened, the checkpoint
+            # exists, only the receipt vanishes -- the supervisor's
+            # bounded retries must recover it from the cache.
+            self.drop_results -= 1
+            return
+        send_message(self.conn, MSG_RESULT, **result)
+
+    def _run_epoch(self, message: Dict[str, Any]) -> None:
+        epoch = int(message["epoch"])
+        if epoch < self.completed_epochs:
+            # Re-delivered command (retry after a lost reply): serve the
+            # cached result; never re-run simulated time.
+            if self.last_result is not None and self.last_result["epoch"] == epoch:
+                send_message(self.conn, MSG_RESULT, **self.last_result)
+                return
+            send_message(
+                self.conn,
+                MSG_ERROR,
+                chip_id=self.spec.chip_id,
+                reason=(
+                    f"epoch {epoch} already completed and its result is no "
+                    f"longer cached (at {self.completed_epochs})"
+                ),
+            )
+            return
+        if epoch > self.completed_epochs:
+            send_message(
+                self.conn,
+                MSG_ERROR,
+                chip_id=self.spec.chip_id,
+                reason=(
+                    f"epoch {epoch} requested but only "
+                    f"{self.completed_epochs} completed; missing epochs"
+                ),
+            )
+            return
+        applied_cap = apply_power_cap(self.sim, float(message["budget_w"]))
+        start_tick = self.sim.tick_index
+        self.sim.run(float(message["duration_s"]))
+        stats = epoch_stats(self.sim.metrics, start_tick, self.sim.tick_index)
+        self.completed_epochs = epoch + 1
+        self._last_checkpoint = self._save_checkpoint()
+        result = {
+            "chip_id": self.spec.chip_id,
+            "epoch": epoch,
+            "avg_power_w": stats["avg_power_w"],
+            "miss_fraction": stats["miss_fraction"],
+            "next_bid_w": compute_bid(
+                self.spec, stats["avg_power_w"], stats["miss_fraction"]
+            ),
+            "granted_w": applied_cap,
+            "audit_violations": self.sim.metrics.audit_violation_count(),
+            "tick_index": self.sim.tick_index,
+            "sim_time_s": self.sim.now,
+            "checkpoint": self._last_checkpoint,
+        }
+        self.last_result = result
+        self._send_result(result)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        send_message(
+            self.conn,
+            MSG_HELLO,
+            chip_id=self.spec.chip_id,
+            pid=os.getpid(),
+            completed_epochs=self.completed_epochs,
+            checkpoint=self._last_checkpoint,
+        )
+        heartbeat = self.sim.checkpointer
+        while True:
+            message = poll_message(self.conn, heartbeat.interval_s)
+            if message is None:
+                send_message(
+                    self.conn,
+                    MSG_HEARTBEAT,
+                    chip_id=self.spec.chip_id,
+                    tick_index=self.sim.tick_index,
+                )
+                continue
+            msg_type = message["type"]
+            if msg_type == MSG_SHUTDOWN:
+                return
+            if msg_type == MSG_EPOCH:
+                self._run_epoch(message)
+            elif msg_type == MSG_STALL:
+                # Injected wedge: the whole loop sleeps, heartbeats and
+                # all -- only the supervisor's timeouts can see this.
+                time.sleep(float(message["stall_s"]))
+            elif msg_type == MSG_DROP:
+                self.drop_results += int(message["count"])
+            else:
+                send_message(
+                    self.conn,
+                    MSG_ERROR,
+                    chip_id=self.spec.chip_id,
+                    reason=f"unknown command {msg_type!r}",
+                )
+
+
+def worker_main(
+    conn,
+    spec_data: Dict[str, Any],
+    fleet_identity: Dict[str, Any],
+    fleet_dir: str,
+    heartbeat_interval_s: float,
+    resume_checkpoint: Optional[str],
+) -> None:
+    """Process entry point (top-level so the spawn context can pickle it)."""
+    spec = ChipSpec.from_json(spec_data)
+    try:
+        WorkerRuntime(
+            conn,
+            spec,
+            fleet_identity,
+            fleet_dir,
+            heartbeat_interval_s=heartbeat_interval_s,
+            resume_checkpoint=resume_checkpoint,
+        ).run()
+    except WorkerClosed:
+        # Supervisor is gone (SIGKILL, crash): exit instead of orphaning.
+        return
+    except Exception as exc:  # noqa: BLE001 - report, then die loudly
+        try:
+            send_message(
+                conn,
+                MSG_ERROR,
+                chip_id=spec.chip_id,
+                reason=f"{type(exc).__name__}: {exc}",
+            )
+        except WorkerClosed:
+            pass
+        raise
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

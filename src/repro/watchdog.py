@@ -1,0 +1,105 @@
+"""A hard wall-clock watchdog for CI smoke scripts.
+
+CI gates must fail, not hang: a wedged subprocess, a deadlocked pipe, or
+a pathological simulation should surface as a nonzero exit with a
+diagnostic, never as a job that sits until the CI platform's own
+timeout reaps it with no clue where it was stuck.  ``WallClockWatchdog``
+arms a daemon timer; if the deadline passes it dumps every thread's
+traceback to stderr (so the log shows *where* the script was stuck) and
+hard-exits with status 2.  ``os._exit`` is deliberate: a wedged main
+thread cannot be asked to raise, and atexit handlers of a stuck process
+are part of the problem, not the solution.
+
+Usage::
+
+    from repro.watchdog import WallClockWatchdog
+
+    with WallClockWatchdog(300, label="fleet smoke"):
+        main()
+
+The budget honours the ``REPRO_SMOKE_TIMEOUT_S`` environment variable
+when set, so slow CI hosts can widen every script's leash in one place.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+import sys
+import threading
+from typing import Optional
+
+#: Environment override applied to every watchdog (seconds).
+TIMEOUT_ENV = "REPRO_SMOKE_TIMEOUT_S"
+
+#: The watchdog's exit status: distinct from ordinary failure (1) so CI
+#: logs distinguish "assertions failed" from "ran out of wall clock".
+WATCHDOG_EXIT_STATUS = 2
+
+
+def resolve_timeout_s(default_s: float) -> float:
+    """The effective budget: ``REPRO_SMOKE_TIMEOUT_S`` or the default."""
+    raw = os.environ.get(TIMEOUT_ENV)
+    if raw is None:
+        return float(default_s)
+    try:
+        value = float(raw)
+    except ValueError:
+        raise SystemExit(
+            f"{TIMEOUT_ENV}={raw!r} is not a number; set it to a timeout "
+            "in seconds"
+        )
+    if value <= 0:
+        raise SystemExit(f"{TIMEOUT_ENV} must be positive, got {raw!r}")
+    return value
+
+
+class WallClockWatchdog:
+    """Kills the process with a traceback dump after a wall-clock budget.
+
+    Args:
+        timeout_s: Wall-clock budget in seconds (overridden by
+            ``REPRO_SMOKE_TIMEOUT_S`` when set).
+        label: Names the guarded script in the diagnostic.
+        stream: Where the diagnostic goes (default stderr).
+    """
+
+    def __init__(
+        self, timeout_s: float, label: str = "smoke script", stream=None
+    ):
+        self.timeout_s = resolve_timeout_s(timeout_s)
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self._timer: Optional[threading.Timer] = None
+
+    def _fire(self) -> None:  # pragma: no cover - exercised via subprocess
+        self.stream.write(
+            f"\nWATCHDOG: {self.label} exceeded its hard wall-clock budget "
+            f"of {self.timeout_s:.0f}s; dumping all thread stacks and "
+            f"exiting {WATCHDOG_EXIT_STATUS}\n"
+        )
+        self.stream.flush()
+        try:
+            faulthandler.dump_traceback(file=self.stream, all_threads=True)
+            self.stream.flush()
+        finally:
+            os._exit(WATCHDOG_EXIT_STATUS)
+
+    def start(self) -> "WallClockWatchdog":
+        if self._timer is not None:
+            raise RuntimeError("watchdog already armed")
+        self._timer = threading.Timer(self.timeout_s, self._fire)
+        self._timer.daemon = True
+        self._timer.start()
+        return self
+
+    def cancel(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def __enter__(self) -> "WallClockWatchdog":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.cancel()

@@ -105,10 +105,17 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["campaign"])
 
-    def test_campaign_choices_cover_all_kinds(self):
+    def test_campaign_choices_cover_all_single_chip_kinds(self):
+        """--fault offers every kind except the fleet tier's, which only
+        the 'fleet' verb can inject (worker processes, not one sim)."""
+        from repro.faults import FLEET_FAULTS
+
         parser = build_parser()
         action = next(a for a in parser._actions if a.dest == "fault")
-        assert sorted(action.choices) == sorted(k.value for k in FaultKind)
+        assert sorted(action.choices) == sorted(
+            k.value for k in FaultKind if k not in FLEET_FAULTS
+        )
+        assert not set(action.choices) & {k.value for k in FLEET_FAULTS}
 
     def test_campaign_excluded_from_all(self):
         from repro.experiments.cli import _COMMANDS, _EXTRA_COMMANDS

@@ -1,0 +1,103 @@
+"""The KindSpec registry: every fault kind is classified, loudly.
+
+The registry is the single source of truth for what each fault kind
+targets and which runtime tier it needs; derived sets (thermal faults,
+counter faults, fleet faults, campaign-eligible kinds) are computed from
+it, so an unregistered kind must fail at import time -- not silently
+fall out of a hand-maintained list.
+"""
+
+import pytest
+
+from repro.faults import (
+    CLUSTER_FAULTS,
+    COUNTER_FAULTS,
+    FLEET_FAULTS,
+    TASK_FAULTS,
+    THERMAL_FAULTS,
+    FaultKind,
+    parse_fault_kind,
+)
+from repro.faults.events import _KIND_SPECS
+
+
+def test_every_kind_is_registered():
+    """Adding a FaultKind without a KindSpec must be impossible to miss."""
+    assert set(_KIND_SPECS) == set(FaultKind)
+
+
+def test_unregistered_kind_fails_at_import():
+    """The registry's completeness check is live, not decorative."""
+    from repro.faults import events
+
+    removed = _KIND_SPECS.pop(FaultKind.WORKER_KILL)
+    try:
+        with pytest.raises(RuntimeError, match="worker-kill"):
+            events._check_registry_complete()
+    finally:
+        _KIND_SPECS[FaultKind.WORKER_KILL] = removed
+
+
+def test_fleet_kinds_are_registered_and_derived():
+    fleet_values = {kind.value for kind in FLEET_FAULTS}
+    assert fleet_values == {"worker-kill", "worker-stall", "worker-msg-loss"}
+    for kind in FLEET_FAULTS:
+        assert _KIND_SPECS[kind].requires == "fleet"
+        assert _KIND_SPECS[kind].targets == "chip"
+
+
+def test_fleet_kinds_never_leak_into_single_chip_sets():
+    for derived in (CLUSTER_FAULTS, TASK_FAULTS, THERMAL_FAULTS, COUNTER_FAULTS):
+        assert not (derived & FLEET_FAULTS)
+
+
+def test_campaign_kinds_exclude_fleet_kinds():
+    from repro.experiments.campaigns import CAMPAIGN_FAULTS
+
+    assert set(CAMPAIGN_FAULTS.values()) == set(FaultKind) - FLEET_FAULTS
+
+
+def test_single_chip_campaign_refuses_fleet_kind():
+    from repro.experiments.campaigns import run_fault_campaign
+
+    with pytest.raises(ValueError, match="fleet"):
+        run_fault_campaign("worker-kill")
+
+
+def test_parse_fault_kind_knows_fleet_kinds():
+    assert parse_fault_kind("worker-stall") is FaultKind.WORKER_STALL
+
+
+def test_parse_fault_kind_error_names_every_kind():
+    with pytest.raises(ValueError) as excinfo:
+        parse_fault_kind("made-up-kind")
+    message = str(excinfo.value)
+    for kind in FaultKind:
+        assert kind.value in message
+
+
+def test_fleet_event_rejects_single_chip_kind():
+    from repro.fleet import FleetFaultEvent
+
+    with pytest.raises(ValueError, match="not a fleet fault kind"):
+        FleetFaultEvent(
+            kind=FaultKind.SENSOR_DROPOUT, epoch=0, chip_id="chip00"
+        )
+
+
+def test_fleet_fault_spec_parsing_errors():
+    from repro.fleet import parse_fleet_fault
+
+    event = parse_fleet_fault("worker-msg-loss@2:chip03:4")
+    assert event.count == 4 and event.epoch == 2 and event.chip_id == "chip03"
+    event = parse_fleet_fault("worker-stall@1:chip00:12.5")
+    assert event.stall_s == 12.5
+    for bad in (
+        "worker-kill",  # no @
+        "worker-kill@x:chip00",  # non-integer epoch
+        "worker-kill@1",  # missing chip id
+        "worker-stall@1:chip00:soon",  # non-numeric parameter
+        "sensor-dropout@1:chip00",  # single-chip kind in fleet syntax
+    ):
+        with pytest.raises(ValueError):
+            parse_fleet_fault(bad)

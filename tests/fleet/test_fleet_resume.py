@@ -1,0 +1,144 @@
+"""Fleet checkpoint/resume: byte-identical continuation, refusal taxonomy.
+
+The supervisor writes a fleet manifest after every global epoch; these
+tests interrupt a campaign at an epoch boundary, resume from the
+manifest, and demand the final report match an uninterrupted run byte
+for byte -- plus the refusal paths: corrupt manifests, wrong
+fingerprints, and manifests whose per-chip checkpoints disagree.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointFingerprintError,
+    fleet_manifest_path,
+    read_fleet_manifest,
+    validate_fleet_manifest,
+)
+from repro.fleet import (
+    ChipSpec,
+    FleetBudgetConfig,
+    FleetConfig,
+    FleetSupervisor,
+    RetryPolicy,
+)
+
+RETRY = RetryPolicy(attempts=2, timeout_s=0.5, backoff=2.0, max_timeout_s=1.0)
+
+
+def config(epochs=3):
+    return FleetConfig(
+        chips=(
+            ChipSpec(chip_id="chip00", workload="m1", seed=11),
+            ChipSpec(chip_id="chip01", workload="m2", seed=12),
+        ),
+        epochs=epochs,
+        epoch_s=0.2,
+        budget=FleetBudgetConfig(grid_budget_w=6.0),
+        retry=RETRY,
+    )
+
+
+def test_resume_is_byte_identical(tmp_path):
+    full_dir, cut_dir = str(tmp_path / "full"), str(tmp_path / "cut")
+    uninterrupted = FleetSupervisor(config(), full_dir).run()
+
+    # Stop cleanly after one epoch (the manifest is the only survivor
+    # that matters; the supervisor object is thrown away like a crash).
+    FleetSupervisor(config(), cut_dir).run(until_epoch=1)
+    resumed = FleetSupervisor.resume(cut_dir).run()
+
+    assert json.dumps(uninterrupted, sort_keys=True) == json.dumps(
+        resumed, sort_keys=True
+    )
+
+
+def test_resume_twice_is_idempotent(tmp_path):
+    """Resuming a finished campaign re-runs nothing and loses nothing."""
+    fleet_dir = str(tmp_path / "fleet")
+    done = FleetSupervisor(config(), fleet_dir).run()
+    again = FleetSupervisor.resume(fleet_dir).run()
+    assert json.dumps(done, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+
+def test_manifest_contents(tmp_path):
+    fleet_dir = str(tmp_path / "fleet")
+    FleetSupervisor(config(epochs=2), fleet_dir).run()
+    manifest = read_fleet_manifest(fleet_manifest_path(fleet_dir))
+    assert manifest.epochs_completed == 2
+    assert set(manifest.chips) == {"chip00", "chip01"}
+    for entry in manifest.chips.values():
+        assert entry["completed_epochs"] == 2
+        assert os.path.isfile(os.path.join(fleet_dir, entry["checkpoint"]))
+    validate_fleet_manifest(manifest, fleet_dir)  # must not raise
+
+
+def test_corrupt_manifest_is_refused(tmp_path):
+    fleet_dir = str(tmp_path / "fleet")
+    FleetSupervisor(config(epochs=1), fleet_dir).run()
+    path = fleet_manifest_path(fleet_dir)
+    with open(path, "r", encoding="utf-8") as handle:
+        envelope = json.load(handle)
+    envelope["body"]["epochs_completed"] = 99  # checksum now lies
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle)
+    with pytest.raises(CheckpointCorruptError, match="checksum"):
+        read_fleet_manifest(path)
+
+
+def test_wrong_fingerprint_is_refused(tmp_path):
+    fleet_dir = str(tmp_path / "fleet")
+    FleetSupervisor(config(epochs=1), fleet_dir).run()
+    with pytest.raises(CheckpointFingerprintError, match="different fleet"):
+        read_fleet_manifest(
+            fleet_manifest_path(fleet_dir), expected_fingerprint="0" * 64
+        )
+
+
+def test_truncated_manifest_is_refused(tmp_path):
+    fleet_dir = str(tmp_path / "fleet")
+    FleetSupervisor(config(epochs=1), fleet_dir).run()
+    path = fleet_manifest_path(fleet_dir)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text[: len(text) // 2])
+    with pytest.raises(CheckpointCorruptError):
+        read_fleet_manifest(path)
+
+
+def test_manifest_checkpoint_disagreement_is_caught(tmp_path):
+    """validate_fleet_manifest cross-checks manifest vs chip checkpoints."""
+    fleet_dir = str(tmp_path / "fleet")
+    FleetSupervisor(config(epochs=2), fleet_dir).run()
+    manifest = read_fleet_manifest(fleet_manifest_path(fleet_dir))
+    manifest.chips["chip00"]["completed_epochs"] = 7
+    with pytest.raises(CheckpointCorruptError, match="disagree"):
+        validate_fleet_manifest(manifest, fleet_dir)
+
+
+def test_worker_refuses_checkpoint_from_other_chip(tmp_path):
+    """Per-chip fingerprints: chip01's checkpoint cannot restore chip00."""
+    from repro.checkpoint import resume_from
+    from repro.fleet import build_chip_simulation
+
+    fleet_dir = str(tmp_path / "fleet")
+    cfg = config(epochs=1)
+    supervisor = FleetSupervisor(cfg, fleet_dir)
+    supervisor.run()
+    manifest = read_fleet_manifest(fleet_manifest_path(fleet_dir))
+    other = os.path.join(fleet_dir, manifest.chips["chip01"]["checkpoint"])
+    spec = cfg.chips[0]
+    with pytest.raises(CheckpointFingerprintError):
+        resume_from(
+            other,
+            lambda: build_chip_simulation(spec),
+            fingerprint_extra={
+                "fleet": supervisor.identity,
+                "chip": spec.identity(),
+            },
+        )

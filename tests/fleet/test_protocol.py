@@ -1,0 +1,177 @@
+"""The fleet message protocol: bounded waits, retries, failure taxonomy.
+
+These tests drive :func:`repro.fleet.request` against a scripted peer on
+the other end of a real multiprocessing pipe (answered from a thread, so
+no processes are involved) and check the robustness contract: timeouts
+are bounded, retries re-send with exponential backoff, heartbeats never
+reset a deadline, and dead pipes surface as :class:`WorkerClosed`.
+"""
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.fleet import (
+    ProtocolError,
+    RetryPolicy,
+    WorkerClosed,
+    WorkerTimeout,
+    poll_message,
+    request,
+    send_message,
+)
+from repro.fleet.protocol import MSG_HEARTBEAT, MSG_RESULT
+
+
+def pipe():
+    return multiprocessing.Pipe(duplex=True)
+
+
+def serve(conn, script):
+    """Answer incoming messages from a thread: script(msg) -> replies."""
+
+    def loop():
+        while True:
+            try:
+                if not conn.poll(5.0):
+                    return
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            for reply in script(message):
+                if reply == "close":
+                    conn.close()
+                    return
+                conn.send(reply)
+
+    thread = threading.Thread(target=loop, daemon=True)
+    thread.start()
+    return thread
+
+
+def test_retry_policy_backoff_and_cap():
+    policy = RetryPolicy(attempts=4, timeout_s=1.0, backoff=3.0, max_timeout_s=5.0)
+    assert policy.timeout_for(0) == 1.0
+    assert policy.timeout_for(1) == 3.0
+    assert policy.timeout_for(2) == 5.0  # capped
+    assert policy.timeout_for(3) == 5.0
+    assert policy.total_budget_s() == pytest.approx(14.0)
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout_s=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff=0.5)
+
+
+def test_request_answered_first_try():
+    a, b = pipe()
+    serve(b, lambda m: [{"type": MSG_RESULT, "echo": m["payload"]}])
+    reply = request(
+        a,
+        "work",
+        {"payload": 7},
+        matches=lambda m: m["type"] == MSG_RESULT,
+        policy=RetryPolicy(attempts=1, timeout_s=5.0),
+    )
+    assert reply["echo"] == 7
+
+
+def test_request_recovers_lost_reply_via_retry():
+    """First reply is swallowed; the re-sent request must be answered."""
+    seen = []
+
+    def script(message):
+        seen.append(message)
+        if len(seen) == 1:
+            return []  # drop the first reply entirely
+        return [{"type": MSG_RESULT, "attempt": len(seen)}]
+
+    a, b = pipe()
+    serve(b, script)
+    reply = request(
+        a,
+        "work",
+        {},
+        matches=lambda m: m["type"] == MSG_RESULT,
+        policy=RetryPolicy(attempts=3, timeout_s=0.2, backoff=2.0),
+    )
+    assert reply["attempt"] == 2
+    assert len(seen) == 2  # exactly one retransmission
+
+
+def test_request_times_out_after_bounded_attempts():
+    a, b = pipe()
+    serve(b, lambda m: [])  # never answer
+    policy = RetryPolicy(attempts=2, timeout_s=0.1, backoff=2.0)
+    start = time.monotonic()
+    with pytest.raises(WorkerTimeout, match="2 attempt"):
+        request(
+            a, "work", {}, matches=lambda m: True, policy=policy
+        )
+    elapsed = time.monotonic() - start
+    assert elapsed >= policy.total_budget_s() * 0.9
+    assert elapsed < policy.total_budget_s() + 5.0  # bounded, not hanging
+
+
+def test_heartbeats_do_not_reset_the_deadline():
+    """A worker that only ever heartbeats still times out."""
+
+    def script(message):
+        return [{"type": MSG_HEARTBEAT, "n": i} for i in range(50)]
+
+    a, b = pipe()
+    serve(b, script)
+    beats = []
+    start = time.monotonic()
+    with pytest.raises(WorkerTimeout):
+        request(
+            a,
+            "work",
+            {},
+            matches=lambda m: m["type"] == MSG_RESULT,
+            policy=RetryPolicy(attempts=2, timeout_s=0.2, backoff=1.0),
+            on_other=beats.append,
+        )
+    assert time.monotonic() - start < 10.0
+    assert beats  # the sideband traffic was delivered, not dropped
+
+
+def test_closed_pipe_raises_worker_closed():
+    a, b = pipe()
+    b.close()
+    with pytest.raises(WorkerClosed):
+        while True:  # the send may need a round trip to observe the close
+            send_message(a, "work")
+            if poll_message(a, 0.05) is None:
+                continue
+
+
+def test_peer_death_mid_request_raises_worker_closed():
+    a, b = pipe()
+    serve(b, lambda m: ["close"])
+    with pytest.raises(WorkerClosed):
+        request(
+            a,
+            "work",
+            {},
+            matches=lambda m: m["type"] == MSG_RESULT,
+            policy=RetryPolicy(attempts=3, timeout_s=0.5),
+        )
+
+
+def test_malformed_message_rejected():
+    a, b = pipe()
+    b.send(["not", "a", "dict"])
+    with pytest.raises(ProtocolError, match="malformed"):
+        poll_message(a, 1.0)
+
+
+def test_poll_returns_none_on_silence():
+    a, _b = pipe()
+    assert poll_message(a, 0.05) is None

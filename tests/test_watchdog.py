@@ -1,0 +1,98 @@
+"""The CI smoke-script watchdog: fires hard, cancels clean.
+
+The firing path is exercised through a real subprocess (it must
+``os._exit`` with the distinct watchdog status and leave a thread dump
+in stderr); everything else -- env override, validation, arming
+discipline -- is plain unit territory.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.watchdog import (
+    TIMEOUT_ENV,
+    WATCHDOG_EXIT_STATUS,
+    WallClockWatchdog,
+    resolve_timeout_s,
+)
+
+
+def test_default_budget_passes_through(monkeypatch):
+    monkeypatch.delenv(TIMEOUT_ENV, raising=False)
+    assert resolve_timeout_s(300) == 300.0
+
+
+def test_env_override_wins(monkeypatch):
+    monkeypatch.setenv(TIMEOUT_ENV, "45.5")
+    assert resolve_timeout_s(300) == 45.5
+
+
+@pytest.mark.parametrize("raw", ["soon", "", "-3", "0"])
+def test_bad_env_override_is_a_clean_exit(monkeypatch, raw):
+    monkeypatch.setenv(TIMEOUT_ENV, raw)
+    with pytest.raises(SystemExit, match=TIMEOUT_ENV):
+        resolve_timeout_s(300)
+
+
+def test_context_manager_cancels_on_exit():
+    with WallClockWatchdog(3600, label="unit") as watchdog:
+        timer = watchdog._timer
+        assert timer is not None and timer.daemon
+    assert watchdog._timer is None
+    timer.join(timeout=5.0)  # cancelled timer threads exit promptly
+    assert not timer.is_alive()
+
+
+def test_double_arm_is_refused():
+    watchdog = WallClockWatchdog(3600).start()
+    try:
+        with pytest.raises(RuntimeError, match="already armed"):
+            watchdog.start()
+    finally:
+        watchdog.cancel()
+
+
+def test_cancel_is_idempotent():
+    watchdog = WallClockWatchdog(3600).start()
+    watchdog.cancel()
+    watchdog.cancel()  # must not raise
+
+
+def test_expiry_hard_exits_with_thread_dump():
+    """A wedged guarded body cannot outlive the budget."""
+    program = (
+        "import time\n"
+        "from repro.watchdog import WallClockWatchdog\n"
+        "with WallClockWatchdog(0.3, label='wedged drill'):\n"
+        "    time.sleep(60)\n"
+        "print('unreachable')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", program],
+        capture_output=True,
+        text=True,
+        timeout=30,
+    )
+    assert result.returncode == WATCHDOG_EXIT_STATUS
+    assert "wedged drill" in result.stderr
+    assert "Thread" in result.stderr or "File" in result.stderr  # stack dump
+    assert "unreachable" not in result.stdout
+
+
+def test_completion_inside_budget_exits_normally():
+    program = (
+        "from repro.watchdog import WallClockWatchdog\n"
+        "with WallClockWatchdog(30, label='quick'):\n"
+        "    pass\n"
+        "print('done')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", program],
+        capture_output=True,
+        text=True,
+        timeout=30,
+    )
+    assert result.returncode == 0
+    assert "done" in result.stdout
