@@ -7,10 +7,17 @@ cleanup handlers run -- the atomic write discipline is what is on
 trial), resumes from the surviving checkpoints, and asserts the resumed
 campaign's report is byte-identical to an uninterrupted run's.
 
-The drill runs twice: once serially, and once with ``--jobs 2`` so two
-governor points are checkpointing *concurrently* into their own
+The drill runs three times: once serially, once with ``--jobs 2`` so
+two governor points are checkpointing *concurrently* into their own
 ``point_<index>-<governor>/`` subdirectories when the SIGKILL lands --
-the parallel-safety property the per-point layout exists for.
+the parallel-safety property the per-point layout exists for -- and
+once timed to land *mid checkpoint interval* under the lazy sync mode:
+right after a checkpoint (whose barrier just materialised the object
+view) plus a fraction of the observed checkpoint cadence, so the
+columnar columns have crossed epoch boundaries that the next
+checkpoint barrier has not yet flushed.  Crash recovery must replay
+from the last *written* checkpoint; unflushed column state dying with
+the process is exactly what the drill proves harmless.
 
 ``--engine columnar|object`` pins every subprocess (reference, victim,
 resume, replay) to one tick engine through the ``REPRO_ENGINE``
@@ -91,17 +98,38 @@ def wait_for_checkpoint(directory, min_streams=1, timeout_s=120.0):
     )
 
 
+def wait_for_new_checkpoint(directory, prior_count, timeout_s=120.0):
+    """Block until the checkpoint count exceeds ``prior_count``."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        names = find_checkpoints(directory)
+        if len(names) > prior_count:
+            return names
+        time.sleep(0.02)
+    raise SystemExit(
+        f"no checkpoint beyond the first {prior_count} appeared under "
+        f"{directory!r} within {timeout_s}s"
+    )
+
+
 def read_report(out_dir):
     path = os.path.join(out_dir, f"campaign_{FAULT}.json")
     with open(path) as handle:
         return json.load(handle)
 
 
-def run_drill(workdir, env, reference, jobs, min_streams):
+def run_drill(workdir, env, reference, jobs, min_streams, mid_interval=False):
     """One kill-resume cycle; returns True when the reports match."""
-    tag = f"jobs{jobs or 1}"
+    tag = f"jobs{jobs or 1}" + ("-midint" if mid_interval else "")
     ckpt_dir = os.path.join(workdir, f"ckpt-{tag}")
     victim_out = os.path.join(workdir, f"victim-{tag}")
+    victim_env = env
+    if mid_interval:
+        # Pin the victim to lazy barriers even if the surrounding CI job
+        # exported another mode: the point is to die holding column
+        # state the next checkpoint barrier never got to materialise.
+        victim_env = dict(env)
+        victim_env["REPRO_COLUMNAR_SYNC"] = "lazy"
     # The victim gets its own session (= its own process group) and the
     # SIGKILL goes to the whole group: with --jobs its pool workers are
     # separate processes, and killing only the parent would orphan them
@@ -111,11 +139,22 @@ def run_drill(workdir, env, reference, jobs, min_streams):
     # workers down with the parent.
     victim = subprocess.Popen(
         campaign_command(ckpt_dir, victim_out, jobs=jobs),
-        env=env, cwd=REPO_ROOT, stdout=subprocess.DEVNULL,
+        env=victim_env, cwd=REPO_ROOT, stdout=subprocess.DEVNULL,
         start_new_session=True,
     )
     try:
         seen = wait_for_checkpoint(ckpt_dir, min_streams=min_streams)
+        if mid_interval:
+            # A checkpoint just landed, so its sync barrier just ran.
+            # Measure the checkpoint cadence, then sleep a fraction of
+            # it: the tick loop will have crossed epoch boundaries
+            # (placement-driven column rebuilds land every few ticks)
+            # whose state the *next* barrier has not flushed when the
+            # SIGKILL arrives.
+            start = time.monotonic()
+            seen = wait_for_new_checkpoint(ckpt_dir, len(seen))
+            cadence = time.monotonic() - start
+            time.sleep(min(2.0, max(0.05, 0.4 * cadence)))
     finally:
         if victim.poll() is None:
             try:
@@ -195,6 +234,13 @@ def main():
         # Parallel victim: two governor points checkpointing concurrently
         # into their own subdirectories when the SIGKILL lands.
         if not run_drill(workdir, env, reference, jobs=2, min_streams=2):
+            return 1
+        # Mid-interval victim: killed between an epoch boundary and the
+        # next checkpoint barrier, with unflushed lazy column state.
+        if not run_drill(
+            workdir, env, reference, jobs=None, min_streams=1,
+            mid_interval=True,
+        ):
             return 1
         print("kill-resume drills passed: resumed reports match uninterrupted run")
         return 0

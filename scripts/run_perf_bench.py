@@ -51,8 +51,9 @@ def build_parser():
              "(default: CPU count, at least 2)",
     )
     parser.add_argument(
-        "--repeats", type=int, default=1,
-        help="repetitions per scenario; best-of-N wall time is reported",
+        "--repeats", type=int, default=3,
+        help="repetitions per scenario; best-of-N wall time is reported "
+             "(default 3: single runs on shared VMs are noise-dominated)",
     )
     parser.add_argument(
         "--scenarios", default=None,

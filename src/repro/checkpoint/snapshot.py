@@ -312,6 +312,9 @@ def generic_restore(obj: Any, state: Dict[str, Any], task_by_name: Dict[str, Any
 # ---------------------------------------------------------------------------
 def snapshot_simulation(sim) -> Dict[str, Any]:
     """Capture every mutable bit of ``sim`` into a JSON-serialisable dict."""
+    # Checkpoint barrier: materialise the object view (task attributes,
+    # load dict) before reading it; no-op on the reference engine.
+    sim.sync()
     payload: Dict[str, Any] = {
         "engine": _snapshot_engine(sim),
         "chip": _snapshot_chip(sim),

@@ -23,10 +23,19 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from .market import Market
 
+try:  # pragma: no cover - numpy is baked into the image
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
 #: demand estimator: (task_id, cluster_id) -> steady-state demand in PUs.
 DemandLookup = Callable[[str, str], float]
 
 _EPS = 1e-9
+
+#: Population floor for the vectorized per-core estimate loop; below it
+#: the scalar loop is cheaper.  Either path yields bit-identical values.
+_VEC_EVAL_MIN_TASKS = 32
 
 
 @dataclass
@@ -135,6 +144,11 @@ class SteadyStateEstimator:
         self._market = market
         self._demand_fn = demand_lookup
         self._energy_cost = energy_cost_lookup
+        #: Optional vectorized counterpart of ``demand_lookup``: maps a
+        #: task-id roster and a cluster to a demand array bit-identical to
+        #: per-task ``demand_lookup`` calls, or returns ``None`` when the
+        #: scalar semantics cannot be reproduced (caller falls back).
+        self.demand_array_fn: Optional[Callable[[List[str], str], object]] = None
         # Per-batch caches (see begin_batch): market state is frozen while
         # the LBT enumerates candidates, so every pure lookup is memoised
         # for the duration of one proposal sweep.
@@ -166,6 +180,30 @@ class SteadyStateEstimator:
 
     def end_batch(self) -> None:
         self._batch = None
+
+    def demand_array(self, task_ids: List[str], cluster_id: str):
+        """Vectorized ``_demand`` over a roster, or ``None`` to fall back."""
+        fn = self.demand_array_fn
+        return None if fn is None else fn(task_ids, cluster_id)
+
+    def prime_demands(self, cluster_id: str, task_ids: List[str]) -> None:
+        """Bulk-fill the batch demand memo via the vectorized lookup.
+
+        The array path yields values bit-identical to per-task
+        ``_demand`` calls, so scalar evaluation that follows -- with its
+        exact left-to-right sum folds -- is unchanged; only the per-task
+        python lookups are skipped.  A no-op without an active batch or
+        when the vector path declines.
+        """
+        batch = self._batch
+        if batch is None:
+            return
+        arr = self.demand_array(task_ids, cluster_id)
+        if arr is None:
+            return
+        memo = batch["demand"]
+        for tid, val in zip(task_ids, arr.tolist()):
+            memo[(tid, cluster_id)] = val
 
     def _demand(self, task_id: str, cluster_id: str) -> float:
         batch = self._batch
@@ -387,6 +425,42 @@ class SteadyStateEstimator:
                     continue
                 core_supply = cluster.supply_ladder[target_level]
                 core_saturated = core_demands[core_id] > core_supply + _EPS
+                if _np is not None and len(tids) >= _VEC_EVAL_MIN_TASKS:
+                    # Vectorized per-task arithmetic: every expression is
+                    # the elementwise image of the scalar branch below
+                    # (the priority sum keeps its left-to-right fold), so
+                    # the resulting dicts are bit-identical, in the same
+                    # insertion order.
+                    prio_list = [market.tasks[t].priority for t in tids]
+                    priority_sum = sum(prio_list)
+                    d = _np.asarray(
+                        [self._demand(t, cluster_id) for t in tids]
+                    )
+                    positive = d > 0.0
+                    if not core_saturated:
+                        supply_arr = d
+                    else:
+                        supply_arr = (
+                            core_supply
+                            * _np.asarray(prio_list, dtype=float)
+                            / priority_sum
+                        )
+                        supply_arr = _np.where(
+                            positive, _np.minimum(supply_arr, d), supply_arr
+                        )
+                    ratio_arr = _np.where(
+                        positive,
+                        _np.minimum(
+                            1.0, supply_arr / _np.where(positive, d, 1.0)
+                        ),
+                        1.0,
+                    )
+                    bid_arr = _np.maximum(
+                        supply_arr * price, market.config.bmin
+                    )
+                    ratios.update(zip(tids, ratio_arr.tolist()))
+                    bids.update(zip(tids, bid_arr.tolist()))
+                    continue
                 priority_sum = sum(market.tasks[t].priority for t in tids)
                 for task_id in tids:
                     demand = self._demand(task_id, cluster_id)

@@ -81,6 +81,11 @@ class PPMGovernor:
         #: of the market membership or the smoothed-demand dict.
         self._demand_vec_cache: Optional[_DemandVecCache] = None
         self._demand_cache_stamp = 0
+        #: Structural arrays for :meth:`_demands_on_cluster_arr`, one
+        #: entry per target cluster, keyed by the market's structure
+        #: stamp: which roster rows sit on the target cluster already and
+        #: the off-line-profile nominal demands the others scale by.
+        self._demand_arr_struct: Dict[str, list] = {}
         self._next_bid_time = 0.0
         self._round_counter = 0
         self._last_move_time: Dict[str, float] = {}
@@ -97,6 +102,9 @@ class PPMGovernor:
         self.watchdog: Optional[MarketWatchdog] = None
         self._move_retry: Optional[BackoffRetry] = None
         self._pending_moves: Dict[str, MoveDecision] = {}
+        # Signature of the last completed market mirror (_sync_tasks):
+        # while it matches, the mirror pass is skipped wholesale.
+        self._market_sync_sig: Optional[tuple] = None
         self.safe_mode_entries = 0
         self._last_observed_power_w = 0.0
         #: Fractional power mark-up applied to the market's observations
@@ -133,6 +141,7 @@ class PPMGovernor:
         self.estimator = SteadyStateEstimator(
             self.market, self._demand_on_cluster, self._energy_cost_per_pu
         )
+        self.estimator.demand_array_fn = self._demands_on_cluster_arr
         self.lbt = LBTModule(self.market, self.estimator)
         self._sync_tasks(sim)
 
@@ -250,6 +259,7 @@ class PPMGovernor:
         }
         self._smoothed_demand = dict(state["smoothed_demand"])
         self._demand_cache_stamp += 1
+        self._market_sync_sig = None
         self._next_bid_time = state["next_bid_time"]
         self._round_counter = state["round_counter"]
         self._last_move_time = dict(state["last_move_time"])
@@ -347,7 +357,24 @@ class PPMGovernor:
     # Market round plumbing
     # ------------------------------------------------------------------
     def _sync_tasks(self, sim: Simulation) -> None:
-        """Mirror the engine's task population and placement in the market."""
+        """Mirror the engine's task population and placement in the market.
+
+        Every membership or placement change that could desynchronise the
+        mirror bumps one of the signature components: arrivals/retires
+        and migrations bump ``placement.version`` (tasks enter the market
+        only once placed), spawns grow ``sim.tasks``, market membership
+        edits move ``len(market.tasks)``, and out-of-band market
+        mutations bump ``_demand_cache_stamp``.  A matching signature
+        therefore means a full pass would be a no-op.
+        """
+        sig = (
+            sim.placement.version,
+            len(sim.tasks),
+            len(self.market.tasks),
+            self._demand_cache_stamp,
+        )
+        if sig == self._market_sync_sig:
+            return
         active = {task.name: task for task in sim.active_tasks()}
         for task_id in list(self.market.tasks):
             if task_id not in active:
@@ -367,6 +394,13 @@ class PPMGovernor:
                 self._demand_cache_stamp += 1
             elif self.market.core_of(task_id) != core.core_id:
                 self.market.move_task(task_id, core.core_id)
+        # Recomputed after the pass: the body itself moves the counters.
+        self._market_sync_sig = (
+            sim.placement.version,
+            len(sim.tasks),
+            len(self.market.tasks),
+            self._demand_cache_stamp,
+        )
 
     def _demands_of_all(self, sim: Simulation) -> Dict[str, float]:
         """Table 4 demand conversion for every market task.
@@ -382,6 +416,8 @@ class PPMGovernor:
 
         tasks_by_id = self._tasks_by_id
         if not (vecmarket.AVAILABLE and len(tasks_by_id) >= _VEC_MIN_TASKS):
+            # Scalar path reads Task attributes: observation barrier.
+            sim.sync()
             return {
                 task_id: self._demand_of(sim, task)
                 for task_id, task in tasks_by_id.items()
@@ -402,6 +438,7 @@ class PPMGovernor:
         if gathered is not None:
             hr, consumed, supplied = gathered
         else:
+            sim.sync()  # attribute reads below: observation barrier
             hr = np.asarray([t.observed_heart_rate() for t in tasks])
             consumed = np.asarray([t.last_consumed_pus for t in tasks])
             supplied = np.asarray([t.last_supply_pus for t in tasks])
@@ -569,10 +606,16 @@ class PPMGovernor:
             },
         )
         result = self.market.run_round(obs)
+        tasks_by_id = self._tasks_by_id
+        updates = {}
         for task_id, allocation in result.allocations.items():
-            task = self._tasks_by_id.get(task_id)
+            task = tasks_by_id.get(task_id)
             if task is not None:
-                sim.set_allocation(task, allocation)
+                updates[task] = allocation
+        if updates:
+            # One bulk dict update (same insertion order and clamping as
+            # a set_allocation loop) and one grant-cache invalidation.
+            sim.set_allocations(updates)
         for cluster_id, level in result.level_requests.items():
             cluster = sim.chip.cluster(cluster_id)
             if self.dvfs_supervisor is not None:
@@ -623,6 +666,105 @@ class PPMGovernor:
         # Scale the profiled cross-type ratio by the live demand so phase
         # behaviour carries over to the speculation.
         return agent.demand * nominal / nominal_here
+
+    def _demands_on_cluster_arr(self, task_ids: List[str], cluster_id: str):
+        """Vectorized :meth:`_demand_on_cluster` over one task roster.
+
+        Every row evaluates the exact scalar expression elementwise --
+        ``agent.demand`` for tasks already on the target cluster, the
+        profile-scaled ``(demand * nominal) / nominal_here`` otherwise --
+        so the gather is bit-identical to per-task calls.  The masks and
+        nominal-demand operands are pure placement/profile state, cached
+        per target cluster against the market's structure stamp; only the
+        live-demand gather runs per call.  Returns ``None`` when scalar
+        semantics cannot be reproduced array-wise (online estimation) and
+        the caller falls back to the scalar loop.
+        """
+        if self.online_estimator is not None:
+            return None
+        try:
+            import numpy as np
+        except Exception:  # pragma: no cover - numpy is baked into the image
+            return None
+        market = self.market
+        stamp = market.structure_stamp
+        n = len(task_ids)
+        # Two cached rosters per cluster: the resident roster (refresh)
+        # and the movers roster (cross-cluster batches) alternate within
+        # one proposal sweep; a single slot would thrash between them.
+        slots = self._demand_arr_struct.get(cluster_id)
+        if slots is None:
+            slots = self._demand_arr_struct[cluster_id] = []
+        struct = None
+        for s in slots:
+            if (
+                s[0] == stamp
+                and s[1] == n
+                and (
+                    n == 0
+                    or (s[2][0] is task_ids[0] and s[2][-1] is task_ids[-1])
+                )
+            ):
+                struct = s
+                break
+        if struct is None:
+            struct = self._build_demand_struct(np, list(task_ids), cluster_id, stamp)
+            slots.insert(0, struct)
+            del slots[2:]
+        (_s, _n, _ids, valid, is_current, use_plain, use_nominal, nominal, nh_safe) = struct
+        agents = market.tasks
+        dem = np.asarray(
+            [
+                agent.demand if (agent := agents.get(tid)) is not None else 0.0
+                for tid in task_ids
+            ]
+        )
+        out = (dem * nominal) / nh_safe
+        out = np.where(use_nominal, nominal, out)
+        out = np.where(use_plain, dem, out)
+        out = np.where(is_current, dem, out)
+        return np.where(valid, out, 0.0)
+
+    def _build_demand_struct(
+        self, np, task_ids: List[str], cluster_id: str, stamp: int
+    ) -> tuple:
+        """Placement/profile masks for one ``_demands_on_cluster_arr`` roster."""
+        market = self.market
+        tasks_by_id = self._tasks_by_id
+        target_type = self._core_type_of_cluster(cluster_id)
+        n = len(task_ids)
+        valid = np.zeros(n, dtype=bool)
+        is_current = np.zeros(n, dtype=bool)
+        use_plain = np.zeros(n, dtype=bool)  # missing profile entry
+        use_nominal = np.zeros(n, dtype=bool)  # nominal_here <= 0
+        nominal = np.zeros(n)
+        nh_safe = np.ones(n)  # placeholder 1.0 where the ratio is unused
+        for i, tid in enumerate(task_ids):
+            task = tasks_by_id.get(tid)
+            if task is None or tid not in market.tasks:
+                continue
+            valid[i] = True
+            current_cluster = market.cores[market.core_of(tid)].cluster_id
+            if current_cluster == cluster_id:
+                is_current[i] = True
+                continue
+            try:
+                nom = task.profile.nominal_demand_pus(target_type)
+                nom_here = task.profile.nominal_demand_pus(
+                    self._core_type_of_cluster(current_cluster)
+                )
+            except KeyError:
+                use_plain[i] = True
+                continue
+            nominal[i] = nom
+            if nom_here <= 0.0:
+                use_nominal[i] = True
+            else:
+                nh_safe[i] = nom_here
+        return (
+            stamp, n, task_ids, valid, is_current, use_plain,
+            use_nominal, nominal, nh_safe,
+        )
 
     def _core_type_of_cluster(self, cluster_id: str) -> str:
         assert self._chip is not None, "prepare() must run before LBT"

@@ -92,6 +92,10 @@ class LBTModule:
         self._core_demand_cache: Optional[Dict[str, float]] = None
         self._constrained_cache: Optional[Dict[str, object]] = None
         self._target_cache: Optional[Dict[Tuple[str, Optional[str]], Optional[str]]] = None
+        # Epoch-cached batch evaluator: persists across proposals so its
+        # structural per-cluster arrays survive between governor epochs;
+        # begin_proposal() refreshes the demand-dependent state.
+        self._batch_eval: Optional["vecestimate.BatchMappingEvaluator"] = None
 
     # -- helpers --------------------------------------------------------------
     def _priorities(self) -> Dict[str, int]:
@@ -201,8 +205,11 @@ class LBTModule:
         self, cross_cluster: bool, exclude_tasks: frozenset
     ) -> Optional[MoveDecision]:
         market = self._market
+        tasks_by_core = market._tasks_by_core
         populated = [
-            cid for cid in market.clusters if market.tasks_on_cluster(cid)
+            cid
+            for cid, cluster in market.clusters.items()
+            if any(tasks_by_core[core_id] for core_id in cluster.core_ids)
         ]
         if not populated:
             return None
@@ -212,12 +219,18 @@ class LBTModule:
         # market kernels use, so a given run takes one path consistently
         # (per-task ratios are bit-identical either way; aggregate spends
         # can differ in the last ulp, hence the shared gate).
-        batch = (
-            vecestimate.BatchMappingEvaluator(market, self._estimator)
-            if vecestimate.AVAILABLE
+        batch = None
+        if (
+            vecestimate.AVAILABLE
             and len(market.tasks) >= _market_mod._VEC_MIN_TASKS
-            else None
-        )
+        ):
+            batch = self._batch_eval
+            if batch is None:
+                batch = vecestimate.BatchMappingEvaluator(
+                    market, self._estimator
+                )
+                self._batch_eval = batch
+            batch.begin_proposal()
         if batch is not None:
             performance_mode = not batch.all_satisfied(populated)
         else:
@@ -309,7 +322,19 @@ class LBTModule:
         _verdict, current, candidate = verdicts[winner]
         if current is None:
             # Batched path: materialize full estimates (ratio/bid maps for
-            # the audit trail) for the winning move only.
+            # the audit trail) for the winning move only.  Prime the
+            # demand memo per affected cluster first so the scalar
+            # estimate's per-task lookups all hit cache.
+            src_cluster = market.cores[source_core].cluster_id
+            dst_cluster = market.cores[target_core].cluster_id
+            for cid in {src_cluster, dst_cluster}:
+                cluster = market.clusters[cid]
+                roster = [
+                    tid
+                    for core_id in cluster.core_ids
+                    for tid in market._tasks_by_core[core_id]
+                ]
+                self._estimator.prime_demands(cid, roster)
             current, candidate = self._estimator.evaluate_move(task_id, target_core)
         return MoveDecision(
             task_id=task_id,

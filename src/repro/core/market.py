@@ -107,6 +107,16 @@ class Market:
         self._prev_total_supply: Optional[float] = None
         self._prev_shortfall: Optional[float] = None
         self.rounds_run = 0
+        #: Bumped on every membership/placement mutation (add, remove,
+        #: move, restore).  Anything derived purely from ``_tasks_by_core``
+        #: and per-task priorities (the LBT evaluator's structural arrays)
+        #: may be cached against this stamp.
+        self.structure_stamp = 0
+        # Clearing's structural gather -- (stamp, agents, core_ix,
+        # cluster_ix, priority, slot_cores) in cluster -> core ->
+        # registration order -- reused while the stamp holds.
+        self._clearing_struct: Optional[tuple] = None
+        self._round_struct: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Topology and placement registry
@@ -142,6 +152,7 @@ class Market:
         self._task_seq[task_id] = self._seq_counter
         self._seq_counter += 1
         self._tasks_by_core[core_id].append(task_id)  # newest seq: append
+        self.structure_stamp += 1
         self._ensure_allowance_pool()
         return agent
 
@@ -162,6 +173,7 @@ class Market:
         if core_id is not None:
             self._tasks_by_core[core_id].remove(task_id)
         self._task_seq.pop(task_id, None)
+        self.structure_stamp += 1
         if not self.tasks:
             return
         floor = self.config.bmin * len(self.tasks)
@@ -184,6 +196,7 @@ class Market:
         self._placement[task_id] = core_id
         self._tasks_by_core[previous].remove(task_id)
         self._insert_in_seq_order(core_id, task_id)
+        self.structure_stamp += 1
 
     def _insert_in_seq_order(self, core_id: str, task_id: str) -> None:
         """Insert into a core's list keeping registration order.
@@ -426,6 +439,7 @@ class Market:
         self._prev_total_supply = state["prev_total_supply"]
         self._prev_shortfall = state["prev_shortfall"]
         self.rounds_run = state["rounds_run"]
+        self.structure_stamp += 1
 
     # ------------------------------------------------------------------
     # Vectorized clearing (steps 3-5 of the round protocol)
@@ -448,37 +462,51 @@ class Market:
         cfg = self.config
 
         # Gather agents in the order the scalar loops visit them:
-        # cluster -> core -> per-core registration order.
-        agents: List[TaskAgent] = []
-        core_ix_list: List[int] = []
-        cluster_ix_list: List[int] = []
-        slot_cores: List[CoreAgent] = []
+        # cluster -> core -> per-core registration order.  The membership
+        # part (agents, slot indices, priorities) is pure placement
+        # structure, cached against the structure stamp; per-round slot
+        # state (supply, freeze masks) is O(cores) and rebuilt each call.
+        clusters = list(self.clusters.values())
+        struct = self._clearing_struct
+        if struct is None or struct[0] != self.structure_stamp:
+            agents: List[TaskAgent] = []
+            core_ix_list: List[int] = []
+            cluster_ix_list: List[int] = []
+            slot_cores: List[CoreAgent] = []
+            for cluster_index, cluster in enumerate(clusters):
+                for core_id in cluster.core_ids:
+                    slot = len(slot_cores)
+                    slot_cores.append(self.cores[core_id])
+                    for agent in core_agents[core_id]:
+                        agents.append(agent)
+                        core_ix_list.append(slot)
+                        cluster_ix_list.append(cluster_index)
+            struct = (
+                self.structure_stamp,
+                agents,
+                np.asarray(core_ix_list, dtype=np.intp),
+                np.asarray(cluster_ix_list, dtype=np.intp),
+                np.asarray([float(a.priority) for a in agents]),
+                slot_cores,
+            )
+            self._clearing_struct = struct
+        _stamp, agents, core_ix, cluster_ix, priority, slot_cores = struct
         slot_supply: List[float] = []
         slot_bidding: List[bool] = []  # cluster ACTIVE: bids may change
         slot_pricing: List[bool] = []  # cluster not AWAITING: price rediscovered
-        clusters = list(self.clusters.values())
-        for cluster_index, cluster in enumerate(clusters):
+        for cluster in clusters:
             bidding = cluster.freeze is ClusterFreeze.ACTIVE
             pricing = cluster.freeze is not ClusterFreeze.AWAITING
-            for core_id in cluster.core_ids:
-                slot = len(slot_cores)
-                slot_cores.append(self.cores[core_id])
+            for _core_id in cluster.core_ids:
                 slot_supply.append(cluster.supply)
                 slot_bidding.append(bidding)
                 slot_pricing.append(pricing)
-                for agent in core_agents[core_id]:
-                    agents.append(agent)
-                    core_ix_list.append(slot)
-                    cluster_ix_list.append(cluster_index)
 
         n_cores = len(slot_cores)
-        core_ix = np.asarray(core_ix_list, dtype=np.intp)
-        cluster_ix = np.asarray(cluster_ix_list, dtype=np.intp)
         bid = np.asarray([a.bid for a in agents])
         demand = np.asarray([a.demand for a in agents])
         supply = np.asarray([a.supply for a in agents])
         savings = np.asarray([a.wallet.savings for a in agents])
-        priority = np.asarray([float(a.priority) for a in agents])
         unsatisfied = np.asarray(
             [a.unsatisfied_rounds for a in agents], dtype=np.int64
         )
@@ -605,32 +633,51 @@ class Market:
                 cluster.freeze = ClusterFreeze.OBSERVING
                 observing.add(cluster.cluster_id)
 
-        # Ingest demands.
+        # Ingest demands (``d if d > 0.0 else 0.0`` is ``max(0.0, d)``).
+        get_demand = obs.demands.get
         for task_id, agent in self.tasks.items():
-            if task_id in obs.demands:
-                agent.demand = max(0.0, obs.demands[task_id])
+            d = get_demand(task_id)
+            if d is not None:
+                agent.demand = d if d > 0.0 else 0.0
 
         # Demands and placement are now fixed for the rest of the round, so
         # gather the per-core agent lists, per-core demand sums (same fold
         # order as ``core_demand``) and constrained cores exactly once.
+        # The agent lists and per-cluster populated-core lists are pure
+        # placement structure, cached against the structure stamp.
         tasks = self.tasks
-        core_agents: Dict[str, List[TaskAgent]] = {
-            core_id: [tasks[tid] for tid in tids]
-            for core_id, tids in self._tasks_by_core.items()
-        }
+        rstruct = self._round_struct
+        if rstruct is None or rstruct[0] != self.structure_stamp:
+            core_agents_c: Dict[str, List[TaskAgent]] = {
+                core_id: [tasks[tid] for tid in tids]
+                for core_id, tids in self._tasks_by_core.items()
+            }
+            cluster_agents_c: Dict[str, List[TaskAgent]] = {}
+            populated_cores_c: Dict[str, List[str]] = {}
+            for cluster_id, cluster in self.clusters.items():
+                gathered: List[TaskAgent] = []
+                for core_id in cluster.core_ids:
+                    gathered.extend(core_agents_c[core_id])
+                cluster_agents_c[cluster_id] = gathered
+                populated_cores_c[cluster_id] = [
+                    cid for cid in cluster.core_ids if core_agents_c[cid]
+                ]
+            rstruct = (
+                self.structure_stamp,
+                core_agents_c,
+                cluster_agents_c,
+                populated_cores_c,
+            )
+            self._round_struct = rstruct
+        _rstamp, core_agents, cluster_agents, populated_cores = rstruct
         core_demands: Dict[str, float] = {
             core_id: sum(agent.demand for agent in agents)
             for core_id, agents in core_agents.items()
         }
-        cluster_agents: Dict[str, List[TaskAgent]] = {}
         constrained_cores: Dict[str, Optional[CoreAgent]] = {}
         cluster_demands: Dict[str, float] = {}
         for cluster_id, cluster in self.clusters.items():
-            gathered: List[TaskAgent] = []
-            for core_id in cluster.core_ids:
-                gathered.extend(core_agents[core_id])
-            cluster_agents[cluster_id] = gathered
-            populated = [cid for cid in cluster.core_ids if core_agents[cid]]
+            populated = populated_cores[cluster_id]
             if populated:
                 constrained = self.cores[max(populated, key=core_demands.__getitem__)]
                 constrained_cores[cluster_id] = constrained

@@ -459,6 +459,9 @@ class FaultInjector:
     def _wrap_heartbeats(self, sim) -> None:
         if not self.schedule.of_kind(FaultKind.HEARTBEAT_LOSS):
             return
+        # The wrapper seeds its replay state from task.total_beats:
+        # observation barrier first (no-op on the reference engine).
+        sim.sync()
         for task in sim.tasks:
             self._wrap_task_heartbeats(task)
 

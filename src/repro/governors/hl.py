@@ -95,6 +95,7 @@ class HLGovernor(BaseGovernor):
         little = self._little_cluster(sim)
         if big is little:
             return
+        sim.sync()  # load-tracker reads below: observation barrier
         for task in sim.active_tasks():
             core = sim.placement.core_of(task)
             if core is None or task.frozen_until > sim.now:
@@ -112,6 +113,7 @@ class HLGovernor(BaseGovernor):
         idle core, and even out a >25% load imbalance by moving the
         lightest task off the busiest core.
         """
+        sim.sync()  # load-tracker reads below: observation barrier
         for cluster in sim.chip.clusters:
             if not cluster.powered or len(cluster.cores) < 2:
                 continue

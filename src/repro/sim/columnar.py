@@ -2,29 +2,44 @@
 
 :class:`ColumnarSimulation` re-implements the engine's per-tick hot loop
 -- dispatch, load tracking, heart-rate monitoring, metrics capture -- as
-vectorized passes over struct-of-arrays numpy buffers, while keeping the
-object API (``Task``, ``Placement``, governors, faults, checkpointing)
-fully authoritative.  Selected via ``SimConfig(engine="columnar")`` (the
-default); ``engine="object"`` forces the reference loop.
+vectorized passes over struct-of-arrays numpy buffers; the ``Task``
+object graph becomes a lazily-materialised *view* of those buffers,
+refreshed at observation boundaries.  Selected via
+``SimConfig(engine="columnar")`` (the default); ``engine="object"``
+forces the reference loop.
 
-Design invariants (enforced by ``tests/sim/test_columnar_equivalence.py``):
+Design invariants (enforced by ``tests/sim/test_columnar_equivalence.py``
+and ``tests/sim/test_sync_barrier.py``):
 
 * **Bit-identical telemetry.**  Every vectorized expression maps 1:1 onto
   the scalar expression it replaces -- same operand order, same
   association, in-order ``np.bincount`` folds for every scalar ``+=``
   accumulation -- so per-tick metrics, checkpoints and golden digests are
   byte-identical to the object engine on any task count.
-* **Write-through state.**  After each tick the per-task hot attributes
-  (``total_beats``, ``total_work_pu_s``, ``last_supply_pus``,
+* **Columns are authoritative; objects are a view.**  The per-task hot
+  attributes (``total_beats``, ``total_work_pu_s``, ``last_supply_pus``,
   ``last_consumed_pus``, ``last_demand_pus``) and the load-tracker dict
-  are written back from the arrays, so the arrays are a pure discardable
-  cache: any out-of-band reader or mutator (faults, admission shedding,
-  checkpoint snapshot, direct attribute pokes in tests) sees and edits
-  exactly the state the object engine would maintain.
+  are materialised from the arrays by the :meth:`ColumnarSimulation.sync`
+  barrier, invoked by every observation hook site: governor decision
+  paths that fall back to attribute reads, telemetry/metrics fallbacks,
+  fault-injection window activation, checkpoint snapshots, audit passes
+  and the end of :meth:`Simulation.run`.  Per-column dirty epochs (tick
+  stamps) make the barrier a no-op when nothing changed.  The floats a
+  barrier materialises are exactly the floats per-tick write-through
+  would have produced, so observers cannot distinguish the modes.
+  ``REPRO_COLUMNAR_SYNC`` selects the policy: ``lazy`` (default),
+  ``eager`` (write-through every tick, the pre-barrier behaviour) or
+  ``poison`` (lazy, plus a debug sentinel written to the view attributes
+  between barriers so an unsynchronised read raises
+  :class:`PoisonedStateError` instead of returning a stale float).
+  Out-of-band *mutators* of hot attributes must still call
+  :meth:`Simulation.invalidate_task_cache` afterwards (which itself
+  syncs first), exactly as before.
 * **Epoch caching.**  Per-task constant arrays (start/end times, QoS
   bounds, per-beat costs, phase parameters) are rebuilt only when the
   placement mapping changes (:attr:`Placement.version`), the task set is
-  invalidated, or ``dt`` changes.
+  invalidated, or ``dt`` changes.  Rebuilds re-seed the columns from the
+  object view, so a barrier always precedes them.
 
 Tasks whose ``hrm`` has been instrumented (e.g. the fault injector's
 heartbeat-withholding wrapper) keep their scalar monitor and are advanced
@@ -50,8 +65,65 @@ except ImportError:  # pragma: no cover - toolchain bakes numpy in
 from ..tasks.heartbeats import HeartRateMonitor
 from ..tasks.phases import ConstantPhase, SinusoidalPhases, SquareWavePhases
 from ..tasks.task import Task
-from .engine import Simulation
-from .metrics import MetricsCollector, TaskSample, TickSample
+from .engine import Simulation, default_sync_mode
+from .metrics import MetricsCollector, TaskSample, TickColumnBuffer, TickSample
+
+
+class PoisonedStateError(RuntimeError):
+    """An object attribute was read between sync barriers (poison mode).
+
+    Raised when ``REPRO_COLUMNAR_SYNC=poison`` and code consumes a
+    ``Task`` hot attribute without an intervening
+    :meth:`ColumnarSimulation.sync`; the fix is a ``sim.sync()`` call at
+    the offending observation site, never a re-pin of expected values.
+    """
+
+
+class _Poison:
+    """Debug sentinel stored in view attributes between barriers.
+
+    Any numeric use (arithmetic, comparison, conversion, formatting)
+    raises :class:`PoisonedStateError` naming the poisoned attribute;
+    plain ``repr`` stays usable so debuggers can display the object.
+    """
+
+    __slots__ = ("_attr",)
+
+    def __init__(self, attr: str) -> None:
+        self._attr = attr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugger aid
+        return f"<poisoned {self._attr}>"
+
+    def _trap(self, *_args, **_kwargs):
+        raise PoisonedStateError(
+            f"unsynchronised read of Task.{self._attr}: the columnar engine "
+            "is in poison mode and no sync() barrier ran since the last "
+            "tick; call sim.sync() at the observation site"
+        )
+
+    __float__ = __int__ = __bool__ = __index__ = _trap
+    __add__ = __radd__ = __sub__ = __rsub__ = _trap
+    __mul__ = __rmul__ = __truediv__ = __rtruediv__ = _trap
+    __floordiv__ = __rfloordiv__ = __mod__ = __rmod__ = __pow__ = _trap
+    __neg__ = __pos__ = __abs__ = __round__ = _trap
+    __lt__ = __le__ = __gt__ = __ge__ = __eq__ = __ne__ = _trap
+    __hash__ = None  # type: ignore[assignment]
+    __format__ = __str__ = _trap  # type: ignore[assignment]
+
+
+#: One sentinel per hot attribute, shared across all tasks (the trap
+#: message is per-attribute; no per-task state is needed).
+_POISONS = tuple(
+    _Poison(attr)
+    for attr in (
+        "total_beats",
+        "total_work_pu_s",
+        "last_supply_pus",
+        "last_consumed_pus",
+        "last_demand_pus",
+    )
+)
 
 
 class _HRMRings:
@@ -94,10 +166,110 @@ class _HRMRings:
         # the time ring, head and count are shared scalars and appends
         # collapse to one column write.  Any per-row mutation demotes to
         # the general per-row machinery, copying the shared state out.
+        self._detect_uniform()
+
+    @classmethod
+    def adopt(
+        cls,
+        windows: Sequence[float],
+        samples: Sequence[Sequence[Tuple[float, float]]],
+        col_src: Sequence[Tuple[int, "_HRMRings", int]],
+        dt: float,
+    ) -> "_HRMRings":
+        """Build rings re-adopting rows straight out of existing rings.
+
+        Equivalent to materialising every ``col_src`` row via
+        ``samples_of`` and running ``__init__``, but the sample transfer
+        is one array gather per source ring instead of a per-task deque
+        round-trip.  ``samples`` carries the scalar-monitor rows only;
+        rows named in ``col_src`` keep their placeholder ``windows``
+        entry (overwritten from the source ring) and must have an empty
+        ``samples`` entry.
+        """
+        self = cls.__new__(cls)
+        n = len(windows)
+        groups: Dict[int, list] = {}
+        for row, ring, src in col_src:
+            g = groups.get(id(ring))
+            if g is None:
+                g = groups[id(ring)] = [ring, [], []]
+            g[1].append(row)
+            g[2].append(src)
+        window = np.asarray(windows, dtype=float)
+        grp = []
+        for ring, rows, srcs in groups.values():
+            nr = np.asarray(rows, dtype=np.intp)
+            orr = np.asarray(srcs, dtype=np.intp)
+            grp.append((ring, nr, orr))
+            window[nr] = ring.window[orr]
+        # ``ceil`` is monotone, so the per-row max of ``ceil(w/dt)``
+        # equals ``ceil(max(w)/dt)``.
+        cap = 4
+        if n:
+            cap = max(cap, int(math.ceil(float(window.max()) / dt)) + 4)
+        for s in samples:
+            if s:
+                cap = max(cap, len(s) + 2)
+        for ring, nr, orr in grp:
+            if ring.uniform:
+                cmax = int(ring.ucount)
+            else:
+                cmax = int(ring.count[orr].max())
+            cap = max(cap, cmax + 2)
+        self.n = n
+        self.cap = cap
+        self.window = window
+        self.t = np.zeros((n, cap))
+        self.b = np.zeros((n, cap))
+        self.head = np.zeros(n, dtype=np.intp)
+        self.count = np.zeros(n, dtype=np.intp)
+        self._rows = np.arange(n, dtype=np.intp)
+        self.stamp = 0
+        for i, s in enumerate(samples):
+            k = len(s)
+            if k:
+                self.t[i, :k] = [pair[0] for pair in s]
+                self.b[i, :k] = [pair[1] for pair in s]
+                self.count[i] = k
+        for ring, nr, orr in grp:
+            if ring.uniform:
+                k = int(ring.ucount)
+                if k:
+                    idx = (ring.uhead + np.arange(k)) % ring.cap
+                    self.t[nr[:, None], np.arange(k)[None, :]] = ring.ut[idx][None, :]
+                    self.b[nr[:, None], np.arange(k)[None, :]] = ring.b[
+                        orr[:, None], idx[None, :]
+                    ]
+                self.count[nr] = k
+            else:
+                cnts = ring.count[orr]
+                kmax = int(cnts.max())
+                if kmax:
+                    seq = np.arange(kmax)
+                    idx = (ring.head[orr][:, None] + seq[None, :]) % ring.cap
+                    mask = seq[None, :] < cnts[:, None]
+                    self.t[nr[:, None], seq[None, :]] = np.where(
+                        mask, ring.t[orr[:, None], idx], 0.0
+                    )
+                    self.b[nr[:, None], seq[None, :]] = np.where(
+                        mask, ring.b[orr[:, None], idx], 0.0
+                    )
+                self.count[nr] = cnts
+        self._detect_uniform()
+        return self
+
+    def _detect_uniform(self) -> None:
+        """Enter uniform mode when every row shares window and cadence.
+
+        Callers must have every row normalised to ``head == 0`` (both
+        construction paths write samples from slot 0).
+        """
         self.uniform = False
-        self.ut: Optional["np.ndarray"] = None
+        self.ut = None
         self.uhead = 0
         self.ucount = 0
+        n = self.n
+        cap = self.cap
         if n:
             k0 = int(self.count[0])
             same = bool((self.count == k0).all()) and bool(
@@ -474,48 +646,35 @@ class _Epoch:
 
 
 class ColumnarMetrics(MetricsCollector):
-    """Metrics collector with deferred ``TaskSample`` materialisation.
+    """Metrics collector with vectorized recording and deferred samples.
 
-    ``record`` stores one flat tuple of plain python values per tick; the
-    ``samples`` property materialises real :class:`TickSample` objects on
-    first read, so every consumer (summary metrics, snapshots, journals,
-    tests) sees the ordinary object API.
+    ``record`` slices one tick's per-task columns straight into
+    preallocated :class:`~repro.sim.metrics.TickColumnBuffer` segments
+    (one segment per contiguous task roster); the ``samples`` property
+    materialises real :class:`TickSample` objects on first read, so every
+    consumer (summary metrics, snapshots, journals, tests) sees the
+    ordinary object API with identical floats.
     """
 
     def __init__(self, warmup_s: float = 2.0, sim: Optional["ColumnarSimulation"] = None):
-        self._pending: List[tuple] = []
+        self._segments: List[TickColumnBuffer] = []
         self._samples_list: List[TickSample] = []
         self._sim = sim
         super().__init__(warmup_s=warmup_s)
 
     @property  # type: ignore[override]
     def samples(self) -> List[TickSample]:
-        pending = self._pending
-        if pending:
+        segments = self._segments
+        if segments:
             out = self._samples_list
-            for time_s, chip_w, cpw, cfm, rowdata, temps, est in pending:
-                names, hr, below, outside, sup, con = rowdata
-                tasks = {
-                    name: TaskSample(h, b, o, s, c)
-                    for name, h, b, o, s, c in zip(names, hr, below, outside, sup, con)
-                }
-                out.append(
-                    TickSample(
-                        time_s=time_s,
-                        chip_power_w=chip_w,
-                        cluster_power_w=cpw,
-                        cluster_frequency_mhz=cfm,
-                        tasks=tasks,
-                        cluster_temperature_c=temps,
-                        estimated_chip_power_w=est,
-                    )
-                )
-            pending.clear()
+            for buf in segments:
+                buf.materialise(out)
+            segments.clear()
         return self._samples_list
 
     @samples.setter
     def samples(self, value) -> None:
-        self._pending = []
+        self._segments = []
         self._samples_list = list(value)
 
     def record(
@@ -531,6 +690,11 @@ class ColumnarMetrics(MetricsCollector):
         sim = self._sim
         rowdata = sim._metrics_arrays(tasks) if sim is not None else None
         if rowdata is None:
+            # Python fallback reads Task attributes: acquire the barrier,
+            # and materialise deferred segments first so rows stay in
+            # tick order (super() appends via the samples property).
+            if sim is not None:
+                sim.sync()
             super().record(
                 time_s,
                 chip_power_w,
@@ -541,17 +705,36 @@ class ColumnarMetrics(MetricsCollector):
                 estimated_chip_power_w,
             )
             return
-        self._pending.append(
+        names, hr, below, outside, sup, con = rowdata
+        segments = self._segments
+        if segments and (
+            segments[-1].names is names or segments[-1].names == names
+        ):
+            buf = segments[-1]
+        else:
+            buf = TickColumnBuffer(names)
+            segments.append(buf)
+        buf.append(
+            time_s,
+            chip_power_w,
+            hr,
+            below,
+            outside,
+            sup,
+            con,
             (
-                time_s,
-                chip_power_w,
                 dict(cluster_power_w),
                 dict(cluster_frequency_mhz),
-                rowdata,
                 None if cluster_temperature_c is None else dict(cluster_temperature_c),
                 estimated_chip_power_w,
-            )
+            ),
         )
+
+    def energy_per_beat_mj(self, tasks: Sequence[Task], dt: float) -> float:
+        # Reads Task.total_beats: a mid-run caller needs the barrier.
+        if self._sim is not None:
+            self._sim.sync()
+        return super().energy_per_beat_mj(tasks, dt)
 
 
 class ColumnarSimulation(Simulation):
@@ -577,9 +760,27 @@ class ColumnarSimulation(Simulation):
         # (starts, ends, max_start, all_unbounded) for the vector
         # active-task scan; rebuilt on invalidate_task_cache.
         self._task_window: Optional[tuple] = None
+        #: Write-through policy: "lazy" | "eager" | "poison".  Read every
+        #: tick, so tests may flip it between steps; the value changes
+        #: when barriers run, never what they materialise.
+        self.sync_mode: str = default_sync_mode()
+        #: Barriers that actually flushed state (observability for tests
+        #: and the lazy-vs-eager benchmark column).
+        self.sync_count: int = 0
+        # Per-column dirty epochs: tick stamp of the last unflushed column
+        # write vs. the stamp the object view was last materialised at.
+        cols = ("beats", "work", "sup", "con", "dem", "load")
+        self._col_dirty: Dict[str, int] = {c: 0 for c in cols}
+        self._col_synced: Dict[str, int] = {c: 0 for c in cols}
+        self._view_dirty = False  # fast no-op check for sync()
+        self._poisoned = False
 
     # -- cache invalidation -------------------------------------------------------
     def invalidate_task_cache(self) -> None:
+        # Out-of-band task mutation follows: materialise the view first so
+        # the mutation lands on current floats and the epoch rebuild
+        # re-seeds its columns from a consistent object graph.
+        self.sync()
         super().invalidate_task_cache()
         self._epoch = None
         self._grant_inputs_dirty = True
@@ -588,9 +789,62 @@ class ColumnarSimulation(Simulation):
         self._task_window = None
         self._gather_cache = None
 
+    # -- the observation barrier --------------------------------------------------
+    def sync(self) -> None:
+        """Materialise the object view of the authoritative columns.
+
+        Flushes every column whose dirty epoch is ahead of its synced
+        epoch back to ``Task`` attributes (and the load-tracker dict),
+        then clears any poison sentinels.  A no-op when nothing changed
+        since the last barrier, so hook sites call it unconditionally.
+        Load-tracker values are written in place for keys already
+        present only: retirement's ``forget`` must not be undone by a
+        later barrier.
+        """
+        if not self._view_dirty:
+            return
+        ep = self._epoch
+        if ep is not None and ep.n:
+            dirty = self._col_dirty
+            synced = self._col_synced
+            poisoned = self._poisoned
+            tasks = ep.tasks
+            if poisoned or dirty["beats"] > synced["beats"]:
+                bl = ep.beats.tolist()
+                wl = ep.work.tolist()
+                for t, tb, tw in zip(tasks, bl, wl):
+                    t.total_beats = tb
+                    t.total_work_pu_s = tw
+                synced["beats"] = dirty["beats"]
+                synced["work"] = dirty["work"]
+            if poisoned or dirty["sup"] > synced["sup"]:
+                sl = ep.sup.tolist()
+                cl = ep.con.tolist()
+                dl = ep.dem.tolist()
+                for t, ts, tc, td in zip(tasks, sl, cl, dl):
+                    t.last_supply_pus = ts
+                    t.last_consumed_pus = tc
+                    t.last_demand_pus = td
+                synced["sup"] = dirty["sup"]
+                synced["con"] = dirty["con"]
+                synced["dem"] = dirty["dem"]
+            if dirty["load"] > synced["load"]:
+                tracked = self.load_tracker._load
+                for t, v in zip(tasks, ep.load.tolist()):
+                    if t in tracked:
+                        tracked[t] = v
+                synced["load"] = dirty["load"]
+        self._view_dirty = False
+        self._poisoned = False
+        self.sync_count += 1
+
     def set_allocation(self, task: Task, pus: float) -> None:
         self._grant_inputs_dirty = True
         super().set_allocation(task, pus)
+
+    def set_allocations(self, pairs: Dict[Task, float]) -> None:
+        self._grant_inputs_dirty = True
+        super().set_allocations(pairs)
 
     def clear_allocation(self, task: Task) -> None:
         self._grant_inputs_dirty = True
@@ -711,7 +965,13 @@ class ColumnarSimulation(Simulation):
         return hr, ep.con[ridx], ep.sup[ridx]
 
     def _metrics_arrays(self, tasks: Sequence[Task]):
-        """Columnar tick sample for ``tasks``; None -> python fallback."""
+        """Columnar tick sample for ``tasks``; None -> python fallback.
+
+        Returns numpy arrays; the caller (:class:`ColumnarMetrics`) slices
+        them into its column buffers, which performs the copy -- ``sup``
+        and ``con`` mutate in place across ticks, so no view of them may
+        outlive this tick uncopied.
+        """
         ep = self._epoch
         if ep is None:
             return None
@@ -722,14 +982,7 @@ class ColumnarSimulation(Simulation):
                 hi = ep.hi
                 below = hr < lo
                 outside = ~((lo <= hr) & (hr <= hi))
-                return (
-                    ep.perm_names,
-                    hr.tolist(),
-                    below.tolist(),
-                    outside.tolist(),
-                    ep.sup.tolist(),
-                    ep.con.tolist(),
-                )
+                return (ep.perm_names, hr, below, outside, ep.sup, ep.con)
             ridx = ep.perm
             names = ep.perm_names
             lo = ep.perm_lo
@@ -749,17 +1002,14 @@ class ColumnarSimulation(Simulation):
         hr = self._heart_rates()[ridx]
         below = hr < lo
         outside = ~((lo <= hr) & (hr <= hi))
-        return (
-            names,
-            hr.tolist(),
-            below.tolist(),
-            outside.tolist(),
-            ep.sup[ridx].tolist(),
-            ep.con[ridx].tolist(),
-        )
+        return (names, hr, below, outside, ep.sup[ridx], ep.con[ridx])
 
     # -- epoch construction -------------------------------------------------------
     def _build_epoch(self) -> _Epoch:
+        # The columns below are seeded from the object view; flush any
+        # state the previous epoch still held (placement.version bumps
+        # reach here without passing invalidate_task_cache).
+        self.sync()
         placement = self.placement
         chip = self.chip
         dt = self.config.dt
@@ -795,57 +1045,138 @@ class ColumnarSimulation(Simulation):
         ep.cluster_ix = np.asarray(cluster_ix, dtype=np.intp)
         ep.n = n
 
-        ep.start = np.fromiter((t.start_time for t in tasks), dtype=float, count=n)
-        ep.end = np.fromiter(
-            (
-                t.start_time + t.duration if t.duration is not None else math.inf
-                for t in tasks
-            ),
-            dtype=float,
-            count=n,
-        )
+        # Permutation fast path: when the previous epoch covers exactly
+        # this population (the usual migration rebuild -- version bumps
+        # reach here with the same tasks on different cores), every
+        # task-invariant column is a row gather from the old epoch, and
+        # the mutable columns were just flushed by the sync() above so
+        # they equal the object attributes bit for bit.  Out-of-band
+        # mutators go through invalidate_task_cache, which clears
+        # ``_epoch`` and forces the slow seed-from-objects walk.
+        old = self._epoch
+        perm: Optional["np.ndarray"] = None
+        if old is not None and old.n == n and n:
+            try:
+                perm = np.asarray([old.rowmap[t] for t in tasks], dtype=np.intp)
+            except KeyError:
+                perm = None
+
+        if perm is not None:
+            ep.start = old.start[perm]
+            ep.end = old.end[perm]
+        else:
+            ep.start = np.fromiter(
+                (t.start_time for t in tasks), dtype=float, count=n
+            )
+            ep.end = np.fromiter(
+                (
+                    t.start_time + t.duration if t.duration is not None else math.inf
+                    for t in tasks
+                ),
+                dtype=float,
+                count=n,
+            )
         ep.max_start = float(ep.start.max()) if n else 0.0
         ep.min_end = float(ep.end.min()) if n else math.inf
         # ``frozen_until`` writers (migration, snapshot restore) always
         # invalidate the epoch, so the horizon is fixed for its lifetime.
         ep.fz_max = max((t.frozen_until for t in tasks), default=0.0)
         ep.core_counts = np.asarray([e - s for s, e in core_bounds], dtype=float)
-        ep.tgt_hr = np.fromiter((t.target_hr for t in tasks), dtype=float, count=n)
-        cost_base: List[float] = []
-        has_limit: List[bool] = []
-        limit: List[float] = []
-        lo: List[float] = []
-        hi: List[float] = []
-        rel_eps = 1e-9  # HeartRateRange._REL_EPS, inlined like metrics.record
-        for i, t in enumerate(tasks):
-            core_type = cores[core_ix[i]].cluster.core_type
-            cost_base.append(t.profile.cost_pu_s_per_beat(core_type, 1.0))
-            wl = t.profile.work_limit_factor
-            has_limit.append(wl is not None)
-            limit.append(wl if wl is not None else 0.0)
-            rng = t.hr_range
-            lo.append(rng.min_hr * (1.0 - rel_eps))
-            hi.append(rng.max_hr * (1.0 + rel_eps))
-        ep.cost_base = np.asarray(cost_base, dtype=float)
-        ep.has_limit = np.asarray(has_limit, dtype=bool)
+        if perm is not None:
+            ep.tgt_hr = old.tgt_hr[perm]
+            ep.has_limit = old.has_limit[perm]
+            ep.limit = old.limit[perm]
+            ep.lo = old.lo[perm]
+            ep.hi = old.hi[perm]
+            # cost_pu_s_per_beat depends on the hosting core type only:
+            # gather, then recompute just the rows whose type changed
+            # (normally the one migrated task).
+            ep.cost_base = old.cost_base[perm]
+            type_ix: Dict[int, int] = {}
+
+            def _tix(ct: object) -> int:
+                v = type_ix.get(id(ct))
+                if v is None:
+                    v = type_ix[id(ct)] = len(type_ix)
+                return v
+
+            old_ct = np.asarray(
+                [_tix(c.cluster.core_type) for c in old.cores], dtype=np.intp
+            )
+            new_ct = np.asarray(
+                [_tix(c.cluster.core_type) for c in cores], dtype=np.intp
+            )
+            retype = np.nonzero(old_ct[old.core_ix[perm]] != new_ct[ep.core_ix])[0]
+            for i in retype.tolist():
+                t = tasks[i]
+                ep.cost_base[i] = t.profile.cost_pu_s_per_beat(
+                    cores[core_ix[i]].cluster.core_type, 1.0
+                )
+        else:
+            ep.tgt_hr = np.fromiter(
+                (t.target_hr for t in tasks), dtype=float, count=n
+            )
+            cost_base: List[float] = []
+            has_limit: List[bool] = []
+            limit: List[float] = []
+            lo: List[float] = []
+            hi: List[float] = []
+            rel_eps = 1e-9  # HeartRateRange._REL_EPS, inlined like metrics.record
+            for i, t in enumerate(tasks):
+                core_type = cores[core_ix[i]].cluster.core_type
+                cost_base.append(t.profile.cost_pu_s_per_beat(core_type, 1.0))
+                wl = t.profile.work_limit_factor
+                has_limit.append(wl is not None)
+                limit.append(wl if wl is not None else 0.0)
+                rng = t.hr_range
+                lo.append(rng.min_hr * (1.0 - rel_eps))
+                hi.append(rng.max_hr * (1.0 + rel_eps))
+            ep.cost_base = np.asarray(cost_base, dtype=float)
+            ep.has_limit = np.asarray(has_limit, dtype=bool)
+            ep.limit = np.asarray(limit, dtype=float)
+            ep.lo = np.asarray(lo, dtype=float)
+            ep.hi = np.asarray(hi, dtype=float)
         ep.any_limit = bool(ep.has_limit.any())
-        ep.limit = np.asarray(limit, dtype=float)
-        ep.lo = np.asarray(lo, dtype=float)
-        ep.hi = np.asarray(hi, dtype=float)
 
         # Mutable state columns, initialised from the authoritative
-        # attributes (write-back keeps the two views identical).
-        ep.beats = np.fromiter((t.total_beats for t in tasks), dtype=float, count=n)
-        ep.work = np.fromiter((t.total_work_pu_s for t in tasks), dtype=float, count=n)
-        ep.sup = np.fromiter((t.last_supply_pus for t in tasks), dtype=float, count=n)
-        ep.con = np.fromiter((t.last_consumed_pus for t in tasks), dtype=float, count=n)
-        ep.dem = np.fromiter((t.last_demand_pus for t in tasks), dtype=float, count=n)
+        # attributes (write-back keeps the two views identical).  After
+        # the sync() barrier above, the previous epoch's columns equal
+        # the attributes exactly, so the permuted gather is the same
+        # seed without the per-task attribute walk.
+        if perm is not None:
+            ep.beats = old.beats[perm]
+            ep.work = old.work[perm]
+            ep.sup = old.sup[perm]
+            ep.con = old.con[perm]
+            ep.dem = old.dem[perm]
+        else:
+            ep.beats = np.fromiter(
+                (t.total_beats for t in tasks), dtype=float, count=n
+            )
+            ep.work = np.fromiter(
+                (t.total_work_pu_s for t in tasks), dtype=float, count=n
+            )
+            ep.sup = np.fromiter(
+                (t.last_supply_pus for t in tasks), dtype=float, count=n
+            )
+            ep.con = np.fromiter(
+                (t.last_consumed_pus for t in tasks), dtype=float, count=n
+            )
+            ep.dem = np.fromiter(
+                (t.last_demand_pus for t in tasks), dtype=float, count=n
+            )
         tracked = self.load_tracker._load
         ep.load = np.fromiter((tracked.get(t, 0.0) for t in tasks), dtype=float, count=n)
         ep.has_load = np.fromiter((t in tracked for t in tasks), dtype=bool, count=n)
 
         # Phase traces: group rows by trace type for vector evaluation;
         # anything else (piecewise, custom) evaluates per task.
+        if perm is not None:
+            inv = np.empty(n, dtype=np.intp)
+            inv[perm] = np.arange(n, dtype=np.intp)
+            self._remap_phase_groups(ep, old, perm, inv, n)
+            ep.mult_buf = np.empty(n, dtype=float)
+            return self._finish_epoch(ep, tasks, n, dt, old=old, inv=inv)
         const_rows: List[int] = []
         const_vals: List[float] = []
         sin_rows: List[int] = []
@@ -913,15 +1244,88 @@ class ColumnarSimulation(Simulation):
             ep.ph_sqw_start = ep.ph_sqw_per = ep.ph_sqw_lo = None
             ep.ph_sqw_hi = ep.ph_sqw_duty = ep.ph_sqw_off = None
         ep.mult_buf = np.empty(n, dtype=float)
+        return self._finish_epoch(ep, tasks, n, dt)
 
+    def _remap_phase_groups(
+        self, ep: _Epoch, old: _Epoch, perm: "np.ndarray", inv: "np.ndarray", n: int
+    ) -> None:
+        """Carry the old epoch's phase-trace groups over a row permutation.
+
+        Produces exactly what the per-task classification loop would:
+        the trace parameters are task invariants, so each group maps row
+        numbers through the inverse permutation and re-sorts ascending
+        (the loop emits rows in ascending order).
+        """
+        ep.all_const = old.all_const
+        ep.ph_py = sorted(
+            ((int(inv[r]), t) for r, t in old.ph_py), key=lambda p: p[0]
+        )
+        if old.all_const:
+            ep.const_buf = old.const_buf[perm]
+            ep.ph_const_rows = None
+            ep.ph_const_vals = None
+            # cost_base can change on migration, so the tick-invariant
+            # products are recomputed from the fresh columns.
+            ep.cost_const = ep.cost_base * ep.const_buf
+            ep.dem_const = ep.tgt_hr * ep.cost_const
+        else:
+            ep.cost_const = None
+            ep.dem_const = None
+            ep.const_buf = None
+            if old.ph_const_rows is not None:
+                rows = inv[old.ph_const_rows]
+                order = np.argsort(rows)
+                ep.ph_const_rows = rows[order]
+                ep.ph_const_vals = old.ph_const_vals[order]
+            else:
+                ep.ph_const_rows = None
+                ep.ph_const_vals = None
+        if old.ph_sin_rows is not None:
+            rows = inv[old.ph_sin_rows]
+            order = np.argsort(rows)
+            ep.ph_sin_rows = rows[order]
+            ep.ph_sin_start = old.ph_sin_start[order]
+            ep.ph_sin_amp = old.ph_sin_amp[order]
+            ep.ph_sin_per = old.ph_sin_per[order]
+            ep.ph_sin_off = old.ph_sin_off[order]
+        else:
+            ep.ph_sin_rows = None
+            ep.ph_sin_start = ep.ph_sin_amp = ep.ph_sin_per = ep.ph_sin_off = None
+        if old.ph_sqw_rows is not None:
+            rows = inv[old.ph_sqw_rows]
+            order = np.argsort(rows)
+            ep.ph_sqw_rows = rows[order]
+            ep.ph_sqw_start = old.ph_sqw_start[order]
+            ep.ph_sqw_per = old.ph_sqw_per[order]
+            ep.ph_sqw_lo = old.ph_sqw_lo[order]
+            ep.ph_sqw_hi = old.ph_sqw_hi[order]
+            ep.ph_sqw_duty = old.ph_sqw_duty[order]
+            ep.ph_sqw_off = old.ph_sqw_off[order]
+        else:
+            ep.ph_sqw_rows = None
+            ep.ph_sqw_start = ep.ph_sqw_per = ep.ph_sqw_lo = None
+            ep.ph_sqw_hi = ep.ph_sqw_duty = ep.ph_sqw_off = None
+
+    def _finish_epoch(
+        self,
+        ep: _Epoch,
+        tasks: List[Task],
+        n: int,
+        dt: float,
+        old: Optional[_Epoch] = None,
+        inv: Optional["np.ndarray"] = None,
+    ) -> _Epoch:
         # Heart-rate monitors: adopt plain, uninstrumented monitors (and
         # re-adopt views from a previous epoch) into shared rings; tasks
         # with wrapped/subclassed monitors keep the scalar route so
-        # injected heartbeat faults keep working.
+        # injected heartbeat faults keep working.  Views re-adopt via a
+        # ring-to-ring array gather; scalar monitors round-trip through
+        # their sample deques.
         windows: List[float] = [1.0] * n
         samples: List[Sequence[Tuple[float, float]]] = [()] * n
         vec_rows: List[int] = []
         py_rows: List[int] = []
+        col_src: List[Tuple[int, _HRMRings, int]] = []
         for i, t in enumerate(tasks):
             hrm = t.hrm
             tp = type(hrm)
@@ -932,20 +1336,58 @@ class ColumnarSimulation(Simulation):
                 samples[i] = tuple(hrm._samples)
             elif tp is ColumnarHRM and plain:
                 vec_rows.append(i)
-                windows[i] = hrm.window_s
-                samples[i] = tuple(hrm._samples)
+                # window comes from the source ring, gathered in adopt()
+                col_src.append((i, hrm._rings, hrm._row))
             else:
                 py_rows.append(i)
-        ep.rings = _HRMRings(windows, samples, dt)
+        steal = False
+        if col_src:
+            # Identity steal: a pure placement change keeps the task list
+            # (and hence the row order) intact, so when every row's view
+            # points at the outgoing epoch's rings in row order and the
+            # tick length is unchanged, those rings are already this
+            # epoch's rings -- adopt them wholesale.  The old epoch is
+            # discarded on seal, so the arrays have a single owner.
+            ring0 = old.rings if old is not None and old.dt == dt else None
+            if (
+                ring0 is not None
+                and len(col_src) == n
+                and all(
+                    src is ring0 and row == i for i, src, row in col_src
+                )
+            ):
+                ep.rings = ring0
+                steal = True
+            else:
+                ep.rings = _HRMRings.adopt(windows, samples, col_src, dt)
+        else:
+            ep.rings = _HRMRings(windows, samples, dt)
         ep.vec_rows = np.asarray(vec_rows, dtype=np.intp)
         ep.py_rows = py_rows
         ep.py_set = set(py_rows)
         ep.all_vec = not py_rows and len(vec_rows) == n
-        for i in vec_rows:
-            tasks[i].hrm = ColumnarHRM(ep.rings, i)
+        if not steal:
+            # Stolen rings leave every task's existing view valid (same
+            # rings object, same row); fresh rings need rebinding.
+            for i in vec_rows:
+                tasks[i].hrm = ColumnarHRM(ep.rings, i)
 
         # Metrics permutation: store rows in population order, usable
         # whenever the tick's active list is the population itself.
+        # Against a same-population previous epoch, the new permutation
+        # composes the old one with the row remap (self.tasks can only
+        # change through invalidate_task_cache, which drops the epoch):
+        # perm'[i] = rowmap'[tasks_pop[i]] = inv[old.perm[i]].
+        if old is not None and inv is not None and old.covers_all and len(self.tasks) == n:
+            ep.covers_all = True
+            ep.perm = inv[old.perm]
+            ep.perm_names = old.perm_names
+            ep.perm_identity = bool(
+                (ep.perm == np.arange(n, dtype=np.intp)).all()
+            )
+            ep.perm_lo = ep.lo if ep.perm_identity else ep.lo[ep.perm]
+            ep.perm_hi = ep.hi if ep.perm_identity else ep.hi[ep.perm]
+            return self._seal_epoch(ep, n)
         ep.covers_all = n == len(self.tasks) and all(t in ep.rowmap for t in self.tasks)
         if ep.covers_all:
             ep.perm = np.asarray([ep.rowmap[t] for t in self.tasks], dtype=np.intp)
@@ -959,7 +1401,10 @@ class ColumnarSimulation(Simulation):
             ep.perm_identity = False
             ep.perm_lo = None
             ep.perm_hi = None
+        return self._seal_epoch(ep, n)
 
+    def _seal_epoch(self, ep: _Epoch, n: int) -> _Epoch:
+        """Reset the lazily-derived members and install the epoch."""
         ep.all_has_load = n > 0 and bool(ep.has_load.all())
         ep.alloc_has = None
         ep.alloc_val = None
@@ -978,6 +1423,9 @@ class ColumnarSimulation(Simulation):
         self._grant_inputs_dirty = True
         self._hr_cache = None
         self._hr_stamp = -1
+        # Fresh columns == object view: the epoch starts clean.
+        self._col_synced.update(self._col_dirty)
+        self._view_dirty = False
         self._epoch = ep
         return ep
 
@@ -1007,6 +1455,12 @@ class ColumnarSimulation(Simulation):
         # state columns; force the fast path to rebuild its consume cache
         # (and re-write sup/con/dem) on the next hot tick.
         ep.g_key = None
+
+        # Rare tick (arrival/retire/freeze window): run it fully eager.
+        # The barrier first flushes whatever the lazy fast path deferred
+        # -- in particular load-dict values of rows inactive this tick,
+        # which the masked update below would otherwise leave stale.
+        self.sync()
 
         active = (now >= ep.start) & (now < ep.end)
         # ``frozen_until`` is authoritative on the task (migrations and
@@ -1209,9 +1663,12 @@ class ColumnarSimulation(Simulation):
         cached and reused until one of their inputs changes, so between
         market rounds a tick reduces to the genuinely time-varying work:
         beat/work accumulation, the load EWMA fold, heart-rate ring
-        appends and the attribute write-back.
+        appends and -- in eager mode only -- the attribute write-back.
+        Lazy mode marks the written columns dirty instead and leaves the
+        object view to the next :meth:`sync` barrier.
         """
         tasks = ep.tasks
+        eager = self.sync_mode == "eager"
         if self._grant_inputs_dirty or ep.alloc_has is None:
             ep.refresh_grant_inputs(self._allocations, self._weights)
             self._grant_inputs_dirty = False
@@ -1260,13 +1717,22 @@ class ColumnarSimulation(Simulation):
             ep.sup[...] = grants
             ep.con[...] = cons
             ep.dem[...] = demand
-            sl = grants.tolist()
-            cl_ = cons.tolist()
-            dl = demand.tolist()
-            for t, ts, tc, td in zip(tasks, sl, cl_, dl):
-                t.last_supply_pus = ts
-                t.last_consumed_pus = tc
-                t.last_demand_pus = td
+            if eager:
+                sl = grants.tolist()
+                cl_ = cons.tolist()
+                dl = demand.tolist()
+                for t, ts, tc, td in zip(tasks, sl, cl_, dl):
+                    t.last_supply_pus = ts
+                    t.last_consumed_pus = tc
+                    t.last_demand_pus = td
+            else:
+                # Stamp with tick_index + 1: tick_index is 0-based and the
+                # synced stamps start at 0, so tick 0's writes must land
+                # strictly above them.
+                dirty = self._col_dirty
+                ti = self.tick_index + 1
+                dirty["sup"] = dirty["con"] = dirty["dem"] = ti
+                self._view_dirty = True
 
         # Time-varying tail: accumulate, fold, record, write back.
         ep.beats += ep.g_beats_inc
@@ -1277,12 +1743,23 @@ class ColumnarSimulation(Simulation):
         load = ep.load
         if ep.all_has_load:
             np.add(decay * load, ep.g_load_c, out=load)
+            if eager:
+                self.load_tracker.update_many(zip(tasks, load.tolist()))
+            else:
+                # Every key is already present, so deferring the dict
+                # write cannot change insertion order; sync() updates
+                # values in place.
+                self._col_dirty["load"] = self.tick_index + 1
+                self._view_dirty = True
         else:
             prev = np.where(ep.has_load, load, ep.g_inst)
             np.add(decay * prev, ep.g_load_c, out=load)
             ep.has_load[...] = True
             ep.all_has_load = True
-        self.load_tracker.update_many(zip(tasks, load.tolist()))
+            # First fold for some rows: the dict update below may insert
+            # new keys, whose position is part of the checkpoint bytes --
+            # stay eager regardless of mode.
+            self.load_tracker.update_many(zip(tasks, load.tolist()))
 
         t_new = now + dt
         if ep.all_vec:
@@ -1296,12 +1773,28 @@ class ColumnarSimulation(Simulation):
             ep.rings.stamp += 1
 
         # sup/con/dem are unchanged on cache-hit ticks, so only the
-        # accumulating attributes need the write-through.
-        bl = ep.beats.tolist()
-        wl = ep.work.tolist()
-        for t, tb, tw in zip(tasks, bl, wl):
-            t.total_beats = tb
-            t.total_work_pu_s = tw
+        # accumulating attributes need the write-through (eager mode);
+        # lazy mode marks the columns and lets the barrier materialise.
+        if eager:
+            bl = ep.beats.tolist()
+            wl = ep.work.tolist()
+            for t, tb, tw in zip(tasks, bl, wl):
+                t.total_beats = tb
+                t.total_work_pu_s = tw
+        else:
+            dirty = self._col_dirty
+            ti = self.tick_index + 1
+            dirty["beats"] = dirty["work"] = ti
+            self._view_dirty = True
+            if self.sync_mode == "poison" and not self._poisoned:
+                pb, pw, ps, pc, pd = _POISONS
+                for t in tasks:
+                    t.total_beats = pb
+                    t.total_work_pu_s = pw
+                    t.last_supply_pus = ps
+                    t.last_consumed_pus = pc
+                    t.last_demand_pus = pd
+                self._poisoned = True
 
         active_list = self._active_now()
         placement = self.placement

@@ -76,6 +76,28 @@ def default_engine() -> str:
     return os.environ.get("REPRO_ENGINE", "columnar")
 
 
+def default_sync_mode() -> str:
+    """The columnar engine's write-through policy (``REPRO_COLUMNAR_SYNC``).
+
+    ``"lazy"`` (default) keeps the NumPy columns authoritative on the
+    steady-state hot path and materialises the ``Task`` object view only
+    at observation boundaries (:meth:`Simulation.sync` barriers);
+    ``"eager"`` restores per-tick write-through; ``"poison"`` is lazy
+    plus a debug sentinel written to object attributes between barriers
+    so unsynchronised reads raise instead of returning stale floats.
+    The mode changes no observable value -- every barrier materialises
+    the same floats eager write-through would have produced -- so it is
+    not part of the checkpoint fingerprint.
+    """
+    mode = os.environ.get("REPRO_COLUMNAR_SYNC", "lazy")
+    if mode not in ("lazy", "eager", "poison"):
+        raise ValueError(
+            'REPRO_COLUMNAR_SYNC must be "lazy", "eager" or "poison", '
+            f"got {mode!r}"
+        )
+    return mode
+
+
 @dataclass
 class SimConfig:
     """Engine configuration.
@@ -296,9 +318,30 @@ class Simulation:
         self._active_cache_now = None
         self._any_finite_task = any(t.duration is not None for t in self.tasks)
 
+    def sync(self) -> None:
+        """Materialise the object view of any column-resident hot state.
+
+        The reference engine mutates ``Task`` objects directly, so this
+        is a no-op; the columnar engine overrides it as the observation
+        barrier that flushes dirty columns back to object attributes.
+        Every out-of-band reader of per-task hot state (governor hooks,
+        fault windows, audits, checkpoints, telemetry fallbacks) calls
+        this before touching ``Task`` attributes.
+        """
+
     def set_allocation(self, task: Task, pus: float) -> None:
         """Pin an explicit supply allocation for ``task`` (PPM market)."""
         self._allocations[task] = max(0.0, pus)
+
+    def set_allocations(self, pairs: Dict[Task, float]) -> None:
+        """Bulk form of :meth:`set_allocation` (one market round's grants).
+
+        Insertion order and clamping match a :meth:`set_allocation` loop
+        over ``pairs.items()`` exactly.
+        """
+        self._allocations.update(
+            (task, max(0.0, pus)) for task, pus in pairs.items()
+        )
 
     def clear_allocation(self, task: Task) -> None:
         self._allocations.pop(task, None)
@@ -727,4 +770,8 @@ class Simulation:
         # Half-tick tolerance avoids a float-accumulation extra tick.
         while self.now < end - 0.5 * self.config.dt:
             self.step()
+        # End-of-run barrier: callers inspect Task attributes and the
+        # load tracker after run() returns, so the object view must be
+        # current even under lazy columnar synchronisation.
+        self.sync()
         return self.metrics

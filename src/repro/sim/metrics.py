@@ -56,6 +56,100 @@ class TickSample:
     estimated_chip_power_w: Optional[float] = None
 
 
+class TickColumnBuffer:
+    """Preallocated column storage for deferred telemetry rows.
+
+    One buffer holds consecutive ticks sharing a task roster (``names``):
+    per-task quantities land in capacity-doubling 2-D numpy arrays via
+    slice assignment, the per-tick python payloads (cluster dicts,
+    thermal/estimation extras) in plain lists.  ``materialise`` converts
+    the whole buffer to :class:`TickSample` objects in one pass --
+    ``ndarray.tolist`` yields exactly the python floats/bools a per-tick
+    conversion would have produced, so deferral is unobservable.
+
+    Requires numpy (only the columnar engine constructs one).
+    """
+
+    __slots__ = (
+        "names", "cap", "size", "time_s", "chip_w",
+        "hr", "below", "outside", "sup", "con", "aux",
+    )
+
+    def __init__(self, names: Tuple[str, ...], capacity: int = 128):
+        import numpy as np
+
+        n = len(names)
+        self.names = names
+        self.cap = capacity
+        self.size = 0
+        self.time_s = np.empty(capacity, dtype=float)
+        self.chip_w = np.empty(capacity, dtype=float)
+        self.hr = np.empty((capacity, n), dtype=float)
+        self.below = np.empty((capacity, n), dtype=bool)
+        self.outside = np.empty((capacity, n), dtype=bool)
+        self.sup = np.empty((capacity, n), dtype=float)
+        self.con = np.empty((capacity, n), dtype=float)
+        #: (cluster_power, cluster_freq, temps, estimated_w) per tick.
+        self.aux: List[tuple] = []
+
+    def _grow(self) -> None:
+        import numpy as np
+
+        new_cap = self.cap * 2
+        for name in ("time_s", "chip_w", "hr", "below", "outside", "sup", "con"):
+            old = getattr(self, name)
+            shape = (new_cap,) + old.shape[1:]
+            fresh = np.empty(shape, dtype=old.dtype)
+            fresh[: self.size] = old[: self.size]
+            setattr(self, name, fresh)
+        self.cap = new_cap
+
+    def append(self, time_s, chip_w, hr, below, outside, sup, con, aux) -> None:
+        k = self.size
+        if k == self.cap:
+            self._grow()
+        self.time_s[k] = time_s
+        self.chip_w[k] = chip_w
+        self.hr[k] = hr
+        self.below[k] = below
+        self.outside[k] = outside
+        self.sup[k] = sup
+        self.con[k] = con
+        self.aux.append(aux)
+        self.size = k + 1
+
+    def materialise(self, out: List[TickSample]) -> None:
+        """Append one :class:`TickSample` per stored tick to ``out``."""
+        k = self.size
+        names = self.names
+        times = self.time_s[:k].tolist()
+        chips = self.chip_w[:k].tolist()
+        hr_l = self.hr[:k].tolist()
+        below_l = self.below[:k].tolist()
+        outside_l = self.outside[:k].tolist()
+        sup_l = self.sup[:k].tolist()
+        con_l = self.con[:k].tolist()
+        for i in range(k):
+            cpw, cfm, temps, est = self.aux[i]
+            tasks = {
+                name: TaskSample(h, b, o, s, c)
+                for name, h, b, o, s, c in zip(
+                    names, hr_l[i], below_l[i], outside_l[i], sup_l[i], con_l[i]
+                )
+            }
+            out.append(
+                TickSample(
+                    time_s=times[i],
+                    chip_power_w=chips[i],
+                    cluster_power_w=cpw,
+                    cluster_frequency_mhz=cfm,
+                    tasks=tasks,
+                    cluster_temperature_c=temps,
+                    estimated_chip_power_w=est,
+                )
+            )
+
+
 @dataclass
 class MetricsCollector:
     """Accumulates tick samples and derives the paper's summary metrics."""
